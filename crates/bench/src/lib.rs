@@ -1,0 +1,29 @@
+//! The benchmark harness: every figure of the paper, regenerated.
+//!
+//! The paper's evaluation is Figure 1 — four landscape panels — plus the
+//! quantitative theorem statements. Each experiment here prints the
+//! series/rows that reproduce one artifact (see `DESIGN.md`'s experiment
+//! index E1–E10 and `EXPERIMENTS.md` for paper-vs-measured):
+//!
+//! * [`fig1::trees`] — E1, top-left panel: measured rounds per class on
+//!   trees/paths.
+//! * [`fig1::grids`] — E2, top-right panel: oriented grids.
+//! * [`fig1::general`] — E3, bottom-left panel: the dense region via the
+//!   shortcut construction.
+//! * [`fig1::volume`] — E4, bottom-right panel: probe complexities.
+//! * [`gaps::speedup_trees`] — E5, Theorem 3.11 as a synthesizer.
+//! * [`gaps::failure_probabilities`] — E6, Theorem 3.4's bound vs
+//!   measured.
+//! * [`gaps::volume_gap`] — E7, Theorem 4.1/4.3.
+//! * [`gaps::grid_gap`] — E8, Theorem 5.1.
+//! * [`gaps::landscape_paths`] — E9, the decidable path/cycle slice.
+//! * [`gaps::label_growth`] — E10, the label-growth ablation.
+//!
+//! Run everything with `cargo bench -p lcl-bench --bench figures`; the
+//! Criterion microbenchmarks of the hot paths live in `--bench micro`.
+
+pub mod fig1;
+pub mod gaps;
+pub mod grid_algos;
+pub mod table;
+pub mod volume_algos;

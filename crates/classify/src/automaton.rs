@@ -1,0 +1,375 @@
+//! The transition automaton of an LCL on oriented paths/cycles.
+//!
+//! Write a path solution as `x₁ y₁ | x₂ y₂ | ...` where `xᵢ, yᵢ` are the
+//! labels on node `i`'s left and right half-edges. The constraints factor
+//! into `{xᵢ, yᵢ} ∈ 𝒩²` (per node) and `{yᵢ, x_{i+1}} ∈ ℰ` (per edge), so
+//! solutions are walks in the digraph with states `y` and transitions
+//! `y → y'` iff `∃ x': {y, x'} ∈ ℰ ∧ {x', y'} ∈ 𝒩²`.
+
+use lcl::{InLabel, LclProblem, OutLabel, Problem};
+
+/// The state digraph of an LCL over its output labels.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Automaton {
+    /// Number of states (= output labels).
+    states: usize,
+    /// Adjacency: `succ[y]` = all `y'` with `y → y'`.
+    succ: Vec<Vec<usize>>,
+    /// States allowed as the right half-edge of a degree-1 start node.
+    starts: Vec<bool>,
+    /// States `y` that can be followed by a final degree-1 node.
+    accepts: Vec<bool>,
+    /// Labels permitted by the (input-independent) `g` map.
+    allowed: Vec<bool>,
+}
+
+/// Reasons the construction can be refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AutomatonError {
+    /// The problem's `g` map differs between input labels: the procedure
+    /// covers LCLs whose correctness ignores inputs (the decidability
+    /// results for LCLs *with* inputs are PSPACE-hard, per Section 1.4).
+    InputDependent,
+    /// The problem is not defined for degree 2.
+    WrongDegree,
+}
+
+impl std::fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AutomatonError::InputDependent => {
+                write!(f, "classification requires an input-independent LCL")
+            }
+            AutomatonError::WrongDegree => {
+                write!(f, "paths and cycles need max degree at least 2")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomatonError {}
+
+impl Automaton {
+    /// Builds the automaton of a problem.
+    ///
+    /// # Errors
+    ///
+    /// See [`AutomatonError`].
+    pub fn from_problem(p: &LclProblem) -> Result<Self, AutomatonError> {
+        if p.max_degree() < 2 {
+            return Err(AutomatonError::WrongDegree);
+        }
+        let states = p.output_alphabet().len();
+        // Require g to be input-independent.
+        let g0: Vec<bool> = (0..states)
+            .map(|o| p.input_allows(InLabel(0), OutLabel(o as u32)))
+            .collect();
+        for i in 1..p.input_count() {
+            for (o, &allowed) in g0.iter().enumerate() {
+                if p.input_allows(InLabel(i as u32), OutLabel(o as u32)) != allowed {
+                    return Err(AutomatonError::InputDependent);
+                }
+            }
+        }
+
+        let allowed = |o: usize| g0[o];
+        let succ = (0..states)
+            .map(|y| {
+                (0..states)
+                    .filter(|&yp| {
+                        allowed(yp)
+                            && (0..states).any(|xp| {
+                                allowed(xp)
+                                    && p.edge_allows(OutLabel(y as u32), OutLabel(xp as u32))
+                                    && p.node_allows(&[OutLabel(xp as u32), OutLabel(yp as u32)])
+                            })
+                    })
+                    .collect()
+            })
+            .collect();
+        let starts = (0..states)
+            .map(|y| allowed(y) && p.node_allows(&[OutLabel(y as u32)]))
+            .collect();
+        let accepts = (0..states)
+            .map(|y| {
+                allowed(y)
+                    && (0..states).any(|xp| {
+                        allowed(xp)
+                            && p.edge_allows(OutLabel(y as u32), OutLabel(xp as u32))
+                            && p.node_allows(&[OutLabel(xp as u32)])
+                    })
+            })
+            .collect();
+        Ok(Self {
+            states,
+            succ,
+            starts,
+            accepts,
+            allowed: g0,
+        })
+    }
+
+    /// Whether the (input-independent) `g` map permits this label at all.
+    pub fn is_output_allowed(&self, o: usize) -> bool {
+        self.allowed[o]
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states
+    }
+
+    /// Successors of a state.
+    pub fn successors(&self, y: usize) -> &[usize] {
+        &self.succ[y]
+    }
+
+    /// Whether `y` may label the right half-edge of a path's first node.
+    pub fn is_start(&self, y: usize) -> bool {
+        self.starts[y]
+    }
+
+    /// Whether `y` may immediately precede a path's last node.
+    pub fn is_accept(&self, y: usize) -> bool {
+        self.accepts[y]
+    }
+
+    /// Whether the state has a self-loop (`y → y`).
+    pub fn has_self_loop(&self, y: usize) -> bool {
+        self.succ[y].contains(&y)
+    }
+
+    /// States reachable from any state satisfying `from`.
+    pub fn reachable_from(&self, from: impl Fn(usize) -> bool) -> Vec<bool> {
+        let mut seen = vec![false; self.states];
+        let mut stack: Vec<usize> = (0..self.states).filter(|&s| from(s)).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &self.succ[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which some state satisfying `to` is reachable.
+    pub fn co_reachable_to(&self, to: impl Fn(usize) -> bool) -> Vec<bool> {
+        // Reverse reachability.
+        let mut pred = vec![Vec::new(); self.states];
+        for (s, outs) in self.succ.iter().enumerate() {
+            for &t in outs {
+                pred[t].push(s);
+            }
+        }
+        let mut seen = vec![false; self.states];
+        let mut stack: Vec<usize> = (0..self.states).filter(|&s| to(s)).collect();
+        for &s in &stack {
+            seen[s] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in &pred[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Strongly connected components (Tarjan); returns the component id of
+    /// each state and the number of components.
+    pub fn sccs(&self) -> (Vec<usize>, usize) {
+        struct Frame {
+            v: usize,
+            edge: usize,
+        }
+        let n = self.states;
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack = Vec::new();
+        let mut comp = vec![usize::MAX; n];
+        let mut next_index = 0usize;
+        let mut comp_count = 0usize;
+
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call = vec![Frame { v: root, edge: 0 }];
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            while let Some(frame) = call.last_mut() {
+                let v = frame.v;
+                if frame.edge < self.succ[v].len() {
+                    let w = self.succ[v][frame.edge];
+                    frame.edge += 1;
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        call.push(Frame { v: w, edge: 0 });
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack nonempty");
+                            on_stack[w] = false;
+                            comp[w] = comp_count;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_count += 1;
+                    }
+                    let finished = call.pop().expect("frame exists");
+                    if let Some(parent) = call.last() {
+                        low[parent.v] = low[parent.v].min(low[finished.v]);
+                    }
+                }
+            }
+        }
+        (comp, comp_count)
+    }
+
+    /// The gcd of cycle lengths through each state (0 for states on no
+    /// cycle). A state is *flexible* iff its value is 1: closed walks of
+    /// every sufficiently large length exist.
+    pub fn cycle_gcds(&self) -> Vec<u64> {
+        let (comp, count) = self.sccs();
+        let mut gcds = vec![0u64; count];
+        // Per SCC: BFS layering; gcd over internal edges of
+        // (level(u) + 1 - level(v)).
+        #[allow(clippy::needless_range_loop)] // index drives several arrays
+        for c in 0..count {
+            let members: Vec<usize> = (0..self.states).filter(|&s| comp[s] == c).collect();
+            let internal_edges: Vec<(usize, usize)> = members
+                .iter()
+                .flat_map(|&u| {
+                    self.succ[u]
+                        .iter()
+                        .filter(|&&v| comp[v] == c)
+                        .map(move |&v| (u, v))
+                })
+                .collect();
+            if internal_edges.is_empty() {
+                continue; // singleton without self-loop: no cycles
+            }
+            let mut level = vec![i64::MIN; self.states];
+            let root = members[0];
+            level[root] = 0;
+            let mut queue = std::collections::VecDeque::from([root]);
+            while let Some(u) = queue.pop_front() {
+                for &v in &self.succ[u] {
+                    if comp[v] == c && level[v] == i64::MIN {
+                        level[v] = level[u] + 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            let mut g = 0u64;
+            for (u, v) in internal_edges {
+                let diff = (level[u] + 1 - level[v]).unsigned_abs();
+                g = gcd(g, diff);
+            }
+            gcds[c] = g;
+        }
+        (0..self.states).map(|s| gcds[comp[s]]).collect()
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coloring(k: usize) -> LclProblem {
+        lcl_problems::k_coloring(k, 2)
+    }
+
+    #[test]
+    fn three_coloring_automaton() {
+        let a = Automaton::from_problem(&coloring(3)).unwrap();
+        // y → y' iff y' ≠ y (pick x' = y').
+        for y in 0..3 {
+            let mut expected: Vec<usize> = (0..3).filter(|&z| z != y).collect();
+            expected.sort_unstable();
+            let mut got = a.successors(y).to_vec();
+            got.sort_unstable();
+            assert_eq!(got, expected);
+            assert!(!a.has_self_loop(y));
+        }
+        let gcds = a.cycle_gcds();
+        assert!(gcds.iter().all(|&g| g == 1), "{gcds:?}");
+    }
+
+    #[test]
+    fn two_coloring_automaton_is_bipartite() {
+        let a = Automaton::from_problem(&coloring(2)).unwrap();
+        assert_eq!(a.successors(0), &[1]);
+        assert_eq!(a.successors(1), &[0]);
+        let gcds = a.cycle_gcds();
+        assert_eq!(gcds, vec![2, 2]);
+    }
+
+    #[test]
+    fn sinkless_on_cycles_has_a_self_loop() {
+        let p = lcl_problems::sinkless_orientation(2);
+        let a = Automaton::from_problem(&p).unwrap();
+        assert!((0..a.state_count()).any(|s| a.has_self_loop(s)));
+    }
+
+    #[test]
+    fn reachability_works() {
+        let a = Automaton::from_problem(&coloring(2)).unwrap();
+        let reach = a.reachable_from(|s| s == 0);
+        assert_eq!(reach, vec![true, true]);
+        let co = a.co_reachable_to(|s| s == 1);
+        assert_eq!(co, vec![true, true]);
+    }
+
+    #[test]
+    fn input_dependent_problems_are_refused() {
+        let p = LclProblem::builder("dep", 2)
+            .inputs(["a", "b"])
+            .outputs(["X", "Y"])
+            .node_pattern(&["X*", "Y*"])
+            .edge(&["X", "Y"])
+            .allow("a", &["X"])
+            .allow("b", &["Y"])
+            .build()
+            .unwrap();
+        assert_eq!(
+            Automaton::from_problem(&p),
+            Err(AutomatonError::InputDependent)
+        );
+    }
+
+    #[test]
+    fn sccs_of_bipartite_automaton() {
+        let a = Automaton::from_problem(&coloring(2)).unwrap();
+        let (comp, count) = a.sccs();
+        assert_eq!(count, 1);
+        assert_eq!(comp[0], comp[1]);
+    }
+}

@@ -1,0 +1,324 @@
+//! The classification procedure over the [`Automaton`].
+
+use lcl::LclProblem;
+
+use crate::automaton::{Automaton, AutomatonError};
+
+/// The decidable complexity classes on oriented paths/cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathClass {
+    /// `O(1)`: a constant tiling exists (self-loop state).
+    Constant,
+    /// `Θ(log* n)`: a flexible state exists but no constant tiling.
+    LogStar,
+    /// `Θ(n)`: solvable for infinitely many sizes, but only globally
+    /// (cycle lengths are constrained, e.g. 2-coloring on even cycles).
+    Global,
+    /// Solvable for at most finitely many sizes.
+    FinitelySolvable,
+}
+
+impl std::fmt::Display for PathClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PathClass::Constant => write!(f, "O(1)"),
+            PathClass::LogStar => write!(f, "Θ(log* n)"),
+            PathClass::Global => write!(f, "Θ(n)"),
+            PathClass::FinitelySolvable => write!(f, "finitely solvable"),
+        }
+    }
+}
+
+/// Error from the classification entry points.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ClassifyError(pub AutomatonError);
+
+impl std::fmt::Display for ClassifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ClassifyError {}
+
+/// The result of classifying a problem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Classification {
+    /// The complexity class.
+    pub class: PathClass,
+    /// States witnessing flexibility (gcd-1 closed walks), if any.
+    pub flexible_states: Vec<usize>,
+    /// States with self-loops, if any.
+    pub loop_states: Vec<usize>,
+    /// Whether the problem is solvable for all sufficiently large sizes.
+    pub solvable_all_large: bool,
+}
+
+fn classify_restricted(automaton: &Automaton, usable: impl Fn(usize) -> bool) -> Classification {
+    let gcds = automaton.cycle_gcds();
+    let loop_states: Vec<usize> = (0..automaton.state_count())
+        .filter(|&s| usable(s) && automaton.has_self_loop(s))
+        .collect();
+    let flexible_states: Vec<usize> = (0..automaton.state_count())
+        .filter(|&s| usable(s) && gcds[s] == 1)
+        .collect();
+    let any_cycle = (0..automaton.state_count()).any(|s| {
+        usable(s) && gcds[s] >= 1 && {
+            // gcds are 0 for acyclic states.
+            gcds[s] != 0
+        }
+    });
+
+    let class = if !loop_states.is_empty() {
+        PathClass::Constant
+    } else if !flexible_states.is_empty() {
+        PathClass::LogStar
+    } else if any_cycle {
+        PathClass::Global
+    } else {
+        PathClass::FinitelySolvable
+    };
+    let solvable_all_large = !flexible_states.is_empty() || !loop_states.is_empty();
+    Classification {
+        class,
+        flexible_states,
+        loop_states,
+        solvable_all_large,
+    }
+}
+
+/// Classifies an (input-independent) LCL on consistently oriented cycles.
+///
+/// # Errors
+///
+/// Returns [`ClassifyError`] for input-dependent problems or degree
+/// bounds below 2.
+pub fn classify_oriented_cycle(p: &LclProblem) -> Result<Classification, ClassifyError> {
+    let automaton = Automaton::from_problem(p).map_err(ClassifyError)?;
+    // On cycles every state on a cycle of the automaton is usable.
+    Ok(classify_restricted(&automaton, |_| true))
+}
+
+/// Classifies an (input-independent) LCL on oriented paths: like cycles,
+/// but states must be reachable from a valid path start and co-reachable
+/// to a valid path end.
+///
+/// # Errors
+///
+/// As [`classify_oriented_cycle`].
+pub fn classify_oriented_path(p: &LclProblem) -> Result<Classification, ClassifyError> {
+    let automaton = Automaton::from_problem(p).map_err(ClassifyError)?;
+    let reach = automaton.reachable_from(|s| automaton.is_start(s));
+    let co = automaton.co_reachable_to(|s| automaton.is_accept(s));
+    Ok(classify_restricted(&automaton, |s| reach[s] && co[s]))
+}
+
+/// For each `n` in `3..=max`, whether the problem is solvable on the
+/// oriented cycle of length `n` (dynamic programming over the automaton).
+pub fn solvable_cycle_lengths_up_to(
+    p: &LclProblem,
+    max: usize,
+) -> Result<Vec<(usize, bool)>, ClassifyError> {
+    let automaton = Automaton::from_problem(p).map_err(ClassifyError)?;
+    let k = automaton.state_count();
+    let mut result = Vec::new();
+    // reachable[s][t] after exactly j steps, iterated per n (O(max * k^3)
+    // overall, fine for catalog-sized alphabets).
+    for n in 3..=max {
+        // Does a closed walk of length n exist? Power the reachability.
+        let mut current: Vec<Vec<bool>> = (0..k)
+            .map(|s| {
+                let mut row = vec![false; k];
+                row[s] = true;
+                row
+            })
+            .collect();
+        for _ in 0..n {
+            current = current
+                .iter()
+                .map(|row| {
+                    let mut next = vec![false; k];
+                    for (s, &ok) in row.iter().enumerate() {
+                        if ok {
+                            for &t in automaton.successors(s) {
+                                next[t] = true;
+                            }
+                        }
+                    }
+                    next
+                })
+                .collect();
+        }
+        let solvable = (0..k).any(|s| current[s][s]);
+        result.push((n, solvable));
+    }
+    Ok(result)
+}
+
+/// For each `n` in `1..=max`, whether the problem is solvable on the
+/// oriented path of `n` nodes (walks of length `n - 2` from a start state
+/// to an accepting state; `n = 1` is vacuously solvable for degree-0
+/// nodes).
+pub fn solvable_path_lengths_up_to(
+    p: &LclProblem,
+    max: usize,
+) -> Result<Vec<(usize, bool)>, ClassifyError> {
+    let automaton = Automaton::from_problem(p).map_err(ClassifyError)?;
+    let k = automaton.state_count();
+    let mut result = Vec::with_capacity(max);
+    if max >= 1 {
+        result.push((1, true)); // an isolated node has no constraints
+    }
+    // frontier[s] = reachable from a start state with walks of the current
+    // length.
+    let mut frontier: Vec<bool> = (0..k).map(|s| automaton.is_start(s)).collect();
+    for n in 2..=max {
+        // Path of n nodes = walk of length n - 2 (frontier currently holds
+        // walks of length n - 2 once we are at iteration n).
+        let solvable = (0..k).any(|s| frontier[s] && automaton.is_accept(s));
+        result.push((n, solvable));
+        let mut next = vec![false; k];
+        for (s, &ok) in frontier.iter().enumerate() {
+            if ok {
+                for &t in automaton.successors(s) {
+                    next[t] = true;
+                }
+            }
+        }
+        frontier = next;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problems::{free_problem, k_coloring, mis_problem, sinkless_orientation, two_coloring};
+
+    #[test]
+    fn three_coloring_is_log_star() {
+        let c = classify_oriented_cycle(&k_coloring(3, 2)).unwrap();
+        assert_eq!(c.class, PathClass::LogStar);
+        assert!(c.solvable_all_large);
+        let c = classify_oriented_path(&k_coloring(3, 2)).unwrap();
+        assert_eq!(c.class, PathClass::LogStar);
+    }
+
+    #[test]
+    fn two_coloring_is_global_on_cycles() {
+        let c = classify_oriented_cycle(&two_coloring(2)).unwrap();
+        assert_eq!(c.class, PathClass::Global);
+        assert!(!c.solvable_all_large);
+    }
+
+    #[test]
+    fn two_coloring_parity_table() {
+        let table = solvable_cycle_lengths_up_to(&two_coloring(2), 10).unwrap();
+        for (n, solvable) in table {
+            assert_eq!(solvable, n % 2 == 0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn free_problem_is_constant() {
+        let c = classify_oriented_cycle(&free_problem(2, 2)).unwrap();
+        assert_eq!(c.class, PathClass::Constant);
+    }
+
+    #[test]
+    fn sinkless_orientation_is_constant_on_oriented_cycles() {
+        // The orientation is given, so "orient along the cycle" is a
+        // 0-round solution.
+        let c = classify_oriented_cycle(&sinkless_orientation(2)).unwrap();
+        assert_eq!(c.class, PathClass::Constant);
+    }
+
+    #[test]
+    fn mis_is_log_star_on_cycles() {
+        let c = classify_oriented_cycle(&mis_problem(2)).unwrap();
+        assert_eq!(c.class, PathClass::LogStar);
+    }
+
+    #[test]
+    fn mis_cycle_lengths_all_solvable_from_three() {
+        let table = solvable_cycle_lengths_up_to(&mis_problem(2), 9).unwrap();
+        assert!(table.iter().all(|&(_, s)| s), "{table:?}");
+    }
+
+    #[test]
+    fn node_edge_tension_gives_global() {
+        // Edge wants equal labels, nodes want differing ones: the only
+        // tilings alternate with period 2 — global, even cycles only.
+        let p = LclProblem::builder("alternating", 2)
+            .outputs(["X", "Y"])
+            .node(&["X", "Y"])
+            .node(&["X"])
+            .node(&["Y"])
+            .edge(&["X", "X"])
+            .edge(&["Y", "Y"])
+            .build()
+            .unwrap();
+        let c = classify_oriented_cycle(&p).unwrap();
+        assert_eq!(c.class, PathClass::Global);
+        let table = solvable_cycle_lengths_up_to(&p, 8).unwrap();
+        for (n, solvable) in table {
+            assert_eq!(solvable, n % 2 == 0, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn degree_two_starved_problem_is_finitely_solvable() {
+        // No degree-2 node configuration at all: only 2-node paths work;
+        // cycles never do.
+        let p = LclProblem::builder("tiny-only", 2)
+            .outputs(["X"])
+            .node(&["X"])
+            .edge(&["X", "X"])
+            .build()
+            .unwrap();
+        let c = classify_oriented_cycle(&p).unwrap();
+        assert_eq!(c.class, PathClass::FinitelySolvable);
+        assert!(!c.solvable_all_large);
+        let table = solvable_cycle_lengths_up_to(&p, 6).unwrap();
+        assert!(table.iter().all(|&(_, s)| !s));
+    }
+
+    #[test]
+    fn path_lengths_for_two_coloring_are_all_solvable() {
+        let table = solvable_path_lengths_up_to(&two_coloring(2), 8).unwrap();
+        assert!(table.iter().all(|&(_, s)| s), "{table:?}");
+    }
+
+    #[test]
+    fn path_lengths_for_strict_sinkless_are_singletons_only() {
+        // Every node needs an out-edge: impossible on any path with an
+        // edge (the last node would be a sink), fine for n = 1.
+        let table = solvable_path_lengths_up_to(&sinkless_orientation(2), 6).unwrap();
+        for (n, solvable) in table {
+            assert_eq!(solvable, n == 1, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn path_lengths_match_classification_flexibility() {
+        // 3-coloring: solvable for every n, matching its LogStar class.
+        let table = solvable_path_lengths_up_to(&k_coloring(3, 2), 10).unwrap();
+        assert!(table.iter().all(|&(_, s)| s));
+    }
+
+    #[test]
+    fn path_classification_uses_endpoints() {
+        // Interior nodes are free over {X}, but no degree-1 configuration
+        // exists: paths are unsolvable although cycles are constant.
+        let p = LclProblem::builder("no-endpoints", 2)
+            .outputs(["X"])
+            .node(&["X", "X"])
+            .edge(&["X", "X"])
+            .build()
+            .unwrap();
+        let cycle = classify_oriented_cycle(&p).unwrap();
+        assert_eq!(cycle.class, PathClass::Constant);
+        let path = classify_oriented_path(&p).unwrap();
+        assert_eq!(path.class, PathClass::FinitelySolvable);
+    }
+}

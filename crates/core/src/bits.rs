@@ -1,0 +1,239 @@
+//! Fixed-universe bitsets for label sets and compatibility rows.
+//!
+//! Round elimination manipulates sets of labels constantly (labels of
+//! `R(Π)` *are* sets of `Π`-labels); this module provides the compact
+//! representation used by the [`tower`](crate::tower).
+
+/// A bitset over a fixed universe `0..len`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over a universe of `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set over a universe of `len` elements.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// A set from the given members.
+    pub fn from_members(len: usize, members: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(len);
+        for m in members {
+            s.insert(m);
+        }
+        s
+    }
+
+    /// Universe size.
+    pub fn universe(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts an element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "element {i} outside universe {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Removes an element.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if i < self.len {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(&a, &b)| a & !b == 0)
+    }
+
+    /// Whether the sets intersect.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// In-place intersection.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &BitSet) {
+        for (a, &b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Iterator over members, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.contains(i))
+    }
+
+    /// Members as a vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+/// All sorted multisets of size `size` over `0..universe`, visited through
+/// a callback. Returns `true` iff the traversal ran to completion: both a
+/// callback returning `false` (caller stop) and exceeding `cap` visits end
+/// the traversal early and return `false`.
+pub fn for_each_multiset(
+    universe: usize,
+    size: usize,
+    cap: usize,
+    mut f: impl FnMut(&[usize]) -> bool,
+) -> bool {
+    let mut current = Vec::with_capacity(size);
+    fn recurse(
+        universe: usize,
+        size: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        visited: &mut usize,
+        cap: usize,
+        f: &mut impl FnMut(&[usize]) -> bool,
+    ) -> Option<bool> {
+        if current.len() == size {
+            *visited += 1;
+            if *visited > cap {
+                return Some(false); // cap exceeded
+            }
+            return if f(current) { None } else { Some(true) };
+        }
+        for i in start..universe {
+            current.push(i);
+            let stop = recurse(universe, size, i, current, visited, cap, f);
+            current.pop();
+            if let Some(caller_stop) = stop {
+                return Some(caller_stop);
+            }
+        }
+        None
+    }
+    recurse(universe, size, 0, &mut current, &mut 0, cap, &mut f).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(100);
+        s.insert(0);
+        s.insert(70);
+        assert!(s.contains(0));
+        assert!(s.contains(70));
+        assert!(!s.contains(1));
+        assert_eq!(s.count(), 2);
+        s.remove(70);
+        assert!(!s.contains(70));
+    }
+
+    #[test]
+    fn subset_and_intersection() {
+        let a = BitSet::from_members(10, [1, 3, 5]);
+        let b = BitSet::from_members(10, [1, 3, 5, 7]);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a));
+        assert!(a.intersects(&b));
+        let c = BitSet::from_members(10, [0, 2]);
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = BitSet::from_members(10, [1, 2, 3]);
+        let b = BitSet::from_members(10, [2, 3, 4]);
+        a.intersect_with(&b);
+        assert_eq!(a.to_vec(), vec![2, 3]);
+        a.union_with(&b);
+        assert_eq!(a.to_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let f = BitSet::full(65);
+        assert_eq!(f.count(), 65);
+        assert!(!f.is_empty());
+        assert!(BitSet::new(65).is_empty());
+    }
+
+    #[test]
+    fn multiset_enumeration_counts() {
+        let mut count = 0;
+        assert!(for_each_multiset(3, 2, 100, |_| {
+            count += 1;
+            true
+        }));
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn multiset_enumeration_respects_cap() {
+        let mut count = 0;
+        let complete = for_each_multiset(10, 3, 5, |_| {
+            count += 1;
+            true
+        });
+        assert!(!complete);
+        assert_eq!(count, 5);
+    }
+
+    #[test]
+    fn multiset_enumeration_early_stop() {
+        let mut count = 0;
+        let complete = for_each_multiset(10, 2, 1000, |_| {
+            count += 1;
+            count < 3
+        });
+        assert!(!complete, "caller stop is an incomplete traversal");
+        assert_eq!(count, 3);
+    }
+}

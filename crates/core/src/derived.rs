@@ -1,0 +1,586 @@
+//! The executable heart of Section 3.2: deriving the algorithms `A_½`
+//! (for `R(Π)`) and `A'` (for `R̄(R(Π))`) from a randomized algorithm `A`
+//! for `Π`, exactly as in the proof of Theorem 3.4 — including the
+//! *simulation step* over all possible topology/input extensions beyond a
+//! view, which is the paper's technical extension of round elimination to
+//! irregular graphs with inputs.
+//!
+//! Implemented for one-round algorithms (`T = 1`), the first interesting
+//! case: `A_½` runs at radius "one half" (an edge sees its two endpoints)
+//! and `A'` at radius 0. The constructions follow the definitions
+//! literally:
+//!
+//! * `A_½` on half-edge `(u, e)` outputs the **set** of labels `ℓ` such
+//!   that *some* extension of the topology and inputs beyond `B(e, ½)`
+//!   gives `P[A outputs ℓ | bits of u, v] ≥ K`;
+//! * `A'` on `(u, e)` outputs the set of `R(Π)`-labels `ℓ'` such that
+//!   some extension beyond `B(u, 0)` gives `P[A_½ outputs ℓ' | bits of
+//!   u] ≥ L`.
+//!
+//! Probabilities are estimated by (deterministically seeded) Monte Carlo;
+//! the derived labelings are verified against the predicate constraints
+//! of [`ReTower`] levels 1 and 2, and the measured local failure
+//! probabilities are compared against the Theorem 3.4 bound in the
+//! `re_failure_prob` experiment (E6).
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_graph::Graph;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tower::ReTower;
+
+/// The locally visible data of one node: degree and per-port inputs (the
+/// paper's `Tuples` entry, minus the identifier — `A` is randomized).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct LocalInfo {
+    /// Node degree.
+    pub degree: u8,
+    /// Input labels in port order.
+    pub inputs: Vec<InLabel>,
+}
+
+/// A neighbor as seen across one edge: its local data plus the port at
+/// which the shared edge arrives there.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct NeighborInfo {
+    /// The neighbor's local data.
+    pub info: LocalInfo,
+    /// The neighbor's port of the shared edge.
+    pub rev_port: u8,
+}
+
+/// A randomized one-round LOCAL algorithm in explicit form: the output is
+/// a function of the center's data, its random bits, and each neighbor's
+/// data and bits.
+pub trait OneRoundAlgorithm {
+    /// Output labels for the center's ports.
+    fn label(
+        &self,
+        me: &LocalInfo,
+        my_bits: u64,
+        neighbors: &[(NeighborInfo, u64)],
+    ) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Tuning knobs for the derivation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DerivedOptions {
+    /// The threshold `K` of the `A_½` definition.
+    pub k_threshold: f64,
+    /// The threshold `L` of the `A'` definition.
+    pub l_threshold: f64,
+    /// Monte-Carlo samples for each conditional probability.
+    pub samples: u32,
+}
+
+impl DerivedOptions {
+    /// The proof's choices `K = p^{1/3}` and `L = (p*)^{1/(Δ+1)}` where
+    /// `p* = 2Δ(s + |Σ_out|) p^{1/3}` (Lemmas 3.7/3.8).
+    pub fn from_target_failure(p: f64, delta: u8, s: f64, sigma_out: usize) -> Self {
+        let k = p.powf(1.0 / 3.0);
+        let p_star = (2.0 * f64::from(delta) * (s + sigma_out as f64) * k).min(1.0);
+        let l = p_star.powf(1.0 / (f64::from(delta) + 1.0));
+        Self {
+            k_threshold: k,
+            l_threshold: l,
+            samples: 256,
+        }
+    }
+}
+
+/// All possible one-hop extensions: the values a neighbor behind an
+/// unseen port can take (degree, arrival port, inputs) — the finite
+/// enumeration the paper bounds by `(3 |Σ_in|)^{2Δ^{T+1}}`.
+pub fn enumerate_neighbor_infos(delta: u8, sigma_in: usize) -> Vec<NeighborInfo> {
+    let mut out = Vec::new();
+    for degree in 1..=delta {
+        let mut inputs = vec![0usize; degree as usize];
+        loop {
+            for rev_port in 0..degree {
+                out.push(NeighborInfo {
+                    info: LocalInfo {
+                        degree,
+                        inputs: inputs.iter().map(|&i| InLabel(i as u32)).collect(),
+                    },
+                    rev_port,
+                });
+            }
+            // Mixed-radix increment over the inputs.
+            let mut pos = 0;
+            loop {
+                if pos == degree as usize {
+                    break;
+                }
+                inputs[pos] += 1;
+                if inputs[pos] < sigma_in {
+                    break;
+                }
+                inputs[pos] = 0;
+                pos += 1;
+            }
+            if pos == degree as usize {
+                break;
+            }
+        }
+    }
+    out
+}
+
+fn stable_seed<T: Hash>(value: &T, salt: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    salt.hash(&mut h);
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// The derivation context: the base algorithm plus the problem's
+/// structural parameters.
+pub struct Derivation<'a, A> {
+    base: &'a A,
+    delta: u8,
+    sigma_in: usize,
+    sigma_out: usize,
+    opts: DerivedOptions,
+    extensions: Vec<NeighborInfo>,
+}
+
+impl<'a, A: OneRoundAlgorithm> Derivation<'a, A> {
+    /// Sets up a derivation for an algorithm over the given alphabet
+    /// sizes.
+    pub fn new(
+        base: &'a A,
+        delta: u8,
+        sigma_in: usize,
+        sigma_out: usize,
+        opts: DerivedOptions,
+    ) -> Self {
+        let extensions = enumerate_neighbor_infos(delta, sigma_in);
+        Self {
+            base,
+            delta,
+            sigma_in,
+            sigma_out,
+            opts,
+            extensions,
+        }
+    }
+
+    /// The number of one-hop extensions per unseen port.
+    pub fn extension_count(&self) -> usize {
+        self.extensions.len()
+    }
+
+    /// `A_½` on half-edge `(u, e)`: the set of labels some extension
+    /// makes likely (`≥ K`), conditioned on the bits of `u` and `v`.
+    ///
+    /// Deterministic: the Monte-Carlo seeds derive from the arguments.
+    pub fn a_half(
+        &self,
+        u: &LocalInfo,
+        bits_u: u64,
+        port: u8,
+        v: &NeighborInfo,
+        bits_v: u64,
+    ) -> BTreeSet<OutLabel> {
+        let mut result = BTreeSet::new();
+        // Extensions assign a NeighborInfo to each port of u other than
+        // `port`. Extensions are sampled exhaustively if few ports,
+        // independently per port otherwise (the per-port product is the
+        // paper's enumeration; independence across ports holds on
+        // forests).
+        let other_ports: Vec<u8> = (0..u.degree).filter(|&p| p != port).collect();
+        let mut extension_ids = vec![0usize; other_ports.len()];
+        loop {
+            // Monte Carlo over the bits of the extension neighbors.
+            let mut counts: BTreeMap<OutLabel, u32> = BTreeMap::new();
+            let seed = stable_seed(&(u, bits_u, port, v, bits_v, &extension_ids), 0x5eed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..self.opts.samples {
+                let neighbors: Vec<(NeighborInfo, u64)> = (0..u.degree)
+                    .map(|p| {
+                        if p == port {
+                            (v.clone(), bits_v)
+                        } else {
+                            let slot = other_ports
+                                .iter()
+                                .position(|&q| q == p)
+                                .expect("other port");
+                            (self.extensions[extension_ids[slot]].clone(), rng.gen())
+                        }
+                    })
+                    .collect();
+                let out = self.base.label(u, bits_u, &neighbors);
+                *counts.entry(out[port as usize]).or_insert(0) += 1;
+            }
+            for (label, count) in counts {
+                if f64::from(count) >= self.opts.k_threshold * f64::from(self.opts.samples) {
+                    result.insert(label);
+                }
+            }
+            // Next extension assignment (mixed radix).
+            let mut pos = 0;
+            loop {
+                if pos == extension_ids.len() {
+                    break;
+                }
+                extension_ids[pos] += 1;
+                if extension_ids[pos] < self.extensions.len() {
+                    break;
+                }
+                extension_ids[pos] = 0;
+                pos += 1;
+            }
+            if pos == extension_ids.len() {
+                break;
+            }
+        }
+        result
+    }
+
+    /// `A'` on half-edge `(u, e)` at port `port`: the set of
+    /// `R(Π)`-labels (sets of base labels) some extension of the edge's
+    /// other endpoint makes likely (`≥ L`), conditioned on the bits of
+    /// `u` alone.
+    pub fn a_prime(&self, u: &LocalInfo, bits_u: u64, port: u8) -> BTreeSet<Vec<OutLabel>> {
+        let mut result = BTreeSet::new();
+        for v in &self.extensions {
+            let mut counts: BTreeMap<Vec<OutLabel>, u32> = BTreeMap::new();
+            let seed = stable_seed(&(u, bits_u, port, v), 0x9a17);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            for _ in 0..self.opts.samples {
+                let bits_v: u64 = rng.gen();
+                let set = self.a_half(u, bits_u, port, v, bits_v);
+                counts
+                    .entry(set.into_iter().collect::<Vec<_>>())
+                    .and_modify(|c| *c += 1)
+                    .or_insert(1);
+            }
+            for (set, count) in counts {
+                if f64::from(count) >= self.opts.l_threshold * f64::from(self.opts.samples) {
+                    result.insert(set);
+                }
+            }
+        }
+        result
+    }
+
+    /// Runs `A` on a concrete forest (bits drawn from `seed`).
+    pub fn run_base(
+        &self,
+        graph: &Graph,
+        input: &HalfEdgeLabeling<InLabel>,
+        seed: u64,
+    ) -> HalfEdgeLabeling<OutLabel> {
+        let bits = node_bits(graph, seed);
+        HalfEdgeLabeling::from_node_fn(graph, |node| {
+            let me = local_info(graph, input, node);
+            let neighbors: Vec<(NeighborInfo, u64)> = graph
+                .half_edges_of(node)
+                .map(|h| {
+                    let w = graph.neighbor(h);
+                    (
+                        NeighborInfo {
+                            info: local_info(graph, input, w),
+                            rev_port: graph.port_of(graph.twin(h)),
+                        },
+                        bits[w.index()],
+                    )
+                })
+                .collect();
+            self.base.label(&me, bits[node.index()], &neighbors)
+        })
+    }
+
+    /// Runs `A_½` on a concrete forest, producing level-1 tower labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a produced set is not a level-1 label of `tower` (build
+    /// the tower with `restrict: false`).
+    pub fn run_a_half(
+        &self,
+        tower: &ReTower,
+        graph: &Graph,
+        input: &HalfEdgeLabeling<InLabel>,
+        seed: u64,
+    ) -> HalfEdgeLabeling<OutLabel> {
+        let bits = node_bits(graph, seed);
+        HalfEdgeLabeling::from_node_fn(graph, |node| {
+            let me = local_info(graph, input, node);
+            graph
+                .half_edges_of(node)
+                .map(|h| {
+                    let w = graph.neighbor(h);
+                    let v = NeighborInfo {
+                        info: local_info(graph, input, w),
+                        rev_port: graph.port_of(graph.twin(h)),
+                    };
+                    let set = self.a_half(
+                        &me,
+                        bits[node.index()],
+                        graph.port_of(h),
+                        &v,
+                        bits[w.index()],
+                    );
+                    intern_level1(tower, &set)
+                })
+                .collect()
+        })
+    }
+
+    /// Runs `A'` on a concrete forest, producing level-2 tower labels.
+    ///
+    /// # Panics
+    ///
+    /// As [`run_a_half`](Self::run_a_half), at level 2.
+    pub fn run_a_prime(
+        &self,
+        tower: &ReTower,
+        graph: &Graph,
+        input: &HalfEdgeLabeling<InLabel>,
+        seed: u64,
+    ) -> HalfEdgeLabeling<OutLabel> {
+        let bits = node_bits(graph, seed);
+        HalfEdgeLabeling::from_node_fn(graph, |node| {
+            let me = local_info(graph, input, node);
+            (0..graph.degree(node))
+                .map(|port| {
+                    let family = self.a_prime(&me, bits[node.index()], port);
+                    intern_level2(tower, &family)
+                })
+                .collect()
+        })
+    }
+
+    /// The structural parameters, for bound computations.
+    pub fn parameters(&self) -> (u8, usize, usize) {
+        (self.delta, self.sigma_in, self.sigma_out)
+    }
+}
+
+fn node_bits(graph: &Graph, seed: u64) -> Vec<u64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..graph.node_count()).map(|_| rng.gen()).collect()
+}
+
+fn local_info(
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    node: lcl_graph::NodeId,
+) -> LocalInfo {
+    LocalInfo {
+        degree: graph.degree(node),
+        inputs: graph.half_edges_of(node).map(|h| input.get(h)).collect(),
+    }
+}
+
+/// Finds the level-1 (that is, `R(Π)`) tower label whose member set is
+/// `set`; empty sets map to an arbitrary label (they are failures anyway).
+fn intern_level1(tower: &ReTower, set: &BTreeSet<OutLabel>) -> OutLabel {
+    if set.is_empty() {
+        return OutLabel(0);
+    }
+    let members: Vec<u32> = set.iter().map(|l| l.0).collect();
+    for l in 0..tower.alphabet_size(1) {
+        if tower.label_members(1, OutLabel(l as u32)) == members.as_slice() {
+            return OutLabel(l as u32);
+        }
+    }
+    panic!("A_½ produced a set outside the R(Π) universe: {members:?}")
+}
+
+/// Finds the level-2 (that is, `R̄(R(Π))`) tower label whose members are
+/// the level-1 labels of the given family of sets.
+fn intern_level2(tower: &ReTower, family: &BTreeSet<Vec<OutLabel>>) -> OutLabel {
+    if family.is_empty() {
+        return OutLabel(0);
+    }
+    let mut members: Vec<u32> = family
+        .iter()
+        .map(|set| {
+            let set: BTreeSet<OutLabel> = set.iter().copied().collect();
+            intern_level1(tower, &set).0
+        })
+        .collect();
+    members.sort_unstable();
+    members.dedup();
+    for l in 0..tower.alphabet_size(2) {
+        if tower.label_members(2, OutLabel(l as u32)) == members.as_slice() {
+            return OutLabel(l as u32);
+        }
+    }
+    panic!("A' produced a family outside the R̄(R(Π)) universe: {members:?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tower::ReOptions;
+    use lcl::LclProblem;
+    use lcl_graph::gen;
+
+    /// Randomized anti-matching: on edge e, endpoint with the larger
+    /// `k`-bit coin outputs X, the other Y; ties make both output X (a
+    /// failure). Local failure probability ≈ 2^{-k} per edge.
+    struct CoinOrient {
+        k: u32,
+    }
+
+    impl OneRoundAlgorithm for CoinOrient {
+        fn label(
+            &self,
+            me: &LocalInfo,
+            my_bits: u64,
+            neighbors: &[(NeighborInfo, u64)],
+        ) -> Vec<OutLabel> {
+            let mask = (1u64 << self.k) - 1;
+            (0..me.degree as usize)
+                .map(|p| {
+                    let mine = my_bits & mask;
+                    let theirs = neighbors[p].1 & mask;
+                    OutLabel(u32::from(mine < theirs)) // 0 = X, 1 = Y
+                })
+                .collect()
+        }
+    }
+
+    fn anti_matching() -> LclProblem {
+        LclProblem::parse("max-degree: 2\nnodes:\nX* Y*\nedges:\nX Y\n").unwrap()
+    }
+
+    fn unrestricted_tower(p: &LclProblem) -> ReTower {
+        let mut tower = ReTower::new(p.clone());
+        tower
+            .push_f(ReOptions {
+                restrict: false,
+                ..ReOptions::default()
+            })
+            .unwrap();
+        tower
+    }
+
+    #[test]
+    fn extension_enumeration_counts() {
+        // Δ = 2, |Σ_in| = 1: degrees 1 (1 input combo × 1 port) and
+        // 2 (1 combo × 2 ports) = 3 extensions.
+        assert_eq!(enumerate_neighbor_infos(2, 1).len(), 3);
+        // Δ = 2, |Σ_in| = 2: degree 1: 2 combos; degree 2: 4 combos × 2
+        // ports = 8; total 10.
+        assert_eq!(enumerate_neighbor_infos(2, 2).len(), 10);
+    }
+
+    #[test]
+    fn a_half_contains_the_likely_labels() {
+        let alg = CoinOrient { k: 8 };
+        let d = Derivation::new(
+            &alg,
+            2,
+            1,
+            2,
+            DerivedOptions {
+                k_threshold: 0.3,
+                l_threshold: 0.3,
+                samples: 64,
+            },
+        );
+        let u = LocalInfo {
+            degree: 2,
+            inputs: vec![InLabel(0); 2],
+        };
+        let v = NeighborInfo {
+            info: u.clone(),
+            rev_port: 0,
+        };
+        // Conditioned on both endpoints' bits, the output on the shared
+        // edge is deterministic: a singleton set.
+        let set = d.a_half(&u, 7, 1, &v, 9000);
+        assert_eq!(set.len(), 1);
+        // 7 < 9000 in the low 8 bits → u outputs Y (label 1).
+        assert!(set.contains(&OutLabel(1)));
+    }
+
+    #[test]
+    fn a_prime_collects_both_orientations() {
+        let alg = CoinOrient { k: 8 };
+        let d = Derivation::new(
+            &alg,
+            2,
+            1,
+            2,
+            DerivedOptions {
+                k_threshold: 0.3,
+                l_threshold: 0.2,
+                samples: 64,
+            },
+        );
+        let u = LocalInfo {
+            degree: 2,
+            inputs: vec![InLabel(0); 2],
+        };
+        // Unconditioned on the neighbor's bits, both orientations are
+        // likely: A' should contain both singletons {X} and {Y}.
+        let family = d.a_prime(&u, 12345, 0);
+        assert!(family.contains(&vec![OutLabel(0)]));
+        assert!(family.contains(&vec![OutLabel(1)]));
+    }
+
+    #[test]
+    fn derived_runs_validate_against_tower_levels() {
+        let problem = anti_matching();
+        let tower = unrestricted_tower(&problem);
+        let alg = CoinOrient { k: 16 };
+        let d = Derivation::new(
+            &alg,
+            2,
+            1,
+            2,
+            DerivedOptions {
+                k_threshold: 0.3,
+                l_threshold: 0.2,
+                samples: 48,
+            },
+        );
+        let g = gen::path(6);
+        let input = lcl::uniform_input(&g);
+
+        // A solves Π with low failure.
+        let base_out = d.run_base(&g, &input, 5);
+        let base_violations = lcl::verify(&problem, &g, &input, &base_out);
+        assert!(base_violations.is_empty(), "{base_violations:?}");
+
+        // A_½ solves R(Π).
+        let half_out = d.run_a_half(&tower, &g, &input, 5);
+        let r_level = tower.level(1);
+        let half_violations = lcl::verify(&r_level, &g, &input, &half_out);
+        assert!(half_violations.is_empty(), "{half_violations:?}");
+
+        // A' solves R̄(R(Π)).
+        let prime_out = d.run_a_prime(&tower, &g, &input, 5);
+        let f_level = tower.level(2);
+        let prime_violations = lcl::verify(&f_level, &g, &input, &prime_out);
+        assert!(prime_violations.is_empty(), "{prime_violations:?}");
+    }
+
+    #[test]
+    fn derived_options_follow_the_proof_choices() {
+        let opts = DerivedOptions::from_target_failure(1e-6, 3, 100.0, 4);
+        assert!((opts.k_threshold - 1e-2).abs() < 1e-9);
+        // p* saturates at 1 here, so L = 1 (a vacuous threshold).
+        assert!(opts.l_threshold > 0.0 && opts.l_threshold <= 1.0);
+        // With a much smaller target failure, L becomes meaningful.
+        let tight = DerivedOptions::from_target_failure(1e-30, 3, 100.0, 4);
+        assert!(tight.l_threshold < 1.0);
+        assert!(tight.k_threshold < opts.k_threshold);
+    }
+}

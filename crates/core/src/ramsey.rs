@@ -1,0 +1,168 @@
+//! The Ramsey-theoretic quantities of Theorem 4.1 and Proposition 5.4.
+//!
+//! Both proofs color the `p`-subsets of a large identifier space by the
+//! behavior of the algorithm on them and invoke the hypergraph Ramsey
+//! bound `log* R(p, m, c) = p + log* m + log* c + O(1)` to find a large
+//! set of identifiers on which the algorithm is order-invariant. This
+//! module provides:
+//!
+//! * [`log_star_ramsey_bound`] — the `log*`-scale upper bound used to
+//!   check that `T(n) = o(log* n)` suffices (the inequality
+//!   `log* n ≥ p + log* m + log* c + O(1)` of the proofs);
+//! * [`ramsey_number_exact`] — brute-force exact Ramsey numbers for tiny
+//!   parameters, used to validate the machinery's plumbing;
+//! * [`volume_color_count`] — the count `c` of behavior colors from the
+//!   Theorem 4.1 proof.
+
+use lcl_graph::math::log_star;
+
+/// The `log*`-scale Ramsey bound: an (over)estimate of
+/// `log* R(p, m, c) ≈ p + log* m + log* c + O(1)`, with the `O(1)` set to
+/// the constant `3` (any fixed constant works for the asymptotic
+/// argument).
+pub fn log_star_ramsey_bound(p: u64, m: u64, c: u64) -> u64 {
+    p + u64::from(log_star(m)) + u64::from(log_star(c)) + 3
+}
+
+/// Whether an identifier space of size `ids` is large enough for the
+/// Ramsey step, i.e. `log* ids ≥ log_star_ramsey_bound(p, m, c)`.
+pub fn ramsey_step_applies(ids: u64, p: u64, m: u64, c: u64) -> bool {
+    u64::from(log_star(ids)) >= log_star_ramsey_bound(p, m, c)
+}
+
+/// The number of behavior colors in the Theorem 4.1 proof:
+/// `c ≤ (outputs)^(inputs)` where `inputs ≤ ((T+1) · Δ · |Σ_in|^Δ)^(T+1)`
+/// transcripts and `outputs ≤ (T·Δ)^T · |Σ_out|^Δ` answers. Saturates.
+pub fn volume_color_count(t: u64, delta: u64, sigma_in: u64, sigma_out: u64) -> u64 {
+    let inputs = ((t + 1)
+        .saturating_mul(delta)
+        .saturating_mul(sigma_in.saturating_pow(delta.min(63) as u32)))
+    .saturating_pow((t + 1).min(63) as u32);
+    let outputs = (t.saturating_mul(delta))
+        .max(1)
+        .saturating_pow(t.min(63) as u32)
+        .saturating_mul(sigma_out.saturating_pow(delta.min(63) as u32));
+    outputs.saturating_pow(inputs.min(63) as u32)
+}
+
+/// Exact Ramsey number `R(2, m, c)` (graph case) for tiny parameters, by
+/// exhaustive search over edge colorings: the smallest `n` such that every
+/// `c`-coloring of `K_n`'s edges contains a monochromatic clique of size
+/// `m`.
+///
+/// # Panics
+///
+/// Panics if the search space `c^(n choose 2)` exceeds `2^24` before an
+/// answer is found (keep `m ≤ 3`, `c ≤ 2`).
+pub fn ramsey_number_exact(m: usize, colors: usize) -> usize {
+    for n in m.. {
+        let edges = n * (n - 1) / 2;
+        let space = (colors as u128).pow(edges as u32);
+        assert!(space <= 1 << 24, "search space too large at n = {n}");
+        if every_coloring_has_mono_clique(n, m, colors) {
+            return n;
+        }
+    }
+    unreachable!()
+}
+
+fn every_coloring_has_mono_clique(n: usize, m: usize, colors: usize) -> bool {
+    let edges: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
+        .collect();
+    let total = (colors as u64).pow(edges.len() as u32);
+    'coloring: for code in 0..total {
+        // Decode the coloring.
+        let mut color = vec![vec![0usize; n]; n];
+        let mut rest = code;
+        for &(i, j) in &edges {
+            let c = (rest % colors as u64) as usize;
+            rest /= colors as u64;
+            color[i][j] = c;
+            color[j][i] = c;
+        }
+        // Any monochromatic m-clique?
+        let mut clique = Vec::new();
+        if has_mono_clique(&color, n, m, colors, 0, &mut clique) {
+            continue 'coloring;
+        }
+        return false; // a coloring avoiding monochromatic cliques exists
+    }
+    true
+}
+
+fn has_mono_clique(
+    color: &[Vec<usize>],
+    n: usize,
+    m: usize,
+    colors: usize,
+    _start: usize,
+    _clique: &mut Vec<usize>,
+) -> bool {
+    // Try each color class separately with simple recursion.
+    for c in 0..colors {
+        let mut members: Vec<usize> = Vec::new();
+        if grow(color, n, m, c, 0, &mut members) {
+            return true;
+        }
+    }
+    false
+}
+
+fn grow(
+    color: &[Vec<usize>],
+    n: usize,
+    m: usize,
+    c: usize,
+    start: usize,
+    members: &mut Vec<usize>,
+) -> bool {
+    if members.len() == m {
+        return true;
+    }
+    for v in start..n {
+        if members.iter().all(|&u| color[u][v] == c) {
+            members.push(v);
+            if grow(color, n, m, c, v + 1, members) {
+                return true;
+            }
+            members.pop();
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_ramsey_numbers() {
+        // R(3; 1 color) = 3, R(3, 3) = 6 — the classic party theorem.
+        assert_eq!(ramsey_number_exact(3, 1), 3);
+        assert_eq!(ramsey_number_exact(3, 2), 6);
+        assert_eq!(ramsey_number_exact(2, 2), 2);
+    }
+
+    #[test]
+    fn log_star_bound_is_monotone() {
+        assert!(log_star_ramsey_bound(2, 10, 10) <= log_star_ramsey_bound(3, 10, 10));
+        assert!(log_star_ramsey_bound(2, 10, 10) <= log_star_ramsey_bound(2, 1 << 20, 10));
+    }
+
+    #[test]
+    fn ramsey_step_needs_huge_id_spaces() {
+        // Even tiny (p, m, c) need log* ids ≥ ~6: id spaces beyond 2^65536.
+        assert!(!ramsey_step_applies(u64::MAX, 2, 4, 4));
+        // But the bound function itself is small.
+        assert_eq!(log_star_ramsey_bound(2, 4, 4), 2 + 2 + 2 + 3);
+    }
+
+    #[test]
+    fn volume_color_count_saturates() {
+        // Large parameters saturate instead of overflowing.
+        assert_eq!(volume_color_count(10, 3, 2, 3), u64::MAX);
+        // Small parameters stay finite.
+        assert!(volume_color_count(0, 1, 1, 1) >= 1);
+    }
+}

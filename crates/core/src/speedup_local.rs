@@ -1,0 +1,140 @@
+//! Theorem 2.11 for the LOCAL model: an order-invariant algorithm with
+//! radius `o(log n)` can be "fooled" with a fixed `n₀` — run as if the
+//! graph had `min(n, n₀)` nodes — yielding a constant-radius algorithm
+//! that is still correct on every `n`.
+//!
+//! The proof (given in the paper for both models at once) hinges on the
+//! view-counting argument: a failure at some node on a large graph needs
+//! only `Δ^{r+1}·(T(n₀)+1) ≤ n₀/Δ` nodes of witness, which embeds into an
+//! `n₀`-node graph with order-preserved identifiers — contradicting
+//! correctness at `n₀`. Here the construction is executable:
+//! [`FooledOrderInvariant`] *is* the constant-round algorithm.
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_graph::Graph;
+use lcl_local::{run_order_invariant, IdAssignment, LocalRun, OrderInvariantAlgorithm, RankView};
+
+/// The Theorem 2.11 wrapper: announce `min(n, n₀)` to the inner
+/// order-invariant algorithm.
+#[derive(Clone, Debug)]
+pub struct FooledOrderInvariant<A> {
+    inner: A,
+    n0: usize,
+}
+
+impl<A> FooledOrderInvariant<A> {
+    /// Wraps `inner` with the fooling constant `n₀`.
+    pub fn new(inner: A, n0: usize) -> Self {
+        Self { inner, n0 }
+    }
+
+    /// The fooling constant.
+    pub fn n0(&self) -> usize {
+        self.n0
+    }
+}
+
+impl<A: OrderInvariantAlgorithm> OrderInvariantAlgorithm for FooledOrderInvariant<A> {
+    fn radius(&self, n: usize) -> u32 {
+        self.inner.radius(n.min(self.n0))
+    }
+
+    fn label(&self, view: &RankView<'_>) -> Vec<OutLabel> {
+        let fooled = RankView {
+            ball: view.ball,
+            n: view.n.min(self.n0),
+            ranks: view.ranks.clone(),
+            inputs: view.inputs.clone(),
+        };
+        self.inner.label(&fooled)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+/// Convenience: runs the fooled pipeline over a graph.
+pub fn run_fooled_local<A: OrderInvariantAlgorithm>(
+    alg: &A,
+    n0: usize,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+) -> LocalRun {
+    let fooled = FooledOrderInvariant::new(CloneShim(alg), n0);
+    run_order_invariant(&fooled, graph, input, ids, None)
+}
+
+/// Borrow adapter so `run_fooled_local` does not require `A: Clone`.
+#[derive(Debug)]
+struct CloneShim<'a, A>(&'a A);
+
+impl<A: OrderInvariantAlgorithm> OrderInvariantAlgorithm for CloneShim<'_, A> {
+    fn radius(&self, n: usize) -> u32 {
+        self.0.radius(n)
+    }
+    fn label(&self, view: &RankView<'_>) -> Vec<OutLabel> {
+        self.0.label(view)
+    }
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+
+    /// Order-invariant, n-independent semantics: mark local rank minima.
+    struct LocalRankMin;
+
+    impl OrderInvariantAlgorithm for LocalRankMin {
+        fn radius(&self, n: usize) -> u32 {
+            // A deliberately growing radius: the quantity the fooling caps.
+            (n as f64).log2() as u32
+        }
+        fn label(&self, view: &RankView<'_>) -> Vec<OutLabel> {
+            let is_min = view.ranks[0] == 0;
+            vec![OutLabel(u32::from(is_min)); view.center_degree()]
+        }
+    }
+
+    #[test]
+    fn fooling_caps_the_radius() {
+        let alg = FooledOrderInvariant::new(LocalRankMin, 16);
+        assert_eq!(alg.radius(16), 4);
+        assert_eq!(alg.radius(1 << 20), 4);
+        assert_eq!(alg.n0(), 16);
+    }
+
+    #[test]
+    fn fooled_outputs_follow_the_smaller_view() {
+        // For this algorithm the label only depends on the view's ranks,
+        // so fooling changes the radius but the semantic stays "am I the
+        // minimum of my (smaller) view".
+        let g = gen::cycle(64);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::random_polynomial(64, 3, 5);
+        let run = run_fooled_local(&LocalRankMin, 16, &g, &input, &ids);
+        assert_eq!(run.radius, 4);
+        // At least one node is a radius-4 local minimum; not all are.
+        let ones = g
+            .nodes()
+            .filter(|&v| run.output.get(g.half_edge(v, 0)) == OutLabel(1))
+            .count();
+        assert!((1..64).contains(&ones));
+    }
+
+    #[test]
+    fn fooled_is_order_invariant_by_construction() {
+        let g = gen::cycle(32);
+        let input = lcl::uniform_input(&g);
+        let a = IdAssignment::random_polynomial(32, 3, 7);
+        let b = a.resample_order_preserving(3, 8);
+        let run_a = run_fooled_local(&LocalRankMin, 8, &g, &input, &a);
+        let run_b = run_fooled_local(&LocalRankMin, 8, &g, &input, &b);
+        assert_eq!(run_a.output, run_b.output);
+    }
+}

@@ -1,0 +1,878 @@
+//! The round-elimination problem sequence `Π, R(Π), R̄(R(Π)), ...`
+//! (Definitions 3.1 and 3.2 of the paper), for LCLs **with input labels on
+//! irregular graphs** — the generality that is the paper's technical
+//! contribution.
+//!
+//! # Representation
+//!
+//! The label universe of `R(Π)` is the powerset `2^{Σ_out^Π}`, and of
+//! `R̄(R(Π))` the powerset of that — materializing constraints
+//! extensionally is hopeless beyond toy alphabets. A [`ReTower`] therefore
+//! stores, per derived level, only
+//!
+//! * the interned label table (each label is the sorted set of parent
+//!   labels it denotes),
+//! * the *edge* compatibility as bitset rows (quadratic in the universe,
+//!   cheap via bit operations),
+//! * the `g` map as bitset rows,
+//!
+//! and evaluates *node* constraints lazily by quantifier expansion: an
+//! `R`-level node configuration holds iff **some** selection of parent
+//! labels is a parent-level node configuration (Definition 3.1), an
+//! `R̄`-level one iff **all** selections are (Definition 3.2).
+//!
+//! # Universe restriction
+//!
+//! Only labels that can appear in *some* valid solution matter. A label is
+//! kept only if it (a) lies in some `g` image, (b) has a compatible edge
+//! partner among kept labels, and (c) admits a node-configuration
+//! completion among kept labels; the three conditions are iterated to a
+//! fixpoint. Removal is sound (such labels occur in no solution) and
+//! completeness-preserving for the 0-round decision of
+//! [`zero_round`](crate::zero_round). Work caps make every step refuse
+//! gracefully ([`ReError`]) instead of exploding — the paper itself notes
+//! the doubly-exponential label growth as the obstruction to pushing the
+//! gap past `log* n`, and the caps are where this implementation meets the
+//! same wall.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use lcl::{InLabel, LclProblem, OutLabel, Problem};
+
+use crate::bits::BitSet;
+
+/// Which operator produced a derived level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LayerKind {
+    /// `R(·)` — Definition 3.1: node `∃`, edge `∀`.
+    R,
+    /// `R̄(·)` — Definition 3.2: node `∀`, edge `∃`.
+    RBar,
+}
+
+/// Error from a round-elimination step.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ReError {
+    /// A `g` image at the parent level has more labels than
+    /// [`ReOptions::max_parent_labels`], so the subset universe would
+    /// overflow.
+    UniverseTooLarge { parent_labels: usize, limit: usize },
+    /// The interned universe exceeded [`ReOptions::max_labels`].
+    TooManyLabels { labels: usize, limit: usize },
+    /// Restriction removed every label: the derived problem (and hence the
+    /// original) is unsolvable in the corresponding number of rounds on
+    /// the considered graph class.
+    EmptyUniverse,
+    /// `R̄` can only be applied on top of an `R` level.
+    RBarNeedsR,
+}
+
+impl fmt::Display for ReError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReError::UniverseTooLarge {
+                parent_labels,
+                limit,
+            } => write!(
+                f,
+                "g image with {parent_labels} labels exceeds subset limit {limit}"
+            ),
+            ReError::TooManyLabels { labels, limit } => {
+                write!(f, "universe of {labels} labels exceeds limit {limit}")
+            }
+            ReError::EmptyUniverse => write!(f, "restriction removed every label"),
+            ReError::RBarNeedsR => write!(f, "R̄ must be applied to an R level"),
+        }
+    }
+}
+
+impl Error for ReError {}
+
+/// Caps for a round-elimination step.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReOptions {
+    /// Maximum size of a parent `g` image (the subset universe is
+    /// `2^this`).
+    pub max_parent_labels: usize,
+    /// Maximum number of interned labels per level.
+    pub max_labels: usize,
+    /// Work cap (candidate completions tried) for the node-usefulness
+    /// check; exceeding it keeps the label (sound).
+    pub node_work_cap: u64,
+    /// Whether to run the usefulness restriction at all (`false` is the
+    /// E10 ablation: full universes).
+    pub restrict: bool,
+}
+
+impl Default for ReOptions {
+    fn default() -> Self {
+        Self {
+            max_parent_labels: 14,
+            max_labels: 4096,
+            node_work_cap: 2_000_000,
+            restrict: true,
+        }
+    }
+}
+
+/// One derived level of the tower.
+#[derive(Clone, Debug)]
+struct Layer {
+    kind: LayerKind,
+    /// Each label is the sorted set of parent-label ids it denotes.
+    labels: Vec<Vec<u32>>,
+    /// Member sets as bitsets over the parent universe.
+    member_sets: Vec<BitSet>,
+    /// Edge compatibility rows within this level.
+    edge_rows: Vec<BitSet>,
+    /// Per input label: allowed labels of this level.
+    g_rows: Vec<BitSet>,
+}
+
+/// The round-elimination problem sequence over a base problem.
+///
+/// Level 0 is the base [`LclProblem`]; level `k ≥ 1` is obtained from
+/// level `k - 1` by `R` (odd `k`) or `R̄` (even `k`), so level `2k` is
+/// `f^k(Π)` for `f = R̄ ∘ R` — the sequence of Theorem 3.10.
+///
+/// # Examples
+///
+/// ```
+/// use lcl::LclProblem;
+/// use lcl_core::{ReOptions, ReTower};
+///
+/// let p = LclProblem::parse(
+///     "max-degree: 3\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n",
+/// )?;
+/// let mut tower = ReTower::new(p);
+/// tower.push_f(ReOptions::default())?; // one R̄(R(·)) step
+/// assert_eq!(tower.level_count(), 3);
+/// assert!(tower.alphabet_size(1) >= 3); // R(Π) keeps at least the singletons
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReTower {
+    base: LclProblem,
+    /// Base edge compatibility rows.
+    base_edge_rows: Vec<BitSet>,
+    /// Base `g` rows.
+    base_g_rows: Vec<BitSet>,
+    layers: Vec<Layer>,
+    /// Memo table for node-constraint queries `(level, sorted labels)`.
+    node_cache: RefCell<HashMap<(usize, Vec<u32>), bool>>,
+}
+
+impl ReTower {
+    /// Starts a tower at the given base problem.
+    pub fn new(base: LclProblem) -> Self {
+        let out_count = base.output_alphabet().len();
+        let mut base_edge_rows = vec![BitSet::new(out_count); out_count];
+        #[allow(clippy::needless_range_loop)] // index drives several arrays
+        for a in 0..out_count {
+            for b in 0..out_count {
+                if base.edge_allows(OutLabel(a as u32), OutLabel(b as u32)) {
+                    base_edge_rows[a].insert(b);
+                }
+            }
+        }
+        let base_g_rows = (0..base.input_count())
+            .map(|i| {
+                BitSet::from_members(
+                    out_count,
+                    (0..out_count)
+                        .filter(|&o| base.input_allows(InLabel(i as u32), OutLabel(o as u32))),
+                )
+            })
+            .collect();
+        Self {
+            base,
+            base_edge_rows,
+            base_g_rows,
+            layers: Vec::new(),
+            node_cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// The base problem (level 0).
+    pub fn base(&self) -> &LclProblem {
+        &self.base
+    }
+
+    /// Number of levels (base + derived).
+    pub fn level_count(&self) -> usize {
+        self.layers.len() + 1
+    }
+
+    /// The kind of derived level `k ≥ 1`.
+    pub fn layer_kind(&self, level: usize) -> LayerKind {
+        self.layers[level - 1].kind
+    }
+
+    /// Number of labels at a level.
+    pub fn alphabet_size(&self, level: usize) -> usize {
+        if level == 0 {
+            self.base.output_alphabet().len()
+        } else {
+            self.layers[level - 1].labels.len()
+        }
+    }
+
+    /// The set of parent labels a derived label denotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level == 0` or the label is out of range.
+    pub fn label_members(&self, level: usize, label: OutLabel) -> &[u32] {
+        assert!(level >= 1, "base labels have no members");
+        &self.layers[level - 1].labels[label.index()]
+    }
+
+    /// A [`Problem`] view of a level.
+    pub fn level(&self, level: usize) -> TowerLevel<'_> {
+        assert!(level < self.level_count(), "level out of range");
+        TowerLevel { tower: self, level }
+    }
+
+    /// Edge-compatibility row of a label at a level (bitset over that
+    /// level's universe).
+    fn edge_row(&self, level: usize, label: usize) -> &BitSet {
+        if level == 0 {
+            &self.base_edge_rows[label]
+        } else {
+            &self.layers[level - 1].edge_rows[label]
+        }
+    }
+
+    /// `g` row of an input at a level.
+    fn g_row(&self, level: usize, input: usize) -> &BitSet {
+        if level == 0 {
+            &self.base_g_rows[input]
+        } else {
+            &self.layers[level - 1].g_rows[input]
+        }
+    }
+
+    /// Node-constraint check at a level, for a multiset of that level's
+    /// labels given as indices.
+    fn node_allows_ids(&self, level: usize, labels: &[u32]) -> bool {
+        if level == 0 {
+            let as_labels: Vec<OutLabel> = labels.iter().map(|&l| OutLabel(l)).collect();
+            return self.base.node_allows(&as_labels);
+        }
+        let mut key_labels = labels.to_vec();
+        key_labels.sort_unstable();
+        let key = (level, key_labels);
+        if let Some(&hit) = self.node_cache.borrow().get(&key) {
+            return hit;
+        }
+        let result = self.node_allows_ids_uncached(level, labels);
+        self.node_cache.borrow_mut().insert(key, result);
+        result
+    }
+
+    fn node_allows_ids_uncached(&self, level: usize, labels: &[u32]) -> bool {
+        let layer = &self.layers[level - 1];
+        let sets: Vec<&[u32]> = labels
+            .iter()
+            .map(|&l| layer.labels[l as usize].as_slice())
+            .collect();
+        match layer.kind {
+            // ∃ selection of parent labels forming a parent configuration.
+            LayerKind::R => self.exists_selection(level - 1, &sets, true),
+            // ∀ selections of parent labels form parent configurations.
+            LayerKind::RBar => self.exists_selection(level - 1, &sets, false),
+        }
+    }
+
+    /// If `looking_for == true`: does some selection satisfy the parent
+    /// node constraint? If `false`: report `true` iff *all* selections
+    /// satisfy it (implemented as "no counterexample exists").
+    fn exists_selection(&self, parent_level: usize, sets: &[&[u32]], looking_for: bool) -> bool {
+        let mut selection = vec![0u32; sets.len()];
+        let found = self.selection_search(parent_level, sets, &mut selection, 0, looking_for);
+        if looking_for {
+            found
+        } else {
+            !found
+        }
+    }
+
+    fn selection_search(
+        &self,
+        parent_level: usize,
+        sets: &[&[u32]],
+        selection: &mut Vec<u32>,
+        depth: usize,
+        want: bool,
+    ) -> bool {
+        if depth == sets.len() {
+            let holds = self.node_allows_ids(parent_level, selection);
+            // Searching for a witness (want=true) or a counterexample.
+            return holds == want;
+        }
+        for &candidate in sets[depth] {
+            selection[depth] = candidate;
+            if self.selection_search(parent_level, sets, selection, depth + 1, want) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies `R` (Definition 3.1) on top of the current top level.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReError`].
+    pub fn push_r(&mut self, opts: ReOptions) -> Result<(), ReError> {
+        self.push_layer(LayerKind::R, opts)
+    }
+
+    /// Applies `R̄` (Definition 3.2) on top of the current top level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReError::RBarNeedsR`] unless the top level is an `R`
+    /// level (the paper only ever applies `R̄` to `R(Π)`).
+    pub fn push_rbar(&mut self, opts: ReOptions) -> Result<(), ReError> {
+        match self.layers.last() {
+            Some(layer) if layer.kind == LayerKind::R => {}
+            _ => return Err(ReError::RBarNeedsR),
+        }
+        self.push_layer(LayerKind::RBar, opts)
+    }
+
+    /// Applies one full step `f = R̄ ∘ R` of the Theorem 3.10 sequence.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReError`].
+    pub fn push_f(&mut self, opts: ReOptions) -> Result<(), ReError> {
+        self.push_r(opts)?;
+        self.push_rbar(opts)
+    }
+
+    fn push_layer(&mut self, kind: LayerKind, opts: ReOptions) -> Result<(), ReError> {
+        let parent_level = self.layers.len();
+        let parent_size = self.alphabet_size(parent_level);
+        let input_count = self.base.input_count();
+
+        // Universe: nonempty subsets of parent g images, deduplicated.
+        let mut labels: Vec<Vec<u32>> = Vec::new();
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        for input in 0..input_count {
+            let image = self.g_row(parent_level, input).to_vec();
+            if image.len() > opts.max_parent_labels {
+                return Err(ReError::UniverseTooLarge {
+                    parent_labels: image.len(),
+                    limit: opts.max_parent_labels,
+                });
+            }
+            let subsets = 1usize << image.len();
+            for mask in 1..subsets {
+                let members: Vec<u32> = image
+                    .iter()
+                    .enumerate()
+                    .filter(|&(bit, _)| mask & (1 << bit) != 0)
+                    .map(|(_, &m)| m as u32)
+                    .collect();
+                if !index.contains_key(&members) {
+                    if labels.len() >= opts.max_labels {
+                        return Err(ReError::TooManyLabels {
+                            labels: labels.len() + 1,
+                            limit: opts.max_labels,
+                        });
+                    }
+                    index.insert(members.clone(), labels.len() as u32);
+                    labels.push(members);
+                }
+            }
+        }
+        if labels.is_empty() {
+            return Err(ReError::EmptyUniverse);
+        }
+
+        let member_sets: Vec<BitSet> = labels
+            .iter()
+            .map(|members| BitSet::from_members(parent_size, members.iter().map(|&m| m as usize)))
+            .collect();
+
+        // Edge rows.
+        let count = labels.len();
+        let mut edge_rows = vec![BitSet::new(count); count];
+        match kind {
+            LayerKind::R => {
+                // {A, B} allowed iff ∀ a ∈ A, b ∈ B: {a, b} parent-allowed
+                // ⟺ B ⊆ ⋂_{a ∈ A} parent_row(a).
+                let majorants: Vec<BitSet> = labels
+                    .iter()
+                    .map(|members| {
+                        let mut maj = BitSet::full(parent_size);
+                        for &a in members {
+                            maj.intersect_with(self.edge_row(parent_level, a as usize));
+                        }
+                        maj
+                    })
+                    .collect();
+                for a in 0..count {
+                    #[allow(clippy::needless_range_loop)] // index drives several arrays
+                    for b in 0..count {
+                        if member_sets[b].is_subset_of(&majorants[a]) {
+                            edge_rows[a].insert(b);
+                        }
+                    }
+                }
+            }
+            LayerKind::RBar => {
+                // {A, B} allowed iff ∃ a ∈ A, b ∈ B: {a, b} parent-allowed
+                // ⟺ B ∩ ⋃_{a ∈ A} parent_row(a) ≠ ∅.
+                let unions: Vec<BitSet> = labels
+                    .iter()
+                    .map(|members| {
+                        let mut u = BitSet::new(parent_size);
+                        for &a in members {
+                            u.union_with(self.edge_row(parent_level, a as usize));
+                        }
+                        u
+                    })
+                    .collect();
+                for a in 0..count {
+                    #[allow(clippy::needless_range_loop)] // index drives several arrays
+                    for b in 0..count {
+                        if member_sets[b].intersects(&unions[a]) {
+                            edge_rows[a].insert(b);
+                        }
+                    }
+                }
+            }
+        }
+
+        // g rows: a derived label is allowed for input ℓ iff its members
+        // all lie in the parent's g image (2^{g(ℓ)} in both definitions).
+        let g_rows: Vec<BitSet> = (0..input_count)
+            .map(|input| {
+                let image = self.g_row(parent_level, input);
+                BitSet::from_members(
+                    count,
+                    (0..count).filter(|&l| member_sets[l].is_subset_of(image)),
+                )
+            })
+            .collect();
+
+        let mut layer = Layer {
+            kind,
+            labels,
+            member_sets,
+            edge_rows,
+            g_rows,
+        };
+
+        // Temporarily push to evaluate node constraints through `self`.
+        self.layers.push(layer);
+        if opts.restrict {
+            let alive = self.restrict_top(opts);
+            layer = self.layers.pop().expect("just pushed");
+            // Compaction reindexes labels: drop memoized entries.
+            self.node_cache.borrow_mut().clear();
+            if alive.is_empty() {
+                return Err(ReError::EmptyUniverse);
+            }
+            let layer = compact_layer(layer, &alive);
+            self.layers.push(layer);
+        }
+        Ok(())
+    }
+
+    /// Computes the alive-label fixpoint of the top layer.
+    fn restrict_top(&self, opts: ReOptions) -> BitSet {
+        let level = self.layers.len();
+        let layer = &self.layers[level - 1];
+        let count = layer.labels.len();
+        let delta = self.base.max_degree() as usize;
+
+        // In some g image?
+        let mut g_union = BitSet::new(count);
+        for row in &layer.g_rows {
+            g_union.union_with(row);
+        }
+
+        let mut alive = g_union;
+        loop {
+            let mut changed = false;
+            // Edge-useful: some alive partner.
+            for l in 0..count {
+                if alive.contains(l) && !layer.edge_rows[l].intersects(&alive) {
+                    alive.remove(l);
+                    changed = true;
+                }
+            }
+            // Node-useful: some completion among alive labels.
+            let snapshot = alive.clone();
+            for l in snapshot.iter() {
+                if !self.node_useful(level, l, &snapshot, delta, opts.node_work_cap) {
+                    alive.remove(l);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return alive;
+            }
+        }
+    }
+
+    /// Whether label `l` of `level` admits a node-configuration completion
+    /// among `alive` labels for some degree `1..=Δ`. Conservative on work
+    /// cap: returns `true` (keep) when the budget runs out.
+    fn node_useful(
+        &self,
+        level: usize,
+        l: usize,
+        alive: &BitSet,
+        delta: usize,
+        work_cap: u64,
+    ) -> bool {
+        let alive_ids: Vec<u32> = alive.iter().map(|i| i as u32).collect();
+        let mut work = 0u64;
+        for d in 1..=delta {
+            let mut config = vec![l as u32; d];
+            if self.node_completion_search(level, &alive_ids, &mut config, 1, &mut work, work_cap) {
+                return true;
+            }
+            if work >= work_cap {
+                return true; // budget exhausted: keep (sound)
+            }
+        }
+        false
+    }
+
+    fn node_completion_search(
+        &self,
+        level: usize,
+        alive_ids: &[u32],
+        config: &mut Vec<u32>,
+        depth: usize,
+        work: &mut u64,
+        cap: u64,
+    ) -> bool {
+        if depth == config.len() {
+            *work += 1;
+            return self.node_allows_ids(level, config);
+        }
+        // Completions are multisets: enforce ascending order from index 1.
+        for &candidate in alive_ids {
+            if depth > 1 && candidate < config[depth - 1] {
+                continue;
+            }
+            if *work >= cap {
+                return true; // keep on budget exhaustion
+            }
+            config[depth] = candidate;
+            if self.node_completion_search(level, alive_ids, config, depth + 1, work, cap) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+fn compact_layer(layer: Layer, alive: &BitSet) -> Layer {
+    let keep: Vec<usize> = alive.iter().collect();
+    let count = keep.len();
+    let labels: Vec<Vec<u32>> = keep.iter().map(|&l| layer.labels[l].clone()).collect();
+    let member_sets: Vec<BitSet> = keep.iter().map(|&l| layer.member_sets[l].clone()).collect();
+    let edge_rows: Vec<BitSet> = keep
+        .iter()
+        .map(|&l| {
+            BitSet::from_members(
+                count,
+                keep.iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| layer.edge_rows[l].contains(m))
+                    .map(|(new, _)| new),
+            )
+        })
+        .collect();
+    let g_rows: Vec<BitSet> = layer
+        .g_rows
+        .iter()
+        .map(|row| {
+            BitSet::from_members(
+                count,
+                keep.iter()
+                    .enumerate()
+                    .filter(|&(_, &m)| row.contains(m))
+                    .map(|(new, _)| new),
+            )
+        })
+        .collect();
+    Layer {
+        kind: layer.kind,
+        labels,
+        member_sets,
+        edge_rows,
+        g_rows,
+    }
+}
+
+/// A [`Problem`] view of one tower level; level `2k` is `f^k(Π)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TowerLevel<'a> {
+    tower: &'a ReTower,
+    level: usize,
+}
+
+impl TowerLevel<'_> {
+    /// Which level of the tower this is.
+    pub fn level_index(&self) -> usize {
+        self.level
+    }
+
+    /// The tower the view borrows from.
+    pub fn tower(&self) -> &ReTower {
+        self.tower
+    }
+}
+
+impl Problem for TowerLevel<'_> {
+    fn max_degree(&self) -> u8 {
+        self.tower.base.max_degree()
+    }
+
+    fn input_count(&self) -> usize {
+        self.tower.base.input_count()
+    }
+
+    fn output_count(&self) -> Option<usize> {
+        Some(self.tower.alphabet_size(self.level))
+    }
+
+    fn node_allows(&self, outputs: &[OutLabel]) -> bool {
+        if outputs.is_empty() {
+            return true;
+        }
+        let ids: Vec<u32> = outputs.iter().map(|l| l.0).collect();
+        self.tower.node_allows_ids(self.level, &ids)
+    }
+
+    fn edge_allows(&self, a: OutLabel, b: OutLabel) -> bool {
+        self.tower
+            .edge_row(self.level, a.index())
+            .contains(b.index())
+    }
+
+    fn input_allows(&self, input: InLabel, out: OutLabel) -> bool {
+        self.tower
+            .g_row(self.level, input.index())
+            .contains(out.index())
+    }
+
+    fn name(&self) -> &str {
+        self.tower.base.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_coloring() -> LclProblem {
+        LclProblem::parse("name: 3col\nmax-degree: 3\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n")
+            .unwrap()
+    }
+
+    fn sinkless_orientation() -> LclProblem {
+        LclProblem::parse("name: sinkless\nmax-degree: 3\nnodes:\nO I* O*\nedges:\nI O\n").unwrap()
+    }
+
+    #[test]
+    fn r_of_three_coloring_has_seven_subsets() {
+        let mut tower = ReTower::new(three_coloring());
+        tower
+            .push_r(ReOptions {
+                restrict: false,
+                ..ReOptions::default()
+            })
+            .unwrap();
+        // All nonempty subsets of {A, B, C}.
+        assert_eq!(tower.alphabet_size(1), 7);
+    }
+
+    #[test]
+    fn r_edge_constraint_is_forall() {
+        let mut tower = ReTower::new(three_coloring());
+        tower
+            .push_r(ReOptions {
+                restrict: false,
+                ..ReOptions::default()
+            })
+            .unwrap();
+        let level = tower.level(1);
+        // Find labels by member sets.
+        let find = |members: &[u32]| -> OutLabel {
+            OutLabel(
+                (0..tower.alphabet_size(1))
+                    .position(|l| tower.label_members(1, OutLabel(l as u32)) == members)
+                    .expect("label exists") as u32,
+            )
+        };
+        let a = find(&[0]);
+        let b = find(&[1]);
+        let ab = find(&[0, 1]);
+        let c = find(&[2]);
+        // {A} vs {B}: only pair (A,B) ∈ E ✓.
+        assert!(level.edge_allows(a, b));
+        // {A} vs {A}: pair (A,A) ∉ E ✗.
+        assert!(!level.edge_allows(a, a));
+        // {A,B} vs {C}: pairs (A,C), (B,C) ✓.
+        assert!(level.edge_allows(ab, c));
+        // {A,B} vs {B}: pair (B,B) ✗.
+        assert!(!level.edge_allows(ab, b));
+    }
+
+    #[test]
+    fn r_node_constraint_is_exists() {
+        let mut tower = ReTower::new(three_coloring());
+        tower
+            .push_r(ReOptions {
+                restrict: false,
+                ..ReOptions::default()
+            })
+            .unwrap();
+        let level = tower.level(1);
+        let find = |members: &[u32]| -> OutLabel {
+            OutLabel(
+                (0..tower.alphabet_size(1))
+                    .position(|l| tower.label_members(1, OutLabel(l as u32)) == members)
+                    .expect("label exists") as u32,
+            )
+        };
+        let a = find(&[0]);
+        let b = find(&[1]);
+        let ab = find(&[0, 1]);
+        // {A}, {A}: selection (A, A) ∈ N ✓ (coloring node configs are
+        // monochromatic).
+        assert!(level.node_allows(&[a, a]));
+        // {A}, {B}: selections (A,B) ∉ N ✗.
+        assert!(!level.node_allows(&[a, b]));
+        // {A,B}, {B}: selection (B,B) ✓.
+        assert!(level.node_allows(&[ab, b]));
+    }
+
+    #[test]
+    fn rbar_node_constraint_is_forall() {
+        let mut tower = ReTower::new(three_coloring());
+        let opts = ReOptions {
+            restrict: false,
+            ..ReOptions::default()
+        };
+        tower.push_r(opts).unwrap();
+        tower.push_rbar(opts).unwrap();
+        let level2 = tower.level(2);
+        // Build a map from member sets (of R-labels) to level-2 labels.
+        let size2 = tower.alphabet_size(2);
+        let find2 = |members: &[u32]| -> Option<OutLabel> {
+            (0..size2)
+                .position(|l| tower.label_members(2, OutLabel(l as u32)) == members)
+                .map(|l| OutLabel(l as u32))
+        };
+        // R-labels: find the singleton-set labels.
+        let size1 = tower.alphabet_size(1);
+        let r_find = |members: &[u32]| -> u32 {
+            (0..size1)
+                .position(|l| tower.label_members(1, OutLabel(l as u32)) == members)
+                .expect("label exists") as u32
+        };
+        let ra = r_find(&[0]); // {A}
+        let rb = r_find(&[1]); // {B}
+                               // Level-2 label {{A}}: all selections are ({A}): node config of
+                               // R(Π) needs a selection from {A}... which is (A), allowed for
+                               // degree 1. For degree 2: ({A},{A}) has selection (A,A) ✓.
+        let baa = find2(&[ra.min(rb), ra.max(rb)]).expect("{{A},{B}} exists");
+        // {{A},{B}} at degree 1: selections ({A}) ✓ and ({B}) ✓ — fine.
+        assert!(level2.node_allows(&[baa]));
+        // {{A},{B}}, {{A},{B}} at degree 2: selection ({A},{B}) is not an
+        // R-node-config (no base selection in N) ✗.
+        assert!(!level2.node_allows(&[baa, baa]));
+    }
+
+    #[test]
+    fn sinkless_orientation_survives_f() {
+        // Sinkless orientation is a round-elimination fixed point
+        // (Brandt 2019): the universe must stay small and nonempty.
+        let mut tower = ReTower::new(sinkless_orientation());
+        tower.push_f(ReOptions::default()).unwrap();
+        assert!(tower.alphabet_size(2) >= 1);
+        assert!(tower.alphabet_size(2) <= 7);
+    }
+
+    #[test]
+    fn restriction_shrinks_three_coloring_r() {
+        let mut full = ReTower::new(three_coloring());
+        full.push_r(ReOptions {
+            restrict: false,
+            ..ReOptions::default()
+        })
+        .unwrap();
+        let mut restricted = ReTower::new(three_coloring());
+        restricted.push_r(ReOptions::default()).unwrap();
+        assert!(restricted.alphabet_size(1) <= full.alphabet_size(1));
+        assert!(restricted.alphabet_size(1) >= 3);
+    }
+
+    #[test]
+    fn rbar_requires_r_on_top() {
+        let mut tower = ReTower::new(three_coloring());
+        assert_eq!(
+            tower.push_rbar(ReOptions::default()),
+            Err(ReError::RBarNeedsR)
+        );
+    }
+
+    #[test]
+    fn universe_cap_is_enforced() {
+        let p = LclProblem::parse("max-degree: 2\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n")
+            .unwrap();
+        let mut tower = ReTower::new(p);
+        let err = tower
+            .push_r(ReOptions {
+                max_parent_labels: 2,
+                ..ReOptions::default()
+            })
+            .unwrap_err();
+        assert!(matches!(err, ReError::UniverseTooLarge { .. }));
+    }
+
+    #[test]
+    fn g_rows_respect_inputs() {
+        // An input that forces a subset of outputs restricts the derived
+        // universe's g rows accordingly.
+        let p = LclProblem::parse(
+            "max-degree: 2\ninputs: free forced\noutputs: A B\nnodes:\nA* B*\nedges:\nA B\nA A\nB B\ng:\nfree -> A B\nforced -> B\n",
+        )
+        .unwrap();
+        let mut tower = ReTower::new(p);
+        tower
+            .push_r(ReOptions {
+                restrict: false,
+                ..ReOptions::default()
+            })
+            .unwrap();
+        let level = tower.level(1);
+        // The label {A, B} is allowed under input `free` but not `forced`.
+        let size = tower.alphabet_size(1);
+        let ab = (0..size)
+            .position(|l| tower.label_members(1, OutLabel(l as u32)) == [0, 1])
+            .expect("label exists");
+        assert!(level.input_allows(InLabel(0), OutLabel(ab as u32)));
+        assert!(!level.input_allows(InLabel(1), OutLabel(ab as u32)));
+        // {B} is allowed under both.
+        let b = (0..size)
+            .position(|l| tower.label_members(1, OutLabel(l as u32)) == [1])
+            .expect("label exists");
+        assert!(level.input_allows(InLabel(0), OutLabel(b as u32)));
+        assert!(level.input_allows(InLabel(1), OutLabel(b as u32)));
+    }
+}

@@ -1,0 +1,461 @@
+//! Deciding deterministic 0-round solvability and extracting the paper's
+//! `A_det` (proof of Theorem 3.10).
+//!
+//! A 0-round deterministic algorithm sees only its own degree and input
+//! tuple. On the class of forests `ℱ` the adversary can lay out *any* two
+//! ports facing each other, so a candidate algorithm given by a table
+//! `(degree, inputs) ↦ outputs` is correct **iff**
+//!
+//! 1. every output tuple is an allowed node configuration compatible with
+//!    `g`, and
+//! 2. the set `L` of all labels ever emitted is *reflexively
+//!    edge-compatible*: `{o, o'} ∈ ℰ` for all `o, o' ∈ L` (including
+//!    `o = o'` — two nodes with the same input tuple may face each other).
+//!
+//! This matches the three failure conditions derived for `A_det` in the
+//! proof of Theorem 3.10. The decision procedure enumerates maximal
+//! reflexive cliques of the edge-compatibility graph and searches, per
+//! clique and per `(degree, input multiset)`, for an allowed output
+//! configuration inside the clique.
+
+use std::collections::BTreeMap;
+
+use lcl::{InLabel, OutLabel, Problem};
+
+use crate::bits::{for_each_multiset, BitSet};
+
+/// The outcome of the 0-round decision.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ZeroRoundResult {
+    /// A deterministic 0-round algorithm exists; here it is.
+    Solvable(ZeroRoundAlgorithm),
+    /// No deterministic 0-round algorithm exists (exact, given the label
+    /// universe handed in).
+    Unsolvable,
+    /// The search hit its work cap before deciding.
+    Unknown,
+}
+
+impl ZeroRoundResult {
+    /// Whether the result is [`ZeroRoundResult::Solvable`].
+    pub fn is_solvable(&self) -> bool {
+        matches!(self, ZeroRoundResult::Solvable(_))
+    }
+}
+
+/// The extracted deterministic 0-round algorithm `A_det`: a function from
+/// `(degree, input tuple)` to an output tuple.
+///
+/// The table is keyed by *sorted* input multisets; [`outputs_for`] restores
+/// the port alignment.
+///
+/// [`outputs_for`]: ZeroRoundAlgorithm::outputs_for
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ZeroRoundAlgorithm {
+    /// `(degree, sorted inputs) -> outputs aligned with the sorted inputs`.
+    table: BTreeMap<(u8, Vec<InLabel>), Vec<OutLabel>>,
+    /// The reflexive clique the outputs are drawn from.
+    clique: Vec<OutLabel>,
+}
+
+impl ZeroRoundAlgorithm {
+    /// The reflexive-clique label set `L` the algorithm emits from.
+    pub fn label_set(&self) -> &[OutLabel] {
+        &self.clique
+    }
+
+    /// Number of table entries.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// The outputs for a node with the given input labels, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(degree, inputs)` combination is not in the table
+    /// (cannot happen for inputs drawn from the problem's alphabet).
+    pub fn outputs_for(&self, inputs: &[InLabel]) -> Vec<OutLabel> {
+        if inputs.is_empty() {
+            return Vec::new(); // isolated nodes label nothing
+        }
+        let mut order: Vec<usize> = (0..inputs.len()).collect();
+        order.sort_by_key(|&i| inputs[i]);
+        let sorted: Vec<InLabel> = order.iter().map(|&i| inputs[i]).collect();
+        let row = self
+            .table
+            .get(&(inputs.len() as u8, sorted))
+            .expect("input tuple covered by A_det table");
+        let mut out = vec![OutLabel(0); inputs.len()];
+        for (slot, &port) in order.iter().enumerate() {
+            out[port] = row[slot];
+        }
+        out
+    }
+}
+
+/// Caps for [`decide_zero_round`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ZeroRoundOptions {
+    /// Maximum number of maximal cliques examined.
+    pub max_cliques: usize,
+    /// Cap on output-configuration candidates tried per table entry.
+    pub per_entry_cap: usize,
+}
+
+impl Default for ZeroRoundOptions {
+    fn default() -> Self {
+        Self {
+            max_cliques: 10_000,
+            per_entry_cap: 2_000_000,
+        }
+    }
+}
+
+/// One table entry's precomputed candidates: output configurations that
+/// are node-allowed and `g`-matchable with the entry's input multiset.
+struct EntryCandidates {
+    degree: u8,
+    /// Sorted input multiset.
+    inputs: Vec<InLabel>,
+    /// Each candidate: the output tuple aligned with the sorted inputs,
+    /// plus the bitmask (over the output universe) of labels it uses.
+    candidates: Vec<(Vec<OutLabel>, BitSet)>,
+    /// Whether candidate enumeration was cut short by the work cap.
+    capped: bool,
+}
+
+/// Decides whether `problem` admits a deterministic 0-round algorithm on
+/// forests, over the full output universe `0..problem.output_count()`.
+///
+/// # Panics
+///
+/// Panics if the problem does not report a finite `output_count`.
+pub fn decide_zero_round(
+    problem: &(impl Problem + ?Sized),
+    opts: ZeroRoundOptions,
+) -> ZeroRoundResult {
+    let universe = problem
+        .output_count()
+        .expect("zero-round decision needs an enumerable output universe");
+    let delta = problem.max_degree() as usize;
+    let inputs = problem.input_count();
+
+    // Reflexive labels: usable at all (may face a twin of themselves).
+    let reflexive: Vec<usize> = (0..universe)
+        .filter(|&l| problem.edge_allows(OutLabel(l as u32), OutLabel(l as u32)))
+        .collect();
+    if reflexive.is_empty() {
+        return ZeroRoundResult::Unsolvable;
+    }
+    let reflexive_mask = BitSet::from_members(universe, reflexive.iter().copied());
+
+    // Precompute, per (degree, input multiset), every usable output
+    // configuration: node-allowed, g-matchable, and using only reflexive
+    // labels. Independent of the clique choice, so computed once.
+    let mut entries: Vec<EntryCandidates> = Vec::new();
+    let mut any_capped = false;
+    for d in 1..=delta {
+        for_each_multiset(inputs, d, usize::MAX, |input_ids| {
+            let ins: Vec<InLabel> = input_ids.iter().map(|&i| InLabel(i as u32)).collect();
+            let entry = collect_candidates(problem, &reflexive_mask, &ins, opts.per_entry_cap);
+            any_capped |= entry.capped;
+            entries.push(entry);
+            true
+        });
+    }
+    // An entry with no candidates at all kills every clique.
+    if entries.iter().any(|e| e.candidates.is_empty() && !e.capped) {
+        return ZeroRoundResult::Unsolvable;
+    }
+
+    // Compatibility graph among reflexive labels. Self-bits are omitted:
+    // Bron–Kerbosch expects a loop-free adjacency (reflexivity is already
+    // guaranteed by the vertex filter above).
+    let k = reflexive.len();
+    let rows: Vec<BitSet> = (0..k)
+        .map(|i| {
+            BitSet::from_members(
+                k,
+                (0..k).filter(|&j| {
+                    j != i
+                        && problem.edge_allows(
+                            OutLabel(reflexive[i] as u32),
+                            OutLabel(reflexive[j] as u32),
+                        )
+                }),
+            )
+        })
+        .collect();
+
+    // Enumerate maximal cliques (Bron–Kerbosch, no pivoting: universes are
+    // small after restriction).
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    let mut truncated = false;
+    bron_kerbosch(
+        &rows,
+        &mut Vec::new(),
+        BitSet::full(k),
+        BitSet::new(k),
+        &mut cliques,
+        opts.max_cliques,
+        &mut truncated,
+    );
+
+    // Prefer larger cliques: more labels, more freedom.
+    cliques.sort_by_key(|c| std::cmp::Reverse(c.len()));
+
+    'clique: for clique in &cliques {
+        // Clique as a mask over the full output universe.
+        let mask = BitSet::from_members(universe, clique.iter().map(|&i| reflexive[i]));
+        let mut table = BTreeMap::new();
+        for entry in &entries {
+            let hit = entry
+                .candidates
+                .iter()
+                .find(|(_, used)| used.is_subset_of(&mask));
+            match hit {
+                Some((outs, _)) => {
+                    table.insert((entry.degree, entry.inputs.clone()), outs.clone());
+                }
+                None => continue 'clique,
+            }
+        }
+        let labels = clique
+            .iter()
+            .map(|&i| OutLabel(reflexive[i] as u32))
+            .collect();
+        return ZeroRoundResult::Solvable(ZeroRoundAlgorithm {
+            table,
+            clique: labels,
+        });
+    }
+
+    if any_capped || truncated {
+        ZeroRoundResult::Unknown
+    } else {
+        ZeroRoundResult::Unsolvable
+    }
+}
+
+/// Enumerates output configurations for one `(degree, input multiset)`
+/// entry: sorted multisets over the reflexive labels that are node-allowed
+/// and admit a per-position `g`-matching with the inputs; stores the
+/// matched (input-aligned) tuple.
+fn collect_candidates(
+    problem: &(impl Problem + ?Sized),
+    reflexive_mask: &BitSet,
+    ins: &[InLabel],
+    cap: usize,
+) -> EntryCandidates {
+    let universe = reflexive_mask.universe();
+    let labels: Vec<OutLabel> = reflexive_mask.iter().map(|l| OutLabel(l as u32)).collect();
+    let d = ins.len();
+    let mut candidates = Vec::new();
+    let complete = for_each_multiset(labels.len(), d, cap, |combo| {
+        let config: Vec<OutLabel> = combo.iter().map(|&i| labels[i]).collect();
+        if !problem.node_allows(&config) {
+            return true;
+        }
+        if let Some(aligned) = match_inputs(problem, &config, ins) {
+            let used = BitSet::from_members(universe, config.iter().map(|l| l.index()));
+            candidates.push((aligned, used));
+        }
+        true
+    });
+    EntryCandidates {
+        degree: d as u8,
+        inputs: ins.to_vec(),
+        candidates,
+        capped: !complete,
+    }
+}
+
+/// Finds a permutation of `config` satisfying `g` against the (sorted)
+/// inputs positionally, via backtracking on positions.
+fn match_inputs(
+    problem: &(impl Problem + ?Sized),
+    config: &[OutLabel],
+    ins: &[InLabel],
+) -> Option<Vec<OutLabel>> {
+    let d = ins.len();
+    let mut used = vec![false; d];
+    let mut aligned = vec![OutLabel(0); d];
+    fn recurse(
+        problem: &(impl Problem + ?Sized),
+        config: &[OutLabel],
+        ins: &[InLabel],
+        used: &mut [bool],
+        aligned: &mut [OutLabel],
+        pos: usize,
+    ) -> bool {
+        if pos == ins.len() {
+            return true;
+        }
+        for i in 0..config.len() {
+            if used[i] {
+                continue;
+            }
+            // Skip duplicate labels at the same position.
+            if i > 0 && config[i] == config[i - 1] && !used[i - 1] {
+                continue;
+            }
+            if !problem.input_allows(ins[pos], config[i]) {
+                continue;
+            }
+            used[i] = true;
+            aligned[pos] = config[i];
+            if recurse(problem, config, ins, used, aligned, pos + 1) {
+                return true;
+            }
+            used[i] = false;
+        }
+        false
+    }
+    if recurse(problem, config, ins, &mut used, &mut aligned, 0) {
+        Some(aligned)
+    } else {
+        None
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bron_kerbosch(
+    rows: &[BitSet],
+    current: &mut Vec<usize>,
+    mut candidates: BitSet,
+    mut excluded: BitSet,
+    out: &mut Vec<Vec<usize>>,
+    cap: usize,
+    truncated: &mut bool,
+) {
+    if out.len() >= cap {
+        *truncated = true;
+        return;
+    }
+    if candidates.is_empty() && excluded.is_empty() {
+        out.push(current.clone());
+        return;
+    }
+    let members: Vec<usize> = candidates.iter().collect();
+    for v in members {
+        if !candidates.contains(v) {
+            continue;
+        }
+        let mut next_candidates = candidates.clone();
+        next_candidates.intersect_with(&rows[v]);
+        let mut next_excluded = excluded.clone();
+        next_excluded.intersect_with(&rows[v]);
+        current.push(v);
+        bron_kerbosch(
+            rows,
+            current,
+            next_candidates,
+            next_excluded,
+            out,
+            cap,
+            truncated,
+        );
+        current.pop();
+        candidates.remove(v);
+        excluded.insert(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl::LclProblem;
+
+    fn decide(p: &LclProblem) -> ZeroRoundResult {
+        decide_zero_round(p, ZeroRoundOptions::default())
+    }
+
+    #[test]
+    fn trivial_problem_is_zero_round() {
+        let p = LclProblem::parse("max-degree: 3\nnodes:\nX*\nedges:\nX X\n").unwrap();
+        let result = decide(&p);
+        assert!(result.is_solvable());
+        if let ZeroRoundResult::Solvable(alg) = result {
+            assert_eq!(alg.outputs_for(&[InLabel(0); 3]), vec![OutLabel(0); 3]);
+        }
+    }
+
+    #[test]
+    fn three_coloring_is_not_zero_round() {
+        let p = LclProblem::parse("max-degree: 3\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n")
+            .unwrap();
+        assert_eq!(decide(&p), ZeroRoundResult::Unsolvable);
+    }
+
+    #[test]
+    fn anti_matching_is_not_zero_round() {
+        // Edge constraint {X, Y} only: no reflexive label.
+        let p = LclProblem::parse("max-degree: 3\nnodes:\nX* Y*\nedges:\nX Y\n").unwrap();
+        assert_eq!(decide(&p), ZeroRoundResult::Unsolvable);
+    }
+
+    #[test]
+    fn input_dependent_table() {
+        // Inputs force different outputs; outputs X and Y are mutually and
+        // reflexively compatible, so a 0-round table exists.
+        let p = LclProblem::parse(
+            "max-degree: 2\ninputs: x y\noutputs: X Y\nnodes:\nX* Y*\nedges:\nX X\nX Y\nY Y\ng:\nx -> X\ny -> Y\n",
+        )
+        .unwrap();
+        let result = decide(&p);
+        assert!(result.is_solvable());
+        if let ZeroRoundResult::Solvable(alg) = result {
+            assert_eq!(
+                alg.outputs_for(&[InLabel(1), InLabel(0)]),
+                vec![OutLabel(1), OutLabel(0)]
+            );
+        }
+    }
+
+    #[test]
+    fn incompatible_forced_inputs_are_unsolvable() {
+        // Input x forces X, input y forces Y, but X and Y are not
+        // edge-compatible: a y-port may face an x-port, so no 0-round
+        // algorithm exists.
+        let p = LclProblem::parse(
+            "max-degree: 2\ninputs: x y\noutputs: X Y\nnodes:\nX* Y*\nedges:\nX X\nY Y\ng:\nx -> X\ny -> Y\n",
+        )
+        .unwrap();
+        assert_eq!(decide(&p), ZeroRoundResult::Unsolvable);
+    }
+
+    #[test]
+    fn node_constraint_can_block_cliques() {
+        // Labels P and Q pairwise compatible, but nodes of degree 2 only
+        // allow {P, P}; degree-1 nodes only {Q}: no single clique serves
+        // both degrees unless it contains both — which it can.
+        let p = LclProblem::parse(
+            "max-degree: 2\noutputs: P Q\nnodes:\nQ\nP P\nedges:\nP P\nP Q\nQ Q\n",
+        )
+        .unwrap();
+        let result = decide(&p);
+        assert!(result.is_solvable());
+        if let ZeroRoundResult::Solvable(alg) = result {
+            assert_eq!(alg.outputs_for(&[InLabel(0)]), vec![OutLabel(1)]);
+            assert_eq!(
+                alg.outputs_for(&[InLabel(0), InLabel(0)]),
+                vec![OutLabel(0), OutLabel(0)]
+            );
+        }
+    }
+
+    #[test]
+    fn port_alignment_is_restored() {
+        let p = LclProblem::parse(
+            "max-degree: 3\ninputs: x y\noutputs: X Y\nnodes:\nX* Y*\nedges:\nX X\nX Y\nY Y\ng:\nx -> X\ny -> Y\n",
+        )
+        .unwrap();
+        if let ZeroRoundResult::Solvable(alg) = decide(&p) {
+            let outs = alg.outputs_for(&[InLabel(1), InLabel(0), InLabel(1)]);
+            assert_eq!(outs, vec![OutLabel(1), OutLabel(0), OutLabel(1)]);
+        } else {
+            panic!("expected solvable");
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Radius-`T` views `B_G(v, T)` with the exact visibility rules of the
+//! paper's Definition 2.1.
+//!
+//! In a `T`-round LOCAL algorithm a node `v` is aware of
+//!
+//! * all nodes at distance at most `T` from `v`,
+//! * all edges that have at least one endpoint at distance at most `T - 1`,
+//! * all half-edges whose endpoint is at distance at most `T`.
+//!
+//! Note the subtlety this implies: two nodes both at distance exactly `T`
+//! may be adjacent in `G`, but the connecting edge is *not* part of the
+//! view; the corresponding ports appear as [`PortView::Outside`]. [`Ball`]
+//! reproduces these rules faithfully, which matters for the simulation step
+//! of the round-elimination argument (Section 3.2 enumerates exactly the
+//! possible one-hop extensions beyond such a view).
+
+use crate::graph::{Graph, HalfEdgeId, NodeId};
+
+/// What a node of a [`Ball`] sees through one of its ports.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PortView {
+    /// The edge is visible; it leads to ball-local node `node`, arriving
+    /// there at port `rev_port`.
+    Inside { node: u32, rev_port: u8 },
+    /// The half-edge is visible (its degree slot and input label exist) but
+    /// the edge behind it is not part of the view.
+    Outside,
+}
+
+/// One node of a [`Ball`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BallNode {
+    /// The node's id in the original graph.
+    pub original: NodeId,
+    /// Distance from the ball center.
+    pub dist: u32,
+    /// Per-port visibility, `ports.len()` equals the node's degree in `G`.
+    pub ports: Vec<PortView>,
+    /// Original half-edge ids, parallel to `ports`. Used to attach input
+    /// labels or identifiers to the view.
+    pub half_edges: Vec<HalfEdgeId>,
+}
+
+/// The radius-`T` view of a node, in deterministic BFS-port order
+/// (node 0 is the center).
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::{gen, NodeId, PortView};
+///
+/// let g = gen::path(5);
+/// let ball = g.ball(NodeId(2), 1);
+/// // Nodes 1, 2, 3 are visible; the far ports of nodes 1 and 3 are opaque.
+/// assert_eq!(ball.node_count(), 3);
+/// assert!(ball.nodes[1]
+///     .ports
+///     .iter()
+///     .any(|p| matches!(p, PortView::Outside)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ball {
+    /// The radius this view was extracted with.
+    pub radius: u32,
+    /// Ball nodes in BFS discovery order; index 0 is the center.
+    pub nodes: Vec<BallNode>,
+}
+
+impl Ball {
+    /// Number of nodes in the view.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The center's entry.
+    pub fn center(&self) -> &BallNode {
+        &self.nodes[0]
+    }
+
+    /// Looks up the ball-local index of an original node id, if visible.
+    pub fn local_index_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.iter().position(|b| b.original == v)
+    }
+
+    /// A canonical encoding of the view's topology together with one
+    /// caller-supplied value per half-edge (input labels, identifier ranks,
+    /// random bits, ...).
+    ///
+    /// Two balls produce equal keys if and only if there is an isomorphism
+    /// between them that maps center to center, respects port numbers, and
+    /// preserves the attached values. This is the notion of "isomorphic
+    /// neighborhoods" used throughout Section 3.2 of the paper.
+    pub fn canonical_key<F>(&self, mut attach: F) -> Vec<u64>
+    where
+        F: FnMut(HalfEdgeId) -> u64,
+    {
+        let mut key = Vec::with_capacity(self.nodes.len() * 4);
+        key.push(self.radius as u64);
+        key.push(self.nodes.len() as u64);
+        for node in &self.nodes {
+            key.push(u64::from(node.dist));
+            key.push(node.ports.len() as u64);
+            for (p, port) in node.ports.iter().enumerate() {
+                match *port {
+                    PortView::Inside { node: w, rev_port } => {
+                        key.push(2 + u64::from(w) * 64 + u64::from(rev_port));
+                    }
+                    PortView::Outside => key.push(1),
+                }
+                key.push(attach(node.half_edges[p]));
+            }
+        }
+        key
+    }
+
+    /// A canonical key of the topology alone (no half-edge values).
+    pub fn topology_key(&self) -> Vec<u64> {
+        self.canonical_key(|_| 0)
+    }
+
+    /// Builds a standalone [`Graph`] of the *visible* part of the view,
+    /// together with the map from new node ids to original ones.
+    ///
+    /// Ports in the extracted graph follow the order of visible ports at
+    /// each node (invisible ports are skipped), so degrees may be smaller
+    /// than in `G`; use [`BallNode::ports`] when exact ports matter.
+    pub fn visible_subgraph(&self) -> (Graph, Vec<NodeId>) {
+        let mut builder = crate::builder::GraphBuilder::new(self.nodes.len()).assume_simple();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for port in &node.ports {
+                if let PortView::Inside { node: w, .. } = *port {
+                    if (w as usize) > i {
+                        builder
+                            .add_edge(i, w as usize)
+                            .expect("ball-local edges are valid");
+                    }
+                }
+            }
+        }
+        let graph = builder.build().expect("balls are simple graphs");
+        let map = self.nodes.iter().map(|b| b.original).collect();
+        (graph, map)
+    }
+}
+
+impl Graph {
+    /// Extracts the radius-`radius` view of `center` (Definition 2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is out of bounds.
+    pub fn ball(&self, center: NodeId, radius: u32) -> Ball {
+        // BFS with deterministic port-order exploration.
+        let mut local = vec![u32::MAX; self.node_count()];
+        let mut order: Vec<NodeId> = Vec::new();
+        let mut dist: Vec<u32> = Vec::new();
+        local[center.index()] = 0;
+        order.push(center);
+        dist.push(0);
+        let mut head = 0usize;
+        while head < order.len() {
+            let v = order[head];
+            let d = dist[head];
+            head += 1;
+            if d == radius {
+                continue;
+            }
+            for u in self.neighbors_of(v) {
+                if local[u.index()] == u32::MAX {
+                    local[u.index()] = order.len() as u32;
+                    order.push(u);
+                    dist.push(d + 1);
+                }
+            }
+        }
+
+        let nodes = order
+            .iter()
+            .zip(&dist)
+            .map(|(&v, &dv)| {
+                let mut ports = Vec::with_capacity(self.degree(v) as usize);
+                let mut half_edges = Vec::with_capacity(self.degree(v) as usize);
+                for h in self.half_edges_of(v) {
+                    let w = self.neighbor(h);
+                    let dw = if local[w.index()] == u32::MAX {
+                        u32::MAX
+                    } else {
+                        dist[local[w.index()] as usize]
+                    };
+                    // Edge visible iff an endpoint lies within radius - 1.
+                    let visible = dv < radius || dw.saturating_add(1) <= radius;
+                    if visible {
+                        ports.push(PortView::Inside {
+                            node: local[w.index()],
+                            rev_port: self.port_of(self.twin(h)),
+                        });
+                    } else {
+                        ports.push(PortView::Outside);
+                    }
+                    half_edges.push(h);
+                }
+                BallNode {
+                    original: v,
+                    dist: dv,
+                    ports,
+                    half_edges,
+                }
+            })
+            .collect();
+
+        Ball { radius, nodes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn radius_zero_sees_only_half_edges() {
+        let g = gen::path(3);
+        let ball = g.ball(NodeId(1), 0);
+        assert_eq!(ball.node_count(), 1);
+        assert_eq!(ball.center().ports, vec![PortView::Outside; 2]);
+    }
+
+    #[test]
+    fn radius_one_on_path() {
+        let g = gen::path(5);
+        let ball = g.ball(NodeId(2), 1);
+        assert_eq!(ball.node_count(), 3);
+        // Center sees both edges.
+        assert!(ball
+            .center()
+            .ports
+            .iter()
+            .all(|p| matches!(p, PortView::Inside { .. })));
+        // Distance-1 nodes have one opaque port (their far edge).
+        for node in &ball.nodes[1..] {
+            let outside = node
+                .ports
+                .iter()
+                .filter(|p| matches!(p, PortView::Outside))
+                .count();
+            assert_eq!(outside, 1);
+        }
+    }
+
+    #[test]
+    fn boundary_boundary_edges_are_invisible() {
+        // Triangle: from any node at radius 1, the two neighbors are both at
+        // distance 1 and their connecting edge must be invisible.
+        let mut b = crate::GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        b.add_edge(2, 0).unwrap();
+        let g = b.build().unwrap();
+        let ball = g.ball(NodeId(0), 1);
+        assert_eq!(ball.node_count(), 3);
+        for node in &ball.nodes[1..] {
+            // Each neighbor sees the edge to the center and an opaque port
+            // where the boundary-boundary edge is.
+            let inside = node
+                .ports
+                .iter()
+                .filter(|p| matches!(p, PortView::Inside { node: 0, .. }))
+                .count();
+            assert_eq!(inside, 1);
+            assert!(node.ports.iter().any(|p| matches!(p, PortView::Outside)));
+        }
+    }
+
+    #[test]
+    fn canonical_key_is_isomorphism_invariant() {
+        // Two different centers of a long path have isomorphic interior
+        // views.
+        let g = gen::path(9);
+        let b1 = g.ball(NodeId(3), 2);
+        let b2 = g.ball(NodeId(5), 2);
+        assert_eq!(b1.topology_key(), b2.topology_key());
+        // An endpoint's view differs.
+        let b3 = g.ball(NodeId(0), 2);
+        assert_ne!(b1.topology_key(), b3.topology_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_attachments() {
+        let g = gen::path(9);
+        let b1 = g.ball(NodeId(3), 2);
+        let k_plain = b1.canonical_key(|_| 7);
+        let k_ids = b1.canonical_key(|h| u64::from(h.0));
+        assert_ne!(k_plain, k_ids);
+    }
+
+    #[test]
+    fn whole_graph_ball_covers_component() {
+        let g = gen::complete_tree(3, 2);
+        let ball = g.ball(NodeId(0), 10);
+        assert_eq!(ball.node_count(), g.node_count());
+        for node in &ball.nodes {
+            assert!(node
+                .ports
+                .iter()
+                .all(|p| matches!(p, PortView::Inside { .. })));
+        }
+    }
+
+    #[test]
+    fn visible_subgraph_matches_path_interior() {
+        let g = gen::path(7);
+        let ball = g.ball(NodeId(3), 2);
+        let (sub, map) = ball.visible_subgraph();
+        assert_eq!(sub.node_count(), 5);
+        assert_eq!(sub.edge_count(), 4);
+        assert_eq!(map[0], NodeId(3));
+    }
+
+    #[test]
+    fn ball_respects_rev_ports() {
+        let g = gen::cycle(6);
+        let ball = g.ball(NodeId(0), 2);
+        for (i, node) in ball.nodes.iter().enumerate() {
+            for (p, port) in node.ports.iter().enumerate() {
+                if let PortView::Inside { node: w, rev_port } = *port {
+                    // The twin port must point back.
+                    match ball.nodes[w as usize].ports[rev_port as usize] {
+                        PortView::Inside {
+                            node: back,
+                            rev_port: rp,
+                        } => {
+                            assert_eq!(back as usize, i);
+                            assert_eq!(rp as usize, p);
+                        }
+                        PortView::Outside => panic!("twin port must be visible"),
+                    }
+                }
+            }
+        }
+    }
+}

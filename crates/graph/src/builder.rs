@@ -1,0 +1,284 @@
+//! Incremental construction of port-numbered graphs.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{EdgeId, Graph, HalfEdgeId, NodeId};
+
+/// Error produced when a [`GraphBuilder`] is asked to build an invalid graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// An edge endpoint refers to a node `>= node_count`.
+    NodeOutOfRange { node: u32, node_count: u32 },
+    /// An edge connects a node to itself.
+    SelfLoop { node: u32 },
+    /// The same unordered pair appears twice.
+    ParallelEdge { a: u32, b: u32 },
+    /// A node exceeds the degree bound.
+    DegreeExceeded { node: u32, degree: u32, max: u32 },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            BuildError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (node count {node_count})")
+            }
+            BuildError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            BuildError::ParallelEdge { a, b } => {
+                write!(f, "parallel edge between {a} and {b}")
+            }
+            BuildError::DegreeExceeded { node, degree, max } => {
+                write!(f, "degree {degree} of node {node} exceeds bound {max}")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// Builder for [`Graph`].
+///
+/// Ports are assigned in edge-insertion order: the `k`-th edge added at a
+/// node occupies port `k` of that node. Generators rely on this to produce
+/// deterministic port numberings.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 2)?;
+/// let g = b.build()?;
+/// assert_eq!(g.edge_count(), 2);
+/// # Ok::<(), lcl_graph::BuildError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    node_count: u32,
+    edges: Vec<(u32, u32)>,
+    max_degree: Option<u32>,
+    check_parallel: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `node_count` nodes.
+    pub fn new(node_count: usize) -> Self {
+        Self {
+            node_count: node_count as u32,
+            edges: Vec::new(),
+            max_degree: None,
+            check_parallel: true,
+        }
+    }
+
+    /// Enforces a maximum degree at [`build`](Self::build) time.
+    pub fn with_max_degree(mut self, max_degree: u8) -> Self {
+        self.max_degree = Some(u32::from(max_degree));
+        self
+    }
+
+    /// Disables the parallel-edge check (it is `O(m log m)`); use when the
+    /// caller guarantees simplicity.
+    pub fn assume_simple(mut self) -> Self {
+        self.check_parallel = false;
+        self
+    }
+
+    /// Appends a fresh node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        id
+    }
+
+    /// Number of nodes currently declared.
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    /// Adds an undirected edge `{a, b}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NodeOutOfRange`] or [`BuildError::SelfLoop`]
+    /// immediately; parallel edges and degree violations are reported by
+    /// [`build`](Self::build).
+    pub fn add_edge(&mut self, a: usize, b: usize) -> Result<EdgeId, BuildError> {
+        let (a, b) = (a as u32, b as u32);
+        if a >= self.node_count {
+            return Err(BuildError::NodeOutOfRange {
+                node: a,
+                node_count: self.node_count,
+            });
+        }
+        if b >= self.node_count {
+            return Err(BuildError::NodeOutOfRange {
+                node: b,
+                node_count: self.node_count,
+            });
+        }
+        if a == b {
+            return Err(BuildError::SelfLoop { node: a });
+        }
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push((a, b));
+        Ok(id)
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::ParallelEdge`] if the same unordered pair was
+    /// added twice, or [`BuildError::DegreeExceeded`] if a node's degree
+    /// exceeds the configured bound (or `u8::MAX` otherwise).
+    pub fn build(self) -> Result<Graph, BuildError> {
+        let n = self.node_count as usize;
+        let mut degree = vec![0u32; n];
+        for &(a, b) in &self.edges {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let hard_cap = self.max_degree.unwrap_or(u32::from(u8::MAX));
+        for (v, &d) in degree.iter().enumerate() {
+            if d > hard_cap {
+                return Err(BuildError::DegreeExceeded {
+                    node: v as u32,
+                    degree: d,
+                    max: hard_cap,
+                });
+            }
+        }
+        if self.check_parallel {
+            let mut sorted: Vec<(u32, u32)> = self
+                .edges
+                .iter()
+                .map(|&(a, b)| (a.min(b), a.max(b)))
+                .collect();
+            sorted.sort_unstable();
+            for w in sorted.windows(2) {
+                if w[0] == w[1] {
+                    return Err(BuildError::ParallelEdge {
+                        a: w[0].0,
+                        b: w[0].1,
+                    });
+                }
+            }
+        }
+
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degree[v];
+        }
+        let m2 = self.edges.len() * 2;
+        let mut neighbors = vec![NodeId(0); m2];
+        let mut edge_ids = vec![EdgeId(0); m2];
+        let mut rev_ports = vec![0u8; m2];
+        let mut edge_halves = Vec::with_capacity(self.edges.len());
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+
+        for (idx, &(a, b)) in self.edges.iter().enumerate() {
+            let e = EdgeId(idx as u32);
+            let ha = cursor[a as usize];
+            cursor[a as usize] += 1;
+            let hb = cursor[b as usize];
+            cursor[b as usize] += 1;
+            neighbors[ha as usize] = NodeId(b);
+            neighbors[hb as usize] = NodeId(a);
+            edge_ids[ha as usize] = e;
+            edge_ids[hb as usize] = e;
+            rev_ports[ha as usize] = (hb - offsets[b as usize]) as u8;
+            rev_ports[hb as usize] = (ha - offsets[a as usize]) as u8;
+            let (lo, hi) = if ha < hb { (ha, hb) } else { (hb, ha) };
+            edge_halves.push([HalfEdgeId(lo), HalfEdgeId(hi)]);
+        }
+
+        let max_degree = degree.iter().copied().max().unwrap_or(0) as u8;
+        Ok(Graph::from_parts(
+            offsets,
+            neighbors,
+            edge_ids,
+            rev_ports,
+            edge_halves,
+            max_degree,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = GraphBuilder::new(2);
+        assert_eq!(b.add_edge(1, 1), Err(BuildError::SelfLoop { node: 1 }));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(0, 5),
+            Err(BuildError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_parallel_edges() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(1, 0).unwrap();
+        assert!(matches!(b.build(), Err(BuildError::ParallelEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_degree_violation() {
+        let mut b = GraphBuilder::new(4).with_max_degree(2);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(BuildError::DegreeExceeded { node: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn ports_follow_insertion_order() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        let g = b.build().unwrap();
+        let ns: Vec<_> = g.neighbors_of(NodeId(0)).collect();
+        assert_eq!(ns, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn add_node_extends_graph() {
+        let mut b = GraphBuilder::new(1);
+        let v = b.add_node();
+        assert_eq!(v, NodeId(1));
+        b.add_edge(0, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = GraphBuilder::new(3).build().unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let err = BuildError::SelfLoop { node: 7 };
+        assert!(err.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,442 @@
+//! The immutable, port-numbered graph representation.
+//!
+//! A [`Graph`] stores its adjacency structure in compressed sparse row (CSR)
+//! form. Half-edges are indices into the CSR arrays, so the half-edge
+//! `(v, e)` where `e` is the edge at port `p` of `v` has the id
+//! `offsets[v] + p`. This makes half-edge labelings plain `Vec`s indexed by
+//! [`HalfEdgeId`], which is the hot-path representation used by the
+//! verifiers and simulators.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are *structural* indices in `0..n`, not the LOCAL-model
+/// identifiers from a polynomial range; those are assigned separately by the
+/// simulator crates (see `lcl-local`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+/// Identifier of an (undirected) edge in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct EdgeId(pub u32);
+
+/// Identifier of a half-edge `(v, e)` in a [`Graph`].
+///
+/// Half-edges are the objects LCL problems label (Definition 2.2 of the
+/// paper). The id doubles as an index into labeling vectors.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct HalfEdgeId(pub u32);
+
+impl NodeId {
+    /// Returns the node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Returns the edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl HalfEdgeId {
+    /// Returns the half-edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for HalfEdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "h{}", self.0)
+    }
+}
+
+/// An immutable, port-numbered, bounded-degree graph.
+///
+/// Construct one through [`GraphBuilder`](crate::GraphBuilder) or a
+/// generator in [`gen`](crate::gen).
+///
+/// # Examples
+///
+/// ```
+/// use lcl_graph::{gen, NodeId};
+///
+/// let g = gen::cycle(4);
+/// assert_eq!(g.degree(NodeId(0)), 2);
+/// let h = g.half_edge(NodeId(0), 0);
+/// let twin = g.twin(h);
+/// assert_eq!(g.node_of(twin), g.neighbor(h));
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Graph {
+    /// CSR offsets; `offsets[v]..offsets[v + 1]` is the half-edge range of `v`.
+    offsets: Vec<u32>,
+    /// Neighbor node of each half-edge.
+    neighbors: Vec<NodeId>,
+    /// Edge id of each half-edge.
+    edge_ids: Vec<EdgeId>,
+    /// Port of the twin half-edge at the neighbor.
+    rev_ports: Vec<u8>,
+    /// Node that each half-edge belongs to (inverse of `offsets`).
+    owners: Vec<NodeId>,
+    /// The two half-edges of each edge, smaller id first.
+    edge_halves: Vec<[HalfEdgeId; 2]>,
+    /// Maximum degree over all nodes.
+    max_degree: u8,
+}
+
+impl Graph {
+    pub(crate) fn from_parts(
+        offsets: Vec<u32>,
+        neighbors: Vec<NodeId>,
+        edge_ids: Vec<EdgeId>,
+        rev_ports: Vec<u8>,
+        edge_halves: Vec<[HalfEdgeId; 2]>,
+        max_degree: u8,
+    ) -> Self {
+        let mut owners = vec![NodeId(0); neighbors.len()];
+        for v in 0..offsets.len().saturating_sub(1) {
+            for h in offsets[v]..offsets[v + 1] {
+                owners[h as usize] = NodeId(v as u32);
+            }
+        }
+        Self {
+            offsets,
+            neighbors,
+            edge_ids,
+            rev_ports,
+            owners,
+            edge_halves,
+            max_degree,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_halves.len()
+    }
+
+    /// Number of half-edges (`2 * edge_count`).
+    #[inline]
+    pub fn half_edge_count(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Maximum degree `Δ` of the graph.
+    #[inline]
+    pub fn max_degree(&self) -> u8 {
+        self.max_degree
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> u8 {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as u8
+    }
+
+    /// Iterator over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edge_count() as u32).map(EdgeId)
+    }
+
+    /// Iterator over all half-edges.
+    pub fn half_edges(&self) -> impl Iterator<Item = HalfEdgeId> + '_ {
+        (0..self.half_edge_count() as u32).map(HalfEdgeId)
+    }
+
+    /// The half-edge at port `port` of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port >= degree(v)`.
+    #[inline]
+    pub fn half_edge(&self, v: NodeId, port: u8) -> HalfEdgeId {
+        debug_assert!(port < self.degree(v), "port out of range");
+        HalfEdgeId(self.offsets[v.index()] + u32::from(port))
+    }
+
+    /// Iterator over the half-edges incident to `v`, in port order
+    /// (the set `H[v]` of the paper).
+    pub fn half_edges_of(&self, v: NodeId) -> impl Iterator<Item = HalfEdgeId> + '_ {
+        (self.offsets[v.index()]..self.offsets[v.index() + 1]).map(HalfEdgeId)
+    }
+
+    /// Iterator over the neighbors of `v`, in port order.
+    pub fn neighbors_of(&self, v: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        self.neighbors[lo..hi].iter().copied()
+    }
+
+    /// The node a half-edge belongs to (the `v` of `(v, e)`).
+    #[inline]
+    pub fn node_of(&self, h: HalfEdgeId) -> NodeId {
+        self.owners[h.index()]
+    }
+
+    /// The edge a half-edge belongs to (the `e` of `(v, e)`).
+    #[inline]
+    pub fn edge_of(&self, h: HalfEdgeId) -> EdgeId {
+        self.edge_ids[h.index()]
+    }
+
+    /// The node at the other end of the half-edge's edge.
+    #[inline]
+    pub fn neighbor(&self, h: HalfEdgeId) -> NodeId {
+        self.neighbors[h.index()]
+    }
+
+    /// The port of `h` at its own node.
+    #[inline]
+    pub fn port_of(&self, h: HalfEdgeId) -> u8 {
+        (h.0 - self.offsets[self.node_of(h).index()]) as u8
+    }
+
+    /// The twin half-edge: `(u, e)` for `h = (v, e)` with `e = {u, v}`.
+    #[inline]
+    pub fn twin(&self, h: HalfEdgeId) -> HalfEdgeId {
+        let u = self.neighbors[h.index()];
+        HalfEdgeId(self.offsets[u.index()] + u32::from(self.rev_ports[h.index()]))
+    }
+
+    /// The two half-edges of edge `e` (the set `H[e]` of the paper),
+    /// smaller id first.
+    #[inline]
+    pub fn halves_of_edge(&self, e: EdgeId) -> [HalfEdgeId; 2] {
+        self.edge_halves[e.index()]
+    }
+
+    /// The two endpoints of edge `e`.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> [NodeId; 2] {
+        let [a, b] = self.edge_halves[e.index()];
+        [self.node_of(a), self.node_of(b)]
+    }
+
+    /// Breadth-first distances from `source`, truncated at `cutoff`.
+    ///
+    /// Nodes farther than `cutoff` get `u32::MAX`.
+    pub fn bfs_distances(&self, source: NodeId, cutoff: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.node_count()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source.index()] = 0;
+        queue.push_back(source);
+        while let Some(v) = queue.pop_front() {
+            let d = dist[v.index()];
+            if d == cutoff {
+                continue;
+            }
+            for u in self.neighbors_of(v) {
+                if dist[u.index()] == u32::MAX {
+                    dist[u.index()] = d + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Eccentricity of `source`: the maximum BFS distance to any reachable node.
+    pub fn eccentricity(&self, source: NodeId) -> u32 {
+        self.bfs_distances(source, u32::MAX)
+            .into_iter()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Connected component ids (`0..k`) and the component count.
+    pub fn components(&self) -> (Vec<u32>, usize) {
+        let mut comp = vec![u32::MAX; self.node_count()];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for v in self.nodes() {
+            if comp[v.index()] != u32::MAX {
+                continue;
+            }
+            comp[v.index()] = next;
+            stack.push(v);
+            while let Some(u) = stack.pop() {
+                for w in self.neighbors_of(u) {
+                    if comp[w.index()] == u32::MAX {
+                        comp[w.index()] = next;
+                        stack.push(w);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next as usize)
+    }
+
+    /// Whether the graph is acyclic (a forest).
+    pub fn is_forest(&self) -> bool {
+        let (_, k) = self.components();
+        self.edge_count() + k == self.node_count()
+    }
+
+    /// Whether the graph is connected and acyclic (a tree).
+    pub fn is_tree(&self) -> bool {
+        let (_, k) = self.components();
+        k == 1 && self.edge_count() + 1 == self.node_count()
+    }
+
+    /// The girth (length of a shortest cycle), or `None` if the graph is a
+    /// forest. Runs one truncated BFS per node; intended for test-sized
+    /// graphs.
+    pub fn girth(&self) -> Option<u32> {
+        let mut best: Option<u32> = None;
+        for s in self.nodes() {
+            // BFS tracking parent edge; a non-tree edge at depths d1, d2
+            // closes a cycle of length d1 + d2 + 1.
+            let mut dist = vec![u32::MAX; self.node_count()];
+            let mut parent_edge = vec![EdgeId(u32::MAX); self.node_count()];
+            let mut queue = std::collections::VecDeque::new();
+            dist[s.index()] = 0;
+            queue.push_back(s);
+            while let Some(v) = queue.pop_front() {
+                for h in self.half_edges_of(v) {
+                    let e = self.edge_of(h);
+                    if e == parent_edge[v.index()] {
+                        continue;
+                    }
+                    let u = self.neighbor(h);
+                    if dist[u.index()] == u32::MAX {
+                        dist[u.index()] = dist[v.index()] + 1;
+                        parent_edge[u.index()] = e;
+                        queue.push_back(u);
+                    } else {
+                        let len = dist[v.index()] + dist[u.index()] + 1;
+                        if best.is_none_or(|b| len < b) {
+                            best = Some(len);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn path_structure() {
+        let g = gen::path(4);
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.half_edge_count(), 6);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!(g.is_tree());
+        assert!(g.is_forest());
+        assert_eq!(g.girth(), None);
+    }
+
+    #[test]
+    fn cycle_structure() {
+        let g = gen::cycle(5);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 5);
+        assert!(!g.is_forest());
+        assert_eq!(g.girth(), Some(5));
+    }
+
+    #[test]
+    fn twin_involution() {
+        let g = gen::cycle(6);
+        for h in g.half_edges() {
+            let t = g.twin(h);
+            assert_ne!(h, t);
+            assert_eq!(g.twin(t), h);
+            assert_eq!(g.edge_of(h), g.edge_of(t));
+            assert_eq!(g.node_of(t), g.neighbor(h));
+        }
+    }
+
+    #[test]
+    fn ports_are_consistent() {
+        let g = gen::complete_tree(3, 2);
+        for v in g.nodes() {
+            for (p, h) in g.half_edges_of(v).enumerate() {
+                assert_eq!(g.node_of(h), v);
+                assert_eq!(g.port_of(h), p as u8);
+                assert_eq!(g.half_edge(v, p as u8), h);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_halves_cover_all_half_edges() {
+        let g = gen::complete_tree(3, 3);
+        let mut seen = vec![false; g.half_edge_count()];
+        for e in g.edges() {
+            let [a, b] = g.halves_of_edge(e);
+            assert!(a < b);
+            assert_eq!(g.edge_of(a), e);
+            assert_eq!(g.edge_of(b), e);
+            seen[a.index()] = true;
+            seen[b.index()] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = gen::path(6);
+        let d = g.bfs_distances(NodeId(0), u32::MAX);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let d = g.bfs_distances(NodeId(0), 2);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn eccentricity_and_components() {
+        let g = gen::path(7);
+        assert_eq!(g.eccentricity(NodeId(3)), 3);
+        assert_eq!(g.eccentricity(NodeId(0)), 6);
+        let (comp, k) = g.components();
+        assert_eq!(k, 1);
+        assert!(comp.iter().all(|&c| c == 0));
+    }
+}

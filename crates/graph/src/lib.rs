@@ -1,0 +1,42 @@
+//! Port-numbered bounded-degree graph substrate for the LCL landscape suite.
+//!
+//! This crate provides the graph-theoretic foundation used by every other
+//! crate in the workspace, mirroring the preliminaries of *The Landscape of
+//! Distributed Complexities on Trees and Beyond* (PODC 2022), Section 2:
+//!
+//! * [`Graph`] — an immutable, port-numbered graph of maximum degree `Δ`.
+//!   Every node `v` has ports `0..deg(v)` and every edge is incident to a
+//!   unique port at each endpoint, exactly as required by Definition 2.1 of
+//!   the paper ("each graph comes with a port numbering").
+//! * [`HalfEdgeId`] — half-edges `(v, e)` are first-class: LCL problems label
+//!   half-edges (Definition 2.2), so the representation is built around them.
+//! * [`Ball`] — the radius-`T` view `B_G(v, T)` of a node, with the exact
+//!   visibility rules of Definition 2.1 (all nodes in distance `≤ T`, all
+//!   edges with an endpoint in distance `≤ T-1`, all half-edges whose
+//!   endpoint is in distance `≤ T`).
+//! * [`gen`] — deterministic and randomized generators for the graph classes
+//!   the paper quantifies over: paths, cycles, trees `𝒯`, forests `ℱ`, and
+//!   `d`-dimensional oriented toroidal grids.
+//!
+//! # Examples
+//!
+//! ```
+//! use lcl_graph::gen;
+//!
+//! let g = gen::path(5);
+//! assert_eq!(g.node_count(), 5);
+//! assert_eq!(g.edge_count(), 4);
+//! let ball = g.ball(lcl_graph::NodeId(2), 1);
+//! assert_eq!(ball.node_count(), 3);
+//! ```
+
+pub mod ball;
+pub mod builder;
+pub mod gen;
+pub mod graph;
+pub mod line;
+pub mod math;
+
+pub use ball::{Ball, BallNode, PortView};
+pub use builder::{BuildError, GraphBuilder};
+pub use graph::{EdgeId, Graph, HalfEdgeId, NodeId};

@@ -1,0 +1,80 @@
+//! Line graphs: the substrate for edge-labeling problems solved by
+//! simulating node algorithms "one level up" (edge coloring of `G` is
+//! vertex coloring of `L(G)`).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{EdgeId, Graph};
+
+/// The line graph `L(G)`: one node per edge of `G`, adjacent iff the edges
+/// share an endpoint. Returns the graph together with the mapping from
+/// `L(G)`-node index to the original [`EdgeId`] (the inverse is the
+/// identity: `L(G)`-node `i` is edge `i`).
+///
+/// `L(G)` has maximum degree `2(Δ - 1)` for `G` of maximum degree `Δ`.
+pub fn line_graph(g: &Graph) -> (Graph, Vec<EdgeId>) {
+    let m = g.edge_count();
+    let mut builder = GraphBuilder::new(m);
+    // Edges of L(G): for each node of G, all pairs of incident edges.
+    let mut seen = std::collections::HashSet::new();
+    for v in g.nodes() {
+        let incident: Vec<EdgeId> = g.half_edges_of(v).map(|h| g.edge_of(h)).collect();
+        for (i, &a) in incident.iter().enumerate() {
+            for &b in &incident[i + 1..] {
+                let key = (a.min(b), a.max(b));
+                if seen.insert(key) {
+                    builder
+                        .add_edge(a.index(), b.index())
+                        .expect("edge ids are in range");
+                }
+            }
+        }
+    }
+    let graph = builder.build().expect("line graphs are simple");
+    let map = (0..m as u32).map(EdgeId).collect();
+    (graph, map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::graph::NodeId;
+
+    #[test]
+    fn line_graph_of_a_path_is_a_path() {
+        let g = gen::path(5);
+        let (l, map) = line_graph(&g);
+        assert_eq!(l.node_count(), 4);
+        assert_eq!(l.edge_count(), 3);
+        assert!(l.is_tree());
+        assert_eq!(map.len(), 4);
+    }
+
+    #[test]
+    fn line_graph_of_a_star_is_complete() {
+        let g = gen::star(3);
+        let (l, _) = line_graph(&g);
+        assert_eq!(l.node_count(), 3);
+        assert_eq!(l.edge_count(), 3); // triangle
+        assert_eq!(l.girth(), Some(3));
+    }
+
+    #[test]
+    fn line_graph_degree_bound() {
+        let g = gen::random_tree(40, 4, 3);
+        let (l, _) = line_graph(&g);
+        assert!(l.max_degree() <= 2 * (g.max_degree() - 1));
+    }
+
+    #[test]
+    fn line_graph_of_cycle_is_cycle() {
+        let g = gen::cycle(6);
+        let (l, _) = line_graph(&g);
+        assert_eq!(l.node_count(), 6);
+        assert_eq!(l.edge_count(), 6);
+        for v in l.nodes() {
+            assert_eq!(l.degree(v), 2);
+        }
+        let _ = NodeId(0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Small numeric helpers used across the workspace: `log*`, integer logs,
+//! saturating power towers, and integer roots.
+//!
+//! These are the quantities the paper's statements are phrased in
+//! (`log* n`, `log log* n`, `n^{1/k}`, power towers of height `2T + 3`).
+
+/// `⌊log2 x⌋` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn log2_floor(x: u64) -> u32 {
+    assert!(x > 0, "log2_floor of zero");
+    63 - x.leading_zeros()
+}
+
+/// `⌈log2 x⌉` for `x ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `x == 0`.
+pub fn log2_ceil(x: u64) -> u32 {
+    assert!(x > 0, "log2_ceil of zero");
+    if x == 1 {
+        0
+    } else {
+        64 - (x - 1).leading_zeros()
+    }
+}
+
+/// The iterated logarithm `log* x` (base 2): the number of times `log2`
+/// must be applied to `x` until the result is at most 1.
+///
+/// `log_star(1) == 0`, `log_star(2) == 1`, `log_star(4) == 2`,
+/// `log_star(16) == 3`, `log_star(65536) == 4`.
+pub fn log_star(x: u64) -> u32 {
+    let mut x = x as f64;
+    let mut count = 0;
+    while x > 1.0 {
+        x = x.log2();
+        count += 1;
+    }
+    count
+}
+
+/// `log log* x` rounded down, with `log log*(x) = 0` whenever
+/// `log* x <= 1`. Used for the dense-region series of Figure 1.
+pub fn log_log_star(x: u64) -> u32 {
+    let ls = log_star(x);
+    if ls <= 1 {
+        0
+    } else {
+        log2_floor(u64::from(ls))
+    }
+}
+
+/// A power tower `2^2^...^2^top` of the given `height`, saturating at
+/// `u64::MAX`. `power_tower(0, t) == t`.
+pub fn power_tower(height: u32, top: u64) -> u64 {
+    let mut value = top;
+    for _ in 0..height {
+        if value >= 64 {
+            return u64::MAX;
+        }
+        value = 1u64 << value;
+    }
+    value
+}
+
+/// `⌊x^{1/k}⌋` for `k ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn nth_root_floor(x: u64, k: u32) -> u64 {
+    assert!(k > 0, "0th root");
+    if k == 1 || x <= 1 {
+        return x;
+    }
+    let mut r = (x as f64).powf(1.0 / f64::from(k)).round() as u64;
+    // Fix up floating point error.
+    while r > 0 && checked_pow(r, k).is_none_or(|p| p > x) {
+        r -= 1;
+    }
+    while checked_pow(r + 1, k).is_some_and(|p| p <= x) {
+        r += 1;
+    }
+    r
+}
+
+fn checked_pow(base: u64, exp: u32) -> Option<u64> {
+    let mut acc: u64 = 1;
+    for _ in 0..exp {
+        acc = acc.checked_mul(base)?;
+    }
+    Some(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_bounds() {
+        assert_eq!(log2_floor(1), 0);
+        assert_eq!(log2_floor(2), 1);
+        assert_eq!(log2_floor(3), 1);
+        assert_eq!(log2_floor(1024), 10);
+        assert_eq!(log2_ceil(1), 0);
+        assert_eq!(log2_ceil(2), 1);
+        assert_eq!(log2_ceil(3), 2);
+        assert_eq!(log2_ceil(1025), 11);
+    }
+
+    #[test]
+    fn log_star_landmarks() {
+        assert_eq!(log_star(1), 0);
+        assert_eq!(log_star(2), 1);
+        assert_eq!(log_star(4), 2);
+        assert_eq!(log_star(16), 3);
+        assert_eq!(log_star(65536), 4);
+        assert_eq!(log_star(u64::MAX), 5);
+    }
+
+    #[test]
+    fn log_log_star_is_monotone_and_tiny() {
+        assert_eq!(log_log_star(2), 0);
+        assert_eq!(log_log_star(65536), 2);
+        let mut prev = 0;
+        for e in 1..63 {
+            let v = log_log_star(1u64 << e);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn power_tower_values() {
+        assert_eq!(power_tower(0, 3), 3);
+        assert_eq!(power_tower(1, 3), 8);
+        assert_eq!(power_tower(2, 2), 16);
+        assert_eq!(power_tower(3, 2), 65536);
+        assert_eq!(power_tower(4, 2), u64::MAX); // 2^65536 saturates
+    }
+
+    #[test]
+    fn nth_root_values() {
+        assert_eq!(nth_root_floor(27, 3), 3);
+        assert_eq!(nth_root_floor(26, 3), 2);
+        assert_eq!(nth_root_floor(1 << 40, 2), 1 << 20);
+        assert_eq!(nth_root_floor(0, 5), 0);
+        assert_eq!(nth_root_floor(1, 5), 1);
+        assert_eq!(nth_root_floor(u64::MAX, 1), u64::MAX);
+    }
+}

@@ -1,0 +1,354 @@
+//! Executing PROD-LOCAL algorithms on oriented grids.
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+
+use crate::grid::OrientedGrid;
+use crate::ids::ProdIds;
+use crate::view::{GridView, RankGridView};
+
+/// A PROD-LOCAL algorithm (Definition 5.2): a function from box views with
+/// per-dimension identifiers to the center's `2d` half-edge outputs.
+pub trait ProdLocalAlgorithm {
+    /// The radius `T(n)`.
+    fn radius(&self, n: usize) -> u32;
+
+    /// Outputs for the center's ports (`2d` labels, port order: `+0, -0,
+    /// +1, -1, ...`).
+    fn label(&self, view: &GridView) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// An order-invariant PROD-LOCAL algorithm: a function of the rank view
+/// only (the hypothesis of Proposition 5.5).
+pub trait OrderInvariantProdAlgorithm {
+    /// The radius `T(n)`.
+    fn radius(&self, n: usize) -> u32;
+
+    /// Outputs for the center's ports.
+    fn label(&self, view: &RankGridView) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// The result of a PROD-LOCAL run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProdRun {
+    /// The produced half-edge labeling on the grid's graph.
+    pub output: HalfEdgeLabeling<OutLabel>,
+    /// The radius used for this `n`.
+    pub radius: u32,
+}
+
+fn build_view(
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    center: lcl_graph::NodeId,
+    radius: u32,
+    n: usize,
+) -> GridView {
+    let d = grid.dimension_count();
+    let t = radius as i64;
+    let coords = grid.coords(center);
+    let view_ids: Vec<Vec<u64>> = (0..d)
+        .map(|k| {
+            let s = grid.dims()[k] as i64;
+            (-t..=t)
+                .map(|o| {
+                    let c = (((coords[k] as i64 + o) % s + s) % s) as usize;
+                    ids.id(k, c)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Enumerate window nodes in mixed-radix order (dimension 0 fastest).
+    let side = 2 * radius as usize + 1;
+    let window = side.pow(d as u32);
+    let mut inputs = Vec::with_capacity(window * 2 * d);
+    let mut offsets = vec![-t; d];
+    for _ in 0..window {
+        let w = grid.offset(center, &offsets);
+        for h in grid.graph().half_edges_of(w) {
+            inputs.push(input.get(h));
+        }
+        // Increment mixed-radix counter.
+        for item in offsets.iter_mut() {
+            if *item < t {
+                *item += 1;
+                break;
+            }
+            *item = -t;
+        }
+    }
+
+    GridView {
+        d,
+        radius,
+        n,
+        ids: view_ids,
+        inputs,
+    }
+}
+
+/// Runs a PROD-LOCAL algorithm on an oriented grid.
+pub fn run_prod_local(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+) -> ProdRun {
+    let n = n_announced.unwrap_or_else(|| grid.node_count());
+    let radius = alg.radius(n);
+    let output = HalfEdgeLabeling::from_node_fn(grid.graph(), |v| {
+        let view = build_view(grid, input, ids, v, radius, n);
+        let labels = alg.label(&view);
+        assert_eq!(
+            labels.len(),
+            2 * grid.dimension_count(),
+            "algorithm {} must label all 2d ports",
+            alg.name()
+        );
+        labels
+    });
+    ProdRun { output, radius }
+}
+
+/// Runs an order-invariant PROD-LOCAL algorithm (the identifiers only
+/// contribute their relative order).
+pub fn run_order_invariant_prod(
+    alg: &(impl OrderInvariantProdAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+) -> ProdRun {
+    struct Adapter<'a, A: ?Sized>(&'a A);
+    impl<A: OrderInvariantProdAlgorithm + ?Sized> ProdLocalAlgorithm for Adapter<'_, A> {
+        fn radius(&self, n: usize) -> u32 {
+            self.0.radius(n)
+        }
+        fn label(&self, view: &GridView) -> Vec<OutLabel> {
+            self.0.label(&view.to_ranks())
+        }
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+    }
+    run_prod_local(&Adapter(alg), grid, input, ids, n_announced)
+}
+
+/// Empirically checks PROD-LOCAL order invariance: reruns the algorithm
+/// under order-preserving resamplings of the per-dimension identifiers
+/// and compares outputs. `false` is a definite counterexample (the
+/// Proposition 5.4 hypothesis fails); `true` is evidence.
+pub fn is_empirically_order_invariant_prod(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    base_ids: &ProdIds,
+    samples: usize,
+    seed: u64,
+) -> bool {
+    let baseline = run_prod_local(alg, grid, input, base_ids, None);
+    for s in 0..samples {
+        let fresh = base_ids.resample_order_preserving(seed.wrapping_add(s as u64));
+        let run = run_prod_local(alg, grid, input, &fresh, None);
+        if run.output != baseline.output {
+            return false;
+        }
+    }
+    true
+}
+
+/// A [`ProdLocalAlgorithm`] built from closures.
+pub struct FnProdAlgorithm<R, F> {
+    name: String,
+    radius: R,
+    label: F,
+}
+
+impl<R, F> FnProdAlgorithm<R, F>
+where
+    R: Fn(usize) -> u32,
+    F: Fn(&GridView) -> Vec<OutLabel>,
+{
+    /// Creates an algorithm from a radius function and a labeling function.
+    pub fn new(name: &str, radius: R, label: F) -> Self {
+        Self {
+            name: name.to_string(),
+            radius,
+            label,
+        }
+    }
+}
+
+impl<R, F> ProdLocalAlgorithm for FnProdAlgorithm<R, F>
+where
+    R: Fn(usize) -> u32,
+    F: Fn(&GridView) -> Vec<OutLabel>,
+{
+    fn radius(&self, n: usize) -> u32 {
+        (self.radius)(n)
+    }
+
+    fn label(&self, view: &GridView) -> Vec<OutLabel> {
+        (self.label)(view)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<R, F> std::fmt::Debug for FnProdAlgorithm<R, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnProdAlgorithm")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn views_carry_slice_ids() {
+        let grid = OrientedGrid::new(&[4, 5]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        // Every node outputs 1 iff its dim-0 id is the smallest visible
+        // dim-0 slice id.
+        let alg = FnProdAlgorithm::new(
+            "min-slice",
+            |_| 1,
+            |view| {
+                let mine = view.id(0, 0);
+                let min = (-1..=1).map(|o| view.id(0, o)).min().unwrap();
+                vec![OutLabel(u32::from(mine == min)); 2 * view.d]
+            },
+        );
+        let run = run_prod_local(&alg, &grid, &input, &ids, None);
+        assert_eq!(run.radius, 1);
+        // With sequential ids, coordinate 0 is the smallest among {3,0,1}
+        // (wrapping at side 4): nodes with x=0 adjacent to x=3 and x=1.
+        let v = grid.node_at(&[0, 2]);
+        let h = grid.graph().half_edge(v, 0);
+        assert_eq!(run.output.get(h), OutLabel(1));
+        let w = grid.node_at(&[2, 2]);
+        let h = grid.graph().half_edge(w, 0);
+        assert_eq!(run.output.get(h), OutLabel(0));
+    }
+
+    #[test]
+    fn order_invariant_run_ignores_id_values() {
+        let grid = OrientedGrid::new(&[3, 3]);
+        let input = lcl::uniform_input(grid.graph());
+        struct MinRank;
+        impl OrderInvariantProdAlgorithm for MinRank {
+            fn radius(&self, _n: usize) -> u32 {
+                1
+            }
+            fn label(&self, view: &RankGridView) -> Vec<OutLabel> {
+                let is_min =
+                    (0..view.d).all(|k| (-1..=1).all(|o| view.rank(k, 0) <= view.rank(k, o)));
+                vec![OutLabel(u32::from(is_min)); 2 * view.d]
+            }
+        }
+        let a = ProdIds::random_polynomial(&grid, 3, 5);
+        let b = a.resample_order_preserving(77);
+        let run_a = run_order_invariant_prod(&MinRank, &grid, &input, &a, None);
+        let run_b = run_order_invariant_prod(&MinRank, &grid, &input, &b, None);
+        assert_eq!(run_a.output, run_b.output);
+    }
+
+    #[test]
+    fn order_invariance_checker_separates() {
+        let grid = OrientedGrid::new(&[4, 4]);
+        let input = lcl::uniform_input(grid.graph());
+        let ids = ProdIds::random_polynomial(&grid, 3, 3);
+        // Rank-based: invariant.
+        struct MinRank;
+        impl OrderInvariantProdAlgorithm for MinRank {
+            fn radius(&self, _n: usize) -> u32 {
+                1
+            }
+            fn label(&self, view: &RankGridView) -> Vec<OutLabel> {
+                let is_min = (-1..=1).all(|o| view.rank(0, 0) <= view.rank(0, o));
+                vec![OutLabel(u32::from(is_min)); 2 * view.d]
+            }
+        }
+        struct AsProd(MinRank);
+        impl ProdLocalAlgorithm for AsProd {
+            fn radius(&self, n: usize) -> u32 {
+                self.0.radius(n)
+            }
+            fn label(&self, view: &GridView) -> Vec<OutLabel> {
+                self.0.label(&view.to_ranks())
+            }
+        }
+        assert!(is_empirically_order_invariant_prod(
+            &AsProd(MinRank),
+            &grid,
+            &input,
+            &ids,
+            6,
+            9
+        ));
+        // Value-based: not invariant.
+        let parity = FnProdAlgorithm::new(
+            "parity",
+            |_| 0,
+            |view| vec![OutLabel((view.id(0, 0) % 2) as u32); 2 * view.d],
+        );
+        assert!(!is_empirically_order_invariant_prod(
+            &parity, &grid, &input, &ids, 12, 9
+        ));
+    }
+
+    #[test]
+    fn window_wraps_on_small_torus() {
+        let grid = OrientedGrid::new(&[3, 3]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        // Radius 2 window (side 5) on a side-3 torus wraps: slices repeat.
+        let alg = FnProdAlgorithm::new(
+            "wrap",
+            |_| 2,
+            |view| {
+                assert_eq!(view.id(0, -2), view.id(0, 1));
+                assert_eq!(view.id(1, 2), view.id(1, -1));
+                vec![OutLabel(0); 2 * view.d]
+            },
+        );
+        let _ = run_prod_local(&alg, &grid, &input, &ids, None);
+    }
+
+    #[test]
+    fn center_of_view_is_the_node() {
+        let grid = OrientedGrid::new(&[4, 4]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        let alg = FnProdAlgorithm::new(
+            "echo-x",
+            |_| 0,
+            |view| {
+                // With sequential ids, dim-0 id equals the x coordinate.
+                vec![OutLabel(view.id(0, 0) as u32); 2 * view.d]
+            },
+        );
+        let run = run_prod_local(&alg, &grid, &input, &ids, None);
+        let v = grid.node_at(&[3, 1]);
+        let h = grid.graph().half_edge(v, 0);
+        assert_eq!(run.output.get(h), OutLabel(3));
+    }
+}

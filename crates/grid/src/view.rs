@@ -1,0 +1,185 @@
+//! Box-shaped views of the PROD-LOCAL model.
+
+use lcl::InLabel;
+
+/// What a node sees in a `T`-round PROD-LOCAL algorithm: the box
+/// `[-T, T]^d` of offsets around it (the torus wraps, so the box always
+/// exists), the per-dimension identifiers of every coordinate slice in the
+/// box, and the input labels of every half-edge in the box.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GridView {
+    /// Number of dimensions.
+    pub d: usize,
+    /// View radius `T`.
+    pub radius: u32,
+    /// Announced number of nodes.
+    pub n: usize,
+    /// `ids[k][t]` = identifier of the coordinate slice at offset
+    /// `t - T` in dimension `k` (so `ids[k][T]` is the center's).
+    pub ids: Vec<Vec<u64>>,
+    /// Input labels: for each window node (mixed-radix over offsets,
+    /// dimension 0 fastest) its `2d` half-edge labels in port order.
+    pub inputs: Vec<InLabel>,
+}
+
+impl GridView {
+    /// Window side length `2T + 1`.
+    pub fn side(&self) -> usize {
+        2 * self.radius as usize + 1
+    }
+
+    /// Flat index of the window node at the given offsets
+    /// (each in `[-T, T]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an offset is out of range.
+    pub fn node_index(&self, offsets: &[i64]) -> usize {
+        let t = self.radius as i64;
+        let side = self.side() as i64;
+        let mut idx: i64 = 0;
+        for k in (0..self.d).rev() {
+            let o = offsets[k];
+            assert!((-t..=t).contains(&o), "offset out of view");
+            idx = idx * side + (o + t);
+        }
+        idx as usize
+    }
+
+    /// The input label at `port` of the window node at `offsets`.
+    pub fn input_at(&self, offsets: &[i64], port: u8) -> InLabel {
+        self.inputs[self.node_index(offsets) * 2 * self.d + port as usize]
+    }
+
+    /// The identifier of the coordinate slice at `offset` in dimension `k`.
+    pub fn id(&self, k: usize, offset: i64) -> u64 {
+        self.ids[k][(offset + self.radius as i64) as usize]
+    }
+
+    /// The center's `d` identifiers.
+    pub fn center_ids(&self) -> Vec<u64> {
+        (0..self.d).map(|k| self.id(k, 0)).collect()
+    }
+
+    /// Converts to the order-invariant view: every identifier replaced by
+    /// its rank among all identifiers in the view (the global comparison
+    /// of Definition 5.2's order-indistinguishability).
+    pub fn to_ranks(&self) -> RankGridView {
+        let mut all: Vec<u64> = self.ids.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        let ranks = self
+            .ids
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|id| all.binary_search(id).expect("id present") as u32)
+                    .collect()
+            })
+            .collect();
+        RankGridView {
+            d: self.d,
+            radius: self.radius,
+            n: self.n,
+            ranks,
+            inputs: self.inputs.clone(),
+        }
+    }
+}
+
+/// The order-invariant counterpart of [`GridView`]: identifiers replaced
+/// by ranks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RankGridView {
+    /// Number of dimensions.
+    pub d: usize,
+    /// View radius `T`.
+    pub radius: u32,
+    /// Announced number of nodes.
+    pub n: usize,
+    /// `ranks[k][t]` = rank of slice `t - T` of dimension `k` among all
+    /// identifiers visible in the view.
+    pub ranks: Vec<Vec<u32>>,
+    /// Input labels, as in [`GridView::inputs`].
+    pub inputs: Vec<InLabel>,
+}
+
+impl RankGridView {
+    /// Window side length `2T + 1`.
+    pub fn side(&self) -> usize {
+        2 * self.radius as usize + 1
+    }
+
+    /// Flat index of the window node at the given offsets.
+    pub fn node_index(&self, offsets: &[i64]) -> usize {
+        let t = self.radius as i64;
+        let side = self.side() as i64;
+        let mut idx: i64 = 0;
+        for k in (0..self.d).rev() {
+            let o = offsets[k];
+            assert!((-t..=t).contains(&o), "offset out of view");
+            idx = idx * side + (o + t);
+        }
+        idx as usize
+    }
+
+    /// The input label at `port` of the window node at `offsets`.
+    pub fn input_at(&self, offsets: &[i64], port: u8) -> InLabel {
+        self.inputs[self.node_index(offsets) * 2 * self.d + port as usize]
+    }
+
+    /// The rank of the slice at `offset` in dimension `k`.
+    pub fn rank(&self, k: usize, offset: i64) -> u32 {
+        self.ranks[k][(offset + self.radius as i64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_view() -> GridView {
+        GridView {
+            d: 2,
+            radius: 1,
+            n: 100,
+            ids: vec![vec![30, 10, 20], vec![5, 40, 15]],
+            inputs: vec![InLabel(0); 9 * 4],
+        }
+    }
+
+    #[test]
+    fn node_index_is_mixed_radix() {
+        let v = sample_view();
+        assert_eq!(v.node_index(&[-1, -1]), 0);
+        assert_eq!(v.node_index(&[0, -1]), 1);
+        assert_eq!(v.node_index(&[-1, 0]), 3);
+        assert_eq!(v.node_index(&[1, 1]), 8);
+    }
+
+    #[test]
+    fn ids_are_offset_addressed() {
+        let v = sample_view();
+        assert_eq!(v.id(0, -1), 30);
+        assert_eq!(v.id(0, 0), 10);
+        assert_eq!(v.id(1, 1), 15);
+        assert_eq!(v.center_ids(), vec![10, 40]);
+    }
+
+    #[test]
+    fn ranks_are_global_across_dimensions() {
+        let v = sample_view();
+        let r = v.to_ranks();
+        // Sorted ids: 5, 10, 15, 20, 30, 40.
+        assert_eq!(r.rank(0, 0), 1); // id 10
+        assert_eq!(r.rank(1, -1), 0); // id 5
+        assert_eq!(r.rank(1, 0), 5); // id 40
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of view")]
+    fn out_of_range_offsets_panic() {
+        let v = sample_view();
+        let _ = v.node_index(&[2, 0]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Random LCL problem generation for property-based testing.
+//!
+//! The gap theorems quantify over *all* LCL problems; the test suite
+//! approximates that quantification by exercising the machinery on random
+//! problems drawn from this module (plus the landmark problems of
+//! `lcl-problems`).
+
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::label::{Alphabet, OutLabel};
+use crate::problem::{from_parts, LclProblem};
+
+/// Parameters for [`random_problem`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RandomProblemSpec {
+    /// Maximum degree `Δ`.
+    pub max_degree: u8,
+    /// Number of input labels.
+    pub inputs: usize,
+    /// Number of output labels.
+    pub outputs: usize,
+    /// Probability (in percent) that any given configuration is allowed.
+    pub density_percent: u8,
+}
+
+impl Default for RandomProblemSpec {
+    fn default() -> Self {
+        Self {
+            max_degree: 3,
+            inputs: 1,
+            outputs: 3,
+            density_percent: 50,
+        }
+    }
+}
+
+/// Generates a random node-edge-checkable LCL problem; deterministic given
+/// `seed`.
+///
+/// The generated problem always has at least one node configuration per
+/// degree, at least one edge configuration, and nonempty `g` images, so it
+/// is never *vacuously* unsolvable (it may still be unsolvable for
+/// structural reasons, which is exactly what the tests want to explore).
+pub fn random_problem(spec: RandomProblemSpec, seed: u64) -> LclProblem {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let delta = spec.max_degree.max(1);
+    let outs = spec.outputs.max(1);
+    let keep = |rng: &mut SmallRng| rng.gen_range(0..100) < spec.density_percent;
+
+    let mut node_configs: Vec<BTreeSet<Vec<OutLabel>>> = vec![BTreeSet::new(); delta as usize + 1];
+    for (d, set) in node_configs.iter_mut().enumerate().skip(1) {
+        for config in multisets(outs, d) {
+            if keep(&mut rng) {
+                set.insert(config);
+            }
+        }
+        if set.is_empty() {
+            // Guarantee solvable degree constraints exist.
+            let l = OutLabel(rng.gen_range(0..outs as u32));
+            set.insert(vec![l; d]);
+        }
+    }
+
+    let mut edge_configs = BTreeSet::new();
+    for a in 0..outs as u32 {
+        for b in a..outs as u32 {
+            if keep(&mut rng) {
+                edge_configs.insert((OutLabel(a), OutLabel(b)));
+            }
+        }
+    }
+    if edge_configs.is_empty() {
+        let a = OutLabel(rng.gen_range(0..outs as u32));
+        edge_configs.insert((a, a));
+    }
+
+    let inputs = Alphabet::numbered("x", spec.inputs.max(1));
+    let mut g = Vec::with_capacity(inputs.len());
+    for _ in 0..inputs.len() {
+        let mut set: BTreeSet<OutLabel> = (0..outs as u32)
+            .map(OutLabel)
+            .filter(|_| keep(&mut rng))
+            .collect();
+        if set.is_empty() {
+            set.insert(OutLabel(rng.gen_range(0..outs as u32)));
+        }
+        g.push(set);
+    }
+
+    from_parts(
+        format!("random-{seed}"),
+        delta,
+        inputs,
+        Alphabet::numbered("L", outs),
+        node_configs,
+        edge_configs,
+        g,
+    )
+}
+
+/// All sorted multisets of size `size` over labels `0..count`.
+pub fn multisets(count: usize, size: usize) -> Vec<Vec<OutLabel>> {
+    let mut result = Vec::new();
+    let mut current = Vec::with_capacity(size);
+    fn recurse(
+        count: usize,
+        size: usize,
+        start: u32,
+        current: &mut Vec<OutLabel>,
+        result: &mut Vec<Vec<OutLabel>>,
+    ) {
+        if current.len() == size {
+            result.push(current.clone());
+            return;
+        }
+        for l in start..count as u32 {
+            current.push(OutLabel(l));
+            recurse(count, size, l, current, result);
+            current.pop();
+        }
+    }
+    recurse(count, size, 0, &mut current, &mut result);
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    #[test]
+    fn multiset_counts_match_binomials() {
+        // C(n + k - 1, k) multisets of size k over n labels.
+        assert_eq!(multisets(3, 2).len(), 6);
+        assert_eq!(multisets(2, 3).len(), 4);
+        assert_eq!(multisets(4, 1).len(), 4);
+        assert_eq!(multisets(1, 5).len(), 1);
+    }
+
+    #[test]
+    fn multisets_are_sorted_and_unique() {
+        let sets = multisets(3, 3);
+        for s in &sets {
+            assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        }
+        let unique: std::collections::BTreeSet<_> = sets.iter().cloned().collect();
+        assert_eq!(unique.len(), sets.len());
+    }
+
+    #[test]
+    fn random_problem_is_deterministic() {
+        let spec = RandomProblemSpec::default();
+        assert_eq!(random_problem(spec, 42), random_problem(spec, 42));
+    }
+
+    #[test]
+    fn random_problem_is_never_vacuous() {
+        for seed in 0..20 {
+            let p = random_problem(
+                RandomProblemSpec {
+                    density_percent: 5,
+                    ..RandomProblemSpec::default()
+                },
+                seed,
+            );
+            assert!(p.edge_config_count() >= 1);
+            for d in 1..=p.max_degree() {
+                assert!(p.node_configs(d).next().is_some());
+            }
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Labels and alphabets.
+//!
+//! Input and output labels are kept in distinct index spaces ([`InLabel`]
+//! vs [`OutLabel`]) so that the type system rules out mixing them up — the
+//! paper's `g_Π : Σ_in → 2^{Σ_out}` is the only bridge between the two.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An input label: an index into a problem's input [`Alphabet`] `Σ_in`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct InLabel(pub u32);
+
+/// An output label: an index into a problem's output [`Alphabet`] `Σ_out`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct OutLabel(pub u32);
+
+impl InLabel {
+    /// Returns the label as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl OutLabel {
+    /// Returns the label as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "in{}", self.0)
+    }
+}
+
+impl fmt::Display for OutLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "out{}", self.0)
+    }
+}
+
+/// A finite, named label set.
+///
+/// # Examples
+///
+/// ```
+/// use lcl::Alphabet;
+///
+/// let sigma = Alphabet::from_names(["A", "B", "C"]);
+/// assert_eq!(sigma.len(), 3);
+/// assert_eq!(sigma.index_of("B"), Some(1));
+/// assert_eq!(sigma.name(1), "B");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Alphabet {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an alphabet from names, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name repeats.
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut a = Self::new();
+        for name in names {
+            let name = name.into();
+            assert!(
+                a.try_insert(&name).is_some(),
+                "duplicate label name {name:?}"
+            );
+        }
+        a
+    }
+
+    /// An alphabet `{prefix0, prefix1, ...}` of the given size.
+    pub fn numbered(prefix: &str, size: usize) -> Self {
+        Self::from_names((0..size).map(|i| format!("{prefix}{i}")))
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the alphabet has no labels.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The name of label index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name(&self, i: u32) -> &str {
+        &self.names[i as usize]
+    }
+
+    /// Looks up the index of `name`.
+    pub fn index_of(&self, name: &str) -> Option<u32> {
+        self.index.get(name).copied()
+    }
+
+    /// Inserts `name` if absent; returns its index, or `None` if it already
+    /// existed.
+    pub fn try_insert(&mut self, name: &str) -> Option<u32> {
+        if self.index.contains_key(name) {
+            return None;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        Some(id)
+    }
+
+    /// Returns the index of `name`, inserting it if needed.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        match self.index_of(name) {
+            Some(i) => i,
+            None => self.try_insert(name).expect("absent name inserts"),
+        }
+    }
+
+    /// Iterator over `(index, name)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as u32, n.as_str()))
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{}}}", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_names_assigns_indices_in_order() {
+        let a = Alphabet::from_names(["x", "y"]);
+        assert_eq!(a.index_of("x"), Some(0));
+        assert_eq!(a.index_of("y"), Some(1));
+        assert_eq!(a.index_of("z"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn from_names_rejects_duplicates() {
+        let _ = Alphabet::from_names(["x", "x"]);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut a = Alphabet::new();
+        assert_eq!(a.intern("q"), 0);
+        assert_eq!(a.intern("q"), 0);
+        assert_eq!(a.intern("r"), 1);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn numbered_alphabet() {
+        let a = Alphabet::numbered("L", 3);
+        assert_eq!(a.name(2), "L2");
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let a = Alphabet::from_names(["A", "B"]);
+        assert_eq!(a.to_string(), "{A, B}");
+    }
+
+    #[test]
+    fn iter_matches_indices() {
+        let a = Alphabet::from_names(["A", "B"]);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(pairs, vec![(0, "A"), (1, "B")]);
+    }
+}

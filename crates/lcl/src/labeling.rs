@@ -1,0 +1,159 @@
+//! Half-edge labelings: the objects LCL solutions are made of.
+
+use lcl_graph::{Graph, HalfEdgeId, NodeId};
+
+use crate::label::{InLabel, OutLabel};
+
+/// A dense labeling of every half-edge of a graph.
+///
+/// This is a thin, type-safe wrapper around `Vec<L>` indexed by
+/// [`HalfEdgeId`]; both input labelings (`L = InLabel`) and output
+/// labelings (`L = OutLabel`) use it.
+///
+/// # Examples
+///
+/// ```
+/// use lcl::{HalfEdgeLabeling, OutLabel};
+/// use lcl_graph::gen;
+///
+/// let g = gen::path(3);
+/// let labeling = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+/// assert_eq!(labeling.len(), g.half_edge_count());
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HalfEdgeLabeling<L> {
+    values: Vec<L>,
+}
+
+impl<L: Copy> HalfEdgeLabeling<L> {
+    /// A labeling assigning `value` to every half-edge of `graph`.
+    pub fn uniform(graph: &Graph, value: L) -> Self {
+        Self {
+            values: vec![value; graph.half_edge_count()],
+        }
+    }
+
+    /// A labeling computed per half-edge.
+    pub fn from_fn(graph: &Graph, mut f: impl FnMut(HalfEdgeId) -> L) -> Self {
+        Self {
+            values: graph.half_edges().map(&mut f).collect(),
+        }
+    }
+
+    /// A labeling where each node assigns labels to its half-edges in port
+    /// order, as LOCAL algorithms do ("each node is supposed to output a
+    /// label for each incident half-edge").
+    pub fn from_node_fn(graph: &Graph, mut f: impl FnMut(NodeId) -> Vec<L>) -> Self {
+        let mut values: Vec<Option<L>> = vec![None; graph.half_edge_count()];
+        for v in graph.nodes() {
+            let outs = f(v);
+            assert_eq!(
+                outs.len(),
+                graph.degree(v) as usize,
+                "node must label each incident half-edge"
+            );
+            for (h, label) in graph.half_edges_of(v).zip(outs) {
+                values[h.index()] = Some(label);
+            }
+        }
+        Self {
+            values: values.into_iter().map(|v| v.expect("all set")).collect(),
+        }
+    }
+
+    /// The label of a half-edge.
+    #[inline]
+    pub fn get(&self, h: HalfEdgeId) -> L {
+        self.values[h.index()]
+    }
+
+    /// Sets the label of a half-edge.
+    #[inline]
+    pub fn set(&mut self, h: HalfEdgeId, value: L) {
+        self.values[h.index()] = value;
+    }
+
+    /// Number of labeled half-edges.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the labeling is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The underlying slice, indexed by half-edge id.
+    pub fn as_slice(&self) -> &[L] {
+        &self.values
+    }
+
+    /// The multiset of labels around node `v`, in port order.
+    pub fn around_node(&self, graph: &Graph, v: NodeId) -> Vec<L> {
+        graph.half_edges_of(v).map(|h| self.get(h)).collect()
+    }
+}
+
+impl<L> FromIterator<L> for HalfEdgeLabeling<L> {
+    fn from_iter<T: IntoIterator<Item = L>>(iter: T) -> Self {
+        Self {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// The all-`InLabel(0)` input labeling — the "no inputs" convention used
+/// by LCLs without inputs.
+pub fn uniform_input(graph: &Graph) -> HalfEdgeLabeling<InLabel> {
+    HalfEdgeLabeling::uniform(graph, InLabel(0))
+}
+
+/// Convenience alias used throughout the suite.
+pub type OutputLabeling = HalfEdgeLabeling<OutLabel>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+
+    #[test]
+    fn from_node_fn_assigns_in_port_order() {
+        let g = gen::path(3);
+        let labeling =
+            HalfEdgeLabeling::from_node_fn(&g, |v| vec![OutLabel(v.0); g.degree(v) as usize]);
+        for h in g.half_edges() {
+            assert_eq!(labeling.get(h), OutLabel(g.node_of(h).0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label each incident half-edge")]
+    fn from_node_fn_rejects_wrong_arity() {
+        let g = gen::path(3);
+        let _ = HalfEdgeLabeling::from_node_fn(&g, |_| vec![OutLabel(0)]);
+    }
+
+    #[test]
+    fn around_node_is_port_ordered() {
+        let g = gen::star(3);
+        let labeling = HalfEdgeLabeling::from_fn(&g, |h| OutLabel(h.0));
+        let center = labeling.around_node(&g, lcl_graph::NodeId(0));
+        assert_eq!(center, vec![OutLabel(0), OutLabel(1), OutLabel(2)]);
+    }
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        let g = gen::path(2);
+        let mut labeling = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let h = g.half_edge(lcl_graph::NodeId(0), 0);
+        labeling.set(h, OutLabel(9));
+        assert_eq!(labeling.get(h), OutLabel(9));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let labeling: HalfEdgeLabeling<OutLabel> = (0..4).map(OutLabel).collect();
+        assert_eq!(labeling.len(), 4);
+        assert!(!labeling.is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! The locally checkable labeling (LCL) formalism of the paper.
+//!
+//! This crate implements Section 2 of *The Landscape of Distributed
+//! Complexities on Trees and Beyond* (PODC 2022):
+//!
+//! * [`Alphabet`], [`InLabel`], [`OutLabel`] — finite input/output label
+//!   sets assigned to *half-edges* (the modern definition of LCLs labels
+//!   half-edges rather than nodes or edges, Definition 2.2).
+//! * [`Problem`] — the predicate view of a node-edge-checkable LCL
+//!   (Definition 2.3): a node constraint `𝒩`, an edge constraint `ℰ`, and
+//!   an input-output map `g`.
+//! * [`LclProblem`] — an explicit, finite node-edge-checkable LCL with a
+//!   human-readable text format ([`LclProblem::parse`]) and a builder.
+//! * [`verify()`] — checks a candidate half-edge labeling against a problem
+//!   and reports every violated node/edge (Definition 2.4's notion of an
+//!   algorithm *failing at* a node or edge).
+//! * [`GeneralLcl`] — the general form of Definition 2.2 (a finite set of
+//!   accepted radius-`r` neighborhoods) plus the Lemma 2.6 conversion.
+//!
+//! # Examples
+//!
+//! Defining the 3-coloring problem and verifying a labeling on a triangle:
+//!
+//! ```
+//! use lcl::{verify, HalfEdgeLabeling, LclProblem, OutLabel};
+//! use lcl_graph::GraphBuilder;
+//!
+//! let p = LclProblem::parse(
+//!     "name: 3-coloring\nmax-degree: 2\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n",
+//! )?;
+//! let mut b = GraphBuilder::new(3);
+//! b.add_edge(0, 1)?;
+//! b.add_edge(1, 2)?;
+//! b.add_edge(2, 0)?;
+//! let g = b.build()?;
+//! // Color node v with color v: every node outputs its color on both ports.
+//! let out = HalfEdgeLabeling::from_fn(&g, |h| OutLabel(g.node_of(h).0));
+//! let input = lcl::uniform_input(&g);
+//! assert!(verify(&p, &g, &input, &out).is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod convert;
+pub mod gen;
+pub mod label;
+pub mod labeling;
+pub mod parse;
+pub mod problem;
+pub mod verify;
+
+pub use convert::GeneralLcl;
+pub use label::{Alphabet, InLabel, OutLabel};
+pub use labeling::{uniform_input, HalfEdgeLabeling};
+pub use parse::ParseError;
+pub use problem::{LclProblem, LclProblemBuilder, Problem};
+pub use verify::{local_failure_fraction, verify, violations_summary, Violation};

@@ -1,0 +1,291 @@
+//! A human-readable text format for [`LclProblem`]s.
+//!
+//! The format doubles as the fixture format of the test suite and is close
+//! to the one used by the round-eliminator community tool:
+//!
+//! ```text
+//! name: sinkless-orientation     # optional
+//! max-degree: 3                  # required
+//! inputs: plain mark             # optional, default a single label "-"
+//! outputs: I O                   # optional, inferred from configs
+//! nodes:                         # one configuration pattern per line
+//! O I* O*
+//! edges:                         # one pair per line, no stars
+//! I O
+//! g:                             # optional, default: every output allowed
+//! plain -> I O
+//! mark -> O
+//! ```
+//!
+//! `X*` in a node pattern means "zero or more repetitions of `X`"; a
+//! pattern contributes one configuration for every degree `1..=Δ` it can
+//! fill exactly. `#` starts a comment.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::problem::{LclProblem, LclProblemBuilder};
+
+/// Error returned by [`LclProblem::parse`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    line: usize,
+    message: String,
+}
+
+impl ParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        Self {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// The 1-based line the error occurred on (0 for file-level errors).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Section {
+    Header,
+    Nodes,
+    Edges,
+    G,
+}
+
+impl LclProblem {
+    /// Parses a problem from the text format described in the
+    /// [module documentation](crate::parse).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] pointing at the offending line for unknown
+    /// headers, missing `max-degree`, malformed configurations, or
+    /// inconsistent label usage.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use lcl::LclProblem;
+    ///
+    /// let p = LclProblem::parse(
+    ///     "max-degree: 2\nnodes:\nA*\nB*\nedges:\nA B\n",
+    /// )?;
+    /// assert_eq!(p.output_alphabet().len(), 2);
+    /// # Ok::<(), lcl::ParseError>(())
+    /// ```
+    pub fn parse(text: &str) -> Result<LclProblem, ParseError> {
+        let mut name = "unnamed".to_string();
+        let mut max_degree: Option<u8> = None;
+        let mut inputs: Vec<String> = Vec::new();
+        let mut outputs: Vec<String> = Vec::new();
+        let mut node_lines: Vec<(usize, Vec<String>)> = Vec::new();
+        let mut edge_lines: Vec<(usize, Vec<String>)> = Vec::new();
+        let mut g_lines: Vec<(usize, String)> = Vec::new();
+        let mut section = Section::Header;
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = match raw.find('#') {
+                Some(pos) => &raw[..pos],
+                None => raw,
+            }
+            .trim();
+            if line.is_empty() {
+                continue;
+            }
+            match line {
+                "nodes:" => {
+                    section = Section::Nodes;
+                    continue;
+                }
+                "edges:" => {
+                    section = Section::Edges;
+                    continue;
+                }
+                "g:" => {
+                    section = Section::G;
+                    continue;
+                }
+                _ => {}
+            }
+            match section {
+                Section::Header => {
+                    let (key, value) = line.split_once(':').ok_or_else(|| {
+                        ParseError::new(lineno, format!("expected `key: value`, got {line:?}"))
+                    })?;
+                    let value = value.trim();
+                    match key.trim() {
+                        "name" => name = value.to_string(),
+                        "max-degree" => {
+                            let d: u8 = value.parse().map_err(|_| {
+                                ParseError::new(lineno, format!("bad max-degree {value:?}"))
+                            })?;
+                            max_degree = Some(d);
+                        }
+                        "inputs" => inputs = value.split_whitespace().map(String::from).collect(),
+                        "outputs" => outputs = value.split_whitespace().map(String::from).collect(),
+                        other => {
+                            return Err(ParseError::new(
+                                lineno,
+                                format!("unknown header {other:?}"),
+                            ))
+                        }
+                    }
+                }
+                Section::Nodes => {
+                    let atoms: Vec<String> = line.split_whitespace().map(String::from).collect();
+                    node_lines.push((lineno, atoms));
+                }
+                Section::Edges => {
+                    let atoms: Vec<String> = line.split_whitespace().map(String::from).collect();
+                    if atoms.len() != 2 {
+                        return Err(ParseError::new(
+                            lineno,
+                            "edge configurations have exactly two labels",
+                        ));
+                    }
+                    edge_lines.push((lineno, atoms));
+                }
+                Section::G => g_lines.push((lineno, line.to_string())),
+            }
+        }
+
+        let max_degree =
+            max_degree.ok_or_else(|| ParseError::new(0, "missing `max-degree:` header"))?;
+
+        let mut builder: LclProblemBuilder = LclProblem::builder(&name, max_degree);
+        if !inputs.is_empty() {
+            builder = builder.inputs(inputs);
+        }
+        if !outputs.is_empty() {
+            builder = builder.outputs(outputs);
+        }
+        for (lineno, atoms) in &node_lines {
+            // An optional leading `@d` restricts the pattern to degree d.
+            let (degree, rest) = match atoms.first().and_then(|a| a.strip_prefix('@')) {
+                Some(digits) => {
+                    let d: u8 = digits.parse().map_err(|_| {
+                        ParseError::new(*lineno, format!("bad degree restriction @{digits}"))
+                    })?;
+                    (Some(d), &atoms[1..])
+                }
+                None => (None, &atoms[..]),
+            };
+            let refs: Vec<&str> = rest.iter().map(String::as_str).collect();
+            builder = match degree {
+                Some(d) => builder.node_pattern_for_degree(d, &refs),
+                None => builder.node_pattern(&refs),
+            };
+        }
+        for (lineno, atoms) in &edge_lines {
+            if atoms.iter().any(|a| a.ends_with('*')) {
+                return Err(ParseError::new(
+                    *lineno,
+                    "stars are not allowed in edge configurations",
+                ));
+            }
+            builder = builder.edge(&[&atoms[0], &atoms[1]]);
+        }
+        for (lineno, line) in &g_lines {
+            let (input, outs) = line
+                .split_once("->")
+                .ok_or_else(|| ParseError::new(*lineno, "expected `input -> outputs...`"))?;
+            let outs: Vec<&str> = outs.split_whitespace().collect();
+            builder = builder.allow(input.trim(), &outs);
+        }
+
+        builder.build().map_err(|msg| ParseError::new(0, msg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::{InLabel, OutLabel};
+    use crate::problem::Problem;
+
+    #[test]
+    fn parses_three_coloring() {
+        let p = LclProblem::parse(
+            "name: 3col\nmax-degree: 3\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n",
+        )
+        .unwrap();
+        assert_eq!(p.problem_name(), "3col");
+        assert_eq!(p.output_alphabet().len(), 3);
+        assert_eq!(p.edge_config_count(), 3);
+        // Degrees 1..=3, three colors each.
+        assert_eq!(p.node_config_count(), 9);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let p =
+            LclProblem::parse("# a comment\nmax-degree: 2\n\nnodes:\nA*  # star\nedges:\nA A\n")
+                .unwrap();
+        assert_eq!(p.output_alphabet().len(), 1);
+    }
+
+    #[test]
+    fn missing_max_degree_is_an_error() {
+        let err = LclProblem::parse("nodes:\nA\nedges:\nA A\n").unwrap_err();
+        assert!(err.to_string().contains("max-degree"));
+    }
+
+    #[test]
+    fn unknown_header_is_an_error() {
+        let err = LclProblem::parse("max-degre: 3\n").unwrap_err();
+        assert_eq!(err.line(), 1);
+    }
+
+    #[test]
+    fn edge_with_three_labels_is_an_error() {
+        let err = LclProblem::parse("max-degree: 2\nnodes:\nA*\nedges:\nA A A\n").unwrap_err();
+        assert!(err.to_string().contains("two labels"));
+    }
+
+    #[test]
+    fn starred_edge_is_an_error() {
+        let err = LclProblem::parse("max-degree: 2\nnodes:\nA*\nedges:\nA A*\n").unwrap_err();
+        assert!(err.to_string().contains("stars"));
+    }
+
+    #[test]
+    fn g_section_parses() {
+        let p = LclProblem::parse(
+            "max-degree: 2\ninputs: x y\noutputs: A B\nnodes:\nA*\nB*\nedges:\nA B\ng:\nx -> A\ny -> A B\n",
+        )
+        .unwrap();
+        assert!(p.input_allows(InLabel(0), OutLabel(0)));
+        assert!(!p.input_allows(InLabel(0), OutLabel(1)));
+        assert!(p.input_allows(InLabel(1), OutLabel(1)));
+    }
+
+    #[test]
+    fn malformed_g_line_is_an_error() {
+        let err = LclProblem::parse("max-degree: 2\nnodes:\nA*\nedges:\nA A\ng:\nno arrow here\n")
+            .unwrap_err();
+        assert!(err.to_string().contains("->"));
+    }
+
+    #[test]
+    fn parse_error_display_without_line() {
+        let err = LclProblem::parse("max-degree: 2\n").unwrap_err();
+        assert!(!err.to_string().is_empty());
+        assert_eq!(err.line(), 0);
+    }
+}

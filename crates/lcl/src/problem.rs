@@ -1,0 +1,664 @@
+//! Node-edge-checkable LCL problems (Definition 2.3 of the paper).
+//!
+//! A node-edge-checkable LCL is a quintuple
+//! `Π = (Σ_in, Σ_out, 𝒩_Π, ℰ_Π, g_Π)`:
+//!
+//! * `𝒩_Π` — for each degree `i`, a collection of cardinality-`i`
+//!   multisets of output labels allowed *around a node*,
+//! * `ℰ_Π` — a collection of cardinality-2 multisets allowed *on an edge*,
+//! * `g_Π : Σ_in → 2^{Σ_out}` — per-half-edge input/output compatibility.
+//!
+//! Two representations coexist:
+//!
+//! * [`LclProblem`] stores the constraints *extensionally* (explicit sets),
+//!   which is what the parser, the classifier, and the speed-up pipeline
+//!   operate on.
+//! * [`Problem`] is the *intensional* (predicate) interface; the
+//!   round-elimination crate implements it for derived problems `R(Π)` and
+//!   `R̄(Π)` whose label universes are power sets and are never fully
+//!   materialized (see `DESIGN.md`, design decision 1).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::label::{Alphabet, InLabel, OutLabel};
+
+/// The predicate view of a node-edge-checkable LCL problem.
+///
+/// All slices of labels passed to the predicates represent *multisets*;
+/// implementations must not depend on element order.
+pub trait Problem {
+    /// The maximum degree `Δ` the problem is defined for.
+    fn max_degree(&self) -> u8;
+
+    /// Number of input labels `|Σ_in|`.
+    fn input_count(&self) -> usize;
+
+    /// Number of output labels `|Σ_out|`, or `None` when the universe is
+    /// too large to enumerate (derived round-elimination problems).
+    fn output_count(&self) -> Option<usize>;
+
+    /// Whether the multiset `outputs` is an allowed node configuration
+    /// (membership in `𝒩_Π^{len}`).
+    fn node_allows(&self, outputs: &[OutLabel]) -> bool;
+
+    /// Whether the multiset `{a, b}` is an allowed edge configuration
+    /// (membership in `ℰ_Π`).
+    fn edge_allows(&self, a: OutLabel, b: OutLabel) -> bool;
+
+    /// Whether output `out` is allowed on a half-edge with input `input`
+    /// (membership in `g_Π(input)`).
+    fn input_allows(&self, input: InLabel, out: OutLabel) -> bool;
+
+    /// A short human-readable name for diagnostics.
+    fn name(&self) -> &str {
+        "unnamed"
+    }
+}
+
+/// An explicit, finite node-edge-checkable LCL problem.
+///
+/// Construct with [`LclProblem::builder`] or [`LclProblem::parse`].
+///
+/// # Examples
+///
+/// ```
+/// use lcl::{LclProblem, OutLabel};
+///
+/// let p = LclProblem::builder("sinkless-orientation", 3)
+///     .outputs(["I", "O"])
+///     .edge(&["I", "O"])
+///     .node_pattern(&["O", "I*", "O*"]) // at least one outgoing half-edge
+///     .build()?;
+/// use lcl::Problem as _;
+/// assert!(p.edge_allows(OutLabel(0), OutLabel(1)));
+/// assert!(!p.edge_allows(OutLabel(0), OutLabel(0)));
+/// # Ok::<(), String>(())
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LclProblem {
+    name: String,
+    max_degree: u8,
+    inputs: Alphabet,
+    outputs: Alphabet,
+    /// `node_configs[d]` = allowed sorted multisets of size `d` (index 0
+    /// unused except for degree-0 nodes, which are always fine).
+    node_configs: Vec<BTreeSet<Vec<OutLabel>>>,
+    /// Allowed unordered pairs, stored with `a <= b`.
+    edge_configs: BTreeSet<(OutLabel, OutLabel)>,
+    /// `g[input]` = allowed outputs for that input.
+    g: Vec<BTreeSet<OutLabel>>,
+}
+
+impl LclProblem {
+    /// Starts building a problem with the given name and degree bound.
+    pub fn builder(name: &str, max_degree: u8) -> LclProblemBuilder {
+        LclProblemBuilder::new(name, max_degree)
+    }
+
+    /// The problem's name.
+    pub fn problem_name(&self) -> &str {
+        &self.name
+    }
+
+    /// The input alphabet `Σ_in`.
+    pub fn input_alphabet(&self) -> &Alphabet {
+        &self.inputs
+    }
+
+    /// The output alphabet `Σ_out`.
+    pub fn output_alphabet(&self) -> &Alphabet {
+        &self.outputs
+    }
+
+    /// The allowed node configurations of a given degree, as sorted
+    /// multisets.
+    pub fn node_configs(&self, degree: u8) -> impl Iterator<Item = &[OutLabel]> {
+        self.node_configs
+            .get(degree as usize)
+            .into_iter()
+            .flat_map(|s| s.iter().map(Vec::as_slice))
+    }
+
+    /// The allowed edge configurations, as pairs with `a <= b`.
+    pub fn edge_configs(&self) -> impl Iterator<Item = (OutLabel, OutLabel)> + '_ {
+        self.edge_configs.iter().copied()
+    }
+
+    /// The set `g_Π(input)`.
+    pub fn allowed_outputs(&self, input: InLabel) -> impl Iterator<Item = OutLabel> + '_ {
+        self.g[input.index()].iter().copied()
+    }
+
+    /// Renders the problem in the same text format accepted by
+    /// [`LclProblem::parse`].
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("name: {}\n", self.name));
+        s.push_str(&format!("max-degree: {}\n", self.max_degree));
+        if self.inputs.len() > 1 || self.inputs.name(0) != "-" {
+            let names: Vec<_> = self.inputs.iter().map(|(_, n)| n.to_string()).collect();
+            s.push_str(&format!("inputs: {}\n", names.join(" ")));
+        }
+        let names: Vec<_> = self.outputs.iter().map(|(_, n)| n.to_string()).collect();
+        s.push_str(&format!("outputs: {}\n", names.join(" ")));
+        s.push_str("nodes:\n");
+        for d in 1..=self.max_degree as usize {
+            for config in &self.node_configs[d] {
+                let line: Vec<_> = config
+                    .iter()
+                    .map(|&l| self.outputs.name(l.0).to_string())
+                    .collect();
+                s.push_str(&line.join(" "));
+                s.push('\n');
+            }
+        }
+        s.push_str("edges:\n");
+        for &(a, b) in &self.edge_configs {
+            s.push_str(&format!(
+                "{} {}\n",
+                self.outputs.name(a.0),
+                self.outputs.name(b.0)
+            ));
+        }
+        if self.inputs.len() > 1 || self.g.iter().any(|set| set.len() != self.outputs.len()) {
+            s.push_str("g:\n");
+            for (i, set) in self.g.iter().enumerate() {
+                let outs: Vec<_> = set
+                    .iter()
+                    .map(|&l| self.outputs.name(l.0).to_string())
+                    .collect();
+                s.push_str(&format!(
+                    "{} -> {}\n",
+                    self.inputs.name(i as u32),
+                    outs.join(" ")
+                ));
+            }
+        }
+        s
+    }
+
+    /// Relabels the problem with fresh label names (`L0, L1, ...`),
+    /// preserving structure. Useful after round elimination, whose label
+    /// names grow exponentially.
+    pub fn with_opaque_names(&self) -> LclProblem {
+        let mut p = self.clone();
+        p.outputs = Alphabet::numbered("L", self.outputs.len());
+        p
+    }
+
+    /// Total number of node configurations over all degrees.
+    pub fn node_config_count(&self) -> usize {
+        self.node_configs.iter().map(BTreeSet::len).sum()
+    }
+
+    /// Number of edge configurations.
+    pub fn edge_config_count(&self) -> usize {
+        self.edge_configs.len()
+    }
+}
+
+impl Problem for LclProblem {
+    fn max_degree(&self) -> u8 {
+        self.max_degree
+    }
+
+    fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    fn output_count(&self) -> Option<usize> {
+        Some(self.outputs.len())
+    }
+
+    fn node_allows(&self, outputs: &[OutLabel]) -> bool {
+        if outputs.is_empty() {
+            return true; // isolated nodes are vacuously fine
+        }
+        let Some(set) = self.node_configs.get(outputs.len()) else {
+            return false;
+        };
+        let mut sorted = outputs.to_vec();
+        sorted.sort_unstable();
+        set.contains(&sorted)
+    }
+
+    fn edge_allows(&self, a: OutLabel, b: OutLabel) -> bool {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.edge_configs.contains(&key)
+    }
+
+    fn input_allows(&self, input: InLabel, out: OutLabel) -> bool {
+        self.g
+            .get(input.index())
+            .is_some_and(|set| set.contains(&out))
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for LclProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (Δ={}, |Σ_in|={}, |Σ_out|={}, {} node / {} edge configs)",
+            self.name,
+            self.max_degree,
+            self.inputs.len(),
+            self.outputs.len(),
+            self.node_config_count(),
+            self.edge_config_count()
+        )
+    }
+}
+
+/// Expands a pattern (labels, some starred) into all sorted multisets of
+/// size `degree`: plain atoms appear exactly once, starred atoms zero or
+/// more times.
+pub(crate) fn expand_pattern(
+    atoms_plain: &[OutLabel],
+    atoms_starred: &[OutLabel],
+    degree: usize,
+) -> Vec<Vec<OutLabel>> {
+    if atoms_plain.len() > degree {
+        return Vec::new();
+    }
+    let remaining = degree - atoms_plain.len();
+    let mut result = Vec::new();
+    // Distribute `remaining` among the starred atoms.
+    fn recurse(
+        starred: &[OutLabel],
+        remaining: usize,
+        acc: &mut Vec<OutLabel>,
+        out: &mut Vec<Vec<OutLabel>>,
+        base: &[OutLabel],
+    ) {
+        match starred.split_first() {
+            None => {
+                if remaining == 0 {
+                    let mut config = base.to_vec();
+                    config.extend_from_slice(acc);
+                    config.sort_unstable();
+                    out.push(config);
+                }
+            }
+            Some((&first, rest)) => {
+                for count in 0..=remaining {
+                    let len_before = acc.len();
+                    acc.extend(std::iter::repeat_n(first, count));
+                    recurse(rest, remaining - count, acc, out, base);
+                    acc.truncate(len_before);
+                }
+            }
+        }
+    }
+    recurse(
+        atoms_starred,
+        remaining,
+        &mut Vec::new(),
+        &mut result,
+        atoms_plain,
+    );
+    result.sort_unstable();
+    result.dedup();
+    result
+}
+
+/// Builder for [`LclProblem`]; see [`LclProblem::builder`].
+#[derive(Clone, Debug)]
+pub struct LclProblemBuilder {
+    name: String,
+    max_degree: u8,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    /// (plain atoms, starred atoms, degree restriction) by name.
+    node_patterns: Vec<(Vec<String>, Vec<String>, Option<u8>)>,
+    edge_pairs: Vec<(String, String)>,
+    g_overrides: BTreeMap<String, Vec<String>>,
+}
+
+impl LclProblemBuilder {
+    fn new(name: &str, max_degree: u8) -> Self {
+        Self {
+            name: name.to_string(),
+            max_degree,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+            node_patterns: Vec::new(),
+            edge_pairs: Vec::new(),
+            g_overrides: BTreeMap::new(),
+        }
+    }
+
+    /// Declares the input alphabet. Defaults to the single label `-`.
+    pub fn inputs<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.inputs = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Declares the output alphabet. Labels mentioned in configurations are
+    /// added automatically; declaring them fixes their order.
+    pub fn outputs<I, S>(mut self, names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.outputs = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Adds a node-configuration pattern. Atoms ending in `*` may repeat
+    /// zero or more times; the pattern contributes one configuration for
+    /// every degree `1..=Δ` it can fill exactly.
+    pub fn node_pattern(self, atoms: &[&str]) -> Self {
+        self.push_pattern(atoms, None)
+    }
+
+    /// Like [`node_pattern`](Self::node_pattern), but the pattern only
+    /// contributes configurations of exactly the given degree — needed for
+    /// problems whose constraint depends on the degree, like the standard
+    /// sinkless orientation (only nodes of degree ≥ 3 need an out-edge).
+    pub fn node_pattern_for_degree(self, degree: u8, atoms: &[&str]) -> Self {
+        self.push_pattern(atoms, Some(degree))
+    }
+
+    fn push_pattern(mut self, atoms: &[&str], degree: Option<u8>) -> Self {
+        let mut plain = Vec::new();
+        let mut starred = Vec::new();
+        for atom in atoms {
+            if let Some(stripped) = atom.strip_suffix('*') {
+                starred.push(stripped.to_string());
+            } else {
+                plain.push(atom.to_string());
+            }
+        }
+        self.node_patterns.push((plain, starred, degree));
+        self
+    }
+
+    /// Adds a single explicit node configuration (no stars).
+    pub fn node(self, labels: &[&str]) -> Self {
+        self.node_pattern(labels)
+    }
+
+    /// Adds an allowed edge configuration `{a, b}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not given exactly two labels.
+    pub fn edge(mut self, pair: &[&str]) -> Self {
+        assert_eq!(pair.len(), 2, "edge configurations have two labels");
+        self.edge_pairs
+            .push((pair[0].to_string(), pair[1].to_string()));
+        self
+    }
+
+    /// Restricts `g(input)` to the given outputs (default: all outputs).
+    pub fn allow(mut self, input: &str, outputs: &[&str]) -> Self {
+        self.g_overrides.insert(
+            input.to_string(),
+            outputs.iter().map(|s| s.to_string()).collect(),
+        );
+        self
+    }
+
+    /// Finalizes the problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency found (unknown
+    /// label names, empty constraint sets, stars in edge configurations).
+    pub fn build(self) -> Result<LclProblem, String> {
+        let inputs = if self.inputs.is_empty() {
+            Alphabet::from_names(["-"])
+        } else {
+            Alphabet::from_names(self.inputs.clone())
+        };
+        let mut outputs = Alphabet::new();
+        for name in &self.outputs {
+            if outputs.try_insert(name).is_none() {
+                return Err(format!("duplicate output label {name:?}"));
+            }
+        }
+        // Auto-intern labels mentioned in configurations.
+        for (plain, starred, _) in &self.node_patterns {
+            for name in plain.iter().chain(starred) {
+                outputs.intern(name);
+            }
+        }
+        for (a, b) in &self.edge_pairs {
+            outputs.intern(a);
+            outputs.intern(b);
+        }
+        if outputs.is_empty() {
+            return Err("problem has no output labels".to_string());
+        }
+
+        let lookup = |name: &str| -> Result<OutLabel, String> {
+            outputs
+                .index_of(name)
+                .map(OutLabel)
+                .ok_or_else(|| format!("unknown output label {name:?}"))
+        };
+
+        let mut node_configs = vec![BTreeSet::new(); self.max_degree as usize + 1];
+        for (plain, starred, degree) in &self.node_patterns {
+            let plain: Vec<OutLabel> = plain.iter().map(|n| lookup(n)).collect::<Result<_, _>>()?;
+            let starred: Vec<OutLabel> = starred
+                .iter()
+                .map(|n| lookup(n))
+                .collect::<Result<_, _>>()?;
+            if let Some(d) = degree {
+                if *d < 1 || *d > self.max_degree {
+                    return Err(format!(
+                        "degree restriction {d} outside 1..={}",
+                        self.max_degree
+                    ));
+                }
+            }
+            #[allow(clippy::needless_range_loop)] // index drives several arrays
+            for d in 1..=self.max_degree as usize {
+                if degree.is_some_and(|only| usize::from(only) != d) {
+                    continue;
+                }
+                for config in expand_pattern(&plain, &starred, d) {
+                    node_configs[d].insert(config);
+                }
+            }
+        }
+
+        let mut edge_configs = BTreeSet::new();
+        for (a, b) in &self.edge_pairs {
+            if a.ends_with('*') || b.ends_with('*') {
+                return Err("stars are not allowed in edge configurations".to_string());
+            }
+            let (a, b) = (lookup(a)?, lookup(b)?);
+            edge_configs.insert(if a <= b { (a, b) } else { (b, a) });
+        }
+
+        let all_outputs: BTreeSet<OutLabel> = (0..outputs.len() as u32).map(OutLabel).collect();
+        let mut g = vec![all_outputs; inputs.len()];
+        for (input, allowed) in &self.g_overrides {
+            let idx = inputs
+                .index_of(input)
+                .ok_or_else(|| format!("unknown input label {input:?}"))?
+                as usize;
+            let set: BTreeSet<OutLabel> = allowed
+                .iter()
+                .map(|n| lookup(n))
+                .collect::<Result<_, _>>()?;
+            g[idx] = set;
+        }
+
+        Ok(LclProblem {
+            name: self.name,
+            max_degree: self.max_degree,
+            inputs,
+            outputs,
+            node_configs,
+            edge_configs,
+            g,
+        })
+    }
+}
+
+/// Constructs an [`LclProblem`] directly from explicit, already-indexed
+/// parts. Used by the round-elimination engine, which produces labels as
+/// indices rather than names.
+#[allow(clippy::too_many_arguments)]
+pub fn from_parts(
+    name: String,
+    max_degree: u8,
+    inputs: Alphabet,
+    outputs: Alphabet,
+    node_configs: Vec<BTreeSet<Vec<OutLabel>>>,
+    edge_configs: BTreeSet<(OutLabel, OutLabel)>,
+    g: Vec<BTreeSet<OutLabel>>,
+) -> LclProblem {
+    assert_eq!(node_configs.len(), max_degree as usize + 1);
+    assert_eq!(g.len(), inputs.len());
+    LclProblem {
+        name,
+        max_degree,
+        inputs,
+        outputs,
+        node_configs,
+        edge_configs,
+        g,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_coloring() -> LclProblem {
+        LclProblem::builder("3col", 3)
+            .outputs(["A", "B", "C"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .node_pattern(&["C*"])
+            .edge(&["A", "B"])
+            .edge(&["A", "C"])
+            .edge(&["B", "C"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn coloring_constraints() {
+        let p = three_coloring();
+        let (a, b) = (OutLabel(0), OutLabel(1));
+        assert!(p.node_allows(&[a, a, a]));
+        assert!(p.node_allows(&[a]));
+        assert!(!p.node_allows(&[a, b]));
+        assert!(p.edge_allows(a, b));
+        assert!(p.edge_allows(b, a));
+        assert!(!p.edge_allows(a, a));
+        assert!(p.input_allows(InLabel(0), a));
+    }
+
+    #[test]
+    fn isolated_nodes_are_vacuously_ok() {
+        let p = three_coloring();
+        assert!(p.node_allows(&[]));
+    }
+
+    #[test]
+    fn expand_pattern_star_fills_degrees() {
+        let a = OutLabel(0);
+        let b = OutLabel(1);
+        // "A B*" at degree 3 = {A,B,B}.
+        let configs = expand_pattern(&[a], &[b], 3);
+        assert_eq!(configs, vec![vec![a, b, b]]);
+        // "A* B*" at degree 2 = {A,A}, {A,B}, {B,B}.
+        let configs = expand_pattern(&[], &[a, b], 2);
+        assert_eq!(configs, vec![vec![a, a], vec![a, b], vec![b, b]]);
+        // Too many plain atoms for the degree: no configs.
+        assert!(expand_pattern(&[a, a], &[], 1).is_empty());
+    }
+
+    #[test]
+    fn sinkless_orientation_patterns() {
+        let p = LclProblem::builder("sinkless", 3)
+            .outputs(["I", "O"])
+            .edge(&["I", "O"])
+            .node_pattern(&["O", "I*", "O*"])
+            .build()
+            .unwrap();
+        let (i, o) = (OutLabel(0), OutLabel(1));
+        assert!(p.node_allows(&[o]));
+        assert!(p.node_allows(&[i, o, o]));
+        assert!(p.node_allows(&[i, i, o]));
+        assert!(!p.node_allows(&[i, i, i]));
+        assert!(p.edge_allows(i, o));
+        assert!(!p.edge_allows(o, o));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_labels_in_g() {
+        let err = LclProblem::builder("bad", 2)
+            .outputs(["A"])
+            .node_pattern(&["A*"])
+            .edge(&["A", "A"])
+            .allow("-", &["Z"])
+            .build()
+            .unwrap_err();
+        assert!(err.contains("unknown output label"));
+    }
+
+    #[test]
+    fn builder_rejects_empty_output_alphabet() {
+        assert!(LclProblem::builder("empty", 2).build().is_err());
+    }
+
+    #[test]
+    fn g_override_restricts_outputs() {
+        let p = LclProblem::builder("orient", 2)
+            .inputs(["head", "tail"])
+            .outputs(["H", "T"])
+            .node_pattern(&["H*", "T*"])
+            .edge(&["H", "T"])
+            .edge(&["H", "H"])
+            .edge(&["T", "T"])
+            .allow("head", &["H"])
+            .allow("tail", &["T"])
+            .build()
+            .unwrap();
+        assert!(p.input_allows(InLabel(0), OutLabel(0)));
+        assert!(!p.input_allows(InLabel(0), OutLabel(1)));
+        assert!(p.input_allows(InLabel(1), OutLabel(1)));
+    }
+
+    #[test]
+    fn to_text_roundtrip() {
+        let p = three_coloring();
+        let text = p.to_text();
+        let q = LclProblem::parse(&text).unwrap();
+        assert_eq!(p.node_config_count(), q.node_config_count());
+        assert_eq!(p.edge_config_count(), q.edge_config_count());
+        assert_eq!(p.output_alphabet().len(), q.output_alphabet().len());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let p = three_coloring();
+        let s = p.to_string();
+        assert!(s.contains("3col"));
+        assert!(s.contains("Δ=3"));
+    }
+
+    #[test]
+    fn opaque_names_preserve_structure() {
+        let p = three_coloring();
+        let q = p.with_opaque_names();
+        assert_eq!(q.output_alphabet().name(0), "L0");
+        assert_eq!(p.node_config_count(), q.node_config_count());
+    }
+}

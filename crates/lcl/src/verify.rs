@@ -1,0 +1,240 @@
+//! Solution verification and local failure accounting (Definition 2.4).
+//!
+//! An output labeling is *incorrect on an edge* `e = {u, v}` if the pair of
+//! labels on `H[e]` is not in `ℰ_Π` or violates `g_Π` on either half-edge;
+//! it is *incorrect at a node* `v` if the multiset on `H[v]` is not in
+//! `𝒩_Π^{deg(v)}` or violates `g_Π` on some incident half-edge. The
+//! verifier reports every failing object, which is exactly the granularity
+//! at which the paper's *local failure probability* is defined.
+
+use lcl_graph::{EdgeId, Graph, HalfEdgeId, NodeId};
+
+use crate::label::{InLabel, OutLabel};
+use crate::labeling::HalfEdgeLabeling;
+use crate::problem::Problem;
+
+/// A single verification failure.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Violation {
+    /// The label pair on the edge is not an allowed edge configuration.
+    EdgeConfig { edge: EdgeId },
+    /// An output label violates `g_Π` on a half-edge of this edge.
+    EdgeInputMap { edge: EdgeId, half_edge: HalfEdgeId },
+    /// The label multiset around the node is not an allowed node
+    /// configuration.
+    NodeConfig { node: NodeId },
+    /// An output label violates `g_Π` on a half-edge of this node.
+    NodeInputMap { node: NodeId, half_edge: HalfEdgeId },
+}
+
+impl Violation {
+    /// Whether the violation is attributed to an edge (as opposed to a
+    /// node).
+    pub fn is_edge(&self) -> bool {
+        matches!(
+            self,
+            Violation::EdgeConfig { .. } | Violation::EdgeInputMap { .. }
+        )
+    }
+}
+
+/// Verifies `output` against problem `p` on `graph` with the given input
+/// labeling; returns every violation (empty means the solution is correct).
+///
+/// Per Definition 2.4, a `g_Π` violation is charged to *both* the edge and
+/// the node it occurs at, so it can appear twice with different variants.
+///
+/// # Panics
+///
+/// Panics if the labelings do not cover every half-edge of `graph`.
+pub fn verify<P: Problem + ?Sized>(
+    p: &P,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    output: &HalfEdgeLabeling<OutLabel>,
+) -> Vec<Violation> {
+    assert_eq!(input.len(), graph.half_edge_count(), "input covers graph");
+    assert_eq!(output.len(), graph.half_edge_count(), "output covers graph");
+    let mut violations = Vec::new();
+
+    for e in graph.edges() {
+        let [h1, h2] = graph.halves_of_edge(e);
+        if !p.edge_allows(output.get(h1), output.get(h2)) {
+            violations.push(Violation::EdgeConfig { edge: e });
+        }
+        for h in [h1, h2] {
+            if !p.input_allows(input.get(h), output.get(h)) {
+                violations.push(Violation::EdgeInputMap {
+                    edge: e,
+                    half_edge: h,
+                });
+            }
+        }
+    }
+
+    for v in graph.nodes() {
+        let around = output.around_node(graph, v);
+        if !p.node_allows(&around) {
+            violations.push(Violation::NodeConfig { node: v });
+        }
+        for h in graph.half_edges_of(v) {
+            if !p.input_allows(input.get(h), output.get(h)) {
+                violations.push(Violation::NodeInputMap {
+                    node: v,
+                    half_edge: h,
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+/// The fraction of *objects* (nodes plus edges) at which the labeling
+/// fails; `0.0` means correct. This is the empirical counterpart of the
+/// paper's local failure probability for one sample.
+pub fn local_failure_fraction<P: Problem + ?Sized>(
+    p: &P,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    output: &HalfEdgeLabeling<OutLabel>,
+) -> f64 {
+    let violations = verify(p, graph, input, output);
+    let mut failed_nodes = std::collections::BTreeSet::new();
+    let mut failed_edges = std::collections::BTreeSet::new();
+    for v in &violations {
+        match *v {
+            Violation::EdgeConfig { edge } | Violation::EdgeInputMap { edge, .. } => {
+                failed_edges.insert(edge);
+            }
+            Violation::NodeConfig { node } | Violation::NodeInputMap { node, .. } => {
+                failed_nodes.insert(node);
+            }
+        }
+    }
+    let objects = graph.node_count() + graph.edge_count();
+    if objects == 0 {
+        return 0.0;
+    }
+    (failed_nodes.len() + failed_edges.len()) as f64 / objects as f64
+}
+
+/// A short human-readable summary of a violation list.
+pub fn violations_summary(violations: &[Violation]) -> String {
+    if violations.is_empty() {
+        return "valid".to_string();
+    }
+    let edges = violations.iter().filter(|v| v.is_edge()).count();
+    let nodes = violations.len() - edges;
+    format!(
+        "{} violations ({} edge-attributed, {} node-attributed)",
+        violations.len(),
+        edges,
+        nodes
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::LclProblem;
+    use lcl_graph::gen;
+
+    fn two_coloring() -> LclProblem {
+        LclProblem::builder("2col", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn proper_two_coloring_verifies() {
+        let g = gen::path(6);
+        let p = two_coloring();
+        let input = crate::uniform_input(&g);
+        let output =
+            HalfEdgeLabeling::from_node_fn(&g, |v| vec![OutLabel(v.0 % 2); g.degree(v) as usize]);
+        assert!(verify(&p, &g, &input, &output).is_empty());
+        assert_eq!(local_failure_fraction(&p, &g, &input, &output), 0.0);
+    }
+
+    #[test]
+    fn monochromatic_edge_is_caught() {
+        let g = gen::path(3);
+        let p = two_coloring();
+        let input = crate::uniform_input(&g);
+        let output = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let violations = verify(&p, &g, &input, &output);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgeConfig { .. })));
+        assert!(local_failure_fraction(&p, &g, &input, &output) > 0.0);
+    }
+
+    #[test]
+    fn mixed_node_configuration_is_caught() {
+        let g = gen::path(3);
+        let p = two_coloring();
+        let input = crate::uniform_input(&g);
+        // The middle node outputs different colors on its two half-edges.
+        let output = HalfEdgeLabeling::from_fn(&g, |h| {
+            if g.node_of(h).0 == 1 {
+                OutLabel(g.port_of(h) as u32)
+            } else {
+                OutLabel(1 - g.node_of(h).0 % 2)
+            }
+        });
+        let violations = verify(&p, &g, &input, &output);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NodeConfig { node } if node.0 == 1)));
+    }
+
+    #[test]
+    fn g_violation_charged_to_node_and_edge() {
+        let p = LclProblem::builder("marked", 2)
+            .inputs(["plain", "forced"])
+            .outputs(["A", "B"])
+            .node_pattern(&["A*", "B*"])
+            .edge(&["A", "A"])
+            .edge(&["A", "B"])
+            .edge(&["B", "B"])
+            .allow("forced", &["B"])
+            .build()
+            .unwrap();
+        let g = gen::path(2);
+        let input = HalfEdgeLabeling::uniform(&g, InLabel(1)); // all forced
+        let output = HalfEdgeLabeling::uniform(&g, OutLabel(0)); // all A
+        let violations = verify(&p, &g, &input, &output);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::EdgeInputMap { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::NodeInputMap { .. })));
+    }
+
+    #[test]
+    fn summary_counts_sides() {
+        let g = gen::path(3);
+        let p = two_coloring();
+        let input = crate::uniform_input(&g);
+        let output = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let violations = verify(&p, &g, &input, &output);
+        let summary = violations_summary(&violations);
+        assert!(summary.contains("violations"));
+        assert_eq!(violations_summary(&[]), "valid");
+    }
+
+    #[test]
+    fn empty_graph_has_zero_failure() {
+        let g = lcl_graph::GraphBuilder::new(0).build().unwrap();
+        let p = two_coloring();
+        let input = crate::uniform_input(&g);
+        let output = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        assert_eq!(local_failure_fraction(&p, &g, &input, &output), 0.0);
+    }
+}

@@ -1,0 +1,89 @@
+//! The view-based LOCAL algorithm interface.
+
+use lcl::OutLabel;
+
+use crate::view::View;
+
+/// A LOCAL algorithm in the functional form of Definition 2.1: "a `T`-round
+/// algorithm is simply a function from the space of all possible labeled
+/// `T`-hop neighborhoods of a node to the space of outputs".
+///
+/// The same trait serves deterministic and randomized algorithms: the
+/// executor fills [`View::ids`] for deterministic runs and [`View::bits`]
+/// for randomized ones.
+pub trait LocalAlgorithm {
+    /// The radius `T(n)` the algorithm needs on `n`-node graphs.
+    fn radius(&self, n: usize) -> u32;
+
+    /// Computes the output labels for the center's half-edges, in port
+    /// order. Must return exactly `view.center_degree()` labels.
+    fn label(&self, view: &View<'_>) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// A [`LocalAlgorithm`] built from closures; convenient in tests and
+/// examples.
+///
+/// # Examples
+///
+/// ```
+/// use lcl::OutLabel;
+/// use lcl_local::FnAlgorithm;
+///
+/// // Output the parity of the center's degree at every port (a 0-round
+/// // algorithm).
+/// let alg = FnAlgorithm::new("degree-parity", |_n| 0, |view| {
+///     let d = view.center_degree();
+///     vec![OutLabel((d % 2) as u32); d]
+/// });
+/// ```
+pub struct FnAlgorithm<R, F> {
+    name: String,
+    radius: R,
+    label: F,
+}
+
+impl<R, F> FnAlgorithm<R, F>
+where
+    R: Fn(usize) -> u32,
+    F: Fn(&View<'_>) -> Vec<OutLabel>,
+{
+    /// Creates an algorithm from a radius function and a labeling function.
+    pub fn new(name: &str, radius: R, label: F) -> Self {
+        Self {
+            name: name.to_string(),
+            radius,
+            label,
+        }
+    }
+}
+
+impl<R, F> LocalAlgorithm for FnAlgorithm<R, F>
+where
+    R: Fn(usize) -> u32,
+    F: Fn(&View<'_>) -> Vec<OutLabel>,
+{
+    fn radius(&self, n: usize) -> u32 {
+        (self.radius)(n)
+    }
+
+    fn label(&self, view: &View<'_>) -> Vec<OutLabel> {
+        (self.label)(view)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<R, F> std::fmt::Debug for FnAlgorithm<R, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnAlgorithm")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}

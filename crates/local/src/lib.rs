@@ -1,0 +1,62 @@
+//! The LOCAL model of distributed computing (Definition 2.1 of the paper),
+//! as an executable simulator.
+//!
+//! A `T`-round LOCAL algorithm is *defined* as a function from radius-`T`
+//! views to outputs; this crate evaluates exactly that definition:
+//!
+//! * [`View`] — everything a node knows after `T` rounds: the ball
+//!   `B_G(v, T)` (with the paper's precise visibility rules), the number of
+//!   nodes `n`, unique identifiers (deterministic algorithms) or random bit
+//!   strings (randomized algorithms), and the input labels in the view.
+//! * [`LocalAlgorithm`] — the view-to-output function; run it with
+//!   [`run_deterministic`] / [`run_randomized`].
+//! * [`SyncAlgorithm`] — the equivalent message-passing formulation, for
+//!   naturally iterative algorithms (Cole–Vishkin, rake-and-compress);
+//!   the executor counts the rounds actually used.
+//! * [`OrderInvariantAlgorithm`] — Definition 2.7: algorithms that only see
+//!   the relative order of identifiers; includes an empirical
+//!   order-invariance checker used by the speed-up theorems.
+//! * [`estimate_local_failure`] — Monte-Carlo estimation of the *local
+//!   failure probability* (Definition 2.4) of a randomized algorithm.
+//!
+//! # Examples
+//!
+//! A 0-round algorithm that outputs a constant label:
+//!
+//! ```
+//! use lcl::OutLabel;
+//! use lcl_local::{run_deterministic, FnAlgorithm, IdAssignment};
+//! use lcl_graph::gen;
+//!
+//! let g = gen::path(5);
+//! let alg = FnAlgorithm::new("const", |_n| 0, |view| {
+//!     vec![OutLabel(0); view.ball.center().ports.len()]
+//! });
+//! let input = lcl::uniform_input(&g);
+//! let ids = IdAssignment::sequential(g.node_count());
+//! let run = run_deterministic(&alg, &g, &input, &ids, None);
+//! assert_eq!(run.radius, 0);
+//! ```
+
+pub mod algorithm;
+pub mod congest;
+pub mod ids;
+pub mod measure;
+pub mod order_invariant;
+pub mod run;
+pub mod sync;
+pub mod view;
+
+pub use algorithm::{FnAlgorithm, LocalAlgorithm};
+pub use congest::{run_congest, CongestRun, MessageBits};
+pub use ids::IdAssignment;
+pub use measure::minimal_solving_radius;
+pub use order_invariant::{
+    is_empirically_order_invariant, run_order_invariant, OrderInvariantAlgorithm, RankView,
+};
+pub use run::{
+    estimate_local_failure, estimate_local_failure_parallel, run_deterministic, run_randomized,
+    FailureEstimate, LocalRun,
+};
+pub use sync::{run_sync, run_sync_with, NodeInit, SyncAlgorithm, SyncRun};
+pub use view::View;

@@ -1,0 +1,409 @@
+//! Executing LOCAL algorithms and estimating local failure probabilities.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
+use lcl_graph::Graph;
+
+use crate::algorithm::LocalAlgorithm;
+use crate::ids::IdAssignment;
+use crate::view::View;
+
+/// The result of a LOCAL run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocalRun {
+    /// The produced half-edge labeling.
+    pub output: HalfEdgeLabeling<OutLabel>,
+    /// The radius the algorithm requested for this `n`.
+    pub radius: u32,
+}
+
+fn run_with<F>(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    n_announced: usize,
+    mut per_node: F,
+) -> LocalRun
+where
+    F: FnMut(&lcl_graph::Ball) -> (Vec<u64>, Vec<u64>),
+{
+    let radius = alg.radius(n_announced);
+    let output = HalfEdgeLabeling::from_node_fn(graph, |v| {
+        let ball = graph.ball(v, radius);
+        let (ids, bits) = per_node(&ball);
+        let inputs = ball
+            .nodes
+            .iter()
+            .flat_map(|node| node.half_edges.iter().map(|&h| input.get(h)))
+            .collect();
+        let view = View {
+            ball: &ball,
+            n: n_announced,
+            ids,
+            bits,
+            inputs,
+        };
+        let labels = alg.label(&view);
+        assert_eq!(
+            labels.len(),
+            graph.degree(v) as usize,
+            "algorithm {} must label each port of the center",
+            alg.name()
+        );
+        labels
+    });
+    LocalRun { output, radius }
+}
+
+/// Runs a deterministic LOCAL algorithm: every node evaluates the
+/// view-function on its radius-`T(n)` ball, seeing the identifiers in
+/// `ids`.
+///
+/// `n_announced` overrides the number of nodes reported to the algorithm
+/// (the paper's footnote 7: "nothing prevents us from executing an
+/// algorithm using an input parameter that does not represent the correct
+/// number of nodes"); `None` announces the true `n`.
+pub fn run_deterministic(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+) -> LocalRun {
+    assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+    run_with(alg, graph, input, n, |ball| {
+        let ids = ball.nodes.iter().map(|b| ids.id(b.original)).collect();
+        (ids, Vec::new())
+    })
+}
+
+/// Runs a randomized LOCAL algorithm: every node carries a private random
+/// bit string, derived deterministically from `seed` and the node id so
+/// that runs are reproducible.
+pub fn run_randomized(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    seed: u64,
+    n_announced: Option<usize>,
+) -> LocalRun {
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+    // Pre-draw one 64-bit string per node.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bits: Vec<u64> = (0..graph.node_count()).map(|_| rng.gen()).collect();
+    run_with(alg, graph, input, n, |ball| {
+        let bits = ball
+            .nodes
+            .iter()
+            .map(|b| bits[b.original.index()])
+            .collect();
+        (Vec::new(), bits)
+    })
+}
+
+/// A Monte-Carlo estimate of an algorithm's local failure probability
+/// (Definition 2.4): the maximum, over nodes and edges, of the empirical
+/// probability that the algorithm fails at that object.
+#[derive(Clone, PartialEq, Debug)]
+pub struct FailureEstimate {
+    /// Highest per-node failure frequency.
+    pub max_node: f64,
+    /// Highest per-edge failure frequency.
+    pub max_edge: f64,
+    /// Fraction of trials in which the global output was incorrect
+    /// anywhere (the plain failure probability).
+    pub global: f64,
+    /// Number of trials run.
+    pub trials: usize,
+}
+
+impl FailureEstimate {
+    /// The local failure probability estimate: `max(max_node, max_edge)`.
+    pub fn local(&self) -> f64 {
+        self.max_node.max(self.max_edge)
+    }
+}
+
+/// Estimates the local failure probability of a randomized algorithm by
+/// running it `trials` times with fresh randomness.
+pub fn estimate_local_failure(
+    problem: &(impl Problem + ?Sized),
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    trials: usize,
+    seed: u64,
+) -> FailureEstimate {
+    assert!(trials > 0, "at least one trial required");
+    let mut node_failures = vec![0usize; graph.node_count()];
+    let mut edge_failures = vec![0usize; graph.edge_count()];
+    let mut global_failures = 0usize;
+    for t in 0..trials {
+        let run = run_randomized(alg, graph, input, seed.wrapping_add(t as u64), None);
+        let violations = lcl::verify(problem, graph, input, &run.output);
+        if !violations.is_empty() {
+            global_failures += 1;
+        }
+        let mut failed_nodes = std::collections::BTreeSet::new();
+        let mut failed_edges = std::collections::BTreeSet::new();
+        for v in violations {
+            match v {
+                Violation::EdgeConfig { edge } | Violation::EdgeInputMap { edge, .. } => {
+                    failed_edges.insert(edge);
+                }
+                Violation::NodeConfig { node } | Violation::NodeInputMap { node, .. } => {
+                    failed_nodes.insert(node);
+                }
+            }
+        }
+        for node in failed_nodes {
+            node_failures[node.index()] += 1;
+        }
+        for edge in failed_edges {
+            edge_failures[edge.index()] += 1;
+        }
+    }
+    let to_freq = |worst: Option<&usize>| worst.map_or(0.0, |&w| w as f64 / trials as f64);
+    FailureEstimate {
+        max_node: to_freq(node_failures.iter().max()),
+        max_edge: to_freq(edge_failures.iter().max()),
+        global: global_failures as f64 / trials as f64,
+        trials,
+    }
+}
+
+/// Like [`estimate_local_failure`], but spreads the trials over `threads`
+/// OS threads with `std::thread::scope` (the estimation is embarrassingly
+/// parallel: each trial has its own seed). Results are identical to the
+/// sequential estimator for the same `(trials, seed)`.
+pub fn estimate_local_failure_parallel(
+    problem: &(impl Problem + Sync + ?Sized),
+    alg: &(impl LocalAlgorithm + Sync + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> FailureEstimate {
+    assert!(trials > 0 && threads > 0);
+    let threads = threads.min(trials);
+    // Per-trial failure records, merged after the scope.
+    let results: Vec<(Vec<usize>, Vec<usize>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                // Chunk t handles trials t, t + threads, t + 2·threads, ...
+                scope.spawn(move || {
+                    let mut node_failures = vec![0usize; graph.node_count()];
+                    let mut edge_failures = vec![0usize; graph.edge_count()];
+                    let mut global_failures = 0usize;
+                    let mut trial = t;
+                    while trial < trials {
+                        let run = run_randomized(
+                            alg,
+                            graph,
+                            input,
+                            seed.wrapping_add(trial as u64),
+                            None,
+                        );
+                        let violations = lcl::verify(problem, graph, input, &run.output);
+                        if !violations.is_empty() {
+                            global_failures += 1;
+                        }
+                        let mut failed_nodes = std::collections::BTreeSet::new();
+                        let mut failed_edges = std::collections::BTreeSet::new();
+                        for v in violations {
+                            match v {
+                                Violation::EdgeConfig { edge }
+                                | Violation::EdgeInputMap { edge, .. } => {
+                                    failed_edges.insert(edge);
+                                }
+                                Violation::NodeConfig { node }
+                                | Violation::NodeInputMap { node, .. } => {
+                                    failed_nodes.insert(node);
+                                }
+                            }
+                        }
+                        for node in failed_nodes {
+                            node_failures[node.index()] += 1;
+                        }
+                        for edge in failed_edges {
+                            edge_failures[edge.index()] += 1;
+                        }
+                        trial += threads;
+                    }
+                    (node_failures, edge_failures, global_failures)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("estimator thread panicked"))
+            .collect()
+    });
+    let mut node_failures = vec![0usize; graph.node_count()];
+    let mut edge_failures = vec![0usize; graph.edge_count()];
+    let mut global_failures = 0usize;
+    for (nodes, edges, global) in results {
+        for (acc, x) in node_failures.iter_mut().zip(nodes) {
+            *acc += x;
+        }
+        for (acc, x) in edge_failures.iter_mut().zip(edges) {
+            *acc += x;
+        }
+        global_failures += global;
+    }
+    let to_freq = |worst: Option<&usize>| worst.map_or(0.0, |&w| w as f64 / trials as f64);
+    FailureEstimate {
+        max_node: to_freq(node_failures.iter().max()),
+        max_edge: to_freq(edge_failures.iter().max()),
+        global: global_failures as f64 / trials as f64,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::FnAlgorithm;
+    use lcl::LclProblem;
+    use lcl_graph::gen;
+
+    fn any_label_problem() -> LclProblem {
+        LclProblem::builder("any", 3)
+            .outputs(["X", "Y"])
+            .node_pattern(&["X*", "Y*"])
+            .edge(&["X", "X"])
+            .edge(&["X", "Y"])
+            .edge(&["Y", "Y"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_run_sees_ids() {
+        let g = gen::path(4);
+        // Output X iff the center has the locally largest id (radius 1).
+        let alg = FnAlgorithm::new(
+            "local-max",
+            |_| 1,
+            |view| {
+                let me = view.center_id();
+                let max = view.ids.iter().copied().max().unwrap();
+                vec![OutLabel(u32::from(me == max)); view.center_degree()]
+            },
+        );
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::from_vec(vec![5, 9, 2, 7]);
+        let run = run_deterministic(&alg, &g, &input, &ids, None);
+        // Node 1 (id 9) is a local max; node 0 (id 5 < 9) is not.
+        let h0 = g.half_edge(lcl_graph::NodeId(1), 0);
+        assert_eq!(run.output.get(h0), OutLabel(1));
+        let h1 = g.half_edge(lcl_graph::NodeId(0), 0);
+        assert_eq!(run.output.get(h1), OutLabel(0));
+    }
+
+    #[test]
+    fn randomized_run_is_reproducible() {
+        let g = gen::cycle(6);
+        let alg = FnAlgorithm::new(
+            "coin",
+            |_| 0,
+            |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let a = run_randomized(&alg, &g, &input, 3, None);
+        let b = run_randomized(&alg, &g, &input, 3, None);
+        assert_eq!(a, b);
+        let c = run_randomized(&alg, &g, &input, 4, None);
+        assert!(a != c || a == c, "different seeds may differ");
+    }
+
+    #[test]
+    fn announced_n_overrides_true_n() {
+        let g = gen::path(4);
+        let alg = FnAlgorithm::new(
+            "echo-n",
+            |_| 0,
+            |view| vec![OutLabel(view.n as u32); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let run = run_deterministic(&alg, &g, &input, &ids, Some(16));
+        let h = g.half_edge(lcl_graph::NodeId(0), 0);
+        assert_eq!(run.output.get(h), OutLabel(16));
+    }
+
+    #[test]
+    fn failure_estimate_of_always_correct_algorithm_is_zero() {
+        let g = gen::path(5);
+        let p = any_label_problem();
+        let alg = FnAlgorithm::new(
+            "const",
+            |_| 0,
+            |view| vec![OutLabel(0); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let est = estimate_local_failure(&p, &alg, &g, &input, 10, 1);
+        assert_eq!(est.local(), 0.0);
+        assert_eq!(est.global, 0.0);
+    }
+
+    #[test]
+    fn failure_estimate_detects_coin_flips() {
+        // 2-coloring attempted by pure coin flips must fail often.
+        let p = LclProblem::builder("2col", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .build()
+            .unwrap();
+        let g = gen::path(6);
+        let alg = FnAlgorithm::new(
+            "coin",
+            |_| 0,
+            |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let est = estimate_local_failure(&p, &alg, &g, &input, 200, 5);
+        // Each edge is monochromatic with probability 1/2.
+        assert!(est.max_edge > 0.3, "max_edge = {}", est.max_edge);
+        assert!(est.global > 0.9);
+    }
+
+    #[test]
+    fn parallel_estimator_matches_sequential() {
+        let p = LclProblem::builder("2col", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .build()
+            .unwrap();
+        let g = gen::path(8);
+        let alg = FnAlgorithm::new(
+            "coin",
+            |_| 0,
+            |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let sequential = estimate_local_failure(&p, &alg, &g, &input, 64, 9);
+        for threads in [1, 3, 8] {
+            let parallel = estimate_local_failure_parallel(&p, &alg, &g, &input, 64, 9, threads);
+            assert_eq!(parallel, sequential, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label each port")]
+    fn wrong_arity_is_rejected() {
+        let g = gen::path(3);
+        let alg = FnAlgorithm::new("bad", |_| 0, |_| vec![OutLabel(0)]);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(3);
+        let _ = run_deterministic(&alg, &g, &input, &ids, None);
+    }
+}

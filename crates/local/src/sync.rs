@@ -1,0 +1,281 @@
+//! Synchronous message-passing formulation of the LOCAL model.
+//!
+//! Iterative algorithms (Cole–Vishkin, rake-and-compress, color reduction)
+//! are most naturally written as per-round state machines; this executor
+//! runs them and *counts the rounds actually used*, which is what the
+//! landscape benches plot against `n`.
+//!
+//! The formulation is equivalent to the view-based one: `T` rounds of
+//! message passing reveal at most the radius-`T` view.
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_graph::{Graph, NodeId};
+
+/// The information a node starts with (before any communication).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeInit {
+    /// The node's structural index (not visible to the algorithm logic
+    /// beyond equality; exposed for deterministic tie-breaking in tests).
+    pub node: NodeId,
+    /// The announced number of nodes.
+    pub n: usize,
+    /// The node's unique identifier (or a random bit string in randomized
+    /// uses; the executor does not distinguish).
+    pub id: u64,
+    /// Degree.
+    pub degree: u8,
+    /// Input labels on the node's half-edges, in port order.
+    pub inputs: Vec<InLabel>,
+}
+
+/// A synchronous LOCAL algorithm as a per-node state machine.
+///
+/// Each round, every node produces one message per port ([`send`]) and
+/// consumes the messages arriving on its ports ([`receive`]). The run ends
+/// when every node reports done.
+///
+/// [`send`]: SyncAlgorithm::send
+/// [`receive`]: SyncAlgorithm::receive
+pub trait SyncAlgorithm {
+    /// Per-node state.
+    type State: Clone;
+    /// Per-edge message.
+    type Msg: Clone;
+
+    /// Initializes a node's state.
+    fn init(&self, init: &NodeInit) -> Self::State;
+
+    /// Produces the message to send through each port, in port order.
+    fn send(&self, state: &Self::State, round: u32) -> Vec<Self::Msg>;
+
+    /// Consumes the messages received on each port, in port order.
+    fn receive(&self, state: &mut Self::State, inbox: &[Self::Msg], round: u32);
+
+    /// Whether this node has finished (all nodes finishing ends the run).
+    fn is_done(&self, state: &Self::State) -> bool;
+
+    /// The output labels for the node's half-edges, in port order.
+    fn output(&self, state: &Self::State) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// The result of a synchronous run.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SyncRun {
+    /// The produced half-edge labeling.
+    pub output: HalfEdgeLabeling<OutLabel>,
+    /// Number of communication rounds used.
+    pub rounds: u32,
+}
+
+/// Runs a [`SyncAlgorithm`] to completion.
+///
+/// `ids[v]` provides each node's identifier (use random values for
+/// randomized algorithms). The run aborts after `max_rounds` rounds.
+///
+/// # Panics
+///
+/// Panics if the algorithm does not halt within `max_rounds` rounds or
+/// sends the wrong number of messages.
+pub fn run_sync<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+) -> SyncRun {
+    run_sync_with(alg, graph, input, ids, n_announced, max_rounds, |_| {})
+}
+
+/// Like [`run_sync`], additionally invoking `observe` on every message
+/// sent — the hook behind the CONGEST bandwidth accounting of
+/// [`congest`](crate::congest).
+///
+/// # Panics
+///
+/// As [`run_sync`].
+pub fn run_sync_with<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+    mut observe: impl FnMut(&A::Msg),
+) -> SyncRun {
+    assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+
+    let mut states: Vec<A::State> = graph
+        .nodes()
+        .map(|v| {
+            alg.init(&NodeInit {
+                node: v,
+                n,
+                id: ids[v.index()],
+                degree: graph.degree(v),
+                inputs: graph.half_edges_of(v).map(|h| input.get(h)).collect(),
+            })
+        })
+        .collect();
+
+    let mut rounds = 0u32;
+    loop {
+        if states.iter().all(|s| alg.is_done(s)) {
+            break;
+        }
+        assert!(
+            rounds < max_rounds,
+            "algorithm {} did not halt within {max_rounds} rounds",
+            alg.name()
+        );
+        // Send phase: collect all outboxes first (synchronous semantics).
+        let outboxes: Vec<Vec<A::Msg>> = graph
+            .nodes()
+            .map(|v| {
+                let out = alg.send(&states[v.index()], rounds);
+                assert_eq!(
+                    out.len(),
+                    graph.degree(v) as usize,
+                    "algorithm {} must send one message per port",
+                    alg.name()
+                );
+                for msg in &out {
+                    observe(msg);
+                }
+                out
+            })
+            .collect();
+        // Deliver phase: the message arriving on port p of v is the one
+        // sent by the neighbor through the twin port.
+        for v in graph.nodes() {
+            let inbox: Vec<A::Msg> = graph
+                .half_edges_of(v)
+                .map(|h| {
+                    let twin = graph.twin(h);
+                    let u = graph.node_of(twin);
+                    outboxes[u.index()][graph.port_of(twin) as usize].clone()
+                })
+                .collect();
+            alg.receive(&mut states[v.index()], &inbox, rounds);
+        }
+        rounds += 1;
+    }
+
+    let output = HalfEdgeLabeling::from_node_fn(graph, |v| {
+        let out = alg.output(&states[v.index()]);
+        assert_eq!(
+            out.len(),
+            graph.degree(v) as usize,
+            "algorithm {} must label each port",
+            alg.name()
+        );
+        out
+    });
+    SyncRun { output, rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+
+    /// Every node learns the maximum id within distance `k` by flooding
+    /// for `k` rounds, then outputs 1 iff it holds the maximum.
+    struct FloodMax {
+        k: u32,
+    }
+
+    #[derive(Clone)]
+    struct FloodState {
+        best: u64,
+        mine: u64,
+        degree: usize,
+        round: u32,
+        k: u32,
+    }
+
+    impl SyncAlgorithm for FloodMax {
+        type State = FloodState;
+        type Msg = u64;
+
+        fn init(&self, init: &NodeInit) -> FloodState {
+            FloodState {
+                best: init.id,
+                mine: init.id,
+                degree: init.degree as usize,
+                round: 0,
+                k: self.k,
+            }
+        }
+
+        fn send(&self, state: &FloodState, _round: u32) -> Vec<u64> {
+            vec![state.best; state.degree]
+        }
+
+        fn receive(&self, state: &mut FloodState, inbox: &[u64], _round: u32) {
+            for &m in inbox {
+                state.best = state.best.max(m);
+            }
+            state.round += 1;
+        }
+
+        fn is_done(&self, state: &FloodState) -> bool {
+            state.round >= state.k
+        }
+
+        fn output(&self, state: &FloodState) -> Vec<OutLabel> {
+            vec![OutLabel(u32::from(state.best == state.mine)); state.degree]
+        }
+
+        fn name(&self) -> &str {
+            "flood-max"
+        }
+    }
+
+    #[test]
+    fn flood_max_uses_exactly_k_rounds() {
+        let g = gen::path(8);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        let run = run_sync(&FloodMax { k: 3 }, &g, &input, &ids, None, 100);
+        assert_eq!(run.rounds, 3);
+    }
+
+    #[test]
+    fn flood_max_finds_global_max_with_enough_rounds() {
+        let g = gen::path(6);
+        let input = lcl::uniform_input(&g);
+        let ids = vec![3, 9, 1, 4, 0, 2];
+        let run = run_sync(&FloodMax { k: 6 }, &g, &input, &ids, None, 100);
+        // Only node 1 (id 9) outputs 1.
+        for v in g.nodes() {
+            let h = g.half_edge(v, 0);
+            let expect = u32::from(v.0 == 1);
+            assert_eq!(run.output.get(h), OutLabel(expect));
+        }
+    }
+
+    #[test]
+    fn zero_round_algorithm_uses_zero_rounds() {
+        let g = gen::cycle(5);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..5).collect();
+        let run = run_sync(&FloodMax { k: 0 }, &g, &input, &ids, None, 100);
+        assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not halt")]
+    fn runaway_algorithm_is_stopped() {
+        let g = gen::path(3);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..3).collect();
+        let _ = run_sync(&FloodMax { k: 1000 }, &g, &input, &ids, None, 5);
+    }
+}

@@ -1,0 +1,82 @@
+//! The radius-`T` view a LOCAL algorithm computes from.
+
+use lcl::InLabel;
+use lcl_graph::Ball;
+
+/// Everything a node knows in a `T`-round LOCAL algorithm (Definition 2.1):
+/// its radius-`T` ball, the total number of nodes `n`, per-node identifiers
+/// or random bit strings, and the input labels of every visible half-edge.
+///
+/// Per-node data is indexed by ball-node position (0 = the center);
+/// half-edge data is flat in node-major, port-minor order, addressed via
+/// [`View::half_edge_index`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct View<'a> {
+    /// The topology of the view.
+    pub ball: &'a Ball,
+    /// The number of nodes of the input graph, as announced to the nodes.
+    /// (The paper stresses that nodes knowing the exact `n` is the *harder*
+    /// setting for the speed-up; the simulator can announce any value.)
+    pub n: usize,
+    /// Unique identifiers per ball node (deterministic algorithms); empty
+    /// for randomized runs.
+    pub ids: Vec<u64>,
+    /// Random bit strings per ball node (randomized algorithms); empty for
+    /// deterministic runs.
+    pub bits: Vec<u64>,
+    /// Input labels per visible half-edge, flat.
+    pub inputs: Vec<InLabel>,
+}
+
+impl View<'_> {
+    /// The flat half-edge index of port `port` of ball node `node`.
+    pub fn half_edge_index(&self, node: usize, port: u8) -> usize {
+        let mut idx = 0usize;
+        for b in &self.ball.nodes[..node] {
+            idx += b.ports.len();
+        }
+        idx + port as usize
+    }
+
+    /// The input label on port `port` of ball node `node`.
+    pub fn input_at(&self, node: usize, port: u8) -> InLabel {
+        self.inputs[self.half_edge_index(node, port)]
+    }
+
+    /// The identifier of the center.
+    ///
+    /// # Panics
+    ///
+    /// Panics in randomized runs (no identifiers present).
+    pub fn center_id(&self) -> u64 {
+        self.ids[0]
+    }
+
+    /// The center's degree.
+    pub fn center_degree(&self) -> usize {
+        self.ball.center().ports.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::{gen, NodeId};
+
+    #[test]
+    fn half_edge_index_is_node_major() {
+        let g = gen::path(5);
+        let ball = g.ball(NodeId(2), 1);
+        let view = View {
+            ball: &ball,
+            n: 5,
+            ids: vec![0; ball.node_count()],
+            bits: vec![],
+            inputs: vec![InLabel(0); 6],
+        };
+        // Center (degree 2) occupies indices 0..2, next node starts at 2.
+        assert_eq!(view.half_edge_index(0, 1), 1);
+        assert_eq!(view.half_edge_index(1, 0), 2);
+        assert_eq!(view.center_degree(), 2);
+    }
+}

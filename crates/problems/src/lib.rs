@@ -1,0 +1,43 @@
+//! Concrete LCL problems and distributed algorithms populating every
+//! class of the paper's Figure 1 landscape.
+//!
+//! | Class | Problem | Algorithm here |
+//! |---|---|---|
+//! | `O(1)` | trivial labelings, degree parity, RE-synthesizable problems | [`trivial`], `lcl-core::speedup_trees` |
+//! | `Θ(log* n)` | 3-coloring oriented cycles/paths, `Δ+1`-coloring, MIS, maximal matching | [`cv`], [`coloring`], [`mis`], [`matching`] |
+//! | `Θ(log n)` (class C/D engine) | rake-and-compress layering | [`rake_compress`] |
+//! | `Θ(n)` / `Θ(diam)` | 2-coloring paths/trees (global) | [`global`] |
+//! | dense region on general graphs | 3-coloring a path *through* a shortcut tree (`Θ(log log* n)`-style compression) | [`shortcut`] |
+//!
+//! Problem *definitions* (node-edge-checkable form) live in [`catalog`];
+//! algorithms are `lcl-local` [`SyncAlgorithm`]s or view-based
+//! [`LocalAlgorithm`]s whose measured rounds are exactly what the
+//! `lcl-bench` figures plot.
+//!
+//! [`SyncAlgorithm`]: lcl_local::SyncAlgorithm
+//! [`LocalAlgorithm`]: lcl_local::LocalAlgorithm
+
+pub mod catalog;
+pub mod coloring;
+pub mod cv;
+pub mod edge_coloring;
+pub mod global;
+pub mod matching;
+pub mod mis;
+pub mod rake_compress;
+pub mod shortcut;
+pub mod trivial;
+
+pub use catalog::{
+    anti_matching, k_coloring, maximal_matching_problem, mis_problem, oriented_three_coloring,
+    sinkless_orientation, sinkless_orientation_standard, two_coloring,
+};
+pub use coloring::DeltaPlusOne;
+pub use cv::{ColeVishkin, Orientation};
+pub use edge_coloring::{color_edges, edge_coloring_problem};
+pub use global::TwoColorByAnchor;
+pub use matching::MatchingByColor;
+pub use mis::MisByColor;
+pub use rake_compress::{rake_compress_rounds, RakeCompress};
+pub use shortcut::{shortcut_path, ShortcutColoring};
+pub use trivial::{free_problem, ConstantZero, MaxDegree2Hop};

@@ -1,0 +1,266 @@
+//! The adaptive probe interface of the VOLUME model (Definition 2.9).
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_graph::{Graph, NodeId};
+
+use lcl_local::IdAssignment;
+
+/// The local information of one node — the paper's `Tuples_S` entry
+/// `(id, deg, in)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NodeInfo {
+    /// The node's identifier.
+    pub id: u64,
+    /// The node's degree.
+    pub degree: u8,
+    /// Input labels of the node's half-edges, in port order.
+    pub inputs: Vec<InLabel>,
+}
+
+/// One query's probe session: starts at the queried node `v` with
+/// transcript `t^{(0)} = (t_v)` and grows by one discovered node per probe.
+///
+/// The session enforces the probe budget; exceeding it is a bug in the
+/// algorithm and panics.
+#[derive(Debug)]
+pub struct ProbeSession<'a> {
+    graph: &'a Graph,
+    input: &'a HalfEdgeLabeling<InLabel>,
+    ids: &'a IdAssignment,
+    /// Discovered nodes, in discovery order; index 0 is the queried node.
+    discovered: Vec<NodeId>,
+    infos: Vec<NodeInfo>,
+    budget: usize,
+    probes_used: usize,
+    /// Announced number of nodes.
+    n: usize,
+}
+
+impl<'a> ProbeSession<'a> {
+    pub(crate) fn new(
+        graph: &'a Graph,
+        input: &'a HalfEdgeLabeling<InLabel>,
+        ids: &'a IdAssignment,
+        start: NodeId,
+        budget: usize,
+        n: usize,
+    ) -> Self {
+        let mut session = Self {
+            graph,
+            input,
+            ids,
+            discovered: Vec::with_capacity(budget + 1),
+            infos: Vec::with_capacity(budget + 1),
+            budget,
+            probes_used: 0,
+            n,
+        };
+        session.push(start);
+        session
+    }
+
+    fn push(&mut self, v: NodeId) -> &NodeInfo {
+        self.discovered.push(v);
+        self.infos.push(NodeInfo {
+            id: self.ids.id(v),
+            degree: self.graph.degree(v),
+            inputs: self
+                .graph
+                .half_edges_of(v)
+                .map(|h| self.input.get(h))
+                .collect(),
+        });
+        self.infos.last().expect("just pushed")
+    }
+
+    /// The announced number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The queried node's information (`t_v`; free of charge).
+    pub fn queried(&self) -> &NodeInfo {
+        &self.infos[0]
+    }
+
+    /// The information of the `j`-th discovered node (0 = queried node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn info(&self, j: usize) -> &NodeInfo {
+        &self.infos[j]
+    }
+
+    /// Number of nodes discovered so far (including the queried node).
+    pub fn discovered_count(&self) -> usize {
+        self.infos.len()
+    }
+
+    /// Number of probes spent so far.
+    pub fn probes_used(&self) -> usize {
+        self.probes_used
+    }
+
+    /// Remaining probe budget.
+    pub fn probes_left(&self) -> usize {
+        self.budget - self.probes_used
+    }
+
+    /// Performs the adaptive probe `(j, port)`: reveals the node behind
+    /// port `port` of the `j`-th discovered node, appends it to the
+    /// transcript, and returns its information.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the probe budget is exhausted, `j` is out of range, or
+    /// `port` exceeds the degree of node `j` (the paper assumes algorithms
+    /// only probe existing ports; a real algorithm can check `degree`
+    /// first).
+    pub fn probe(&mut self, j: usize, port: u8) -> NodeInfo {
+        assert!(
+            self.probes_used < self.budget,
+            "probe budget {} exhausted",
+            self.budget
+        );
+        assert!(j < self.discovered.len(), "probe target {j} not discovered");
+        let v = self.discovered[j];
+        assert!(
+            port < self.graph.degree(v),
+            "port {port} out of range at discovered node {j}"
+        );
+        self.probes_used += 1;
+        let h = self.graph.half_edge(v, port);
+        let w = self.graph.neighbor(h);
+        self.push(w).clone()
+    }
+
+    /// Like [`probe`](Self::probe), but also reveals through which port of
+    /// the discovered node the probed edge arrives (the twin port) —
+    /// standard in VOLUME algorithms that walk along paths.
+    pub fn probe_with_arrival(&mut self, j: usize, port: u8) -> (NodeInfo, u8) {
+        let v = self.discovered[j];
+        let h = self.graph.half_edge(v, port);
+        let arrival = self.graph.port_of(self.graph.twin(h));
+        (self.probe(j, port), arrival)
+    }
+}
+
+/// A VOLUME algorithm: answers the query for one node's half-edge outputs
+/// using at most `probe_budget(n)` adaptive probes.
+pub trait VolumeAlgorithm {
+    /// The probe budget `T(n)`.
+    fn probe_budget(&self, n: usize) -> usize;
+
+    /// Answers the query: output labels for the queried node's half-edges,
+    /// in port order.
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// A [`VolumeAlgorithm`] built from closures.
+pub struct FnVolumeAlgorithm<B, F> {
+    name: String,
+    budget: B,
+    answer: F,
+}
+
+impl<B, F> FnVolumeAlgorithm<B, F>
+where
+    B: Fn(usize) -> usize,
+    F: Fn(&mut ProbeSession<'_>) -> Vec<OutLabel>,
+{
+    /// Creates an algorithm from a budget function and an answer function.
+    pub fn new(name: &str, budget: B, answer: F) -> Self {
+        Self {
+            name: name.to_string(),
+            budget,
+            answer,
+        }
+    }
+}
+
+impl<B, F> VolumeAlgorithm for FnVolumeAlgorithm<B, F>
+where
+    B: Fn(usize) -> usize,
+    F: Fn(&mut ProbeSession<'_>) -> Vec<OutLabel>,
+{
+    fn probe_budget(&self, n: usize) -> usize {
+        (self.budget)(n)
+    }
+
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel> {
+        (self.answer)(session)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<B, F> std::fmt::Debug for FnVolumeAlgorithm<B, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnVolumeAlgorithm")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_graph::gen;
+
+    #[test]
+    fn session_reveals_neighbors() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 3, 4);
+        assert_eq!(s.queried().id, 1);
+        assert_eq!(s.queried().degree, 2);
+        let left = s.probe(0, 0);
+        assert_eq!(left.id, 0);
+        let right = s.probe(0, 1);
+        assert_eq!(right.id, 2);
+        assert_eq!(s.probes_used(), 2);
+        assert_eq!(s.discovered_count(), 3);
+    }
+
+    #[test]
+    fn probe_with_arrival_reports_twin_port() {
+        let g = gen::cycle(5);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(5);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(0), 5, 5);
+        // Port 1 = successor; the edge arrives at the successor's port 0.
+        let (info, arrival) = s.probe_with_arrival(0, 1);
+        assert_eq!(info.id, 1);
+        assert_eq!(arrival, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "budget")]
+    fn budget_is_enforced() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 1, 4);
+        let _ = s.probe(0, 0);
+        let _ = s.probe(0, 1); // over budget
+    }
+
+    #[test]
+    #[should_panic(expected = "not discovered")]
+    fn undiscovered_targets_are_rejected() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 5, 4);
+        let _ = s.probe(3, 0);
+    }
+}

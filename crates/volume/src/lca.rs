@@ -1,0 +1,236 @@
+//! The LCA (local computation algorithms) model.
+//!
+//! An LCA differs from a VOLUME algorithm in two ways (Section 2.2 of the
+//! paper): identifiers are exactly `{1, ..., n}`, and *far probes* —
+//! looking up an arbitrary identifier — are allowed. Theorem 2.12 (Göös,
+//! Hirvonen, Levi, Medina, Suomela) shows far probes do not help below
+//! `o(√log n)` probes, which is why the paper's VOLUME gap transfers to
+//! LCAs; [`run_lca`] makes the model concrete so the suite can demonstrate
+//! the transfer.
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_graph::{Graph, NodeId};
+
+use lcl_local::IdAssignment;
+
+use crate::algorithm::{NodeInfo, ProbeSession, VolumeAlgorithm};
+
+/// A probe session extended with far probes (identifier lookup).
+#[derive(Debug)]
+pub struct LcaSession<'a, 'b> {
+    inner: &'b mut ProbeSession<'a>,
+    graph: &'a Graph,
+    input: &'a HalfEdgeLabeling<InLabel>,
+    ids: &'a IdAssignment,
+    /// Far probes performed (counted separately, per Theorem 2.12's
+    /// distinction).
+    far_probes: usize,
+}
+
+impl<'a, 'b> LcaSession<'a, 'b> {
+    pub(crate) fn new(
+        inner: &'b mut ProbeSession<'a>,
+        graph: &'a Graph,
+        input: &'a HalfEdgeLabeling<InLabel>,
+        ids: &'a IdAssignment,
+    ) -> Self {
+        Self {
+            inner,
+            graph,
+            input,
+            ids,
+            far_probes: 0,
+        }
+    }
+
+    /// The underlying near-probe session.
+    pub fn near(&mut self) -> &mut ProbeSession<'a> {
+        self.inner
+    }
+
+    /// Number of far probes performed.
+    pub fn far_probes_used(&self) -> usize {
+        self.far_probes
+    }
+
+    /// A far probe: looks up the node with identifier `id` (LCA ids are
+    /// `1..=n`), returning its local information, or `None` if no node has
+    /// that identifier.
+    pub fn far_probe(&mut self, id: u64) -> Option<NodeInfo> {
+        self.far_probes += 1;
+        let v = self.graph.nodes().find(|&v| self.ids.id(v) == id)?;
+        Some(NodeInfo {
+            id,
+            degree: self.graph.degree(v),
+            inputs: self
+                .graph
+                .half_edges_of(v)
+                .map(|h| self.input.get(h))
+                .collect(),
+        })
+    }
+}
+
+/// An LCA: like a VOLUME algorithm, with far probes available.
+pub trait LcaAlgorithm {
+    /// The probe budget `T(n)` (near probes).
+    fn probe_budget(&self, n: usize) -> usize;
+
+    /// Answers the query for the queried node's half-edges.
+    fn answer(&self, session: &mut LcaSession<'_, '_>) -> Vec<OutLabel>;
+
+    /// A short name for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+/// Runs an LCA over every node of the graph.
+///
+/// # Panics
+///
+/// Panics unless `ids` is a permutation of `0..n` shifted by one
+/// (`1..=n`), which is the LCA model's identifier promise.
+pub fn run_lca(
+    alg: &(impl LcaAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+) -> crate::run::VolumeRun {
+    let n = graph.node_count();
+    let mut sorted: Vec<u64> = ids.iter().collect();
+    sorted.sort_unstable();
+    assert!(
+        sorted == (1..=n as u64).collect::<Vec<_>>(),
+        "LCA identifiers must be exactly 1..=n"
+    );
+    let budget = alg.probe_budget(n);
+    let mut max_probes = 0usize;
+    let mut total_probes = 0usize;
+    let output = HalfEdgeLabeling::from_node_fn(graph, |v: NodeId| {
+        let mut inner = ProbeSession::new(graph, input, ids, v, budget, n);
+        let mut session = LcaSession::new(&mut inner, graph, input, ids);
+        let labels = alg.answer(&mut session);
+        assert_eq!(
+            labels.len(),
+            graph.degree(v) as usize,
+            "algorithm {} must label each half-edge of the queried node",
+            alg.name()
+        );
+        let used = session.far_probes_used() + inner.probes_used();
+        max_probes = max_probes.max(used);
+        total_probes += used;
+        labels
+    });
+    crate::run::VolumeRun {
+        output,
+        max_probes,
+        total_probes,
+    }
+}
+
+/// Adapts a VOLUME algorithm into an LCA that never uses far probes — the
+/// direction of Theorem 2.12 that is immediate.
+#[derive(Debug)]
+pub struct VolumeAsLca<A>(pub A);
+
+impl<A: VolumeAlgorithm> LcaAlgorithm for VolumeAsLca<A> {
+    fn probe_budget(&self, n: usize) -> usize {
+        self.0.probe_budget(n)
+    }
+
+    fn answer(&self, session: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+        self.0.answer(session.near())
+    }
+
+    fn name(&self) -> &str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::FnVolumeAlgorithm;
+    use lcl_graph::gen;
+
+    fn lca_ids(n: usize) -> IdAssignment {
+        IdAssignment::from_vec((1..=n as u64).collect())
+    }
+
+    #[test]
+    fn far_probe_finds_nodes_by_id() {
+        let g = gen::path(5);
+        let input = lcl::uniform_input(&g);
+        let ids = lca_ids(5);
+        struct FarDegree;
+        impl LcaAlgorithm for FarDegree {
+            fn probe_budget(&self, _n: usize) -> usize {
+                0
+            }
+            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+                // Look up node with id 1 and output its degree.
+                let info = s.far_probe(1).expect("id 1 exists");
+                let d = s.near().queried().degree as usize;
+                vec![OutLabel(u32::from(info.degree)); d]
+            }
+        }
+        let run = run_lca(&FarDegree, &g, &input, &ids);
+        // Node with id 1 is node 0, an endpoint of degree 1.
+        assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(1)));
+        assert_eq!(run.max_probes, 1); // the far probe is counted
+    }
+
+    #[test]
+    fn missing_id_returns_none() {
+        let g = gen::path(3);
+        let input = lcl::uniform_input(&g);
+        let ids = lca_ids(3);
+        struct Missing;
+        impl LcaAlgorithm for Missing {
+            fn probe_budget(&self, _n: usize) -> usize {
+                0
+            }
+            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+                let d = s.near().queried().degree as usize;
+                vec![OutLabel(u32::from(s.far_probe(99).is_none())); d]
+            }
+        }
+        let run = run_lca(&Missing, &g, &input, &ids);
+        assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=n")]
+    fn non_lca_ids_are_rejected() {
+        let g = gen::path(3);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::from_vec(vec![0, 5, 9]);
+        let alg = VolumeAsLca(FnVolumeAlgorithm::new(
+            "const",
+            |_| 0,
+            |s| vec![OutLabel(0); s.queried().degree as usize],
+        ));
+        let _ = run_lca(&alg, &g, &input, &ids);
+    }
+
+    #[test]
+    fn volume_as_lca_matches_volume_run() {
+        let g = gen::cycle(6);
+        let input = lcl::uniform_input(&g);
+        let ids = lca_ids(6);
+        let alg = FnVolumeAlgorithm::new(
+            "first-neighbor",
+            |_| 1,
+            |s| {
+                let d = s.queried().degree as usize;
+                let n0 = s.probe(0, 0);
+                vec![OutLabel((n0.id % 2) as u32); d]
+            },
+        );
+        let volume_run = crate::run::run_volume(&alg, &g, &input, &ids, None);
+        let lca_run = run_lca(&VolumeAsLca(alg), &g, &input, &ids);
+        assert_eq!(volume_run.output, lca_run.output);
+        assert_eq!(volume_run.max_probes, lca_run.max_probes);
+    }
+}

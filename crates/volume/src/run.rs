@@ -1,0 +1,208 @@
+//! Executing VOLUME algorithms over whole graphs.
+
+use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_graph::Graph;
+
+use lcl_local::IdAssignment;
+
+use crate::algorithm::{ProbeSession, VolumeAlgorithm};
+
+/// The result of answering every node's query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VolumeRun {
+    /// The produced half-edge labeling.
+    pub output: HalfEdgeLabeling<OutLabel>,
+    /// The maximum number of probes any single query used — the VOLUME
+    /// complexity actually exercised.
+    pub max_probes: usize,
+    /// The total number of probes across all queries.
+    pub total_probes: usize,
+}
+
+/// Runs a VOLUME algorithm by querying every node (each query gets a fresh
+/// session, as in the model: queries do not share state).
+///
+/// # Panics
+///
+/// Panics if the graph contains an isolated node (excluded by
+/// Definition 2.9) or the algorithm exceeds its own probe budget.
+pub fn run_volume(
+    alg: &(impl VolumeAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+) -> VolumeRun {
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+    let budget = alg.probe_budget(n);
+    let mut max_probes = 0usize;
+    let mut total_probes = 0usize;
+    let output = HalfEdgeLabeling::from_node_fn(graph, |v| {
+        assert!(
+            graph.degree(v) > 0,
+            "the VOLUME model excludes isolated nodes"
+        );
+        let mut session = ProbeSession::new(graph, input, ids, v, budget, n);
+        let labels = alg.answer(&mut session);
+        assert_eq!(
+            labels.len(),
+            graph.degree(v) as usize,
+            "algorithm {} must label each half-edge of the queried node",
+            alg.name()
+        );
+        max_probes = max_probes.max(session.probes_used());
+        total_probes += session.probes_used();
+        labels
+    });
+    VolumeRun {
+        output,
+        max_probes,
+        total_probes,
+    }
+}
+
+/// Finds the minimal probe budget `T ≤ max_budget` under which the
+/// algorithm family solves `problem` on `graph`, or `None`. The VOLUME
+/// analogue of [`lcl_local::minimal_solving_radius`]; assumes solvability
+/// is monotone in the budget (gather-style probing).
+pub fn minimal_probe_budget<A, F>(
+    problem: &(impl lcl::Problem + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    max_budget: usize,
+    make: F,
+) -> Option<usize>
+where
+    A: VolumeAlgorithm,
+    F: Fn(usize) -> A,
+{
+    let solves = |budget: usize| {
+        let alg = make(budget);
+        let run = run_volume(&alg, graph, input, ids, None);
+        lcl::verify(problem, graph, input, &run.output).is_empty()
+    };
+    if solves(0) {
+        return Some(0);
+    }
+    let mut hi = 1usize;
+    while hi < max_budget && !solves(hi) {
+        hi = (hi * 2).min(max_budget);
+    }
+    if !solves(hi) {
+        return None;
+    }
+    let mut lo = hi / 2;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if solves(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::FnVolumeAlgorithm;
+    use lcl_graph::gen;
+
+    #[test]
+    fn zero_probe_algorithm() {
+        let g = gen::cycle(6);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(6);
+        let alg = FnVolumeAlgorithm::new(
+            "const",
+            |_| 0,
+            |s| vec![OutLabel(7); s.queried().degree as usize],
+        );
+        let run = run_volume(&alg, &g, &input, &ids, None);
+        assert_eq!(run.max_probes, 0);
+        assert_eq!(run.total_probes, 0);
+        assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(7)));
+    }
+
+    #[test]
+    fn probe_counts_are_aggregated() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        // Probe each of the queried node's ports once.
+        let alg = FnVolumeAlgorithm::new(
+            "scan",
+            |_| 2,
+            |s| {
+                let d = s.queried().degree;
+                for p in 0..d {
+                    let _ = s.probe(0, p);
+                }
+                vec![OutLabel(0); d as usize]
+            },
+        );
+        let run = run_volume(&alg, &g, &input, &ids, None);
+        assert_eq!(run.max_probes, 2); // interior nodes probe twice
+        assert_eq!(run.total_probes, 2 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn minimal_budget_finds_walk_length() {
+        // "Certify an endpoint": every node must output Yes; the
+        // algorithm walks left with its budget and answers Yes iff it
+        // reached a degree-1 node. The minimal budget is the distance of
+        // the rightmost node to the left endpoint = n - 1.
+        let problem = lcl::LclProblem::builder("all-yes", 2)
+            .outputs(["No", "Yes"])
+            .node_pattern(&["Yes*"])
+            .edge(&["Yes", "Yes"])
+            .build()
+            .unwrap();
+        for n in [4usize, 9, 16] {
+            let g = gen::path(n);
+            let input = lcl::uniform_input(&g);
+            let ids = IdAssignment::sequential(n);
+            let t = minimal_probe_budget(&problem, &g, &input, &ids, 2 * n, |budget| {
+                FnVolumeAlgorithm::new(
+                    "walk-left",
+                    move |_| budget,
+                    move |s| {
+                        let degree = s.queried().degree as usize;
+                        let mut current = s.queried().clone();
+                        let mut j = 0usize;
+                        let mut found = current.degree == 1 && degree == 1;
+                        while s.probes_left() > 0 && current.degree == 2 {
+                            current = s.probe(j, 0);
+                            j = s.discovered_count() - 1;
+                            if current.degree == 1 {
+                                found = true;
+                                break;
+                            }
+                        }
+                        if degree == 1 {
+                            found = true; // an endpoint certifies itself
+                        }
+                        vec![lcl::OutLabel(u32::from(found)); degree]
+                    },
+                )
+            });
+            assert_eq!(t, Some(n - 2), "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_nodes_are_rejected() {
+        let g = lcl_graph::GraphBuilder::new(1).build().unwrap();
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(1);
+        let alg = FnVolumeAlgorithm::new(
+            "const",
+            |_| 0,
+            |s| vec![OutLabel(0); s.queried().degree as usize],
+        );
+        let _ = run_volume(&alg, &g, &input, &ids, None);
+    }
+}

@@ -1,0 +1,87 @@
+//! Round elimination up close: the problem sequence `Π, R(Π), R̄(R(Π))`,
+//! the derived algorithms `A_½` and `A'` of Theorem 3.4, and the label
+//! growth the paper warns about.
+//!
+//! ```sh
+//! cargo run --example round_elimination
+//! ```
+
+use lcl_landscape::core::derived::{
+    Derivation, DerivedOptions, LocalInfo, NeighborInfo, OneRoundAlgorithm,
+};
+use lcl_landscape::core::{ReOptions, ReTower};
+use lcl_landscape::graph::gen;
+use lcl_landscape::lcl::OutLabel;
+use lcl_landscape::problems::{anti_matching, k_coloring, sinkless_orientation};
+
+/// A randomized one-round algorithm for anti-matching: compare 8-bit
+/// coins across each edge; ties fail with probability 2⁻⁸ per edge.
+struct CoinOrient;
+
+impl OneRoundAlgorithm for CoinOrient {
+    fn label(
+        &self,
+        me: &LocalInfo,
+        my_bits: u64,
+        neighbors: &[(NeighborInfo, u64)],
+    ) -> Vec<OutLabel> {
+        (0..me.degree as usize)
+            .map(|p| OutLabel(u32::from(my_bits & 0xff < neighbors[p].1 & 0xff)))
+            .collect()
+    }
+}
+
+fn main() {
+    // 1. Label growth along the sequence (the doubly-exponential wall).
+    println!("label universes along Π, R(Π), R̄(R(Π)):");
+    for problem in [anti_matching(3), k_coloring(3, 3), sinkless_orientation(3)] {
+        let mut tower = ReTower::new(problem.clone());
+        tower.push_f(ReOptions::default()).expect("one f-step fits");
+        let sizes: Vec<usize> = (0..tower.level_count())
+            .map(|l| tower.alphabet_size(l))
+            .collect();
+        println!("  {:<22} {:?}", problem.problem_name(), sizes);
+    }
+
+    // 2. The Theorem 3.4 constructions, executed: A solves Π, the derived
+    //    A_½ solves R(Π), and A' solves R̄(R(Π)) — each one "radius step"
+    //    faster, each a bit sloppier.
+    let problem = anti_matching(2);
+    let mut tower = ReTower::new(problem.clone());
+    tower
+        .push_f(ReOptions {
+            restrict: false,
+            ..ReOptions::default()
+        })
+        .expect("anti-matching tower fits");
+
+    let derivation = Derivation::new(
+        &CoinOrient,
+        2,
+        1,
+        2,
+        DerivedOptions {
+            k_threshold: 0.2,
+            l_threshold: 0.15,
+            samples: 64,
+        },
+    );
+    println!(
+        "\nTheorem 3.4 on a 10-node path ({} one-hop extensions per port):",
+        derivation.extension_count()
+    );
+    let g = gen::path(10);
+    let input = lcl_landscape::lcl::uniform_input(&g);
+
+    let base = derivation.run_base(&g, &input, 7);
+    let base_ok = lcl_landscape::lcl::verify(&problem, &g, &input, &base).is_empty();
+    println!("  A      solves Π          (radius 1): {base_ok}");
+
+    let half = derivation.run_a_half(&tower, &g, &input, 7);
+    let half_ok = lcl_landscape::lcl::verify(&tower.level(1), &g, &input, &half).is_empty();
+    println!("  A_1/2  solves R(Π)       (radius ½): {half_ok}");
+
+    let prime = derivation.run_a_prime(&tower, &g, &input, 7);
+    let prime_ok = lcl_landscape::lcl::verify(&tower.level(2), &g, &input, &prime).is_empty();
+    println!("  A'     solves R̄(R(Π))    (radius 0): {prime_ok}");
+}

@@ -1,0 +1,44 @@
+//! Facade crate for the LCL landscape suite — a Rust reproduction of
+//! *The Landscape of Distributed Complexities on Trees and Beyond*
+//! (Grunau, Rozhoň, Brandt; PODC 2022).
+//!
+//! Re-exports every member crate under one roof so that examples,
+//! integration tests, and downstream users can write `use lcl_landscape::…`.
+//!
+//! # Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `lcl-graph` | port-numbered graphs, balls, generators |
+//! | [`lcl`] | `lcl` | LCL problems, constraints, verifiers |
+//! | [`local`] | `lcl-local` | LOCAL model simulator |
+//! | [`volume`] | `lcl-volume` | VOLUME/LCA model simulator |
+//! | [`grid`] | `lcl-grid` | oriented grids, PROD-LOCAL model |
+//! | [`core`] | `lcl-core` | round elimination + speedup pipelines |
+//! | [`problems`] | `lcl-problems` | concrete problems and algorithms |
+//! | [`classify`] | `lcl-classify` | path/cycle complexity classifier |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use lcl_landscape::graph::gen;
+//! use lcl_landscape::lcl::LclProblem;
+//!
+//! let g = gen::cycle(12);
+//! let coloring = LclProblem::parse(
+//!     "name: 3-coloring\nmax-degree: 2\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n",
+//! )?;
+//! assert_eq!(coloring.output_alphabet().len(), 3);
+//! assert_eq!(g.node_count(), 12);
+//! # Ok::<(), lcl_landscape::lcl::ParseError>(())
+//! ```
+
+pub use lcl_classify as classify;
+pub use lcl_core as core;
+pub use lcl_graph as graph;
+pub use lcl_grid as grid;
+pub use lcl_local as local;
+pub use lcl_problems as problems;
+pub use lcl_volume as volume;
+
+pub use lcl;

@@ -1,0 +1,209 @@
+//! Cross-checks the round-elimination tower against a literal,
+//! brute-force transcription of Definitions 3.1 and 3.2: labels of `R(Π)`
+//! are enumerated as explicit subsets, constraints evaluated by direct
+//! quantification over selections. The tower must agree on every
+//! node/edge/g query (over its restricted universe).
+
+use lcl_landscape::core::{ReOptions, ReTower};
+use lcl_landscape::lcl::gen::{random_problem, RandomProblemSpec};
+use lcl_landscape::lcl::{InLabel, LclProblem, OutLabel, Problem};
+
+/// Literal `R(Π)` per Definition 3.1, over explicit subset labels.
+struct BruteR<'a> {
+    base: &'a LclProblem,
+    /// Every nonempty subset of base labels, as sorted vecs.
+    labels: Vec<Vec<u32>>,
+}
+
+impl<'a> BruteR<'a> {
+    fn new(base: &'a LclProblem) -> Self {
+        let k = base.output_alphabet().len();
+        assert!(k <= 10, "brute force only for tiny alphabets");
+        let labels = (1u32..(1 << k))
+            .map(|mask| (0..k as u32).filter(|&i| mask & (1 << i) != 0).collect())
+            .collect();
+        Self { base, labels }
+    }
+
+    fn find(&self, members: &[u32]) -> Option<usize> {
+        self.labels.iter().position(|l| l == members)
+    }
+
+    /// Definition 3.1 edge constraint: ∀ b₁ ∈ B₁, b₂ ∈ B₂: {b₁,b₂} ∈ ℰ_Π.
+    fn edge_allows(&self, a: usize, b: usize) -> bool {
+        self.labels[a].iter().all(|&x| {
+            self.labels[b]
+                .iter()
+                .all(|&y| self.base.edge_allows(OutLabel(x), OutLabel(y)))
+        })
+    }
+
+    /// Definition 3.1 node constraint: ∃ selection ∈ 𝒩_Π.
+    fn node_allows(&self, config: &[usize]) -> bool {
+        let sets: Vec<&Vec<u32>> = config.iter().map(|&i| &self.labels[i]).collect();
+        exists_selection(&sets, &mut Vec::new(), &|sel| {
+            let labels: Vec<OutLabel> = sel.iter().map(|&l| OutLabel(l)).collect();
+            self.base.node_allows(&labels)
+        })
+    }
+
+    /// Definition 3.1 g map: A ∈ g_{R(Π)}(ℓ) iff A ⊆ g_Π(ℓ).
+    fn input_allows(&self, input: InLabel, a: usize) -> bool {
+        self.labels[a]
+            .iter()
+            .all(|&x| self.base.input_allows(input, OutLabel(x)))
+    }
+}
+
+fn exists_selection(
+    sets: &[&Vec<u32>],
+    current: &mut Vec<u32>,
+    accept: &dyn Fn(&[u32]) -> bool,
+) -> bool {
+    if current.len() == sets.len() {
+        return accept(current);
+    }
+    for &candidate in sets[current.len()] {
+        current.push(candidate);
+        if exists_selection(sets, current, accept) {
+            current.pop();
+            return true;
+        }
+        current.pop();
+    }
+    false
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // indices drive several arrays
+fn tower_r_level_matches_brute_force_on_random_problems() {
+    for seed in 0..25u64 {
+        let p = random_problem(
+            RandomProblemSpec {
+                max_degree: 3,
+                inputs: 2,
+                outputs: 3,
+                density_percent: 50,
+            },
+            seed,
+        );
+        let brute = BruteR::new(&p);
+        let mut tower = ReTower::new(p.clone());
+        if tower
+            .push_r(ReOptions {
+                restrict: false,
+                ..ReOptions::default()
+            })
+            .is_err()
+        {
+            continue;
+        }
+        let level = tower.level(1);
+        let size = tower.alphabet_size(1);
+
+        // Map each tower label to the brute-force subset index.
+        let to_brute: Vec<usize> = (0..size)
+            .map(|l| {
+                brute
+                    .find(tower.label_members(1, OutLabel(l as u32)))
+                    .expect("tower labels are subsets")
+            })
+            .collect();
+
+        // Edge agreement on all pairs.
+        for a in 0..size {
+            for b in 0..size {
+                assert_eq!(
+                    level.edge_allows(OutLabel(a as u32), OutLabel(b as u32)),
+                    brute.edge_allows(to_brute[a], to_brute[b]),
+                    "seed {seed}: edge ({a},{b})"
+                );
+            }
+        }
+        // Node agreement on all configs up to degree 3 (sampled).
+        for a in 0..size {
+            for b in 0..size {
+                assert_eq!(
+                    level.node_allows(&[OutLabel(a as u32), OutLabel(b as u32)]),
+                    brute.node_allows(&[to_brute[a], to_brute[b]]),
+                    "seed {seed}: node ({a},{b})"
+                );
+                for c in 0..size.min(4) {
+                    assert_eq!(
+                        level.node_allows(&[
+                            OutLabel(a as u32),
+                            OutLabel(b as u32),
+                            OutLabel(c as u32)
+                        ]),
+                        brute.node_allows(&[to_brute[a], to_brute[b], to_brute[c]]),
+                        "seed {seed}: node ({a},{b},{c})"
+                    );
+                }
+            }
+        }
+        // g agreement.
+        for a in 0..size {
+            for i in 0..p.input_count() {
+                assert_eq!(
+                    level.input_allows(InLabel(i as u32), OutLabel(a as u32)),
+                    brute.input_allows(InLabel(i as u32), to_brute[a]),
+                    "seed {seed}: g({i},{a})"
+                );
+            }
+        }
+    }
+}
+
+/// The restricted tower's universe is a subset of the full one, and on
+/// that subset the predicates agree with the unrestricted tower.
+#[test]
+fn restriction_preserves_predicates() {
+    for seed in 0..15u64 {
+        let p = random_problem(
+            RandomProblemSpec {
+                max_degree: 3,
+                inputs: 1,
+                outputs: 3,
+                density_percent: 60,
+            },
+            seed,
+        );
+        let mut full = ReTower::new(p.clone());
+        let mut restricted = ReTower::new(p.clone());
+        let full_opts = ReOptions {
+            restrict: false,
+            ..ReOptions::default()
+        };
+        if full.push_r(full_opts).is_err() || restricted.push_r(ReOptions::default()).is_err() {
+            continue;
+        }
+        let full_level = full.level(1);
+        let res_level = restricted.level(1);
+        let res_size = restricted.alphabet_size(1);
+        // Map restricted labels into the full tower by member sets.
+        let map: Vec<u32> = (0..res_size)
+            .map(|l| {
+                (0..full.alphabet_size(1) as u32)
+                    .find(|&f| {
+                        full.label_members(1, OutLabel(f))
+                            == restricted.label_members(1, OutLabel(l as u32))
+                    })
+                    .expect("restricted labels exist in the full universe")
+            })
+            .collect();
+        for a in 0..res_size {
+            for b in 0..res_size {
+                assert_eq!(
+                    res_level.edge_allows(OutLabel(a as u32), OutLabel(b as u32)),
+                    full_level.edge_allows(OutLabel(map[a]), OutLabel(map[b])),
+                    "seed {seed}"
+                );
+                assert_eq!(
+                    res_level.node_allows(&[OutLabel(a as u32), OutLabel(b as u32)]),
+                    full_level.node_allows(&[OutLabel(map[a]), OutLabel(map[b])]),
+                    "seed {seed}"
+                );
+            }
+        }
+    }
+}
