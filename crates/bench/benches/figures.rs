@@ -23,5 +23,7 @@ fn main() {
     lcl_bench::gaps::unoriented_grids().print();
     lcl_bench::gaps::lemma33_cases().print();
 
+    lcl_bench::re_engine::re_engine().print();
+
     println!("\nall experiments completed in {:.1?}", t0.elapsed());
 }

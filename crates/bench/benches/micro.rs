@@ -1,9 +1,11 @@
-//! `cargo bench -p lcl-bench --bench micro` — Criterion microbenchmarks
-//! of the suite's hot paths: ball extraction, verification, LOCAL/VOLUME
+//! `cargo bench -p lcl-bench --bench micro` — microbenchmarks of the
+//! suite's hot paths: ball extraction, verification, LOCAL/VOLUME
 //! execution, a round-elimination step, and the 0-round decision.
+//!
+//! Uses the self-contained harness in [`lcl_bench::timing`] (the build
+//! environment is offline, so Criterion is not available).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-
+use lcl_bench::timing::bench_function;
 use lcl_core::zero_round::ZeroRoundOptions;
 use lcl_core::{decide_zero_round, ReOptions, ReTower};
 use lcl_graph::{gen, NodeId};
@@ -12,17 +14,14 @@ use lcl_problems::cv::{orientation_inputs, ColeVishkin, Orientation};
 use lcl_problems::{anti_matching, k_coloring};
 use lcl_volume::run_volume;
 
-fn bench_ball_extraction(c: &mut Criterion) {
+fn bench_ball_extraction() {
     let g = gen::random_tree(4096, 3, 1);
-    c.bench_function("ball_radius_4_tree_4096", |b| {
-        b.iter(|| {
-            let ball = g.ball(NodeId(2048), 4);
-            std::hint::black_box(ball.node_count())
-        })
+    bench_function("ball_radius_4_tree_4096", || {
+        g.ball(NodeId(2048), 4).node_count()
     });
 }
 
-fn bench_verifier(c: &mut Criterion) {
+fn bench_verifier() {
     let g = gen::cycle(4096);
     let p = k_coloring(3, 2);
     let input = lcl::uniform_input(&g);
@@ -30,91 +29,75 @@ fn bench_verifier(c: &mut Criterion) {
         .half_edges()
         .map(|h| lcl::OutLabel(g.node_of(h).0 % 3))
         .collect();
-    c.bench_function("verify_3coloring_cycle_4096", |b| {
-        b.iter(|| std::hint::black_box(lcl::verify(&p, &g, &input, &output).len()))
+    bench_function("verify_3coloring_cycle_4096", || {
+        lcl::verify(&p, &g, &input, &output).len()
     });
 }
 
-fn bench_cole_vishkin(c: &mut Criterion) {
+fn bench_cole_vishkin() {
     let g = gen::cycle(1024);
     let input = orientation_inputs(&g, Orientation::Cycle);
     let ids = IdAssignment::random_polynomial(1024, 3, 7);
     let id_vec: Vec<u64> = ids.iter().collect();
-    c.bench_function("cole_vishkin_cycle_1024", |b| {
-        b.iter(|| {
-            let run = run_sync(&ColeVishkin, &g, &input, &id_vec, None, 100);
-            std::hint::black_box(run.rounds)
-        })
+    bench_function("cole_vishkin_cycle_1024", || {
+        run_sync(&ColeVishkin, &g, &input, &id_vec, None, 100).rounds
     });
 }
 
-fn bench_re_step(c: &mut Criterion) {
+fn bench_re_step() {
     let p = k_coloring(3, 3);
-    c.bench_function("re_step_f_3coloring", |b| {
-        b.iter_batched(
-            || ReTower::new(p.clone()),
-            |mut tower| {
-                tower.push_f(ReOptions::default()).expect("fits");
-                std::hint::black_box(tower.alphabet_size(2))
-            },
-            BatchSize::SmallInput,
-        )
+    bench_function("re_step_f_3coloring", || {
+        let mut tower = ReTower::new(p.clone());
+        tower.push_f(ReOptions::default()).expect("fits");
+        tower.alphabet_size(2)
     });
 }
 
-fn bench_zero_round(c: &mut Criterion) {
+fn bench_zero_round() {
     let p = anti_matching(3);
     let mut tower = ReTower::new(p);
     tower.push_f(ReOptions::default()).expect("fits");
-    c.bench_function("zero_round_decision_f_anti_matching", |b| {
-        b.iter(|| {
-            let r = decide_zero_round(&tower.level(2), ZeroRoundOptions::default());
-            std::hint::black_box(r.is_solvable())
-        })
+    bench_function("zero_round_decision_f_anti_matching", || {
+        decide_zero_round(&tower.level(2), ZeroRoundOptions::default()).is_solvable()
     });
 }
 
-fn bench_synthesize_cycle(c: &mut Criterion) {
+fn bench_synthesize_cycle() {
     let p = k_coloring(3, 2);
-    c.bench_function("synthesize_cycle_3coloring", |b| {
-        b.iter(|| {
-            let alg = lcl_classify::synthesize_cycle(&p).unwrap();
-            std::hint::black_box(alg.is_some())
-        })
+    bench_function("synthesize_cycle_3coloring", || {
+        lcl_classify::synthesize_cycle(&p).unwrap().is_some()
     });
     let alg = lcl_classify::synthesize_cycle(&p).unwrap().unwrap();
     let g = gen::cycle(512);
     let input = lcl::uniform_input(&g);
     let ids = IdAssignment::random_polynomial(512, 3, 5);
-    c.bench_function("run_synthesized_3coloring_cycle_512", |b| {
-        b.iter(|| {
-            let run = lcl_local::run_deterministic(&alg, &g, &input, &ids, None);
-            std::hint::black_box(run.radius)
-        })
+    bench_function("run_synthesized_3coloring_cycle_512", || {
+        lcl_local::run_deterministic(&alg, &g, &input, &ids, None).radius
     });
 }
 
-fn bench_volume_probes(c: &mut Criterion) {
+fn bench_volume_probes() {
     let g = gen::cycle(2048);
     let input = lcl::uniform_input(&g);
     let ids = IdAssignment::random_polynomial(2048, 3, 3);
-    c.bench_function("volume_cv_probes_cycle_2048", |b| {
-        b.iter(|| {
-            let run = run_volume(
-                &lcl_bench::volume_algos::CvProbeColoring,
-                &g,
-                &input,
-                &ids,
-                None,
-            );
-            std::hint::black_box(run.max_probes)
-        })
+    bench_function("volume_cv_probes_cycle_2048", || {
+        run_volume(
+            &lcl_bench::volume_algos::CvProbeColoring,
+            &g,
+            &input,
+            &ids,
+            None,
+        )
+        .max_probes
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_ball_extraction, bench_verifier, bench_cole_vishkin, bench_re_step, bench_zero_round, bench_synthesize_cycle, bench_volume_probes
+fn main() {
+    bench_ball_extraction();
+    bench_verifier();
+    bench_cole_vishkin();
+    bench_re_step();
+    bench_zero_round();
+    bench_synthesize_cycle();
+    bench_volume_probes();
 }
-criterion_main!(benches);

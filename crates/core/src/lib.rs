@@ -6,9 +6,16 @@
 //! # Module map
 //!
 //! * [`bits`] — small fixed-universe bitsets used throughout.
+//! * [`interner`] — deduplicating id store for label sets; derived-level
+//!   labels are addressed by dense `u32` ids, so set equality and
+//!   universe membership are integer operations.
+//! * [`par`] — a dependency-free scoped-thread fan-out (`std::thread`
+//!   only; the build environment is offline) used by the tower engine and
+//!   the derived-algorithm runs.
 //! * [`tower`] — the round-elimination problem sequence
 //!   `Π, R(Π), R̄(R(Π)), ...` (Definitions 3.1/3.2) with label universes
-//!   interned as sets-of-parent-labels and constraints evaluated lazily.
+//!   interned as sets-of-parent-labels and constraints evaluated lazily,
+//!   plus per-level engine counters and extensional fixpoint detection.
 //! * [`zero_round`] — deciding deterministic 0-round solvability and
 //!   extracting the paper's `A_det` (proof of Theorem 3.10).
 //! * [`lift`] — Lemma 3.9: turning a 0-round algorithm for
@@ -34,8 +41,10 @@
 pub mod bits;
 pub mod bounds;
 pub mod derived;
+pub mod interner;
 pub mod lemma33;
 pub mod lift;
+pub mod par;
 pub mod ramsey;
 pub mod speedup_grids;
 pub mod speedup_local;
@@ -47,9 +56,10 @@ pub mod zero_round;
 pub use bounds::{
     blowup_factor, failure_after_steps, find_n0_log2, n0_conditions_hold, step_bound,
 };
+pub use interner::LabelInterner;
 pub use lemma33::{run_lemma33, Lemma33Case, Lemma33Run};
 pub use lift::LiftedAlgorithm;
 pub use speedup_local::{run_fooled_local, FooledOrderInvariant};
 pub use speedup_trees::{tree_speedup, SpeedupOptions, SpeedupOutcome};
-pub use tower::{LayerKind, ReError, ReOptions, ReTower, TowerLevel};
+pub use tower::{LayerKind, LevelStats, ReError, ReOptions, ReTower, TowerLevel};
 pub use zero_round::{decide_zero_round, ZeroRoundAlgorithm, ZeroRoundResult};

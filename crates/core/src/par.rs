@@ -1,0 +1,123 @@
+//! A dependency-free parallel fan-out on [`std::thread::scope`].
+//!
+//! The build environment is offline, so rayon is not available; this is
+//! the minimal work-stealing map the round-elimination engine needs:
+//! deterministic output order, dynamic load balancing via an atomic chunk
+//! counter, and a sequential fast path when only one thread is requested
+//! (or only one item exists).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Chunk size claimed per atomic fetch; small enough to balance skewed
+/// workloads, large enough to keep counter traffic negligible.
+const CHUNK: usize = 8;
+
+/// Resolves a thread-count request: `0` means "all available cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Maps `f` over `0..n` on up to `threads` scoped threads, returning the
+/// results in index order. Falls back to a plain sequential loop when
+/// `threads <= 1` or `n` is tiny, so callers need no separate code path.
+pub fn par_map_indexed<U, F>(n: usize, threads: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = threads.min(n.div_ceil(CHUNK)).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let chunks: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                let end = (start + CHUNK).min(n);
+                let block: Vec<U> = (start..end).map(&f).collect();
+                chunks
+                    .lock()
+                    .expect("no panics while locked")
+                    .push((start, block));
+            });
+        }
+    });
+
+    let mut chunks = chunks.into_inner().expect("workers joined");
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, block) in chunks {
+        out.extend(block);
+    }
+    out
+}
+
+/// Maps `f` over a slice on up to `threads` scoped threads, preserving
+/// order.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items.len(), threads, |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_come_back_in_index_order() {
+        for threads in [1, 2, 4, 7] {
+            let out = par_map_indexed(100, threads, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_is_visited_exactly_once() {
+        let visits = AtomicU64::new(0);
+        let out = par_map_indexed(1000, 4, |i| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(visits.load(Ordering::Relaxed), 1000);
+        assert_eq!(out.len(), 1000);
+    }
+
+    #[test]
+    fn slice_map_matches_sequential() {
+        let items: Vec<u32> = (0..37).collect();
+        assert_eq!(
+            par_map(&items, 3, |x| x + 1),
+            items.iter().map(|x| x + 1).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_work() {
+        assert_eq!(par_map_indexed(0, 8, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map_indexed(1, 8, |i| i + 5), vec![5]);
+    }
+
+    #[test]
+    fn zero_thread_request_resolves_to_cores() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+}

@@ -68,6 +68,11 @@ pub enum SpeedupOutcome {
         alphabet_sizes: Vec<usize>,
         /// Whether the exploration stopped early due to a cap.
         capped: Option<ReError>,
+        /// When the tower detected a cycle — level `2·steps` extensionally
+        /// equal to this earlier level of the same parity — the sequence
+        /// can never become 0-round solvable and the search stopped early
+        /// (the fixpoint certificate of e.g. sinkless orientation).
+        fixpoint: Option<usize>,
     },
 }
 
@@ -99,6 +104,7 @@ pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcom
     let mut tower = ReTower::new(problem.clone());
     let mut capped = None;
     let mut steps_tried = 0;
+    let mut fixpoint = None;
     for step in 0..=opts.max_steps {
         if step > 0 {
             match tower.push_f(opts.re) {
@@ -127,6 +133,17 @@ pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcom
                 // levels sometimes restrict to smaller universes.
             }
         }
+        // Cycle detection: if f^step(Π) is extensionally equal to an
+        // earlier level of the same parity, every future level repeats an
+        // already-rejected one — stop instead of burning the budget.
+        if step > 0 {
+            if let Some(earlier) = tower.fixpoint_of(2 * step) {
+                if (2 * step - earlier) % 2 == 0 {
+                    fixpoint = Some(earlier);
+                    break;
+                }
+            }
+        }
     }
     let alphabet_sizes = (0..tower.level_count())
         .map(|l| tower.alphabet_size(l))
@@ -135,6 +152,7 @@ pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcom
         steps_tried,
         alphabet_sizes,
         capped,
+        fixpoint,
     }
 }
 

@@ -10,8 +10,9 @@
 //! extensionally is hopeless beyond toy alphabets. A [`ReTower`] therefore
 //! stores, per derived level, only
 //!
-//! * the interned label table (each label is the sorted set of parent
-//!   labels it denotes),
+//! * the interned label table (a [`LabelInterner`]: each label is the
+//!   sorted set of parent labels it denotes, addressed by a dense id, so
+//!   "which label is this set?" is one hash lookup),
 //! * the *edge* compatibility as bitset rows (quadratic in the universe,
 //!   cheap via bit operations),
 //! * the `g` map as bitset rows,
@@ -19,7 +20,9 @@
 //! and evaluates *node* constraints lazily by quantifier expansion: an
 //! `R`-level node configuration holds iff **some** selection of parent
 //! labels is a parent-level node configuration (Definition 3.1), an
-//! `R̄`-level one iff **all** selections are (Definition 3.2).
+//! `R̄`-level one iff **all** selections are (Definition 3.2). Node
+//! queries are memoized in a shared cache; [`LevelStats`] reports the
+//! hit/miss traffic, configurations tried, and wall time per level.
 //!
 //! # Universe restriction
 //!
@@ -34,15 +37,31 @@
 //! the doubly-exponential label growth as the obstruction to pushing the
 //! gap past `log* n`, and the caps are where this implementation meets the
 //! same wall.
+//!
+//! # Parallelism and fixpoint detection
+//!
+//! With [`ReOptions::parallel`] (the default), member sets, edge rows,
+//! `g` rows, and the per-label node-usefulness checks of each step fan out
+//! over scoped threads ([`par`](crate::par)); results are identical to the
+//! sequential engine because work is sharded by index and reassembled in
+//! order. After each step the engine computes an *extensional table* of
+//! the new level (edge rows, `g` rows, and the node relation over all
+//! multisets up to `Δ`) when the universe is small enough; equal tables at
+//! two levels of equal parity mean the sequence has entered a cycle — the
+//! round-elimination fixpoint that certifies `Ω(log n)` hardness (e.g.
+//! sinkless orientation), surfaced as [`LevelStats::fixpoint_of`].
 
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Mutex;
+use std::time::Duration;
 
 use lcl::{InLabel, LclProblem, OutLabel, Problem};
 
-use crate::bits::BitSet;
+use crate::bits::{for_each_multiset, BitSet};
+use crate::interner::LabelInterner;
+use crate::par;
 
 /// Which operator produced a derived level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -53,7 +72,7 @@ pub enum LayerKind {
     RBar,
 }
 
-/// Error from a round-elimination step.
+/// Error from a round-elimination step or a derived-algorithm run.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum ReError {
     /// A `g` image at the parent level has more labels than
@@ -68,6 +87,11 @@ pub enum ReError {
     EmptyUniverse,
     /// `R̄` can only be applied on top of an `R` level.
     RBarNeedsR,
+    /// A derived algorithm produced a label set that is not in the
+    /// universe of the given tower level (typically: the tower was built
+    /// with `restrict: true`, which drops labels the sloppy Monte-Carlo
+    /// estimates can still emit).
+    LabelOutsideUniverse { level: usize, members: Vec<u32> },
 }
 
 impl fmt::Display for ReError {
@@ -85,13 +109,17 @@ impl fmt::Display for ReError {
             }
             ReError::EmptyUniverse => write!(f, "restriction removed every label"),
             ReError::RBarNeedsR => write!(f, "R̄ must be applied to an R level"),
+            ReError::LabelOutsideUniverse { level, members } => write!(
+                f,
+                "label set {members:?} is outside the level-{level} universe"
+            ),
         }
     }
 }
 
 impl Error for ReError {}
 
-/// Caps for a round-elimination step.
+/// Caps and engine knobs for a round-elimination step.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ReOptions {
     /// Maximum size of a parent `g` image (the subset universe is
@@ -105,6 +133,15 @@ pub struct ReOptions {
     /// Whether to run the usefulness restriction at all (`false` is the
     /// E10 ablation: full universes).
     pub restrict: bool,
+    /// Whether to fan the step out over scoped threads. Results are
+    /// identical either way; `false` forces the sequential reference
+    /// engine.
+    pub parallel: bool,
+    /// Worker threads when `parallel` (`0` = all available cores).
+    pub threads: usize,
+    /// Extensional fixpoint detection runs only when the (restricted)
+    /// universe has at most this many labels; `0` disables it.
+    pub fixpoint_max_labels: usize,
 }
 
 impl Default for ReOptions {
@@ -114,22 +151,70 @@ impl Default for ReOptions {
             max_labels: 4096,
             node_work_cap: 2_000_000,
             restrict: true,
+            parallel: true,
+            threads: 0,
+            fixpoint_max_labels: 32,
         }
     }
+}
+
+/// Per-level engine counters, recorded by each `push_r`/`push_rbar`.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct LevelStats {
+    /// Universe size before restriction.
+    pub labels_full: usize,
+    /// Universe size after restriction (equal to `labels_full` when the
+    /// step ran with `restrict: false`).
+    pub labels: usize,
+    /// Candidate node configurations enumerated by the usefulness
+    /// restriction.
+    pub configurations: u64,
+    /// Node-query memo hits during this step.
+    pub cache_hits: u64,
+    /// Node-query memo misses during this step.
+    pub cache_misses: u64,
+    /// Earliest level whose extensional table equals this one, if the
+    /// check ran and found a repeat — the round-elimination fixpoint
+    /// certificate.
+    pub fixpoint_of: Option<usize>,
+    /// Wall-clock time of the step.
+    pub wall: Duration,
 }
 
 /// One derived level of the tower.
 #[derive(Clone, Debug)]
 struct Layer {
     kind: LayerKind,
-    /// Each label is the sorted set of parent-label ids it denotes.
-    labels: Vec<Vec<u32>>,
+    /// Each label is the sorted set of parent-label ids it denotes,
+    /// interned: the label id *is* the interner id.
+    labels: LabelInterner,
     /// Member sets as bitsets over the parent universe.
     member_sets: Vec<BitSet>,
     /// Edge compatibility rows within this level.
     edge_rows: Vec<BitSet>,
     /// Per input label: allowed labels of this level.
     g_rows: Vec<BitSet>,
+}
+
+/// The extensional table of one level: everything the next step's
+/// construction can observe. Two levels with equal tables derive equal
+/// successors, so a repeat certifies a cycle of the sequence.
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct LevelTable {
+    labels: usize,
+    edge_rows: Vec<BitSet>,
+    g_rows: Vec<BitSet>,
+    /// Node relation over all multisets of sizes `1..=Δ`, in canonical
+    /// enumeration order.
+    node_relation: Vec<bool>,
+}
+
+/// The shared node-query memo plus its traffic counters.
+#[derive(Debug, Default)]
+struct NodeCache {
+    map: HashMap<(usize, Vec<u32>), bool>,
+    hits: u64,
+    misses: u64,
 }
 
 /// The round-elimination problem sequence over a base problem.
@@ -153,7 +238,7 @@ struct Layer {
 /// assert!(tower.alphabet_size(1) >= 3); // R(Π) keeps at least the singletons
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct ReTower {
     base: LclProblem,
     /// Base edge compatibility rows.
@@ -161,8 +246,32 @@ pub struct ReTower {
     /// Base `g` rows.
     base_g_rows: Vec<BitSet>,
     layers: Vec<Layer>,
+    /// Per derived level: engine counters (`stats[k]` is level `k + 1`).
+    stats: Vec<LevelStats>,
+    /// Per level (including the base): the extensional table, when small
+    /// enough to compute.
+    tables: Vec<Option<LevelTable>>,
     /// Memo table for node-constraint queries `(level, sorted labels)`.
-    node_cache: RefCell<HashMap<(usize, Vec<u32>), bool>>,
+    node_cache: Mutex<NodeCache>,
+}
+
+impl Clone for ReTower {
+    fn clone(&self) -> Self {
+        let cache = self.node_cache.lock().expect("cache lock");
+        Self {
+            base: self.base.clone(),
+            base_edge_rows: self.base_edge_rows.clone(),
+            base_g_rows: self.base_g_rows.clone(),
+            layers: self.layers.clone(),
+            stats: self.stats.clone(),
+            tables: self.tables.clone(),
+            node_cache: Mutex::new(NodeCache {
+                map: cache.map.clone(),
+                hits: cache.hits,
+                misses: cache.misses,
+            }),
+        }
+    }
 }
 
 impl ReTower {
@@ -192,7 +301,9 @@ impl ReTower {
             base_edge_rows,
             base_g_rows,
             layers: Vec::new(),
-            node_cache: RefCell::new(HashMap::new()),
+            stats: Vec::new(),
+            tables: vec![None],
+            node_cache: Mutex::new(NodeCache::default()),
         }
     }
 
@@ -227,7 +338,44 @@ impl ReTower {
     /// Panics if `level == 0` or the label is out of range.
     pub fn label_members(&self, level: usize, label: OutLabel) -> &[u32] {
         assert!(level >= 1, "base labels have no members");
-        &self.layers[level - 1].labels[label.index()]
+        self.layers[level - 1].labels.members(label.0)
+    }
+
+    /// The label of a derived level denoting exactly the given sorted set
+    /// of parent labels — one interner lookup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level == 0` (base labels are not sets).
+    pub fn lookup_label(&self, level: usize, members: &[u32]) -> Option<OutLabel> {
+        assert!(level >= 1, "base labels have no members");
+        self.layers[level - 1].labels.lookup(members).map(OutLabel)
+    }
+
+    /// Engine counters per derived level (`stats()[k]` is level `k + 1`).
+    pub fn stats(&self) -> &[LevelStats] {
+        &self.stats
+    }
+
+    /// Engine counters of derived level `k ≥ 1`.
+    pub fn level_stats(&self, level: usize) -> &LevelStats {
+        &self.stats[level - 1]
+    }
+
+    /// The earliest level whose extensional table equals `level`'s — a
+    /// certificate that the sequence cycles (see [`LevelStats`]).
+    pub fn fixpoint_of(&self, level: usize) -> Option<usize> {
+        if level == 0 {
+            None
+        } else {
+            self.stats[level - 1].fixpoint_of
+        }
+    }
+
+    /// Cumulative node-query memo traffic `(hits, misses)`.
+    pub fn node_cache_counters(&self) -> (u64, u64) {
+        let cache = self.node_cache.lock().expect("cache lock");
+        (cache.hits, cache.misses)
     }
 
     /// A [`Problem`] view of a level.
@@ -265,20 +413,28 @@ impl ReTower {
         let mut key_labels = labels.to_vec();
         key_labels.sort_unstable();
         let key = (level, key_labels);
-        if let Some(&hit) = self.node_cache.borrow().get(&key) {
-            return hit;
+        {
+            let mut cache = self.node_cache.lock().expect("cache lock");
+            if let Some(&hit) = cache.map.get(&key) {
+                cache.hits += 1;
+                return hit;
+            }
+            cache.misses += 1;
         }
+        // The lock is NOT held while computing: the recursion below
+        // re-enters this function for parent levels.
         let result = self.node_allows_ids_uncached(level, labels);
-        self.node_cache.borrow_mut().insert(key, result);
+        self.node_cache
+            .lock()
+            .expect("cache lock")
+            .map
+            .insert(key, result);
         result
     }
 
     fn node_allows_ids_uncached(&self, level: usize, labels: &[u32]) -> bool {
         let layer = &self.layers[level - 1];
-        let sets: Vec<&[u32]> = labels
-            .iter()
-            .map(|&l| layer.labels[l as usize].as_slice())
-            .collect();
+        let sets: Vec<&[u32]> = labels.iter().map(|&l| layer.labels.members(l)).collect();
         match layer.kind {
             // ∃ selection of parent labels forming a parent configuration.
             LayerKind::R => self.exists_selection(level - 1, &sets, true),
@@ -356,13 +512,21 @@ impl ReTower {
     }
 
     fn push_layer(&mut self, kind: LayerKind, opts: ReOptions) -> Result<(), ReError> {
+        let started = std::time::Instant::now();
+        let threads = if opts.parallel {
+            par::resolve_threads(opts.threads)
+        } else {
+            1
+        };
+        let (hits_before, misses_before) = self.node_cache_counters();
         let parent_level = self.layers.len();
         let parent_size = self.alphabet_size(parent_level);
         let input_count = self.base.input_count();
 
-        // Universe: nonempty subsets of parent g images, deduplicated.
-        let mut labels: Vec<Vec<u32>> = Vec::new();
-        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        // Universe: nonempty subsets of parent g images, interned. The
+        // enumeration order is deterministic, so interner ids are stable
+        // across engines regardless of the thread count used elsewhere.
+        let mut labels = LabelInterner::new();
         for input in 0..input_count {
             let image = self.g_row(parent_level, input).to_vec();
             if image.len() > opts.max_parent_labels {
@@ -372,95 +536,85 @@ impl ReTower {
                 });
             }
             let subsets = 1usize << image.len();
+            let mut members = Vec::with_capacity(image.len());
             for mask in 1..subsets {
-                let members: Vec<u32> = image
-                    .iter()
-                    .enumerate()
-                    .filter(|&(bit, _)| mask & (1 << bit) != 0)
-                    .map(|(_, &m)| m as u32)
-                    .collect();
-                if !index.contains_key(&members) {
-                    if labels.len() >= opts.max_labels {
-                        return Err(ReError::TooManyLabels {
-                            labels: labels.len() + 1,
-                            limit: opts.max_labels,
-                        });
-                    }
-                    index.insert(members.clone(), labels.len() as u32);
-                    labels.push(members);
+                members.clear();
+                members.extend(
+                    image
+                        .iter()
+                        .enumerate()
+                        .filter(|&(bit, _)| mask & (1 << bit) != 0)
+                        .map(|(_, &m)| m as u32),
+                );
+                if labels.lookup(&members).is_none() && labels.len() >= opts.max_labels {
+                    return Err(ReError::TooManyLabels {
+                        labels: labels.len() + 1,
+                        limit: opts.max_labels,
+                    });
                 }
+                labels.intern(&members);
             }
         }
         if labels.is_empty() {
             return Err(ReError::EmptyUniverse);
         }
+        let labels_full = labels.len();
 
-        let member_sets: Vec<BitSet> = labels
-            .iter()
-            .map(|members| BitSet::from_members(parent_size, members.iter().map(|&m| m as usize)))
-            .collect();
+        let count = labels.len();
+        let member_sets: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
+            BitSet::from_members(
+                parent_size,
+                labels.members(l as u32).iter().map(|&m| m as usize),
+            )
+        });
 
         // Edge rows.
-        let count = labels.len();
-        let mut edge_rows = vec![BitSet::new(count); count];
-        match kind {
+        let edge_rows: Vec<BitSet> = match kind {
             LayerKind::R => {
                 // {A, B} allowed iff ∀ a ∈ A, b ∈ B: {a, b} parent-allowed
                 // ⟺ B ⊆ ⋂_{a ∈ A} parent_row(a).
-                let majorants: Vec<BitSet> = labels
-                    .iter()
-                    .map(|members| {
-                        let mut maj = BitSet::full(parent_size);
-                        for &a in members {
-                            maj.intersect_with(self.edge_row(parent_level, a as usize));
-                        }
-                        maj
-                    })
-                    .collect();
-                for a in 0..count {
-                    #[allow(clippy::needless_range_loop)] // index drives several arrays
-                    for b in 0..count {
-                        if member_sets[b].is_subset_of(&majorants[a]) {
-                            edge_rows[a].insert(b);
-                        }
+                let majorants: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
+                    let mut maj = BitSet::full(parent_size);
+                    for &a in labels.members(l as u32) {
+                        maj.intersect_with(self.edge_row(parent_level, a as usize));
                     }
-                }
+                    maj
+                });
+                par::par_map_indexed(count, threads, |a| {
+                    BitSet::from_members(
+                        count,
+                        (0..count).filter(|&b| member_sets[b].is_subset_of(&majorants[a])),
+                    )
+                })
             }
             LayerKind::RBar => {
                 // {A, B} allowed iff ∃ a ∈ A, b ∈ B: {a, b} parent-allowed
                 // ⟺ B ∩ ⋃_{a ∈ A} parent_row(a) ≠ ∅.
-                let unions: Vec<BitSet> = labels
-                    .iter()
-                    .map(|members| {
-                        let mut u = BitSet::new(parent_size);
-                        for &a in members {
-                            u.union_with(self.edge_row(parent_level, a as usize));
-                        }
-                        u
-                    })
-                    .collect();
-                for a in 0..count {
-                    #[allow(clippy::needless_range_loop)] // index drives several arrays
-                    for b in 0..count {
-                        if member_sets[b].intersects(&unions[a]) {
-                            edge_rows[a].insert(b);
-                        }
+                let unions: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
+                    let mut u = BitSet::new(parent_size);
+                    for &a in labels.members(l as u32) {
+                        u.union_with(self.edge_row(parent_level, a as usize));
                     }
-                }
+                    u
+                });
+                par::par_map_indexed(count, threads, |a| {
+                    BitSet::from_members(
+                        count,
+                        (0..count).filter(|&b| member_sets[b].intersects(&unions[a])),
+                    )
+                })
             }
-        }
+        };
 
         // g rows: a derived label is allowed for input ℓ iff its members
         // all lie in the parent's g image (2^{g(ℓ)} in both definitions).
-        let g_rows: Vec<BitSet> = (0..input_count)
-            .map(|input| {
-                let image = self.g_row(parent_level, input);
-                BitSet::from_members(
-                    count,
-                    (0..count).filter(|&l| member_sets[l].is_subset_of(image)),
-                )
-            })
-            .collect();
+        let g_rows: Vec<BitSet> = par::par_map_indexed(input_count, threads, |input| {
+            let image = self.g_row(parent_level, input);
+            BitSet::from_members(
+                count,
+                (0..count).filter(|&l| member_sets[l].is_subset_of(image)),
+            )
+        });
 
         let mut layer = Layer {
             kind,
@@ -472,22 +626,81 @@ impl ReTower {
 
         // Temporarily push to evaluate node constraints through `self`.
         self.layers.push(layer);
+        let mut configurations = 0;
         if opts.restrict {
-            let alive = self.restrict_top(opts);
+            let (alive, work) = self.restrict_top(opts, threads);
+            configurations = work;
             layer = self.layers.pop().expect("just pushed");
             // Compaction reindexes labels: drop memoized entries.
-            self.node_cache.borrow_mut().clear();
+            self.node_cache.lock().expect("cache lock").map.clear();
             if alive.is_empty() {
                 return Err(ReError::EmptyUniverse);
             }
             let layer = compact_layer(layer, &alive);
             self.layers.push(layer);
         }
+
+        // Extensional table of the new level, for fixpoint detection.
+        let level = self.layers.len();
+        let table = self.level_table(level, opts);
+        if table.is_some() && self.tables[0].is_none() {
+            self.tables[0] = self.level_table(0, opts);
+        }
+        let fixpoint_of = table.as_ref().and_then(|t| {
+            self.tables
+                .iter()
+                .position(|earlier| earlier.as_ref() == Some(t))
+        });
+        self.tables.push(table);
+
+        let (hits_after, misses_after) = self.node_cache_counters();
+        self.stats.push(LevelStats {
+            labels_full,
+            labels: self.alphabet_size(level),
+            configurations,
+            cache_hits: hits_after - hits_before,
+            cache_misses: misses_after - misses_before,
+            fixpoint_of,
+            wall: started.elapsed(),
+        });
         Ok(())
     }
 
-    /// Computes the alive-label fixpoint of the top layer.
-    fn restrict_top(&self, opts: ReOptions) -> BitSet {
+    /// Enumerates the extensional table of a level, or `None` when the
+    /// universe exceeds [`ReOptions::fixpoint_max_labels`].
+    fn level_table(&self, level: usize, opts: ReOptions) -> Option<LevelTable> {
+        let count = self.alphabet_size(level);
+        if count == 0 || count > opts.fixpoint_max_labels {
+            return None;
+        }
+        let delta = self.base.max_degree() as usize;
+        let input_count = self.base.input_count();
+        let mut node_relation = Vec::new();
+        for d in 1..=delta {
+            let complete = for_each_multiset(count, d, opts.node_work_cap as usize, |combo| {
+                let ids: Vec<u32> = combo.iter().map(|&i| i as u32).collect();
+                node_relation.push(self.node_allows_ids(level, &ids));
+                true
+            });
+            if !complete {
+                return None;
+            }
+        }
+        Some(LevelTable {
+            labels: count,
+            edge_rows: (0..count)
+                .map(|l| self.edge_row(level, l).clone())
+                .collect(),
+            g_rows: (0..input_count)
+                .map(|i| self.g_row(level, i).clone())
+                .collect(),
+            node_relation,
+        })
+    }
+
+    /// Computes the alive-label fixpoint of the top layer, returning the
+    /// surviving labels and the number of candidate configurations tried.
+    fn restrict_top(&self, opts: ReOptions, threads: usize) -> (BitSet, u64) {
         let level = self.layers.len();
         let layer = &self.layers[level - 1];
         let count = layer.labels.len();
@@ -500,6 +713,7 @@ impl ReTower {
         }
 
         let mut alive = g_union;
+        let mut configurations = 0u64;
         loop {
             let mut changed = false;
             // Edge-useful: some alive partner.
@@ -509,23 +723,33 @@ impl ReTower {
                     changed = true;
                 }
             }
-            // Node-useful: some completion among alive labels.
+            // Node-useful: some completion among alive labels. Each label
+            // is independent given the snapshot, so the checks fan out;
+            // workers share the node-query memo (hit-or-compute, never
+            // blocking on another worker's computation), and the verdicts
+            // do not depend on scheduling.
             let snapshot = alive.clone();
-            for l in snapshot.iter() {
-                if !self.node_useful(level, l, &snapshot, delta, opts.node_work_cap) {
+            let snapshot_ids: Vec<usize> = snapshot.iter().collect();
+            let verdicts = par::par_map(&snapshot_ids, threads, |&l| {
+                self.node_useful(level, l, &snapshot, delta, opts.node_work_cap)
+            });
+            for (&l, &(useful, work)) in snapshot_ids.iter().zip(&verdicts) {
+                configurations += work;
+                if !useful {
                     alive.remove(l);
                     changed = true;
                 }
             }
             if !changed {
-                return alive;
+                return (alive, configurations);
             }
         }
     }
 
     /// Whether label `l` of `level` admits a node-configuration completion
-    /// among `alive` labels for some degree `1..=Δ`. Conservative on work
-    /// cap: returns `true` (keep) when the budget runs out.
+    /// among `alive` labels for some degree `1..=Δ`, plus the number of
+    /// candidate completions tried. Conservative on work cap: returns
+    /// `true` (keep) when the budget runs out.
     fn node_useful(
         &self,
         level: usize,
@@ -533,19 +757,19 @@ impl ReTower {
         alive: &BitSet,
         delta: usize,
         work_cap: u64,
-    ) -> bool {
+    ) -> (bool, u64) {
         let alive_ids: Vec<u32> = alive.iter().map(|i| i as u32).collect();
         let mut work = 0u64;
         for d in 1..=delta {
             let mut config = vec![l as u32; d];
             if self.node_completion_search(level, &alive_ids, &mut config, 1, &mut work, work_cap) {
-                return true;
+                return (true, work);
             }
             if work >= work_cap {
-                return true; // budget exhausted: keep (sound)
+                return (true, work); // budget exhausted: keep (sound)
             }
         }
-        false
+        (false, work)
     }
 
     fn node_completion_search(
@@ -581,7 +805,7 @@ impl ReTower {
 fn compact_layer(layer: Layer, alive: &BitSet) -> Layer {
     let keep: Vec<usize> = alive.iter().collect();
     let count = keep.len();
-    let labels: Vec<Vec<u32>> = keep.iter().map(|&l| layer.labels[l].clone()).collect();
+    let labels = layer.labels.retain_ids(&keep);
     let member_sets: Vec<BitSet> = keep.iter().map(|&l| layer.member_sets[l].clone()).collect();
     let edge_rows: Vec<BitSet> = keep
         .iter()
@@ -711,13 +935,8 @@ mod tests {
             .unwrap();
         let level = tower.level(1);
         // Find labels by member sets.
-        let find = |members: &[u32]| -> OutLabel {
-            OutLabel(
-                (0..tower.alphabet_size(1))
-                    .position(|l| tower.label_members(1, OutLabel(l as u32)) == members)
-                    .expect("label exists") as u32,
-            )
-        };
+        let find =
+            |members: &[u32]| -> OutLabel { tower.lookup_label(1, members).expect("label exists") };
         let a = find(&[0]);
         let b = find(&[1]);
         let ab = find(&[0, 1]);
@@ -742,13 +961,8 @@ mod tests {
             })
             .unwrap();
         let level = tower.level(1);
-        let find = |members: &[u32]| -> OutLabel {
-            OutLabel(
-                (0..tower.alphabet_size(1))
-                    .position(|l| tower.label_members(1, OutLabel(l as u32)) == members)
-                    .expect("label exists") as u32,
-            )
-        };
+        let find =
+            |members: &[u32]| -> OutLabel { tower.lookup_label(1, members).expect("label exists") };
         let a = find(&[0]);
         let b = find(&[1]);
         let ab = find(&[0, 1]);
@@ -771,26 +985,13 @@ mod tests {
         tower.push_r(opts).unwrap();
         tower.push_rbar(opts).unwrap();
         let level2 = tower.level(2);
-        // Build a map from member sets (of R-labels) to level-2 labels.
-        let size2 = tower.alphabet_size(2);
-        let find2 = |members: &[u32]| -> Option<OutLabel> {
-            (0..size2)
-                .position(|l| tower.label_members(2, OutLabel(l as u32)) == members)
-                .map(|l| OutLabel(l as u32))
-        };
         // R-labels: find the singleton-set labels.
-        let size1 = tower.alphabet_size(1);
-        let r_find = |members: &[u32]| -> u32 {
-            (0..size1)
-                .position(|l| tower.label_members(1, OutLabel(l as u32)) == members)
-                .expect("label exists") as u32
-        };
-        let ra = r_find(&[0]); // {A}
-        let rb = r_find(&[1]); // {B}
-                               // Level-2 label {{A}}: all selections are ({A}): node config of
-                               // R(Π) needs a selection from {A}... which is (A), allowed for
-                               // degree 1. For degree 2: ({A},{A}) has selection (A,A) ✓.
-        let baa = find2(&[ra.min(rb), ra.max(rb)]).expect("{{A},{B}} exists");
+        let ra = tower.lookup_label(1, &[0]).expect("{A} exists").0;
+        let rb = tower.lookup_label(1, &[1]).expect("{B} exists").0;
+        // Level-2 label {{A}, {B}}.
+        let baa = tower
+            .lookup_label(2, &[ra.min(rb), ra.max(rb)])
+            .expect("{{A},{B}} exists");
         // {{A},{B}} at degree 1: selections ({A}) ✓ and ({B}) ✓ — fine.
         assert!(level2.node_allows(&[baa]));
         // {{A},{B}}, {{A},{B}} at degree 2: selection ({A},{B}) is not an
@@ -806,6 +1007,75 @@ mod tests {
         tower.push_f(ReOptions::default()).unwrap();
         assert!(tower.alphabet_size(2) >= 1);
         assert!(tower.alphabet_size(2) <= 7);
+    }
+
+    #[test]
+    fn restricted_towers_reach_extensional_fixpoints() {
+        // A problem whose restriction collapses to a stable universe: only
+        // X-X edges are valid, so every derived level prunes down to the
+        // single label {X} and the extensional tables repeat. The stats
+        // must record the certificate with nonzero memo traffic. (Sinkless
+        // orientation also cycles in principle, but only up to label
+        // isomorphism — literal table equality never fires before the caps
+        // do, because this engine does not canonicalize label names.)
+        let p = LclProblem::parse("max-degree: 2\nnodes:\nX*\nY*\nedges:\nX X\n").unwrap();
+        let mut tower = ReTower::new(p);
+        let mut found = None;
+        for step in 1..=3 {
+            tower.push_f(ReOptions::default()).unwrap();
+            if let Some(earlier) = tower.fixpoint_of(2 * step) {
+                found = Some((2 * step, earlier));
+                break;
+            }
+        }
+        let (level, earlier) = found.expect("the collapsed tower must cycle");
+        assert!(earlier < level);
+        let stats = tower.level_stats(level);
+        assert_eq!(stats.fixpoint_of, Some(earlier));
+        assert!(
+            stats.cache_hits > 0,
+            "fixpoint level must hit the node-query memo: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn stats_track_restriction_and_work() {
+        let mut tower = ReTower::new(three_coloring());
+        tower.push_r(ReOptions::default()).unwrap();
+        let stats = tower.level_stats(1);
+        assert_eq!(stats.labels_full, 7);
+        assert_eq!(stats.labels, tower.alphabet_size(1));
+        assert!(stats.labels <= stats.labels_full);
+        assert!(stats.configurations > 0);
+        assert!(stats.cache_misses > 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_towers_agree() {
+        for problem in [three_coloring(), sinkless_orientation()] {
+            let mut seq = ReTower::new(problem.clone());
+            seq.push_f(ReOptions {
+                parallel: false,
+                ..ReOptions::default()
+            })
+            .unwrap();
+            let mut par4 = ReTower::new(problem);
+            par4.push_f(ReOptions {
+                parallel: true,
+                threads: 4,
+                ..ReOptions::default()
+            })
+            .unwrap();
+            for level in 1..=2 {
+                assert_eq!(seq.alphabet_size(level), par4.alphabet_size(level));
+                for l in 0..seq.alphabet_size(level) {
+                    assert_eq!(
+                        seq.label_members(level, OutLabel(l as u32)),
+                        par4.label_members(level, OutLabel(l as u32))
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -862,17 +1132,12 @@ mod tests {
             .unwrap();
         let level = tower.level(1);
         // The label {A, B} is allowed under input `free` but not `forced`.
-        let size = tower.alphabet_size(1);
-        let ab = (0..size)
-            .position(|l| tower.label_members(1, OutLabel(l as u32)) == [0, 1])
-            .expect("label exists");
-        assert!(level.input_allows(InLabel(0), OutLabel(ab as u32)));
-        assert!(!level.input_allows(InLabel(1), OutLabel(ab as u32)));
+        let ab = tower.lookup_label(1, &[0, 1]).expect("label exists");
+        assert!(level.input_allows(InLabel(0), ab));
+        assert!(!level.input_allows(InLabel(1), ab));
         // {B} is allowed under both.
-        let b = (0..size)
-            .position(|l| tower.label_members(1, OutLabel(l as u32)) == [1])
-            .expect("label exists");
-        assert!(level.input_allows(InLabel(0), OutLabel(b as u32)));
-        assert!(level.input_allows(InLabel(1), OutLabel(b as u32)));
+        let b = tower.lookup_label(1, &[1]).expect("label exists");
+        assert!(level.input_allows(InLabel(0), b));
+        assert!(level.input_allows(InLabel(1), b));
     }
 }

@@ -23,6 +23,7 @@ use std::collections::BTreeMap;
 use lcl::{InLabel, OutLabel, Problem};
 
 use crate::bits::{for_each_multiset, BitSet};
+use crate::par;
 
 /// The outcome of the 0-round decision.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -101,6 +102,9 @@ pub struct ZeroRoundOptions {
     pub max_cliques: usize,
     /// Cap on output-configuration candidates tried per table entry.
     pub per_entry_cap: usize,
+    /// Worker threads for the per-entry candidate enumeration (`0` = all
+    /// available cores; the result is thread-count invariant).
+    pub threads: usize,
 }
 
 impl Default for ZeroRoundOptions {
@@ -108,6 +112,7 @@ impl Default for ZeroRoundOptions {
         Self {
             max_cliques: 10_000,
             per_entry_cap: 2_000_000,
+            threads: 0,
         }
     }
 }
@@ -132,7 +137,7 @@ struct EntryCandidates {
 ///
 /// Panics if the problem does not report a finite `output_count`.
 pub fn decide_zero_round(
-    problem: &(impl Problem + ?Sized),
+    problem: &(impl Problem + Sync + ?Sized),
     opts: ZeroRoundOptions,
 ) -> ZeroRoundResult {
     let universe = problem
@@ -152,18 +157,21 @@ pub fn decide_zero_round(
 
     // Precompute, per (degree, input multiset), every usable output
     // configuration: node-allowed, g-matchable, and using only reflexive
-    // labels. Independent of the clique choice, so computed once.
-    let mut entries: Vec<EntryCandidates> = Vec::new();
-    let mut any_capped = false;
+    // labels. Independent of the clique choice (and of each other), so
+    // computed once, fanned out over threads.
+    let mut input_multisets: Vec<Vec<InLabel>> = Vec::new();
     for d in 1..=delta {
         for_each_multiset(inputs, d, usize::MAX, |input_ids| {
-            let ins: Vec<InLabel> = input_ids.iter().map(|&i| InLabel(i as u32)).collect();
-            let entry = collect_candidates(problem, &reflexive_mask, &ins, opts.per_entry_cap);
-            any_capped |= entry.capped;
-            entries.push(entry);
+            input_multisets.push(input_ids.iter().map(|&i| InLabel(i as u32)).collect());
             true
         });
     }
+    let entries: Vec<EntryCandidates> = par::par_map(
+        &input_multisets,
+        par::resolve_threads(opts.threads),
+        |ins| collect_candidates(problem, &reflexive_mask, ins, opts.per_entry_cap),
+    );
+    let any_capped = entries.iter().any(|e| e.capped);
     // An entry with no candidates at all kills every clique.
     if entries.iter().any(|e| e.candidates.is_empty() && !e.capped) {
         return ZeroRoundResult::Unsolvable;

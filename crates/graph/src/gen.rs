@@ -5,8 +5,7 @@
 //! ones take an explicit seed so every experiment in the suite is
 //! reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
 use crate::builder::{BuildError, GraphBuilder};
 use crate::graph::{EdgeId, Graph, HalfEdgeId, NodeId};
@@ -267,6 +266,62 @@ pub fn random_forest(n: usize, components: usize, max_degree: u8, seed: u64) -> 
     b.build().expect("random forest respects the degree bound")
 }
 
+/// Why [`random_regular`] could not produce a graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RegularGenError {
+    /// `n * d` is odd, so no `d`-regular graph on `n` nodes exists.
+    OddStubCount {
+        /// Requested node count.
+        n: usize,
+        /// Requested degree.
+        d: u8,
+    },
+    /// `d >= n`, so no simple `d`-regular graph on `n` nodes exists.
+    DegreeTooLarge {
+        /// Requested node count.
+        n: usize,
+        /// Requested degree.
+        d: u8,
+    },
+    /// Every attempted pairing contained a self-loop or parallel edge.
+    /// Essentially impossible for `d <= 4`, `n >= 8`; dense corner cases
+    /// (say `d = n - 1` with tiny `n`) can exhaust the budget.
+    NoSimplePairing {
+        /// Requested node count.
+        n: usize,
+        /// Requested degree.
+        d: u8,
+        /// Pairings tried before giving up.
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for RegularGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            RegularGenError::OddStubCount { n, d } => {
+                write!(f, "no {d}-regular graph on {n} nodes: n*d must be even")
+            }
+            RegularGenError::DegreeTooLarge { n, d } => {
+                write!(
+                    f,
+                    "no simple {d}-regular graph on {n} nodes: d must be below n"
+                )
+            }
+            RegularGenError::NoSimplePairing { n, d, attempts } => write!(
+                f,
+                "no simple {d}-regular pairing found for n = {n} within {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegularGenError {}
+
+/// Pairings tried by [`random_regular`] before reporting
+/// [`RegularGenError::NoSimplePairing`].
+pub const REGULAR_PAIRING_ATTEMPTS: u32 = 500;
+
 /// A random `d`-regular simple graph on `n` nodes (configuration model
 /// with rejection), deterministic given `seed`.
 ///
@@ -274,15 +329,20 @@ pub fn random_forest(n: usize, components: usize, max_degree: u8, seed: u64) -> 
 /// complexity on trees equals the complexity on graphs of sufficiently
 /// large girth, and random regular graphs have few short cycles.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `n * d` is odd, `d >= n`, or no simple pairing is found
-/// within 500 attempts (essentially impossible for `d <= 4`, `n >= 8`).
-pub fn random_regular(n: usize, d: u8, seed: u64) -> Graph {
-    assert!((n * usize::from(d)).is_multiple_of(2), "n*d must be even");
-    assert!(usize::from(d) < n, "degree must be below n");
+/// Returns a [`RegularGenError`] if `n * d` is odd, `d >= n`, or no
+/// simple pairing is found within [`REGULAR_PAIRING_ATTEMPTS`] retries
+/// (essentially impossible for `d <= 4`, `n >= 8`).
+pub fn random_regular(n: usize, d: u8, seed: u64) -> Result<Graph, RegularGenError> {
+    if !(n * usize::from(d)).is_multiple_of(2) {
+        return Err(RegularGenError::OddStubCount { n, d });
+    }
+    if usize::from(d) >= n {
+        return Err(RegularGenError::DegreeTooLarge { n, d });
+    }
     let mut rng = SmallRng::seed_from_u64(seed);
-    'attempt: for _ in 0..500 {
+    'attempt: for _ in 0..REGULAR_PAIRING_ATTEMPTS {
         // Pairing model: d stubs per node, matched uniformly.
         let mut stubs: Vec<usize> = (0..n)
             .flat_map(|v| std::iter::repeat_n(v, usize::from(d)))
@@ -301,9 +361,13 @@ pub fn random_regular(n: usize, d: u8, seed: u64) -> Graph {
             }
             builder.add_edge(a, b).expect("stub endpoints valid");
         }
-        return builder.build().expect("simple pairing builds");
+        return Ok(builder.build().expect("simple pairing builds"));
     }
-    panic!("no simple {d}-regular pairing found for n = {n}")
+    Err(RegularGenError::NoSimplePairing {
+        n,
+        d,
+        attempts: REGULAR_PAIRING_ATTEMPTS,
+    })
 }
 
 /// A `d`-dimensional toroidal grid with side lengths `dims` (`d = dims.len()`).
@@ -511,7 +575,7 @@ mod tests {
     #[test]
     fn random_regular_is_regular_and_simple() {
         for seed in 0..4 {
-            let g = random_regular(24, 3, seed);
+            let g = random_regular(24, 3, seed).unwrap();
             assert_eq!(g.node_count(), 24);
             for v in g.nodes() {
                 assert_eq!(g.degree(v), 3, "seed {seed}");
@@ -528,14 +592,47 @@ mod tests {
         // Random cubic graphs rarely have triangles; find a seed with
         // girth at least 5 quickly (the high-girth experiments do the
         // same search).
-        let found = (0..50).any(|seed| random_regular(32, 3, seed).girth().is_some_and(|g| g >= 5));
+        let found = (0..50).any(|seed| {
+            random_regular(32, 3, seed)
+                .unwrap()
+                .girth()
+                .is_some_and(|g| g >= 5)
+        });
         assert!(found);
     }
 
     #[test]
-    #[should_panic(expected = "even")]
     fn random_regular_rejects_odd_products() {
-        let _ = random_regular(9, 3, 0);
+        assert_eq!(
+            random_regular(9, 3, 0),
+            Err(RegularGenError::OddStubCount { n: 9, d: 3 })
+        );
+    }
+
+    #[test]
+    fn random_regular_rejects_excessive_degree() {
+        assert_eq!(
+            random_regular(3, 4, 0),
+            Err(RegularGenError::DegreeTooLarge { n: 3, d: 4 })
+        );
+    }
+
+    #[test]
+    fn random_regular_reports_exhausted_pairings() {
+        // d = n - 1 demands the pairing produce exactly K_n; at n = 8 a
+        // uniform pairing is simple with probability ≈ e^{-12}, so the
+        // 500-attempt budget is (deterministically, given the seed)
+        // exhausted rather than aborting the process.
+        assert_eq!(
+            random_regular(8, 7, 0),
+            Err(RegularGenError::NoSimplePairing {
+                n: 8,
+                d: 7,
+                attempts: REGULAR_PAIRING_ATTEMPTS,
+            })
+        );
+        // The modestly dense case still succeeds well within budget.
+        assert!(random_regular(4, 3, 1).is_ok());
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! (Definition 5.2): node `u` holds identifiers `id_1(u), ..., id_d(u)`,
 //! and `id_i(u) = id_i(v)` iff `u` and `v` share the `i`-th coordinate.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
 use lcl_graph::NodeId;
 

@@ -7,8 +7,7 @@
 
 use std::collections::BTreeSet;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
 use crate::label::{Alphabet, OutLabel};
 use crate::problem::{from_parts, LclProblem};
@@ -48,7 +47,7 @@ pub fn random_problem(spec: RandomProblemSpec, seed: u64) -> LclProblem {
     let mut rng = SmallRng::seed_from_u64(seed);
     let delta = spec.max_degree.max(1);
     let outs = spec.outputs.max(1);
-    let keep = |rng: &mut SmallRng| rng.gen_range(0..100) < spec.density_percent;
+    let keep = |rng: &mut SmallRng| rng.gen_range(0..100u8) < spec.density_percent;
 
     let mut node_configs: Vec<BTreeSet<Vec<OutLabel>>> = vec![BTreeSet::new(); delta as usize + 1];
     for (d, set) in node_configs.iter_mut().enumerate().skip(1) {

@@ -1,8 +1,7 @@
 //! Identifier assignments from a polynomial range (Definition 2.1 equips
 //! deterministic algorithms with globally unique identifiers).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
 use lcl_graph::NodeId;
 

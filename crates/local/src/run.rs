@@ -1,7 +1,6 @@
 //! Executing LOCAL algorithms and estimating local failure probabilities.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
 use lcl_graph::Graph;

@@ -1,0 +1,239 @@
+//! Self-contained deterministic PRNG for the suite.
+//!
+//! Every randomized component (graph generators, Monte-Carlo estimation in
+//! [`derived`](../lcl_core/derived/index.html), identifier assignment,
+//! fault injection) takes an explicit `u64` seed so that every experiment
+//! is reproducible. This crate supplies the generator behind those seeds
+//! without any external dependency — the build environment is offline, so
+//! the suite cannot rely on crates.io (`rand` et al.).
+//!
+//! The generator is **xoshiro256++** (Blackman & Vigna 2019, public
+//! domain reference constants) seeded through **splitmix64**, the same
+//! construction `rand`'s `SmallRng` historically used on 64-bit targets.
+//! It is not cryptographic; it is fast, has 256 bits of state, and passes
+//! BigCrush — more than enough for simulation workloads.
+//!
+//! The API deliberately mirrors the subset of `rand` the suite used
+//! (`seed_from_u64`, `gen`, `gen_range`, `gen_bool`) so call sites only
+//! changed their import line.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable PRNG (xoshiro256++).
+#[derive(Clone, Debug)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Builds a generator from a `u64` seed via splitmix64 state
+    /// expansion. Identical seeds yield identical streams on every
+    /// platform.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniformly random value of an integer type (the `rand`-style
+    /// turbofish entry point: `rng.gen::<u64>()`).
+    #[inline]
+    pub fn gen<T: RngValue>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// A uniformly random value in the given range. Supports `a..b` and
+    /// `a..=b` over `usize`, `u32`, and `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        // 53 random bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+
+    /// Uniform sample below `bound` (> 0) by widening multiply; the bias
+    /// of the plain method is below 2^-64 per draw, irrelevant here.
+    #[inline]
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce.
+pub trait RngValue {
+    /// Draws a uniformly random value.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl RngValue for u64 {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl RngValue for u32 {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl RngValue for bool {
+    #[inline]
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws a uniformly random element.
+    fn sample(self, rng: &mut SmallRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut SmallRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range on empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(usize, u64, u32, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 16);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u32..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn singleton_ranges_work() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert_eq!(rng.gen_range(5usize..6), 5);
+        assert_eq!(rng.gen_range(9u64..=9), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let _ = rng.gen_range(3usize..3);
+    }
+
+    #[test]
+    fn typed_gen_draws() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _: u64 = rng.gen();
+        let _: u32 = rng.gen();
+        let _: bool = rng.gen();
+    }
+}

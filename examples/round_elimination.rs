@@ -64,6 +64,7 @@ fn main() {
             k_threshold: 0.2,
             l_threshold: 0.15,
             samples: 64,
+            threads: 0,
         },
     );
     println!(
@@ -73,15 +74,19 @@ fn main() {
     let g = gen::path(10);
     let input = lcl_landscape::lcl::uniform_input(&g);
 
-    let base = derivation.run_base(&g, &input, 7);
+    let base = derivation.run_base(&g, &input, 3);
     let base_ok = lcl_landscape::lcl::verify(&problem, &g, &input, &base).is_empty();
     println!("  A      solves Π          (radius 1): {base_ok}");
 
-    let half = derivation.run_a_half(&tower, &g, &input, 7);
+    let half = derivation
+        .run_a_half(&tower, &g, &input, 3)
+        .expect("unrestricted tower holds every derivable label");
     let half_ok = lcl_landscape::lcl::verify(&tower.level(1), &g, &input, &half).is_empty();
     println!("  A_1/2  solves R(Π)       (radius ½): {half_ok}");
 
-    let prime = derivation.run_a_prime(&tower, &g, &input, 7);
+    let prime = derivation
+        .run_a_prime(&tower, &g, &input, 3)
+        .expect("unrestricted tower holds every derivable label");
     let prime_ok = lcl_landscape::lcl::verify(&tower.level(2), &g, &input, &prime).is_empty();
     println!("  A'     solves R̄(R(Π))    (radius 0): {prime_ok}");
 }

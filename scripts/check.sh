@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: build, tests, formatting, lints.
+# Run from anywhere inside the repository.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test --release =="
+cargo test -q --release
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --release -- -D warnings
+
+echo "all checks passed"

@@ -2,8 +2,7 @@
 //! localizes the damage — the verifier is the ground truth every other
 //! component leans on, so it gets adversarial treatment of its own.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lcl_rng::SmallRng;
 
 use lcl_landscape::graph::gen;
 use lcl_landscape::lcl::{uniform_input, verify, HalfEdgeLabeling, OutLabel, Violation};

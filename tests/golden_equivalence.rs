@@ -1,0 +1,150 @@
+//! Golden equivalence of the round-elimination engine: for every problem
+//! in the catalog, the interned, parallel tower must agree — label for
+//! label, relation for relation — with a sequential (single-thread,
+//! fan-out disabled) reference build, and two parallel builds must agree
+//! with each other (determinism under thread scheduling).
+//!
+//! "Agree" is checked extensionally on every level the caps admit:
+//! alphabet sizes, the member sets behind each derived label, the full
+//! edge relation, and the node relation on all multisets up to the
+//! degree bound.
+
+use lcl::{LclProblem, OutLabel, Problem};
+use lcl_landscape::core::bits::for_each_multiset;
+use lcl_landscape::core::{ReOptions, ReTower};
+use lcl_landscape::problems::catalog::{
+    anti_matching, k_coloring, maximal_matching_problem, mis_problem, oriented_three_coloring,
+    sinkless_orientation, sinkless_orientation_standard, two_coloring,
+};
+
+/// Every catalog problem, paired with how many `f`-steps its tower
+/// supports under default caps (bigger universes than these trip the
+/// caps, which is itself exercised elsewhere).
+fn catalog() -> Vec<(String, LclProblem, usize)> {
+    let entries = [
+        (k_coloring(3, 3), 1),
+        (two_coloring(2), 1),
+        (oriented_three_coloring(), 1),
+        (sinkless_orientation(3), 2),
+        (sinkless_orientation_standard(3), 1),
+        (anti_matching(3), 2),
+        (mis_problem(2), 1),
+        (maximal_matching_problem(2), 1),
+    ];
+    entries
+        .into_iter()
+        .map(|(p, steps)| (p.problem_name().to_string(), p, steps))
+        .collect()
+}
+
+fn build(problem: &LclProblem, steps: usize, opts: ReOptions) -> ReTower {
+    let mut tower = ReTower::new(problem.clone());
+    for step in 0..steps {
+        tower.push_f(opts).unwrap_or_else(|e| {
+            panic!(
+                "{}: f-step {} must fit the default caps: {e}",
+                problem.problem_name(),
+                step + 1
+            )
+        });
+    }
+    tower
+}
+
+/// Enumerates node multisets of `universe` labels up to `max_degree` and
+/// asserts the two levels give the same verdicts everywhere.
+fn assert_levels_agree(name: &str, level: usize, a: &ReTower, b: &ReTower) {
+    let size = a.alphabet_size(level);
+    assert_eq!(
+        size,
+        b.alphabet_size(level),
+        "{name}: alphabet size diverges at level {level}"
+    );
+    if level >= 1 {
+        for l in 0..size {
+            assert_eq!(
+                a.label_members(level, OutLabel(l as u32)),
+                b.label_members(level, OutLabel(l as u32)),
+                "{name}: members of label {l} diverge at level {level}"
+            );
+        }
+    }
+    let (la, lb) = (a.level(level), b.level(level));
+    for x in 0..size as u32 {
+        for y in 0..size as u32 {
+            assert_eq!(
+                la.edge_allows(OutLabel(x), OutLabel(y)),
+                lb.edge_allows(OutLabel(x), OutLabel(y)),
+                "{name}: edge ({x}, {y}) diverges at level {level}"
+            );
+        }
+    }
+    // Node relation on all multisets up to the degree bound.
+    let delta = la.max_degree() as usize;
+    for degree in 1..=delta {
+        let complete = for_each_multiset(size, degree, usize::MAX, |tuple| {
+            let labels: Vec<OutLabel> = tuple.iter().map(|&l| OutLabel(l as u32)).collect();
+            assert_eq!(
+                la.node_allows(&labels),
+                lb.node_allows(&labels),
+                "{name}: node config {tuple:?} diverges at level {level}"
+            );
+            true
+        });
+        assert!(complete);
+    }
+}
+
+fn assert_towers_agree(name: &str, a: &ReTower, b: &ReTower) {
+    assert_eq!(
+        a.level_count(),
+        b.level_count(),
+        "{name}: towers have different heights"
+    );
+    for level in 0..a.level_count() {
+        assert_levels_agree(name, level, a, b);
+    }
+}
+
+#[test]
+fn parallel_towers_match_the_sequential_reference_on_every_catalog_problem() {
+    let parallel = ReOptions {
+        parallel: true,
+        threads: 4,
+        ..ReOptions::default()
+    };
+    let sequential = ReOptions {
+        parallel: false,
+        ..ReOptions::default()
+    };
+    for (name, problem, steps) in catalog() {
+        let par = build(&problem, steps, parallel);
+        let seq = build(&problem, steps, sequential);
+        assert_towers_agree(&name, &par, &seq);
+    }
+}
+
+#[test]
+fn parallel_builds_are_deterministic() {
+    // Two independent parallel builds must agree bit for bit — interner
+    // ids included — no matter how the scheduler interleaves the fan-out.
+    let opts = ReOptions {
+        parallel: true,
+        threads: 4,
+        ..ReOptions::default()
+    };
+    for (name, problem, steps) in catalog() {
+        let first = build(&problem, steps, opts);
+        let second = build(&problem, steps, opts);
+        assert_towers_agree(&name, &first, &second);
+        // Stats that describe the problem (not the clock or the cache
+        // schedule) must also be reproducible.
+        for level in 1..first.level_count() {
+            let (a, b) = (first.level_stats(level), second.level_stats(level));
+            assert_eq!(a.labels_full, b.labels_full, "{name} level {level}");
+            assert_eq!(a.labels, b.labels, "{name} level {level}");
+            assert_eq!(a.configurations, b.configurations, "{name} level {level}");
+            assert_eq!(a.fixpoint_of, b.fixpoint_of, "{name} level {level}");
+        }
+    }
+}
