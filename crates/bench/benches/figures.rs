@@ -24,6 +24,7 @@ fn main() {
     lcl_bench::gaps::lemma33_cases().print();
 
     lcl_bench::re_engine::re_engine().print();
+    lcl_bench::obs_report::obs_report().print();
 
     println!("\nall experiments completed in {:.1?}", t0.elapsed());
 }

@@ -21,6 +21,10 @@
 //! * [`re_engine::re_engine`] — the round-elimination engine counters
 //!   (interning, parallel fan-out, memo cache, fixpoint detection),
 //!   written to `BENCH_re_engine.json`.
+//! * [`obs_report::obs_report`] — per-stage execution traces for every
+//!   Figure 1 panel, collected through the instrumented `simulate*`
+//!   entrypoints and written to `BENCH_obs.json` (also available alone
+//!   via `cargo bench -p lcl-bench --bench obs`).
 //!
 //! Run everything with `cargo bench -p lcl-bench --bench figures`; the
 //! microbenchmarks of the hot paths live in `--bench micro`.
@@ -28,6 +32,7 @@
 pub mod fig1;
 pub mod gaps;
 pub mod grid_algos;
+pub mod obs_report;
 pub mod re_engine;
 pub mod table;
 pub mod timing;

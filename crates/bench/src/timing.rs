@@ -2,8 +2,8 @@
 //! environment is offline, so Criterion is not available).
 //!
 //! Each benchmark runs a short calibration phase to pick an iteration
-//! count that fills roughly [`SAMPLE_TARGET`] per sample, then takes
-//! [`SAMPLES`] timed samples and reports the median, minimum, and maximum
+//! count that fills roughly `SAMPLE_TARGET` per sample, then takes
+//! `SAMPLES` timed samples and reports the median, minimum, and maximum
 //! per-iteration time.
 
 use std::time::{Duration, Instant};

@@ -23,6 +23,7 @@
 use lcl::{LclProblem, OutLabel};
 use lcl_graph::PortView;
 use lcl_local::{LocalAlgorithm, View};
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use crate::automaton::Automaton;
 use crate::classify::ClassifyError;
@@ -154,8 +155,38 @@ pub struct LogStarCycle {
 ///
 /// As [`classify_oriented_cycle`](crate::classify_oriented_cycle).
 pub fn synthesize_cycle(p: &LclProblem) -> Result<Option<CycleAlgorithm>, ClassifyError> {
+    synthesize_cycle_traced(p).map(|report| report.outcome)
+}
+
+/// Like [`synthesize_cycle`], additionally reporting the synthesis trace:
+/// automaton states, sparsification levels of a log* plan, and wall time.
+///
+/// # Errors
+///
+/// As [`synthesize_cycle`].
+pub fn synthesize_cycle_traced(
+    p: &LclProblem,
+) -> Result<RunReport<Option<CycleAlgorithm>>, ClassifyError> {
+    use lcl::Problem as _;
+    let mut span = Span::start(format!("classify/synthesize-cycle/{}", p.name()));
+    let outcome = synthesize_cycle_impl(p, &mut span)?;
+    if let Some(alg) = &outcome {
+        let steps = match alg {
+            CycleAlgorithm::Constant(_) => 0,
+            CycleAlgorithm::LogStar(l) => u64::from(l.plan.levels),
+        };
+        span.set(Counter::Steps, steps);
+    }
+    Ok(RunReport::new(outcome, Trace::new(span.finish())))
+}
+
+fn synthesize_cycle_impl(
+    p: &LclProblem,
+    span: &mut Span,
+) -> Result<Option<CycleAlgorithm>, ClassifyError> {
     let automaton = Automaton::from_problem(p).map_err(ClassifyError)?;
     let k = automaton.state_count();
+    span.set(Counter::States, k as u64);
 
     // Self-loop ⇒ constant tiling.
     for s in 0..k {
@@ -413,7 +444,7 @@ fn cyclic_fill(plan: &LogStarPlan, ids: &[u64], me: usize, n_announced: usize) -
         anchors = sparsify_cyclic(&anchors, ids, n);
     }
     if anchors.len() < 2 || anchors.windows(2).any(|w| w[1] - w[0] < plan.k0) || {
-        let wrap = n - anchors.last().unwrap() + anchors[0];
+        let wrap = n - anchors[anchors.len() - 1] + anchors[0];
         anchors.len() >= 2 && wrap < plan.k0
     } {
         // Fall back to a single anchor at the global id minimum: the
@@ -665,6 +696,19 @@ mod tests {
         assert!(l.plan.k0 >= 3, "K₀ = {}", l.plan.k0);
         assert!(l.plan.levels >= 1);
         check_on_cycles(&p, &alg, &[24, 50, 121]);
+    }
+
+    #[test]
+    fn traced_synthesis_records_states_and_levels() {
+        let p = three_coloring();
+        let report = synthesize_cycle_traced(&p).unwrap();
+        assert!(report.outcome.is_some());
+        assert_eq!(report.trace.total(Counter::States), 3);
+        assert!(report
+            .trace
+            .root()
+            .name()
+            .starts_with("classify/synthesize-cycle/"));
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use lcl::{LclProblem, OutLabel};
 use lcl_graph::PortView;
 use lcl_local::{LocalAlgorithm, View};
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use crate::automaton::Automaton;
 use crate::classify::ClassifyError;
@@ -77,8 +78,34 @@ impl PathAlgorithm {
 ///
 /// As [`classify_oriented_path`](crate::classify_oriented_path).
 pub fn synthesize_path(p: &LclProblem) -> Result<Option<PathAlgorithm>, ClassifyError> {
+    synthesize_path_traced(p).map(|report| report.outcome)
+}
+
+/// Like [`synthesize_path`], additionally reporting the synthesis trace:
+/// automaton states, sparsification levels of the plan, and wall time.
+///
+/// # Errors
+///
+/// As [`synthesize_path`].
+pub fn synthesize_path_traced(
+    p: &LclProblem,
+) -> Result<RunReport<Option<PathAlgorithm>>, ClassifyError> {
+    use lcl::Problem as _;
+    let mut span = Span::start(format!("classify/synthesize-path/{}", p.name()));
+    let outcome = synthesize_path_impl(p, &mut span)?;
+    if let Some(alg) = &outcome {
+        span.set(Counter::Steps, u64::from(alg.plan.levels));
+    }
+    Ok(RunReport::new(outcome, Trace::new(span.finish())))
+}
+
+fn synthesize_path_impl(
+    p: &LclProblem,
+    span: &mut Span,
+) -> Result<Option<PathAlgorithm>, ClassifyError> {
     let automaton = Automaton::from_problem(p).map_err(ClassifyError)?;
     let k = automaton.state_count();
+    span.set(Counter::States, k as u64);
     let reach = automaton.reachable_from(|s| automaton.is_start(s));
     let co = automaton.co_reachable_to(|s| automaton.is_accept(s));
     let gcds = automaton.cycle_gcds();

@@ -20,6 +20,7 @@
 //! works on trees, run component-wise on forests.
 
 use lcl::{LclProblem, Problem};
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use crate::lift::LiftedAlgorithm;
 use crate::tower::{ReError, ReOptions, ReTower};
@@ -99,12 +100,24 @@ impl SpeedupOutcome {
     }
 }
 
-/// Runs the Theorem 3.10/3.11 synthesis pipeline on `problem`.
-pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcome {
+/// Runs the Theorem 3.10/3.11 synthesis pipeline on `problem` and
+/// reports the execution trace: one child span per round-elimination
+/// level (labels interned/alive, configurations, memo traffic, fixpoint
+/// certificates — the tower's own spans), under a root recording the
+/// `f`-steps explored and, on success, the synthesized round count.
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`tree_speedup`] forwards here and discards the trace.
+pub fn tree_speedup_traced(
+    problem: &LclProblem,
+    opts: SpeedupOptions,
+) -> RunReport<SpeedupOutcome> {
+    let mut span = Span::start(format!("tree-speedup/{}", problem.name()));
     let mut tower = ReTower::new(problem.clone());
     let mut capped = None;
     let mut steps_tried = 0;
     let mut fixpoint = None;
+    let mut solved = None;
     for step in 0..=opts.max_steps {
         if step > 0 {
             match tower.push_f(opts.re) {
@@ -118,11 +131,8 @@ pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcom
         let level = tower.level(2 * step);
         match decide_zero_round(&level, opts.zero_round) {
             ZeroRoundResult::Solvable(adet) => {
-                return SpeedupOutcome::ConstantRound {
-                    tower: Box::new(tower),
-                    steps: step,
-                    adet,
-                };
+                solved = Some((step, adet));
+                break;
             }
             ZeroRoundResult::Unsolvable => {
                 steps_tried = step + 1;
@@ -145,15 +155,42 @@ pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcom
             }
         }
     }
-    let alphabet_sizes = (0..tower.level_count())
-        .map(|l| tower.alphabet_size(l))
-        .collect();
-    SpeedupOutcome::Exhausted {
-        steps_tried,
-        alphabet_sizes,
-        capped,
-        fixpoint,
+    for level_span in tower.spans() {
+        span.record(level_span.clone());
     }
+    let outcome = if let Some((steps, adet)) = solved {
+        span.set(Counter::Steps, steps as u64);
+        span.set(Counter::Rounds, steps as u64);
+        SpeedupOutcome::ConstantRound {
+            tower: Box::new(tower),
+            steps,
+            adet,
+        }
+    } else {
+        span.set(Counter::Steps, steps_tried as u64);
+        if let Some(earlier) = fixpoint {
+            span.set(Counter::FixpointOf, earlier as u64);
+        }
+        let alphabet_sizes = (0..tower.level_count())
+            .map(|l| tower.alphabet_size(l))
+            .collect();
+        SpeedupOutcome::Exhausted {
+            steps_tried,
+            alphabet_sizes,
+            capped,
+            fixpoint,
+        }
+    };
+    RunReport::new(outcome, Trace::new(span.finish()))
+}
+
+/// Runs the Theorem 3.10/3.11 synthesis pipeline on `problem`.
+///
+/// Note: superseded by [`tree_speedup_traced`], which additionally
+/// reports the execution trace; this thin wrapper remains for source
+/// compatibility.
+pub fn tree_speedup(problem: &LclProblem, opts: SpeedupOptions) -> SpeedupOutcome {
+    tree_speedup_traced(problem, opts).outcome
 }
 
 /// The Lemma 3.3 transfer, executable: runs a tree algorithm on a forest
@@ -253,6 +290,20 @@ mod tests {
         let run = run_sync(&alg, &g, &input, &ids, None, 5);
         assert_eq!(run.rounds, 1);
         assert!(lcl::verify(&p, &g, &input, &run.output).is_empty());
+    }
+
+    #[test]
+    fn traced_pipeline_records_level_spans() {
+        let p = LclProblem::parse("max-degree: 3\nnodes:\nX* Y*\nedges:\nX Y\n").unwrap();
+        let report = tree_speedup_traced(&p, SpeedupOptions::default());
+        assert!(report.outcome.is_constant());
+        let trace = &report.trace;
+        assert_eq!(trace.total(Counter::Rounds), 1);
+        // One f-step = two derived levels, each with its own span.
+        let r = trace.find("level-1/r").expect("R level span");
+        assert!(r.get(Counter::LabelsInterned).unwrap_or(0) > 0);
+        assert!(trace.find("level-2/rbar").is_some());
+        assert!(!trace.is_empty());
     }
 
     #[test]

@@ -42,7 +42,7 @@
 //!
 //! With [`ReOptions::parallel`] (the default), member sets, edge rows,
 //! `g` rows, and the per-label node-usefulness checks of each step fan out
-//! over scoped threads ([`par`](crate::par)); results are identical to the
+//! over scoped threads ([`par`]); results are identical to the
 //! sequential engine because work is sharded by index and reassembled in
 //! order. After each step the engine computes an *extensional table* of
 //! the new level (edge rows, `g` rows, and the node relation over all
@@ -58,6 +58,7 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use lcl::{InLabel, LclProblem, OutLabel, Problem};
+use lcl_obs::{Counter, Span, SpanRecord, Trace};
 
 use crate::bits::{for_each_multiset, BitSet};
 use crate::interner::LabelInterner;
@@ -159,6 +160,10 @@ impl Default for ReOptions {
 }
 
 /// Per-level engine counters, recorded by each `push_r`/`push_rbar`.
+///
+/// Since the observability rework the tower records each step as an
+/// `lcl_obs` span; this struct is a *view*, derived from the span via
+/// [`LevelStats::from_span`], kept for its named fields.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct LevelStats {
     /// Universe size before restriction.
@@ -179,6 +184,22 @@ pub struct LevelStats {
     pub fixpoint_of: Option<usize>,
     /// Wall-clock time of the step.
     pub wall: Duration,
+}
+
+impl LevelStats {
+    /// Reads the named counters back out of a per-level span (the
+    /// inverse of the recording in `push_layer`).
+    pub fn from_span(span: &SpanRecord) -> Self {
+        Self {
+            labels_full: span.get(Counter::LabelsInterned).unwrap_or(0) as usize,
+            labels: span.get(Counter::LabelsAlive).unwrap_or(0) as usize,
+            configurations: span.get(Counter::Configurations).unwrap_or(0),
+            cache_hits: span.get(Counter::MemoHits).unwrap_or(0),
+            cache_misses: span.get(Counter::MemoMisses).unwrap_or(0),
+            fixpoint_of: span.get(Counter::FixpointOf).map(|v| v as usize),
+            wall: span.wall(),
+        }
+    }
 }
 
 /// One derived level of the tower.
@@ -210,11 +231,19 @@ struct LevelTable {
 }
 
 /// The shared node-query memo plus its traffic counters.
+///
+/// Traffic is counted so that the derived hit/miss numbers are
+/// *scheduling-independent*: `queries` counts every lookup and `inserted`
+/// counts first insertions of a key, both of which are pure functions of
+/// the data even when parallel workers race to compute the same key (the
+/// racing duplicate's insert finds the key present and is not counted).
+/// Misses are reported as `inserted` — distinct queries actually computed
+/// — and hits as `queries - inserted`.
 #[derive(Debug, Default)]
 struct NodeCache {
     map: HashMap<(usize, Vec<u32>), bool>,
-    hits: u64,
-    misses: u64,
+    queries: u64,
+    inserted: u64,
 }
 
 /// The round-elimination problem sequence over a base problem.
@@ -246,8 +275,9 @@ pub struct ReTower {
     /// Base `g` rows.
     base_g_rows: Vec<BitSet>,
     layers: Vec<Layer>,
-    /// Per derived level: engine counters (`stats[k]` is level `k + 1`).
-    stats: Vec<LevelStats>,
+    /// Per derived level: the step's span (`spans[k]` is level `k + 1`),
+    /// the single source of truth for the engine counters.
+    spans: Vec<SpanRecord>,
     /// Per level (including the base): the extensional table, when small
     /// enough to compute.
     tables: Vec<Option<LevelTable>>,
@@ -263,12 +293,12 @@ impl Clone for ReTower {
             base_edge_rows: self.base_edge_rows.clone(),
             base_g_rows: self.base_g_rows.clone(),
             layers: self.layers.clone(),
-            stats: self.stats.clone(),
+            spans: self.spans.clone(),
             tables: self.tables.clone(),
             node_cache: Mutex::new(NodeCache {
                 map: cache.map.clone(),
-                hits: cache.hits,
-                misses: cache.misses,
+                queries: cache.queries,
+                inserted: cache.inserted,
             }),
         }
     }
@@ -301,7 +331,7 @@ impl ReTower {
             base_edge_rows,
             base_g_rows,
             layers: Vec::new(),
-            stats: Vec::new(),
+            spans: Vec::new(),
             tables: vec![None],
             node_cache: Mutex::new(NodeCache::default()),
         }
@@ -352,14 +382,33 @@ impl ReTower {
         self.layers[level - 1].labels.lookup(members).map(OutLabel)
     }
 
-    /// Engine counters per derived level (`stats()[k]` is level `k + 1`).
-    pub fn stats(&self) -> &[LevelStats] {
-        &self.stats
+    /// Engine counters per derived level (`stats()[k]` is level `k + 1`),
+    /// derived from the per-step spans.
+    pub fn stats(&self) -> Vec<LevelStats> {
+        self.spans.iter().map(LevelStats::from_span).collect()
     }
 
     /// Engine counters of derived level `k ≥ 1`.
-    pub fn level_stats(&self, level: usize) -> &LevelStats {
-        &self.stats[level - 1]
+    pub fn level_stats(&self, level: usize) -> LevelStats {
+        LevelStats::from_span(&self.spans[level - 1])
+    }
+
+    /// The recorded span of each derived level (`spans()[k]` is level
+    /// `k + 1`).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// The tower's execution trace: one child span per derived level
+    /// (wall time, labels interned/alive, configurations, memo traffic,
+    /// fixpoint certificates), under a root carrying the step count.
+    pub fn trace(&self) -> Trace {
+        let root = SpanRecord::aggregate(
+            "re-tower",
+            [(Counter::Steps, self.spans.len() as u64)],
+            self.spans.clone(),
+        );
+        Trace::new(root)
     }
 
     /// The earliest level whose extensional table equals `level`'s — a
@@ -368,14 +417,20 @@ impl ReTower {
         if level == 0 {
             None
         } else {
-            self.stats[level - 1].fixpoint_of
+            self.spans[level - 1]
+                .get(Counter::FixpointOf)
+                .map(|v| v as usize)
         }
     }
 
     /// Cumulative node-query memo traffic `(hits, misses)`.
+    ///
+    /// Both numbers are scheduling-independent (see `NodeCache`): a
+    /// miss is a distinct query that was actually computed, a hit is any
+    /// other lookup.
     pub fn node_cache_counters(&self) -> (u64, u64) {
         let cache = self.node_cache.lock().expect("cache lock");
-        (cache.hits, cache.misses)
+        (cache.queries - cache.inserted, cache.inserted)
     }
 
     /// A [`Problem`] view of a level.
@@ -415,20 +470,18 @@ impl ReTower {
         let key = (level, key_labels);
         {
             let mut cache = self.node_cache.lock().expect("cache lock");
+            cache.queries += 1;
             if let Some(&hit) = cache.map.get(&key) {
-                cache.hits += 1;
                 return hit;
             }
-            cache.misses += 1;
         }
         // The lock is NOT held while computing: the recursion below
         // re-enters this function for parent levels.
         let result = self.node_allows_ids_uncached(level, labels);
-        self.node_cache
-            .lock()
-            .expect("cache lock")
-            .map
-            .insert(key, result);
+        let mut cache = self.node_cache.lock().expect("cache lock");
+        if cache.map.insert(key, result).is_none() {
+            cache.inserted += 1;
+        }
         result
     }
 
@@ -512,7 +565,11 @@ impl ReTower {
     }
 
     fn push_layer(&mut self, kind: LayerKind, opts: ReOptions) -> Result<(), ReError> {
-        let started = std::time::Instant::now();
+        let kind_name = match kind {
+            LayerKind::R => "r",
+            LayerKind::RBar => "rbar",
+        };
+        let mut span = Span::start(format!("level-{}/{kind_name}", self.layers.len() + 1));
         let threads = if opts.parallel {
             par::resolve_threads(opts.threads)
         } else {
@@ -654,15 +711,15 @@ impl ReTower {
         self.tables.push(table);
 
         let (hits_after, misses_after) = self.node_cache_counters();
-        self.stats.push(LevelStats {
-            labels_full,
-            labels: self.alphabet_size(level),
-            configurations,
-            cache_hits: hits_after - hits_before,
-            cache_misses: misses_after - misses_before,
-            fixpoint_of,
-            wall: started.elapsed(),
-        });
+        span.set(Counter::LabelsInterned, labels_full as u64);
+        span.set(Counter::LabelsAlive, self.alphabet_size(level) as u64);
+        span.set(Counter::Configurations, configurations);
+        span.set(Counter::MemoHits, hits_after - hits_before);
+        span.set(Counter::MemoMisses, misses_after - misses_before);
+        if let Some(earlier) = fixpoint_of {
+            span.set(Counter::FixpointOf, earlier as u64);
+        }
+        self.spans.push(span.finish());
         Ok(())
     }
 

@@ -38,7 +38,7 @@ pub mod view;
 pub use grid::OrientedGrid;
 pub use ids::ProdIds;
 pub use run::{
-    is_empirically_order_invariant_prod, run_order_invariant_prod, run_prod_local, FnProdAlgorithm,
-    OrderInvariantProdAlgorithm, ProdLocalAlgorithm, ProdRun,
+    is_empirically_order_invariant_prod, run_order_invariant_prod, run_prod_local, simulate,
+    FnProdAlgorithm, OrderInvariantProdAlgorithm, ProdLocalAlgorithm, ProdRun,
 };
 pub use view::{GridView, RankGridView};

@@ -1,6 +1,7 @@
 //! Executing PROD-LOCAL algorithms on oriented grids.
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use crate::grid::OrientedGrid;
 use crate::ids::ProdIds;
@@ -98,7 +99,51 @@ fn build_view(
     }
 }
 
-/// Runs a PROD-LOCAL algorithm on an oriented grid.
+/// Runs a PROD-LOCAL algorithm on an oriented grid and reports the
+/// execution trace: the radius used, the instance shape, and the total
+/// window nodes materialized (each radius-`T` view is a box of
+/// `(2T+1)^d` nodes).
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`run_prod_local`] forwards here and discards the trace.
+pub fn simulate(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+) -> RunReport<ProdRun> {
+    let n = n_announced.unwrap_or_else(|| grid.node_count());
+    let radius = alg.radius(n);
+    let mut span = Span::start(format!("prod-local/{}", alg.name()));
+    let d = grid.dimension_count();
+    let window = (2 * radius as u64 + 1).pow(d as u32);
+    let mut view_nodes = 0u64;
+    let output = HalfEdgeLabeling::from_node_fn(grid.graph(), |v| {
+        let view = build_view(grid, input, ids, v, radius, n);
+        view_nodes += window;
+        let labels = alg.label(&view);
+        assert_eq!(
+            labels.len(),
+            2 * d,
+            "algorithm {} must label all 2d ports",
+            alg.name()
+        );
+        labels
+    });
+    span.set(Counter::Nodes, grid.node_count() as u64);
+    span.set(Counter::Edges, grid.graph().edge_count() as u64);
+    span.set(Counter::Queries, grid.node_count() as u64);
+    span.set(Counter::Radius, u64::from(radius));
+    span.set(Counter::Rounds, u64::from(radius));
+    span.set(Counter::ViewNodes, view_nodes);
+    RunReport::new(ProdRun { output, radius }, Trace::new(span.finish()))
+}
+
+/// Runs a PROD-LOCAL algorithm on an oriented grid, discarding the trace.
+///
+/// Note: superseded by [`simulate`], which additionally reports the
+/// execution trace; this thin wrapper remains for source compatibility.
 pub fn run_prod_local(
     alg: &(impl ProdLocalAlgorithm + ?Sized),
     grid: &OrientedGrid,
@@ -106,20 +151,7 @@ pub fn run_prod_local(
     ids: &ProdIds,
     n_announced: Option<usize>,
 ) -> ProdRun {
-    let n = n_announced.unwrap_or_else(|| grid.node_count());
-    let radius = alg.radius(n);
-    let output = HalfEdgeLabeling::from_node_fn(grid.graph(), |v| {
-        let view = build_view(grid, input, ids, v, radius, n);
-        let labels = alg.label(&view);
-        assert_eq!(
-            labels.len(),
-            2 * grid.dimension_count(),
-            "algorithm {} must label all 2d ports",
-            alg.name()
-        );
-        labels
-    });
-    ProdRun { output, radius }
+    simulate(alg, grid, input, ids, n_announced).outcome
 }
 
 /// Runs an order-invariant PROD-LOCAL algorithm (the identifiers only
@@ -313,6 +345,20 @@ mod tests {
         assert!(!is_empirically_order_invariant_prod(
             &parity, &grid, &input, &ids, 12, 9
         ));
+    }
+
+    #[test]
+    fn simulate_reports_window_counters() {
+        let grid = OrientedGrid::new(&[4, 5]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        let alg = FnProdAlgorithm::new("const", |_| 1, |view| vec![OutLabel(0); 2 * view.d]);
+        let report = simulate(&alg, &grid, &input, &ids, None);
+        assert_eq!(report.trace.total(Counter::Nodes), 20);
+        assert_eq!(report.trace.total(Counter::Radius), 1);
+        // Each radius-1 window on a 2-torus has 3^2 = 9 nodes.
+        assert_eq!(report.trace.total(Counter::ViewNodes), 20 * 9);
+        assert_eq!(report.outcome.radius, 1);
     }
 
     #[test]

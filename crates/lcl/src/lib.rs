@@ -52,5 +52,5 @@ pub use convert::GeneralLcl;
 pub use label::{Alphabet, InLabel, OutLabel};
 pub use labeling::{uniform_input, HalfEdgeLabeling};
 pub use parse::ParseError;
-pub use problem::{LclProblem, LclProblemBuilder, Problem};
+pub use problem::{LclProblem, LclProblemBuilder, Problem, ProblemBuildError};
 pub use verify::{local_failure_fraction, verify, violations_summary, Violation};

@@ -209,7 +209,9 @@ impl LclProblem {
             builder = builder.allow(input.trim(), &outs);
         }
 
-        builder.build().map_err(|msg| ParseError::new(0, msg))
+        builder
+            .build()
+            .map_err(|e| ParseError::new(0, e.to_string()))
     }
 }
 

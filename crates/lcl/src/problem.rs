@@ -73,7 +73,7 @@ pub trait Problem {
 /// use lcl::Problem as _;
 /// assert!(p.edge_allows(OutLabel(0), OutLabel(1)));
 /// assert!(!p.edge_allows(OutLabel(0), OutLabel(0)));
-/// # Ok::<(), String>(())
+/// # Ok::<(), lcl::ProblemBuildError>(())
 /// ```
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct LclProblem {
@@ -412,9 +412,10 @@ impl LclProblemBuilder {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first inconsistency found (unknown
-    /// label names, empty constraint sets, stars in edge configurations).
-    pub fn build(self) -> Result<LclProblem, String> {
+    /// Returns the first inconsistency found as a typed
+    /// [`ProblemBuildError`] (unknown label names, empty constraint sets,
+    /// stars in edge configurations, out-of-range degree restrictions).
+    pub fn build(self) -> Result<LclProblem, ProblemBuildError> {
         let inputs = if self.inputs.is_empty() {
             Alphabet::from_names(["-"])
         } else {
@@ -423,7 +424,9 @@ impl LclProblemBuilder {
         let mut outputs = Alphabet::new();
         for name in &self.outputs {
             if outputs.try_insert(name).is_none() {
-                return Err(format!("duplicate output label {name:?}"));
+                return Err(ProblemBuildError::DuplicateOutputLabel {
+                    label: name.clone(),
+                });
             }
         }
         // Auto-intern labels mentioned in configurations.
@@ -437,14 +440,15 @@ impl LclProblemBuilder {
             outputs.intern(b);
         }
         if outputs.is_empty() {
-            return Err("problem has no output labels".to_string());
+            return Err(ProblemBuildError::EmptyOutputAlphabet);
         }
 
-        let lookup = |name: &str| -> Result<OutLabel, String> {
-            outputs
-                .index_of(name)
-                .map(OutLabel)
-                .ok_or_else(|| format!("unknown output label {name:?}"))
+        let lookup = |name: &str| -> Result<OutLabel, ProblemBuildError> {
+            outputs.index_of(name).map(OutLabel).ok_or_else(|| {
+                ProblemBuildError::UnknownOutputLabel {
+                    label: name.to_string(),
+                }
+            })
         };
 
         let mut node_configs = vec![BTreeSet::new(); self.max_degree as usize + 1];
@@ -456,10 +460,10 @@ impl LclProblemBuilder {
                 .collect::<Result<_, _>>()?;
             if let Some(d) = degree {
                 if *d < 1 || *d > self.max_degree {
-                    return Err(format!(
-                        "degree restriction {d} outside 1..={}",
-                        self.max_degree
-                    ));
+                    return Err(ProblemBuildError::DegreeOutOfRange {
+                        degree: *d,
+                        max_degree: self.max_degree,
+                    });
                 }
             }
             #[allow(clippy::needless_range_loop)] // index drives several arrays
@@ -476,7 +480,7 @@ impl LclProblemBuilder {
         let mut edge_configs = BTreeSet::new();
         for (a, b) in &self.edge_pairs {
             if a.ends_with('*') || b.ends_with('*') {
-                return Err("stars are not allowed in edge configurations".to_string());
+                return Err(ProblemBuildError::StarredEdgeLabel);
             }
             let (a, b) = (lookup(a)?, lookup(b)?);
             edge_configs.insert(if a <= b { (a, b) } else { (b, a) });
@@ -485,10 +489,12 @@ impl LclProblemBuilder {
         let all_outputs: BTreeSet<OutLabel> = (0..outputs.len() as u32).map(OutLabel).collect();
         let mut g = vec![all_outputs; inputs.len()];
         for (input, allowed) in &self.g_overrides {
-            let idx = inputs
-                .index_of(input)
-                .ok_or_else(|| format!("unknown input label {input:?}"))?
-                as usize;
+            let idx =
+                inputs
+                    .index_of(input)
+                    .ok_or_else(|| ProblemBuildError::UnknownInputLabel {
+                        label: input.clone(),
+                    })? as usize;
             let set: BTreeSet<OutLabel> = allowed
                 .iter()
                 .map(|n| lookup(n))
@@ -507,6 +513,72 @@ impl LclProblemBuilder {
         })
     }
 }
+
+/// An inconsistency detected by [`LclProblemBuilder::build`].
+///
+/// Each variant pinpoints the first invalid piece of the problem
+/// description; the [`Display`](fmt::Display) rendering matches the prose
+/// used by the text-format parser's diagnostics.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum ProblemBuildError {
+    /// The same output label name was declared twice via
+    /// [`LclProblemBuilder::outputs`].
+    DuplicateOutputLabel {
+        /// The offending label name.
+        label: String,
+    },
+    /// No output labels were declared and none could be inferred from the
+    /// node/edge configurations.
+    EmptyOutputAlphabet,
+    /// A configuration or `g`-override referenced an output label that was
+    /// never declared or mentioned in a configuration.
+    UnknownOutputLabel {
+        /// The unresolved label name.
+        label: String,
+    },
+    /// A `g`-override referenced an input label outside the declared input
+    /// alphabet.
+    UnknownInputLabel {
+        /// The unresolved label name.
+        label: String,
+    },
+    /// An edge configuration used a starred (`X*`) label; stars are only
+    /// meaningful in node patterns.
+    StarredEdgeLabel,
+    /// A node pattern's degree restriction lies outside `1..=max_degree`.
+    DegreeOutOfRange {
+        /// The requested degree restriction.
+        degree: u8,
+        /// The problem's maximum degree.
+        max_degree: u8,
+    },
+}
+
+impl fmt::Display for ProblemBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateOutputLabel { label } => {
+                write!(f, "duplicate output label {label:?}")
+            }
+            Self::EmptyOutputAlphabet => write!(f, "problem has no output labels"),
+            Self::UnknownOutputLabel { label } => {
+                write!(f, "unknown output label {label:?}")
+            }
+            Self::UnknownInputLabel { label } => {
+                write!(f, "unknown input label {label:?}")
+            }
+            Self::StarredEdgeLabel => {
+                write!(f, "stars are not allowed in edge configurations")
+            }
+            Self::DegreeOutOfRange { degree, max_degree } => {
+                write!(f, "degree restriction {degree} outside 1..={max_degree}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProblemBuildError {}
 
 /// Constructs an [`LclProblem`] directly from explicit, already-indexed
 /// parts. Used by the round-elimination engine, which produces labels as
@@ -610,7 +682,11 @@ mod tests {
             .allow("-", &["Z"])
             .build()
             .unwrap_err();
-        assert!(err.contains("unknown output label"));
+        assert!(matches!(
+            &err,
+            ProblemBuildError::UnknownOutputLabel { label } if label == "Z"
+        ));
+        assert!(err.to_string().contains("unknown output label"));
     }
 
     #[test]

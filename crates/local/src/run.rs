@@ -4,6 +4,7 @@ use lcl_rng::SmallRng;
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
 use lcl_graph::Graph;
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use crate::algorithm::LocalAlgorithm;
 use crate::ids::IdAssignment;
@@ -56,14 +57,87 @@ where
     LocalRun { output, radius }
 }
 
-/// Runs a deterministic LOCAL algorithm: every node evaluates the
-/// view-function on its radius-`T(n)` ball, seeing the identifiers in
-/// `ids`.
+/// Seals the common LOCAL counters into `span`: instance shape, the
+/// requested radius (which bounds the round complexity exercised), and
+/// the total view nodes materialized — the measurable form of the
+/// paper's `O(Δ^T)` view-size bound.
+fn seal_local_span(span: &mut Span, graph: &Graph, run: &LocalRun, view_nodes: u64) {
+    span.set(Counter::Nodes, graph.node_count() as u64);
+    span.set(Counter::Edges, graph.edge_count() as u64);
+    span.set(Counter::Queries, graph.node_count() as u64);
+    span.set(Counter::Radius, u64::from(run.radius));
+    span.set(Counter::Rounds, u64::from(run.radius));
+    span.set(Counter::ViewNodes, view_nodes);
+}
+
+/// Runs a deterministic LOCAL algorithm and reports the execution trace:
+/// every node evaluates the view-function on its radius-`T(n)` ball,
+/// seeing the identifiers in `ids`.
 ///
 /// `n_announced` overrides the number of nodes reported to the algorithm
 /// (the paper's footnote 7: "nothing prevents us from executing an
 /// algorithm using an input parameter that does not represent the correct
 /// number of nodes"); `None` announces the true `n`.
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`run_deterministic`] forwards here and discards the trace.
+pub fn simulate(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+) -> RunReport<LocalRun> {
+    assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+    let mut span = Span::start(format!("local/deterministic/{}", alg.name()));
+    let mut view_nodes = 0u64;
+    let run = run_with(alg, graph, input, n, |ball| {
+        view_nodes += ball.nodes.len() as u64;
+        let ids = ball.nodes.iter().map(|b| ids.id(b.original)).collect();
+        (ids, Vec::new())
+    });
+    seal_local_span(&mut span, graph, &run, view_nodes);
+    RunReport::new(run, Trace::new(span.finish()))
+}
+
+/// Runs a randomized LOCAL algorithm and reports the execution trace:
+/// every node carries a private random bit string, derived
+/// deterministically from `seed` and the node id so that runs are
+/// reproducible.
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`run_randomized`] forwards here and discards the trace.
+pub fn simulate_randomized(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    seed: u64,
+    n_announced: Option<usize>,
+) -> RunReport<LocalRun> {
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+    // Pre-draw one 64-bit string per node.
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let bits: Vec<u64> = (0..graph.node_count()).map(|_| rng.gen()).collect();
+    let mut span = Span::start(format!("local/randomized/{}", alg.name()));
+    let mut view_nodes = 0u64;
+    let run = run_with(alg, graph, input, n, |ball| {
+        view_nodes += ball.nodes.len() as u64;
+        let bits = ball
+            .nodes
+            .iter()
+            .map(|b| bits[b.original.index()])
+            .collect();
+        (Vec::new(), bits)
+    });
+    seal_local_span(&mut span, graph, &run, view_nodes);
+    RunReport::new(run, Trace::new(span.finish()))
+}
+
+/// Runs a deterministic LOCAL algorithm, discarding the trace.
+///
+/// Note: superseded by [`simulate`], which additionally reports the
+/// execution trace; this thin wrapper remains for source compatibility.
 pub fn run_deterministic(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
@@ -71,17 +145,14 @@ pub fn run_deterministic(
     ids: &IdAssignment,
     n_announced: Option<usize>,
 ) -> LocalRun {
-    assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
-    let n = n_announced.unwrap_or_else(|| graph.node_count());
-    run_with(alg, graph, input, n, |ball| {
-        let ids = ball.nodes.iter().map(|b| ids.id(b.original)).collect();
-        (ids, Vec::new())
-    })
+    simulate(alg, graph, input, ids, n_announced).outcome
 }
 
-/// Runs a randomized LOCAL algorithm: every node carries a private random
-/// bit string, derived deterministically from `seed` and the node id so
-/// that runs are reproducible.
+/// Runs a randomized LOCAL algorithm, discarding the trace.
+///
+/// Note: superseded by [`simulate_randomized`], which additionally
+/// reports the execution trace; this thin wrapper remains for source
+/// compatibility.
 pub fn run_randomized(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
@@ -89,18 +160,7 @@ pub fn run_randomized(
     seed: u64,
     n_announced: Option<usize>,
 ) -> LocalRun {
-    let n = n_announced.unwrap_or_else(|| graph.node_count());
-    // Pre-draw one 64-bit string per node.
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let bits: Vec<u64> = (0..graph.node_count()).map(|_| rng.gen()).collect();
-    run_with(alg, graph, input, n, |ball| {
-        let bits = ball
-            .nodes
-            .iter()
-            .map(|b| bits[b.original.index()])
-            .collect();
-        (Vec::new(), bits)
-    })
+    simulate_randomized(alg, graph, input, seed, n_announced).outcome
 }
 
 /// A Monte-Carlo estimate of an algorithm's local failure probability
@@ -394,6 +454,46 @@ mod tests {
             let parallel = estimate_local_failure_parallel(&p, &alg, &g, &input, 64, 9, threads);
             assert_eq!(parallel, sequential, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn simulate_reports_view_counters() {
+        let g = gen::path(4);
+        let alg = FnAlgorithm::new(
+            "radius-1",
+            |_| 1,
+            |view| vec![OutLabel(0); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let report = simulate(&alg, &g, &input, &ids, None);
+        assert_eq!(
+            report.outcome,
+            run_deterministic(&alg, &g, &input, &ids, None)
+        );
+        let trace = &report.trace;
+        assert_eq!(trace.total(Counter::Nodes), 4);
+        assert_eq!(trace.total(Counter::Radius), 1);
+        // Radius-1 balls on a 4-path: 2 + 3 + 3 + 2 nodes.
+        assert_eq!(trace.total(Counter::ViewNodes), 10);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn simulate_randomized_traces_match_runs() {
+        let g = gen::cycle(6);
+        let alg = FnAlgorithm::new(
+            "coin",
+            |_| 0,
+            |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let a = simulate_randomized(&alg, &g, &input, 3, None);
+        let b = simulate_randomized(&alg, &g, &input, 3, None);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
+        // Radius-0 balls: exactly one view node per query.
+        assert_eq!(a.trace.total(Counter::ViewNodes), 6);
     }
 
     #[test]

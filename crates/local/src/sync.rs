@@ -10,6 +10,7 @@
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::{Graph, NodeId};
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 /// The information a node starts with (before any communication).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -90,6 +91,35 @@ pub fn run_sync<A: SyncAlgorithm>(
     max_rounds: u32,
 ) -> SyncRun {
     run_sync_with(alg, graph, input, ids, n_announced, max_rounds, |_| {})
+}
+
+/// Runs a [`SyncAlgorithm`] to completion and reports the execution
+/// trace: rounds used, messages sent, and the instance shape.
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`run_sync`] is the trace-free variant.
+///
+/// # Panics
+///
+/// As [`run_sync`].
+pub fn simulate_sync<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+) -> RunReport<SyncRun> {
+    let mut span = Span::start(format!("local/sync/{}", alg.name()));
+    let mut messages = 0u64;
+    let run = run_sync_with(alg, graph, input, ids, n_announced, max_rounds, |_| {
+        messages += 1;
+    });
+    span.set(Counter::Nodes, graph.node_count() as u64);
+    span.set(Counter::Edges, graph.edge_count() as u64);
+    span.set(Counter::Rounds, u64::from(run.rounds));
+    span.set(Counter::Messages, messages);
+    RunReport::new(run, Trace::new(span.finish()))
 }
 
 /// Like [`run_sync`], additionally invoking `observe` on every message
@@ -268,6 +298,19 @@ mod tests {
         let ids: Vec<u64> = (0..5).collect();
         let run = run_sync(&FloodMax { k: 0 }, &g, &input, &ids, None, 100);
         assert_eq!(run.rounds, 0);
+    }
+
+    #[test]
+    fn simulate_sync_counts_rounds_and_messages() {
+        let g = gen::path(8);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        let report = simulate_sync(&FloodMax { k: 3 }, &g, &input, &ids, None, 100);
+        assert_eq!(report.outcome.rounds, 3);
+        assert_eq!(report.trace.total(Counter::Rounds), 3);
+        // 8-path: 14 port messages per round, 3 rounds.
+        assert_eq!(report.trace.total(Counter::Messages), 42);
+        assert_eq!(report.trace.total(Counter::Nodes), 8);
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! The typed counter taxonomy.
+//!
+//! A closed enum rather than free-form strings: every instrumented crate
+//! draws from the same vocabulary, so traces from different models can
+//! be aggregated, diffed, and asserted on without name drift.
+
+use std::fmt;
+
+/// A typed execution counter.
+///
+/// The taxonomy groups into four families (see `DESIGN.md`,
+/// "Observability"):
+///
+/// * **Complexity measures** — the quantities the paper's theorems are
+///   about: [`Rounds`](Counter::Rounds), [`Radius`](Counter::Radius),
+///   [`Probes`](Counter::Probes), [`MaxProbes`](Counter::MaxProbes),
+///   [`FarProbes`](Counter::FarProbes), [`Messages`](Counter::Messages).
+/// * **Instance shape** — [`Nodes`](Counter::Nodes),
+///   [`Edges`](Counter::Edges), [`Queries`](Counter::Queries),
+///   [`ViewNodes`](Counter::ViewNodes).
+/// * **Engine internals** — [`MemoHits`](Counter::MemoHits),
+///   [`MemoMisses`](Counter::MemoMisses),
+///   [`LabelsInterned`](Counter::LabelsInterned),
+///   [`LabelsAlive`](Counter::LabelsAlive),
+///   [`Configurations`](Counter::Configurations),
+///   [`Steps`](Counter::Steps), [`FixpointOf`](Counter::FixpointOf).
+/// * **Classifier quantities** — [`States`](Counter::States),
+///   [`Trials`](Counter::Trials), [`Violations`](Counter::Violations).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Counter {
+    /// Communication rounds used (synchronous executors) or implied by
+    /// the view radius (view-based executors).
+    Rounds,
+    /// The view radius `T(n)` an algorithm requested.
+    Radius,
+    /// Total probes spent across all queries (VOLUME/LCA).
+    Probes,
+    /// The worst single query's probe count — the VOLUME complexity
+    /// actually exercised.
+    MaxProbes,
+    /// Far probes (identifier lookups) in the LCA model, counted
+    /// separately per Theorem 2.12's distinction.
+    FarProbes,
+    /// Messages sent by synchronous executors.
+    Messages,
+    /// Nodes of the simulated graph or grid.
+    Nodes,
+    /// Edges of the simulated graph.
+    Edges,
+    /// Queries answered (one per node in whole-graph runs).
+    Queries,
+    /// Total nodes materialized across all views/balls/windows — the
+    /// simulator's actual work, which for a radius-`T` run on a tree is
+    /// the paper's `O(Δ^T)` view-size bound made measurable.
+    ViewNodes,
+    /// Node-query memo hits (round-elimination engine).
+    MemoHits,
+    /// Node-query memo misses.
+    MemoMisses,
+    /// Labels interned into a derived universe before restriction.
+    LabelsInterned,
+    /// Labels surviving the usefulness restriction.
+    LabelsAlive,
+    /// Candidate node configurations enumerated by the restriction.
+    Configurations,
+    /// Pipeline steps taken (`f`-steps of a tower, sparsification
+    /// levels of a synthesized algorithm, ...).
+    Steps,
+    /// The earliest level whose extensional table equals this one —
+    /// present only when a round-elimination fixpoint was certified.
+    FixpointOf,
+    /// Automaton states (path/cycle classifier).
+    States,
+    /// Monte-Carlo trials run.
+    Trials,
+    /// Constraint violations found by a verifier.
+    Violations,
+}
+
+impl Counter {
+    /// Every counter, in canonical (serialization) order.
+    pub const ALL: &'static [Counter] = &[
+        Counter::Rounds,
+        Counter::Radius,
+        Counter::Probes,
+        Counter::MaxProbes,
+        Counter::FarProbes,
+        Counter::Messages,
+        Counter::Nodes,
+        Counter::Edges,
+        Counter::Queries,
+        Counter::ViewNodes,
+        Counter::MemoHits,
+        Counter::MemoMisses,
+        Counter::LabelsInterned,
+        Counter::LabelsAlive,
+        Counter::Configurations,
+        Counter::Steps,
+        Counter::FixpointOf,
+        Counter::States,
+        Counter::Trials,
+        Counter::Violations,
+    ];
+
+    /// The stable kebab-case name used in JSON and fingerprints.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Counter::Rounds => "rounds",
+            Counter::Radius => "radius",
+            Counter::Probes => "probes",
+            Counter::MaxProbes => "max-probes",
+            Counter::FarProbes => "far-probes",
+            Counter::Messages => "messages",
+            Counter::Nodes => "nodes",
+            Counter::Edges => "edges",
+            Counter::Queries => "queries",
+            Counter::ViewNodes => "view-nodes",
+            Counter::MemoHits => "memo-hits",
+            Counter::MemoMisses => "memo-misses",
+            Counter::LabelsInterned => "labels-interned",
+            Counter::LabelsAlive => "labels-alive",
+            Counter::Configurations => "configurations",
+            Counter::Steps => "steps",
+            Counter::FixpointOf => "fixpoint-of",
+            Counter::States => "states",
+            Counter::Trials => "trials",
+            Counter::Violations => "violations",
+        }
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn all_covers_every_counter_with_unique_names() {
+        let names: BTreeSet<&str> = Counter::ALL.iter().map(|c| c.as_str()).collect();
+        assert_eq!(names.len(), Counter::ALL.len(), "duplicate counter name");
+        for c in Counter::ALL {
+            assert_eq!(format!("{c}"), c.as_str());
+        }
+    }
+
+    #[test]
+    fn canonical_order_is_sorted_by_declaration() {
+        let mut sorted = Counter::ALL.to_vec();
+        sorted.sort();
+        assert_eq!(sorted.as_slice(), Counter::ALL);
+    }
+}

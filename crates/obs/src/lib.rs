@@ -1,0 +1,106 @@
+//! Tracing and metrics for every model simulator — the repository's
+//! observability substrate.
+//!
+//! The paper's gap theorems are claims about *executions*: how many
+//! rounds a LOCAL view expands (Theorems 3.10/3.11), how many probes a
+//! VOLUME query spends (Theorems 4.1/4.3), how fast the derived label
+//! universes grow under round elimination. This crate gives every
+//! simulator and pipeline one shared vocabulary for recording exactly
+//! those measures:
+//!
+//! * [`Counter`] — the typed counter taxonomy (rounds, probes, messages,
+//!   view radii, memo traffic, labels interned, ...). A closed enum, so
+//!   counter names cannot drift between crates.
+//! * [`Span`] / [`SpanRecord`] — hierarchical spans with wall-clock
+//!   timing. A [`Span`] is open and mutable; [`Span::finish`] seals it
+//!   into an immutable [`SpanRecord`] that can be nested under a parent.
+//! * [`Trace`] — a finished span tree. Serializes to JSON
+//!   ([`Trace::to_json`]) and to a wall-clock-free canonical form
+//!   ([`Trace::fingerprint`]) used to assert that parallel and
+//!   sequential executions record identical counters.
+//! * [`Registry`] — a thread-safe collection of labeled traces; the
+//!   bench harness drains one into `BENCH_obs.json`.
+//! * [`RunReport`] — the uniform return type of every instrumented
+//!   simulator entrypoint: the model-specific outcome plus the trace of
+//!   the execution that produced it.
+//!
+//! # Determinism contract
+//!
+//! Wall-clock time is the *only* nondeterministic quantity a trace may
+//! contain. Counter values must be pure functions of the simulated
+//! execution — never of thread scheduling — so that
+//! [`Trace::fingerprint`] is bit-identical across thread counts. The
+//! `tests/observability.rs` suite enforces this for every instrumented
+//! subsystem.
+//!
+//! # Example
+//!
+//! ```
+//! use lcl_obs::{Counter, Span, Trace};
+//!
+//! let mut root = Span::start("local/cole-vishkin");
+//! root.set(Counter::Nodes, 128);
+//! let mut step = Span::start("color-reduction");
+//! step.set(Counter::Rounds, 3);
+//! root.record(step.finish());
+//! let trace = Trace::new(root.finish());
+//! assert_eq!(trace.total(Counter::Rounds), 3);
+//! assert!(trace.to_json().contains("\"rounds\": 3"));
+//! ```
+
+pub mod counter;
+pub mod registry;
+pub mod trace;
+
+pub use counter::Counter;
+pub use registry::Registry;
+pub use trace::{Span, SpanRecord, Trace};
+
+/// The uniform result of an instrumented simulator run: the
+/// model-specific outcome plus the execution trace.
+///
+/// Every model entrypoint (`local::simulate`, `volume::simulate`,
+/// `volume::simulate_lca`, `grid::simulate`) returns one of these, and
+/// the facade's `Simulation` trait abstracts over them.
+#[derive(Clone, Debug)]
+pub struct RunReport<T> {
+    /// The model-specific run result (labeling, rounds, probes, ...).
+    pub outcome: T,
+    /// The trace of the execution that produced the outcome.
+    pub trace: Trace,
+}
+
+impl<T> RunReport<T> {
+    /// Pairs an outcome with its trace.
+    pub fn new(outcome: T, trace: Trace) -> Self {
+        Self { outcome, trace }
+    }
+
+    /// Maps the outcome, keeping the trace.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RunReport<U> {
+        RunReport {
+            outcome: f(self.outcome),
+            trace: self.trace,
+        }
+    }
+
+    /// Splits the report into its parts.
+    pub fn into_parts(self) -> (T, Trace) {
+        (self.outcome, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_report_maps_outcome_and_keeps_trace() {
+        let mut span = Span::start("root");
+        span.set(Counter::Probes, 5);
+        let report = RunReport::new(2usize, Trace::new(span.finish()));
+        let mapped = report.map(|n| n * 10);
+        assert_eq!(mapped.outcome, 20);
+        assert_eq!(mapped.trace.total(Counter::Probes), 5);
+    }
+}

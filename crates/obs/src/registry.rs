@@ -1,0 +1,124 @@
+//! A thread-safe collection of labeled traces.
+//!
+//! The bench harness records one trace per pipeline stage into a
+//! [`Registry`] and serializes the whole collection to
+//! `BENCH_obs.json`; any long-lived process can do the same.
+
+use std::sync::Mutex;
+
+use crate::trace::Trace;
+
+/// A labeled, append-only collection of [`Trace`]s.
+///
+/// Interior mutability via a [`Mutex`], so one registry can be shared
+/// by reference across worker threads. Traces are kept in recording
+/// order; labels need not be unique (repeated runs of the same stage
+/// simply append).
+#[derive(Debug, Default)]
+pub struct Registry {
+    traces: Mutex<Vec<(String, Trace)>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a labeled trace.
+    pub fn record(&self, label: impl Into<String>, trace: Trace) {
+        self.traces
+            .lock()
+            .expect("obs registry poisoned")
+            .push((label.into(), trace));
+    }
+
+    /// Number of recorded traces.
+    pub fn len(&self) -> usize {
+        self.traces.lock().expect("obs registry poisoned").len()
+    }
+
+    /// Whether no trace has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clones out the recorded `(label, trace)` pairs in recording order.
+    pub fn snapshot(&self) -> Vec<(String, Trace)> {
+        self.traces.lock().expect("obs registry poisoned").clone()
+    }
+
+    /// Serializes every recorded trace as a JSON object keyed by a
+    /// stable `NNN/label` key (the index prefix keeps recording order
+    /// and disambiguates repeated labels).
+    pub fn to_json(&self) -> String {
+        let traces = self.snapshot();
+        let mut out = String::from("{\n");
+        for (i, (label, trace)) in traces.iter().enumerate() {
+            let key = format!("{i:03}/{label}");
+            out.push_str(&format!("\"{}\":\n", escape(&key)));
+            out.push_str(&trace.to_json());
+            if i + 1 < traces.len() {
+                out.truncate(out.trim_end_matches('\n').len());
+                out.push_str(",\n");
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::Counter;
+    use crate::trace::Span;
+
+    fn tiny(name: &str, rounds: u64) -> Trace {
+        let mut s = Span::start(name);
+        s.set(Counter::Rounds, rounds);
+        Trace::new(s.finish())
+    }
+
+    #[test]
+    fn records_in_order_and_serializes() {
+        let reg = Registry::new();
+        assert!(reg.is_empty());
+        reg.record("e1/trees", tiny("tower", 3));
+        reg.record("e4/volume", tiny("probes", 9));
+        assert_eq!(reg.len(), 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap[0].0, "e1/trees");
+        assert_eq!(snap[1].0, "e4/volume");
+        let json = reg.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"000/e1/trees\""));
+        assert!(json.contains("\"001/e4/volume\""));
+        assert!(json.contains("\"rounds\": 9"));
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let reg = std::sync::Arc::clone(&reg);
+                std::thread::spawn(move || reg.record(format!("t{i}"), tiny("work", i)))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.len(), 4);
+    }
+}

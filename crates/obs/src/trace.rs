@@ -1,0 +1,355 @@
+//! Hierarchical spans with wall-clock timing and typed counters.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::counter::Counter;
+
+/// An *open* span: mutable, timing since [`Span::start`].
+///
+/// Finish it with [`Span::finish`] to seal the wall clock and obtain an
+/// immutable [`SpanRecord`] that can be attached to a parent span or
+/// wrapped into a [`Trace`].
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    started: Instant,
+    counters: BTreeMap<Counter, u64>,
+    children: Vec<SpanRecord>,
+}
+
+impl Span {
+    /// Opens a span and starts its clock.
+    pub fn start(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            started: Instant::now(),
+            counters: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Adds to a counter (saturating).
+    pub fn add(&mut self, counter: Counter, amount: u64) {
+        let slot = self.counters.entry(counter).or_insert(0);
+        *slot = slot.saturating_add(amount);
+    }
+
+    /// Sets a counter to an absolute value.
+    pub fn set(&mut self, counter: Counter, value: u64) {
+        self.counters.insert(counter, value);
+    }
+
+    /// Attaches a finished child span.
+    pub fn record(&mut self, child: SpanRecord) {
+        self.children.push(child);
+    }
+
+    /// Runs `f` inside a child span, attaching it when `f` returns.
+    pub fn scope<T>(&mut self, name: impl Into<String>, f: impl FnOnce(&mut Span) -> T) -> T {
+        let mut child = Span::start(name);
+        let result = f(&mut child);
+        self.record(child.finish());
+        result
+    }
+
+    /// Seals the span: the wall clock stops here.
+    pub fn finish(self) -> SpanRecord {
+        SpanRecord {
+            name: self.name,
+            wall: self.started.elapsed(),
+            counters: self.counters,
+            children: self.children,
+        }
+    }
+}
+
+/// A finished span: name, wall time, counters, children.
+///
+/// Equality and hashing are deliberately not derived — wall-clock time
+/// makes two otherwise-identical records differ. Compare executions with
+/// [`Trace::fingerprint`], which excludes the clock.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    name: String,
+    wall: Duration,
+    counters: BTreeMap<Counter, u64>,
+    children: Vec<SpanRecord>,
+}
+
+impl SpanRecord {
+    /// Builds an aggregate record whose wall time is the sum of its
+    /// children's — for assembling a trace from spans recorded at
+    /// different times (e.g. a tower built level by level).
+    pub fn aggregate(
+        name: impl Into<String>,
+        counters: impl IntoIterator<Item = (Counter, u64)>,
+        children: Vec<SpanRecord>,
+    ) -> Self {
+        let wall = children.iter().map(|c| c.wall).sum();
+        Self {
+            name: name.into(),
+            wall,
+            counters: counters.into_iter().collect(),
+            children,
+        }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Wall-clock time between [`Span::start`] and [`Span::finish`].
+    pub fn wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// This span's own value for a counter (not including children).
+    pub fn get(&self, counter: Counter) -> Option<u64> {
+        self.counters.get(&counter).copied()
+    }
+
+    /// This span's counters, in canonical order.
+    pub fn counters(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        self.counters.iter().map(|(&c, &v)| (c, v))
+    }
+
+    /// Child spans in recording order.
+    pub fn children(&self) -> &[SpanRecord] {
+        &self.children
+    }
+
+    /// A counter summed over this span and all descendants.
+    pub fn total(&self, counter: Counter) -> u64 {
+        let own = self.get(counter).unwrap_or(0);
+        self.children
+            .iter()
+            .fold(own, |acc, c| acc.saturating_add(c.total(counter)))
+    }
+
+    /// Depth-first search for the first descendant (or self) with the
+    /// given name.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    /// Number of spans in this subtree (including self).
+    pub fn span_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanRecord::span_count)
+            .sum::<usize>()
+    }
+
+    fn write_fingerprint(&self, out: &mut String, depth: usize) {
+        for _ in 0..depth {
+            out.push(' ');
+        }
+        out.push_str(&self.name);
+        for (c, v) in &self.counters {
+            let _ = write!(out, " {}={v}", c.as_str());
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.write_fingerprint(out, depth + 1);
+        }
+    }
+
+    fn write_json(&self, out: &mut String, indent: usize) {
+        let pad = " ".repeat(indent);
+        let _ = writeln!(out, "{pad}{{");
+        let _ = writeln!(out, "{pad}  \"name\": {},", json_string(&self.name));
+        let _ = writeln!(out, "{pad}  \"wall_us\": {},", self.wall.as_micros());
+        let _ = write!(out, "{pad}  \"counters\": {{");
+        for (i, (c, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\": {v}", c.as_str());
+        }
+        let _ = writeln!(out, "}},");
+        if self.children.is_empty() {
+            let _ = writeln!(out, "{pad}  \"children\": []");
+        } else {
+            let _ = writeln!(out, "{pad}  \"children\": [");
+            for (i, child) in self.children.iter().enumerate() {
+                child.write_json(out, indent + 4);
+                if i + 1 < self.children.len() {
+                    out.truncate(out.trim_end_matches('\n').len());
+                    out.push_str(",\n");
+                }
+            }
+            let _ = writeln!(out, "{pad}  ]");
+        }
+        let _ = writeln!(out, "{pad}}}");
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finished span tree — what a simulator hands back inside a
+/// [`RunReport`](crate::RunReport).
+#[derive(Clone, Debug)]
+pub struct Trace {
+    root: SpanRecord,
+}
+
+impl Trace {
+    /// Wraps a finished root span.
+    pub fn new(root: SpanRecord) -> Self {
+        Self { root }
+    }
+
+    /// Times `f` under a fresh root span and returns its result with the
+    /// captured trace.
+    pub fn capture<T>(name: impl Into<String>, f: impl FnOnce(&mut Span) -> T) -> (T, Trace) {
+        let mut span = Span::start(name);
+        let result = f(&mut span);
+        (result, Trace::new(span.finish()))
+    }
+
+    /// The root span.
+    pub fn root(&self) -> &SpanRecord {
+        &self.root
+    }
+
+    /// A counter summed over the whole tree.
+    pub fn total(&self, counter: Counter) -> u64 {
+        self.root.total(counter)
+    }
+
+    /// Depth-first search for a span by name.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.root.find(name)
+    }
+
+    /// Number of spans in the trace.
+    pub fn span_count(&self) -> usize {
+        self.root.span_count()
+    }
+
+    /// Whether the trace carries no information beyond its root name:
+    /// no counters anywhere and no child spans.
+    pub fn is_empty(&self) -> bool {
+        self.span_count() == 1 && self.root.counters().next().is_none()
+    }
+
+    /// A canonical, wall-clock-free rendering: one line per span
+    /// (`name counter=value ...`), children indented. Two executions
+    /// that did the same work produce identical fingerprints — this is
+    /// the determinism oracle of `tests/observability.rs`.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        self.root.write_fingerprint(&mut out, 0);
+        out
+    }
+
+    /// Serializes the span tree to JSON (`name`, `wall_us`, `counters`,
+    /// `children`, recursively).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.root.write_json(&mut out, 0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut root = Span::start("root");
+        root.set(Counter::Nodes, 10);
+        root.scope("child-a", |s| {
+            s.set(Counter::Probes, 3);
+            s.add(Counter::Probes, 2);
+        });
+        root.scope("child-b", |s| {
+            s.set(Counter::Probes, 1);
+            s.scope("grandchild", |g| g.set(Counter::Rounds, 7));
+        });
+        Trace::new(root.finish())
+    }
+
+    #[test]
+    fn totals_sum_over_the_tree() {
+        let t = sample();
+        assert_eq!(t.total(Counter::Probes), 6);
+        assert_eq!(t.total(Counter::Rounds), 7);
+        assert_eq!(t.total(Counter::Nodes), 10);
+        assert_eq!(t.span_count(), 4);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn find_locates_nested_spans() {
+        let t = sample();
+        assert_eq!(t.find("grandchild").unwrap().get(Counter::Rounds), Some(7));
+        assert!(t.find("missing").is_none());
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_clock() {
+        let a = sample();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = sample();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().contains("child-a probes=5"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_contains_counters() {
+        let t = sample();
+        let json = t.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"probes\": 5"));
+        assert!(json.contains("\"name\": \"grandchild\""));
+        assert!(json.contains("\"wall_us\""));
+    }
+
+    #[test]
+    fn json_escapes_special_characters() {
+        let mut span = Span::start("quote\"back\\slash");
+        span.set(Counter::Nodes, 1);
+        let json = Trace::new(span.finish()).to_json();
+        assert!(json.contains("quote\\\"back\\\\slash"));
+    }
+
+    #[test]
+    fn aggregate_sums_child_walls() {
+        let a = Span::start("a").finish();
+        let b = Span::start("b").finish();
+        let wall = a.wall() + b.wall();
+        let agg = SpanRecord::aggregate("parent", [(Counter::Steps, 2)], vec![a, b]);
+        assert_eq!(agg.wall(), wall);
+        assert_eq!(agg.get(Counter::Steps), Some(2));
+        assert_eq!(agg.children().len(), 2);
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        let t = Trace::new(Span::start("nothing").finish());
+        assert!(t.is_empty());
+    }
+}

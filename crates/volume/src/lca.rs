@@ -10,6 +10,7 @@
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::{Graph, NodeId};
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use lcl_local::IdAssignment;
 
@@ -85,18 +86,23 @@ pub trait LcaAlgorithm {
     }
 }
 
-/// Runs an LCA over every node of the graph.
+/// Runs an LCA over every node of the graph, reporting the execution
+/// trace: total and worst-case probes, the far probes counted separately
+/// (Theorem 2.12's distinction), and the instance shape.
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`run_lca`] forwards here and discards the trace.
 ///
 /// # Panics
 ///
 /// Panics unless `ids` is a permutation of `0..n` shifted by one
 /// (`1..=n`), which is the LCA model's identifier promise.
-pub fn run_lca(
+pub fn simulate_lca(
     alg: &(impl LcaAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
-) -> crate::run::VolumeRun {
+) -> RunReport<crate::run::VolumeRun> {
     let n = graph.node_count();
     let mut sorted: Vec<u64> = ids.iter().collect();
     sorted.sort_unstable();
@@ -105,8 +111,10 @@ pub fn run_lca(
         "LCA identifiers must be exactly 1..=n"
     );
     let budget = alg.probe_budget(n);
+    let mut span = Span::start(format!("lca/{}", alg.name()));
     let mut max_probes = 0usize;
     let mut total_probes = 0usize;
+    let mut far_probes = 0usize;
     let output = HalfEdgeLabeling::from_node_fn(graph, |v: NodeId| {
         let mut inner = ProbeSession::new(graph, input, ids, v, budget, n);
         let mut session = LcaSession::new(&mut inner, graph, input, ids);
@@ -117,16 +125,42 @@ pub fn run_lca(
             "algorithm {} must label each half-edge of the queried node",
             alg.name()
         );
-        let used = session.far_probes_used() + inner.probes_used();
+        let far = session.far_probes_used();
+        let used = far + inner.probes_used();
+        far_probes += far;
         max_probes = max_probes.max(used);
         total_probes += used;
         labels
     });
-    crate::run::VolumeRun {
+    span.set(Counter::Nodes, graph.node_count() as u64);
+    span.set(Counter::Edges, graph.edge_count() as u64);
+    span.set(Counter::Queries, graph.node_count() as u64);
+    span.set(Counter::Probes, total_probes as u64);
+    span.set(Counter::MaxProbes, max_probes as u64);
+    span.set(Counter::FarProbes, far_probes as u64);
+    let run = crate::run::VolumeRun {
         output,
         max_probes,
         total_probes,
-    }
+    };
+    RunReport::new(run, Trace::new(span.finish()))
+}
+
+/// Runs an LCA over every node of the graph, discarding the trace.
+///
+/// Note: superseded by [`simulate_lca`], which additionally reports the
+/// execution trace; this thin wrapper remains for source compatibility.
+///
+/// # Panics
+///
+/// As [`simulate_lca`].
+pub fn run_lca(
+    alg: &(impl LcaAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+) -> crate::run::VolumeRun {
+    simulate_lca(alg, graph, input, ids).outcome
 }
 
 /// Adapts a VOLUME algorithm into an LCA that never uses far probes — the
@@ -198,6 +232,28 @@ mod tests {
         }
         let run = run_lca(&Missing, &g, &input, &ids);
         assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(1)));
+    }
+
+    #[test]
+    fn simulate_lca_counts_far_probes_separately() {
+        let g = gen::path(5);
+        let input = lcl::uniform_input(&g);
+        let ids = lca_ids(5);
+        struct FarDegree;
+        impl LcaAlgorithm for FarDegree {
+            fn probe_budget(&self, _n: usize) -> usize {
+                0
+            }
+            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+                let info = s.far_probe(1).expect("id 1 exists");
+                let d = s.near().queried().degree as usize;
+                vec![OutLabel(u32::from(info.degree)); d]
+            }
+        }
+        let report = simulate_lca(&FarDegree, &g, &input, &ids);
+        assert_eq!(report.trace.total(Counter::FarProbes), 5);
+        assert_eq!(report.trace.total(Counter::Probes), 5);
+        assert_eq!(report.trace.total(Counter::MaxProbes), 1);
     }
 
     #[test]

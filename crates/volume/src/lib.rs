@@ -48,6 +48,6 @@ pub mod order_invariant;
 pub mod run;
 
 pub use algorithm::{FnVolumeAlgorithm, NodeInfo, ProbeSession, VolumeAlgorithm};
-pub use lca::{run_lca, LcaAlgorithm, LcaSession};
+pub use lca::{run_lca, simulate_lca, LcaAlgorithm, LcaSession};
 pub use order_invariant::{is_empirically_order_invariant_volume, RankedInfo, RankedSession};
-pub use run::{minimal_probe_budget, run_volume, VolumeRun};
+pub use run::{minimal_probe_budget, run_volume, simulate, VolumeRun};

@@ -2,6 +2,7 @@
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::Graph;
+use lcl_obs::{Counter, RunReport, Span, Trace};
 
 use lcl_local::IdAssignment;
 
@@ -20,21 +21,26 @@ pub struct VolumeRun {
 }
 
 /// Runs a VOLUME algorithm by querying every node (each query gets a fresh
-/// session, as in the model: queries do not share state).
+/// session, as in the model: queries do not share state), reporting the
+/// execution trace: total and worst-case probes, plus the instance shape.
+///
+/// This is the instrumented entrypoint behind the facade's `Simulation`
+/// trait; [`run_volume`] forwards here and discards the trace.
 ///
 /// # Panics
 ///
 /// Panics if the graph contains an isolated node (excluded by
 /// Definition 2.9) or the algorithm exceeds its own probe budget.
-pub fn run_volume(
+pub fn simulate(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
     n_announced: Option<usize>,
-) -> VolumeRun {
+) -> RunReport<VolumeRun> {
     let n = n_announced.unwrap_or_else(|| graph.node_count());
     let budget = alg.probe_budget(n);
+    let mut span = Span::start(format!("volume/{}", alg.name()));
     let mut max_probes = 0usize;
     let mut total_probes = 0usize;
     let output = HalfEdgeLabeling::from_node_fn(graph, |v| {
@@ -54,11 +60,35 @@ pub fn run_volume(
         total_probes += session.probes_used();
         labels
     });
-    VolumeRun {
+    span.set(Counter::Nodes, graph.node_count() as u64);
+    span.set(Counter::Edges, graph.edge_count() as u64);
+    span.set(Counter::Queries, graph.node_count() as u64);
+    span.set(Counter::Probes, total_probes as u64);
+    span.set(Counter::MaxProbes, max_probes as u64);
+    let run = VolumeRun {
         output,
         max_probes,
         total_probes,
-    }
+    };
+    RunReport::new(run, Trace::new(span.finish()))
+}
+
+/// Runs a VOLUME algorithm over every node, discarding the trace.
+///
+/// Note: superseded by [`simulate`], which additionally reports the
+/// execution trace; this thin wrapper remains for source compatibility.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn run_volume(
+    alg: &(impl VolumeAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+) -> VolumeRun {
+    simulate(alg, graph, input, ids, n_announced).outcome
 }
 
 /// Finds the minimal probe budget `T ≤ max_budget` under which the
@@ -190,6 +220,32 @@ mod tests {
             });
             assert_eq!(t, Some(n - 2), "n = {n}");
         }
+    }
+
+    #[test]
+    fn simulate_reports_probe_counters() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let alg = FnVolumeAlgorithm::new(
+            "scan",
+            |_| 2,
+            |s| {
+                let d = s.queried().degree;
+                for p in 0..d {
+                    let _ = s.probe(0, p);
+                }
+                vec![OutLabel(0); d as usize]
+            },
+        );
+        let report = simulate(&alg, &g, &input, &ids, None);
+        assert_eq!(report.trace.total(Counter::Probes), 6);
+        assert_eq!(report.trace.total(Counter::MaxProbes), 2);
+        assert_eq!(report.trace.total(Counter::Queries), 4);
+        assert_eq!(
+            report.trace.total(Counter::Probes),
+            report.outcome.total_probes as u64
+        );
     }
 
     #[test]

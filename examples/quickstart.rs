@@ -1,5 +1,6 @@
-//! Quickstart: define an LCL problem, run a distributed algorithm for it
-//! in the simulated LOCAL model, and verify the output.
+//! Quickstart: define an LCL problem, run distributed algorithms for it
+//! through the unified `Simulation` API, and inspect the execution trace
+//! every simulator now returns.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -7,10 +8,13 @@
 
 use lcl_landscape::graph::gen;
 use lcl_landscape::lcl::{verify, violations_summary, LclProblem};
-use lcl_landscape::local::{run_sync, IdAssignment};
+use lcl_landscape::local::{simulate_sync, IdAssignment};
+use lcl_landscape::obs::Counter;
 use lcl_landscape::problems::cv::{orientation_inputs, ColeVishkin, Orientation};
+use lcl_landscape::simulation::{GraphInstance, LocalSim, Simulation};
+use lcl_landscape::LandscapeError;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), LandscapeError> {
     // 1. An LCL problem in the paper's node-edge-checkable form
     //    (Definition 2.3): 3-coloring, written in the text format.
     let problem = LclProblem::parse(
@@ -35,9 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input = orientation_inputs(&graph, Orientation::Cycle);
 
     // 3. Identifiers from a polynomial range (Definition 2.1) and a run
-    //    of Cole–Vishkin — the classic Θ(log* n) algorithm.
+    //    of Cole–Vishkin — the classic Θ(log* n) algorithm. Every
+    //    simulator returns a `RunReport`: the outcome plus a trace whose
+    //    counters are deterministic (wall time is the only exception).
     let ids = IdAssignment::random_polynomial(n, 3, 42);
-    let run = run_sync(
+    let report = simulate_sync(
         &ColeVishkin,
         &graph,
         &input,
@@ -45,11 +51,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         None,
         100,
     );
+    let run = &report.outcome;
     println!("Cole–Vishkin used {} rounds on n = {n}", run.rounds);
+    println!(
+        "trace: {} messages across {} nodes",
+        report.trace.root().get(Counter::Messages).unwrap_or(0),
+        report.trace.root().get(Counter::Nodes).unwrap_or(0),
+    );
 
     // 4. Verification: every node and edge constraint is checked.
     let violations = verify(&problem, &graph, &input, &run.output);
     println!("verification: {}", violations_summary(&violations));
     assert!(violations.is_empty());
+
+    // 5. The same machinery, model-agnostic: `Simulation` drives LOCAL,
+    //    VOLUME, LCA, and PROD-LOCAL uniformly. Here: a radius-2 LOCAL
+    //    algorithm on the same cycle, via the trait.
+    let uniform = lcl_landscape::lcl::uniform_input(&graph);
+    let local = LocalSim::simulate(
+        &lcl_landscape::problems::trivial::MaxDegree2Hop,
+        GraphInstance::new(&graph, &uniform, &ids),
+    );
+    println!(
+        "{} queried {} views of {} total nodes",
+        local.trace.root().name(),
+        local.trace.root().get(Counter::Queries).unwrap_or(0),
+        local.trace.root().get(Counter::ViewNodes).unwrap_or(0),
+    );
     Ok(())
 }

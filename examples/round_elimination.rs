@@ -13,6 +13,7 @@ use lcl_landscape::core::{ReOptions, ReTower};
 use lcl_landscape::graph::gen;
 use lcl_landscape::lcl::OutLabel;
 use lcl_landscape::problems::{anti_matching, k_coloring, sinkless_orientation};
+use lcl_landscape::LandscapeError;
 
 /// A randomized one-round algorithm for anti-matching: compare 8-bit
 /// coins across each edge; ties fail with probability 2⁻⁸ per edge.
@@ -31,12 +32,12 @@ impl OneRoundAlgorithm for CoinOrient {
     }
 }
 
-fn main() {
+fn main() -> Result<(), LandscapeError> {
     // 1. Label growth along the sequence (the doubly-exponential wall).
     println!("label universes along Π, R(Π), R̄(R(Π)):");
     for problem in [anti_matching(3), k_coloring(3, 3), sinkless_orientation(3)] {
         let mut tower = ReTower::new(problem.clone());
-        tower.push_f(ReOptions::default()).expect("one f-step fits");
+        tower.push_f(ReOptions::default())?;
         let sizes: Vec<usize> = (0..tower.level_count())
             .map(|l| tower.alphabet_size(l))
             .collect();
@@ -48,12 +49,10 @@ fn main() {
     //    faster, each a bit sloppier.
     let problem = anti_matching(2);
     let mut tower = ReTower::new(problem.clone());
-    tower
-        .push_f(ReOptions {
-            restrict: false,
-            ..ReOptions::default()
-        })
-        .expect("anti-matching tower fits");
+    tower.push_f(ReOptions {
+        restrict: false,
+        ..ReOptions::default()
+    })?;
 
     let derivation = Derivation::new(
         &CoinOrient,
@@ -78,15 +77,14 @@ fn main() {
     let base_ok = lcl_landscape::lcl::verify(&problem, &g, &input, &base).is_empty();
     println!("  A      solves Π          (radius 1): {base_ok}");
 
-    let half = derivation
-        .run_a_half(&tower, &g, &input, 3)
-        .expect("unrestricted tower holds every derivable label");
+    // The unrestricted tower holds every derivable label, so these can
+    // only fail on an engine bug — which `?` reports as a LandscapeError.
+    let half = derivation.run_a_half(&tower, &g, &input, 3)?;
     let half_ok = lcl_landscape::lcl::verify(&tower.level(1), &g, &input, &half).is_empty();
     println!("  A_1/2  solves R(Π)       (radius ½): {half_ok}");
 
-    let prime = derivation
-        .run_a_prime(&tower, &g, &input, 3)
-        .expect("unrestricted tower holds every derivable label");
+    let prime = derivation.run_a_prime(&tower, &g, &input, 3)?;
     let prime_ok = lcl_landscape::lcl::verify(&tower.level(2), &g, &input, &prime).is_empty();
     println!("  A'     solves R̄(R(Π))    (radius 0): {prime_ok}");
+    Ok(())
 }

@@ -11,8 +11,9 @@ use lcl_landscape::core::{tree_speedup, ReOptions, ReTower, SpeedupOptions, Spee
 use lcl_landscape::graph::gen;
 use lcl_landscape::local::run_sync;
 use lcl_landscape::problems::{anti_matching, k_coloring};
+use lcl_landscape::LandscapeError;
 
-fn main() {
+fn main() -> Result<(), LandscapeError> {
     // The anti-matching problem: every edge must carry {X, Y}. Not
     // 0-round solvable, but f(Π) = R̄(R(Π)) is — so the pipeline
     // synthesizes a 1-round algorithm.
@@ -64,9 +65,10 @@ fn main() {
     // The round-elimination sequence itself is a public API: inspect
     // R(Π) of 3-coloring (labels are sets of base labels).
     let mut tower = ReTower::new(k_coloring(3, 3));
-    tower.push_r(ReOptions::default()).expect("R step fits");
+    tower.push_r(ReOptions::default())?;
     println!(
         "\nR(3-coloring) has {} useful labels (subsets of {{A,B,C}})",
         tower.alphabet_size(1)
     );
+    Ok(())
 }

@@ -16,4 +16,21 @@ cargo fmt --check
 echo "== cargo clippy (warnings are errors) =="
 cargo clippy --workspace --all-targets --release -- -D warnings
 
+echo "== cargo doc (no deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
+
+echo "== unwrap() gate (library code must use typed errors or expect) =="
+# Count `.unwrap()` in crate library sources outside `#[cfg(test)]`
+# modules. The baseline is 0: new library code must propagate typed
+# errors (`?`) or document infallibility with `.expect("why")`.
+UNWRAPS=$(find crates/*/src -name '*.rs' | sort | xargs awk '
+  FNR==1 { intest = 0 }
+  /#\[cfg\(test\)\]/ { intest = 1 }
+  !intest { c += gsub(/\.unwrap\(\)/, "") }
+  END { print c + 0 }')
+if [ "$UNWRAPS" -gt 0 ]; then
+  echo "found $UNWRAPS non-test .unwrap() call(s) in crates/*/src (baseline 0)"
+  exit 1
+fi
+
 echo "all checks passed"

@@ -1,0 +1,156 @@
+//! A single error type for the whole suite.
+//!
+//! Every fallible pipeline in the workspace reports failures through its
+//! own typed error ([`ReError`] for round elimination, [`ProblemBuildError`]
+//! for the problem builder, and so on). [`LandscapeError`] unifies them so
+//! that examples and downstream callers can thread everything through one
+//! `Result` with `?`.
+
+use std::error::Error;
+use std::fmt;
+
+use lcl::{ParseError, ProblemBuildError};
+use lcl_classify::automaton::AutomatonError;
+use lcl_classify::ClassifyError;
+use lcl_core::ReError;
+use lcl_graph::builder::BuildError;
+use lcl_graph::gen::RegularGenError;
+
+/// Any error the landscape suite can produce, by source subsystem.
+///
+/// Each variant wraps the typed error of one crate; [`Error::source`]
+/// returns the wrapped error, so standard error-reporting chains work.
+///
+/// # Examples
+///
+/// ```
+/// use lcl_landscape::LandscapeError;
+///
+/// fn pipeline() -> Result<(), LandscapeError> {
+///     let p = lcl_landscape::lcl::LclProblem::builder("two-coloring", 2)
+///         .outputs(["A", "B"])
+///         .edge(&["A", "B"])
+///         .node_pattern(&["A*"])
+///         .node_pattern(&["B*"])
+///         .build()?; // ProblemBuildError -> LandscapeError
+///     assert_eq!(p.output_alphabet().len(), 2);
+///     Ok(())
+/// }
+/// pipeline().unwrap();
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum LandscapeError {
+    /// Round elimination failed (universe overflow, empty restriction, …).
+    Re(ReError),
+    /// The LCL problem builder rejected its description.
+    Build(ProblemBuildError),
+    /// The LCL text format failed to parse.
+    Parse(ParseError),
+    /// The port-numbered graph builder rejected an edge list.
+    Graph(BuildError),
+    /// Random regular graph generation failed.
+    RegularGen(RegularGenError),
+    /// The path/cycle classifier rejected its input problem.
+    Classify(ClassifyError),
+}
+
+impl fmt::Display for LandscapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Re(e) => write!(f, "round elimination: {e}"),
+            Self::Build(e) => write!(f, "problem builder: {e}"),
+            Self::Parse(e) => write!(f, "problem parser: {e}"),
+            Self::Graph(e) => write!(f, "graph builder: {e}"),
+            Self::RegularGen(e) => write!(f, "regular graph generator: {e}"),
+            Self::Classify(e) => write!(f, "classifier: {e}"),
+        }
+    }
+}
+
+impl Error for LandscapeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Re(e) => Some(e),
+            Self::Build(e) => Some(e),
+            Self::Parse(e) => Some(e),
+            Self::Graph(e) => Some(e),
+            Self::RegularGen(e) => Some(e),
+            Self::Classify(e) => Some(e),
+        }
+    }
+}
+
+impl From<ReError> for LandscapeError {
+    fn from(e: ReError) -> Self {
+        Self::Re(e)
+    }
+}
+
+impl From<ProblemBuildError> for LandscapeError {
+    fn from(e: ProblemBuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<ParseError> for LandscapeError {
+    fn from(e: ParseError) -> Self {
+        Self::Parse(e)
+    }
+}
+
+impl From<BuildError> for LandscapeError {
+    fn from(e: BuildError) -> Self {
+        Self::Graph(e)
+    }
+}
+
+impl From<RegularGenError> for LandscapeError {
+    fn from(e: RegularGenError) -> Self {
+        Self::RegularGen(e)
+    }
+}
+
+impl From<ClassifyError> for LandscapeError {
+    fn from(e: ClassifyError) -> Self {
+        Self::Classify(e)
+    }
+}
+
+impl From<AutomatonError> for LandscapeError {
+    fn from(e: AutomatonError) -> Self {
+        Self::Classify(ClassifyError(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_builder_errors_via_question_mark() {
+        fn build_bad() -> Result<lcl::LclProblem, LandscapeError> {
+            Ok(lcl::LclProblem::builder("bad", 2).build()?)
+        }
+        let err = build_bad().unwrap_err();
+        assert!(matches!(
+            err,
+            LandscapeError::Build(ProblemBuildError::EmptyOutputAlphabet)
+        ));
+        assert!(err.to_string().contains("problem builder"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn wraps_parse_and_graph_errors() {
+        let parse: LandscapeError = lcl::LclProblem::parse("nonsense").unwrap_err().into();
+        assert!(matches!(parse, LandscapeError::Parse(_)));
+
+        let mut b = lcl_graph::GraphBuilder::new(1);
+        let graph: LandscapeError = b.add_edge(0, 0).unwrap_err().into();
+        assert!(matches!(
+            graph,
+            LandscapeError::Graph(BuildError::SelfLoop { node: 0 })
+        ));
+    }
+}

@@ -17,28 +17,58 @@
 //! | [`core`] | `lcl-core` | round elimination + speedup pipelines |
 //! | [`problems`] | `lcl-problems` | concrete problems and algorithms |
 //! | [`classify`] | `lcl-classify` | path/cycle complexity classifier |
+//! | [`obs`] | `lcl-obs` | tracing/metrics: spans, counters, reports |
+//!
+//! On top of the re-exports the facade adds two pieces of glue:
+//!
+//! * [`simulation::Simulation`] — one trait over the LOCAL, VOLUME, LCA,
+//!   and PROD-LOCAL simulators, each returning an [`obs::RunReport`]
+//!   (outcome plus execution trace);
+//! * [`LandscapeError`] — one error type with `From` impls for every
+//!   subsystem's typed error, so examples and tools can use `?`.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use lcl_landscape::graph::gen;
 //! use lcl_landscape::lcl::LclProblem;
+//! use lcl_landscape::local::IdAssignment;
+//! use lcl_landscape::simulation::{GraphInstance, LocalSim, Simulation};
 //!
 //! let g = gen::cycle(12);
 //! let coloring = LclProblem::parse(
 //!     "name: 3-coloring\nmax-degree: 2\nnodes:\nA*\nB*\nC*\nedges:\nA B\nA C\nB C\n",
 //! )?;
 //! assert_eq!(coloring.output_alphabet().len(), 3);
-//! assert_eq!(g.node_count(), 12);
-//! # Ok::<(), lcl_landscape::lcl::ParseError>(())
+//!
+//! // Run any model through the unified `Simulation` trait; every run
+//! // returns an `obs::RunReport` carrying the outcome and a trace.
+//! let ids = IdAssignment::sequential(12);
+//! let input = lcl_landscape::lcl::uniform_input(&g);
+//! let report = LocalSim::simulate(
+//!     &lcl_landscape::problems::trivial::ConstantZero,
+//!     GraphInstance::new(&g, &input, &ids),
+//! );
+//! assert_eq!(report.outcome.radius, 0);
+//! assert!(report.trace.fingerprint().starts_with("local/"));
+//! # Ok::<(), lcl_landscape::LandscapeError>(())
 //! ```
+
+pub mod error;
+pub mod simulation;
 
 pub use lcl_classify as classify;
 pub use lcl_core as core;
 pub use lcl_graph as graph;
 pub use lcl_grid as grid;
 pub use lcl_local as local;
+pub use lcl_obs as obs;
 pub use lcl_problems as problems;
 pub use lcl_volume as volume;
 
 pub use lcl;
+
+pub use error::LandscapeError;
+pub use simulation::{
+    GraphInstance, GridInstance, LcaSim, LocalSim, ProdLocalSim, Simulation, VolumeSim,
+};
