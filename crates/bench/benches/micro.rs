@@ -88,6 +88,7 @@ fn bench_volume_probes() {
             &ids,
             None,
         )
+        .expect("in budget")
         .max_probes
     });
 }

@@ -1,0 +1,166 @@
+//! `bench-diff` — the perf-regression gate over committed baselines.
+//!
+//! ```sh
+//! # Diff a fresh report against the committed baseline:
+//! cargo run -p lcl-bench --bin bench-diff -- BENCH_obs.json /tmp/new_obs.json
+//!
+//! # Self-diff (sanity: a baseline never regresses against itself):
+//! cargo run -p lcl-bench --bin bench-diff -- BENCH_obs.json
+//!
+//! # Schema check only:
+//! cargo run -p lcl-bench --bin bench-diff -- --check-schema BENCH_obs.json
+//! ```
+//!
+//! Counters compare bit-exact (raw JSON text); `wall_us`/`*_ms` keys get
+//! a relative tolerance (default ±30 %, `--wall-tol 0.5` to widen);
+//! `par_speedup`/`threads_available` are informational. Exit codes:
+//! 0 = clean, 1 = regression or schema violation, 2 = usage/parse error.
+
+use std::process::ExitCode;
+
+use lcl_bench::diff::{check_schema, detect_schema, diff, DiffOptions};
+use lcl_bench::json::{parse, JsonValue};
+
+struct Args {
+    baseline: String,
+    candidate: Option<String>,
+    wall_tolerance: f64,
+    schema_only: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench-diff [--wall-tol FRACTION] [--check-schema] BASELINE [CANDIDATE]\n\
+         \n\
+         Compares CANDIDATE against BASELINE (both BENCH_*.json reports).\n\
+         With no CANDIDATE, self-diffs BASELINE (always clean) — useful\n\
+         together with --check-schema to validate a committed baseline.\n\
+         Exit codes: 0 clean, 1 regression/violation, 2 usage or parse error."
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, ExitCode> {
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut wall_tolerance = DiffOptions::default().wall_tolerance;
+    let mut schema_only = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--wall-tol" => {
+                let Some(value) = argv.next() else {
+                    eprintln!("bench-diff: --wall-tol needs a value");
+                    return Err(usage());
+                };
+                match value.parse::<f64>() {
+                    Ok(v) if v >= 0.0 => wall_tolerance = v,
+                    _ => {
+                        eprintln!("bench-diff: invalid --wall-tol '{value}'");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--check-schema" => schema_only = true,
+            "--help" | "-h" => return Err(usage()),
+            _ if arg.starts_with('-') => {
+                eprintln!("bench-diff: unknown flag '{arg}'");
+                return Err(usage());
+            }
+            _ if baseline.is_none() => baseline = Some(arg),
+            _ if candidate.is_none() => candidate = Some(arg),
+            _ => {
+                eprintln!("bench-diff: too many positional arguments");
+                return Err(usage());
+            }
+        }
+    }
+    let Some(baseline) = baseline else {
+        return Err(usage());
+    };
+    Ok(Args {
+        baseline,
+        candidate,
+        wall_tolerance,
+        schema_only,
+    })
+}
+
+fn load(path: &str) -> Result<JsonValue, ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("bench-diff: cannot read {path}: {e}");
+            return Err(ExitCode::from(2));
+        }
+    };
+    match parse(&text) {
+        Ok(doc) => Ok(doc),
+        Err(e) => {
+            eprintln!("bench-diff: {path}: {e}");
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(code) => return code,
+    };
+    let baseline = match load(&args.baseline) {
+        Ok(doc) => doc,
+        Err(code) => return code,
+    };
+
+    let schema = detect_schema(&baseline);
+    let schema_errors = check_schema(&baseline, schema);
+    if !schema_errors.is_empty() {
+        eprintln!(
+            "bench-diff: {} violates the {schema} schema:",
+            args.baseline
+        );
+        for e in &schema_errors {
+            eprintln!("  {e}");
+        }
+        return ExitCode::from(1);
+    }
+    println!("{}: valid {schema} baseline", args.baseline);
+    if args.schema_only && args.candidate.is_none() {
+        return ExitCode::SUCCESS;
+    }
+
+    let candidate_path = args.candidate.as_deref().unwrap_or(&args.baseline);
+    let candidate = match load(candidate_path) {
+        Ok(doc) => doc,
+        Err(code) => return code,
+    };
+    let report = diff(
+        &baseline,
+        &candidate,
+        DiffOptions {
+            wall_tolerance: args.wall_tolerance,
+        },
+    );
+    for note in &report.notes {
+        println!("note: {note}");
+    }
+    if report.is_clean() {
+        println!(
+            "{candidate_path}: no regressions against {} (wall tolerance ±{:.0} %)",
+            args.baseline,
+            args.wall_tolerance * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench-diff: {} regression(s) in {candidate_path} against {}:",
+            report.regressions.len(),
+            args.baseline
+        );
+        for r in &report.regressions {
+            eprintln!("  {r}");
+        }
+        ExitCode::from(1)
+    }
+}

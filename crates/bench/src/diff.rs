@@ -1,0 +1,660 @@
+//! Baseline diffing for the perf-regression gate.
+//!
+//! [`diff`] walks two parsed baseline documents (see [`crate::json`])
+//! and classifies every divergence:
+//!
+//! * **Counters and structure are exact.** Numbers compare by raw source
+//!   text, so a counter that moves by 1 is a regression; objects must
+//!   have the same keys (a missing *or* extra key is a structural
+//!   regression) and arrays the same length.
+//! * **Wall times get a tolerance.** Keys in [`WALL_KEYS`] are timing
+//!   measurements — inherently noisy — and only regress when they leave
+//!   the relative tolerance band *and* an absolute noise floor.
+//! * **Derived machine facts are informational.** Keys in
+//!   [`INFO_KEYS`] (`par_speedup`, `threads_available`) vary with the
+//!   host; changes are reported as notes, never as regressions.
+//!
+//! [`check_schema`] validates a document against the committed baseline
+//! schemas (`BENCH_obs.json` registry dumps and `BENCH_re_engine.json`
+//! reports), auto-detected by shape.
+
+use std::fmt;
+
+use crate::json::JsonValue;
+
+/// Keys holding wall-clock measurements: compared within tolerance.
+pub const WALL_KEYS: [&str; 4] = ["wall_us", "wall_ms", "seq_wall_ms", "par_wall_ms"];
+
+/// Keys derived from the host machine: reported, never gating.
+pub const INFO_KEYS: [&str; 2] = ["par_speedup", "threads_available"];
+
+/// Absolute noise floor for microsecond timings (`wall_us`).
+const FLOOR_US: f64 = 200.0;
+/// Absolute noise floor for millisecond timings (`*_ms`).
+const FLOOR_MS: f64 = 0.5;
+
+/// Options for [`diff`].
+#[derive(Clone, Copy, Debug)]
+pub struct DiffOptions {
+    /// Relative tolerance for wall-time keys (0.30 = ±30 %).
+    pub wall_tolerance: f64,
+}
+
+impl Default for DiffOptions {
+    fn default() -> Self {
+        Self {
+            wall_tolerance: 0.30,
+        }
+    }
+}
+
+/// One divergence between baseline and candidate.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Finding {
+    /// Path into the document, e.g.
+    /// `"000/E1/trees/cole-vishkin" . trace.counters.rounds`.
+    pub path: String,
+    /// Human-readable description of the divergence.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path, self.message)
+    }
+}
+
+/// The outcome of a baseline diff.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct DiffReport {
+    /// Gating divergences — any entry here means the gate fails.
+    pub regressions: Vec<Finding>,
+    /// Non-gating observations (wall drift inside tolerance is *not*
+    /// noted; informational keys and such are).
+    pub notes: Vec<Finding>,
+}
+
+impl DiffReport {
+    /// `true` when nothing gating diverged.
+    pub fn is_clean(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+/// Diffs `new` against `base` under the gate's rules (see module docs).
+pub fn diff(base: &JsonValue, new: &JsonValue, opts: DiffOptions) -> DiffReport {
+    let mut report = DiffReport::default();
+    walk(base, new, "", "", opts, &mut report);
+    report
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        // Top-level keys are stage names; quote them so the stage is
+        // unmistakable in gate output.
+        format!("\"{key}\"")
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+fn walk(
+    base: &JsonValue,
+    new: &JsonValue,
+    path: &str,
+    key: &str,
+    opts: DiffOptions,
+    report: &mut DiffReport,
+) {
+    if std::mem::discriminant(base) != std::mem::discriminant(new) {
+        report.regressions.push(Finding {
+            path: display_path(path),
+            message: format!(
+                "type changed from {} to {}",
+                base.type_name(),
+                new.type_name()
+            ),
+        });
+        return;
+    }
+    match (base, new) {
+        (JsonValue::Obj(base_entries), JsonValue::Obj(new_entries)) => {
+            for (k, base_v) in base_entries {
+                match new.get(k) {
+                    Some(new_v) => walk(base_v, new_v, &join(path, k), k, opts, report),
+                    None => report.regressions.push(Finding {
+                        path: display_path(&join(path, k)),
+                        message: "missing from the new report".into(),
+                    }),
+                }
+            }
+            for (k, _) in new_entries {
+                if base.get(k).is_none() {
+                    report.regressions.push(Finding {
+                        path: display_path(&join(path, k)),
+                        message: "not present in the baseline (new key)".into(),
+                    });
+                }
+            }
+        }
+        (JsonValue::Arr(base_items), JsonValue::Arr(new_items)) => {
+            if base_items.len() != new_items.len() {
+                report.regressions.push(Finding {
+                    path: display_path(path),
+                    message: format!(
+                        "array length changed from {} to {}",
+                        base_items.len(),
+                        new_items.len()
+                    ),
+                });
+                return;
+            }
+            for (i, (b, n)) in base_items.iter().zip(new_items).enumerate() {
+                walk(b, n, &format!("{path}[{i}]"), key, opts, report);
+            }
+        }
+        (JsonValue::Num(base_raw), JsonValue::Num(new_raw)) => {
+            compare_numbers(base_raw, new_raw, path, key, opts, report);
+        }
+        _ => {
+            if base != new {
+                report.regressions.push(Finding {
+                    path: display_path(path),
+                    message: format!("value changed from {base:?} to {new:?}"),
+                });
+            }
+        }
+    }
+}
+
+fn display_path(path: &str) -> String {
+    if path.is_empty() {
+        "(document root)".into()
+    } else {
+        path.to_string()
+    }
+}
+
+fn compare_numbers(
+    base_raw: &str,
+    new_raw: &str,
+    path: &str,
+    key: &str,
+    opts: DiffOptions,
+    report: &mut DiffReport,
+) {
+    if base_raw == new_raw {
+        return;
+    }
+    if INFO_KEYS.contains(&key) {
+        report.notes.push(Finding {
+            path: display_path(path),
+            message: format!("{base_raw} -> {new_raw} (informational, host-dependent)"),
+        });
+        return;
+    }
+    if WALL_KEYS.contains(&key) {
+        let (base_v, new_v) = match (base_raw.parse::<f64>(), new_raw.parse::<f64>()) {
+            (Ok(b), Ok(n)) => (b, n),
+            _ => {
+                report.regressions.push(Finding {
+                    path: display_path(path),
+                    message: format!("unparseable wall time ({base_raw} -> {new_raw})"),
+                });
+                return;
+            }
+        };
+        let floor = if key == "wall_us" { FLOOR_US } else { FLOOR_MS };
+        let drift = (new_v - base_v).abs();
+        if drift > floor && drift > base_v.abs() * opts.wall_tolerance {
+            report.regressions.push(Finding {
+                path: display_path(path),
+                message: format!(
+                    "wall time drifted {base_raw} -> {new_raw} \
+                     (>{:.0} % beyond the {floor} noise floor)",
+                    opts.wall_tolerance * 100.0
+                ),
+            });
+        }
+        return;
+    }
+    report.regressions.push(Finding {
+        path: display_path(path),
+        message: format!("counter changed from {base_raw} to {new_raw}"),
+    });
+}
+
+/// The two committed baseline schemas.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Schema {
+    /// `BENCH_obs.json`: a [`lcl_obs::Registry`] dump — panel label →
+    /// `{order, trace}`.
+    Obs,
+    /// `BENCH_re_engine.json`: the round-elimination engine report.
+    ReEngine,
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Obs => write!(f, "obs registry"),
+            Self::ReEngine => write!(f, "re-engine report"),
+        }
+    }
+}
+
+/// Guesses which baseline schema a document uses (`"bench"` at the top
+/// level marks the re-engine report).
+pub fn detect_schema(doc: &JsonValue) -> Schema {
+    if doc.get("bench").is_some() {
+        Schema::ReEngine
+    } else {
+        Schema::Obs
+    }
+}
+
+/// Validates `doc` against `schema`; returns every violation.
+pub fn check_schema(doc: &JsonValue, schema: Schema) -> Vec<Finding> {
+    let mut errors = Vec::new();
+    match schema {
+        Schema::Obs => check_obs(doc, &mut errors),
+        Schema::ReEngine => check_re_engine(doc, &mut errors),
+    }
+    errors
+}
+
+fn fail(errors: &mut Vec<Finding>, path: &str, message: impl Into<String>) {
+    errors.push(Finding {
+        path: display_path(path),
+        message: message.into(),
+    });
+}
+
+fn require_num(obj: &JsonValue, key: &str, path: &str, errors: &mut Vec<Finding>) {
+    match obj.get(key) {
+        Some(JsonValue::Num(_)) => {}
+        Some(other) => fail(
+            errors,
+            &join(path, key),
+            format!("expected a number, found {}", other.type_name()),
+        ),
+        None => fail(errors, &join(path, key), "required key is missing"),
+    }
+}
+
+fn check_obs(doc: &JsonValue, errors: &mut Vec<Finding>) {
+    let Some(entries) = doc.as_obj() else {
+        fail(errors, "", "top level must be an object of panels");
+        return;
+    };
+    if entries.is_empty() {
+        fail(errors, "", "registry has no panels");
+    }
+    for (label, panel) in entries {
+        let path = join("", label);
+        require_num(panel, "order", &path, errors);
+        match panel.get("trace") {
+            Some(trace) => check_span(trace, &format!("{path}.trace"), errors),
+            None => fail(errors, &join(&path, "trace"), "required key is missing"),
+        }
+    }
+}
+
+fn check_span(span: &JsonValue, path: &str, errors: &mut Vec<Finding>) {
+    if span.as_obj().is_none() {
+        fail(errors, path, "span must be an object");
+        return;
+    }
+    match span.get("name") {
+        Some(JsonValue::Str(_)) => {}
+        _ => fail(errors, &join(path, "name"), "span needs a string name"),
+    }
+    require_num(span, "wall_us", path, errors);
+    match span.get("counters") {
+        Some(JsonValue::Obj(counters)) => {
+            for (counter, value) in counters {
+                if !matches!(value, JsonValue::Num(_)) {
+                    fail(
+                        errors,
+                        &join(&join(path, "counters"), counter),
+                        format!("counter must be a number, found {}", value.type_name()),
+                    );
+                }
+            }
+        }
+        _ => fail(
+            errors,
+            &join(path, "counters"),
+            "span needs a counters object",
+        ),
+    }
+    if let Some(hists) = span.get("hists") {
+        match hists.as_obj() {
+            Some(entries) => {
+                for (name, hist) in entries {
+                    let hist_path = join(&join(path, "hists"), name);
+                    if hist.as_obj().is_none() {
+                        fail(errors, &hist_path, "histogram must be an object");
+                        continue;
+                    }
+                    require_num(hist, "count", &hist_path, errors);
+                    require_num(hist, "sum", &hist_path, errors);
+                }
+            }
+            None => fail(errors, &join(path, "hists"), "hists must be an object"),
+        }
+    }
+    if let Some(children) = span.get("children") {
+        match children.as_arr() {
+            Some(items) => {
+                for (i, child) in items.iter().enumerate() {
+                    check_span(child, &format!("{}[{i}]", join(path, "children")), errors);
+                }
+            }
+            None => fail(errors, &join(path, "children"), "children must be an array"),
+        }
+    }
+}
+
+fn check_re_engine(doc: &JsonValue, errors: &mut Vec<Finding>) {
+    if doc.as_obj().is_none() {
+        fail(errors, "", "top level must be an object");
+        return;
+    }
+    match doc.get("bench") {
+        Some(JsonValue::Str(_)) => {}
+        _ => fail(errors, "\"bench\"", "required string key is missing"),
+    }
+    require_num(doc, "threads_available", "", errors);
+    let Some(problems) = doc.get("problems").and_then(JsonValue::as_arr) else {
+        fail(errors, "\"problems\"", "required array key is missing");
+        return;
+    };
+    for (i, problem) in problems.iter().enumerate() {
+        let path = format!("\"problems\"[{i}]");
+        if problem.as_obj().is_none() {
+            fail(errors, &path, "problem entry must be an object");
+            continue;
+        }
+        match problem.get("name") {
+            Some(JsonValue::Str(_)) => {}
+            _ => fail(errors, &join(&path, "name"), "problem needs a string name"),
+        }
+        for key in [
+            "f_steps",
+            "seq_wall_ms",
+            "par_wall_ms",
+            "par_speedup",
+            "node_cache_hits",
+            "node_cache_misses",
+        ] {
+            require_num(problem, key, &path, errors);
+        }
+        let Some(levels) = problem.get("levels").and_then(JsonValue::as_arr) else {
+            fail(
+                errors,
+                &join(&path, "levels"),
+                "required array key is missing",
+            );
+            continue;
+        };
+        for (j, level) in levels.iter().enumerate() {
+            let level_path = format!("{}[{j}]", join(&path, "levels"));
+            if level.as_obj().is_none() {
+                fail(errors, &level_path, "level entry must be an object");
+                continue;
+            }
+            for key in [
+                "level",
+                "labels_full",
+                "labels",
+                "configurations",
+                "cache_hits",
+                "cache_misses",
+                "wall_ms",
+            ] {
+                require_num(level, key, &level_path, errors);
+            }
+            match level.get("fixpoint_of") {
+                Some(JsonValue::Num(_) | JsonValue::Null) => {}
+                Some(other) => fail(
+                    errors,
+                    &join(&level_path, "fixpoint_of"),
+                    format!("must be a number or null, found {}", other.type_name()),
+                ),
+                None => fail(
+                    errors,
+                    &join(&level_path, "fixpoint_of"),
+                    "required key is missing",
+                ),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn obs_doc() -> JsonValue {
+        parse(
+            r#"{
+              "E1/trees/cole-vishkin": {
+                "order": 0,
+                "trace": {
+                  "name": "local/sync",
+                  "wall_us": 412,
+                  "counters": {"rounds": 4, "messages": 1600, "nodes": 200},
+                  "hists": {"view-nodes": {"count": 4, "sum": 10, "buckets": {"2": 4}}},
+                  "children": [
+                    {"name": "round", "wall_us": 90, "counters": {"messages": 400}}
+                  ]
+                }
+              }
+            }"#,
+        )
+        .expect("valid obs doc")
+    }
+
+    fn bump_counter(doc: &mut JsonValue, counter: &str) {
+        // Fabricate a +1 on a counter inside the first panel's trace.
+        let JsonValue::Obj(panels) = doc else {
+            panic!()
+        };
+        let JsonValue::Obj(panel) = &mut panels[0].1 else {
+            panic!()
+        };
+        let trace = &mut panel
+            .iter_mut()
+            .find(|(k, _)| k == "trace")
+            .expect("trace")
+            .1;
+        let JsonValue::Obj(span) = trace else {
+            panic!()
+        };
+        let counters = &mut span
+            .iter_mut()
+            .find(|(k, _)| k == "counters")
+            .expect("counters")
+            .1;
+        let JsonValue::Obj(counters) = counters else {
+            panic!()
+        };
+        let value = &mut counters
+            .iter_mut()
+            .find(|(k, _)| k == counter)
+            .expect("counter")
+            .1;
+        let JsonValue::Num(raw) = value else { panic!() };
+        let bumped = raw.parse::<u64>().expect("integer counter") + 1;
+        *raw = bumped.to_string();
+    }
+
+    #[test]
+    fn identical_documents_are_clean() {
+        let doc = obs_doc();
+        let report = diff(&doc, &doc, DiffOptions::default());
+        assert!(report.is_clean(), "unexpected: {:?}", report.regressions);
+        assert!(report.notes.is_empty());
+    }
+
+    #[test]
+    fn fabricated_counter_bump_regresses_and_names_stage_and_counter() {
+        let base = obs_doc();
+        let mut new = base.clone();
+        bump_counter(&mut new, "rounds");
+        let report = diff(&base, &new, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        let text = report.regressions[0].to_string();
+        assert!(
+            text.contains("E1/trees/cole-vishkin"),
+            "stage missing: {text}"
+        );
+        assert!(text.contains("rounds"), "counter missing: {text}");
+        assert!(text.contains("4 to 5"), "values missing: {text}");
+    }
+
+    #[test]
+    fn wall_time_drift_inside_tolerance_is_ignored() {
+        let base = obs_doc();
+        let mut new = base.clone();
+        // 412 µs -> 500 µs is +21 %, inside ±30 % (and the floor).
+        let JsonValue::Obj(panels) = &mut new else {
+            panic!()
+        };
+        let JsonValue::Obj(panel) = &mut panels[0].1 else {
+            panic!()
+        };
+        let JsonValue::Obj(span) = &mut panel[1].1 else {
+            panic!()
+        };
+        span[1].1 = JsonValue::Num("500".into());
+        let report = diff(&base, &new, DiffOptions::default());
+        assert!(report.is_clean(), "unexpected: {:?}", report.regressions);
+    }
+
+    #[test]
+    fn wall_time_blowup_regresses() {
+        let base = obs_doc();
+        let mut new = base.clone();
+        let JsonValue::Obj(panels) = &mut new else {
+            panic!()
+        };
+        let JsonValue::Obj(panel) = &mut panels[0].1 else {
+            panic!()
+        };
+        let JsonValue::Obj(span) = &mut panel[1].1 else {
+            panic!()
+        };
+        // 412 µs -> 2000 µs: way past both tolerance and floor.
+        span[1].1 = JsonValue::Num("2000".into());
+        let report = diff(&base, &new, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].path.contains("wall_us"));
+    }
+
+    #[test]
+    fn missing_and_extra_keys_are_structural_regressions() {
+        let base = parse(r#"{"s": {"a": 1, "b": 2}}"#).expect("valid");
+        let new = parse(r#"{"s": {"a": 1, "c": 3}}"#).expect("valid");
+        let report = diff(&base, &new, DiffOptions::default());
+        let text: Vec<String> = report.regressions.iter().map(Finding::to_string).collect();
+        assert_eq!(report.regressions.len(), 2, "{text:?}");
+        assert!(text[0].contains("missing"), "{text:?}");
+        assert!(text[1].contains("new key"), "{text:?}");
+    }
+
+    #[test]
+    fn informational_keys_only_note() {
+        let base = parse(r#"{"par_speedup": 3.1, "threads_available": 16}"#).expect("valid");
+        let new = parse(r#"{"par_speedup": 1.2, "threads_available": 4}"#).expect("valid");
+        let report = diff(&base, &new, DiffOptions::default());
+        assert!(report.is_clean());
+        assert_eq!(report.notes.len(), 2);
+    }
+
+    #[test]
+    fn raw_text_comparison_is_bit_exact() {
+        // 1.50 vs 1.5 are numerically equal but textually different:
+        // counters must be bit-identical.
+        let base = parse(r#"{"s": {"probes": 1.50}}"#).expect("valid");
+        let new = parse(r#"{"s": {"probes": 1.5}}"#).expect("valid");
+        let report = diff(&base, &new, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+    }
+
+    #[test]
+    fn array_length_change_regresses() {
+        let base = parse(r#"{"levels": [1, 2, 3]}"#).expect("valid");
+        let new = parse(r#"{"levels": [1, 2]}"#).expect("valid");
+        let report = diff(&base, &new, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].message.contains("3 to 2"));
+    }
+
+    #[test]
+    fn schema_detection_and_validation() {
+        let obs = obs_doc();
+        assert_eq!(detect_schema(&obs), Schema::Obs);
+        assert!(check_schema(&obs, Schema::Obs).is_empty());
+
+        let re = parse(
+            r#"{
+              "bench": "re_engine",
+              "threads_available": 8,
+              "problems": [{
+                "name": "3-coloring",
+                "f_steps": 2, "seq_wall_ms": 1.2, "par_wall_ms": 0.8,
+                "par_speedup": 1.5, "node_cache_hits": 10, "node_cache_misses": 4,
+                "levels": [{
+                  "level": 1, "labels_full": 6, "labels": 6, "configurations": 20,
+                  "cache_hits": 5, "cache_misses": 2, "fixpoint_of": null, "wall_ms": 0.6
+                }]
+              }]
+            }"#,
+        )
+        .expect("valid re doc");
+        assert_eq!(detect_schema(&re), Schema::ReEngine);
+        assert!(check_schema(&re, Schema::ReEngine).is_empty());
+
+        // Break the re doc: drop a required level counter.
+        let mut broken = re.clone();
+        let JsonValue::Obj(top) = &mut broken else {
+            panic!()
+        };
+        let JsonValue::Arr(problems) = &mut top[2].1 else {
+            panic!()
+        };
+        let JsonValue::Obj(problem) = &mut problems[0] else {
+            panic!()
+        };
+        let JsonValue::Arr(levels) = &mut problem.last_mut().expect("levels").1 else {
+            panic!()
+        };
+        let JsonValue::Obj(level) = &mut levels[0] else {
+            panic!()
+        };
+        level.retain(|(k, _)| k != "configurations");
+        let errors = check_schema(&broken, Schema::ReEngine);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].path.contains("configurations"));
+    }
+
+    #[test]
+    fn committed_baselines_pass_their_schemas() {
+        for (path, schema) in [
+            ("../../BENCH_obs.json", Schema::Obs),
+            ("../../BENCH_re_engine.json", Schema::ReEngine),
+        ] {
+            let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&full).expect("baseline exists");
+            let doc = parse(&text).expect("baseline parses");
+            assert_eq!(detect_schema(&doc), schema, "{path}");
+            let errors = check_schema(&doc, schema);
+            assert!(errors.is_empty(), "{path}: {errors:?}");
+            // Self-diff must be clean: the gate's fixed point.
+            assert!(diff(&doc, &doc, DiffOptions::default()).is_clean());
+        }
+    }
+}

@@ -227,13 +227,19 @@ pub fn volume() -> Table {
         let cinput = lcl::uniform_input(&cycle);
         let cids = IdAssignment::random_polynomial(n, 3, u64::from(exp));
 
-        let const_probes = run_volume(&ConstProbe, &cycle, &cinput, &cids, None).max_probes;
-        let cv_probes = run_volume(&CvProbeColoring, &cycle, &cinput, &cids, None).max_probes;
+        let const_probes = run_volume(&ConstProbe, &cycle, &cinput, &cids, None)
+            .expect("in budget")
+            .max_probes;
+        let cv_probes = run_volume(&CvProbeColoring, &cycle, &cinput, &cids, None)
+            .expect("in budget")
+            .max_probes;
 
         let path = gen::path(n);
         let pinput = lcl::uniform_input(&path);
         let pids = IdAssignment::random_polynomial(n, 3, u64::from(exp) + 1);
-        let walk_probes = run_volume(&TwoColorProbes, &path, &pinput, &pids, None).max_probes;
+        let walk_probes = run_volume(&TwoColorProbes, &path, &pinput, &pids, None)
+            .expect("in budget")
+            .max_probes;
 
         table.row(cells!(
             n,

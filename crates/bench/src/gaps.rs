@@ -224,14 +224,15 @@ pub fn volume_gap() -> Table {
         let g = gen::cycle(n);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::random_polynomial(n, 3, n as u64);
-        let fooled = run_fooled_volume(&LocalMinProbe, 16, &g, &input, &ids);
+        let fooled = run_fooled_volume(&LocalMinProbe, 16, &g, &input, &ids).expect("in budget");
         let plain = lcl_volume::run_volume(
             &lcl_core::speedup_volume::TranscriptAsVolume(LocalMinProbe),
             &g,
             &input,
             &ids,
             None,
-        );
+        )
+        .expect("in budget");
         table.row(cells!(
             n,
             fooled.max_probes,

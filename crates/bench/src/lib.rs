@@ -28,10 +28,17 @@
 //!
 //! Run everything with `cargo bench -p lcl-bench --bench figures`; the
 //! microbenchmarks of the hot paths live in `--bench micro`.
+//!
+//! The committed baselines are *gated*: the `bench-diff` binary
+//! ([`json`] + [`diff`]) compares a fresh report against the committed
+//! one — counters bit-exact, wall times within tolerance — and exits
+//! nonzero on any regression. `scripts/check.sh` runs it.
 
+pub mod diff;
 pub mod fig1;
 pub mod gaps;
 pub mod grid_algos;
+pub mod json;
 pub mod obs_report;
 pub mod re_engine;
 pub mod table;

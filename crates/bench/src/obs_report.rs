@@ -99,19 +99,22 @@ fn collect_volume(reg: &Registry) {
     let cinput = lcl::uniform_input(&cycle);
     let cids = IdAssignment::random_polynomial(n, 3, 4);
 
-    let o1 = lcl_volume::simulate(&ConstProbe, &cycle, &cinput, &cids, None);
+    let o1 = lcl_volume::simulate(&ConstProbe, &cycle, &cinput, &cids, None).expect("in budget");
     reg.record("E4/volume/const-probe", o1.trace);
-    let cv = lcl_volume::simulate(&CvProbeColoring, &cycle, &cinput, &cids, None);
+    let cv =
+        lcl_volume::simulate(&CvProbeColoring, &cycle, &cinput, &cids, None).expect("in budget");
     reg.record("E4/volume/cv-coloring", cv.trace);
 
     let path = gen::path(n);
     let pinput = lcl::uniform_input(&path);
     let pids = IdAssignment::random_polynomial(n, 3, 5);
-    let walk = lcl_volume::simulate(&TwoColorProbes, &path, &pinput, &pids, None);
+    let walk =
+        lcl_volume::simulate(&TwoColorProbes, &path, &pinput, &pids, None).expect("in budget");
     reg.record("E4/volume/two-color-walk", walk.trace);
 
     let lca_ids = IdAssignment::from_vec((1..=n as u64).collect());
-    let lca = lcl_volume::simulate_lca(&VolumeAsLca(ConstProbe), &path, &pinput, &lca_ids);
+    let lca = lcl_volume::simulate_lca(&VolumeAsLca(ConstProbe), &path, &pinput, &lca_ids)
+        .expect("in budget");
     reg.record("E4/lca/const-probe", lca.trace);
 }
 

@@ -10,7 +10,7 @@
 
 use lcl::OutLabel;
 use lcl_problems::cv::{cv_iteration_count, cv_step};
-use lcl_volume::{ProbeSession, VolumeAlgorithm};
+use lcl_volume::{ProbeError, ProbeSession, VolumeAlgorithm};
 
 /// A 1-probe algorithm: is my degree at least my port-0 neighbor's?
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -21,10 +21,13 @@ impl VolumeAlgorithm for ConstProbe {
         1
     }
 
-    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel> {
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError> {
         let me = session.queried().clone();
-        let neighbor = session.probe(0, 0);
-        vec![OutLabel(u32::from(me.degree >= neighbor.degree)); me.degree as usize]
+        let neighbor = session.probe(0, 0)?;
+        Ok(vec![
+            OutLabel(u32::from(me.degree >= neighbor.degree));
+            me.degree as usize
+        ])
     }
 
     fn name(&self) -> &str {
@@ -50,7 +53,7 @@ impl VolumeAlgorithm for CvProbeColoring {
         Self::probes(n)
     }
 
-    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel> {
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError> {
         let n = session.n();
         let k = cv_iteration_count(3 * (usize::BITS - n.leading_zeros()).max(1)) as usize;
         let degree = session.queried().degree as usize;
@@ -58,7 +61,7 @@ impl VolumeAlgorithm for CvProbeColoring {
         let mut right_ids = Vec::with_capacity(k + 4);
         let mut j = 0usize; // transcript index of the rightmost node
         for _ in 0..(k + 4).min(n - 1) {
-            let info = session.probe(j, 1);
+            let info = session.probe(j, 1)?;
             j = session.discovered_count() - 1;
             right_ids.push(info.id);
         }
@@ -87,12 +90,12 @@ impl VolumeAlgorithm for CvProbeColoring {
                     .collect();
                 colors = next;
             }
-            return vec![OutLabel(colors[0] as u32); degree];
+            return Ok(vec![OutLabel(colors[0] as u32); degree]);
         }
         let mut left_ids = Vec::with_capacity(3);
         let mut jl = 0usize;
         for _ in 0..3.min(n.saturating_sub(1).saturating_sub(right_ids.len())) {
-            let info = session.probe(jl, 0);
+            let info = session.probe(jl, 0)?;
             jl = session.discovered_count() - 1;
             left_ids.push(info.id);
         }
@@ -130,7 +133,7 @@ impl VolumeAlgorithm for CvProbeColoring {
             }
             colors = next;
         }
-        vec![OutLabel(colors[offset] as u32); degree]
+        Ok(vec![OutLabel(colors[offset] as u32); degree])
     }
 
     fn name(&self) -> &str {
@@ -147,7 +150,7 @@ impl VolumeAlgorithm for TwoColorProbes {
         n
     }
 
-    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel> {
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError> {
         let degree = session.queried().degree as usize;
         // Walk to BOTH endpoints, tracking the arrival port so the walk
         // never turns around; color by the parity of the distance to the
@@ -156,18 +159,18 @@ impl VolumeAlgorithm for TwoColorProbes {
         let me = session.queried().clone();
         if me.degree == 1 {
             // An endpoint: walk once to learn the other endpoint's id.
-            let (other_end, dist) = walk_to_end(session, 0, 0);
+            let (other_end, dist) = walk_to_end(session, 0, 0)?;
             let color = if me.id < other_end { 0 } else { dist % 2 };
-            return vec![OutLabel(color); degree];
+            return Ok(vec![OutLabel(color); degree]);
         }
-        let (end_a, dist_a) = walk_to_end(session, 0, 0);
-        let (end_b, dist_b) = walk_to_end(session, 0, 1);
+        let (end_a, dist_a) = walk_to_end(session, 0, 0)?;
+        let (end_b, dist_b) = walk_to_end(session, 0, 1)?;
         let color = if end_a < end_b {
             dist_a % 2
         } else {
             dist_b % 2
         };
-        vec![OutLabel(color); degree]
+        Ok(vec![OutLabel(color); degree])
     }
 
     fn name(&self) -> &str {
@@ -178,16 +181,20 @@ impl VolumeAlgorithm for TwoColorProbes {
 /// Walks from discovered node `start` through `first_port`, continuing
 /// straight (never back through the arrival port) until a degree-1 node;
 /// returns its id and the number of steps taken.
-fn walk_to_end(session: &mut ProbeSession<'_>, start: usize, first_port: u8) -> (u64, u32) {
+fn walk_to_end(
+    session: &mut ProbeSession<'_>,
+    start: usize,
+    first_port: u8,
+) -> Result<(u64, u32), ProbeError> {
     let mut j = start;
     let mut port = first_port;
     let mut steps = 0u32;
     loop {
-        let (info, arrival) = session.probe_with_arrival(j, port);
+        let (info, arrival) = session.probe_with_arrival(j, port)?;
         j = session.discovered_count() - 1;
         steps += 1;
         if info.degree == 1 {
-            return (info.id, steps);
+            return Ok((info.id, steps));
         }
         // Continue through the other port (degree-2 interior node).
         port = 1 - arrival;
@@ -207,7 +214,7 @@ mod tests {
         let g = gen::cycle(10);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(10);
-        let run = run_volume(&ConstProbe, &g, &input, &ids, None);
+        let run = run_volume(&ConstProbe, &g, &input, &ids, None).expect("in budget");
         assert_eq!(run.max_probes, 1);
     }
 
@@ -218,7 +225,7 @@ mod tests {
             let g = gen::cycle(n);
             let input = lcl::uniform_input(&g);
             let ids = IdAssignment::random_polynomial(n, 3, n as u64);
-            let run = run_volume(&CvProbeColoring, &g, &input, &ids, None);
+            let run = run_volume(&CvProbeColoring, &g, &input, &ids, None).expect("in budget");
             let violations = lcl::verify(&problem, &g, &input, &run.output);
             assert!(violations.is_empty(), "n={n}: {violations:?}");
             assert!(run.max_probes <= CvProbeColoring::probes(n));
@@ -233,7 +240,7 @@ mod tests {
             let g = gen::path(n);
             let input = lcl::uniform_input(&g);
             let ids = IdAssignment::sequential(n);
-            let run = run_volume(&TwoColorProbes, &g, &input, &ids, None);
+            let run = run_volume(&TwoColorProbes, &g, &input, &ids, None).expect("in budget");
             let violations = lcl::verify(&problem, &g, &input, &run.output);
             assert!(violations.is_empty(), "n={n}: {violations:?}");
             // The right end of the path walks all the way: Θ(n).

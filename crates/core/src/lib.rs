@@ -60,6 +60,8 @@ pub use interner::LabelInterner;
 pub use lemma33::{run_lemma33, Lemma33Case, Lemma33Run};
 pub use lift::LiftedAlgorithm;
 pub use speedup_local::{run_fooled_local, FooledOrderInvariant};
-pub use speedup_trees::{tree_speedup, tree_speedup_traced, SpeedupOptions, SpeedupOutcome};
+pub use speedup_trees::{
+    tree_speedup, tree_speedup_logged, tree_speedup_traced, SpeedupOptions, SpeedupOutcome,
+};
 pub use tower::{LayerKind, LevelStats, ReError, ReOptions, ReTower, TowerLevel};
 pub use zero_round::{decide_zero_round, ZeroRoundAlgorithm, ZeroRoundResult};

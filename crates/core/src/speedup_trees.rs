@@ -19,8 +19,10 @@
 //! This module also contains the Lemma 3.3 transfer: an algorithm that
 //! works on trees, run component-wise on forests.
 
+use std::sync::Arc;
+
 use lcl::{LclProblem, Problem};
-use lcl_obs::{Counter, RunReport, Span, Trace};
+use lcl_obs::{Counter, EventLog, RunReport, Span, Trace};
 
 use crate::lift::LiftedAlgorithm;
 use crate::tower::{ReError, ReOptions, ReTower};
@@ -112,8 +114,22 @@ pub fn tree_speedup_traced(
     problem: &LclProblem,
     opts: SpeedupOptions,
 ) -> RunReport<SpeedupOutcome> {
+    tree_speedup_logged(problem, opts, None)
+}
+
+/// Like [`tree_speedup_traced`], with the tower's event stream — memo
+/// lookups, level completions ([`lcl_obs::Event`]) — recorded into `log`
+/// and carried on the returned report ([`RunReport::events`]).
+pub fn tree_speedup_logged(
+    problem: &LclProblem,
+    opts: SpeedupOptions,
+    log: Option<Arc<EventLog>>,
+) -> RunReport<SpeedupOutcome> {
     let mut span = Span::start(format!("tree-speedup/{}", problem.name()));
     let mut tower = ReTower::new(problem.clone());
+    if let Some(log) = &log {
+        tower.set_event_log(Arc::clone(log));
+    }
     let mut capped = None;
     let mut steps_tried = 0;
     let mut fixpoint = None;
@@ -181,7 +197,11 @@ pub fn tree_speedup_traced(
             fixpoint,
         }
     };
-    RunReport::new(outcome, Trace::new(span.finish()))
+    let trace = Trace::new(span.finish());
+    match log {
+        Some(log) => RunReport::with_events(outcome, trace, log),
+        None => RunReport::new(outcome, trace),
+    }
 }
 
 /// Runs the Theorem 3.10/3.11 synthesis pipeline on `problem`.

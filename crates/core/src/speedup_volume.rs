@@ -16,7 +16,7 @@
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::Graph;
 use lcl_local::IdAssignment;
-use lcl_volume::{run_volume, NodeInfo, ProbeSession, VolumeAlgorithm, VolumeRun};
+use lcl_volume::{run_volume, NodeInfo, ProbeError, ProbeSession, VolumeAlgorithm, VolumeRun};
 
 /// One step of a transcript-functional VOLUME algorithm: either the next
 /// adaptive probe `(j, port)` or the final answer.
@@ -58,15 +58,15 @@ impl<A: TranscriptAlgorithm> VolumeAlgorithm for TranscriptAsVolume<A> {
         self.0.probe_budget(n)
     }
 
-    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel> {
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError> {
         let mut transcript = vec![session.queried().clone()];
         loop {
             match self.0.decide(session.n(), &transcript) {
                 ProbeDecision::Probe { j, port } => {
-                    let info = session.probe(j, port);
+                    let info = session.probe(j, port)?;
                     transcript.push(info);
                 }
-                ProbeDecision::Output(labels) => return labels,
+                ProbeDecision::Output(labels) => return Ok(labels),
             }
         }
     }
@@ -145,13 +145,18 @@ impl<A: TranscriptAlgorithm> TranscriptAlgorithm for Fooled<A> {
 
 /// Runs the full Theorem 4.1 pipeline object
 /// `fool(Canonicalized(A), n₀)` over a graph.
+///
+/// # Errors
+///
+/// Propagates the first [`ProbeError`] of any query — a fooled algorithm
+/// that probes past its capped budget surfaces here instead of panicking.
 pub fn run_fooled_volume<A>(
     alg: &A,
     n0: usize,
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
-) -> VolumeRun
+) -> Result<VolumeRun, ProbeError>
 where
     A: TranscriptAlgorithm + Clone,
 {
@@ -192,7 +197,8 @@ mod tests {
         let g = gen::cycle(8);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::from_vec(vec![5, 3, 9, 1, 7, 2, 8, 6]);
-        let run = run_volume(&TranscriptAsVolume(LocalMin), &g, &input, &ids, None);
+        let run =
+            run_volume(&TranscriptAsVolume(LocalMin), &g, &input, &ids, None).expect("in budget");
         assert_eq!(run.max_probes, 2);
         // Node 3 (id 1) is a local min; node 0 (id 5) is not.
         let h = g.half_edge(lcl_graph::NodeId(3), 0);
@@ -206,14 +212,16 @@ mod tests {
         let g = gen::cycle(8);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::random_polynomial(8, 3, 4);
-        let raw = run_volume(&TranscriptAsVolume(LocalMin), &g, &input, &ids, None);
+        let raw =
+            run_volume(&TranscriptAsVolume(LocalMin), &g, &input, &ids, None).expect("in budget");
         let canon = run_volume(
             &TranscriptAsVolume(Canonicalized(LocalMin)),
             &g,
             &input,
             &ids,
             None,
-        );
+        )
+        .expect("in budget");
         assert_eq!(raw.output, canon.output);
     }
 
@@ -267,9 +275,10 @@ mod tests {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(64);
         // ...is capped at T(n₀) by fooling.
-        let run = run_fooled_volume(&Growing, 8, &g, &input, &ids);
+        let run = run_fooled_volume(&Growing, 8, &g, &input, &ids).expect("in budget");
         assert_eq!(run.max_probes, 4);
-        let raw = run_volume(&TranscriptAsVolume(Growing), &g, &input, &ids, None);
+        let raw =
+            run_volume(&TranscriptAsVolume(Growing), &g, &input, &ids, None).expect("in budget");
         assert_eq!(raw.max_probes, 32);
     }
 
@@ -280,8 +289,9 @@ mod tests {
         let g = gen::cycle(16);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::random_polynomial(16, 3, 9);
-        let plain = run_volume(&TranscriptAsVolume(LocalMin), &g, &input, &ids, None);
-        let fooled = run_fooled_volume(&LocalMin, 4, &g, &input, &ids);
+        let plain =
+            run_volume(&TranscriptAsVolume(LocalMin), &g, &input, &ids, None).expect("in budget");
+        let fooled = run_fooled_volume(&LocalMin, 4, &g, &input, &ids).expect("in budget");
         assert_eq!(plain.output, fooled.output);
         assert_eq!(fooled.max_probes, 2);
     }

@@ -54,11 +54,11 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use lcl::{InLabel, LclProblem, OutLabel, Problem};
-use lcl_obs::{Counter, Span, SpanRecord, Trace};
+use lcl_obs::{Counter, Event, EventLog, Span, SpanRecord, Trace};
 
 use crate::bits::{for_each_multiset, BitSet};
 use crate::interner::LabelInterner;
@@ -283,6 +283,9 @@ pub struct ReTower {
     tables: Vec<Option<LevelTable>>,
     /// Memo table for node-constraint queries `(level, sorted labels)`.
     node_cache: Mutex<NodeCache>,
+    /// Optional event sink: memo lookups and level completions are
+    /// recorded here when attached (see [`ReTower::set_event_log`]).
+    event_log: Option<Arc<EventLog>>,
 }
 
 impl Clone for ReTower {
@@ -300,6 +303,7 @@ impl Clone for ReTower {
                 queries: cache.queries,
                 inserted: cache.inserted,
             }),
+            event_log: self.event_log.clone(),
         }
     }
 }
@@ -334,7 +338,22 @@ impl ReTower {
             spans: Vec::new(),
             tables: vec![None],
             node_cache: Mutex::new(NodeCache::default()),
+            event_log: None,
         }
+    }
+
+    /// Attaches an [`EventLog`]: subsequent memoized node-constraint
+    /// lookups record [`Event::MemoLookup`] and each completed
+    /// round-elimination step records [`Event::LevelComplete`]. Use the
+    /// log's sampling knob to tame high-traffic memo events. Detached
+    /// (the default) the tower emits nothing.
+    pub fn set_event_log(&mut self, log: Arc<EventLog>) {
+        self.event_log = Some(log);
+    }
+
+    /// Detaches the event log, restoring the zero-overhead default.
+    pub fn clear_event_log(&mut self) {
+        self.event_log = None;
     }
 
     /// The base problem (level 0).
@@ -472,8 +491,15 @@ impl ReTower {
             let mut cache = self.node_cache.lock().expect("cache lock");
             cache.queries += 1;
             if let Some(&hit) = cache.map.get(&key) {
+                drop(cache);
+                if let Some(log) = &self.event_log {
+                    log.record(Event::MemoLookup { hit: true });
+                }
                 return hit;
             }
+        }
+        if let Some(log) = &self.event_log {
+            log.record(Event::MemoLookup { hit: false });
         }
         // The lock is NOT held while computing: the recursion below
         // re-enters this function for parent levels.
@@ -720,6 +746,13 @@ impl ReTower {
             span.set(Counter::FixpointOf, earlier as u64);
         }
         self.spans.push(span.finish());
+        if let Some(log) = &self.event_log {
+            log.record(Event::LevelComplete {
+                level: level as u64,
+                labels: self.alphabet_size(level) as u64,
+                configs: configurations,
+            });
+        }
         Ok(())
     }
 
@@ -979,6 +1012,50 @@ mod tests {
             .unwrap();
         // All nonempty subsets of {A, B, C}.
         assert_eq!(tower.alphabet_size(1), 7);
+    }
+
+    #[test]
+    fn event_log_records_memo_traffic_and_level_completions() {
+        let mut tower = ReTower::new(three_coloring());
+        let log = Arc::new(EventLog::new(4096));
+        tower.set_event_log(Arc::clone(&log));
+        tower.push_f(ReOptions::default()).unwrap();
+        let events = log.events();
+        let completions: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::LevelComplete { .. }))
+            .collect();
+        assert_eq!(completions.len(), 2, "one per pushed level");
+        assert!(matches!(
+            completions[0],
+            Event::LevelComplete { level: 1, .. }
+        ));
+        assert!(matches!(
+            completions[1],
+            Event::LevelComplete { level: 2, .. }
+        ));
+        // Memo lookups mirror the scheduling-independent counters when
+        // nothing was sampled away or evicted.
+        let (hits, misses) = tower.node_cache_counters();
+        let logged_hits = events
+            .iter()
+            .filter(|e| matches!(e, Event::MemoLookup { hit: true }))
+            .count() as u64;
+        let logged_lookups = events
+            .iter()
+            .filter(|e| matches!(e, Event::MemoLookup { .. }))
+            .count() as u64;
+        assert_eq!(log.dropped(), 0, "capacity was large enough");
+        assert_eq!(logged_lookups, hits + misses);
+        assert!(logged_hits <= hits, "a racing miss may later hit");
+        // A clone carries the same sink; detaching restores silence.
+        let mut fresh = ReTower::new(three_coloring());
+        fresh.set_event_log(Arc::clone(&log));
+        let mut clone = fresh.clone();
+        clone.clear_event_log();
+        let before = log.seen();
+        clone.push_r(ReOptions::default()).unwrap();
+        assert_eq!(log.seen(), before);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub use grid::OrientedGrid;
 pub use ids::ProdIds;
 pub use run::{
     is_empirically_order_invariant_prod, run_order_invariant_prod, run_prod_local, simulate,
-    FnProdAlgorithm, OrderInvariantProdAlgorithm, ProdLocalAlgorithm, ProdRun,
+    simulate_prod_logged, FnProdAlgorithm, OrderInvariantProdAlgorithm, ProdLocalAlgorithm,
+    ProdRun,
 };
 pub use view::{GridView, RankGridView};

@@ -1,7 +1,7 @@
 //! Executing PROD-LOCAL algorithms on oriented grids.
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
-use lcl_obs::{Counter, RunReport, Span, Trace};
+use lcl_obs::{Counter, Event, EventLog, RunReport, Span, Trace};
 
 use crate::grid::OrientedGrid;
 use crate::ids::ProdIds;
@@ -113,6 +113,19 @@ pub fn simulate(
     ids: &ProdIds,
     n_announced: Option<usize>,
 ) -> RunReport<ProdRun> {
+    simulate_prod_logged(alg, grid, input, ids, n_announced, None)
+}
+
+/// Like [`simulate`], with every window materialization recorded as an
+/// [`Event::ViewMaterialized`] into the given [`EventLog`].
+pub fn simulate_prod_logged(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> RunReport<ProdRun> {
     let n = n_announced.unwrap_or_else(|| grid.node_count());
     let radius = alg.radius(n);
     let mut span = Span::start(format!("prod-local/{}", alg.name()));
@@ -122,6 +135,14 @@ pub fn simulate(
     let output = HalfEdgeLabeling::from_node_fn(grid.graph(), |v| {
         let view = build_view(grid, input, ids, v, radius, n);
         view_nodes += window;
+        span.observe(Counter::ViewNodes, window);
+        if let Some(log) = log {
+            log.record(Event::ViewMaterialized {
+                node: v.index() as u64,
+                radius: u64::from(radius),
+                size: window,
+            });
+        }
         let labels = alg.label(&view);
         assert_eq!(
             labels.len(),
@@ -359,6 +380,34 @@ mod tests {
         // Each radius-1 window on a 2-torus has 3^2 = 9 nodes.
         assert_eq!(report.trace.total(Counter::ViewNodes), 20 * 9);
         assert_eq!(report.outcome.radius, 1);
+    }
+
+    #[test]
+    fn simulate_prod_logged_records_window_events() {
+        use lcl_obs::{Event, EventLog};
+        let grid = OrientedGrid::new(&[4, 5]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        let alg = FnProdAlgorithm::new("const", |_| 1, |view| vec![OutLabel(0); 2 * view.d]);
+        let log = EventLog::new(64);
+        let report = simulate_prod_logged(&alg, &grid, &input, &ids, None, Some(&log));
+        let events = log.events();
+        assert_eq!(events.len(), 20);
+        assert_eq!(
+            events[0],
+            Event::ViewMaterialized {
+                node: 0,
+                radius: 1,
+                size: 9,
+            }
+        );
+        let hist = report
+            .trace
+            .root()
+            .histogram(Counter::ViewNodes)
+            .expect("histogram recorded");
+        assert_eq!(hist.count(), 20);
+        assert_eq!(hist.sum(), 20 * 9);
     }
 
     #[test]

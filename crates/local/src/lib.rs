@@ -56,7 +56,10 @@ pub use order_invariant::{
 };
 pub use run::{
     estimate_local_failure, estimate_local_failure_parallel, run_deterministic, run_randomized,
-    simulate, simulate_randomized, FailureEstimate, LocalRun,
+    simulate, simulate_logged, simulate_randomized, simulate_randomized_logged, FailureEstimate,
+    LocalRun,
 };
-pub use sync::{run_sync, run_sync_with, simulate_sync, NodeInit, SyncAlgorithm, SyncRun};
+pub use sync::{
+    run_sync, run_sync_with, simulate_sync, simulate_sync_logged, NodeInit, SyncAlgorithm, SyncRun,
+};
 pub use view::View;

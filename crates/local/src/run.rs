@@ -4,7 +4,7 @@ use lcl_rng::SmallRng;
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
 use lcl_graph::Graph;
-use lcl_obs::{Counter, RunReport, Span, Trace};
+use lcl_obs::{Counter, Event, EventLog, RunReport, Span, Trace};
 
 use crate::algorithm::LocalAlgorithm;
 use crate::ids::IdAssignment;
@@ -88,13 +88,35 @@ pub fn simulate(
     ids: &IdAssignment,
     n_announced: Option<usize>,
 ) -> RunReport<LocalRun> {
+    simulate_logged(alg, graph, input, ids, n_announced, None)
+}
+
+/// Like [`simulate`], with every view materialization recorded as an
+/// [`Event::ViewMaterialized`] into the given [`EventLog`].
+pub fn simulate_logged(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> RunReport<LocalRun> {
     assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
     let n = n_announced.unwrap_or_else(|| graph.node_count());
     let mut span = Span::start(format!("local/deterministic/{}", alg.name()));
     let mut view_nodes = 0u64;
+    let radius = alg.radius(n);
     let run = run_with(alg, graph, input, n, |ball| {
         view_nodes += ball.nodes.len() as u64;
-        let ids = ball.nodes.iter().map(|b| ids.id(b.original)).collect();
+        span.observe(Counter::ViewNodes, ball.nodes.len() as u64);
+        let ids: Vec<u64> = ball.nodes.iter().map(|b| ids.id(b.original)).collect();
+        if let Some(log) = log {
+            log.record(Event::ViewMaterialized {
+                node: ids[0],
+                radius: u64::from(radius),
+                size: ball.nodes.len() as u64,
+            });
+        }
         (ids, Vec::new())
     });
     seal_local_span(&mut span, graph, &run, view_nodes);
@@ -115,14 +137,38 @@ pub fn simulate_randomized(
     seed: u64,
     n_announced: Option<usize>,
 ) -> RunReport<LocalRun> {
+    simulate_randomized_logged(alg, graph, input, seed, n_announced, None)
+}
+
+/// Like [`simulate_randomized`], with every view materialization recorded
+/// as an [`Event::ViewMaterialized`] into the given [`EventLog`]. Since
+/// randomized algorithms see no identifiers, the event's `node` field is
+/// the node's index in the graph.
+pub fn simulate_randomized_logged(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    seed: u64,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> RunReport<LocalRun> {
     let n = n_announced.unwrap_or_else(|| graph.node_count());
     // Pre-draw one 64-bit string per node.
     let mut rng = SmallRng::seed_from_u64(seed);
     let bits: Vec<u64> = (0..graph.node_count()).map(|_| rng.gen()).collect();
     let mut span = Span::start(format!("local/randomized/{}", alg.name()));
     let mut view_nodes = 0u64;
+    let radius = alg.radius(n);
     let run = run_with(alg, graph, input, n, |ball| {
         view_nodes += ball.nodes.len() as u64;
+        span.observe(Counter::ViewNodes, ball.nodes.len() as u64);
+        if let Some(log) = log {
+            log.record(Event::ViewMaterialized {
+                node: ball.nodes[0].original.index() as u64,
+                radius: u64::from(radius),
+                size: ball.nodes.len() as u64,
+            });
+        }
         let bits = ball
             .nodes
             .iter()
@@ -477,6 +523,47 @@ mod tests {
         // Radius-1 balls on a 4-path: 2 + 3 + 3 + 2 nodes.
         assert_eq!(trace.total(Counter::ViewNodes), 10);
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn simulate_logged_records_view_events() {
+        use lcl_obs::{Event, EventLog};
+        let g = gen::path(4);
+        let alg = FnAlgorithm::new(
+            "radius-1",
+            |_| 1,
+            |view| vec![OutLabel(0); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let log = EventLog::new(64);
+        let report = simulate_logged(&alg, &g, &input, &ids, None, Some(&log));
+        let events = log.events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events[0],
+            Event::ViewMaterialized {
+                node: ids.id(lcl_graph::NodeId(0)),
+                radius: 1,
+                size: 2,
+            }
+        );
+        let total: u64 = events
+            .iter()
+            .map(|e| match e {
+                Event::ViewMaterialized { size, .. } => *size,
+                _ => panic!("unexpected event {e:?}"),
+            })
+            .sum();
+        assert_eq!(total, report.trace.total(Counter::ViewNodes));
+        // Per-query ball sizes land in the ViewNodes histogram.
+        let hist = report
+            .trace
+            .root()
+            .histogram(Counter::ViewNodes)
+            .expect("histogram recorded");
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.sum(), 10);
     }
 
     #[test]

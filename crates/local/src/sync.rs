@@ -10,7 +10,7 @@
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::{Graph, NodeId};
-use lcl_obs::{Counter, RunReport, Span, Trace};
+use lcl_obs::{Counter, Event, EventLog, RunReport, Span, Trace};
 
 /// The information a node starts with (before any communication).
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -110,11 +110,39 @@ pub fn simulate_sync<A: SyncAlgorithm>(
     n_announced: Option<usize>,
     max_rounds: u32,
 ) -> RunReport<SyncRun> {
+    simulate_sync_logged(alg, graph, input, ids, n_announced, max_rounds, None)
+}
+
+/// Like [`simulate_sync`], with round boundaries recorded into an
+/// [`EventLog`]: an [`Event::RoundStart`] before each send phase and an
+/// [`Event::RoundEnd`] (with the round's message count) after delivery.
+///
+/// # Panics
+///
+/// As [`run_sync`].
+pub fn simulate_sync_logged<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+    log: Option<&EventLog>,
+) -> RunReport<SyncRun> {
     let mut span = Span::start(format!("local/sync/{}", alg.name()));
     let mut messages = 0u64;
-    let run = run_sync_with(alg, graph, input, ids, n_announced, max_rounds, |_| {
-        messages += 1;
-    });
+    let run = run_sync_core(
+        alg,
+        graph,
+        input,
+        ids,
+        n_announced,
+        max_rounds,
+        |_| {
+            messages += 1;
+        },
+        log,
+    );
     span.set(Counter::Nodes, graph.node_count() as u64);
     span.set(Counter::Edges, graph.edge_count() as u64);
     span.set(Counter::Rounds, u64::from(run.rounds));
@@ -136,7 +164,30 @@ pub fn run_sync_with<A: SyncAlgorithm>(
     ids: &[u64],
     n_announced: Option<usize>,
     max_rounds: u32,
+    observe: impl FnMut(&A::Msg),
+) -> SyncRun {
+    run_sync_core(
+        alg,
+        graph,
+        input,
+        ids,
+        n_announced,
+        max_rounds,
+        observe,
+        None,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sync_core<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
     mut observe: impl FnMut(&A::Msg),
+    log: Option<&EventLog>,
 ) -> SyncRun {
     assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
     let n = n_announced.unwrap_or_else(|| graph.node_count());
@@ -164,6 +215,11 @@ pub fn run_sync_with<A: SyncAlgorithm>(
             "algorithm {} did not halt within {max_rounds} rounds",
             alg.name()
         );
+        if let Some(log) = log {
+            log.record(Event::RoundStart {
+                round: u64::from(rounds),
+            });
+        }
         // Send phase: collect all outboxes first (synchronous semantics).
         let outboxes: Vec<Vec<A::Msg>> = graph
             .nodes()
@@ -193,6 +249,12 @@ pub fn run_sync_with<A: SyncAlgorithm>(
                 })
                 .collect();
             alg.receive(&mut states[v.index()], &inbox, rounds);
+        }
+        if let Some(log) = log {
+            log.record(Event::RoundEnd {
+                round: u64::from(rounds),
+                messages: outboxes.iter().map(|o| o.len() as u64).sum(),
+            });
         }
         rounds += 1;
     }
@@ -311,6 +373,30 @@ mod tests {
         // 8-path: 14 port messages per round, 3 rounds.
         assert_eq!(report.trace.total(Counter::Messages), 42);
         assert_eq!(report.trace.total(Counter::Nodes), 8);
+    }
+
+    #[test]
+    fn simulate_sync_logged_brackets_every_round() {
+        let g = gen::path(8);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        let log = EventLog::new(64);
+        let report =
+            simulate_sync_logged(&FloodMax { k: 3 }, &g, &input, &ids, None, 100, Some(&log));
+        assert_eq!(report.outcome.rounds, 3);
+        let events = log.events();
+        assert_eq!(events.len(), 6); // start + end per round
+        assert_eq!(events[0], Event::RoundStart { round: 0 });
+        assert_eq!(
+            events[5],
+            Event::RoundEnd {
+                round: 2,
+                messages: 14
+            }
+        );
+        // The logged run's trace is identical to the unlogged one.
+        let plain = simulate_sync(&FloodMax { k: 3 }, &g, &input, &ids, None, 100);
+        assert_eq!(report.trace.fingerprint(), plain.trace.fingerprint());
     }
 
     #[test]

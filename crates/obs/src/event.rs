@@ -1,0 +1,359 @@
+//! Event-sourced execution logs.
+//!
+//! A [`Trace`](crate::Trace) aggregates; an [`EventLog`] remembers the
+//! *sequence*. Simulators emit typed [`Event`]s — round boundaries,
+//! individual probes, view materializations, memo traffic, finished
+//! round-elimination levels — into a bounded, thread-safe ring buffer.
+//!
+//! Logging is strictly opt-in: every instrumented entrypoint takes an
+//! `Option<&EventLog>` (or an `Arc<EventLog>` setter) and the default is
+//! `None`, so the uninstrumented hot path pays a single branch. A
+//! sampling knob (`with_sampling`) thins high-frequency streams such as
+//! memo lookups without losing the totals: `seen()` always counts every
+//! emission, sampled or not.
+//!
+//! Events never participate in [`Trace::fingerprint`](crate::Trace::fingerprint):
+//! under parallel execution their interleaving is scheduling-dependent,
+//! so they are a debugging/visualization stream, not a determinism
+//! oracle.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One thing that happened during a simulation, at event granularity.
+///
+/// Variants mirror the instrumented layers: the LOCAL sync executor
+/// (rounds), the VOLUME/LCA probe session (probes), the LOCAL and
+/// PROD-LOCAL view builders (view materializations), and the RE tower
+/// (memo lookups, completed levels).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A synchronous round is about to run its send phase.
+    RoundStart {
+        /// Zero-based round index.
+        round: u64,
+    },
+    /// A synchronous round finished delivering.
+    RoundEnd {
+        /// Zero-based round index.
+        round: u64,
+        /// Messages delivered during this round.
+        messages: u64,
+    },
+    /// A probe issued through a VOLUME/LCA `ProbeSession`.
+    Probe {
+        /// Global id of the node answering the query.
+        query: u64,
+        /// Index of the probed node in the session's discovery order.
+        j: u64,
+        /// Port probed at that node.
+        port: u8,
+    },
+    /// A radius-`T` view (ball or grid window) was materialized.
+    ViewMaterialized {
+        /// Global id (or index) of the view's center node.
+        node: u64,
+        /// View radius.
+        radius: u64,
+        /// Number of nodes in the view.
+        size: u64,
+    },
+    /// The round-elimination node cache was consulted.
+    MemoLookup {
+        /// Whether the lookup hit.
+        hit: bool,
+    },
+    /// A round-elimination level finished.
+    LevelComplete {
+        /// One-based level index in the tower.
+        level: u64,
+        /// Alphabet size after restriction/compaction.
+        labels: u64,
+        /// Allowed configurations at this level.
+        configs: u64,
+    },
+}
+
+impl Event {
+    /// Stable kebab-case tag for this event kind.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RoundStart { .. } => "round-start",
+            Event::RoundEnd { .. } => "round-end",
+            Event::Probe { .. } => "probe",
+            Event::ViewMaterialized { .. } => "view-materialized",
+            Event::MemoLookup { .. } => "memo-lookup",
+            Event::LevelComplete { .. } => "level-complete",
+        }
+    }
+
+    /// One-object JSON rendering (`{"kind": ..., fields...}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "{{\"kind\": \"{}\"", self.kind());
+        match self {
+            Event::RoundStart { round } => {
+                let _ = write!(out, ", \"round\": {round}");
+            }
+            Event::RoundEnd { round, messages } => {
+                let _ = write!(out, ", \"round\": {round}, \"messages\": {messages}");
+            }
+            Event::Probe { query, j, port } => {
+                let _ = write!(out, ", \"query\": {query}, \"j\": {j}, \"port\": {port}");
+            }
+            Event::ViewMaterialized { node, radius, size } => {
+                let _ = write!(
+                    out,
+                    ", \"node\": {node}, \"radius\": {radius}, \"size\": {size}"
+                );
+            }
+            Event::MemoLookup { hit } => {
+                let _ = write!(out, ", \"hit\": {hit}");
+            }
+            Event::LevelComplete {
+                level,
+                labels,
+                configs,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"level\": {level}, \"labels\": {labels}, \"configs\": {configs}"
+                );
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    buf: VecDeque<Event>,
+    /// Every emission, whether sampled in or not.
+    seen: u64,
+    /// Events evicted from the ring after being stored.
+    dropped: u64,
+}
+
+/// A bounded, thread-safe log of [`Event`]s.
+///
+/// The log is a ring buffer: once `capacity` events are stored, each new
+/// stored event evicts the oldest (`dropped()` counts evictions). With a
+/// sampling period `p` (see [`EventLog::with_sampling`]), only every
+/// `p`-th emission is stored; `seen()` still counts all of them.
+///
+/// All methods take `&self`; the log is safe to share across the scoped
+/// worker threads used by the parallel RE engine. A poisoned lock is
+/// recovered, not propagated — an event log must never turn one
+/// panicking worker into a cascade.
+#[derive(Debug)]
+pub struct EventLog {
+    inner: Mutex<Ring>,
+    capacity: usize,
+    sample: u64,
+}
+
+impl EventLog {
+    /// A log that stores every emitted event, up to `capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self::with_sampling(capacity, 1)
+    }
+
+    /// A log that stores every `sample`-th emission (the first, the
+    /// `sample+1`-th, ...). A `sample` of 0 is treated as 1.
+    pub fn with_sampling(capacity: usize, sample: u64) -> Self {
+        Self {
+            inner: Mutex::new(Ring::default()),
+            capacity,
+            sample: sample.max(1),
+        }
+    }
+
+    fn ring(&self) -> std::sync::MutexGuard<'_, Ring> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Emits one event. Counted always; stored if it falls on the
+    /// sampling grid and (ring permitting) until evicted.
+    pub fn record(&self, event: Event) {
+        let mut ring = self.ring();
+        let index = ring.seen;
+        ring.seen += 1;
+        if !index.is_multiple_of(self.sample) {
+            return;
+        }
+        if self.capacity == 0 {
+            ring.dropped += 1;
+            return;
+        }
+        if ring.buf.len() == self.capacity {
+            ring.buf.pop_front();
+            ring.dropped += 1;
+        }
+        ring.buf.push_back(event);
+    }
+
+    /// Number of events currently stored.
+    pub fn len(&self) -> usize {
+        self.ring().buf.len()
+    }
+
+    /// Whether no events are currently stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Ring capacity this log was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sampling period (1 = store everything).
+    pub fn sampling(&self) -> u64 {
+        self.sample
+    }
+
+    /// Total emissions, stored or not.
+    pub fn seen(&self) -> u64 {
+        self.ring().seen
+    }
+
+    /// Stored events later evicted (plus emissions discarded by a
+    /// zero-capacity ring).
+    pub fn dropped(&self) -> u64 {
+        self.ring().dropped
+    }
+
+    /// A snapshot of the stored events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring().buf.iter().cloned().collect()
+    }
+
+    /// JSON rendering: `{"seen": .., "dropped": .., "events": [..]}`.
+    pub fn to_json(&self) -> String {
+        let ring = self.ring();
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"seen\": {}, \"dropped\": {}, \"events\": [",
+            ring.seen, ring.dropped
+        );
+        for (i, event) in ring.buf.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&event.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order_up_to_capacity() {
+        let log = EventLog::new(3);
+        for round in 0..5 {
+            log.record(Event::RoundStart { round });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.seen(), 5);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(
+            log.events(),
+            vec![
+                Event::RoundStart { round: 2 },
+                Event::RoundStart { round: 3 },
+                Event::RoundStart { round: 4 },
+            ]
+        );
+    }
+
+    #[test]
+    fn sampling_thins_but_counts_everything() {
+        let log = EventLog::with_sampling(100, 3);
+        for round in 0..10 {
+            log.record(Event::RoundStart { round });
+        }
+        assert_eq!(log.seen(), 10);
+        assert_eq!(
+            log.events(),
+            vec![
+                Event::RoundStart { round: 0 },
+                Event::RoundStart { round: 3 },
+                Event::RoundStart { round: 6 },
+                Event::RoundStart { round: 9 },
+            ]
+        );
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let log = EventLog::new(1024);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        log.record(Event::MemoLookup { hit: true });
+                    }
+                });
+            }
+        });
+        assert_eq!(log.len(), 400);
+        assert_eq!(log.seen(), 400);
+    }
+
+    #[test]
+    fn survives_a_poisoned_lock() {
+        let log = EventLog::new(8);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = log.inner.lock().expect("first lock");
+            panic!("poison the event log deliberately");
+        }));
+        assert!(result.is_err());
+        log.record(Event::MemoLookup { hit: false });
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn json_covers_every_variant() {
+        let log = EventLog::new(16);
+        log.record(Event::RoundStart { round: 0 });
+        log.record(Event::RoundEnd {
+            round: 0,
+            messages: 12,
+        });
+        log.record(Event::Probe {
+            query: 7,
+            j: 2,
+            port: 1,
+        });
+        log.record(Event::ViewMaterialized {
+            node: 3,
+            radius: 2,
+            size: 5,
+        });
+        log.record(Event::MemoLookup { hit: true });
+        log.record(Event::LevelComplete {
+            level: 1,
+            labels: 4,
+            configs: 9,
+        });
+        let json = log.to_json();
+        for kind in [
+            "round-start",
+            "round-end",
+            "probe",
+            "view-materialized",
+            "memo-lookup",
+            "level-complete",
+        ] {
+            assert!(json.contains(kind), "missing {kind} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,197 @@
+//! Distribution counters with deterministic power-of-two buckets.
+//!
+//! Totals hide shape: "400 probes over 100 queries" could be a uniform
+//! 4-per-query or one pathological 301-probe query. A [`Histogram`]
+//! keeps the distribution — observed values land in buckets with fixed
+//! boundaries `0, 1, 2, 4, 8, ...` (bucket `i ≥ 1` covers
+//! `[2^(i-1), 2^i - 1]`), so the rendering is a pure function of the
+//! multiset of observations. Order of observation never matters, which
+//! keeps [`Trace::fingerprint`](crate::Trace::fingerprint)
+//! scheduling-independent when histograms are attached to spans.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A bucketed distribution of `u64` observations.
+///
+/// Buckets are powers of two: bucket 0 holds exactly the value 0 and
+/// bucket `i ≥ 1` holds values in `[2^(i-1), 2^i - 1]`. Boundaries are
+/// fixed at the type level — merging or re-observing in any order yields
+/// the identical histogram.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Bucket index → count. Sparse: only non-empty buckets are stored.
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index for a value: 0 for 0, else `floor(log2(v)) + 1`.
+    fn bucket_index(value: u64) -> u32 {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros()
+        }
+    }
+
+    /// Inclusive upper bound of a bucket (`0, 1, 3, 7, 15, ...`).
+    pub fn bucket_upper_bound(index: u32) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        *self.buckets.entry(Self::bucket_index(value)).or_insert(0) += 1;
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Whether nothing has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Non-empty buckets as `(inclusive upper bound, count)`, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .map(|(&i, &c)| (Self::bucket_upper_bound(i), c))
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&i, &c) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += c;
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Canonical one-line rendering used inside trace fingerprints:
+    /// `[le0:c0 le1:c1 ...]|count|sum`.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::from("[");
+        for (i, (le, c)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{le}:{c}");
+        }
+        let _ = write!(out, "]|{}|{}", self.count, self.sum);
+        out
+    }
+
+    /// JSON rendering: `{"count": .., "sum": .., "buckets": {"le": n}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\": {}, \"sum\": {}, \"buckets\": {{",
+            self.count, self.sum
+        );
+        for (i, (le, c)) in self.buckets().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{le}\": {c}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        let pairs = [
+            (0u64, 0u64),
+            (1, 1),
+            (2, 3),
+            (3, 3),
+            (4, 7),
+            (7, 7),
+            (8, 15),
+            (1023, 1023),
+            (1024, 2047),
+        ];
+        for (value, le) in pairs {
+            let mut h = Histogram::new();
+            h.observe(value);
+            assert_eq!(h.buckets().next(), Some((le, 1)), "value {value}");
+        }
+    }
+
+    #[test]
+    fn order_of_observation_is_irrelevant() {
+        let values = [0u64, 5, 17, 17, 2, 900, 1, 0];
+        let mut forward = Histogram::new();
+        let mut backward = Histogram::new();
+        for &v in &values {
+            forward.observe(v);
+        }
+        for &v in values.iter().rev() {
+            backward.observe(v);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.fingerprint(), backward.fingerprint());
+        assert_eq!(forward.count(), 8);
+        assert_eq!(forward.sum(), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn merge_equals_joint_observation() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut joint = Histogram::new();
+        for v in [1u64, 2, 3] {
+            a.observe(v);
+            joint.observe(v);
+        }
+        for v in [10u64, 20] {
+            b.observe(v);
+            joint.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn renderings_are_stable() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 2, 5] {
+            h.observe(v);
+        }
+        assert_eq!(h.fingerprint(), "[0:1 1:1 3:2 7:1]|5|10");
+        let json = h.to_json();
+        assert!(json.contains("\"count\": 5"));
+        assert!(json.contains("\"sum\": 10"));
+        assert!(json.contains("\"3\": 2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

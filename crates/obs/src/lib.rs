@@ -22,7 +22,16 @@
 //!   bench harness drains one into `BENCH_obs.json`.
 //! * [`RunReport`] — the uniform return type of every instrumented
 //!   simulator entrypoint: the model-specific outcome plus the trace of
-//!   the execution that produced it.
+//!   the execution that produced it, and optionally the event log that
+//!   recorded it at event granularity.
+//! * [`Event`] / [`EventLog`] — opt-in event sourcing: a bounded,
+//!   thread-safe ring buffer of typed events (round boundaries, probes,
+//!   view materializations, memo traffic, finished RE levels) with a
+//!   sampling knob. The default is *off* and costs one branch.
+//! * [`Histogram`] — per-span distributions (probe counts per query,
+//!   view sizes per node) with deterministic power-of-two buckets.
+//! * [`export`] — Chrome trace-event JSON, flamegraph folded stacks,
+//!   and Prometheus-style text exposition.
 //!
 //! # Determinism contract
 //!
@@ -49,42 +58,72 @@
 //! ```
 
 pub mod counter;
+pub mod event;
+pub mod export;
+pub mod histogram;
 pub mod registry;
 pub mod trace;
 
 pub use counter::Counter;
+pub use event::{Event, EventLog};
+pub use histogram::Histogram;
 pub use registry::Registry;
 pub use trace::{Span, SpanRecord, Trace};
+
+use std::sync::Arc;
 
 /// The uniform result of an instrumented simulator run: the
 /// model-specific outcome plus the execution trace.
 ///
 /// Every model entrypoint (`local::simulate`, `volume::simulate`,
 /// `volume::simulate_lca`, `grid::simulate`) returns one of these, and
-/// the facade's `Simulation` trait abstracts over them.
+/// the facade's `Simulation` trait abstracts over them. When the run
+/// was event-logged (the `*_logged` entrypoints), the log rides along
+/// and [`RunReport::events`] exposes it.
 #[derive(Clone, Debug)]
 pub struct RunReport<T> {
     /// The model-specific run result (labeling, rounds, probes, ...).
     pub outcome: T,
     /// The trace of the execution that produced the outcome.
     pub trace: Trace,
+    events: Option<Arc<EventLog>>,
 }
 
 impl<T> RunReport<T> {
     /// Pairs an outcome with its trace.
     pub fn new(outcome: T, trace: Trace) -> Self {
-        Self { outcome, trace }
+        Self {
+            outcome,
+            trace,
+            events: None,
+        }
     }
 
-    /// Maps the outcome, keeping the trace.
+    /// Pairs an outcome with its trace and the event log that recorded
+    /// the run.
+    pub fn with_events(outcome: T, trace: Trace, events: Arc<EventLog>) -> Self {
+        Self {
+            outcome,
+            trace,
+            events: Some(events),
+        }
+    }
+
+    /// The event log attached to this run, if logging was enabled.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_deref()
+    }
+
+    /// Maps the outcome, keeping the trace and event log.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RunReport<U> {
         RunReport {
             outcome: f(self.outcome),
             trace: self.trace,
+            events: self.events,
         }
     }
 
-    /// Splits the report into its parts.
+    /// Splits the report into its parts (dropping any event log).
     pub fn into_parts(self) -> (T, Trace) {
         (self.outcome, self.trace)
     }
@@ -99,8 +138,20 @@ mod tests {
         let mut span = Span::start("root");
         span.set(Counter::Probes, 5);
         let report = RunReport::new(2usize, Trace::new(span.finish()));
+        assert!(report.events().is_none());
         let mapped = report.map(|n| n * 10);
         assert_eq!(mapped.outcome, 20);
         assert_eq!(mapped.trace.total(Counter::Probes), 5);
+    }
+
+    #[test]
+    fn run_report_carries_an_event_log() {
+        let log = Arc::new(EventLog::new(4));
+        log.record(Event::MemoLookup { hit: true });
+        let report =
+            RunReport::with_events((), Trace::new(Span::start("r").finish()), Arc::clone(&log));
+        assert_eq!(report.events().map(EventLog::len), Some(1));
+        let mapped = report.map(|()| 1u8);
+        assert_eq!(mapped.events().map(EventLog::len), Some(1));
     }
 }

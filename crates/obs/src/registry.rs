@@ -25,17 +25,21 @@ impl Registry {
         Self::default()
     }
 
+    /// Locks the trace list, recovering from poison: appends always
+    /// leave the vector consistent, so a worker that panicked mid-bench
+    /// must not take every later recording down with it.
+    fn traces(&self) -> std::sync::MutexGuard<'_, Vec<(String, Trace)>> {
+        self.traces.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Appends a labeled trace.
     pub fn record(&self, label: impl Into<String>, trace: Trace) {
-        self.traces
-            .lock()
-            .expect("obs registry poisoned")
-            .push((label.into(), trace));
+        self.traces().push((label.into(), trace));
     }
 
     /// Number of recorded traces.
     pub fn len(&self) -> usize {
-        self.traces.lock().expect("obs registry poisoned").len()
+        self.traces().len()
     }
 
     /// Whether no trace has been recorded yet.
@@ -45,23 +49,36 @@ impl Registry {
 
     /// Clones out the recorded `(label, trace)` pairs in recording order.
     pub fn snapshot(&self) -> Vec<(String, Trace)> {
-        self.traces.lock().expect("obs registry poisoned").clone()
+        self.traces().clone()
     }
 
-    /// Serializes every recorded trace as a JSON object keyed by a
-    /// stable `NNN/label` key (the index prefix keeps recording order
-    /// and disambiguates repeated labels).
+    /// Serializes every recorded trace as a JSON object keyed by its
+    /// `panel/stage` label, with the recording order kept as an
+    /// `"order"` field. Label-based keys make two registries diff
+    /// cleanly even when stages are recorded in a different order;
+    /// repeated labels are disambiguated with a `#2`, `#3`, ... suffix.
     pub fn to_json(&self) -> String {
         let traces = self.snapshot();
+        let mut used = std::collections::HashMap::new();
         let mut out = String::from("{\n");
         for (i, (label, trace)) in traces.iter().enumerate() {
-            let key = format!("{i:03}/{label}");
-            out.push_str(&format!("\"{}\":\n", escape(&key)));
+            let n = used.entry(label.clone()).or_insert(0u32);
+            *n += 1;
+            let key = if *n == 1 {
+                label.clone()
+            } else {
+                format!("{label}#{n}")
+            };
+            out.push_str(&format!("\"{}\": {{\n", escape(&key)));
+            out.push_str(&format!("\"order\": {i},\n"));
+            out.push_str("\"trace\":\n");
             out.push_str(&trace.to_json());
+            out.truncate(out.trim_end_matches('\n').len());
+            out.push_str("\n}");
             if i + 1 < traces.len() {
-                out.truncate(out.trim_end_matches('\n').len());
-                out.push_str(",\n");
+                out.push(',');
             }
+            out.push('\n');
         }
         out.push_str("}\n");
         out
@@ -102,9 +119,21 @@ mod tests {
         assert_eq!(snap[1].0, "e4/volume");
         let json = reg.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.contains("\"000/e1/trees\""));
-        assert!(json.contains("\"001/e4/volume\""));
+        assert!(json.contains("\"e1/trees\""));
+        assert!(json.contains("\"e4/volume\""));
+        assert!(json.contains("\"order\": 0"));
+        assert!(json.contains("\"order\": 1"));
         assert!(json.contains("\"rounds\": 9"));
+    }
+
+    #[test]
+    fn repeated_labels_get_distinct_keys() {
+        let reg = Registry::new();
+        reg.record("e1/stage", tiny("first", 1));
+        reg.record("e1/stage", tiny("second", 2));
+        let json = reg.to_json();
+        assert!(json.contains("\"e1/stage\""));
+        assert!(json.contains("\"e1/stage#2\""));
     }
 
     #[test]
@@ -120,5 +149,21 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(reg.len(), 4);
+    }
+
+    #[test]
+    fn records_after_a_poisoned_lock() {
+        let reg = Registry::new();
+        reg.record("before", tiny("a", 1));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = reg.traces.lock().expect("first lock");
+            panic!("poison the registry deliberately");
+        }));
+        assert!(result.is_err());
+        // The append path recovers the guard instead of cascading.
+        reg.record("after", tiny("b", 2));
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[1].0, "after");
     }
 }

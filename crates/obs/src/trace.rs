@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 use crate::counter::Counter;
+use crate::histogram::Histogram;
 
 /// An *open* span: mutable, timing since [`Span::start`].
 ///
@@ -16,6 +17,7 @@ pub struct Span {
     name: String,
     started: Instant,
     counters: BTreeMap<Counter, u64>,
+    hists: BTreeMap<Counter, Histogram>,
     children: Vec<SpanRecord>,
 }
 
@@ -26,6 +28,7 @@ impl Span {
             name: name.into(),
             started: Instant::now(),
             counters: BTreeMap::new(),
+            hists: BTreeMap::new(),
             children: Vec::new(),
         }
     }
@@ -39,6 +42,14 @@ impl Span {
     /// Sets a counter to an absolute value.
     pub fn set(&mut self, counter: Counter, value: u64) {
         self.counters.insert(counter, value);
+    }
+
+    /// Records one observation into this span's distribution for a
+    /// counter (probe counts per query, view sizes per node, ...).
+    /// Bucket boundaries are fixed, so the resulting histogram — and the
+    /// fingerprint it feeds — is independent of observation order.
+    pub fn observe(&mut self, counter: Counter, value: u64) {
+        self.hists.entry(counter).or_default().observe(value);
     }
 
     /// Attaches a finished child span.
@@ -60,6 +71,7 @@ impl Span {
             name: self.name,
             wall: self.started.elapsed(),
             counters: self.counters,
+            hists: self.hists,
             children: self.children,
         }
     }
@@ -75,6 +87,7 @@ pub struct SpanRecord {
     name: String,
     wall: Duration,
     counters: BTreeMap<Counter, u64>,
+    hists: BTreeMap<Counter, Histogram>,
     children: Vec<SpanRecord>,
 }
 
@@ -92,8 +105,35 @@ impl SpanRecord {
             name: name.into(),
             wall,
             counters: counters.into_iter().collect(),
+            hists: BTreeMap::new(),
             children,
         }
+    }
+
+    /// Builds a record with an explicit, fixed wall time — for synthetic
+    /// traces whose rendering must be reproducible (golden-fixture
+    /// tests, documentation examples).
+    pub fn with_wall(
+        name: impl Into<String>,
+        wall: Duration,
+        counters: impl IntoIterator<Item = (Counter, u64)>,
+        children: Vec<SpanRecord>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            wall,
+            counters: counters.into_iter().collect(),
+            hists: BTreeMap::new(),
+            children,
+        }
+    }
+
+    /// Attaches a histogram to this record (builder-style; synthetic
+    /// traces only — live spans fill histograms via [`Span::observe`]).
+    #[must_use]
+    pub fn with_histogram(mut self, counter: Counter, hist: Histogram) -> Self {
+        self.hists.insert(counter, hist);
+        self
     }
 
     /// The span's name.
@@ -114,6 +154,16 @@ impl SpanRecord {
     /// This span's counters, in canonical order.
     pub fn counters(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
         self.counters.iter().map(|(&c, &v)| (c, v))
+    }
+
+    /// This span's distribution for a counter, if one was observed.
+    pub fn histogram(&self, counter: Counter) -> Option<&Histogram> {
+        self.hists.get(&counter)
+    }
+
+    /// This span's histograms, in canonical counter order.
+    pub fn histograms(&self) -> impl Iterator<Item = (Counter, &Histogram)> + '_ {
+        self.hists.iter().map(|(&c, h)| (c, h))
     }
 
     /// Child spans in recording order.
@@ -155,6 +205,9 @@ impl SpanRecord {
         for (c, v) in &self.counters {
             let _ = write!(out, " {}={v}", c.as_str());
         }
+        for (c, h) in &self.hists {
+            let _ = write!(out, " {}~{}", c.as_str(), h.fingerprint());
+        }
         out.push('\n');
         for child in &self.children {
             child.write_fingerprint(out, depth + 1);
@@ -172,6 +225,14 @@ impl SpanRecord {
             let _ = write!(out, "{sep}\"{}\": {v}", c.as_str());
         }
         let _ = writeln!(out, "}},");
+        if !self.hists.is_empty() {
+            let _ = write!(out, "{pad}  \"hists\": {{");
+            for (i, (c, h)) in self.hists.iter().enumerate() {
+                let sep = if i == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}\"{}\": {}", c.as_str(), h.to_json());
+            }
+            let _ = writeln!(out, "}},");
+        }
         if self.children.is_empty() {
             let _ = writeln!(out, "{pad}  \"children\": []");
         } else {
@@ -351,5 +412,44 @@ mod tests {
     fn empty_trace_is_empty() {
         let t = Trace::new(Span::start("nothing").finish());
         assert!(t.is_empty());
+    }
+
+    #[test]
+    fn histograms_flow_into_fingerprint_and_json() {
+        let build = || {
+            let mut span = Span::start("queries");
+            for v in [1u64, 2, 2, 5] {
+                span.observe(Counter::Probes, v);
+            }
+            Trace::new(span.finish())
+        };
+        let t = build();
+        let hist = t.root().histogram(Counter::Probes).expect("observed");
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.sum(), 10);
+        assert!(t.fingerprint().contains("probes~[1:1 3:2 7:1]|4|10"));
+        assert!(t.to_json().contains("\"hists\""));
+        assert_eq!(t.fingerprint(), build().fingerprint());
+    }
+
+    #[test]
+    fn with_wall_fixes_the_clock() {
+        let child = SpanRecord::with_wall(
+            "child",
+            Duration::from_micros(40),
+            [(Counter::Probes, 3)],
+            vec![],
+        );
+        let root = SpanRecord::with_wall(
+            "root",
+            Duration::from_micros(100),
+            [(Counter::Nodes, 2)],
+            vec![child],
+        );
+        assert_eq!(root.wall(), Duration::from_micros(100));
+        assert_eq!(root.children()[0].wall(), Duration::from_micros(40));
+        let json = Trace::new(root).to_json();
+        assert!(json.contains("\"wall_us\": 100"));
+        assert!(json.contains("\"wall_us\": 40"));
     }
 }

@@ -4,6 +4,7 @@ use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::{Graph, NodeId};
 
 use lcl_local::IdAssignment;
+use lcl_obs::{Event, EventLog};
 
 /// The local information of one node — the paper's `Tuples_S` entry
 /// `(id, deg, in)`.
@@ -17,11 +18,65 @@ pub struct NodeInfo {
     pub inputs: Vec<InLabel>,
 }
 
+/// A rejected probe: the typed failure modes of [`ProbeSession::probe`].
+///
+/// A buggy VOLUME algorithm used to tear down the simulator thread with
+/// a panic; now it yields a reportable error that the facade surfaces
+/// through `LandscapeError`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeError {
+    /// The probe budget `T(n)` was already spent.
+    BudgetExhausted {
+        /// The budget the session was opened with.
+        budget: usize,
+    },
+    /// The probe targeted a node index not yet in the transcript.
+    TargetNotDiscovered {
+        /// The requested discovery index.
+        j: usize,
+        /// Number of nodes discovered so far.
+        discovered: usize,
+    },
+    /// The probe named a port the target node does not have.
+    PortOutOfRange {
+        /// The discovery index of the target node.
+        j: usize,
+        /// The requested port.
+        port: u8,
+        /// The target node's actual degree.
+        degree: u8,
+    },
+}
+
+impl std::fmt::Display for ProbeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProbeError::BudgetExhausted { budget } => {
+                write!(f, "probe budget {budget} exhausted")
+            }
+            ProbeError::TargetNotDiscovered { j, discovered } => {
+                write!(
+                    f,
+                    "probe target {j} not discovered (transcript has {discovered} nodes)"
+                )
+            }
+            ProbeError::PortOutOfRange { j, port, degree } => {
+                write!(
+                    f,
+                    "port {port} out of range at discovered node {j} (degree {degree})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProbeError {}
+
 /// One query's probe session: starts at the queried node `v` with
 /// transcript `t^{(0)} = (t_v)` and grows by one discovered node per probe.
 ///
-/// The session enforces the probe budget; exceeding it is a bug in the
-/// algorithm and panics.
+/// The session enforces the probe budget; exceeding it — or probing an
+/// undiscovered node or a nonexistent port — returns a [`ProbeError`].
 #[derive(Debug)]
 pub struct ProbeSession<'a> {
     graph: &'a Graph,
@@ -34,6 +89,7 @@ pub struct ProbeSession<'a> {
     probes_used: usize,
     /// Announced number of nodes.
     n: usize,
+    log: Option<&'a EventLog>,
 }
 
 impl<'a> ProbeSession<'a> {
@@ -44,6 +100,7 @@ impl<'a> ProbeSession<'a> {
         start: NodeId,
         budget: usize,
         n: usize,
+        log: Option<&'a EventLog>,
     ) -> Self {
         let mut session = Self {
             graph,
@@ -54,6 +111,7 @@ impl<'a> ProbeSession<'a> {
             budget,
             probes_used: 0,
             n,
+            log,
         };
         session.push(start);
         session
@@ -111,38 +169,71 @@ impl<'a> ProbeSession<'a> {
     /// port `port` of the `j`-th discovered node, appends it to the
     /// transcript, and returns its information.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the probe budget is exhausted, `j` is out of range, or
-    /// `port` exceeds the degree of node `j` (the paper assumes algorithms
-    /// only probe existing ports; a real algorithm can check `degree`
-    /// first).
-    pub fn probe(&mut self, j: usize, port: u8) -> NodeInfo {
-        assert!(
-            self.probes_used < self.budget,
-            "probe budget {} exhausted",
-            self.budget
-        );
-        assert!(j < self.discovered.len(), "probe target {j} not discovered");
+    /// [`ProbeError::BudgetExhausted`] once `probe_budget(n)` probes are
+    /// spent, [`ProbeError::TargetNotDiscovered`] if `j` is not in the
+    /// transcript, [`ProbeError::PortOutOfRange`] if `port` exceeds the
+    /// degree of node `j` (the paper assumes algorithms only probe
+    /// existing ports; a real algorithm can check `degree` first).
+    pub fn probe(&mut self, j: usize, port: u8) -> Result<NodeInfo, ProbeError> {
+        if self.probes_used >= self.budget {
+            return Err(ProbeError::BudgetExhausted {
+                budget: self.budget,
+            });
+        }
+        if j >= self.discovered.len() {
+            return Err(ProbeError::TargetNotDiscovered {
+                j,
+                discovered: self.discovered.len(),
+            });
+        }
         let v = self.discovered[j];
-        assert!(
-            port < self.graph.degree(v),
-            "port {port} out of range at discovered node {j}"
-        );
+        if port >= self.graph.degree(v) {
+            return Err(ProbeError::PortOutOfRange {
+                j,
+                port,
+                degree: self.graph.degree(v),
+            });
+        }
+        if let Some(log) = self.log {
+            log.record(Event::Probe {
+                query: self.infos[0].id,
+                j: j as u64,
+                port,
+            });
+        }
         self.probes_used += 1;
         let h = self.graph.half_edge(v, port);
         let w = self.graph.neighbor(h);
-        self.push(w).clone()
+        Ok(self.push(w).clone())
     }
 
     /// Like [`probe`](Self::probe), but also reveals through which port of
     /// the discovered node the probed edge arrives (the twin port) —
     /// standard in VOLUME algorithms that walk along paths.
-    pub fn probe_with_arrival(&mut self, j: usize, port: u8) -> (NodeInfo, u8) {
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`probe`](Self::probe).
+    pub fn probe_with_arrival(&mut self, j: usize, port: u8) -> Result<(NodeInfo, u8), ProbeError> {
+        if j >= self.discovered.len() {
+            return Err(ProbeError::TargetNotDiscovered {
+                j,
+                discovered: self.discovered.len(),
+            });
+        }
         let v = self.discovered[j];
+        if port >= self.graph.degree(v) {
+            return Err(ProbeError::PortOutOfRange {
+                j,
+                port,
+                degree: self.graph.degree(v),
+            });
+        }
         let h = self.graph.half_edge(v, port);
         let arrival = self.graph.port_of(self.graph.twin(h));
-        (self.probe(j, port), arrival)
+        Ok((self.probe(j, port)?, arrival))
     }
 }
 
@@ -154,7 +245,12 @@ pub trait VolumeAlgorithm {
 
     /// Answers the query: output labels for the queried node's half-edges,
     /// in port order.
-    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel>;
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ProbeError`] from the session — the simulator
+    /// reports it instead of panicking.
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError>;
 
     /// A short name for diagnostics.
     fn name(&self) -> &str {
@@ -172,7 +268,7 @@ pub struct FnVolumeAlgorithm<B, F> {
 impl<B, F> FnVolumeAlgorithm<B, F>
 where
     B: Fn(usize) -> usize,
-    F: Fn(&mut ProbeSession<'_>) -> Vec<OutLabel>,
+    F: Fn(&mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError>,
 {
     /// Creates an algorithm from a budget function and an answer function.
     pub fn new(name: &str, budget: B, answer: F) -> Self {
@@ -187,13 +283,13 @@ where
 impl<B, F> VolumeAlgorithm for FnVolumeAlgorithm<B, F>
 where
     B: Fn(usize) -> usize,
-    F: Fn(&mut ProbeSession<'_>) -> Vec<OutLabel>,
+    F: Fn(&mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError>,
 {
     fn probe_budget(&self, n: usize) -> usize {
         (self.budget)(n)
     }
 
-    fn answer(&self, session: &mut ProbeSession<'_>) -> Vec<OutLabel> {
+    fn answer(&self, session: &mut ProbeSession<'_>) -> Result<Vec<OutLabel>, ProbeError> {
         (self.answer)(session)
     }
 
@@ -220,12 +316,12 @@ mod tests {
         let g = gen::path(4);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(4);
-        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 3, 4);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 3, 4, None);
         assert_eq!(s.queried().id, 1);
         assert_eq!(s.queried().degree, 2);
-        let left = s.probe(0, 0);
+        let left = s.probe(0, 0).expect("in budget");
         assert_eq!(left.id, 0);
-        let right = s.probe(0, 1);
+        let right = s.probe(0, 1).expect("in budget");
         assert_eq!(right.id, 2);
         assert_eq!(s.probes_used(), 2);
         assert_eq!(s.discovered_count(), 3);
@@ -236,31 +332,82 @@ mod tests {
         let g = gen::cycle(5);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(5);
-        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(0), 5, 5);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(0), 5, 5, None);
         // Port 1 = successor; the edge arrives at the successor's port 0.
-        let (info, arrival) = s.probe_with_arrival(0, 1);
+        let (info, arrival) = s.probe_with_arrival(0, 1).expect("in budget");
         assert_eq!(info.id, 1);
         assert_eq!(arrival, 0);
     }
 
     #[test]
-    #[should_panic(expected = "budget")]
     fn budget_is_enforced() {
         let g = gen::path(4);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(4);
-        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 1, 4);
-        let _ = s.probe(0, 0);
-        let _ = s.probe(0, 1); // over budget
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 1, 4, None);
+        assert!(s.probe(0, 0).is_ok());
+        assert_eq!(
+            s.probe(0, 1),
+            Err(ProbeError::BudgetExhausted { budget: 1 })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "not discovered")]
     fn undiscovered_targets_are_rejected() {
         let g = gen::path(4);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(4);
-        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 5, 4);
-        let _ = s.probe(3, 0);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 5, 4, None);
+        assert_eq!(
+            s.probe(3, 0),
+            Err(ProbeError::TargetNotDiscovered {
+                j: 3,
+                discovered: 1
+            })
+        );
+        assert_eq!(
+            s.probe_with_arrival(3, 0),
+            Err(ProbeError::TargetNotDiscovered {
+                j: 3,
+                discovered: 1
+            })
+        );
+    }
+
+    #[test]
+    fn nonexistent_ports_are_rejected() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        // Node 0 is a path endpoint: degree 1, so port 1 does not exist.
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(0), 5, 4, None);
+        assert_eq!(
+            s.probe(0, 1),
+            Err(ProbeError::PortOutOfRange {
+                j: 0,
+                port: 1,
+                degree: 1
+            })
+        );
+        // A failed probe costs nothing.
+        assert_eq!(s.probes_used(), 0);
+    }
+
+    #[test]
+    fn probes_are_logged() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let log = EventLog::new(16);
+        let mut s = ProbeSession::new(&g, &input, &ids, NodeId(1), 3, 4, Some(&log));
+        let _ = s.probe(0, 0).expect("in budget");
+        assert_eq!(
+            log.events(),
+            vec![Event::Probe {
+                query: 1,
+                j: 0,
+                port: 0
+            }]
+        );
     }
 }

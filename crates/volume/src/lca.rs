@@ -10,11 +10,11 @@
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::{Graph, NodeId};
-use lcl_obs::{Counter, RunReport, Span, Trace};
+use lcl_obs::{Counter, EventLog, RunReport, Span, Trace};
 
 use lcl_local::IdAssignment;
 
-use crate::algorithm::{NodeInfo, ProbeSession, VolumeAlgorithm};
+use crate::algorithm::{NodeInfo, ProbeError, ProbeSession, VolumeAlgorithm};
 
 /// A probe session extended with far probes (identifier lookup).
 #[derive(Debug)]
@@ -78,7 +78,11 @@ pub trait LcaAlgorithm {
     fn probe_budget(&self, n: usize) -> usize;
 
     /// Answers the query for the queried node's half-edges.
-    fn answer(&self, session: &mut LcaSession<'_, '_>) -> Vec<OutLabel>;
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ProbeError`] from the near-probe session.
+    fn answer(&self, session: &mut LcaSession<'_, '_>) -> Result<Vec<OutLabel>, ProbeError>;
 
     /// A short name for diagnostics.
     fn name(&self) -> &str {
@@ -88,21 +92,25 @@ pub trait LcaAlgorithm {
 
 /// Runs an LCA over every node of the graph, reporting the execution
 /// trace: total and worst-case probes, the far probes counted separately
-/// (Theorem 2.12's distinction), and the instance shape.
+/// (Theorem 2.12's distinction), a per-query probe histogram, and the
+/// instance shape. With `log` set, near probes are recorded as
+/// [`lcl_obs::Event::Probe`]s.
 ///
-/// This is the instrumented entrypoint behind the facade's `Simulation`
-/// trait; [`run_lca`] forwards here and discards the trace.
+/// # Errors
+///
+/// Returns the first [`ProbeError`] any query runs into.
 ///
 /// # Panics
 ///
 /// Panics unless `ids` is a permutation of `0..n` shifted by one
 /// (`1..=n`), which is the LCA model's identifier promise.
-pub fn simulate_lca(
+pub fn simulate_lca_logged(
     alg: &(impl LcaAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
-) -> RunReport<crate::run::VolumeRun> {
+    log: Option<&EventLog>,
+) -> Result<RunReport<crate::run::VolumeRun>, ProbeError> {
     let n = graph.node_count();
     let mut sorted: Vec<u64> = ids.iter().collect();
     sorted.sort_unstable();
@@ -115,23 +123,38 @@ pub fn simulate_lca(
     let mut max_probes = 0usize;
     let mut total_probes = 0usize;
     let mut far_probes = 0usize;
+    let mut failure: Option<ProbeError> = None;
     let output = HalfEdgeLabeling::from_node_fn(graph, |v: NodeId| {
-        let mut inner = ProbeSession::new(graph, input, ids, v, budget, n);
+        if failure.is_some() {
+            return vec![OutLabel(0); graph.degree(v) as usize];
+        }
+        let mut inner = ProbeSession::new(graph, input, ids, v, budget, n, log);
         let mut session = LcaSession::new(&mut inner, graph, input, ids);
-        let labels = alg.answer(&mut session);
-        assert_eq!(
-            labels.len(),
-            graph.degree(v) as usize,
-            "algorithm {} must label each half-edge of the queried node",
-            alg.name()
-        );
-        let far = session.far_probes_used();
-        let used = far + inner.probes_used();
-        far_probes += far;
-        max_probes = max_probes.max(used);
-        total_probes += used;
-        labels
+        match alg.answer(&mut session) {
+            Ok(labels) => {
+                assert_eq!(
+                    labels.len(),
+                    graph.degree(v) as usize,
+                    "algorithm {} must label each half-edge of the queried node",
+                    alg.name()
+                );
+                let far = session.far_probes_used();
+                let used = far + inner.probes_used();
+                far_probes += far;
+                max_probes = max_probes.max(used);
+                total_probes += used;
+                span.observe(Counter::Probes, used as u64);
+                labels
+            }
+            Err(e) => {
+                failure = Some(e);
+                vec![OutLabel(0); graph.degree(v) as usize]
+            }
+        }
     });
+    if let Some(e) = failure {
+        return Err(e);
+    }
     span.set(Counter::Nodes, graph.node_count() as u64);
     span.set(Counter::Edges, graph.edge_count() as u64);
     span.set(Counter::Queries, graph.node_count() as u64);
@@ -143,7 +166,23 @@ pub fn simulate_lca(
         max_probes,
         total_probes,
     };
-    RunReport::new(run, Trace::new(span.finish()))
+    Ok(RunReport::new(run, Trace::new(span.finish())))
+}
+
+/// [`simulate_lca_logged`] without an event log — the instrumented
+/// entrypoint behind the facade's `Simulation` trait; [`run_lca`]
+/// forwards here and discards the trace.
+///
+/// # Errors
+///
+/// As [`simulate_lca_logged`].
+pub fn simulate_lca(
+    alg: &(impl LcaAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+) -> Result<RunReport<crate::run::VolumeRun>, ProbeError> {
+    simulate_lca_logged(alg, graph, input, ids, None)
 }
 
 /// Runs an LCA over every node of the graph, discarding the trace.
@@ -151,16 +190,16 @@ pub fn simulate_lca(
 /// Note: superseded by [`simulate_lca`], which additionally reports the
 /// execution trace; this thin wrapper remains for source compatibility.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`simulate_lca`].
+/// As [`simulate_lca_logged`].
 pub fn run_lca(
     alg: &(impl LcaAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
-) -> crate::run::VolumeRun {
-    simulate_lca(alg, graph, input, ids).outcome
+) -> Result<crate::run::VolumeRun, ProbeError> {
+    Ok(simulate_lca(alg, graph, input, ids)?.outcome)
 }
 
 /// Adapts a VOLUME algorithm into an LCA that never uses far probes — the
@@ -173,7 +212,7 @@ impl<A: VolumeAlgorithm> LcaAlgorithm for VolumeAsLca<A> {
         self.0.probe_budget(n)
     }
 
-    fn answer(&self, session: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+    fn answer(&self, session: &mut LcaSession<'_, '_>) -> Result<Vec<OutLabel>, ProbeError> {
         self.0.answer(session.near())
     }
 
@@ -202,14 +241,14 @@ mod tests {
             fn probe_budget(&self, _n: usize) -> usize {
                 0
             }
-            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Result<Vec<OutLabel>, ProbeError> {
                 // Look up node with id 1 and output its degree.
                 let info = s.far_probe(1).expect("id 1 exists");
                 let d = s.near().queried().degree as usize;
-                vec![OutLabel(u32::from(info.degree)); d]
+                Ok(vec![OutLabel(u32::from(info.degree)); d])
             }
         }
-        let run = run_lca(&FarDegree, &g, &input, &ids);
+        let run = run_lca(&FarDegree, &g, &input, &ids).expect("far probes only");
         // Node with id 1 is node 0, an endpoint of degree 1.
         assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(1)));
         assert_eq!(run.max_probes, 1); // the far probe is counted
@@ -225,12 +264,12 @@ mod tests {
             fn probe_budget(&self, _n: usize) -> usize {
                 0
             }
-            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Result<Vec<OutLabel>, ProbeError> {
                 let d = s.near().queried().degree as usize;
-                vec![OutLabel(u32::from(s.far_probe(99).is_none())); d]
+                Ok(vec![OutLabel(u32::from(s.far_probe(99).is_none())); d])
             }
         }
-        let run = run_lca(&Missing, &g, &input, &ids);
+        let run = run_lca(&Missing, &g, &input, &ids).expect("far probes only");
         assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(1)));
     }
 
@@ -244,13 +283,13 @@ mod tests {
             fn probe_budget(&self, _n: usize) -> usize {
                 0
             }
-            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Vec<OutLabel> {
+            fn answer(&self, s: &mut LcaSession<'_, '_>) -> Result<Vec<OutLabel>, ProbeError> {
                 let info = s.far_probe(1).expect("id 1 exists");
                 let d = s.near().queried().degree as usize;
-                vec![OutLabel(u32::from(info.degree)); d]
+                Ok(vec![OutLabel(u32::from(info.degree)); d])
             }
         }
-        let report = simulate_lca(&FarDegree, &g, &input, &ids);
+        let report = simulate_lca(&FarDegree, &g, &input, &ids).expect("far probes only");
         assert_eq!(report.trace.total(Counter::FarProbes), 5);
         assert_eq!(report.trace.total(Counter::Probes), 5);
         assert_eq!(report.trace.total(Counter::MaxProbes), 1);
@@ -265,9 +304,31 @@ mod tests {
         let alg = VolumeAsLca(FnVolumeAlgorithm::new(
             "const",
             |_| 0,
-            |s| vec![OutLabel(0); s.queried().degree as usize],
+            |s| Ok(vec![OutLabel(0); s.queried().degree as usize]),
         ));
         let _ = run_lca(&alg, &g, &input, &ids);
+    }
+
+    #[test]
+    fn probe_errors_surface_through_lca_runs() {
+        let g = gen::path(3);
+        let input = lcl::uniform_input(&g);
+        let ids = lca_ids(3);
+        let alg = VolumeAsLca(FnVolumeAlgorithm::new(
+            "undiscovered",
+            |_| 4,
+            |s| {
+                let _ = s.probe(7, 0)?;
+                Ok(vec![OutLabel(0); s.queried().degree as usize])
+            },
+        ));
+        assert_eq!(
+            run_lca(&alg, &g, &input, &ids),
+            Err(ProbeError::TargetNotDiscovered {
+                j: 7,
+                discovered: 1
+            })
+        );
     }
 
     #[test]
@@ -280,12 +341,12 @@ mod tests {
             |_| 1,
             |s| {
                 let d = s.queried().degree as usize;
-                let n0 = s.probe(0, 0);
-                vec![OutLabel((n0.id % 2) as u32); d]
+                let n0 = s.probe(0, 0)?;
+                Ok(vec![OutLabel((n0.id % 2) as u32); d])
             },
         );
-        let volume_run = crate::run::run_volume(&alg, &g, &input, &ids, None);
-        let lca_run = run_lca(&VolumeAsLca(alg), &g, &input, &ids);
+        let volume_run = crate::run::run_volume(&alg, &g, &input, &ids, None).expect("in budget");
+        let lca_run = run_lca(&VolumeAsLca(alg), &g, &input, &ids).expect("in budget");
         assert_eq!(volume_run.output, lca_run.output);
         assert_eq!(volume_run.max_probes, lca_run.max_probes);
     }

@@ -33,21 +33,26 @@
 //! let g = gen::cycle(5);
 //! let alg = FnVolumeAlgorithm::new("bigger", |_n| 1, |session| {
 //!     let me = session.queried().id;
-//!     let neighbor = session.probe(0, 0).id;
-//!     vec![OutLabel(u32::from(me > neighbor)); session.queried().degree as usize]
+//!     let neighbor = session.probe(0, 0)?.id;
+//!     Ok(vec![OutLabel(u32::from(me > neighbor)); session.queried().degree as usize])
 //! });
 //! let input = lcl::uniform_input(&g);
 //! let ids = IdAssignment::sequential(5);
-//! let run = run_volume(&alg, &g, &input, &ids, None);
+//! let run = run_volume(&alg, &g, &input, &ids, None)?;
 //! assert_eq!(run.max_probes, 1);
+//! # Ok::<(), lcl_volume::ProbeError>(())
 //! ```
+//!
+//! An out-of-contract probe — over budget, undiscovered target,
+//! nonexistent port — surfaces as a typed [`ProbeError`] instead of a
+//! panic, so a buggy algorithm yields a reportable failure.
 
 pub mod algorithm;
 pub mod lca;
 pub mod order_invariant;
 pub mod run;
 
-pub use algorithm::{FnVolumeAlgorithm, NodeInfo, ProbeSession, VolumeAlgorithm};
-pub use lca::{run_lca, simulate_lca, LcaAlgorithm, LcaSession};
+pub use algorithm::{FnVolumeAlgorithm, NodeInfo, ProbeError, ProbeSession, VolumeAlgorithm};
+pub use lca::{run_lca, simulate_lca, simulate_lca_logged, LcaAlgorithm, LcaSession};
 pub use order_invariant::{is_empirically_order_invariant_volume, RankedInfo, RankedSession};
-pub use run::{minimal_probe_budget, run_volume, simulate, VolumeRun};
+pub use run::{minimal_probe_budget, run_volume, simulate, simulate_logged, VolumeRun};

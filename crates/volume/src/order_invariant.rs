@@ -12,7 +12,7 @@ use lcl_graph::Graph;
 
 use lcl_local::IdAssignment;
 
-use crate::algorithm::{NodeInfo, ProbeSession, VolumeAlgorithm};
+use crate::algorithm::{NodeInfo, ProbeError, ProbeSession, VolumeAlgorithm};
 
 /// A [`NodeInfo`] with the identifier replaced by its *rank* among the ids
 /// discovered so far in the session.
@@ -87,18 +87,22 @@ impl<'a, 'b> RankedSession<'a, 'b> {
 
     /// Performs a probe and returns the new node's ranked information.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Propagates the panics of [`ProbeSession::probe`].
-    pub fn probe(&mut self, j: usize, port: u8) -> RankedInfo {
-        let _ = self.inner.probe(j, port);
-        self.ranked(self.inner.discovered_count() - 1)
+    /// Propagates the [`ProbeError`]s of [`ProbeSession::probe`].
+    pub fn probe(&mut self, j: usize, port: u8) -> Result<RankedInfo, ProbeError> {
+        let _ = self.inner.probe(j, port)?;
+        Ok(self.ranked(self.inner.discovered_count() - 1))
     }
 }
 
 /// Empirically checks Definition 2.10: reruns the algorithm under
 /// `samples` order-preserving resamplings of the identifiers and compares
 /// outputs. `false` is a definite counterexample; `true` is evidence.
+///
+/// # Errors
+///
+/// Propagates the first [`ProbeError`] of any run.
 pub fn is_empirically_order_invariant_volume(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
@@ -106,16 +110,16 @@ pub fn is_empirically_order_invariant_volume(
     base_ids: &IdAssignment,
     samples: usize,
     seed: u64,
-) -> bool {
-    let baseline = crate::run::run_volume(alg, graph, input, base_ids, None);
+) -> Result<bool, ProbeError> {
+    let baseline = crate::run::run_volume(alg, graph, input, base_ids, None)?;
     for s in 0..samples {
         let fresh = base_ids.resample_order_preserving(3, seed.wrapping_add(s as u64));
-        let run = crate::run::run_volume(alg, graph, input, &fresh, None);
+        let run = crate::run::run_volume(alg, graph, input, &fresh, None)?;
         if run.output != baseline.output {
-            return false;
+            return Ok(false);
         }
     }
-    true
+    Ok(true)
 }
 
 /// Exposes the raw info of a node (used by adapters that mix ranked and
@@ -136,15 +140,15 @@ mod tests {
         let g = gen::path(4);
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::from_vec(vec![40, 10, 30, 20]);
-        let mut raw = ProbeSession::new(&g, &input, &ids, NodeId(1), 3, 4);
+        let mut raw = ProbeSession::new(&g, &input, &ids, NodeId(1), 3, 4, None);
         let mut s = RankedSession::new(&mut raw);
         // Only the queried node (id 10) discovered: rank 0.
         assert_eq!(s.queried().rank, 0);
         // Discover node 0 (id 40): it ranks above.
-        let left = s.probe(0, 0);
+        let left = s.probe(0, 0).expect("in budget");
         assert_eq!(left.rank, 1);
         // Discover node 2 (id 30): ranks shift.
-        let right = s.probe(0, 1);
+        let right = s.probe(0, 1).expect("in budget");
         assert_eq!(right.rank, 1);
         assert_eq!(s.ranks(), vec![0, 2, 1]);
     }
@@ -160,13 +164,13 @@ mod tests {
             |raw| {
                 let d = raw.queried().degree as usize;
                 let mut s = RankedSession::new(raw);
-                let neighbor = s.probe(0, 0);
-                vec![OutLabel(u32::from(neighbor.rank == 0)); d]
+                let neighbor = s.probe(0, 0)?;
+                Ok(vec![OutLabel(u32::from(neighbor.rank == 0)); d])
             },
         );
-        assert!(is_empirically_order_invariant_volume(
-            &alg, &g, &input, &ids, 8, 3
-        ));
+        assert!(
+            is_empirically_order_invariant_volume(&alg, &g, &input, &ids, 8, 3).expect("in budget")
+        );
     }
 
     #[test]
@@ -177,10 +181,16 @@ mod tests {
         let alg = FnVolumeAlgorithm::new(
             "parity",
             |_| 0,
-            |s| vec![OutLabel((s.queried().id % 2) as u32); s.queried().degree as usize],
+            |s| {
+                Ok(vec![
+                    OutLabel((s.queried().id % 2) as u32);
+                    s.queried().degree as usize
+                ])
+            },
         );
-        assert!(!is_empirically_order_invariant_volume(
-            &alg, &g, &input, &ids, 16, 3
-        ));
+        assert!(
+            !is_empirically_order_invariant_volume(&alg, &g, &input, &ids, 16, 3)
+                .expect("zero probes")
+        );
     }
 }

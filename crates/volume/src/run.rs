@@ -2,11 +2,11 @@
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
 use lcl_graph::Graph;
-use lcl_obs::{Counter, RunReport, Span, Trace};
+use lcl_obs::{Counter, EventLog, RunReport, Span, Trace};
 
 use lcl_local::IdAssignment;
 
-use crate::algorithm::{ProbeSession, VolumeAlgorithm};
+use crate::algorithm::{ProbeError, ProbeSession, VolumeAlgorithm};
 
 /// The result of answering every node's query.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -22,44 +22,68 @@ pub struct VolumeRun {
 
 /// Runs a VOLUME algorithm by querying every node (each query gets a fresh
 /// session, as in the model: queries do not share state), reporting the
-/// execution trace: total and worst-case probes, plus the instance shape.
+/// execution trace: total and worst-case probes (plus a per-query probe
+/// histogram) and the instance shape. With `log` set, every probe is
+/// recorded as an [`lcl_obs::Event::Probe`].
 ///
-/// This is the instrumented entrypoint behind the facade's `Simulation`
-/// trait; [`run_volume`] forwards here and discards the trace.
+/// # Errors
+///
+/// Returns the first [`ProbeError`] an over-eager query runs into —
+/// budget exhaustion, undiscovered targets, nonexistent ports.
 ///
 /// # Panics
 ///
 /// Panics if the graph contains an isolated node (excluded by
-/// Definition 2.9) or the algorithm exceeds its own probe budget.
-pub fn simulate(
+/// Definition 2.9) or the algorithm mislabels the queried node's arity —
+/// both are instance/algorithm contract violations, not runtime
+/// conditions an algorithm can trigger adaptively.
+pub fn simulate_logged(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
     n_announced: Option<usize>,
-) -> RunReport<VolumeRun> {
+    log: Option<&EventLog>,
+) -> Result<RunReport<VolumeRun>, ProbeError> {
     let n = n_announced.unwrap_or_else(|| graph.node_count());
     let budget = alg.probe_budget(n);
     let mut span = Span::start(format!("volume/{}", alg.name()));
     let mut max_probes = 0usize;
     let mut total_probes = 0usize;
+    // `from_node_fn` closures are infallible; stash the first error and
+    // emit correctly-shaped placeholder labels for the remaining nodes.
+    let mut failure: Option<ProbeError> = None;
     let output = HalfEdgeLabeling::from_node_fn(graph, |v| {
         assert!(
             graph.degree(v) > 0,
             "the VOLUME model excludes isolated nodes"
         );
-        let mut session = ProbeSession::new(graph, input, ids, v, budget, n);
-        let labels = alg.answer(&mut session);
-        assert_eq!(
-            labels.len(),
-            graph.degree(v) as usize,
-            "algorithm {} must label each half-edge of the queried node",
-            alg.name()
-        );
-        max_probes = max_probes.max(session.probes_used());
-        total_probes += session.probes_used();
-        labels
+        if failure.is_some() {
+            return vec![OutLabel(0); graph.degree(v) as usize];
+        }
+        let mut session = ProbeSession::new(graph, input, ids, v, budget, n, log);
+        match alg.answer(&mut session) {
+            Ok(labels) => {
+                assert_eq!(
+                    labels.len(),
+                    graph.degree(v) as usize,
+                    "algorithm {} must label each half-edge of the queried node",
+                    alg.name()
+                );
+                max_probes = max_probes.max(session.probes_used());
+                total_probes += session.probes_used();
+                span.observe(Counter::Probes, session.probes_used() as u64);
+                labels
+            }
+            Err(e) => {
+                failure = Some(e);
+                vec![OutLabel(0); graph.degree(v) as usize]
+            }
+        }
     });
+    if let Some(e) = failure {
+        return Err(e);
+    }
     span.set(Counter::Nodes, graph.node_count() as u64);
     span.set(Counter::Edges, graph.edge_count() as u64);
     span.set(Counter::Queries, graph.node_count() as u64);
@@ -70,7 +94,24 @@ pub fn simulate(
         max_probes,
         total_probes,
     };
-    RunReport::new(run, Trace::new(span.finish()))
+    Ok(RunReport::new(run, Trace::new(span.finish())))
+}
+
+/// [`simulate_logged`] without an event log — the instrumented
+/// entrypoint behind the facade's `Simulation` trait; [`run_volume`]
+/// forwards here and discards the trace.
+///
+/// # Errors
+///
+/// As [`simulate_logged`].
+pub fn simulate(
+    alg: &(impl VolumeAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+) -> Result<RunReport<VolumeRun>, ProbeError> {
+    simulate_logged(alg, graph, input, ids, n_announced, None)
 }
 
 /// Runs a VOLUME algorithm over every node, discarding the trace.
@@ -78,23 +119,24 @@ pub fn simulate(
 /// Note: superseded by [`simulate`], which additionally reports the
 /// execution trace; this thin wrapper remains for source compatibility.
 ///
-/// # Panics
+/// # Errors
 ///
-/// As [`simulate`].
+/// As [`simulate_logged`].
 pub fn run_volume(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
     n_announced: Option<usize>,
-) -> VolumeRun {
-    simulate(alg, graph, input, ids, n_announced).outcome
+) -> Result<VolumeRun, ProbeError> {
+    Ok(simulate(alg, graph, input, ids, n_announced)?.outcome)
 }
 
 /// Finds the minimal probe budget `T ≤ max_budget` under which the
 /// algorithm family solves `problem` on `graph`, or `None`. The VOLUME
 /// analogue of [`lcl_local::minimal_solving_radius`]; assumes solvability
-/// is monotone in the budget (gather-style probing).
+/// is monotone in the budget (gather-style probing). A budget whose run
+/// fails with a [`ProbeError`] counts as not solving.
 pub fn minimal_probe_budget<A, F>(
     problem: &(impl lcl::Problem + ?Sized),
     graph: &Graph,
@@ -109,8 +151,9 @@ where
 {
     let solves = |budget: usize| {
         let alg = make(budget);
-        let run = run_volume(&alg, graph, input, ids, None);
-        lcl::verify(problem, graph, input, &run.output).is_empty()
+        run_volume(&alg, graph, input, ids, None)
+            .map(|run| lcl::verify(problem, graph, input, &run.output).is_empty())
+            .unwrap_or(false)
     };
     if solves(0) {
         return Some(0);
@@ -139,6 +182,7 @@ mod tests {
     use super::*;
     use crate::algorithm::FnVolumeAlgorithm;
     use lcl_graph::gen;
+    use lcl_obs::Event;
 
     #[test]
     fn zero_probe_algorithm() {
@@ -148,9 +192,9 @@ mod tests {
         let alg = FnVolumeAlgorithm::new(
             "const",
             |_| 0,
-            |s| vec![OutLabel(7); s.queried().degree as usize],
+            |s| Ok(vec![OutLabel(7); s.queried().degree as usize]),
         );
-        let run = run_volume(&alg, &g, &input, &ids, None);
+        let run = run_volume(&alg, &g, &input, &ids, None).expect("zero probes");
         assert_eq!(run.max_probes, 0);
         assert_eq!(run.total_probes, 0);
         assert!(run.output.as_slice().iter().all(|&l| l == OutLabel(7)));
@@ -168,14 +212,32 @@ mod tests {
             |s| {
                 let d = s.queried().degree;
                 for p in 0..d {
-                    let _ = s.probe(0, p);
+                    let _ = s.probe(0, p)?;
                 }
-                vec![OutLabel(0); d as usize]
+                Ok(vec![OutLabel(0); d as usize])
             },
         );
-        let run = run_volume(&alg, &g, &input, &ids, None);
+        let run = run_volume(&alg, &g, &input, &ids, None).expect("in budget");
         assert_eq!(run.max_probes, 2); // interior nodes probe twice
         assert_eq!(run.total_probes, 2 + 2 + 1 + 1);
+    }
+
+    #[test]
+    fn probe_errors_surface_instead_of_panicking() {
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let alg = FnVolumeAlgorithm::new(
+            "over-budget",
+            |_| 1,
+            |s| loop {
+                let _ = s.probe(0, 0)?;
+            },
+        );
+        assert_eq!(
+            run_volume(&alg, &g, &input, &ids, None),
+            Err(ProbeError::BudgetExhausted { budget: 1 })
+        );
     }
 
     #[test]
@@ -204,7 +266,7 @@ mod tests {
                         let mut j = 0usize;
                         let mut found = current.degree == 1 && degree == 1;
                         while s.probes_left() > 0 && current.degree == 2 {
-                            current = s.probe(j, 0);
+                            current = s.probe(j, 0)?;
                             j = s.discovered_count() - 1;
                             if current.degree == 1 {
                                 found = true;
@@ -214,7 +276,7 @@ mod tests {
                         if degree == 1 {
                             found = true; // an endpoint certifies itself
                         }
-                        vec![lcl::OutLabel(u32::from(found)); degree]
+                        Ok(vec![lcl::OutLabel(u32::from(found)); degree])
                     },
                 )
             });
@@ -233,12 +295,12 @@ mod tests {
             |s| {
                 let d = s.queried().degree;
                 for p in 0..d {
-                    let _ = s.probe(0, p);
+                    let _ = s.probe(0, p)?;
                 }
-                vec![OutLabel(0); d as usize]
+                Ok(vec![OutLabel(0); d as usize])
             },
         );
-        let report = simulate(&alg, &g, &input, &ids, None);
+        let report = simulate(&alg, &g, &input, &ids, None).expect("in budget");
         assert_eq!(report.trace.total(Counter::Probes), 6);
         assert_eq!(report.trace.total(Counter::MaxProbes), 2);
         assert_eq!(report.trace.total(Counter::Queries), 4);
@@ -246,6 +308,37 @@ mod tests {
             report.trace.total(Counter::Probes),
             report.outcome.total_probes as u64
         );
+        // Per-query distribution: two endpoint queries (1 probe each),
+        // two interior queries (2 probes each).
+        let hist = report
+            .trace
+            .root()
+            .histogram(Counter::Probes)
+            .expect("probe histogram");
+        assert_eq!(hist.count(), 4);
+        assert_eq!(hist.sum(), 6);
+    }
+
+    #[test]
+    fn simulate_logged_records_probe_events() {
+        let g = gen::path(3);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(3);
+        let alg = FnVolumeAlgorithm::new(
+            "one-probe",
+            |_| 1,
+            |s| {
+                let _ = s.probe(0, 0)?;
+                Ok(vec![OutLabel(0); s.queried().degree as usize])
+            },
+        );
+        let log = EventLog::new(64);
+        let report = simulate_logged(&alg, &g, &input, &ids, None, Some(&log)).expect("in budget");
+        assert_eq!(log.len(), report.outcome.total_probes);
+        assert!(log
+            .events()
+            .iter()
+            .all(|e| matches!(e, Event::Probe { port: 0, .. })));
     }
 
     #[test]
@@ -257,7 +350,7 @@ mod tests {
         let alg = FnVolumeAlgorithm::new(
             "const",
             |_| 0,
-            |s| vec![OutLabel(0); s.queried().degree as usize],
+            |s| Ok(vec![OutLabel(0); s.queried().degree as usize]),
         );
         let _ = run_volume(&alg, &g, &input, &ids, None);
     }

@@ -71,7 +71,7 @@ fn main() -> Result<(), LandscapeError> {
     let local = LocalSim::simulate(
         &lcl_landscape::problems::trivial::MaxDegree2Hop,
         GraphInstance::new(&graph, &uniform, &ids),
-    );
+    )?;
     println!(
         "{} queried {} views of {} total nodes",
         local.trace.root().name(),

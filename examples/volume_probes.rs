@@ -46,8 +46,10 @@ fn main() {
     let input = lcl_landscape::lcl::uniform_input(&graph);
     let ids = IdAssignment::random_polynomial(n, 3, 1);
 
-    // Plain run: the executor counts every probe.
-    let plain = run_volume(&TranscriptAsVolume(LocalMin), &graph, &input, &ids, None);
+    // Plain run: the executor counts every probe. An out-of-contract
+    // probe would surface as a typed `ProbeError` here.
+    let plain = run_volume(&TranscriptAsVolume(LocalMin), &graph, &input, &ids, None)
+        .expect("local-min stays within its 2-probe budget");
     println!(
         "plain run on n = {n}: max {} probes, {} total",
         plain.max_probes, plain.total_probes
@@ -57,7 +59,8 @@ fn main() {
     // transcript (order-invariance) and announce min(n, n₀). For an
     // order-invariant algorithm the outputs are unchanged, and the probe
     // complexity is pinned to T(n₀) forever.
-    let fooled = run_fooled_volume(&LocalMin, 16, &graph, &input, &ids);
+    let fooled = run_fooled_volume(&LocalMin, 16, &graph, &input, &ids)
+        .expect("fooling caps the budget at T(16) = 2, which local-min respects");
     println!(
         "fooled at n₀ = 16: max {} probes, outputs identical: {}",
         fooled.max_probes,

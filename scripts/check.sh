@@ -33,4 +33,16 @@ if [ "$UNWRAPS" -gt 0 ]; then
   exit 1
 fi
 
+echo "== bench-diff (baseline schema + self-diff gate) =="
+# Every committed baseline must validate against its schema and
+# self-diff clean — the fixed point of the perf-regression gate. A
+# fresh report is gated the same way:
+#   cargo bench -q -p lcl-bench --bench obs   # writes BENCH_obs.json
+#   git diff --exit-code BENCH_obs.json || \
+#     cargo run -p lcl-bench --bin bench-diff -- <committed> BENCH_obs.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_obs.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_obs.json BENCH_obs.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_re_engine.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_re_engine.json BENCH_re_engine.json
+
 echo "all checks passed"

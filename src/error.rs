@@ -15,6 +15,7 @@ use lcl_classify::ClassifyError;
 use lcl_core::ReError;
 use lcl_graph::builder::BuildError;
 use lcl_graph::gen::RegularGenError;
+use lcl_volume::ProbeError;
 
 /// Any error the landscape suite can produce, by source subsystem.
 ///
@@ -53,6 +54,8 @@ pub enum LandscapeError {
     RegularGen(RegularGenError),
     /// The path/cycle classifier rejected its input problem.
     Classify(ClassifyError),
+    /// A VOLUME/LCA probe left its contract (budget, target, or port).
+    Probe(ProbeError),
 }
 
 impl fmt::Display for LandscapeError {
@@ -64,6 +67,7 @@ impl fmt::Display for LandscapeError {
             Self::Graph(e) => write!(f, "graph builder: {e}"),
             Self::RegularGen(e) => write!(f, "regular graph generator: {e}"),
             Self::Classify(e) => write!(f, "classifier: {e}"),
+            Self::Probe(e) => write!(f, "probe session: {e}"),
         }
     }
 }
@@ -77,6 +81,7 @@ impl Error for LandscapeError {
             Self::Graph(e) => Some(e),
             Self::RegularGen(e) => Some(e),
             Self::Classify(e) => Some(e),
+            Self::Probe(e) => Some(e),
         }
     }
 }
@@ -123,6 +128,12 @@ impl From<AutomatonError> for LandscapeError {
     }
 }
 
+impl From<ProbeError> for LandscapeError {
+    fn from(e: ProbeError) -> Self {
+        Self::Probe(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +149,17 @@ mod tests {
             LandscapeError::Build(ProblemBuildError::EmptyOutputAlphabet)
         ));
         assert!(err.to_string().contains("problem builder"));
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn wraps_probe_errors() {
+        let err: LandscapeError = ProbeError::BudgetExhausted { budget: 3 }.into();
+        assert!(matches!(
+            err,
+            LandscapeError::Probe(ProbeError::BudgetExhausted { budget: 3 })
+        ));
+        assert!(err.to_string().contains("probe session"));
         assert!(err.source().is_some());
     }
 

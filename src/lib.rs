@@ -48,7 +48,7 @@
 //! let report = LocalSim::simulate(
 //!     &lcl_landscape::problems::trivial::ConstantZero,
 //!     GraphInstance::new(&g, &input, &ids),
-//! );
+//! )?;
 //! assert_eq!(report.outcome.radius, 0);
 //! assert!(report.trace.fingerprint().starts_with("local/"));
 //! # Ok::<(), lcl_landscape::LandscapeError>(())

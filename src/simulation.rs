@@ -22,10 +22,11 @@
 //! let report = LocalSim::simulate(
 //!     &problems::trivial::MaxDegree2Hop,
 //!     GraphInstance::new(&g, &input, &ids),
-//! );
+//! )?;
 //! assert_eq!(LocalSim::model(), "local");
 //! assert!(!report.trace.is_empty());
 //! assert_eq!(report.outcome.radius, 2);
+//! # Ok::<(), lcl_landscape::LandscapeError>(())
 //! ```
 
 use lcl::{HalfEdgeLabeling, InLabel};
@@ -34,6 +35,8 @@ use lcl_grid::{OrientedGrid, ProdIds, ProdLocalAlgorithm, ProdRun};
 use lcl_local::{IdAssignment, LocalAlgorithm, LocalRun};
 use lcl_obs::RunReport;
 use lcl_volume::{LcaAlgorithm, VolumeAlgorithm, VolumeRun};
+
+use crate::error::LandscapeError;
 
 /// A port-numbered graph instance: the topology, the half-edge input
 /// labeling, the identifier assignment, and (optionally) an announced
@@ -131,7 +134,16 @@ pub trait Simulation {
     fn model() -> &'static str;
 
     /// Runs `alg` on `instance`, returning the outcome and its trace.
-    fn simulate(alg: &Self::Algorithm, instance: Self::Instance<'_>) -> RunReport<Self::Outcome>;
+    ///
+    /// # Errors
+    ///
+    /// LOCAL and PROD-LOCAL simulations are infallible; VOLUME and LCA
+    /// runs surface an out-of-contract probe as
+    /// [`LandscapeError::Probe`].
+    fn simulate(
+        alg: &Self::Algorithm,
+        instance: Self::Instance<'_>,
+    ) -> Result<RunReport<Self::Outcome>, LandscapeError>;
 }
 
 /// The LOCAL model (Definition 2.1): radius-`T(n)` views, measured in
@@ -147,14 +159,17 @@ impl Simulation for LocalSim {
         "local"
     }
 
-    fn simulate(alg: &Self::Algorithm, instance: Self::Instance<'_>) -> RunReport<Self::Outcome> {
-        lcl_local::simulate(
+    fn simulate(
+        alg: &Self::Algorithm,
+        instance: Self::Instance<'_>,
+    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
+        Ok(lcl_local::simulate(
             alg,
             instance.graph,
             instance.input,
             instance.ids,
             instance.n_announced,
-        )
+        ))
     }
 }
 
@@ -171,14 +186,17 @@ impl Simulation for VolumeSim {
         "volume"
     }
 
-    fn simulate(alg: &Self::Algorithm, instance: Self::Instance<'_>) -> RunReport<Self::Outcome> {
-        lcl_volume::simulate(
+    fn simulate(
+        alg: &Self::Algorithm,
+        instance: Self::Instance<'_>,
+    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
+        Ok(lcl_volume::simulate(
             alg,
             instance.graph,
             instance.input,
             instance.ids,
             instance.n_announced,
-        )
+        )?)
     }
 }
 
@@ -197,8 +215,16 @@ impl Simulation for LcaSim {
         "lca"
     }
 
-    fn simulate(alg: &Self::Algorithm, instance: Self::Instance<'_>) -> RunReport<Self::Outcome> {
-        lcl_volume::simulate_lca(alg, instance.graph, instance.input, instance.ids)
+    fn simulate(
+        alg: &Self::Algorithm,
+        instance: Self::Instance<'_>,
+    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
+        Ok(lcl_volume::simulate_lca(
+            alg,
+            instance.graph,
+            instance.input,
+            instance.ids,
+        )?)
     }
 }
 
@@ -215,13 +241,16 @@ impl Simulation for ProdLocalSim {
         "prod-local"
     }
 
-    fn simulate(alg: &Self::Algorithm, instance: Self::Instance<'_>) -> RunReport<Self::Outcome> {
-        lcl_grid::simulate(
+    fn simulate(
+        alg: &Self::Algorithm,
+        instance: Self::Instance<'_>,
+    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
+        Ok(lcl_grid::simulate(
             alg,
             instance.grid,
             instance.input,
             instance.ids,
             instance.n_announced,
-        )
+        ))
     }
 }

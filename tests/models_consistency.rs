@@ -50,7 +50,8 @@ fn volume_and_local_solve_the_same_coloring() {
         &vinput,
         &ids,
         None,
-    );
+    )
+    .expect("in budget");
     assert!(verify(&problem, &g, &vinput, &volume_run.output).is_empty());
     // The VOLUME complexity is probes, the LOCAL one rounds; both are
     // log*-small.
@@ -85,16 +86,18 @@ fn theorem_41_pipeline_preserves_outputs_and_caps_probes() {
         let g = gen::cycle(n);
         let input = uniform_input(&g);
         let ids = IdAssignment::random_polynomial(n, 3, n as u64 + 5);
-        let plain = run_volume(&TranscriptAsVolume(LocalMinProbe), &g, &input, &ids, None);
+        let plain = run_volume(&TranscriptAsVolume(LocalMinProbe), &g, &input, &ids, None)
+            .expect("in budget");
         let canon = run_volume(
             &TranscriptAsVolume(Canonicalized(LocalMinProbe)),
             &g,
             &input,
             &ids,
             None,
-        );
+        )
+        .expect("in budget");
         assert_eq!(plain.output, canon.output, "canonicalization is lossless");
-        let fooled = run_fooled_volume(&LocalMinProbe, 8, &g, &input, &ids);
+        let fooled = run_fooled_volume(&LocalMinProbe, 8, &g, &input, &ids).expect("in budget");
         assert_eq!(plain.output, fooled.output, "fooling is lossless");
         assert_eq!(fooled.max_probes, 2);
     }

@@ -17,11 +17,13 @@
 
 use lcl::{LclProblem, OutLabel};
 use lcl_landscape::classify::{classify_oriented_cycle, synthesize_cycle_traced, PathClass};
-use lcl_landscape::core::{ReOptions, ReTower};
+use std::sync::Arc;
+
+use lcl_landscape::core::{tree_speedup_logged, ReOptions, ReTower, SpeedupOptions};
 use lcl_landscape::graph::gen;
 use lcl_landscape::graph::math::log_star;
 use lcl_landscape::local::IdAssignment;
-use lcl_landscape::obs::{Counter, Trace};
+use lcl_landscape::obs::{Counter, Event, EventLog, Trace};
 use lcl_landscape::problems::catalog::{
     anti_matching, k_coloring, oriented_three_coloring, sinkless_orientation, two_coloring,
 };
@@ -72,6 +74,58 @@ fn tower_fingerprints_identical_across_threading() {
     }
 }
 
+/// Event logging must not perturb the determinism contract: the full
+/// tree-speedup pipeline with an attached [`EventLog`] reports
+/// bit-identical fingerprints on 1, 2, and 8 worker threads, and every
+/// run's log carries the same level completions.
+#[test]
+fn logged_speedup_fingerprints_identical_across_thread_counts() {
+    let problem = anti_matching(3);
+    let mut fingerprints = Vec::new();
+    let mut completions = Vec::new();
+    for threads in [1, 2, 8] {
+        let opts = SpeedupOptions {
+            re: ReOptions {
+                parallel: true,
+                threads,
+                ..ReOptions::default()
+            },
+            ..SpeedupOptions::default()
+        };
+        let log = Arc::new(EventLog::new(4096));
+        let report = tree_speedup_logged(&problem, opts, Some(Arc::clone(&log)));
+        let attached = report
+            .events()
+            .expect("logged run must attach its event log");
+        assert!(
+            !attached.is_empty(),
+            "logged run must record events ({threads} threads)"
+        );
+        fingerprints.push(report.trace.fingerprint());
+        let mut levels: Vec<u64> = log
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                Event::LevelComplete { level, .. } => Some(*level),
+                _ => None,
+            })
+            .collect();
+        levels.sort_unstable();
+        completions.push(levels);
+    }
+    assert_eq!(
+        fingerprints[0], fingerprints[1],
+        "1 vs 2 worker threads with event logging"
+    );
+    assert_eq!(
+        fingerprints[0], fingerprints[2],
+        "1 vs 8 worker threads with event logging"
+    );
+    assert_eq!(completions[0], completions[1]);
+    assert_eq!(completions[0], completions[2]);
+    assert!(!completions[0].is_empty(), "tower completed no levels");
+}
+
 /// Each of the four models, driven twice through the `Simulation` trait
 /// on the same instance, must return non-empty identical traces.
 #[test]
@@ -86,8 +140,8 @@ fn all_four_simulations_trace_deterministically() {
             GraphInstance::new(&g, &input, &ids),
         )
     };
-    let a = local();
-    let b = local();
+    let a = local().expect("LOCAL is infallible");
+    let b = local().expect("LOCAL is infallible");
     assert!(!a.trace.is_empty());
     assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
     assert_eq!(a.trace.root().get(Counter::Nodes), Some(64));
@@ -98,8 +152,8 @@ fn all_four_simulations_trace_deterministically() {
             GraphInstance::new(&g, &input, &ids),
         )
     };
-    let a = volume();
-    let b = volume();
+    let a = volume().expect("in budget");
+    let b = volume().expect("in budget");
     assert!(!a.trace.is_empty());
     assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
     assert_eq!(
@@ -114,8 +168,8 @@ fn all_four_simulations_trace_deterministically() {
             GraphInstance::new(&g, &input, &lca_ids),
         )
     };
-    let a = lca();
-    let b = lca();
+    let a = lca().expect("in budget");
+    let b = lca().expect("in budget");
     assert!(!a.trace.is_empty());
     assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
     assert!(a.trace.fingerprint().starts_with("lca/"));
@@ -129,8 +183,8 @@ fn all_four_simulations_trace_deterministically() {
         |_view| vec![OutLabel(0); 4],
     );
     let prod = || ProdLocalSim::simulate(&pattern, GridInstance::new(&grid, &ginput, &gids));
-    let a = prod();
-    let b = prod();
+    let a = prod().expect("PROD-LOCAL is infallible");
+    let b = prod().expect("PROD-LOCAL is infallible");
     assert!(!a.trace.is_empty());
     assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
     assert_eq!(a.trace.root().get(Counter::ViewNodes), Some(36 * 9));
@@ -177,7 +231,8 @@ fn classified_tiers_bound_reported_rounds() {
             let g = gen::cycle(n);
             let input = lcl::uniform_input(&g);
             let ids = IdAssignment::random_polynomial(n, 3, n as u64);
-            let run = LocalSim::simulate(alg, GraphInstance::new(&g, &input, &ids));
+            let run = LocalSim::simulate(alg, GraphInstance::new(&g, &input, &ids))
+                .expect("LOCAL is infallible");
             let rounds = run
                 .trace
                 .root()
