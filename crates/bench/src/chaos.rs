@@ -1,0 +1,135 @@
+//! The chaos-soak bench stage: throughput of the faulted entrypoints
+//! under randomized [`FaultPlan`]s, one row per model.
+//!
+//! Unlike the figure stages this writes no `BENCH_*.json` baseline —
+//! fault-handling throughput is a health metric, not a paper artifact —
+//! so `bench-diff` comparisons of the committed baselines are untouched.
+//! The stage's invariant is the robustness trichotomy: every plan ends
+//! in a valid output, a typed violation, or a typed degradation; a panic
+//! would abort the whole bench run.
+
+use std::time::Instant;
+
+use lcl_faults::FaultPlan;
+use lcl_grid::{FnProdAlgorithm, OrientedGrid, ProdIds};
+use lcl_local::{simulate_sync_faulted, IdAssignment};
+use lcl_problems::DeltaPlusOne;
+use lcl_rng::SmallRng;
+use lcl_volume::lca::VolumeAsLca;
+use lcl_volume::{simulate_lca_faulted, FnVolumeAlgorithm, ProbeSession};
+
+use crate::table::Table;
+
+#[allow(clippy::type_complexity)] // `impl Trait` closure types cannot be aliased
+fn neighbor_probe_alg() -> FnVolumeAlgorithm<
+    impl Fn(usize) -> usize,
+    impl Fn(&mut ProbeSession<'_>) -> Result<Vec<lcl::OutLabel>, lcl_volume::ProbeError>,
+> {
+    FnVolumeAlgorithm::new(
+        "chaos-neighbor",
+        |_| 2,
+        |s| {
+            let d = s.queried().degree as usize;
+            let n0 = s.probe(0, 0)?;
+            Ok(vec![lcl::OutLabel((n0.id % 97) as u32); d])
+        },
+    )
+}
+
+/// Runs `plans` random fault plans against each model's faulted
+/// entrypoint and reports plans/s plus the degraded-run count.
+pub fn chaos_stage(plans: u64) -> Table {
+    let mut table = Table::new(
+        "Chaos soak — faulted entrypoints under random plans",
+        &["model", "plans", "degraded", "faults", "ms", "plans/s"],
+    );
+
+    // LOCAL (sync executor): Δ+1 coloring on random trees.
+    let t0 = Instant::now();
+    let mut degraded = 0u64;
+    let mut faults = 0u64;
+    for seed in 0..plans {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let n = rng.gen_range(16usize..64);
+        let g = lcl_graph::gen::random_tree(n, 3, seed);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = IdAssignment::random_polynomial(n, 3, seed ^ 1)
+            .iter()
+            .collect();
+        let plan = FaultPlan::random(seed, n, 4);
+        let report = simulate_sync_faulted(
+            &DeltaPlusOne { delta: 3 },
+            &g,
+            &input,
+            &ids,
+            None,
+            1000,
+            &plan,
+            None,
+        );
+        degraded += u64::from(report.outcome.is_degraded());
+        faults += report.outcome.faults.len() as u64;
+    }
+    push_row(&mut table, "LOCAL/sync", plans, degraded, faults, t0);
+
+    // LCA: the wrapped probe algorithm on paths, ids exactly 1..=n.
+    let t0 = Instant::now();
+    let mut degraded = 0u64;
+    let mut faults = 0u64;
+    for seed in 0..plans {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+        let n = rng.gen_range(8usize..48);
+        let g = lcl_graph::gen::path(n);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::from_vec((1..=n as u64).collect());
+        let plan = FaultPlan::random(seed, n, 4);
+        let report = simulate_lca_faulted(
+            &VolumeAsLca(neighbor_probe_alg()),
+            &g,
+            &input,
+            &ids,
+            &plan,
+            None,
+        );
+        degraded += u64::from(report.outcome.is_degraded());
+        faults += report.outcome.faults.len() as u64;
+    }
+    push_row(&mut table, "LCA", plans, degraded, faults, t0);
+
+    // PROD-LOCAL: an echo algorithm on oriented grids.
+    let t0 = Instant::now();
+    let mut degraded = 0u64;
+    let mut faults = 0u64;
+    let alg = FnProdAlgorithm::new(
+        "chaos-echo",
+        |_| 1,
+        |view: &lcl_grid::GridView| vec![lcl::OutLabel((view.id(0, -1) % 97) as u32); 2 * view.d],
+    );
+    for seed in 0..plans {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xfeed);
+        let a = rng.gen_range(4usize..9);
+        let b = rng.gen_range(4usize..9);
+        let grid = OrientedGrid::new(&[a, b]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        let plan = FaultPlan::random(seed, grid.node_count(), 1);
+        let report = lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+        degraded += u64::from(report.outcome.is_degraded());
+        faults += report.outcome.faults.len() as u64;
+    }
+    push_row(&mut table, "PROD-LOCAL", plans, degraded, faults, t0);
+
+    table
+}
+
+fn push_row(table: &mut Table, model: &str, plans: u64, degraded: u64, faults: u64, t0: Instant) {
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    table.row(&[
+        model.to_string(),
+        plans.to_string(),
+        degraded.to_string(),
+        faults.to_string(),
+        format!("{ms:.1}"),
+        format!("{:.0}", plans as f64 / (ms / 1e3)),
+    ]);
+}

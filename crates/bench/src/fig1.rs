@@ -1,7 +1,7 @@
 //! The four panels of the paper's Figure 1, regenerated as measured
 //! series (E1–E4 of the experiment index).
 
-use lcl_core::{tree_speedup, SpeedupOptions, SpeedupOutcome};
+use lcl_core::{tree_speedup, SpeedupOptions};
 use lcl_graph::math::{log2_floor, log_log_star, log_star};
 use lcl_graph::{gen, NodeId};
 use lcl_grid::OrientedGrid;
@@ -39,10 +39,9 @@ pub fn trees() -> Table {
     // Synthesize the O(1) algorithm once (Theorem 3.11 pipeline).
     let anti = anti_matching(3);
     let outcome = tree_speedup(&anti, SpeedupOptions::default());
-    let SpeedupOutcome::ConstantRound { .. } = outcome else {
-        panic!("anti-matching must synthesize");
-    };
-    let alg = outcome.algorithm();
+    let alg = outcome
+        .try_algorithm()
+        .expect("why: anti-matching is o(log* n), so Theorem 3.11 synthesis must succeed");
 
     // Simulated graphs are capped at 2^13 nodes; the announced `n` (which
     // drives every algorithm's schedule, per Definition 2.1) sweeps much

@@ -34,6 +34,7 @@
 //! one — counters bit-exact, wall times within tolerance — and exits
 //! nonzero on any regression. `scripts/check.sh` runs it.
 
+pub mod chaos;
 pub mod diff;
 pub mod fig1;
 pub mod gaps;

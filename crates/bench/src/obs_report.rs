@@ -10,7 +10,7 @@
 //! fields are the only nondeterministic quantities in the file.
 
 use lcl::OutLabel;
-use lcl_core::{tree_speedup_traced, SpeedupOptions, SpeedupOutcome};
+use lcl_core::{tree_speedup_traced, SpeedupOptions};
 use lcl_graph::gen;
 use lcl_grid::{FnProdAlgorithm, OrientedGrid};
 use lcl_local::IdAssignment;
@@ -28,10 +28,10 @@ use crate::volume_algos::{ConstProbe, CvProbeColoring, TwoColorProbes};
 fn collect_trees(reg: &Registry) {
     let anti = anti_matching(3);
     let report = tree_speedup_traced(&anti, SpeedupOptions::default());
-    let SpeedupOutcome::ConstantRound { .. } = &report.outcome else {
-        panic!("anti-matching must synthesize");
-    };
-    let alg = report.outcome.algorithm();
+    let alg = report
+        .outcome
+        .try_algorithm()
+        .expect("why: anti-matching is o(log* n), so Theorem 3.11 synthesis must succeed");
 
     let tree = gen::random_tree(512, 3, 5);
     let input = lcl::uniform_input(&tree);

@@ -139,7 +139,7 @@ fn canonical_component_output(
 
     let mut assignment: Vec<Option<OutLabel>> = vec![None; slots.len()];
     let mut work = 0u64;
-    if !canonical_search(
+    let solved = canonical_search(
         problem,
         graph,
         input,
@@ -150,12 +150,13 @@ fn canonical_component_output(
         universe,
         &mut work,
         search_cap,
-    ) {
-        panic!(
-            "component has no valid solution for {} (lemma presumes solvability)",
-            problem.problem_name()
-        );
-    }
+    );
+    assert!(
+        solved,
+        "why: Lemma 3.3 presumes {} is solvable on every component, yet this one admits no \
+         valid labeling",
+        problem.problem_name()
+    );
     let solution: std::collections::HashMap<lcl_graph::HalfEdgeId, OutLabel> = slots
         .iter()
         .zip(&assignment)

@@ -83,16 +83,23 @@ impl<'t> LiftedAlgorithm<'t> {
         } else {
             (their_members, my_members)
         };
-        for &x in first_set {
-            for &y in second_set {
-                if r_level.edge_allows(OutLabel(x), OutLabel(y)) {
-                    return if i_am_first { x } else { y };
-                }
-            }
+        let (x, y) = first_set
+            .iter()
+            .find_map(|&x| {
+                second_set
+                    .iter()
+                    .find(|&&y| r_level.edge_allows(OutLabel(x), OutLabel(y)))
+                    .map(|&y| (x, y))
+            })
+            .expect(
+                "why: {A_v, A_w} is an allowed R̄(R(Π)) edge configuration, so Lemma 3.9 \
+                 guarantees an allowed R-pair exists in A_v × A_w",
+            );
+        if i_am_first {
+            x
+        } else {
+            y
         }
-        panic!(
-            "Lemma 3.9 edge step found no R-configuration; the level-{level} labeling was not a valid solution"
-        );
     }
 
     /// Node step: given the node's `R`-level labels per port, selects
@@ -104,12 +111,13 @@ impl<'t> LiftedAlgorithm<'t> {
             .map(|&l| self.tower.label_members(level - 1, OutLabel(l)))
             .collect();
         let mut chosen: Vec<u32> = Vec::with_capacity(sets.len());
-        if select(&below, &sets, inputs, &mut chosen) {
-            return chosen;
-        }
-        panic!(
-            "Lemma 3.9 node step found no Π-configuration; the level-{level} labeling was not a valid solution"
+        let found = select(&below, &sets, inputs, &mut chosen);
+        assert!(
+            found,
+            "why: the port sets form an allowed R(Π) node configuration at level {level}, so \
+             Lemma 3.9 guarantees a Π-completion"
         );
+        chosen
     }
 }
 

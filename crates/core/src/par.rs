@@ -9,6 +9,8 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use lcl_faults::{BudgetExceeded, CancelToken};
+
 /// Chunk size claimed per atomic fetch; small enough to balance skewed
 /// workloads, large enough to keep counter traffic negligible.
 const CHUNK: usize = 8;
@@ -76,6 +78,74 @@ where
     par_map_indexed(items.len(), threads, |i| f(&items[i]))
 }
 
+/// [`par_map_indexed`] with cooperative cancellation: workers observe
+/// `token` between chunk claims and stop early once it trips, and the
+/// call returns a typed [`BudgetExceeded`] (with the caller's `stage`
+/// and `partial` progress) instead of the — then incomplete — results.
+///
+/// When the token never trips the output is bit-identical to
+/// [`par_map_indexed`] at any thread count.
+///
+/// # Errors
+///
+/// [`BudgetExceeded`] with [`Breach::Cancelled`](lcl_faults::Breach) if
+/// the token tripped (deadline or external cancel) before completion.
+pub fn par_map_indexed_cancellable<U, F>(
+    n: usize,
+    threads: usize,
+    token: &CancelToken,
+    stage: &str,
+    partial: u64,
+    f: F,
+) -> Result<Vec<U>, BudgetExceeded>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = threads.min(n.div_ceil(CHUNK)).max(1);
+    if threads <= 1 {
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            if i % CHUNK == 0 {
+                token.checkpoint(stage, partial)?;
+            }
+            out.push(f(i));
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    let chunks: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                if token.is_cancelled() {
+                    return;
+                }
+                let start = next.fetch_add(CHUNK, Ordering::Relaxed);
+                if start >= n {
+                    return;
+                }
+                let end = (start + CHUNK).min(n);
+                let block: Vec<U> = (start..end).map(&f).collect();
+                chunks
+                    .lock()
+                    .expect("no panics while locked")
+                    .push((start, block));
+            });
+        }
+    });
+    token.checkpoint(stage, partial)?;
+
+    let mut chunks = chunks.into_inner().expect("workers joined");
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, block) in chunks {
+        out.extend(block);
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +189,46 @@ mod tests {
     fn zero_thread_request_resolves_to_cores() {
         assert!(resolve_threads(0) >= 1);
         assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn cancellable_map_matches_plain_map_when_untripped() {
+        let token = CancelToken::new();
+        for threads in [1, 2, 4] {
+            let out = par_map_indexed_cancellable(100, threads, &token, "test", 0, |i| i * 3)
+                .expect("token never trips");
+            assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn tripped_token_yields_a_typed_breach() {
+        let token = CancelToken::new();
+        token.cancel();
+        for threads in [1, 4] {
+            let err =
+                par_map_indexed_cancellable(100, threads, &token, "stage-x", 5, |i| i).unwrap_err();
+            assert_eq!(err.stage, "stage-x");
+            assert_eq!(err.partial, 5);
+            assert_eq!(err.breach, lcl_faults::Breach::Cancelled);
+        }
+    }
+
+    #[test]
+    fn mid_run_cancel_stops_claiming_chunks() {
+        let token = CancelToken::new();
+        let visits = AtomicU64::new(0);
+        let result = par_map_indexed_cancellable(10_000, 4, &token, "stage", 0, |i| {
+            visits.fetch_add(1, Ordering::Relaxed);
+            if i == 0 {
+                token.cancel();
+            }
+            i
+        });
+        assert!(result.is_err());
+        assert!(
+            visits.load(Ordering::Relaxed) < 10_000,
+            "workers stopped early"
+        );
     }
 }

@@ -85,20 +85,27 @@ impl SpeedupOutcome {
         matches!(self, SpeedupOutcome::ConstantRound { .. })
     }
 
+    /// Builds the synthesized algorithm (borrows the tower), or `None`
+    /// if the pipeline exhausted its budget without synthesizing one.
+    pub fn try_algorithm(&self) -> Option<LiftedAlgorithm<'_>> {
+        match self {
+            SpeedupOutcome::ConstantRound { tower, steps, adet } => {
+                Some(LiftedAlgorithm::new(tower, adet.clone(), *steps))
+            }
+            SpeedupOutcome::Exhausted { .. } => None,
+        }
+    }
+
     /// Builds the synthesized algorithm (borrows the tower).
     ///
     /// # Panics
     ///
-    /// Panics if the outcome is not [`SpeedupOutcome::ConstantRound`].
+    /// Panics if the outcome is not [`SpeedupOutcome::ConstantRound`];
+    /// callers that have not already checked [`is_constant`](Self::is_constant)
+    /// should prefer [`try_algorithm`](Self::try_algorithm).
     pub fn algorithm(&self) -> LiftedAlgorithm<'_> {
-        match self {
-            SpeedupOutcome::ConstantRound { tower, steps, adet } => {
-                LiftedAlgorithm::new(tower, adet.clone(), *steps)
-            }
-            SpeedupOutcome::Exhausted { .. } => {
-                panic!("no constant-round algorithm was synthesized")
-            }
-        }
+        self.try_algorithm()
+            .expect("why: caller checked is_constant(), so the outcome holds a synthesized table")
     }
 }
 

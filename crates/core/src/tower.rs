@@ -58,6 +58,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use lcl::{InLabel, LclProblem, OutLabel, Problem};
+use lcl_faults::{Budget, BudgetExceeded, CancelToken};
 use lcl_obs::{Counter, Event, EventLog, Span, SpanRecord, Trace};
 
 use crate::bits::{for_each_multiset, BitSet};
@@ -93,6 +94,10 @@ pub enum ReError {
     /// with `restrict: true`, which drops labels the sloppy Monte-Carlo
     /// estimates can still emit).
     LabelOutsideUniverse { level: usize, members: Vec<u32> },
+    /// A budgeted push hit a resource cap or its cancel token tripped.
+    /// Every level completed before the breach stays in the tower
+    /// (`partial` counts them), so callers keep the partial result.
+    Budget(BudgetExceeded),
 }
 
 impl fmt::Display for ReError {
@@ -114,11 +119,18 @@ impl fmt::Display for ReError {
                 f,
                 "label set {members:?} is outside the level-{level} universe"
             ),
+            ReError::Budget(b) => write!(f, "{b}"),
         }
     }
 }
 
 impl Error for ReError {}
+
+impl From<BudgetExceeded> for ReError {
+    fn from(b: BudgetExceeded) -> Self {
+        ReError::Budget(b)
+    }
+}
 
 /// Caps and engine knobs for a round-elimination step.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -563,7 +575,7 @@ impl ReTower {
     ///
     /// See [`ReError`].
     pub fn push_r(&mut self, opts: ReOptions) -> Result<(), ReError> {
-        self.push_layer(LayerKind::R, opts)
+        self.push_layer(LayerKind::R, opts, None)
     }
 
     /// Applies `R̄` (Definition 3.2) on top of the current top level.
@@ -577,7 +589,7 @@ impl ReTower {
             Some(layer) if layer.kind == LayerKind::R => {}
             _ => return Err(ReError::RBarNeedsR),
         }
-        self.push_layer(LayerKind::RBar, opts)
+        self.push_layer(LayerKind::RBar, opts, None)
     }
 
     /// Applies one full step `f = R̄ ∘ R` of the Theorem 3.10 sequence.
@@ -590,12 +602,83 @@ impl ReTower {
         self.push_rbar(opts)
     }
 
-    fn push_layer(&mut self, kind: LayerKind, opts: ReOptions) -> Result<(), ReError> {
+    /// [`push_r`](Self::push_r) under a resource [`Budget`]: the label
+    /// cap is checked during interning, the level cap before the step,
+    /// the memory estimate after universe construction, and the cancel
+    /// token between restriction iterations and inside the parallel
+    /// fan-out. On a breach the tower is left exactly as before the
+    /// failed step — every previously completed level survives, and the
+    /// returned [`ReError::Budget`] carries that count as `partial`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReError::Budget`] on a cap breach or tripped token, plus every
+    /// failure mode of [`push_r`](Self::push_r).
+    pub fn push_r_budgeted(
+        &mut self,
+        opts: ReOptions,
+        budget: &Budget,
+        token: &CancelToken,
+    ) -> Result<(), ReError> {
+        self.push_layer(LayerKind::R, opts, Some((budget, token)))
+    }
+
+    /// [`push_rbar`](Self::push_rbar) under a resource [`Budget`]; see
+    /// [`push_r_budgeted`](Self::push_r_budgeted).
+    ///
+    /// # Errors
+    ///
+    /// As [`push_r_budgeted`](Self::push_r_budgeted), plus
+    /// [`ReError::RBarNeedsR`].
+    pub fn push_rbar_budgeted(
+        &mut self,
+        opts: ReOptions,
+        budget: &Budget,
+        token: &CancelToken,
+    ) -> Result<(), ReError> {
+        match self.layers.last() {
+            Some(layer) if layer.kind == LayerKind::R => {}
+            _ => return Err(ReError::RBarNeedsR),
+        }
+        self.push_layer(LayerKind::RBar, opts, Some((budget, token)))
+    }
+
+    /// One full budgeted `f = R̄ ∘ R` step; see
+    /// [`push_r_budgeted`](Self::push_r_budgeted). If `R` completes but
+    /// `R̄` breaches, the `R` level stays (a usable partial tower).
+    ///
+    /// # Errors
+    ///
+    /// As [`push_r_budgeted`](Self::push_r_budgeted).
+    pub fn push_f_budgeted(
+        &mut self,
+        opts: ReOptions,
+        budget: &Budget,
+        token: &CancelToken,
+    ) -> Result<(), ReError> {
+        self.push_r_budgeted(opts, budget, token)?;
+        self.push_rbar_budgeted(opts, budget, token)
+    }
+
+    fn push_layer(
+        &mut self,
+        kind: LayerKind,
+        opts: ReOptions,
+        guard: Option<(&Budget, &CancelToken)>,
+    ) -> Result<(), ReError> {
         let kind_name = match kind {
             LayerKind::R => "r",
             LayerKind::RBar => "rbar",
         };
         let mut span = Span::start(format!("level-{}/{kind_name}", self.layers.len() + 1));
+        // Budget bookkeeping: `partial` counts completed derived levels,
+        // which all survive a breach of *this* step.
+        let stage = format!("re-tower/level-{}", self.layers.len() + 1);
+        let partial = self.layers.len() as u64;
+        if let Some((budget, token)) = guard {
+            token.checkpoint(&stage, partial)?;
+            budget.check_rounds(&stage, self.layers.len() as u64 + 1, partial)?;
+        }
         let threads = if opts.parallel {
             par::resolve_threads(opts.threads)
         } else {
@@ -636,6 +719,9 @@ impl ReTower {
                     });
                 }
                 labels.intern(&members);
+                if let Some((budget, _)) = guard {
+                    budget.check_labels(&stage, labels.len() as u64, partial)?;
+                }
             }
         }
         if labels.is_empty() {
@@ -644,6 +730,16 @@ impl ReTower {
         let labels_full = labels.len();
 
         let count = labels.len();
+        if let Some((budget, token)) = guard {
+            token.checkpoint(&stage, partial)?;
+            // Working-set estimate before the bitset rows are allocated:
+            // one parent-universe row plus two level-universe rows per
+            // label, and the interner's member lists.
+            let bitset_bytes = |bits: usize| (bits.div_ceil(64) * 8) as u64;
+            let estimate = count as u64 * (bitset_bytes(parent_size) + 2 * bitset_bytes(count))
+                + labels_full as u64 * 16;
+            budget.check_memory(&stage, estimate, partial)?;
+        }
         let member_sets: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
             BitSet::from_members(
                 parent_size,
@@ -711,7 +807,16 @@ impl ReTower {
         self.layers.push(layer);
         let mut configurations = 0;
         if opts.restrict {
-            let (alive, work) = self.restrict_top(opts, threads);
+            let (alive, work) = match self.restrict_top(opts, threads, guard, &stage, partial) {
+                Ok(v) => v,
+                Err(breach) => {
+                    // Undo the tentative push so the tower holds exactly
+                    // the levels completed before the breach.
+                    self.layers.pop();
+                    self.node_cache.lock().expect("cache lock").map.clear();
+                    return Err(ReError::Budget(breach));
+                }
+            };
             configurations = work;
             layer = self.layers.pop().expect("just pushed");
             // Compaction reindexes labels: drop memoized entries.
@@ -790,7 +895,19 @@ impl ReTower {
 
     /// Computes the alive-label fixpoint of the top layer, returning the
     /// surviving labels and the number of candidate configurations tried.
-    fn restrict_top(&self, opts: ReOptions, threads: usize) -> (BitSet, u64) {
+    ///
+    /// With a `guard`, the cancel token is observed once per fixpoint
+    /// iteration and cooperatively inside the node-useful fan-out, so a
+    /// deadline or external cancel stops the (potentially expensive)
+    /// restriction mid-flight with a typed breach.
+    fn restrict_top(
+        &self,
+        opts: ReOptions,
+        threads: usize,
+        guard: Option<(&Budget, &CancelToken)>,
+        stage: &str,
+        partial: u64,
+    ) -> Result<(BitSet, u64), BudgetExceeded> {
         let level = self.layers.len();
         let layer = &self.layers[level - 1];
         let count = layer.labels.len();
@@ -805,6 +922,9 @@ impl ReTower {
         let mut alive = g_union;
         let mut configurations = 0u64;
         loop {
+            if let Some((_, token)) = guard {
+                token.checkpoint(stage, partial)?;
+            }
             let mut changed = false;
             // Edge-useful: some alive partner.
             for l in 0..count {
@@ -820,9 +940,27 @@ impl ReTower {
             // do not depend on scheduling.
             let snapshot = alive.clone();
             let snapshot_ids: Vec<usize> = snapshot.iter().collect();
-            let verdicts = par::par_map(&snapshot_ids, threads, |&l| {
-                self.node_useful(level, l, &snapshot, delta, opts.node_work_cap)
-            });
+            let verdicts = match guard {
+                Some((_, token)) => par::par_map_indexed_cancellable(
+                    snapshot_ids.len(),
+                    threads,
+                    token,
+                    stage,
+                    partial,
+                    |i| {
+                        self.node_useful(
+                            level,
+                            snapshot_ids[i],
+                            &snapshot,
+                            delta,
+                            opts.node_work_cap,
+                        )
+                    },
+                )?,
+                None => par::par_map(&snapshot_ids, threads, |&l| {
+                    self.node_useful(level, l, &snapshot, delta, opts.node_work_cap)
+                }),
+            };
             for (&l, &(useful, work)) in snapshot_ids.iter().zip(&verdicts) {
                 configurations += work;
                 if !useful {
@@ -831,7 +969,7 @@ impl ReTower {
                 }
             }
             if !changed {
-                return (alive, configurations);
+                return Ok((alive, configurations));
             }
         }
     }
@@ -1273,5 +1411,96 @@ mod tests {
         let b = tower.lookup_label(1, &[1]).expect("label exists");
         assert!(level.input_allows(InLabel(0), b));
         assert!(level.input_allows(InLabel(1), b));
+    }
+
+    #[test]
+    fn generous_budget_matches_the_plain_push() {
+        let mut plain = ReTower::new(three_coloring());
+        plain.push_f(ReOptions::default()).unwrap();
+        let mut budgeted = ReTower::new(three_coloring());
+        let budget = lcl_faults::Budget::unlimited().with_max_labels(1 << 20);
+        let token = budget.token();
+        budgeted
+            .push_f_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap();
+        assert_eq!(plain.level_count(), budgeted.level_count());
+        for level in 0..plain.level_count() {
+            assert_eq!(plain.alphabet_size(level), budgeted.alphabet_size(level));
+        }
+    }
+
+    #[test]
+    fn tight_label_budget_breaches_and_keeps_prior_levels() {
+        let mut tower = ReTower::new(three_coloring());
+        let budget = lcl_faults::Budget::unlimited().with_max_labels(3);
+        let token = budget.token();
+        let err = tower
+            .push_r_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap_err();
+        let ReError::Budget(breach) = err else {
+            panic!("expected a budget breach, got {err}");
+        };
+        assert!(matches!(breach.breach, lcl_faults::Breach::Labels(3, _)));
+        assert_eq!(breach.stage, "re-tower/level-1");
+        assert_eq!(breach.partial, 0);
+        assert_eq!(tower.level_count(), 1, "failed step leaves only the base");
+
+        // A roomier cap lets R through; R̄ then breaches but the R level
+        // stays — the partial tower is usable.
+        let mut tower = ReTower::new(three_coloring());
+        let budget = lcl_faults::Budget::unlimited().with_max_labels(7);
+        let token = budget.token();
+        tower
+            .push_r_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap();
+        assert_eq!(tower.level_count(), 2);
+        let err = tower
+            .push_rbar_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap_err();
+        let ReError::Budget(breach) = err else {
+            panic!("expected a budget breach, got {err}");
+        };
+        assert_eq!(breach.partial, 1, "one completed derived level survives");
+        assert_eq!(tower.level_count(), 2, "R level kept after R̄ breach");
+        assert!(tower.alphabet_size(1) > 0);
+    }
+
+    #[test]
+    fn cancelled_token_stops_a_budgeted_push() {
+        let mut tower = ReTower::new(three_coloring());
+        let budget = lcl_faults::Budget::unlimited();
+        let token = budget.token();
+        token.cancel();
+        let err = tower
+            .push_r_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ReError::Budget(lcl_faults::BudgetExceeded {
+                breach: lcl_faults::Breach::Cancelled,
+                ..
+            })
+        ));
+        assert_eq!(tower.level_count(), 1);
+    }
+
+    #[test]
+    fn round_cap_limits_tower_height() {
+        let mut tower = ReTower::new(sinkless_orientation());
+        let budget = lcl_faults::Budget::unlimited().with_max_rounds(2);
+        let token = budget.token();
+        tower
+            .push_f_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap();
+        assert_eq!(tower.level_count(), 3);
+        let err = tower
+            .push_r_budgeted(ReOptions::default(), &budget, &token)
+            .unwrap_err();
+        let ReError::Budget(breach) = err else {
+            panic!("expected a budget breach, got {err}");
+        };
+        assert!(matches!(breach.breach, lcl_faults::Breach::Rounds(2, 3)));
+        assert_eq!(breach.partial, 2);
+        assert_eq!(tower.level_count(), 3);
     }
 }

@@ -1,0 +1,402 @@
+//! Seeded, serializable fault schedules.
+//!
+//! A [`FaultPlan`] is the unit of chaos: a list of [`Fault`]s plus a
+//! seed, applied deterministically by the `simulate_*_faulted`
+//! entrypoints. Plans serialize to a line-oriented text format
+//! ([`FaultPlan::to_text`] / [`FaultPlan::parse`]) so an interesting
+//! plan found by the chaos soak can be committed verbatim into a
+//! regression test or an EXPERIMENTS.md recipe.
+
+use std::fmt;
+
+use lcl_rng::SmallRng;
+
+/// One injected fault.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Node `node` crash-stops at round `round`: from that round on its
+    /// state is frozen — it still emits its last messages (fail-silent
+    /// nodes would deadlock executors whose message types have no
+    /// default), never receives, and reports done.
+    Crash {
+        /// Structural node index.
+        node: usize,
+        /// Zero-based round at which the node stops participating.
+        round: u32,
+    },
+    /// Node `node` sees a corrupted radius-`T` view: the identifiers and
+    /// random bits in its ball (or its probe answers / grid window) are
+    /// perturbed by a deterministic mask derived from `salt`.
+    CorruptView {
+        /// Structural node index (or query index in VOLUME/LCA).
+        node: usize,
+        /// Seed of the perturbation mask; see [`perturb`].
+        salt: u64,
+    },
+    /// Node `node`'s algorithm invocation panics (via [`inject_panic`]).
+    /// The executor isolates it and records a [`NodeFault`] instead of
+    /// aborting the process.
+    ///
+    /// [`inject_panic`]: crate::inject_panic
+    /// [`NodeFault`]: crate::NodeFault
+    PanicNode {
+        /// Structural node index (or query index).
+        node: usize,
+    },
+    /// The `nth` probe issued while answering query `query` returns a
+    /// corrupted `NodeInfo`-style answer (the VOLUME adversary lying).
+    ProbeLie {
+        /// Query index whose probe sequence is corrupted.
+        query: usize,
+        /// Zero-based index of the corrupted probe within that query.
+        nth: u64,
+    },
+}
+
+/// A deterministic, serializable schedule of faults for one run.
+///
+/// The plan's `seed` drives every derived choice (the adversarial ID
+/// permutation, corruption masks), so a `(seed, plan)` pair fully
+/// determines a faulted execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultPlan {
+    seed: u64,
+    permute_ids: bool,
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, identifiers untouched) with a seed for
+    /// derived choices.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            permute_ids: false,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Adds one fault (builder style).
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Requests an adversarial permutation of the identifier assignment,
+    /// derived from the plan seed (builder style).
+    pub fn with_permuted_ids(mut self) -> Self {
+        self.permute_ids = true;
+        self
+    }
+
+    /// A random plan over `nodes` nodes and rounds `0..max_round`:
+    /// between zero and three faults of uniformly chosen kinds, plus an
+    /// ID permutation half the time. Identical arguments yield the
+    /// identical plan.
+    pub fn random(seed: u64, nodes: usize, max_round: u32) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut plan = Self::new(seed);
+        plan.permute_ids = rng.gen_bool(0.5);
+        if nodes == 0 {
+            return plan;
+        }
+        let count = rng.gen_range(0usize..=3);
+        for _ in 0..count {
+            let node = rng.gen_range(0usize..nodes);
+            let fault = match rng.gen_range(0u32..4) {
+                0 => Fault::Crash {
+                    node,
+                    round: rng.gen_range(0u32..=max_round),
+                },
+                1 => Fault::CorruptView {
+                    node,
+                    salt: rng.gen(),
+                },
+                2 => Fault::PanicNode { node },
+                _ => Fault::ProbeLie {
+                    query: node,
+                    nth: rng.gen_range(0u64..=4),
+                },
+            };
+            plan.faults.push(fault);
+        }
+        plan
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether this plan permutes the identifier assignment.
+    pub fn permutes_ids(&self) -> bool {
+        self.permute_ids
+    }
+
+    /// The scheduled faults, in application order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan changes anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && !self.permute_ids
+    }
+
+    /// The earliest round at which `node` crash-stops, if scheduled.
+    pub fn crash_round(&self, node: usize) -> Option<u32> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::Crash { node: v, round } if *v == node => Some(*round),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// The corruption salt for `node`'s view, if scheduled.
+    pub fn corrupt_salt(&self, node: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::CorruptView { node: v, salt } if *v == node => Some(*salt),
+            _ => None,
+        })
+    }
+
+    /// Whether `node`'s algorithm invocation is scheduled to panic.
+    pub fn panics(&self, node: usize) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f, Fault::PanicNode { node: v } if *v == node))
+    }
+
+    /// The index of the probe to corrupt while answering `query`, if any.
+    pub fn probe_lie(&self, query: usize) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            Fault::ProbeLie { query: q, nth } if *q == query => Some(*nth),
+            _ => None,
+        })
+    }
+
+    /// The adversarial identifier permutation over `0..n`, if the plan
+    /// requests one: a Fisher–Yates shuffle driven by the plan seed.
+    /// `permutation[v]` is the *rank* whose identifier node `v` receives.
+    pub fn permutation(&self, n: usize) -> Option<Vec<usize>> {
+        if !self.permute_ids {
+            return None;
+        }
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ PERMUTE_SALT);
+        let mut perm: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            perm.swap(i, rng.gen_range(0usize..=i));
+        }
+        Some(perm)
+    }
+
+    /// Line-oriented text rendering; [`FaultPlan::parse`] round-trips it.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("plan seed={} permute-ids={}\n", self.seed, self.permute_ids);
+        for fault in &self.faults {
+            match fault {
+                Fault::Crash { node, round } => {
+                    let _ = writeln!(out, "crash node={node} round={round}");
+                }
+                Fault::CorruptView { node, salt } => {
+                    let _ = writeln!(out, "corrupt node={node} salt={salt}");
+                }
+                Fault::PanicNode { node } => {
+                    let _ = writeln!(out, "panic node={node}");
+                }
+                Fault::ProbeLie { query, nth } => {
+                    let _ = writeln!(out, "probe-lie query={query} nth={nth}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses the [`FaultPlan::to_text`] format. Blank lines and `#`
+    /// comments are ignored.
+    pub fn parse(text: &str) -> Result<Self, PlanParseError> {
+        let mut plan = None;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            let head = words.next().unwrap_or_default();
+            let field = |key: &str| -> Result<u64, PlanParseError> {
+                let prefix = format!("{key}=");
+                line.split_whitespace()
+                    .find_map(|w| w.strip_prefix(&prefix))
+                    .ok_or(PlanParseError {
+                        line: lineno + 1,
+                        what: "missing field",
+                    })?
+                    .parse()
+                    .map_err(|_| PlanParseError {
+                        line: lineno + 1,
+                        what: "malformed number",
+                    })
+            };
+            match head {
+                "plan" => {
+                    let mut p = Self::new(field("seed")?);
+                    p.permute_ids = words.any(|w| w == "permute-ids=true");
+                    plan = Some(p);
+                }
+                _ => {
+                    let plan = plan.as_mut().ok_or(PlanParseError {
+                        line: lineno + 1,
+                        what: "fault before the plan header",
+                    })?;
+                    let fault = match head {
+                        "crash" => Fault::Crash {
+                            node: field("node")? as usize,
+                            round: field("round")? as u32,
+                        },
+                        "corrupt" => Fault::CorruptView {
+                            node: field("node")? as usize,
+                            salt: field("salt")?,
+                        },
+                        "panic" => Fault::PanicNode {
+                            node: field("node")? as usize,
+                        },
+                        "probe-lie" => Fault::ProbeLie {
+                            query: field("query")? as usize,
+                            nth: field("nth")?,
+                        },
+                        _ => {
+                            return Err(PlanParseError {
+                                line: lineno + 1,
+                                what: "unknown fault kind",
+                            })
+                        }
+                    };
+                    plan.faults.push(fault);
+                }
+            }
+        }
+        plan.ok_or(PlanParseError {
+            line: 0,
+            what: "no plan header",
+        })
+    }
+}
+
+const PERMUTE_SALT: u64 = 0x9d5c_f0aa_11f4_27b3;
+
+/// Deterministic nonzero perturbation mask for corrupted views: word `i`
+/// of a view corrupted with `salt` is XORed with `perturb(salt, i)`.
+pub fn perturb(salt: u64, i: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(salt ^ i.wrapping_mul(0x2545_f491_4f6c_dd1d));
+    rng.next_u64() | 1
+}
+
+/// A [`FaultPlan::parse`] failure: the 1-based line and what was wrong.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlanParseError {
+    /// 1-based line number (0 when the whole text is unusable).
+    pub line: usize,
+    /// What was wrong with the line.
+    pub what: &'static str,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fault plan line {}: {}", self.line, self.what)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_round_trips() {
+        let plan = FaultPlan::new(42)
+            .with_permuted_ids()
+            .with(Fault::Crash { node: 3, round: 2 })
+            .with(Fault::CorruptView { node: 1, salt: 99 })
+            .with(Fault::PanicNode { node: 0 })
+            .with(Fault::ProbeLie { query: 5, nth: 3 });
+        let text = plan.to_text();
+        assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_rejects_garbage() {
+        let plan =
+            FaultPlan::parse("# chaos\nplan seed=7 permute-ids=false\n\ncrash node=0 round=1\n")
+                .unwrap();
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.crash_round(0), Some(1));
+        assert!(FaultPlan::parse("crash node=0 round=1").is_err());
+        assert!(FaultPlan::parse("plan seed=1\nwobble node=0").is_err());
+        assert!(FaultPlan::parse("plan seed=1\ncrash node=x round=1").is_err());
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_in_range() {
+        for seed in 0..50 {
+            let a = FaultPlan::random(seed, 8, 4);
+            let b = FaultPlan::random(seed, 8, 4);
+            assert_eq!(a, b);
+            for fault in a.faults() {
+                match *fault {
+                    Fault::Crash { node, round } => {
+                        assert!(node < 8 && round <= 4);
+                    }
+                    Fault::CorruptView { node, .. } | Fault::PanicNode { node } => {
+                        assert!(node < 8);
+                    }
+                    Fault::ProbeLie { query, nth } => {
+                        assert!(query < 8 && nth <= 4);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn accessors_pick_out_scheduled_faults() {
+        let plan = FaultPlan::new(1)
+            .with(Fault::Crash { node: 2, round: 5 })
+            .with(Fault::Crash { node: 2, round: 3 })
+            .with(Fault::PanicNode { node: 4 })
+            .with(Fault::ProbeLie { query: 1, nth: 2 });
+        assert_eq!(plan.crash_round(2), Some(3), "earliest crash wins");
+        assert_eq!(plan.crash_round(0), None);
+        assert!(plan.panics(4) && !plan.panics(2));
+        assert_eq!(plan.probe_lie(1), Some(2));
+        assert_eq!(plan.corrupt_salt(9), None);
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    fn permutation_is_a_seeded_bijection() {
+        let plan = FaultPlan::new(13).with_permuted_ids();
+        let perm = plan.permutation(16).unwrap();
+        let mut seen = [false; 16];
+        for &p in &perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+        assert_eq!(perm, plan.permutation(16).unwrap());
+        assert!(FaultPlan::new(13).permutation(16).is_none());
+    }
+
+    #[test]
+    fn perturbation_masks_are_nonzero_and_stable() {
+        for i in 0..64 {
+            let m = perturb(77, i);
+            assert_ne!(m, 0);
+            assert_eq!(m, perturb(77, i));
+        }
+        assert_ne!(perturb(77, 0), perturb(78, 0));
+    }
+}

@@ -36,7 +36,7 @@ impl ProdIds {
         let n = grid.node_count() as u64;
         let range = n
             .checked_pow(exponent)
-            .expect("range fits u64")
+            .expect("why: documented precondition — n^exponent must fit in u64")
             .max(grid.dims().iter().map(|&s| s as u64).sum::<u64>());
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut used = std::collections::HashSet::new();
@@ -85,6 +85,36 @@ impl ProdIds {
             .collect()
     }
 
+    /// The same per-dimension identifier tables dealt to different
+    /// coordinates: in dimension `k`, coordinate `c` receives the
+    /// identifier previously held by coordinate `perms[k][c]`. This is
+    /// how fault plans realize adversarial ID permutations in the
+    /// PROD-LOCAL model (each dimension's slice identifiers are
+    /// reshuffled; the id multiset is unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perms` does not hold one permutation of `0..dims[k]`
+    /// per dimension.
+    pub fn permuted(&self, perms: &[Vec<usize>]) -> Self {
+        assert_eq!(
+            perms.len(),
+            self.per_dim.len(),
+            "one permutation per dimension"
+        );
+        let per_dim: Vec<Vec<u64>> = self
+            .per_dim
+            .iter()
+            .zip(perms)
+            .map(|(row, perm)| {
+                assert_eq!(perm.len(), row.len(), "permutation covers the dimension");
+                perm.iter().map(|&c| row[c]).collect()
+            })
+            .collect();
+        // `from_tables` re-checks global uniqueness, rejecting non-bijections.
+        Self::from_tables(per_dim)
+    }
+
     /// A fresh assignment with the same global relative order of all
     /// identifiers but different values (for order-invariance checks).
     pub fn resample_order_preserving(&self, seed: u64) -> Self {
@@ -97,7 +127,10 @@ impl ProdIds {
             fresh.insert(rng.gen::<u64>() / 2);
         }
         let fresh: Vec<u64> = fresh.into_iter().collect();
-        let rank_of = |id: u64| all.binary_search(&id).expect("id present");
+        let rank_of = |id: u64| {
+            all.binary_search(&id)
+                .expect("why: rank_of is only called with ids drawn from `all`")
+        };
         let per_dim = self
             .per_dim
             .iter()
@@ -121,7 +154,9 @@ impl ProdIds {
                     packed = packed
                         .checked_mul(range)
                         .and_then(|p| p.checked_add(self.id(k, c)))
-                        .expect("packed id fits u64");
+                        .expect(
+                            "why: documented precondition — the packed encoding must fit in u64",
+                        );
                 }
                 packed
             })

@@ -30,11 +30,13 @@
 //! assert_eq!(grid.coords(v), vec![2, 3]);
 //! ```
 
+pub mod faulted;
 pub mod grid;
 pub mod ids;
 pub mod run;
 pub mod view;
 
+pub use faulted::simulate_prod_faulted;
 pub use grid::OrientedGrid;
 pub use ids::ProdIds;
 pub use run::{

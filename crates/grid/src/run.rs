@@ -47,7 +47,7 @@ pub struct ProdRun {
     pub radius: u32,
 }
 
-fn build_view(
+pub(crate) fn build_view(
     grid: &OrientedGrid,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &ProdIds,

@@ -73,7 +73,11 @@ impl GridView {
             .iter()
             .map(|row| {
                 row.iter()
-                    .map(|id| all.binary_search(id).expect("id present") as u32)
+                    .map(|id| {
+                        all.binary_search(id)
+                            .expect("why: `all` was collected from these same window ids")
+                            as u32
+                    })
                     .collect()
             })
             .collect();

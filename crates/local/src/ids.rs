@@ -39,7 +39,7 @@ impl IdAssignment {
     pub fn random_polynomial(n: usize, exponent: u32, seed: u64) -> Self {
         let range = (n as u64)
             .checked_pow(exponent)
-            .expect("id range must fit in u64");
+            .expect("why: documented precondition — n^exponent must fit in u64");
         assert!(range >= n as u64, "id range must accommodate n unique ids");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut set = std::collections::HashSet::with_capacity(n);
@@ -99,6 +99,22 @@ impl IdAssignment {
         ranks
     }
 
+    /// The same identifier multiset dealt to different nodes: node `v`
+    /// receives the identifier previously held by node `perm[v]`. This
+    /// is how fault plans realize adversarial ID permutations
+    /// (Definition 2.1 quantifies over *all* assignments; a permutation
+    /// explores that quantifier without changing the id range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..len`.
+    pub fn permuted(&self, perm: &[usize]) -> Self {
+        assert_eq!(perm.len(), self.ids.len(), "permutation covers the nodes");
+        let ids: Vec<u64> = perm.iter().map(|&i| self.ids[i]).collect();
+        // `from_vec` re-checks uniqueness, which fails on a non-bijection.
+        Self::from_vec(ids)
+    }
+
     /// A fresh assignment with the same relative order but different
     /// values: each identifier is replaced by a random value preserving
     /// ranks. Used by the empirical order-invariance checker.
@@ -109,7 +125,7 @@ impl IdAssignment {
         }
         let range = (n as u64)
             .checked_pow(exponent)
-            .expect("id range must fit in u64");
+            .expect("why: documented precondition — n^exponent must fit in u64");
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut fresh: Vec<u64> = Vec::with_capacity(n);
         let mut set = std::collections::HashSet::with_capacity(n);
@@ -157,6 +173,22 @@ mod tests {
     #[should_panic(expected = "unique")]
     fn from_vec_rejects_duplicates() {
         let _ = IdAssignment::from_vec(vec![1, 1, 2]);
+    }
+
+    #[test]
+    fn permuted_deals_the_same_ids_to_different_nodes() {
+        let ids = IdAssignment::from_vec(vec![30, 10, 20]);
+        let adversarial = ids.permuted(&[2, 0, 1]);
+        assert_eq!(adversarial, IdAssignment::from_vec(vec![20, 30, 10]));
+        let mut multiset: Vec<u64> = adversarial.iter().collect();
+        multiset.sort_unstable();
+        assert_eq!(multiset, vec![10, 20, 30]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn permuted_rejects_non_bijections() {
+        let _ = IdAssignment::from_vec(vec![30, 10, 20]).permuted(&[0, 0, 1]);
     }
 
     #[test]

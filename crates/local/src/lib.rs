@@ -18,6 +18,10 @@
 //!   order-invariance checker used by the speed-up theorems.
 //! * [`estimate_local_failure`] — Monte-Carlo estimation of the *local
 //!   failure probability* (Definition 2.4) of a randomized algorithm.
+//! * [`simulate_faulted`] / [`simulate_sync_faulted`] — the same
+//!   executors under a deterministic fault plan (crash-stops, corrupted
+//!   views, adversarial ID permutations, injected panics), degrading to
+//!   typed per-node fault records instead of aborting.
 //!
 //! # Examples
 //!
@@ -40,6 +44,7 @@
 
 pub mod algorithm;
 pub mod congest;
+pub mod faulted;
 pub mod ids;
 pub mod measure;
 pub mod order_invariant;
@@ -49,6 +54,7 @@ pub mod view;
 
 pub use algorithm::{FnAlgorithm, LocalAlgorithm};
 pub use congest::{run_congest, CongestRun, MessageBits};
+pub use faulted::{simulate_faulted, simulate_sync_faulted};
 pub use ids::IdAssignment;
 pub use measure::minimal_solving_radius;
 pub use order_invariant::{

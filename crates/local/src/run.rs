@@ -3,6 +3,7 @@
 use lcl_rng::SmallRng;
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
+use lcl_faults::InvalidConfig;
 use lcl_graph::Graph;
 use lcl_obs::{Counter, Event, EventLog, RunReport, Span, Trace};
 
@@ -234,6 +235,10 @@ impl FailureEstimate {
 
 /// Estimates the local failure probability of a randomized algorithm by
 /// running it `trials` times with fresh randomness.
+///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] if `trials` is zero.
 pub fn estimate_local_failure(
     problem: &(impl Problem + ?Sized),
     alg: &(impl LocalAlgorithm + ?Sized),
@@ -241,8 +246,14 @@ pub fn estimate_local_failure(
     input: &HalfEdgeLabeling<InLabel>,
     trials: usize,
     seed: u64,
-) -> FailureEstimate {
-    assert!(trials > 0, "at least one trial required");
+) -> Result<FailureEstimate, InvalidConfig> {
+    if trials == 0 {
+        return Err(InvalidConfig {
+            param: "trials",
+            requirement: "> 0",
+            got: 0,
+        });
+    }
     let mut node_failures = vec![0usize; graph.node_count()];
     let mut edge_failures = vec![0usize; graph.edge_count()];
     let mut global_failures = 0usize;
@@ -272,18 +283,22 @@ pub fn estimate_local_failure(
         }
     }
     let to_freq = |worst: Option<&usize>| worst.map_or(0.0, |&w| w as f64 / trials as f64);
-    FailureEstimate {
+    Ok(FailureEstimate {
         max_node: to_freq(node_failures.iter().max()),
         max_edge: to_freq(edge_failures.iter().max()),
         global: global_failures as f64 / trials as f64,
         trials,
-    }
+    })
 }
 
 /// Like [`estimate_local_failure`], but spreads the trials over `threads`
 /// OS threads with `std::thread::scope` (the estimation is embarrassingly
 /// parallel: each trial has its own seed). Results are identical to the
 /// sequential estimator for the same `(trials, seed)`.
+///
+/// # Errors
+///
+/// Returns [`InvalidConfig`] if `trials` or `threads` is zero.
 pub fn estimate_local_failure_parallel(
     problem: &(impl Problem + Sync + ?Sized),
     alg: &(impl LocalAlgorithm + Sync + ?Sized),
@@ -292,8 +307,21 @@ pub fn estimate_local_failure_parallel(
     trials: usize,
     seed: u64,
     threads: usize,
-) -> FailureEstimate {
-    assert!(trials > 0 && threads > 0);
+) -> Result<FailureEstimate, InvalidConfig> {
+    if trials == 0 {
+        return Err(InvalidConfig {
+            param: "trials",
+            requirement: "> 0",
+            got: 0,
+        });
+    }
+    if threads == 0 {
+        return Err(InvalidConfig {
+            param: "threads",
+            requirement: "> 0",
+            got: 0,
+        });
+    }
     let threads = threads.min(trials);
     // Per-trial failure records, merged after the scope.
     let results: Vec<(Vec<usize>, Vec<usize>, usize)> = std::thread::scope(|scope| {
@@ -345,7 +373,10 @@ pub fn estimate_local_failure_parallel(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("estimator thread panicked"))
+            .map(|h| {
+                h.join()
+                    .expect("join only fails if a worker panicked, and workers run the same code as the panic-free sequential estimator")
+            })
             .collect()
     });
     let mut node_failures = vec![0usize; graph.node_count()];
@@ -361,12 +392,12 @@ pub fn estimate_local_failure_parallel(
         global_failures += global;
     }
     let to_freq = |worst: Option<&usize>| worst.map_or(0.0, |&w| w as f64 / trials as f64);
-    FailureEstimate {
+    Ok(FailureEstimate {
         max_node: to_freq(node_failures.iter().max()),
         max_edge: to_freq(edge_failures.iter().max()),
         global: global_failures as f64 / trials as f64,
         trials,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -451,9 +482,25 @@ mod tests {
             |view| vec![OutLabel(0); view.center_degree()],
         );
         let input = lcl::uniform_input(&g);
-        let est = estimate_local_failure(&p, &alg, &g, &input, 10, 1);
+        let est = estimate_local_failure(&p, &alg, &g, &input, 10, 1).unwrap();
         assert_eq!(est.local(), 0.0);
         assert_eq!(est.global, 0.0);
+    }
+
+    #[test]
+    fn zero_trials_and_zero_threads_are_typed_errors() {
+        let g = gen::path(5);
+        let p = any_label_problem();
+        let alg = FnAlgorithm::new(
+            "const",
+            |_| 0,
+            |view| vec![OutLabel(0); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let err = estimate_local_failure(&p, &alg, &g, &input, 0, 1).unwrap_err();
+        assert_eq!(err.param, "trials");
+        let err = estimate_local_failure_parallel(&p, &alg, &g, &input, 5, 1, 0).unwrap_err();
+        assert_eq!(err.param, "threads");
     }
 
     #[test]
@@ -473,7 +520,7 @@ mod tests {
             |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
         );
         let input = lcl::uniform_input(&g);
-        let est = estimate_local_failure(&p, &alg, &g, &input, 200, 5);
+        let est = estimate_local_failure(&p, &alg, &g, &input, 200, 5).unwrap();
         // Each edge is monochromatic with probability 1/2.
         assert!(est.max_edge > 0.3, "max_edge = {}", est.max_edge);
         assert!(est.global > 0.9);
@@ -495,9 +542,10 @@ mod tests {
             |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
         );
         let input = lcl::uniform_input(&g);
-        let sequential = estimate_local_failure(&p, &alg, &g, &input, 64, 9);
+        let sequential = estimate_local_failure(&p, &alg, &g, &input, 64, 9).unwrap();
         for threads in [1, 3, 8] {
-            let parallel = estimate_local_failure_parallel(&p, &alg, &g, &input, 64, 9, threads);
+            let parallel =
+                estimate_local_failure_parallel(&p, &alg, &g, &input, 64, 9, threads).unwrap();
             assert_eq!(parallel, sequential, "threads = {threads}");
         }
     }

@@ -26,6 +26,8 @@ use std::fmt;
 ///   [`Steps`](Counter::Steps), [`FixpointOf`](Counter::FixpointOf).
 /// * **Classifier quantities** — [`States`](Counter::States),
 ///   [`Trials`](Counter::Trials), [`Violations`](Counter::Violations).
+/// * **Robustness** — [`Faults`](Counter::Faults), the per-run fault
+///   count of a degraded (fault-injected) execution.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Counter {
     /// Communication rounds used (synchronous executors) or implied by
@@ -75,6 +77,8 @@ pub enum Counter {
     Trials,
     /// Constraint violations found by a verifier.
     Violations,
+    /// Node faults recorded by a fault-injected (degraded) run.
+    Faults,
 }
 
 impl Counter {
@@ -100,6 +104,7 @@ impl Counter {
         Counter::States,
         Counter::Trials,
         Counter::Violations,
+        Counter::Faults,
     ];
 
     /// The stable kebab-case name used in JSON and fingerprints.
@@ -125,6 +130,7 @@ impl Counter {
             Counter::States => "states",
             Counter::Trials => "trials",
             Counter::Violations => "violations",
+            Counter::Faults => "faults",
         }
     }
 }

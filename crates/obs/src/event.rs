@@ -73,6 +73,16 @@ pub enum Event {
         /// Allowed configurations at this level.
         configs: u64,
     },
+    /// A fault was injected into (or caught during) a faulted run.
+    Fault {
+        /// Structural node index (or query index) that faulted.
+        node: u64,
+        /// Round at which the fault hit (0 for view-based executions).
+        round: u64,
+        /// Stable fault tag: `"crash-stop"`, `"panic"`, `"corrupt-view"`,
+        /// `"probe-lie"`, ...
+        fault: &'static str,
+    },
 }
 
 impl Event {
@@ -85,6 +95,7 @@ impl Event {
             Event::ViewMaterialized { .. } => "view-materialized",
             Event::MemoLookup { .. } => "memo-lookup",
             Event::LevelComplete { .. } => "level-complete",
+            Event::Fault { .. } => "fault",
         }
     }
 
@@ -119,6 +130,12 @@ impl Event {
                 let _ = write!(
                     out,
                     ", \"level\": {level}, \"labels\": {labels}, \"configs\": {configs}"
+                );
+            }
+            Event::Fault { node, round, fault } => {
+                let _ = write!(
+                    out,
+                    ", \"node\": {node}, \"round\": {round}, \"fault\": \"{fault}\""
                 );
             }
         }
@@ -343,6 +360,11 @@ mod tests {
             labels: 4,
             configs: 9,
         });
+        log.record(Event::Fault {
+            node: 2,
+            round: 1,
+            fault: "crash-stop",
+        });
         let json = log.to_json();
         for kind in [
             "round-start",
@@ -351,6 +373,7 @@ mod tests {
             "view-materialized",
             "memo-lookup",
             "level-complete",
+            "fault",
         ] {
             assert!(json.contains(kind), "missing {kind} in {json}");
         }

@@ -234,6 +234,54 @@ fn collect_series(
 /// registry `stage` and the `>`-joined `span` path; histograms follow
 /// the cumulative `_bucket`/`_sum`/`_count` convention.
 pub fn prometheus_text(registry: &Registry) -> String {
+    prometheus_text_with_events(registry, &[])
+}
+
+/// Like [`prometheus_text`], additionally exposing the health of the
+/// given labeled [`EventLog`]s: total emissions (`lcl_event_log_seen`),
+/// events evicted or discarded by the ring (`lcl_event_log_dropped`),
+/// and events currently stored (`lcl_event_log_stored`). A chaos soak
+/// that overflows its ring is visible here rather than silently
+/// truncated — scrape `lcl_event_log_dropped` and alert on growth.
+pub fn prometheus_text_with_events(registry: &Registry, logs: &[(&str, &EventLog)]) -> String {
+    let mut out = prometheus_registry_text(registry);
+    if logs.is_empty() {
+        return out;
+    }
+    type Series = fn(&EventLog) -> u64;
+    let series: [(&str, &str, Series); 3] = [
+        (
+            "lcl_event_log_seen",
+            "Events emitted into the log, stored or not.",
+            |log| log.seen(),
+        ),
+        (
+            "lcl_event_log_dropped",
+            "Events evicted from the ring (or discarded by a zero-capacity ring).",
+            |log| log.dropped(),
+        ),
+        (
+            "lcl_event_log_stored",
+            "Events currently held in the ring.",
+            |log| log.len() as u64,
+        ),
+    ];
+    for (name, help, value) in series {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for (label, log) in logs {
+            let _ = writeln!(
+                out,
+                "{name}{{log=\"{}\"}} {}",
+                prom_escape(label),
+                value(log)
+            );
+        }
+    }
+    out
+}
+
+fn prometheus_registry_text(registry: &Registry) -> String {
     let snapshot = registry.snapshot();
     let mut counters: std::collections::BTreeMap<Counter, Series> = Default::default();
     let mut hists: std::collections::BTreeMap<Counter, Vec<(String, String, crate::Histogram)>> =
@@ -383,5 +431,27 @@ mod tests {
         );
         assert!(text.contains("lcl_probes_dist_count{stage=\"e9/hist\",span=\"queries\"} 3"));
         assert!(text.contains("lcl_probes_dist_sum{stage=\"e9/hist\",span=\"queries\"} 5"));
+    }
+
+    #[test]
+    fn prometheus_exposes_event_log_drops() {
+        let reg = Registry::new();
+        reg.record("chaos/e1", two_level());
+        let log = EventLog::new(2);
+        for round in 0..5 {
+            log.record(Event::RoundStart { round });
+        }
+        let text = prometheus_text_with_events(&reg, &[("chaos", &log)]);
+        assert!(text.contains("# TYPE lcl_event_log_dropped gauge"));
+        assert!(text.contains("lcl_event_log_seen{log=\"chaos\"} 5"));
+        assert!(text.contains("lcl_event_log_dropped{log=\"chaos\"} 3"));
+        assert!(text.contains("lcl_event_log_stored{log=\"chaos\"} 2"));
+        // The registry half is unchanged from the plain exposition.
+        assert!(text.starts_with(&prometheus_text(&reg)));
+        // No logs -> bit-identical to the plain exposition (fixtures).
+        assert_eq!(
+            prometheus_text_with_events(&reg, &[]),
+            prometheus_text(&reg)
+        );
     }
 }

@@ -90,6 +90,9 @@ pub struct ProbeSession<'a> {
     /// Announced number of nodes.
     n: usize,
     log: Option<&'a EventLog>,
+    /// Fault injection: the `nth` successful probe answers with a lie
+    /// derived from `salt` (the VOLUME adversary corrupting a reply).
+    lie: Option<(u64, u64)>,
 }
 
 impl<'a> ProbeSession<'a> {
@@ -112,9 +115,24 @@ impl<'a> ProbeSession<'a> {
             probes_used: 0,
             n,
             log,
+            lie: None,
         };
         session.push(start);
         session
+    }
+
+    /// Arms a probe-answer fault: the `nth` successful probe of this
+    /// session returns an identifier perturbed by a mask derived from
+    /// `salt`. The lie lands in the transcript too, so later
+    /// [`info`](Self::info) reads are consistent with the answer.
+    pub(crate) fn set_probe_lie(&mut self, nth: u64, salt: u64) {
+        self.lie = Some((nth, salt));
+    }
+
+    /// Fault injection: perturbs the queried node's own identifier (a
+    /// corrupted `t_v`), as if the adversary rewrote the query's view.
+    pub(crate) fn corrupt_queried(&mut self, salt: u64) {
+        self.infos[0].id ^= lcl_faults::plan::perturb(salt, 0);
     }
 
     fn push(&mut self, v: NodeId) -> &NodeInfo {
@@ -128,7 +146,9 @@ impl<'a> ProbeSession<'a> {
                 .map(|h| self.input.get(h))
                 .collect(),
         });
-        self.infos.last().expect("just pushed")
+        self.infos
+            .last()
+            .expect("why: push() appended this info one line above")
     }
 
     /// The announced number of nodes.
@@ -206,7 +226,29 @@ impl<'a> ProbeSession<'a> {
         self.probes_used += 1;
         let h = self.graph.half_edge(v, port);
         let w = self.graph.neighbor(h);
-        Ok(self.push(w).clone())
+        let nth = (self.probes_used - 1) as u64;
+        self.push(w);
+        if let Some((lie_nth, salt)) = self.lie {
+            if nth == lie_nth {
+                let info = self
+                    .infos
+                    .last_mut()
+                    .expect("why: push() appended this info one line above");
+                info.id ^= lcl_faults::plan::perturb(salt, nth);
+                if let Some(log) = self.log {
+                    log.record(Event::Fault {
+                        node: w.index() as u64,
+                        round: nth,
+                        fault: "probe-lie",
+                    });
+                }
+            }
+        }
+        Ok(self
+            .infos
+            .last()
+            .expect("why: push() appended this info one line above")
+            .clone())
     }
 
     /// Like [`probe`](Self::probe), but also reveals through which port of

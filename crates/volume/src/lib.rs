@@ -48,11 +48,13 @@
 //! panic, so a buggy algorithm yields a reportable failure.
 
 pub mod algorithm;
+pub mod faulted;
 pub mod lca;
 pub mod order_invariant;
 pub mod run;
 
 pub use algorithm::{FnVolumeAlgorithm, NodeInfo, ProbeError, ProbeSession, VolumeAlgorithm};
+pub use faulted::{simulate_faulted, simulate_lca_faulted};
 pub use lca::{run_lca, simulate_lca, simulate_lca_logged, LcaAlgorithm, LcaSession};
 pub use order_invariant::{is_empirically_order_invariant_volume, RankedInfo, RankedSession};
 pub use run::{minimal_probe_budget, run_volume, simulate, simulate_logged, VolumeRun};

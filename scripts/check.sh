@@ -19,6 +19,13 @@ cargo clippy --workspace --all-targets --release -- -D warnings
 echo "== cargo doc (no deps, warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --quiet
 
+echo "== chaos soak (trichotomy: valid / typed error / typed degradation) =="
+# The full randomized soak (>=300 plans across LOCAL/VOLUME/LCA/
+# PROD-LOCAL, budgeted-tower bit-identity at 1/2/8 threads) is
+# `#[ignore]`d in normal test runs; this gate runs it in release, where
+# it finishes in a few seconds (budget: <60s).
+cargo test -q --release --test chaos -- --include-ignored
+
 echo "== unwrap() gate (library code must use typed errors or expect) =="
 # Count `.unwrap()` in crate library sources outside `#[cfg(test)]`
 # modules. The baseline is 0: new library code must propagate typed
@@ -30,6 +37,21 @@ UNWRAPS=$(find crates/*/src -name '*.rs' | sort | xargs awk '
   END { print c + 0 }')
 if [ "$UNWRAPS" -gt 0 ]; then
   echo "found $UNWRAPS non-test .unwrap() call(s) in crates/*/src (baseline 0)"
+  exit 1
+fi
+
+echo "== panic!() gate (library code must degrade or return typed errors) =="
+# Mirror of the unwrap gate for `panic!`: library sources outside
+# `#[cfg(test)]` modules must return typed errors for reachable
+# failures and use `expect("why: ...")`/`assert!` with a documented
+# invariant for unreachable ones. Baseline 0.
+PANICS=$(find crates/*/src -name '*.rs' | sort | xargs awk '
+  FNR==1 { intest = 0 }
+  /#\[cfg\(test\)\]/ { intest = 1 }
+  !intest { c += gsub(/panic!/, "") }
+  END { print c + 0 }')
+if [ "$PANICS" -gt 0 ]; then
+  echo "found $PANICS non-test panic!() call(s) in crates/*/src (baseline 0)"
   exit 1
 fi
 

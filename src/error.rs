@@ -13,6 +13,7 @@ use lcl::{ParseError, ProblemBuildError};
 use lcl_classify::automaton::AutomatonError;
 use lcl_classify::ClassifyError;
 use lcl_core::ReError;
+use lcl_faults::{BudgetExceeded, InvalidConfig, NodeFault};
 use lcl_graph::builder::BuildError;
 use lcl_graph::gen::RegularGenError;
 use lcl_volume::ProbeError;
@@ -56,6 +57,14 @@ pub enum LandscapeError {
     Classify(ClassifyError),
     /// A VOLUME/LCA probe left its contract (budget, target, or port).
     Probe(ProbeError),
+    /// A resource budget was breached or a cancel token tripped; the
+    /// payload records the stage and how much progress completed.
+    Budget(BudgetExceeded),
+    /// An entrypoint rejected its configuration (zero trials, zero
+    /// threads, …).
+    InvalidConfig(InvalidConfig),
+    /// A panic-isolated node invocation faulted.
+    NodeFault(NodeFault),
 }
 
 impl fmt::Display for LandscapeError {
@@ -68,6 +77,9 @@ impl fmt::Display for LandscapeError {
             Self::RegularGen(e) => write!(f, "regular graph generator: {e}"),
             Self::Classify(e) => write!(f, "classifier: {e}"),
             Self::Probe(e) => write!(f, "probe session: {e}"),
+            Self::Budget(e) => write!(f, "resource budget: {e}"),
+            Self::InvalidConfig(e) => write!(f, "entrypoint config: {e}"),
+            Self::NodeFault(e) => write!(f, "node fault: {e}"),
         }
     }
 }
@@ -82,6 +94,9 @@ impl Error for LandscapeError {
             Self::RegularGen(e) => Some(e),
             Self::Classify(e) => Some(e),
             Self::Probe(e) => Some(e),
+            Self::Budget(e) => Some(e),
+            Self::InvalidConfig(e) => Some(e),
+            Self::NodeFault(e) => Some(e),
         }
     }
 }
@@ -134,6 +149,24 @@ impl From<ProbeError> for LandscapeError {
     }
 }
 
+impl From<BudgetExceeded> for LandscapeError {
+    fn from(e: BudgetExceeded) -> Self {
+        Self::Budget(e)
+    }
+}
+
+impl From<InvalidConfig> for LandscapeError {
+    fn from(e: InvalidConfig) -> Self {
+        Self::InvalidConfig(e)
+    }
+}
+
+impl From<NodeFault> for LandscapeError {
+    fn from(e: NodeFault) -> Self {
+        Self::NodeFault(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,6 +194,33 @@ mod tests {
         ));
         assert!(err.to_string().contains("probe session"));
         assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn wraps_faults_errors() {
+        let budget = lcl_faults::Budget::unlimited().with_max_labels(1);
+        let breach = budget.check_labels("stage", 5, 0).unwrap_err();
+        let err: LandscapeError = breach.into();
+        assert!(matches!(err, LandscapeError::Budget(_)));
+        assert!(err.to_string().contains("resource budget"));
+        assert!(err.source().is_some());
+
+        let err: LandscapeError = InvalidConfig {
+            param: "trials",
+            requirement: "must be positive",
+            got: 0,
+        }
+        .into();
+        assert!(matches!(err, LandscapeError::InvalidConfig(_)));
+
+        let err: LandscapeError = NodeFault {
+            node: 3,
+            round: 1,
+            payload: "boom".into(),
+        }
+        .into();
+        assert!(matches!(err, LandscapeError::NodeFault(_)));
+        assert!(err.to_string().contains("node fault"));
     }
 
     #[test]

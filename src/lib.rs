@@ -18,6 +18,7 @@
 //! | [`problems`] | `lcl-problems` | concrete problems and algorithms |
 //! | [`classify`] | `lcl-classify` | path/cycle complexity classifier |
 //! | [`obs`] | `lcl-obs` | tracing/metrics: spans, counters, reports |
+//! | [`faults`] | `lcl-faults` | fault plans, budgets, panic isolation |
 //!
 //! On top of the re-exports the facade adds two pieces of glue:
 //!
@@ -59,6 +60,7 @@ pub mod simulation;
 
 pub use lcl_classify as classify;
 pub use lcl_core as core;
+pub use lcl_faults as faults;
 pub use lcl_graph as graph;
 pub use lcl_grid as grid;
 pub use lcl_local as local;

@@ -1,0 +1,308 @@
+//! Chaos soak: randomized fault plans across every model's faulted
+//! entrypoint, asserting the robustness trichotomy — each run ends in a
+//! valid output, a typed error/violation, or a typed degradation, and
+//! never a panic — and that outcomes are a bit-identical function of
+//! `(seed, plan)`, including across engine thread counts.
+//!
+//! The small smoke test always runs; the big soak is `#[ignore]`d and
+//! driven by `scripts/check.sh` via `--include-ignored` in release mode.
+
+use lcl_rng::SmallRng;
+
+use lcl_landscape::core::{ReError, ReOptions, ReTower};
+use lcl_landscape::faults::{Budget, FaultPlan};
+use lcl_landscape::graph::{gen, Graph, HalfEdgeId};
+use lcl_landscape::grid::{simulate_prod_faulted, FnProdAlgorithm, OrientedGrid, ProdIds};
+use lcl_landscape::lcl::{uniform_input, verify, HalfEdgeLabeling, OutLabel};
+use lcl_landscape::local::{simulate_sync_faulted, IdAssignment};
+use lcl_landscape::problems::{anti_matching, k_coloring, DeltaPlusOne};
+use lcl_landscape::volume::lca::VolumeAsLca;
+use lcl_landscape::volume::{
+    simulate_faulted as simulate_volume_faulted, simulate_lca_faulted, FnVolumeAlgorithm,
+    ProbeSession,
+};
+
+/// How a single chaos run ended; the absence of a fourth (panic) leg is
+/// the property under test.
+#[derive(PartialEq, Eq, Debug)]
+enum Leg {
+    /// The output satisfies the problem's constraints.
+    Valid,
+    /// The run completed but the verifier reports typed `Violation`s
+    /// (silent corruption / adversarial ids doing their job).
+    Violations,
+    /// The executor degraded with typed `NodeFault` records.
+    Degraded,
+}
+
+fn labeling_fp(g: &Graph, out: &HalfEdgeLabeling<OutLabel>) -> String {
+    (0..g.half_edge_count() as u32)
+        .map(|h| out.get(HalfEdgeId(h)).0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn faults_fp(faults: &[lcl_landscape::faults::NodeFault]) -> String {
+    faults
+        .iter()
+        .map(|f| format!("{}@{}:{}", f.node, f.round, f.payload))
+        .collect::<Vec<_>>()
+        .join(";")
+}
+
+/// One LOCAL (sync executor) chaos run: Δ+1 coloring on a random tree
+/// under a random plan. Returns the outcome leg and a full fingerprint.
+fn local_run(seed: u64) -> (Leg, String) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(6usize..32);
+    let g = gen::random_tree(n, 3, seed);
+    let input = uniform_input(&g);
+    let ids: Vec<u64> = IdAssignment::random_polynomial(n, 3, seed ^ 1)
+        .iter()
+        .collect();
+    let plan = FaultPlan::random(seed, n, 4);
+    let report = simulate_sync_faulted(
+        &DeltaPlusOne { delta: 3 },
+        &g,
+        &input,
+        &ids,
+        None,
+        1000,
+        &plan,
+        None,
+    );
+    let degraded = &report.outcome;
+    let fp = format!(
+        "rounds={};out={};faults={}",
+        degraded.outcome.rounds,
+        labeling_fp(&g, &degraded.outcome.output),
+        faults_fp(&degraded.faults)
+    );
+    let leg = if degraded.is_degraded() {
+        Leg::Degraded
+    } else if verify(&k_coloring(4, 3), &g, &input, &degraded.outcome.output).is_empty() {
+        Leg::Valid
+    } else {
+        Leg::Violations
+    };
+    (leg, fp)
+}
+
+#[allow(clippy::type_complexity)] // `impl Trait` closure types cannot be aliased
+fn neighbor_probe_alg() -> FnVolumeAlgorithm<
+    impl Fn(usize) -> usize,
+    impl Fn(&mut ProbeSession<'_>) -> Result<Vec<OutLabel>, lcl_landscape::volume::ProbeError>,
+> {
+    FnVolumeAlgorithm::new(
+        "chaos-neighbor",
+        |_| 2,
+        |s| {
+            let d = s.queried().degree as usize;
+            let n0 = s.probe(0, 0)?;
+            Ok(vec![OutLabel((n0.id % 97) as u32); d])
+        },
+    )
+}
+
+/// One VOLUME chaos run on a cycle.
+fn volume_run(seed: u64) -> (Leg, String) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+    let n = rng.gen_range(4usize..24);
+    let g = gen::cycle(n);
+    let input = uniform_input(&g);
+    let ids = IdAssignment::random_polynomial(n, 3, seed ^ 2);
+    let plan = FaultPlan::random(seed, n, 4);
+    let report =
+        simulate_volume_faulted(&neighbor_probe_alg(), &g, &input, &ids, None, &plan, None);
+    let degraded = &report.outcome;
+    let fp = format!(
+        "probes={};out={};faults={}",
+        degraded.outcome.total_probes,
+        labeling_fp(&g, &degraded.outcome.output),
+        faults_fp(&degraded.faults)
+    );
+    let leg = if degraded.is_degraded() {
+        Leg::Degraded
+    } else {
+        // The echo algorithm solves no LCL; completion without faults is
+        // the "valid" leg for this model.
+        Leg::Valid
+    };
+    (leg, fp)
+}
+
+/// One LCA chaos run: identifiers are exactly `1..=n` (the LCA promise),
+/// which every plan's ID permutation preserves.
+fn lca_run(seed: u64) -> (Leg, String) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+    let n = rng.gen_range(4usize..24);
+    let g = gen::path(n);
+    let input = uniform_input(&g);
+    let ids = IdAssignment::from_vec((1..=n as u64).collect());
+    let plan = FaultPlan::random(seed, n, 4);
+    let report = simulate_lca_faulted(
+        &VolumeAsLca(neighbor_probe_alg()),
+        &g,
+        &input,
+        &ids,
+        &plan,
+        None,
+    );
+    let degraded = &report.outcome;
+    let fp = format!(
+        "probes={};out={};faults={}",
+        degraded.outcome.total_probes,
+        labeling_fp(&g, &degraded.outcome.output),
+        faults_fp(&degraded.faults)
+    );
+    let leg = if degraded.is_degraded() {
+        Leg::Degraded
+    } else {
+        Leg::Valid
+    };
+    (leg, fp)
+}
+
+/// One PROD-LOCAL chaos run on an oriented grid.
+fn prod_run(seed: u64) -> (Leg, String) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xfeed);
+    let a = rng.gen_range(3usize..7);
+    let b = rng.gen_range(3usize..7);
+    let grid = OrientedGrid::new(&[a, b]);
+    let ids = ProdIds::sequential(&grid);
+    let input = uniform_input(grid.graph());
+    let plan = FaultPlan::random(seed, grid.node_count(), 1);
+    let alg = FnProdAlgorithm::new(
+        "chaos-echo",
+        |_| 1,
+        |view: &lcl_landscape::grid::GridView| {
+            vec![OutLabel((view.id(0, -1) % 97) as u32); 2 * view.d]
+        },
+    );
+    let report = simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+    let degraded = &report.outcome;
+    let fp = format!(
+        "out={};faults={}",
+        labeling_fp(grid.graph(), &degraded.outcome.output),
+        faults_fp(&degraded.faults)
+    );
+    let leg = if degraded.is_degraded() {
+        Leg::Degraded
+    } else {
+        Leg::Valid
+    };
+    (leg, fp)
+}
+
+/// One budgeted round-elimination run at a given thread count: random
+/// problem and random caps, pushed until the budget bites. The outcome
+/// string must be identical at every thread count.
+fn tower_run(seed: u64, threads: usize) -> String {
+    let problem = if seed.is_multiple_of(2) {
+        anti_matching(3)
+    } else {
+        k_coloring(3, 3)
+    };
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x70e7);
+    let label_cap = rng.gen_range(3u64..40);
+    let budget = Budget::unlimited()
+        .with_max_labels(label_cap)
+        .with_max_rounds(4);
+    let token = budget.token();
+    let opts = ReOptions {
+        parallel: threads > 1,
+        threads,
+        ..ReOptions::default()
+    };
+    let mut tower = ReTower::new(problem);
+    let mut steps = Vec::new();
+    for _ in 0..2 {
+        match tower.push_f_budgeted(opts, &budget, &token) {
+            Ok(()) => steps.push(format!(
+                "ok:{}",
+                tower.alphabet_size(tower.level_count() - 1)
+            )),
+            Err(e) => {
+                steps.push(format!("err:{e}"));
+                break;
+            }
+        }
+    }
+    format!(
+        "cap={label_cap};{};levels={}",
+        steps.join("|"),
+        tower.level_count()
+    )
+}
+
+fn soak(plans_per_model: usize, thread_variants: &[usize]) {
+    let mut legs = [0usize; 3];
+    for seed in 0..plans_per_model as u64 {
+        for run in [local_run, volume_run, lca_run, prod_run] {
+            let (leg, fp) = run(seed);
+            let (leg2, fp2) = run(seed);
+            assert_eq!(leg, leg2, "seed {seed}: outcome leg must be deterministic");
+            assert_eq!(
+                fp, fp2,
+                "seed {seed}: outcome must be bit-identical on repeat"
+            );
+            legs[match leg {
+                Leg::Valid => 0,
+                Leg::Violations => 1,
+                Leg::Degraded => 2,
+            }] += 1;
+        }
+        let reference = tower_run(seed, thread_variants[0]);
+        for &threads in &thread_variants[1..] {
+            assert_eq!(
+                reference,
+                tower_run(seed, threads),
+                "seed {seed}: budgeted tower outcome must not depend on {threads} threads"
+            );
+        }
+    }
+    // The soak must actually exercise both the clean and the degraded
+    // legs — otherwise the trichotomy assertion is vacuous.
+    assert!(legs[0] > 0, "no run came back clean: {legs:?}");
+    assert!(legs[2] > 0, "no run degraded: {legs:?}");
+}
+
+/// Always-on smoke: a handful of plans per model, single-threaded tower.
+#[test]
+fn chaos_smoke() {
+    soak(8, &[1]);
+}
+
+/// The full soak: ≥300 random plans across LOCAL/VOLUME/LCA/PROD-LOCAL
+/// (4 models × 100 seeds), with every budgeted tower outcome checked for
+/// bit-identity at 1, 2, and 8 worker threads.
+#[test]
+#[ignore = "big soak; scripts/check.sh runs it in release via --include-ignored"]
+fn chaos_soak() {
+    soak(100, &[1, 2, 8]);
+}
+
+/// Acceptance: a tight label budget on round elimination returns a typed
+/// `BudgetExceeded` whose partial result — the already-completed levels —
+/// stays in the tower.
+#[test]
+fn tight_label_budget_keeps_a_usable_partial_tower() {
+    let mut tower = ReTower::new(k_coloring(3, 3));
+    let budget = Budget::unlimited().with_max_labels(7);
+    let token = budget.token();
+    tower
+        .push_r_budgeted(ReOptions::default(), &budget, &token)
+        .expect("R of 3-coloring interns exactly 7 labels");
+    let err = tower
+        .push_rbar_budgeted(ReOptions::default(), &budget, &token)
+        .expect_err("R̄ blows past 7 labels");
+    let ReError::Budget(breach) = err else {
+        panic!("expected a budget breach, got {err}");
+    };
+    assert_eq!(
+        breach.partial, 1,
+        "one completed level is the partial result"
+    );
+    assert_eq!(tower.level_count(), 2, "base + surviving R level");
+    assert!(tower.alphabet_size(1) > 0, "the partial tower is non-empty");
+}

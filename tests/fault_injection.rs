@@ -136,6 +136,115 @@ fn matching_corruptions_are_always_caught() {
     assert!(missed.is_empty(), "silent corruptions: {missed:?}");
 }
 
+/// Crash-stop on the E1 pipeline: run the Theorem 3.11 synthesized
+/// anti-matching algorithm under crash-stop plans. The run must degrade
+/// gracefully, and the verifier's violations (if any) must be localized
+/// to the crashed node's radius-1 neighborhood — a dead node can only
+/// damage constraints it participates in.
+#[test]
+fn crash_stop_on_synthesized_algorithm_verifies_or_localizes() {
+    use lcl_landscape::core::{tree_speedup, SpeedupOptions};
+    use lcl_landscape::faults::{Fault, FaultPlan};
+    use lcl_landscape::local::simulate_sync_faulted;
+
+    let problem = lcl_landscape::problems::anti_matching(3);
+    let outcome = tree_speedup(&problem, SpeedupOptions::default());
+    let alg = outcome
+        .try_algorithm()
+        .expect("anti-matching is o(log* n): Theorem 3.11 synthesis succeeds");
+
+    let g = gen::random_tree(24, 3, 6);
+    let input = uniform_input(&g);
+    let ids: Vec<u64> = (0..24u64).map(|i| i * 5 + 2).collect();
+    for crashed in [0usize, 5, 11, 23] {
+        let plan = FaultPlan::new(1).with(Fault::Crash {
+            node: crashed,
+            round: 0,
+        });
+        let report = simulate_sync_faulted(&alg, &g, &input, &ids, None, 10, &plan, None);
+        let degraded = &report.outcome;
+        // The crash cascades no further than its direct neighbors (the
+        // 1-round algorithm needs one message from each neighbor): every
+        // fault record is the crash itself or a neighbor's stall.
+        assert_eq!(degraded.faults[0].node, crashed as u64);
+        assert_eq!(degraded.faults[0].payload, "crash-stop");
+        let crashed_node = lcl_landscape::graph::NodeId(crashed as u32);
+        let neighbors: Vec<_> = g.neighbors_of(crashed_node).collect();
+        for f in &degraded.faults[1..] {
+            assert!(
+                neighbors.contains(&lcl_landscape::graph::NodeId(f.node as u32)),
+                "fault at node {} drifted beyond the crash at {crashed}",
+                f.node
+            );
+        }
+        // Localization: every violation touches the radius-1 ball around
+        // the crash (the crashed node, a neighbor, or an edge incident to
+        // one of them).
+        let ball: Vec<_> = std::iter::once(crashed_node)
+            .chain(neighbors.iter().copied())
+            .collect();
+        let incident: Vec<_> = ball
+            .iter()
+            .flat_map(|&v| g.half_edges_of(v).map(|h| g.edge_of(h)))
+            .collect();
+        for v in verify(&problem, &g, &input, &degraded.outcome.output) {
+            match v {
+                Violation::NodeConfig { node } | Violation::NodeInputMap { node, .. } => {
+                    assert!(
+                        ball.contains(&node),
+                        "violation at {node:?} drifted beyond the crash at {crashed}"
+                    );
+                }
+                Violation::EdgeConfig { edge } | Violation::EdgeInputMap { edge, .. } => {
+                    assert!(
+                        incident.contains(&edge),
+                        "violation at {edge:?} drifted beyond the crash at {crashed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Adversarial ID permutations must not change the synthesized round
+/// count of a classified tier: the O(1) representative stays O(1) —
+/// same executed rounds, still a valid solution — under every permuted
+/// identifier assignment a fault plan can produce.
+#[test]
+fn id_permutations_preserve_synthesized_round_counts() {
+    use lcl_landscape::core::{tree_speedup, SpeedupOptions};
+    use lcl_landscape::faults::FaultPlan;
+    use lcl_landscape::local::simulate_sync_faulted;
+
+    let problem = lcl_landscape::problems::anti_matching(3);
+    let outcome = tree_speedup(&problem, SpeedupOptions::default());
+    let alg = outcome
+        .try_algorithm()
+        .expect("anti-matching is o(log* n): Theorem 3.11 synthesis succeeds");
+
+    let g = gen::random_tree(30, 3, 12);
+    let input = uniform_input(&g);
+    let ids: Vec<u64> = (0..30u64).map(|i| 1000 - i * 7).collect();
+    let baseline =
+        simulate_sync_faulted(&alg, &g, &input, &ids, None, 10, &FaultPlan::new(0), None);
+    assert!(!baseline.outcome.is_degraded());
+    let baseline_rounds = baseline.outcome.outcome.rounds;
+    for seed in 0..12u64 {
+        let plan = FaultPlan::new(seed).with_permuted_ids();
+        let report = simulate_sync_faulted(&alg, &g, &input, &ids, None, 10, &plan, None);
+        let degraded = &report.outcome;
+        assert!(!degraded.is_degraded(), "a permutation is not a fault");
+        assert_eq!(
+            degraded.outcome.rounds, baseline_rounds,
+            "seed {seed}: round count is a property of the tier, not the ids"
+        );
+        assert!(
+            verify(&problem, &g, &input, &degraded.outcome.output).is_empty(),
+            "seed {seed}: the synthesized algorithm is correct under any ids"
+        );
+    }
+}
+
 /// The derived problems of the round-elimination tower inherit the
 /// verifier: corrupting the lifted algorithm's *intermediate* top-level
 /// labeling must be caught by the level-2 predicates.
