@@ -1,0 +1,224 @@
+//! `shrink-chaos <local|volume|lca|prod> <seed>` — bisect a failing
+//! chaos seed to a minimal reproducing [`FaultPlan`].
+//!
+//! The tool regenerates the chaos instance for `(model, seed)` exactly
+//! as the soak does (same graph, ids, and random plan), defines
+//! "reproduces" as *the faulted run degrades or its labeling diverges
+//! from the fault-free run*, and greedily shrinks the plan
+//! ([`lcl_bench::shrink::shrink_plan`]) until no single fault (nor the
+//! adversarial ID permutation) can be dropped. It prints both plans in
+//! the `FaultPlan::to_text` wire format, ready to paste into a
+//! regression test. `scripts/shrink_chaos.sh` wraps it.
+
+use std::env;
+use std::process::ExitCode;
+
+use lcl::{uniform_input, HalfEdgeLabeling, OutLabel};
+use lcl_bench::shrink::shrink_plan;
+use lcl_faults::FaultPlan;
+use lcl_graph::{gen, Graph, HalfEdgeId};
+use lcl_grid::{FnProdAlgorithm, OrientedGrid, ProdIds};
+use lcl_local::{simulate_sync_faulted, IdAssignment};
+use lcl_problems::DeltaPlusOne;
+use lcl_rng::SmallRng;
+use lcl_volume::lca::VolumeAsLca;
+use lcl_volume::{
+    simulate_faulted as simulate_volume_faulted, simulate_lca_faulted, FnVolumeAlgorithm,
+    ProbeSession,
+};
+
+fn labeling_fp(g: &Graph, out: &HalfEdgeLabeling<OutLabel>) -> String {
+    (0..g.half_edge_count() as u32)
+        .map(|h| out.get(HalfEdgeId(h)).0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[allow(clippy::type_complexity)] // `impl Trait` closure types cannot be aliased
+fn neighbor_probe_alg() -> FnVolumeAlgorithm<
+    impl Fn(usize) -> usize,
+    impl Fn(&mut ProbeSession<'_>) -> Result<Vec<OutLabel>, lcl_volume::ProbeError>,
+> {
+    FnVolumeAlgorithm::new(
+        "chaos-neighbor",
+        |_| 2,
+        |s| {
+            let d = s.queried().degree as usize;
+            let n0 = s.probe(0, 0)?;
+            Ok(vec![OutLabel((n0.id % 97) as u32); d])
+        },
+    )
+}
+
+/// The node count of the chaos instance for `(model, seed)` — the same
+/// seeded derivation the run functions use, needed up front to draw the
+/// initial random plan.
+fn instance_size(model: &str, seed: u64) -> Option<usize> {
+    match model {
+        "local" => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            Some(rng.gen_range(16usize..64))
+        }
+        "volume" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+            Some(rng.gen_range(4usize..24))
+        }
+        "lca" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+            Some(rng.gen_range(8usize..48))
+        }
+        "prod" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xfeed);
+            let a = rng.gen_range(4usize..9);
+            let b = rng.gen_range(4usize..9);
+            Some(a * b)
+        }
+        _ => None,
+    }
+}
+
+/// Runs the chaos instance for `(model, seed)` under `plan`; returns
+/// whether the run degraded and the output fingerprint.
+fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
+    match model {
+        "local" => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = rng.gen_range(16usize..64);
+            let g = gen::random_tree(n, 3, seed);
+            let input = uniform_input(&g);
+            let ids: Vec<u64> = IdAssignment::random_polynomial(n, 3, seed ^ 1)
+                .iter()
+                .collect();
+            let report = simulate_sync_faulted(
+                &DeltaPlusOne { delta: 3 },
+                &g,
+                &input,
+                &ids,
+                None,
+                1000,
+                plan,
+                None,
+            );
+            (
+                report.outcome.is_degraded(),
+                labeling_fp(&g, &report.outcome.outcome.output),
+            )
+        }
+        "volume" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xabcd);
+            let n = rng.gen_range(4usize..24);
+            let g = gen::cycle(n);
+            let input = uniform_input(&g);
+            let ids = IdAssignment::random_polynomial(n, 3, seed ^ 2);
+            let report =
+                simulate_volume_faulted(&neighbor_probe_alg(), &g, &input, &ids, None, plan, None);
+            (
+                report.outcome.is_degraded(),
+                labeling_fp(&g, &report.outcome.outcome.output),
+            )
+        }
+        "lca" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x77);
+            let n = rng.gen_range(8usize..48);
+            let g = gen::path(n);
+            let input = uniform_input(&g);
+            let ids = IdAssignment::from_vec((1..=n as u64).collect());
+            let report = simulate_lca_faulted(
+                &VolumeAsLca(neighbor_probe_alg()),
+                &g,
+                &input,
+                &ids,
+                plan,
+                None,
+            );
+            (
+                report.outcome.is_degraded(),
+                labeling_fp(&g, &report.outcome.outcome.output),
+            )
+        }
+        "prod" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xfeed);
+            let a = rng.gen_range(4usize..9);
+            let b = rng.gen_range(4usize..9);
+            let grid = OrientedGrid::new(&[a, b]);
+            let ids = ProdIds::sequential(&grid);
+            let input = uniform_input(grid.graph());
+            let alg = FnProdAlgorithm::new(
+                "chaos-echo",
+                |_| 1,
+                |view: &lcl_grid::GridView| {
+                    vec![OutLabel((view.id(0, -1) % 97) as u32); 2 * view.d]
+                },
+            );
+            let report =
+                lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, plan, None);
+            (
+                report.outcome.is_degraded(),
+                labeling_fp(grid.graph(), &report.outcome.outcome.output),
+            )
+        }
+        other => {
+            // `main` validated the model name before calling.
+            unreachable_model(other)
+        }
+    }
+}
+
+fn unreachable_model(model: &str) -> ! {
+    eprintln!("internal error: unvalidated model {model}");
+    std::process::exit(2);
+}
+
+/// "Reproduces" = the run degrades, or its labeling diverges from the
+/// fault-free run under the same ID permutation.
+fn reproduces(model: &str, seed: u64, plan: &FaultPlan) -> bool {
+    let (degraded, fp) = run(model, seed, plan);
+    if degraded {
+        return true;
+    }
+    let mut clean = FaultPlan::new(plan.seed());
+    if plan.permutes_ids() {
+        clean = clean.with_permuted_ids();
+    }
+    let (_, clean_fp) = run(model, seed, &clean);
+    fp != clean_fp
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: shrink-chaos <local|volume|lca|prod> <seed>");
+        return ExitCode::FAILURE;
+    }
+    let model = args[1].as_str();
+    let seed: u64 = match args[2].parse() {
+        Ok(s) => s,
+        Err(_) => {
+            eprintln!("seed must be a non-negative integer, got {:?}", args[2]);
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(n) = instance_size(model, seed) else {
+        eprintln!("unknown model {model:?}; expected local, volume, lca, or prod");
+        return ExitCode::FAILURE;
+    };
+
+    let plan = FaultPlan::random(seed, n, 4);
+    println!("model {model}, seed {seed}, {n} nodes");
+    println!("-- original plan ({} faults) --", plan.faults().len());
+    print!("{}", plan.to_text());
+
+    if !reproduces(model, seed, &plan) {
+        println!("-- plan does not reproduce (run is clean); nothing to shrink --");
+        return ExitCode::SUCCESS;
+    }
+
+    let shrunk = shrink_plan(&plan, |p| reproduces(model, seed, p));
+    println!(
+        "-- shrunk plan ({} faults, permute-ids {}) --",
+        shrunk.faults().len(),
+        shrunk.permutes_ids()
+    );
+    print!("{}", shrunk.to_text());
+    ExitCode::SUCCESS
+}

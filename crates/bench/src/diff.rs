@@ -645,6 +645,7 @@ mod tests {
     fn committed_baselines_pass_their_schemas() {
         for (path, schema) in [
             ("../../BENCH_obs.json", Schema::Obs),
+            ("../../BENCH_recover.json", Schema::Obs),
             ("../../BENCH_re_engine.json", Schema::ReEngine),
         ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));

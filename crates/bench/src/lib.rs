@@ -25,6 +25,11 @@
 //!   Figure 1 panel, collected through the instrumented `simulate*`
 //!   entrypoints and written to `BENCH_obs.json` (also available alone
 //!   via `cargo bench -p lcl-bench --bench obs`).
+//! * [`recover_report::recover_report`] — recovery counters (repairs,
+//!   retries, checkpoints) for the certified-repair and tower-supervisor
+//!   paths, written to `BENCH_recover.json` (`--bench recover`).
+//! * [`shrink::shrink_plan`] — the chaos-seed shrinker behind the
+//!   `shrink-chaos` binary (`scripts/shrink_chaos.sh`).
 //!
 //! Run everything with `cargo bench -p lcl-bench --bench figures`; the
 //! microbenchmarks of the hot paths live in `--bench micro`.
@@ -42,6 +47,8 @@ pub mod grid_algos;
 pub mod json;
 pub mod obs_report;
 pub mod re_engine;
+pub mod recover_report;
+pub mod shrink;
 pub mod table;
 pub mod timing;
 pub mod volume_algos;

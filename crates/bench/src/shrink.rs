@@ -1,0 +1,133 @@
+//! Greedy fault-plan shrinker: given a [`FaultPlan`] that reproduces
+//! some behavior (a degradation, a verifier violation, an output
+//! divergence), find a minimal sub-plan that still reproduces it.
+//!
+//! The algorithm is ddmin-lite: repeatedly try dropping each fault (and
+//! clearing the adversarial ID permutation), keep any reduction the
+//! predicate still accepts, and stop at a fixpoint — a plan where
+//! removing *any* single element loses the reproduction. Because faulted
+//! executions are a pure function of `(seed, plan)`, the predicate is
+//! deterministic and the result is, too.
+
+use lcl_faults::{Fault, FaultPlan};
+
+/// Rebuilds a plan from its parts — the shrinker's one mutation point.
+fn rebuild(seed: u64, permute: bool, faults: &[Fault]) -> FaultPlan {
+    let mut plan = FaultPlan::new(seed);
+    if permute {
+        plan = plan.with_permuted_ids();
+    }
+    for &fault in faults {
+        plan = plan.with(fault);
+    }
+    plan
+}
+
+/// Shrinks `plan` to a locally-minimal plan still accepted by
+/// `reproduces`. The input plan itself must reproduce; otherwise it is
+/// returned unchanged. The number of predicate evaluations is
+/// `O(faults^2)` in the worst case.
+pub fn shrink_plan(plan: &FaultPlan, reproduces: impl Fn(&FaultPlan) -> bool) -> FaultPlan {
+    if !reproduces(plan) {
+        return plan.clone();
+    }
+    let seed = plan.seed();
+    let mut permute = plan.permutes_ids();
+    let mut faults: Vec<Fault> = plan.faults().to_vec();
+    loop {
+        let mut reduced = false;
+        // Try clearing the ID permutation first: it is the most
+        // confusing element of a repro, touching every node at once.
+        if permute {
+            let candidate = rebuild(seed, false, &faults);
+            if reproduces(&candidate) {
+                permute = false;
+                reduced = true;
+            }
+        }
+        // Then try dropping each fault, scanning from the back so index
+        // bookkeeping stays trivial after a removal.
+        let mut i = faults.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate_faults = faults.clone();
+            candidate_faults.remove(i);
+            let candidate = rebuild(seed, permute, &candidate_faults);
+            if reproduces(&candidate) {
+                faults = candidate_faults;
+                reduced = true;
+            }
+        }
+        if !reduced {
+            return rebuild(seed, permute, &faults);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan_with(faults: &[Fault], permute: bool) -> FaultPlan {
+        rebuild(42, permute, faults)
+    }
+
+    #[test]
+    fn drops_irrelevant_faults_and_the_permutation() {
+        let culprit = Fault::Crash { node: 3, round: 0 };
+        let plan = plan_with(
+            &[
+                Fault::CorruptView { node: 1, salt: 9 },
+                culprit,
+                Fault::PanicNode { node: 5 },
+                Fault::ProbeLie { query: 2, nth: 1 },
+            ],
+            true,
+        );
+        // "Reproduces" iff the culprit crash is present.
+        let shrunk = shrink_plan(&plan, |p| p.faults().contains(&culprit));
+        assert_eq!(shrunk.faults(), &[culprit]);
+        assert!(!shrunk.permutes_ids());
+        assert_eq!(shrunk.seed(), plan.seed());
+    }
+
+    #[test]
+    fn keeps_a_jointly_necessary_pair() {
+        let a = Fault::Crash { node: 1, round: 0 };
+        let b = Fault::Crash { node: 2, round: 0 };
+        let plan = plan_with(&[a, Fault::PanicNode { node: 7 }, b], false);
+        let shrunk = shrink_plan(&plan, |p| {
+            p.faults().contains(&a) && p.faults().contains(&b)
+        });
+        assert_eq!(shrunk.faults(), &[a, b]);
+    }
+
+    #[test]
+    fn keeps_the_permutation_when_it_is_load_bearing() {
+        let plan = plan_with(&[Fault::PanicNode { node: 0 }], true);
+        let shrunk = shrink_plan(&plan, FaultPlan::permutes_ids);
+        assert!(shrunk.permutes_ids());
+        assert!(shrunk.faults().is_empty());
+    }
+
+    #[test]
+    fn returns_non_reproducing_plans_unchanged() {
+        let plan = plan_with(&[Fault::PanicNode { node: 0 }], true);
+        let shrunk = shrink_plan(&plan, |_| false);
+        assert_eq!(shrunk, plan);
+    }
+
+    #[test]
+    fn shrunk_plans_round_trip_through_the_text_format() {
+        let plan = plan_with(
+            &[
+                Fault::Crash { node: 3, round: 1 },
+                Fault::CorruptView { node: 1, salt: 9 },
+            ],
+            true,
+        );
+        let shrunk = shrink_plan(&plan, |p| !p.faults().is_empty());
+        let reparsed = FaultPlan::parse(&shrunk.to_text()).expect("why: to_text always parses");
+        assert_eq!(reparsed, shrunk);
+    }
+}

@@ -46,6 +46,7 @@ pub mod lemma33;
 pub mod lift;
 pub mod par;
 pub mod ramsey;
+pub mod snapshot;
 pub mod speedup_grids;
 pub mod speedup_local;
 pub mod speedup_trees;
@@ -59,6 +60,7 @@ pub use bounds::{
 pub use interner::LabelInterner;
 pub use lemma33::{run_lemma33, Lemma33Case, Lemma33Run};
 pub use lift::LiftedAlgorithm;
+pub use snapshot::{LayerSnapshot, SnapshotError, SpanSnapshot, TableSnapshot, TowerSnapshot};
 pub use speedup_local::{run_fooled_local, FooledOrderInvariant};
 pub use speedup_trees::{
     tree_speedup, tree_speedup_logged, tree_speedup_traced, SpeedupOptions, SpeedupOutcome,

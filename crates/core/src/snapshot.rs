@@ -1,0 +1,748 @@
+//! Durable tower checkpoints.
+//!
+//! Long round-elimination runs are the workloads that most need to be
+//! restartable (cf. the hours-long round-eliminator computations behind
+//! the regular-tree classifications, arXiv:2202.08544): a
+//! [`TowerSnapshot`] captures everything a [`ReTower`](crate::ReTower)
+//! has computed — the base problem, every derived level's interned
+//! label universe and configuration bitsets, the extensional tables
+//! used for fixpoint detection, and the per-level spans — in the same
+//! hand-rolled JSON conventions the `lcl_obs` exporters use, so a
+//! budget breach or panic mid-tower can resume bit-identically via
+//! `ReTower::resume_from`.
+//!
+//! The snapshot deliberately excludes the node-constraint memo cache:
+//! it is a pure performance artifact, rebuilt on demand, and the only
+//! observable difference after a resume is future memo hit/miss
+//! counters — never a structural result. [`TowerSnapshot::fingerprint`]
+//! therefore hashes only the structural fields, which is the identity
+//! the interrupt-resume determinism tests assert on.
+
+use std::fmt;
+
+use lcl::ParseError;
+
+use crate::tower::LayerKind;
+
+/// A serializable checkpoint of a tower's derived state.
+///
+/// Produced by `ReTower::snapshot`, consumed by `ReTower::resume_from`.
+/// All fields are plain data so a snapshot can cross a panic boundary,
+/// a process restart, or a file on disk.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TowerSnapshot {
+    /// The base problem in its canonical text form
+    /// (`LclProblem::to_text`).
+    pub problem: String,
+    /// One entry per derived level, in push order.
+    pub layers: Vec<LayerSnapshot>,
+    /// Extensional tables per level *including the base* (index 0), so
+    /// `tables.len() == layers.len() + 1`. `None` slots are levels whose
+    /// table was never computed (too large, or the lazily-computed base
+    /// slot before any fixpoint check ran) and stay `None` on resume.
+    pub tables: Vec<Option<TableSnapshot>>,
+    /// The per-level engine spans (`spans.len() == layers.len()`),
+    /// preserved so stats and traces survive a resume.
+    pub spans: Vec<SpanSnapshot>,
+}
+
+/// One derived level: its operator, interned label universe, and
+/// constraint bitsets (serialized as sorted member-index lists).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LayerSnapshot {
+    /// Which operator produced the level.
+    pub kind: LayerKind,
+    /// Label `i`'s sorted parent-label member set; the position in this
+    /// vector *is* the interner id, which is what makes resume
+    /// bit-identical.
+    pub members: Vec<Vec<u32>>,
+    /// Edge compatibility row per label, as sorted label-index lists.
+    pub edge_rows: Vec<Vec<usize>>,
+    /// Allowed labels per input label, as sorted label-index lists.
+    pub g_rows: Vec<Vec<usize>>,
+}
+
+/// A level's extensional table (the fixpoint-detection witness).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TableSnapshot {
+    /// Universe size the table was computed over.
+    pub labels: usize,
+    /// Edge compatibility rows as sorted label-index lists.
+    pub edge_rows: Vec<Vec<usize>>,
+    /// `g` rows as sorted label-index lists.
+    pub g_rows: Vec<Vec<usize>>,
+    /// Node relation over all multisets of sizes `1..=Δ` in canonical
+    /// enumeration order.
+    pub node_relation: Vec<bool>,
+}
+
+/// One per-level span: name, wall clock, and named counters.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SpanSnapshot {
+    /// Span name (`level-{k}/{r|rbar}`).
+    pub name: String,
+    /// Wall-clock microseconds of the recorded step.
+    pub wall_us: u64,
+    /// Counter values keyed by their stable kebab-case names.
+    pub counters: Vec<(String, u64)>,
+}
+
+/// Why a snapshot could not be decoded or resumed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SnapshotError {
+    /// The JSON text itself was malformed.
+    Json {
+        /// Byte offset the parser stopped at.
+        pos: usize,
+        /// What it expected there.
+        what: &'static str,
+    },
+    /// The embedded problem text failed to parse.
+    Problem(ParseError),
+    /// The JSON was well-formed but structurally inconsistent (bad
+    /// lengths, out-of-range indices, duplicate label sets, ...).
+    Invalid(&'static str),
+    /// A span counter name no current [`lcl_obs::Counter`] matches.
+    UnknownCounter(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Json { pos, what } => {
+                write!(f, "snapshot JSON at byte {pos}: expected {what}")
+            }
+            SnapshotError::Problem(e) => write!(f, "snapshot problem text: {e}"),
+            SnapshotError::Invalid(what) => write!(f, "inconsistent snapshot: {what}"),
+            SnapshotError::UnknownCounter(name) => {
+                write!(f, "snapshot names unknown counter `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Problem(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl TowerSnapshot {
+    /// Serializes the snapshot as a single JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"version\":1,\"problem\":");
+        push_json_string(&mut out, &self.problem);
+        out.push_str(",\"layers\":[");
+        for (i, layer) in self.layers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"kind\":");
+            out.push_str(match layer.kind {
+                LayerKind::R => "\"r\"",
+                LayerKind::RBar => "\"rbar\"",
+            });
+            out.push_str(",\"members\":");
+            push_nested_u32(&mut out, &layer.members);
+            out.push_str(",\"edge_rows\":");
+            push_nested_usize(&mut out, &layer.edge_rows);
+            out.push_str(",\"g_rows\":");
+            push_nested_usize(&mut out, &layer.g_rows);
+            out.push('}');
+        }
+        out.push_str("],\"tables\":[");
+        for (i, table) in self.tables.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            match table {
+                None => out.push_str("null"),
+                Some(t) => {
+                    out.push_str("{\"labels\":");
+                    out.push_str(&t.labels.to_string());
+                    out.push_str(",\"edge_rows\":");
+                    push_nested_usize(&mut out, &t.edge_rows);
+                    out.push_str(",\"g_rows\":");
+                    push_nested_usize(&mut out, &t.g_rows);
+                    out.push_str(",\"node_relation\":[");
+                    for (j, &b) in t.node_relation.iter().enumerate() {
+                        if j > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(if b { "true" } else { "false" });
+                    }
+                    out.push_str("]}");
+                }
+            }
+        }
+        out.push_str("],\"spans\":[");
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            push_json_string(&mut out, &span.name);
+            out.push_str(",\"wall_us\":");
+            out.push_str(&span.wall_us.to_string());
+            out.push_str(",\"counters\":{");
+            for (j, (name, value)) in span.counters.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                push_json_string(&mut out, name);
+                out.push(':');
+                out.push_str(&value.to_string());
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Parses a document produced by [`TowerSnapshot::to_json`].
+    pub fn parse(text: &str) -> Result<Self, SnapshotError> {
+        let value = JsonParser::parse_document(text)?;
+        let root = value.as_obj("snapshot object")?;
+        let problem = root.field("problem")?.as_str("problem string")?.to_string();
+        let mut layers = Vec::new();
+        for layer in root.field("layers")?.as_arr("layers array")? {
+            let layer = layer.as_obj("layer object")?;
+            let kind = match layer.field("kind")?.as_str("layer kind")? {
+                "r" => LayerKind::R,
+                "rbar" => LayerKind::RBar,
+                _ => return Err(SnapshotError::Invalid("unknown layer kind")),
+            };
+            layers.push(LayerSnapshot {
+                kind,
+                members: nested_u32(layer.field("members")?)?,
+                edge_rows: nested_usize(layer.field("edge_rows")?)?,
+                g_rows: nested_usize(layer.field("g_rows")?)?,
+            });
+        }
+        let mut tables = Vec::new();
+        for table in root.field("tables")?.as_arr("tables array")? {
+            if matches!(table, Json::Null) {
+                tables.push(None);
+                continue;
+            }
+            let table = table.as_obj("table object")?;
+            let mut node_relation = Vec::new();
+            for b in table.field("node_relation")?.as_arr("node relation")? {
+                node_relation.push(b.as_bool("node relation entry")?);
+            }
+            tables.push(Some(TableSnapshot {
+                labels: usize_from(table.field("labels")?.as_u64("label count")?)?,
+                edge_rows: nested_usize(table.field("edge_rows")?)?,
+                g_rows: nested_usize(table.field("g_rows")?)?,
+                node_relation,
+            }));
+        }
+        let mut spans = Vec::new();
+        for span in root.field("spans")?.as_arr("spans array")? {
+            let span = span.as_obj("span object")?;
+            let mut counters = Vec::new();
+            for (name, value) in span.field("counters")?.as_obj("counter map")?.fields() {
+                counters.push((name.to_string(), value.as_u64("counter value")?));
+            }
+            spans.push(SpanSnapshot {
+                name: span.field("name")?.as_str("span name")?.to_string(),
+                wall_us: span.field("wall_us")?.as_u64("span wall")?,
+                counters,
+            });
+        }
+        Ok(Self {
+            problem,
+            layers,
+            tables,
+            spans,
+        })
+    }
+
+    /// An FNV-1a hash of the snapshot's *structural* content: the
+    /// problem text, every layer's kind/universe/bitsets, and the
+    /// extensional tables. Spans are excluded on purpose — resuming
+    /// clears the memo cache, which changes future hit/miss counters
+    /// but never the derived problems — so an interrupted-and-resumed
+    /// tower fingerprints identically to an uninterrupted one.
+    pub fn fingerprint(&self) -> String {
+        let mut structural = self.clone();
+        structural.spans.clear();
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in structural.to_json().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{hash:016x}")
+    }
+}
+
+fn usize_from(wide: u64) -> Result<usize, SnapshotError> {
+    usize::try_from(wide).map_err(|_| SnapshotError::Invalid("count exceeds usize"))
+}
+
+fn push_nested_u32(out: &mut String, rows: &[Vec<u32>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn push_nested_usize(out: &mut String, rows: &[Vec<usize>]) {
+    out.push('[');
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, v) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&v.to_string());
+        }
+        out.push(']');
+    }
+    out.push(']');
+}
+
+fn nested_u32(value: &Json) -> Result<Vec<Vec<u32>>, SnapshotError> {
+    let mut rows = Vec::new();
+    for row in value.as_arr("nested array")? {
+        let mut out = Vec::new();
+        for v in row.as_arr("inner array")? {
+            let wide = v.as_u64("array number")?;
+            out.push(
+                u32::try_from(wide).map_err(|_| SnapshotError::Invalid("member exceeds u32"))?,
+            );
+        }
+        rows.push(out);
+    }
+    Ok(rows)
+}
+
+fn nested_usize(value: &Json) -> Result<Vec<Vec<usize>>, SnapshotError> {
+    let mut rows = Vec::new();
+    for row in value.as_arr("nested array")? {
+        let mut out = Vec::new();
+        for v in row.as_arr("inner array")? {
+            out.push(usize_from(v.as_u64("array number")?)?);
+        }
+        rows.push(out);
+    }
+    Ok(rows)
+}
+
+/// Writes `s` as a JSON string literal with full escaping (the same
+/// conventions as the `lcl_obs` exporters).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The minimal JSON value model the snapshot format needs: objects,
+/// arrays, strings, non-negative integers, booleans, and `null`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(JsonObj),
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+struct JsonObj {
+    fields: Vec<(String, Json)>,
+}
+
+impl JsonObj {
+    fn field(&self, name: &'static str) -> Result<&Json, SnapshotError> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or(SnapshotError::Json { pos: 0, what: name })
+    }
+
+    fn fields(&self) -> impl Iterator<Item = (&str, &Json)> {
+        self.fields.iter().map(|(k, v)| (k.as_str(), v))
+    }
+}
+
+impl Json {
+    fn as_obj(&self, what: &'static str) -> Result<&JsonObj, SnapshotError> {
+        match self {
+            Json::Obj(o) => Ok(o),
+            _ => Err(SnapshotError::Json { pos: 0, what }),
+        }
+    }
+
+    fn as_arr(&self, what: &'static str) -> Result<&[Json], SnapshotError> {
+        match self {
+            Json::Arr(a) => Ok(a),
+            _ => Err(SnapshotError::Json { pos: 0, what }),
+        }
+    }
+
+    fn as_str(&self, what: &'static str) -> Result<&str, SnapshotError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            _ => Err(SnapshotError::Json { pos: 0, what }),
+        }
+    }
+
+    fn as_u64(&self, what: &'static str) -> Result<u64, SnapshotError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            _ => Err(SnapshotError::Json { pos: 0, what }),
+        }
+    }
+
+    fn as_bool(&self, what: &'static str) -> Result<bool, SnapshotError> {
+        match self {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(SnapshotError::Json { pos: 0, what }),
+        }
+    }
+}
+
+/// A recursive-descent parser for the subset of JSON the snapshot
+/// writer emits. Zero-dependency by design — the workspace has no serde
+/// and the format is fully under our control.
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn parse_document(text: &'a str) -> Result<Json, SnapshotError> {
+        let mut p = Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("end of document"));
+        }
+        Ok(value)
+    }
+
+    fn err(&self, what: &'static str) -> SnapshotError {
+        SnapshotError::Json {
+            pos: self.pos,
+            what,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8, what: &'static str) -> Result<(), SnapshotError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(what))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, SnapshotError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            _ => Err(self.err("a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, text: &'static str, value: Json) -> Result<Json, SnapshotError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err("a JSON literal"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, SnapshotError> {
+        let mut n: u64 = 0;
+        let start = self.pos;
+        while let Some(d) = self
+            .bytes
+            .get(self.pos)
+            .and_then(|b| (*b as char).to_digit(10))
+        {
+            n = n
+                .checked_mul(10)
+                .and_then(|n| n.checked_add(u64::from(d)))
+                .ok_or(SnapshotError::Json {
+                    pos: start,
+                    what: "a number within u64",
+                })?;
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("a digit"));
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E')) {
+            return Err(self.err("an integer (no fractions)"));
+        }
+        Ok(Json::Num(n))
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        self.eat(b'"', "opening quote")?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err(self.err("closing quote"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err(self.err("escape character"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            let c = char::from_u32(code)
+                                .ok_or(self.err("a non-surrogate \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("a valid escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b).ok_or(self.err("valid UTF-8"))?;
+                    let end = start + width;
+                    let slice = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or(self.err("a complete UTF-8 sequence"))?;
+                    let s = std::str::from_utf8(slice).map_err(|_| self.err("valid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, SnapshotError> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(d) = self
+                .bytes
+                .get(self.pos)
+                .and_then(|b| (*b as char).to_digit(16))
+            else {
+                return Err(self.err("four hex digits"));
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn array(&mut self) -> Result<Json, SnapshotError> {
+        self.eat(b'[', "[")?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err(", or ]")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, SnapshotError> {
+        self.eat(b'{', "{")?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(JsonObj { fields }));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':', ":")?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(JsonObj { fields }));
+                }
+                _ => return Err(self.err(", or }")),
+            }
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TowerSnapshot {
+        TowerSnapshot {
+            problem: "max-degree: 3\nnodes:\nA*\nedges:\nA A\n".to_string(),
+            layers: vec![LayerSnapshot {
+                kind: LayerKind::R,
+                members: vec![vec![0], vec![0, 1]],
+                edge_rows: vec![vec![0, 1], vec![0]],
+                g_rows: vec![vec![0, 1]],
+            }],
+            tables: vec![
+                None,
+                Some(TableSnapshot {
+                    labels: 2,
+                    edge_rows: vec![vec![0, 1], vec![0]],
+                    g_rows: vec![vec![0, 1]],
+                    node_relation: vec![true, false, true],
+                }),
+            ],
+            spans: vec![SpanSnapshot {
+                name: "level-1/r".to_string(),
+                wall_us: 1234,
+                counters: vec![
+                    ("labels-interned".to_string(), 2),
+                    ("labels-alive".to_string(), 2),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let text = snap.to_json();
+        let back = TowerSnapshot::parse(&text).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.to_json(), text, "serialization is canonical");
+    }
+
+    #[test]
+    fn strings_with_escapes_round_trip() {
+        let mut snap = sample();
+        snap.problem = "tabs\tand\nnewlines \"quoted\" back\\slash \u{1} π".to_string();
+        let back = TowerSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(back.problem, snap.problem);
+    }
+
+    #[test]
+    fn fingerprint_ignores_spans_but_not_structure() {
+        let snap = sample();
+        let mut respanned = snap.clone();
+        respanned.spans[0].counters[0].1 = 999;
+        respanned.spans[0].wall_us = 1;
+        assert_eq!(snap.fingerprint(), respanned.fingerprint());
+        let mut restructured = snap.clone();
+        restructured.layers[0].members[1] = vec![1];
+        assert_ne!(snap.fingerprint(), restructured.fingerprint());
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        assert!(matches!(
+            TowerSnapshot::parse("not json"),
+            Err(SnapshotError::Json { .. })
+        ));
+        assert!(matches!(
+            TowerSnapshot::parse("{\"version\":1}"),
+            Err(SnapshotError::Json { .. })
+        ));
+        let truncated = &sample().to_json()[..40];
+        assert!(TowerSnapshot::parse(truncated).is_err());
+        assert!(TowerSnapshot::parse(
+            "{\"problem\":\"x\",\"layers\":[],\"tables\":[],\"spans\":[],\"extra\":1.5}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn numbers_overflowing_u64_are_rejected() {
+        let doc = "{\"problem\":\"x\",\"layers\":[],\"tables\":[{\"labels\":99999999999999999999,\"edge_rows\":[],\"g_rows\":[],\"node_relation\":[]}],\"spans\":[]}";
+        assert!(matches!(
+            TowerSnapshot::parse(doc),
+            Err(SnapshotError::Json { .. })
+        ));
+    }
+}

@@ -64,6 +64,7 @@ use lcl_obs::{Counter, Event, EventLog, Span, SpanRecord, Trace};
 use crate::bits::{for_each_multiset, BitSet};
 use crate::interner::LabelInterner;
 use crate::par;
+use crate::snapshot::{LayerSnapshot, SnapshotError, SpanSnapshot, TableSnapshot, TowerSnapshot};
 
 /// Which operator produced a derived level.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -468,6 +469,153 @@ impl ReTower {
     pub fn level(&self, level: usize) -> TowerLevel<'_> {
         assert!(level < self.level_count(), "level out of range");
         TowerLevel { tower: self, level }
+    }
+
+    /// Captures everything this tower has derived as a serializable
+    /// [`TowerSnapshot`]: the base problem text, every level's interned
+    /// universe and constraint bitsets, the extensional tables, and the
+    /// per-level spans. The node-constraint memo cache is deliberately
+    /// excluded — it is a pure performance artifact, rebuilt on demand
+    /// after [`ReTower::resume_from`].
+    pub fn snapshot(&self) -> TowerSnapshot {
+        TowerSnapshot {
+            problem: self.base.to_text(),
+            layers: self
+                .layers
+                .iter()
+                .map(|layer| LayerSnapshot {
+                    kind: layer.kind,
+                    members: layer.labels.iter().map(|(_, m)| m.to_vec()).collect(),
+                    edge_rows: layer.edge_rows.iter().map(|r| r.to_vec()).collect(),
+                    g_rows: layer.g_rows.iter().map(|r| r.to_vec()).collect(),
+                })
+                .collect(),
+            tables: self
+                .tables
+                .iter()
+                .map(|slot| {
+                    slot.as_ref().map(|t| TableSnapshot {
+                        labels: t.labels,
+                        edge_rows: t.edge_rows.iter().map(|r| r.to_vec()).collect(),
+                        g_rows: t.g_rows.iter().map(|r| r.to_vec()).collect(),
+                        node_relation: t.node_relation.clone(),
+                    })
+                })
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|span| SpanSnapshot {
+                    name: span.name().to_string(),
+                    wall_us: u64::try_from(span.wall().as_micros()).unwrap_or(u64::MAX),
+                    counters: span
+                        .counters()
+                        .map(|(c, v)| (c.as_str().to_string(), v))
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a tower from a snapshot so that further pushes continue
+    /// bit-identically to the interrupted run (same interner ids, same
+    /// bitsets, same fixpoint tables). The memo cache starts empty; that
+    /// only changes *future* memo hit/miss counters, never a derived
+    /// problem, which is why [`ReTower::fingerprint`] is structural.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] when the embedded problem fails to parse or the
+    /// snapshot is structurally inconsistent (mismatched lengths,
+    /// out-of-range indices, duplicate or unsorted member sets, a
+    /// non-`R` level under an `R̄`).
+    pub fn resume_from(snap: &TowerSnapshot) -> Result<ReTower, SnapshotError> {
+        let base = LclProblem::parse(&snap.problem).map_err(SnapshotError::Problem)?;
+        let mut tower = ReTower::new(base);
+        let input_count = tower.base.input_count();
+        let mut parent_size = tower.base.output_alphabet().len();
+        let mut prior_kind = None;
+        for layer in &snap.layers {
+            if layer.kind == LayerKind::RBar && prior_kind != Some(LayerKind::R) {
+                return Err(SnapshotError::Invalid("an R̄ level must sit on an R level"));
+            }
+            prior_kind = Some(layer.kind);
+            let n = layer.members.len();
+            if n == 0 {
+                return Err(SnapshotError::Invalid("a level with no labels"));
+            }
+            let mut labels = LabelInterner::new();
+            let mut member_sets = Vec::with_capacity(n);
+            for (i, members) in layer.members.iter().enumerate() {
+                if !members.windows(2).all(|w| w[0] < w[1]) {
+                    return Err(SnapshotError::Invalid("unsorted label member set"));
+                }
+                if members.iter().any(|&m| m as usize >= parent_size) {
+                    return Err(SnapshotError::Invalid("member outside parent universe"));
+                }
+                let id = labels.intern(members);
+                if id as usize != i {
+                    return Err(SnapshotError::Invalid("duplicate label member set"));
+                }
+                member_sets.push(BitSet::from_members(
+                    parent_size,
+                    members.iter().map(|&m| m as usize),
+                ));
+            }
+            let edge_rows = rows_from_snapshot(&layer.edge_rows, n, n)?;
+            let g_rows = rows_from_snapshot(&layer.g_rows, input_count, n)?;
+            tower.layers.push(Layer {
+                kind: layer.kind,
+                labels,
+                member_sets,
+                edge_rows,
+                g_rows,
+            });
+            parent_size = n;
+        }
+        if snap.tables.len() != snap.layers.len() + 1 {
+            return Err(SnapshotError::Invalid("table slot per level plus base"));
+        }
+        tower.tables.clear();
+        for slot in &snap.tables {
+            let Some(t) = slot else {
+                tower.tables.push(None);
+                continue;
+            };
+            tower.tables.push(Some(LevelTable {
+                labels: t.labels,
+                edge_rows: rows_from_snapshot(&t.edge_rows, t.labels, t.labels)?,
+                g_rows: rows_from_snapshot(&t.g_rows, input_count, t.labels)?,
+                node_relation: t.node_relation.clone(),
+            }));
+        }
+        if snap.spans.len() != snap.layers.len() {
+            return Err(SnapshotError::Invalid("one span per derived level"));
+        }
+        for span in &snap.spans {
+            let mut counters = Vec::with_capacity(span.counters.len());
+            for (name, value) in &span.counters {
+                let counter = Counter::from_name(name)
+                    .ok_or_else(|| SnapshotError::UnknownCounter(name.clone()))?;
+                counters.push((counter, *value));
+            }
+            tower.spans.push(SpanRecord::with_wall(
+                span.name.clone(),
+                Duration::from_micros(span.wall_us),
+                counters,
+                Vec::new(),
+            ));
+        }
+        Ok(tower)
+    }
+
+    /// An FNV-1a fingerprint of the tower's structural content (see
+    /// [`TowerSnapshot::fingerprint`]): equal fingerprints mean equal
+    /// base problems, universes, constraints, and fixpoint tables —
+    /// regardless of thread counts, memo traffic, or whether the build
+    /// was interrupted and resumed along the way.
+    pub fn fingerprint(&self) -> String {
+        self.snapshot().fingerprint()
     }
 
     /// Edge-compatibility row of a label at a level (bitset over that
@@ -1030,6 +1178,26 @@ impl ReTower {
     }
 }
 
+/// Rebuilds bitset rows from a snapshot's index lists, validating the
+/// row count and that every index is inside the level's universe.
+fn rows_from_snapshot(
+    rows: &[Vec<usize>],
+    expected_rows: usize,
+    universe: usize,
+) -> Result<Vec<BitSet>, SnapshotError> {
+    if rows.len() != expected_rows {
+        return Err(SnapshotError::Invalid("row count mismatch"));
+    }
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        if row.iter().any(|&i| i >= universe) {
+            return Err(SnapshotError::Invalid("row index outside the universe"));
+        }
+        out.push(BitSet::from_members(universe, row.iter().copied()));
+    }
+    Ok(out)
+}
+
 fn compact_layer(layer: Layer, alive: &BitSet) -> Layer {
     let keep: Vec<usize> = alive.iter().collect();
     let count = keep.len();
@@ -1463,6 +1631,113 @@ mod tests {
         assert_eq!(breach.partial, 1, "one completed derived level survives");
         assert_eq!(tower.level_count(), 2, "R level kept after R̄ breach");
         assert!(tower.alphabet_size(1) > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut tower = ReTower::new(three_coloring());
+        tower.push_f(ReOptions::default()).unwrap();
+        let snap = tower.snapshot();
+        let back = TowerSnapshot::parse(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+        let resumed = ReTower::resume_from(&back).unwrap();
+        assert_eq!(resumed.level_count(), tower.level_count());
+        for level in 0..tower.level_count() {
+            assert_eq!(resumed.alphabet_size(level), tower.alphabet_size(level));
+            if level > 0 {
+                assert_eq!(resumed.layer_kind(level), tower.layer_kind(level));
+            }
+        }
+        assert_eq!(resumed.fingerprint(), tower.fingerprint());
+        // Spans (and hence stats) survive the round trip; wall clocks
+        // are stored at microsecond granularity.
+        let granular: Vec<LevelStats> = tower
+            .stats()
+            .into_iter()
+            .map(|s| LevelStats {
+                wall: Duration::from_micros(s.wall.as_micros() as u64),
+                ..s
+            })
+            .collect();
+        assert_eq!(resumed.stats(), granular);
+        // The memo cache starts cold but that is invisible structurally.
+        assert_eq!(resumed.node_cache_counters(), (0, 0));
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_snapshots() {
+        let mut tower = ReTower::new(three_coloring());
+        tower.push_r(ReOptions::default()).unwrap();
+        let snap = tower.snapshot();
+
+        let mut bad = snap.clone();
+        bad.layers[0].members[0] = vec![99];
+        assert!(matches!(
+            ReTower::resume_from(&bad),
+            Err(SnapshotError::Invalid(_))
+        ));
+
+        let mut bad = snap.clone();
+        bad.tables.clear();
+        assert!(matches!(
+            ReTower::resume_from(&bad),
+            Err(SnapshotError::Invalid(_))
+        ));
+
+        let mut bad = snap.clone();
+        bad.spans[0]
+            .counters
+            .push(("no-such-counter".to_string(), 1));
+        assert!(matches!(
+            ReTower::resume_from(&bad),
+            Err(SnapshotError::UnknownCounter(_))
+        ));
+
+        let mut bad = snap;
+        bad.problem = "not a problem".to_string();
+        assert!(matches!(
+            ReTower::resume_from(&bad),
+            Err(SnapshotError::Problem(_))
+        ));
+    }
+
+    #[test]
+    fn budget_interrupted_resume_matches_uninterrupted_fingerprint() {
+        for threads in [1usize, 2, 8] {
+            let opts = ReOptions {
+                parallel: threads > 1,
+                threads,
+                ..ReOptions::default()
+            };
+
+            let mut plain = ReTower::new(sinkless_orientation());
+            plain.push_f(opts).unwrap();
+            plain.push_f(opts).unwrap();
+
+            // Interrupted build: the round cap stops the tower after two
+            // derived levels; we checkpoint through JSON, resume, and
+            // finish under a roomier budget.
+            let mut interrupted = ReTower::new(sinkless_orientation());
+            let tight = lcl_faults::Budget::unlimited().with_max_rounds(2);
+            let token = tight.token();
+            interrupted.push_f_budgeted(opts, &tight, &token).unwrap();
+            let err = interrupted
+                .push_f_budgeted(opts, &tight, &token)
+                .unwrap_err();
+            assert!(matches!(err, ReError::Budget(_)));
+            let wire = interrupted.snapshot().to_json();
+            let mut resumed = ReTower::resume_from(&TowerSnapshot::parse(&wire).unwrap()).unwrap();
+            let roomy = tight.escalate(2);
+            let token = roomy.token();
+            resumed.push_f_budgeted(opts, &roomy, &token).unwrap();
+
+            assert_eq!(resumed.level_count(), plain.level_count());
+            assert_eq!(
+                resumed.fingerprint(),
+                plain.fingerprint(),
+                "resume must be bit-identical at {threads} threads"
+            );
+        }
     }
 
     #[test]

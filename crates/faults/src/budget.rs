@@ -66,6 +66,25 @@ impl Budget {
         self
     }
 
+    /// This budget with every finite cap multiplied by `factor`
+    /// (saturating) — the escalation step of a retry supervisor: each
+    /// retry runs under a strictly roomier budget, so a computation that
+    /// breached only because the caps were tight eventually fits.
+    /// Unlimited caps stay unlimited; a `factor` of 0 or 1 returns the
+    /// budget unchanged.
+    pub fn escalate(&self, factor: u64) -> Self {
+        let factor = factor.max(1);
+        let scale = |cap: Option<u64>| cap.map(|c| c.saturating_mul(factor));
+        Self {
+            max_rounds: scale(self.max_rounds),
+            max_labels: scale(self.max_labels),
+            max_memory: scale(self.max_memory),
+            deadline: self
+                .deadline
+                .map(|d| d.saturating_mul(factor.min(u64::from(u32::MAX)) as u32)),
+        }
+    }
+
     /// A fresh [`CancelToken`] for this budget, with the deadline (if
     /// any) armed from now.
     pub fn token(&self) -> CancelToken {
@@ -284,6 +303,27 @@ mod tests {
         assert!(b.check_labels("s", u64::MAX, 0).is_ok());
         assert!(b.check_rounds("s", u64::MAX, 0).is_ok());
         assert!(b.check_memory("s", u64::MAX, 0).is_ok());
+    }
+
+    #[test]
+    fn escalation_scales_finite_caps_and_keeps_unlimited() {
+        let b = Budget::unlimited()
+            .with_max_labels(10)
+            .with_max_rounds(4)
+            .with_deadline(Duration::from_millis(100));
+        let up = b.escalate(3);
+        assert_eq!(up.max_labels, Some(30));
+        assert_eq!(up.max_rounds, Some(12));
+        assert_eq!(up.max_memory, None, "unlimited stays unlimited");
+        assert_eq!(up.deadline, Some(Duration::from_millis(300)));
+        assert_eq!(b.escalate(0), b, "factor 0 is a no-op");
+        assert_eq!(b.escalate(1), b, "factor 1 is a no-op");
+        let huge = Budget::unlimited().with_max_labels(u64::MAX / 2);
+        assert_eq!(
+            huge.escalate(4).max_labels,
+            Some(u64::MAX),
+            "saturates instead of overflowing"
+        );
     }
 
     #[test]

@@ -35,4 +35,4 @@ pub mod plan;
 
 pub use budget::{Breach, Budget, BudgetExceeded, CancelToken, InvalidConfig};
 pub use panic_guard::{inject_panic, isolate, Degraded, NodeFault};
-pub use plan::{Fault, FaultPlan, PlanParseError};
+pub use plan::{Fault, FaultPlan, PlanIssue, PlanParseError};

@@ -215,64 +215,64 @@ impl FaultPlan {
         out
     }
 
-    /// Parses the [`FaultPlan::to_text`] format. Blank lines and `#`
-    /// comments are ignored.
+    /// Parses the [`FaultPlan::to_text`] format strictly. Blank lines
+    /// and `#` comments are ignored; everything else must be a known
+    /// directive whose tokens are each a recognized `key=value` pair
+    /// given exactly once — unknown directives, unknown or duplicated
+    /// fields, stray tokens, malformed or overflowing numbers, and
+    /// repeated `plan` headers are all typed [`PlanParseError`]s, never
+    /// panics or silently dropped input.
     pub fn parse(text: &str) -> Result<Self, PlanParseError> {
-        let mut plan = None;
+        let mut plan: Option<FaultPlan> = None;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
+            let at = |issue: PlanIssue| PlanParseError {
+                line: lineno + 1,
+                issue,
+            };
             let mut words = line.split_whitespace();
             let head = words.next().unwrap_or_default();
-            let field = |key: &str| -> Result<u64, PlanParseError> {
-                let prefix = format!("{key}=");
-                line.split_whitespace()
-                    .find_map(|w| w.strip_prefix(&prefix))
-                    .ok_or(PlanParseError {
-                        line: lineno + 1,
-                        what: "missing field",
-                    })?
-                    .parse()
-                    .map_err(|_| PlanParseError {
-                        line: lineno + 1,
-                        what: "malformed number",
-                    })
+            let keys: &[&str] = match head {
+                "plan" => &["seed", "permute-ids"],
+                "crash" => &["node", "round"],
+                "corrupt" => &["node", "salt"],
+                "panic" => &["node"],
+                "probe-lie" => &["query", "nth"],
+                other => return Err(at(PlanIssue::UnknownDirective(other.to_string()))),
             };
+            let fields = Fields::collect(words, keys).map_err(&at)?;
             match head {
                 "plan" => {
-                    let mut p = Self::new(field("seed")?);
-                    p.permute_ids = words.any(|w| w == "permute-ids=true");
+                    if plan.is_some() {
+                        return Err(at(PlanIssue::DuplicateHeader));
+                    }
+                    let mut p = Self::new(fields.u64("seed").map_err(&at)?);
+                    p.permute_ids = fields.bool_or("permute-ids", false).map_err(&at)?;
                     plan = Some(p);
                 }
                 _ => {
-                    let plan = plan.as_mut().ok_or(PlanParseError {
-                        line: lineno + 1,
-                        what: "fault before the plan header",
-                    })?;
+                    let plan = plan
+                        .as_mut()
+                        .ok_or_else(|| at(PlanIssue::FaultBeforeHeader))?;
                     let fault = match head {
                         "crash" => Fault::Crash {
-                            node: field("node")? as usize,
-                            round: field("round")? as u32,
+                            node: fields.index("node").map_err(&at)?,
+                            round: fields.u32("round").map_err(&at)?,
                         },
                         "corrupt" => Fault::CorruptView {
-                            node: field("node")? as usize,
-                            salt: field("salt")?,
+                            node: fields.index("node").map_err(&at)?,
+                            salt: fields.u64("salt").map_err(&at)?,
                         },
                         "panic" => Fault::PanicNode {
-                            node: field("node")? as usize,
+                            node: fields.index("node").map_err(&at)?,
                         },
-                        "probe-lie" => Fault::ProbeLie {
-                            query: field("query")? as usize,
-                            nth: field("nth")?,
+                        _ => Fault::ProbeLie {
+                            query: fields.index("query").map_err(&at)?,
+                            nth: fields.u64("nth").map_err(&at)?,
                         },
-                        _ => {
-                            return Err(PlanParseError {
-                                line: lineno + 1,
-                                what: "unknown fault kind",
-                            })
-                        }
                     };
                     plan.faults.push(fault);
                 }
@@ -280,8 +280,90 @@ impl FaultPlan {
         }
         plan.ok_or(PlanParseError {
             line: 0,
-            what: "no plan header",
+            issue: PlanIssue::MissingHeader,
         })
+    }
+}
+
+/// The validated `key=value` pairs of one plan line.
+struct Fields {
+    pairs: Vec<(&'static str, String)>,
+}
+
+impl Fields {
+    /// Collects every remaining token as a recognized `key=value` pair,
+    /// rejecting stray tokens, unknown keys, and duplicates.
+    fn collect<'a>(
+        words: impl Iterator<Item = &'a str>,
+        keys: &[&'static str],
+    ) -> Result<Self, PlanIssue> {
+        let mut pairs: Vec<(&'static str, String)> = Vec::new();
+        for word in words {
+            let Some((key, value)) = word.split_once('=') else {
+                return Err(PlanIssue::StrayToken(word.to_string()));
+            };
+            let Some(&known) = keys.iter().find(|&&k| k == key) else {
+                return Err(PlanIssue::UnknownField(key.to_string()));
+            };
+            if pairs.iter().any(|(k, _)| *k == known) {
+                return Err(PlanIssue::DuplicateField(known));
+            }
+            pairs.push((known, value.to_string()));
+        }
+        Ok(Self { pairs })
+    }
+
+    fn get(&self, key: &'static str) -> Result<&str, PlanIssue> {
+        self.pairs
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+            .ok_or(PlanIssue::MissingField(key))
+    }
+
+    /// A required `u64` field; overflow is a malformed number, not a
+    /// silent wrap.
+    fn u64(&self, key: &'static str) -> Result<u64, PlanIssue> {
+        let value = self.get(key)?;
+        value.parse().map_err(|_| PlanIssue::MalformedNumber {
+            field: key,
+            value: value.to_string(),
+        })
+    }
+
+    /// A required `u32` field; values beyond `u32::MAX` are rejected
+    /// instead of truncated.
+    fn u32(&self, key: &'static str) -> Result<u32, PlanIssue> {
+        let wide = self.u64(key)?;
+        u32::try_from(wide).map_err(|_| PlanIssue::ValueOutOfRange {
+            field: key,
+            value: wide,
+        })
+    }
+
+    /// A required node/query index; values beyond `usize::MAX` are
+    /// rejected instead of truncated.
+    fn index(&self, key: &'static str) -> Result<usize, PlanIssue> {
+        let wide = self.u64(key)?;
+        usize::try_from(wide).map_err(|_| PlanIssue::ValueOutOfRange {
+            field: key,
+            value: wide,
+        })
+    }
+
+    /// An optional boolean field; only the literals `true` and `false`
+    /// are accepted.
+    fn bool_or(&self, key: &'static str, default: bool) -> Result<bool, PlanIssue> {
+        match self.get(key) {
+            Err(PlanIssue::MissingField(_)) => Ok(default),
+            Err(other) => Err(other),
+            Ok("true") => Ok(true),
+            Ok("false") => Ok(false),
+            Ok(value) => Err(PlanIssue::MalformedBoolean {
+                field: key,
+                value: value.to_string(),
+            }),
+        }
     }
 }
 
@@ -295,17 +377,85 @@ pub fn perturb(salt: u64, i: u64) -> u64 {
 }
 
 /// A [`FaultPlan::parse`] failure: the 1-based line and what was wrong.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct PlanParseError {
     /// 1-based line number (0 when the whole text is unusable).
     pub line: usize,
     /// What was wrong with the line.
-    pub what: &'static str,
+    pub issue: PlanIssue,
+}
+
+/// The specific defect [`FaultPlan::parse`] found in a plan line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PlanIssue {
+    /// The text contained no `plan seed=...` header line.
+    MissingHeader,
+    /// A second `plan` header appeared after the first.
+    DuplicateHeader,
+    /// A fault directive appeared before the `plan` header.
+    FaultBeforeHeader,
+    /// The line's first token is not a known directive.
+    UnknownDirective(String),
+    /// A token was not a `key=value` pair.
+    StrayToken(String),
+    /// A `key=value` pair whose key the directive does not accept.
+    UnknownField(String),
+    /// A field the directive requires was absent.
+    MissingField(&'static str),
+    /// The same field was given more than once on one line.
+    DuplicateField(&'static str),
+    /// A numeric field that failed to parse as `u64` (including
+    /// overflow).
+    MalformedNumber {
+        /// The field whose value was rejected.
+        field: &'static str,
+        /// The rejected text.
+        value: String,
+    },
+    /// A numeric field that parsed but exceeds its narrower target type
+    /// (`u32` rounds, `usize` indices).
+    ValueOutOfRange {
+        /// The field whose value was rejected.
+        field: &'static str,
+        /// The out-of-range value.
+        value: u64,
+    },
+    /// A boolean field with a value other than `true` or `false`.
+    MalformedBoolean {
+        /// The field whose value was rejected.
+        field: &'static str,
+        /// The rejected text.
+        value: String,
+    },
+}
+
+impl fmt::Display for PlanIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanIssue::MissingHeader => write!(f, "no plan header"),
+            PlanIssue::DuplicateHeader => write!(f, "duplicate plan header"),
+            PlanIssue::FaultBeforeHeader => write!(f, "fault before the plan header"),
+            PlanIssue::UnknownDirective(head) => write!(f, "unknown directive `{head}`"),
+            PlanIssue::StrayToken(token) => write!(f, "stray token `{token}`"),
+            PlanIssue::UnknownField(key) => write!(f, "unknown field `{key}`"),
+            PlanIssue::MissingField(key) => write!(f, "missing field `{key}`"),
+            PlanIssue::DuplicateField(key) => write!(f, "duplicate field `{key}`"),
+            PlanIssue::MalformedNumber { field, value } => {
+                write!(f, "malformed number `{value}` for field `{field}`")
+            }
+            PlanIssue::ValueOutOfRange { field, value } => {
+                write!(f, "value {value} out of range for field `{field}`")
+            }
+            PlanIssue::MalformedBoolean { field, value } => {
+                write!(f, "malformed boolean `{value}` for field `{field}`")
+            }
+        }
+    }
 }
 
 impl fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "fault plan line {}: {}", self.line, self.what)
+        write!(f, "fault plan line {}: {}", self.line, self.issue)
     }
 }
 
@@ -337,6 +487,116 @@ mod tests {
         assert!(FaultPlan::parse("crash node=0 round=1").is_err());
         assert!(FaultPlan::parse("plan seed=1\nwobble node=0").is_err());
         assert!(FaultPlan::parse("plan seed=1\ncrash node=x round=1").is_err());
+    }
+
+    #[test]
+    fn parse_reports_typed_issues_for_hostile_input() {
+        let issue = |text: &str| FaultPlan::parse(text).expect_err("should reject").issue;
+        assert_eq!(issue(""), PlanIssue::MissingHeader);
+        assert_eq!(
+            issue("plan seed=1\nplan seed=2"),
+            PlanIssue::DuplicateHeader
+        );
+        assert_eq!(issue("crash node=0 round=1"), PlanIssue::FaultBeforeHeader);
+        assert_eq!(
+            issue("plan seed=1\nwobble node=0"),
+            PlanIssue::UnknownDirective("wobble".to_string())
+        );
+        assert_eq!(
+            issue("plan seed=1\ncrash node=0 round=1 junk"),
+            PlanIssue::StrayToken("junk".to_string())
+        );
+        assert_eq!(
+            issue("plan seed=1\ncrash node=0 salt=1"),
+            PlanIssue::UnknownField("salt".to_string())
+        );
+        assert_eq!(
+            issue("plan seed=1\ncrash node=0"),
+            PlanIssue::MissingField("round")
+        );
+        assert_eq!(
+            issue("plan seed=1\ncrash node=0 node=1 round=1"),
+            PlanIssue::DuplicateField("node")
+        );
+        assert_eq!(
+            issue("plan seed=1\ncrash node=0 round=99999999999999999999"),
+            PlanIssue::MalformedNumber {
+                field: "round",
+                value: "99999999999999999999".to_string(),
+            }
+        );
+        assert_eq!(
+            issue("plan seed=1\ncrash node=0 round=4294967296"),
+            PlanIssue::ValueOutOfRange {
+                field: "round",
+                value: 4_294_967_296,
+            }
+        );
+        assert_eq!(
+            issue("plan seed=1 permute-ids=maybe"),
+            PlanIssue::MalformedBoolean {
+                field: "permute-ids",
+                value: "maybe".to_string(),
+            }
+        );
+        let err = FaultPlan::parse("plan seed=1\ncrash node=0 round=1 junk").expect_err("line");
+        assert_eq!(err.line, 2);
+        assert!(format!("{err}").contains("line 2"));
+    }
+
+    #[test]
+    fn parse_tolerates_stray_whitespace_but_not_stray_tokens() {
+        let plan =
+            FaultPlan::parse("  plan   seed=9  permute-ids=true \n\t corrupt  node=1 salt=4\n")
+                .expect("whitespace-padded plans are fine");
+        assert_eq!(plan.seed(), 9);
+        assert!(plan.permutes_ids());
+        assert_eq!(plan.corrupt_salt(1), Some(4));
+        assert!(FaultPlan::parse("plan seed=9 seed=9").is_err());
+        assert!(FaultPlan::parse("plan seed=9 extra").is_err());
+    }
+
+    /// Satellite 1's fuzz gate: 1k seeded byte-level mutations of valid
+    /// plan texts. Parsing must never panic, and anything that still
+    /// parses must survive a `to_text`/`parse` round trip.
+    #[test]
+    fn parse_survives_a_thousand_seeded_mutations() {
+        let mut accepted = 0u32;
+        for seed in 0..1000u64 {
+            let base = FaultPlan::random(seed, 16, 8).to_text();
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_f00d_cafe_0001);
+            let mut bytes = base.into_bytes();
+            for _ in 0..1 + (rng.next_u64() % 4) {
+                match rng.next_u64() % 4 {
+                    0 if !bytes.is_empty() => {
+                        let i = (rng.next_u64() as usize) % bytes.len();
+                        bytes[i] = (rng.next_u64() % 256) as u8;
+                    }
+                    1 => {
+                        let i = (rng.next_u64() as usize) % (bytes.len() + 1);
+                        bytes.insert(i, b"=x9 \n\tplancrash#"[(rng.next_u64() % 16) as usize]);
+                    }
+                    2 if !bytes.is_empty() => {
+                        let i = (rng.next_u64() as usize) % bytes.len();
+                        bytes.remove(i);
+                    }
+                    _ if !bytes.is_empty() => {
+                        let i = (rng.next_u64() as usize) % bytes.len();
+                        let tail: Vec<u8> = bytes[i..].to_vec();
+                        bytes.extend_from_slice(&tail);
+                    }
+                    _ => {}
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes).into_owned();
+            if let Ok(plan) = FaultPlan::parse(&mutated) {
+                accepted += 1;
+                let reparsed = FaultPlan::parse(&plan.to_text()).expect("round trip");
+                assert_eq!(reparsed, plan, "mutated-but-valid plan must round-trip");
+            }
+        }
+        assert!(accepted > 0, "some light mutations should still parse");
+        assert!(accepted < 1000, "heavy mutations should be rejected");
     }
 
     #[test]

@@ -53,4 +53,4 @@ pub use label::{Alphabet, InLabel, OutLabel};
 pub use labeling::{uniform_input, HalfEdgeLabeling};
 pub use parse::ParseError;
 pub use problem::{LclProblem, LclProblemBuilder, Problem, ProblemBuildError};
-pub use verify::{local_failure_fraction, verify, violations_summary, Violation};
+pub use verify::{local_failure_fraction, verify, violating_nodes, violations_summary, Violation};

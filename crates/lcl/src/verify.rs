@@ -119,6 +119,29 @@ pub fn local_failure_fraction<P: Problem + ?Sized>(
     (failed_nodes.len() + failed_edges.len()) as f64 / objects as f64
 }
 
+/// The nodes a repair pass must touch to mend `violations`: each
+/// node-attributed violation contributes its node, each edge-attributed
+/// violation both endpoints of its edge. Sorted and deduplicated — this
+/// is the seed set for localized mending (expanding-ball re-execution),
+/// which is what makes the node-edge-checkable form locally *mendable*
+/// and not just locally checkable.
+pub fn violating_nodes(graph: &Graph, violations: &[Violation]) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = Vec::new();
+    for v in violations {
+        match *v {
+            Violation::EdgeConfig { edge } | Violation::EdgeInputMap { edge, .. } => {
+                nodes.extend(graph.endpoints(edge));
+            }
+            Violation::NodeConfig { node } | Violation::NodeInputMap { node, .. } => {
+                nodes.push(node);
+            }
+        }
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
 /// A short human-readable summary of a violation list.
 pub fn violations_summary(violations: &[Violation]) -> String {
     if violations.is_empty() {
@@ -227,6 +250,35 @@ mod tests {
         let summary = violations_summary(&violations);
         assert!(summary.contains("violations"));
         assert_eq!(violations_summary(&[]), "valid");
+    }
+
+    #[test]
+    fn violating_nodes_localizes_both_kinds() {
+        let g = gen::path(4);
+        let p = two_coloring();
+        let input = crate::uniform_input(&g);
+        // Monochromatic output: every edge fails, so every node is in
+        // the mending seed set.
+        let output = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let violations = verify(&p, &g, &input, &output);
+        let nodes = violating_nodes(&g, &violations);
+        assert_eq!(nodes.len(), 4, "edge violations pull in both endpoints");
+        assert!(nodes.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
+        assert!(violating_nodes(&g, &[]).is_empty());
+        // A node-only violation (mixed colors at the middle node of a
+        // path) localizes to exactly that node's neighborhood.
+        let mixed = HalfEdgeLabeling::from_fn(&g, |h| {
+            if g.node_of(h).0 == 1 {
+                OutLabel(g.port_of(h) as u32)
+            } else {
+                OutLabel(1 - g.node_of(h).0 % 2)
+            }
+        });
+        let node_viols: Vec<Violation> = verify(&p, &g, &input, &mixed)
+            .into_iter()
+            .filter(|v| !v.is_edge())
+            .collect();
+        assert!(violating_nodes(&g, &node_viols).contains(&lcl_graph::NodeId(1)));
     }
 
     #[test]

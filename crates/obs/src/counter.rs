@@ -79,6 +79,16 @@ pub enum Counter {
     Violations,
     /// Node faults recorded by a fault-injected (degraded) run.
     Faults,
+    /// Attempts re-driven by a retry supervisor after a failure.
+    Retries,
+    /// Tower snapshots taken (and round-tripped) by the recovery layer.
+    Checkpoints,
+    /// Mending rounds spent by a certify/repair pass (0 when the
+    /// labeling verified on the first try).
+    Repairs,
+    /// Nodes whose half-edge labels a repair pass rewrote from the
+    /// fault-free reference run.
+    RepairedNodes,
 }
 
 impl Counter {
@@ -105,6 +115,10 @@ impl Counter {
         Counter::Trials,
         Counter::Violations,
         Counter::Faults,
+        Counter::Retries,
+        Counter::Checkpoints,
+        Counter::Repairs,
+        Counter::RepairedNodes,
     ];
 
     /// The stable kebab-case name used in JSON and fingerprints.
@@ -131,7 +145,17 @@ impl Counter {
             Counter::Trials => "trials",
             Counter::Violations => "violations",
             Counter::Faults => "faults",
+            Counter::Retries => "retries",
+            Counter::Checkpoints => "checkpoints",
+            Counter::Repairs => "repairs",
+            Counter::RepairedNodes => "repaired-nodes",
         }
+    }
+
+    /// The counter with the given kebab-case name (the inverse of
+    /// [`Counter::as_str`]), used when reading serialized spans back in.
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.iter().copied().find(|c| c.as_str() == name)
     }
 }
 
@@ -160,5 +184,13 @@ mod tests {
         let mut sorted = Counter::ALL.to_vec();
         sorted.sort();
         assert_eq!(sorted.as_slice(), Counter::ALL);
+    }
+
+    #[test]
+    fn from_name_round_trips_every_counter() {
+        for &c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.as_str()), Some(c));
+        }
+        assert_eq!(Counter::from_name("no-such-counter"), None);
     }
 }

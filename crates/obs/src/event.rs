@@ -83,6 +83,25 @@ pub enum Event {
         /// `"probe-lie"`, ...
         fault: &'static str,
     },
+    /// A retry supervisor is about to re-drive a failed stage.
+    Retry {
+        /// The supervised stage (e.g. `"re-tower/level-3"`).
+        stage: String,
+        /// One-based attempt number that just failed.
+        attempt: u64,
+        /// Deterministic backoff recorded for this retry, in
+        /// milliseconds (advisory — recorded, not slept, by default).
+        backoff_ms: u64,
+    },
+    /// A recovery checkpoint (e.g. a serialized tower snapshot) was
+    /// taken and round-tripped.
+    Checkpoint {
+        /// The stage the checkpoint covers.
+        stage: String,
+        /// Completed work units captured by the checkpoint (tower
+        /// levels built, rounds run, ...).
+        completed: u64,
+    },
 }
 
 impl Event {
@@ -96,6 +115,8 @@ impl Event {
             Event::MemoLookup { .. } => "memo-lookup",
             Event::LevelComplete { .. } => "level-complete",
             Event::Fault { .. } => "fault",
+            Event::Retry { .. } => "retry",
+            Event::Checkpoint { .. } => "checkpoint",
         }
     }
 
@@ -138,10 +159,48 @@ impl Event {
                     ", \"node\": {node}, \"round\": {round}, \"fault\": \"{fault}\""
                 );
             }
+            Event::Retry {
+                stage,
+                attempt,
+                backoff_ms,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"stage\": \"{}\", \"attempt\": {attempt}, \"backoff_ms\": {backoff_ms}",
+                    escape(stage)
+                );
+            }
+            Event::Checkpoint { stage, completed } => {
+                let _ = write!(
+                    out,
+                    ", \"stage\": \"{}\", \"completed\": {completed}",
+                    escape(stage)
+                );
+            }
         }
         out.push('}');
         out
     }
+}
+
+/// Minimal JSON string escaping for stage names (quotes, backslashes,
+/// and control characters; stages are ASCII identifiers in practice).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[derive(Debug, Default)]
@@ -365,6 +424,15 @@ mod tests {
             round: 1,
             fault: "crash-stop",
         });
+        log.record(Event::Retry {
+            stage: "re-tower/level-3".to_string(),
+            attempt: 1,
+            backoff_ms: 20,
+        });
+        log.record(Event::Checkpoint {
+            stage: "re-tower/level-3".to_string(),
+            completed: 2,
+        });
         let json = log.to_json();
         for kind in [
             "round-start",
@@ -374,6 +442,8 @@ mod tests {
             "memo-lookup",
             "level-complete",
             "fault",
+            "retry",
+            "checkpoint",
         ] {
             assert!(json.contains(kind), "missing {kind} in {json}");
         }

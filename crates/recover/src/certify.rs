@@ -1,0 +1,292 @@
+//! Certification and bounded local mending of output labelings.
+//!
+//! The paper's node-edge-checkable form (Definition 2.4) makes an LCL
+//! solution *locally checkable*: `lcl::verify` localizes every failure
+//! to a node or an edge. This module exploits the flip side — local
+//! checkability makes damage locally *mendable*: starting from the
+//! violating nodes, [`repair`] rewrites an expanding radius ball with
+//! labels from a fault-free reference execution and re-verifies after
+//! each round. Because the reference is globally valid, the loop is
+//! guaranteed to converge within the graph's diameter; in practice a
+//! crash or corrupted view damages a handful of nodes and one or two
+//! rounds suffice.
+//!
+//! The payoff is a typed certificate: a [`Certified`] labeling can only
+//! be constructed by passing the verifier, so downstream code can take
+//! correctness as a type-level invariant instead of a hope.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use lcl::{verify, violating_nodes, HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
+use lcl_graph::Graph;
+
+/// A labeling that passed `lcl::verify` exactly — the constructor is
+/// private to this module, so holding a `Certified` *is* the proof.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Certified<T> {
+    value: T,
+}
+
+impl<T> Certified<T> {
+    fn seal(value: T) -> Self {
+        Self { value }
+    }
+
+    /// The certified value.
+    pub fn get(&self) -> &T {
+        &self.value
+    }
+
+    /// Unwraps the certified value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+/// Bounded mending gave up: the violations still standing after the
+/// final round, and how many rounds were spent.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RepairFailed {
+    /// Violations remaining when the repair budget ran out.
+    pub violations: Vec<Violation>,
+    /// Mending rounds attempted (0 when no reference run was available
+    /// to mend from).
+    pub rounds_tried: u32,
+}
+
+impl fmt::Display for RepairFailed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "repair failed after {} rounds: {}",
+            self.rounds_tried,
+            lcl::violations_summary(&self.violations)
+        )
+    }
+}
+
+impl std::error::Error for RepairFailed {}
+
+/// Knobs for [`repair`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RepairOptions {
+    /// Maximum mending rounds. Round `r` patches every node within BFS
+    /// distance `r - 1` of a violating node, so any budget at least the
+    /// graph's diameter plus one guarantees convergence.
+    pub max_rounds: u32,
+}
+
+impl Default for RepairOptions {
+    fn default() -> Self {
+        Self { max_rounds: 64 }
+    }
+}
+
+/// What a successful [`repair`] did: the work accounting reported as
+/// `Counter::Repairs` / `Counter::RepairedNodes` by the model wrappers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RepairReport {
+    /// Mending rounds spent (0 when the labeling verified untouched).
+    pub rounds: u32,
+    /// Node-patch operations performed across all rounds.
+    pub patched_nodes: u64,
+}
+
+/// Verify-only certification: the labeling either passes `lcl::verify`
+/// exactly and comes back [`Certified`], or the violations are returned
+/// as a typed [`RepairFailed`] with zero rounds tried.
+///
+/// # Errors
+///
+/// [`RepairFailed`] carrying every violation when the labeling is not
+/// valid.
+pub fn certify<P: Problem + ?Sized>(
+    p: &P,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    output: HalfEdgeLabeling<OutLabel>,
+) -> Result<Certified<HalfEdgeLabeling<OutLabel>>, RepairFailed> {
+    let violations = verify(p, graph, input, &output);
+    if violations.is_empty() {
+        Ok(Certified::seal(output))
+    } else {
+        Err(RepairFailed {
+            violations,
+            rounds_tried: 0,
+        })
+    }
+}
+
+/// Bounded local mending against a fault-free `reference` labeling.
+///
+/// Round `r` localizes the current violations to their nodes
+/// ([`lcl::violating_nodes`]), expands each by a BFS ball of radius
+/// `r - 1`, and rewrites every half-edge of the ball's nodes with the
+/// reference labels; then the whole labeling is re-verified. Since the
+/// reference is globally valid, the patched region eventually swallows
+/// every violation — with a budget of at least diameter + 1 rounds the
+/// result is always [`Certified`].
+///
+/// # Errors
+///
+/// [`RepairFailed`] with the surviving violations when `max_rounds`
+/// rounds were not enough.
+pub fn repair<P: Problem + ?Sized>(
+    p: &P,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    mut output: HalfEdgeLabeling<OutLabel>,
+    reference: &HalfEdgeLabeling<OutLabel>,
+    opts: RepairOptions,
+) -> Result<(Certified<HalfEdgeLabeling<OutLabel>>, RepairReport), RepairFailed> {
+    let mut violations = verify(p, graph, input, &output);
+    if violations.is_empty() {
+        return Ok((Certified::seal(output), RepairReport::default()));
+    }
+    let mut patched_nodes = 0u64;
+    for round in 1..=opts.max_rounds {
+        let seeds = violating_nodes(graph, &violations);
+        let mut ball = BTreeSet::new();
+        let radius = round - 1;
+        for &seed in &seeds {
+            if radius == 0 {
+                ball.insert(seed);
+                continue;
+            }
+            for (i, d) in graph.bfs_distances(seed, radius).into_iter().enumerate() {
+                if d <= radius {
+                    ball.insert(lcl_graph::NodeId(i as u32));
+                }
+            }
+        }
+        for &v in &ball {
+            for h in graph.half_edges_of(v) {
+                output.set(h, reference.get(h));
+            }
+        }
+        patched_nodes += ball.len() as u64;
+        violations = verify(p, graph, input, &output);
+        if violations.is_empty() {
+            return Ok((
+                Certified::seal(output),
+                RepairReport {
+                    rounds: round,
+                    patched_nodes,
+                },
+            ));
+        }
+    }
+    Err(RepairFailed {
+        violations,
+        rounds_tried: opts.max_rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl::LclProblem;
+    use lcl_graph::gen;
+
+    fn two_coloring() -> LclProblem {
+        LclProblem::builder("2col", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .build()
+            .unwrap()
+    }
+
+    fn proper(g: &Graph) -> HalfEdgeLabeling<OutLabel> {
+        HalfEdgeLabeling::from_node_fn(g, |v| vec![OutLabel(v.0 % 2); g.degree(v) as usize])
+    }
+
+    #[test]
+    fn valid_labelings_certify_untouched() {
+        let g = gen::path(6);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let certified = certify(&p, &g, &input, proper(&g)).unwrap();
+        assert_eq!(certified.get().as_slice(), proper(&g).as_slice());
+    }
+
+    #[test]
+    fn invalid_labelings_fail_certification_with_the_violations() {
+        let g = gen::path(4);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let bad = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let err = certify(&p, &g, &input, bad).unwrap_err();
+        assert!(!err.violations.is_empty());
+        assert_eq!(err.rounds_tried, 0);
+        assert!(err.to_string().contains("repair failed after 0 rounds"));
+    }
+
+    #[test]
+    fn single_node_damage_repairs_in_one_round() {
+        let g = gen::path(8);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let reference = proper(&g);
+        // Flip node 3's labels: both its edges go monochromatic.
+        let mut damaged = reference.clone();
+        for h in g.half_edges_of(lcl_graph::NodeId(3)) {
+            damaged.set(h, OutLabel(1 - damaged.get(h).0));
+        }
+        let (certified, report) = repair(
+            &p,
+            &g,
+            &input,
+            damaged,
+            &reference,
+            RepairOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(certified.get().as_slice(), reference.as_slice());
+        assert_eq!(report.rounds, 1, "radius-0 patch of the violating nodes");
+        assert!(report.patched_nodes >= 1);
+    }
+
+    #[test]
+    fn widespread_damage_converges_within_the_diameter() {
+        let g = gen::path(10);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let reference = proper(&g);
+        let damaged = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let (certified, report) = repair(
+            &p,
+            &g,
+            &input,
+            damaged,
+            &reference,
+            RepairOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(certified.get().as_slice(), reference.as_slice());
+        assert!(report.rounds >= 1 && report.rounds <= 10);
+    }
+
+    #[test]
+    fn exhausted_rounds_return_the_surviving_violations() {
+        let g = gen::path(12);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        // A "reference" that is itself invalid can never mend the damage.
+        let broken_reference = HalfEdgeLabeling::uniform(&g, OutLabel(0));
+        let damaged = HalfEdgeLabeling::uniform(&g, OutLabel(1));
+        let err = repair(
+            &p,
+            &g,
+            &input,
+            damaged,
+            &broken_reference,
+            RepairOptions { max_rounds: 3 },
+        )
+        .unwrap_err();
+        assert_eq!(err.rounds_tried, 3);
+        assert!(!err.violations.is_empty());
+    }
+}

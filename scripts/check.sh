@@ -26,6 +26,13 @@ echo "== chaos soak (trichotomy: valid / typed error / typed degradation) =="
 # it finishes in a few seconds (budget: <60s).
 cargo test -q --release --test chaos -- --include-ignored
 
+echo "== recovery soak (repair closes the loop; supervised resume is deterministic) =="
+# 100 crash/corrupt plans across all four faulted models must end
+# Certified or typed RepairFailed (never silently invalid), and the
+# supervised tower build must fingerprint-match an uninterrupted build
+# at 1/2/8 threads. Release-only for the same reason as the chaos soak.
+cargo test -q --release --test recovery -- --include-ignored
+
 echo "== unwrap() gate (library code must use typed errors or expect) =="
 # Count `.unwrap()` in crate library sources outside `#[cfg(test)]`
 # modules. The baseline is 0: new library code must propagate typed
@@ -66,5 +73,7 @@ cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_obs
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_obs.json BENCH_obs.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_re_engine.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_re_engine.json BENCH_re_engine.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_recover.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_recover.json BENCH_recover.json
 
 echo "all checks passed"

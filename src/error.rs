@@ -13,9 +13,11 @@ use lcl::{ParseError, ProblemBuildError};
 use lcl_classify::automaton::AutomatonError;
 use lcl_classify::ClassifyError;
 use lcl_core::ReError;
+use lcl_core::SnapshotError;
 use lcl_faults::{BudgetExceeded, InvalidConfig, NodeFault};
 use lcl_graph::builder::BuildError;
 use lcl_graph::gen::RegularGenError;
+use lcl_recover::RepairFailed;
 use lcl_volume::ProbeError;
 
 /// Any error the landscape suite can produce, by source subsystem.
@@ -65,6 +67,11 @@ pub enum LandscapeError {
     InvalidConfig(InvalidConfig),
     /// A panic-isolated node invocation faulted.
     NodeFault(NodeFault),
+    /// Bounded local mending could not restore a valid labeling; the
+    /// payload lists the surviving violations.
+    Repair(RepairFailed),
+    /// A serialized tower snapshot was malformed or inconsistent.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for LandscapeError {
@@ -80,6 +87,8 @@ impl fmt::Display for LandscapeError {
             Self::Budget(e) => write!(f, "resource budget: {e}"),
             Self::InvalidConfig(e) => write!(f, "entrypoint config: {e}"),
             Self::NodeFault(e) => write!(f, "node fault: {e}"),
+            Self::Repair(e) => write!(f, "repair: {e}"),
+            Self::Snapshot(e) => write!(f, "tower snapshot: {e}"),
         }
     }
 }
@@ -97,6 +106,8 @@ impl Error for LandscapeError {
             Self::Budget(e) => Some(e),
             Self::InvalidConfig(e) => Some(e),
             Self::NodeFault(e) => Some(e),
+            Self::Repair(e) => Some(e),
+            Self::Snapshot(e) => Some(e),
         }
     }
 }
@@ -167,6 +178,18 @@ impl From<NodeFault> for LandscapeError {
     }
 }
 
+impl From<RepairFailed> for LandscapeError {
+    fn from(e: RepairFailed) -> Self {
+        Self::Repair(e)
+    }
+}
+
+impl From<SnapshotError> for LandscapeError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +244,23 @@ mod tests {
         .into();
         assert!(matches!(err, LandscapeError::NodeFault(_)));
         assert!(err.to_string().contains("node fault"));
+    }
+
+    #[test]
+    fn wraps_repair_and_snapshot_errors() {
+        let err: LandscapeError = RepairFailed {
+            violations: vec![],
+            rounds_tried: 4,
+        }
+        .into();
+        assert!(matches!(err, LandscapeError::Repair(_)));
+        assert!(err.to_string().contains("repair failed after 4 rounds"));
+        assert!(err.source().is_some());
+
+        let err: LandscapeError = lcl_core::TowerSnapshot::parse("{").unwrap_err().into();
+        assert!(matches!(err, LandscapeError::Snapshot(_)));
+        assert!(err.to_string().contains("tower snapshot"));
+        assert!(err.source().is_some());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`classify`] | `lcl-classify` | path/cycle complexity classifier |
 //! | [`obs`] | `lcl-obs` | tracing/metrics: spans, counters, reports |
 //! | [`faults`] | `lcl-faults` | fault plans, budgets, panic isolation |
+//! | [`recover`] | `lcl-recover` | certified repair, checkpoint/resume, retry supervisor |
 //!
 //! On top of the re-exports the facade adds two pieces of glue:
 //!
@@ -66,6 +67,7 @@ pub use lcl_grid as grid;
 pub use lcl_local as local;
 pub use lcl_obs as obs;
 pub use lcl_problems as problems;
+pub use lcl_recover as recover;
 pub use lcl_volume as volume;
 
 pub use lcl;
