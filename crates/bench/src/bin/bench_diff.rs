@@ -13,8 +13,11 @@
 //!
 //! Counters compare bit-exact (raw JSON text); `wall_us`/`*_ms` keys get
 //! a relative tolerance (default ±30 %, `--wall-tol 0.5` to widen);
-//! `par_speedup`/`threads_available` are informational. Exit codes:
-//! 0 = clean, 1 = regression or schema violation, 2 = usage/parse error.
+//! `threads_available` is informational. `par_speedup` is gated by a
+//! floor (default 1.5, `--speedup-floor 2.0` to tighten) whenever the
+//! candidate report was measured with at least 8 threads and the problem
+//! is big enough to rise above scheduler noise. Exit codes: 0 = clean,
+//! 1 = regression or schema violation, 2 = usage/parse error.
 
 use std::process::ExitCode;
 
@@ -25,12 +28,14 @@ struct Args {
     baseline: String,
     candidate: Option<String>,
     wall_tolerance: f64,
+    speedup_floor: f64,
     schema_only: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench-diff [--wall-tol FRACTION] [--check-schema] BASELINE [CANDIDATE]\n\
+        "usage: bench-diff [--wall-tol FRACTION] [--speedup-floor RATIO] \
+         [--check-schema] BASELINE [CANDIDATE]\n\
          \n\
          Compares CANDIDATE against BASELINE (both BENCH_*.json reports).\n\
          With no CANDIDATE, self-diffs BASELINE (always clean) — useful\n\
@@ -44,6 +49,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut baseline = None;
     let mut candidate = None;
     let mut wall_tolerance = DiffOptions::default().wall_tolerance;
+    let mut speedup_floor = DiffOptions::default().speedup_floor;
     let mut schema_only = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -57,6 +63,19 @@ fn parse_args() -> Result<Args, ExitCode> {
                     Ok(v) if v >= 0.0 => wall_tolerance = v,
                     _ => {
                         eprintln!("bench-diff: invalid --wall-tol '{value}'");
+                        return Err(usage());
+                    }
+                }
+            }
+            "--speedup-floor" => {
+                let Some(value) = argv.next() else {
+                    eprintln!("bench-diff: --speedup-floor needs a value");
+                    return Err(usage());
+                };
+                match value.parse::<f64>() {
+                    Ok(v) if v >= 0.0 => speedup_floor = v,
+                    _ => {
+                        eprintln!("bench-diff: invalid --speedup-floor '{value}'");
                         return Err(usage());
                     }
                 }
@@ -82,6 +101,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         baseline,
         candidate,
         wall_tolerance,
+        speedup_floor,
         schema_only,
     })
 }
@@ -140,6 +160,8 @@ fn main() -> ExitCode {
         &candidate,
         DiffOptions {
             wall_tolerance: args.wall_tolerance,
+            speedup_floor: args.speedup_floor,
+            ..DiffOptions::default()
         },
     );
     for note in &report.notes {

@@ -11,8 +11,17 @@
 //!   measurements — inherently noisy — and only regress when they leave
 //!   the relative tolerance band *and* an absolute noise floor.
 //! * **Derived machine facts are informational.** Keys in
-//!   [`INFO_KEYS`] (`par_speedup`, `threads_available`) vary with the
-//!   host; changes are reported as notes, never as regressions.
+//!   [`INFO_KEYS`] (`threads_available`) vary with the host; changes are
+//!   reported as notes, never as regressions.
+//! * **Parallel speedup is gated by a floor, not by drift.**
+//!   `par_speedup` is derived from two wall times, so its drift is never
+//!   compared against the baseline; instead every object carrying both
+//!   `par_speedup` and `seq_wall_ms` must meet
+//!   [`DiffOptions::speedup_floor`] — but only when the candidate host
+//!   actually has [`DiffOptions::speedup_min_threads`] threads, and only
+//!   for problems big enough (`seq_wall_ms` at or above
+//!   [`DiffOptions::speedup_noise_floor_ms`]) for the ratio to be signal
+//!   rather than scheduler noise.
 //!
 //! [`check_schema`] validates a document against the committed baseline
 //! schemas (`BENCH_obs.json` registry dumps and `BENCH_re_engine.json`
@@ -23,10 +32,20 @@ use std::fmt;
 use crate::json::JsonValue;
 
 /// Keys holding wall-clock measurements: compared within tolerance.
-pub const WALL_KEYS: [&str; 4] = ["wall_us", "wall_ms", "seq_wall_ms", "par_wall_ms"];
+pub const WALL_KEYS: [&str; 5] = [
+    "wall_us",
+    "wall_ms",
+    "seq_wall_ms",
+    "par_wall_ms",
+    "wall_ms_t2",
+];
 
 /// Keys derived from the host machine: reported, never gating.
-pub const INFO_KEYS: [&str; 2] = ["par_speedup", "threads_available"];
+pub const INFO_KEYS: [&str; 1] = ["threads_available"];
+
+/// The derived ratio gated by [`DiffOptions::speedup_floor`] instead of
+/// baseline drift.
+pub const SPEEDUP_KEY: &str = "par_speedup";
 
 /// Absolute noise floor for microsecond timings (`wall_us`).
 const FLOOR_US: f64 = 200.0;
@@ -38,12 +57,25 @@ const FLOOR_MS: f64 = 0.5;
 pub struct DiffOptions {
     /// Relative tolerance for wall-time keys (0.30 = ±30 %).
     pub wall_tolerance: f64,
+    /// Minimum acceptable `par_speedup` wherever it is measured next to a
+    /// `seq_wall_ms` (see module docs).
+    pub speedup_floor: f64,
+    /// The speedup floor only gates when the candidate host reports at
+    /// least this many threads — a 1-core runner cannot speed anything
+    /// up, and its honest sub-1.0 ratios must not fail the gate.
+    pub speedup_min_threads: u64,
+    /// The speedup floor only gates problems whose sequential wall is at
+    /// least this many milliseconds; below it the ratio is noise.
+    pub speedup_noise_floor_ms: f64,
 }
 
 impl Default for DiffOptions {
     fn default() -> Self {
         Self {
             wall_tolerance: 0.30,
+            speedup_floor: 1.5,
+            speedup_min_threads: 8,
+            speedup_noise_floor_ms: 5.0,
         }
     }
 }
@@ -85,7 +117,89 @@ impl DiffReport {
 pub fn diff(base: &JsonValue, new: &JsonValue, opts: DiffOptions) -> DiffReport {
     let mut report = DiffReport::default();
     walk(base, new, "", "", opts, &mut report);
+    gate_speedups(new, opts, &mut report);
     report
+}
+
+/// Enforces the `par_speedup` floor over the candidate document: every
+/// object holding both [`SPEEDUP_KEY`] and `seq_wall_ms` is checked
+/// (see module docs for when the floor actually gates).
+fn gate_speedups(new: &JsonValue, opts: DiffOptions, report: &mut DiffReport) {
+    let threads = new
+        .get("threads_available")
+        .and_then(parse_num)
+        .unwrap_or(0.0) as u64;
+    if threads < opts.speedup_min_threads {
+        if !find_speedup_objects(new, "").is_empty() {
+            report.notes.push(Finding {
+                path: "(document root)".into(),
+                message: format!(
+                    "par_speedup floor not gated: host reports {threads} thread(s), \
+                     gate needs {}",
+                    opts.speedup_min_threads
+                ),
+            });
+        }
+        return;
+    }
+    for (path, speedup, seq_wall_ms) in find_speedup_objects(new, "") {
+        if seq_wall_ms < opts.speedup_noise_floor_ms {
+            report.notes.push(Finding {
+                path: display_path(&path),
+                message: format!(
+                    "par_speedup {speedup} not gated: seq wall {seq_wall_ms} ms is \
+                     below the {} ms noise floor",
+                    opts.speedup_noise_floor_ms
+                ),
+            });
+        } else if speedup < opts.speedup_floor {
+            report.regressions.push(Finding {
+                path: display_path(&join(&path, SPEEDUP_KEY)),
+                message: format!(
+                    "parallel speedup {speedup} is below the {} floor \
+                     (seq {seq_wall_ms} ms, {threads} threads available)",
+                    opts.speedup_floor
+                ),
+            });
+        }
+    }
+}
+
+fn parse_num(v: &JsonValue) -> Option<f64> {
+    match v {
+        JsonValue::Num(raw) => raw.parse().ok(),
+        _ => None,
+    }
+}
+
+/// Every object in `doc` measuring a parallel speedup, as
+/// `(path, par_speedup, seq_wall_ms)` triples in document order.
+fn find_speedup_objects(doc: &JsonValue, path: &str) -> Vec<(String, f64, f64)> {
+    let mut found = Vec::new();
+    collect_speedup_objects(doc, path, &mut found);
+    found
+}
+
+fn collect_speedup_objects(doc: &JsonValue, path: &str, found: &mut Vec<(String, f64, f64)>) {
+    match doc {
+        JsonValue::Obj(entries) => {
+            if let (Some(speedup), Some(seq)) = (
+                doc.get(SPEEDUP_KEY).and_then(parse_num),
+                doc.get("seq_wall_ms").and_then(parse_num),
+            ) {
+                found.push((path.to_string(), speedup, seq));
+            }
+            for (k, v) in entries {
+                collect_speedup_objects(v, &join(path, k), found);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                collect_speedup_objects(v, &format!("{path}[{i}]"), found);
+            }
+        }
+        _ => {}
+    }
 }
 
 fn join(path: &str, key: &str) -> String {
@@ -184,6 +298,13 @@ fn compare_numbers(
     report: &mut DiffReport,
 ) {
     if base_raw == new_raw {
+        return;
+    }
+    if key == SPEEDUP_KEY {
+        report.notes.push(Finding {
+            path: display_path(path),
+            message: format!("{base_raw} -> {new_raw} (derived ratio; gated by floor, not drift)"),
+        });
         return;
     }
     if INFO_KEYS.contains(&key) {
@@ -430,6 +551,30 @@ fn check_re_engine(doc: &JsonValue, errors: &mut Vec<Finding>) {
             }
         }
     }
+    // The 1/2/8-thread sweep feeding the speedup gate.
+    match doc.get("thread_sweep") {
+        Some(sweep) => {
+            let path = "\"thread_sweep\"";
+            if sweep.as_obj().is_none() {
+                fail(errors, path, "thread sweep must be an object");
+                return;
+            }
+            match sweep.get("name") {
+                Some(JsonValue::Str(_)) => {}
+                _ => fail(errors, &join(path, "name"), "sweep needs a string name"),
+            }
+            for key in [
+                "f_steps",
+                "seq_wall_ms",
+                "wall_ms_t2",
+                "par_wall_ms",
+                "par_speedup",
+            ] {
+                require_num(sweep, key, path, errors);
+            }
+        }
+        None => fail(errors, "\"thread_sweep\"", "required key is missing"),
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +719,46 @@ mod tests {
         assert_eq!(report.notes.len(), 2);
     }
 
+    fn speedup_doc(threads: u64, speedup: f64, seq_wall_ms: f64) -> JsonValue {
+        parse(&format!(
+            r#"{{"threads_available": {threads},
+                 "problems": [{{"name": "e1", "seq_wall_ms": {seq_wall_ms},
+                                "par_wall_ms": 1.0, "par_speedup": {speedup}}}]}}"#
+        ))
+        .expect("valid")
+    }
+
+    #[test]
+    fn speedup_below_floor_regresses_on_a_big_host() {
+        let base = speedup_doc(8, 2.1, 100.0);
+        let new = speedup_doc(8, 1.1, 100.0);
+        let report = diff(&base, &new, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        let text = report.regressions[0].to_string();
+        assert!(text.contains("par_speedup"), "{text}");
+        assert!(text.contains("below the 1.5 floor"), "{text}");
+        // Meeting the floor is clean even when the ratio drifted.
+        let ok = speedup_doc(8, 1.8, 100.0);
+        assert!(diff(&base, &ok, DiffOptions::default()).is_clean());
+    }
+
+    #[test]
+    fn speedup_floor_is_inert_on_small_hosts_and_small_problems() {
+        // A 1-thread host cannot speed anything up: note, don't gate.
+        let base = speedup_doc(1, 0.9, 100.0);
+        let report = diff(&base, &base, DiffOptions::default());
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.notes.iter().any(|n| n.message.contains("not gated")));
+        // On a big host, a sub-floor ratio on a tiny problem is noise.
+        let tiny = speedup_doc(8, 0.7, 0.4);
+        let report = diff(&tiny, &tiny, DiffOptions::default());
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.message.contains("noise floor")));
+    }
+
     #[test]
     fn raw_text_comparison_is_bit_exact() {
         // 1.50 vs 1.5 are numerically equal but textually different:
@@ -611,7 +796,11 @@ mod tests {
                   "level": 1, "labels_full": 6, "labels": 6, "configurations": 20,
                   "cache_hits": 5, "cache_misses": 2, "fixpoint_of": null, "wall_ms": 0.6
                 }]
-              }]
+              }],
+              "thread_sweep": {
+                "name": "3-coloring", "f_steps": 2, "seq_wall_ms": 12.0,
+                "wall_ms_t2": 7.0, "par_wall_ms": 5.0, "par_speedup": 2.4
+              }
             }"#,
         )
         .expect("valid re doc");

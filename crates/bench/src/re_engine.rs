@@ -40,11 +40,29 @@ struct LookupReport {
     scan_ns: f64,
 }
 
+/// The forced-thread-count sweep on the E1-pipeline problem: the data
+/// behind the gated `par_speedup` (sequential reference vs 2 and 8
+/// workers, same problem, same step count).
+struct SweepReport {
+    name: &'static str,
+    steps: usize,
+    seq_wall: Duration,
+    wall_t2: Duration,
+    wall_t8: Duration,
+}
+
 fn build_tower(problem: &LclProblem, steps: usize, parallel: bool) -> (ReTower, Duration) {
-    let opts = ReOptions {
-        parallel,
-        ..ReOptions::default()
-    };
+    build_tower_opts(
+        problem,
+        steps,
+        ReOptions {
+            parallel,
+            ..ReOptions::default()
+        },
+    )
+}
+
+fn build_tower_opts(problem: &LclProblem, steps: usize, opts: ReOptions) -> (ReTower, Duration) {
     let start = Instant::now();
     let mut tower = ReTower::new(problem.clone());
     for _ in 0..steps {
@@ -55,17 +73,42 @@ fn build_tower(problem: &LclProblem, steps: usize, parallel: bool) -> (ReTower, 
     (tower, start.elapsed())
 }
 
+fn measure_sweep(name: &'static str, problem: &LclProblem, steps: usize) -> SweepReport {
+    let (seq_tower, seq_wall) = build_tower(problem, steps, false);
+    let mut walls = [Duration::ZERO; 2];
+    for (i, threads) in [2usize, 8].into_iter().enumerate() {
+        let opts = ReOptions {
+            parallel: true,
+            threads,
+            ..ReOptions::default()
+        };
+        let (tower, wall) = build_tower_opts(problem, steps, opts);
+        assert_eq!(
+            tower.fingerprint(),
+            seq_tower.fingerprint(),
+            "tower diverged from the sequential reference at {threads} threads"
+        );
+        walls[i] = wall;
+    }
+    SweepReport {
+        name,
+        steps,
+        seq_wall,
+        wall_t2: walls[0],
+        wall_t8: walls[1],
+    }
+}
+
 fn measure_problem(name: &str, problem: &LclProblem, steps: usize) -> ProblemReport {
     let (seq_tower, seq_wall) = build_tower(problem, steps, false);
     let (par_tower, par_wall) = build_tower(problem, steps, true);
-    // The parallel fan-out must be a pure reshuffling of the work.
-    for level in 0..par_tower.level_count() {
-        assert_eq!(
-            seq_tower.alphabet_size(level),
-            par_tower.alphabet_size(level),
-            "parallel and sequential towers diverged at level {level}"
-        );
-    }
+    // The parallel fan-out must be a pure reshuffling of the work:
+    // bit-identical snapshots, not just equal alphabet sizes.
+    assert_eq!(
+        seq_tower.fingerprint(),
+        par_tower.fingerprint(),
+        "parallel and sequential towers diverged on {name}"
+    );
     let levels = par_tower
         .stats()
         .iter()
@@ -140,7 +183,12 @@ fn json_f64(x: f64) -> String {
     }
 }
 
-fn emit_json(reports: &[ProblemReport], lookup: &LookupReport, threads: usize) -> String {
+fn emit_json(
+    reports: &[ProblemReport],
+    sweep: &SweepReport,
+    lookup: &LookupReport,
+    threads: usize,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"bench\": \"re_engine\",");
@@ -184,6 +232,22 @@ fn emit_json(reports: &[ProblemReport], lookup: &LookupReport, threads: usize) -
         });
     }
     out.push_str("  ],\n");
+    out.push_str("  \"thread_sweep\": {\n");
+    let _ = writeln!(out, "    \"name\": \"{}\",", sweep.name);
+    let _ = writeln!(out, "    \"f_steps\": {},", sweep.steps);
+    let _ = writeln!(
+        out,
+        "    \"seq_wall_ms\": {},",
+        json_f64(ms(sweep.seq_wall))
+    );
+    let _ = writeln!(out, "    \"wall_ms_t2\": {},", json_f64(ms(sweep.wall_t2)));
+    let _ = writeln!(out, "    \"par_wall_ms\": {},", json_f64(ms(sweep.wall_t8)));
+    let _ = writeln!(
+        out,
+        "    \"par_speedup\": {}",
+        json_f64(ms(sweep.seq_wall) / ms(sweep.wall_t8))
+    );
+    out.push_str("  },\n");
     out.push_str("  \"label_lookup\": {\n");
     let _ = writeln!(out, "    \"labels\": {},", lookup.labels);
     let _ = writeln!(out, "    \"queries\": {},", lookup.queries);
@@ -265,10 +329,27 @@ pub fn re_engine() -> Table {
         reports.push(report);
     }
 
+    // The gated 1/2/8-thread sweep on the E1-pipeline problem (the
+    // anti-matching tower behind Theorem 3.11).
+    let (sweep_name, sweep_problem, sweep_steps) = battery().swap_remove(0);
+    let sweep = measure_sweep(sweep_name, &sweep_problem, sweep_steps);
+    table.row(cells!(
+        "thread sweep",
+        sweep.name,
+        "",
+        "",
+        "",
+        format!("{:.2}x @ 8 threads", ms(sweep.seq_wall) / ms(sweep.wall_t8)),
+        format!(
+            "seq {:.2} / t2 {:.2} / t8 {:.2} ms",
+            ms(sweep.seq_wall),
+            ms(sweep.wall_t2),
+            ms(sweep.wall_t8)
+        )
+    ));
+
     // Lookup microbenchmark on the largest tower of the battery.
-    let (anti, _, steps) = &battery()[0];
-    let _ = anti;
-    let (tower, _) = build_tower(&anti_matching(3), *steps, true);
+    let (tower, _) = build_tower(&sweep_problem, sweep_steps, true);
     let lookup = measure_lookup(&tower);
     table.row(cells!(
         "label lookup",
@@ -283,7 +364,7 @@ pub fn re_engine() -> Table {
         )
     ));
 
-    let json = emit_json(&reports, &lookup, threads);
+    let json = emit_json(&reports, &sweep, &lookup, threads);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_re_engine.json");
     match std::fs::write(path, &json) {
         Ok(()) => println!("wrote {path}"),
@@ -325,20 +406,40 @@ mod tests {
     #[test]
     fn json_is_structurally_balanced() {
         let report = measure_problem("anti-matching-d3", &anti_matching(3), 1);
+        let sweep = measure_sweep("anti-matching-d3", &anti_matching(3), 1);
         let lookup = LookupReport {
             labels: 3,
             queries: 6000,
             interned_ns: 50.0,
             scan_ns: 400.0,
         };
-        let json = emit_json(&[report], &lookup, 4);
+        let json = emit_json(&[report], &sweep, &lookup, 4);
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
             "unbalanced braces:\n{json}"
         );
         assert!(json.contains("\"bench\": \"re_engine\""));
+        assert!(json.contains("\"thread_sweep\""));
         assert!(json.contains("\"label_lookup\""));
         assert!(!json.contains("NaN") && !json.contains("inf"));
+        // The emitted report passes its own schema and self-diffs clean —
+        // the same fixed point the committed baseline must satisfy.
+        let doc = crate::json::parse(&json).expect("own report parses");
+        assert_eq!(
+            crate::diff::detect_schema(&doc),
+            crate::diff::Schema::ReEngine
+        );
+        let errors = crate::diff::check_schema(&doc, crate::diff::Schema::ReEngine);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn sweep_towers_stay_bit_identical() {
+        let sweep = measure_sweep("sinkless-orientation-d3", &sinkless_orientation(3), 1);
+        // measure_sweep asserts fingerprint equality internally; getting
+        // here means 1, 2, and 8 threads built the same tower.
+        assert!(sweep.seq_wall > Duration::ZERO);
+        assert!(sweep.wall_t2 > Duration::ZERO && sweep.wall_t8 > Duration::ZERO);
     }
 }

@@ -1,0 +1,298 @@
+//! Flat arena-backed bitset storage for the tower hot path.
+//!
+//! A derived tower level owns three *families* of bitsets — member sets,
+//! edge-compatibility rows, and `g` rows — every set in a family sharing
+//! one universe. Storing them as `Vec<BitSet>` (the pre-issue-6 layout)
+//! costs one heap allocation per set and scatters the rows across the
+//! heap, which is exactly wrong for the hot loops: the edge-row
+//! construction reads *every* member set against *every* majorant, and
+//! the restriction fixpoint re-reads whole families per iteration.
+//!
+//! [`BitArena`] packs a family into one contiguous `Vec<u64>` of
+//! fixed-width rows. Rows are addressed by index, exposed as borrowed
+//! [`BitRow`] views, and operated on with the word
+//! [`kernels`] shared with [`BitSet`] — same
+//! semantics, contiguous traffic, one allocation per family. The parallel
+//! fan-out fills disjoint rows of the slab in place
+//! ([`crate::par::par_fill_rows`]) instead of allocating per-row vectors
+//! and reassembling them.
+//!
+//! The arena is a *storage* change only: snapshots keep serializing rows
+//! as sorted member-index lists, so the wire format and fingerprints are
+//! unchanged (see `DESIGN.md`, "Tower memory layout").
+
+use crate::bits::{kernels, BitSet, Ones};
+
+/// A family of equal-universe bitsets in one contiguous word slab.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitArena {
+    words: Vec<u64>,
+    universe: usize,
+    /// Words per row; `universe.div_ceil(64)`, cached.
+    width: usize,
+    rows: usize,
+}
+
+impl BitArena {
+    /// An empty arena whose rows will live over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        Self {
+            words: Vec::new(),
+            universe,
+            width: universe.div_ceil(64),
+            rows: 0,
+        }
+    }
+
+    /// An arena of `rows` all-zero rows over `0..universe`.
+    pub fn zeroed(universe: usize, rows: usize) -> Self {
+        Self {
+            words: vec![0u64; universe.div_ceil(64) * rows],
+            universe,
+            width: universe.div_ceil(64),
+            rows,
+        }
+    }
+
+    /// The shared universe of every row.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the arena holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Words per row.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The whole slab, mutably — for parallel in-place fills
+    /// ([`crate::par::par_fill_rows`]), which write disjoint
+    /// `width`-sized chunks.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// The words of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        &self.words[i * self.width..(i + 1) * self.width]
+    }
+
+    /// The words of row `i`, mutably.
+    #[inline]
+    pub fn row_words_mut(&mut self, i: usize) -> &mut [u64] {
+        &mut self.words[i * self.width..(i + 1) * self.width]
+    }
+
+    /// Row `i` as a borrowed set view.
+    #[inline]
+    pub fn row(&self, i: usize) -> BitRow<'_> {
+        BitRow {
+            words: self.row_words(i),
+            universe: self.universe,
+        }
+    }
+
+    /// Appends an all-zero row, returning its index.
+    pub fn push_empty(&mut self) -> usize {
+        self.words.extend(std::iter::repeat_n(0u64, self.width));
+        self.rows += 1;
+        self.rows - 1
+    }
+
+    /// Appends a row holding `members`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member is outside the universe.
+    pub fn push_members(&mut self, members: impl IntoIterator<Item = usize>) -> usize {
+        let i = self.push_empty();
+        let universe = self.universe;
+        let row = self.row_words_mut(i);
+        for m in members {
+            assert!(m < universe, "element {m} outside universe {universe}");
+            kernels::set(row, m);
+        }
+        i
+    }
+
+    /// Iterates the rows in index order.
+    pub fn iter(&self) -> impl Iterator<Item = BitRow<'_>> {
+        (0..self.rows).map(|i| self.row(i))
+    }
+}
+
+/// A borrowed view of one arena row: `BitSet` semantics without owning
+/// storage.
+#[derive(Clone, Copy, Debug)]
+pub struct BitRow<'a> {
+    words: &'a [u64],
+    universe: usize,
+}
+
+impl<'a> BitRow<'a> {
+    /// A view over raw words (no bits may be set past the universe).
+    pub fn from_words(words: &'a [u64], universe: usize) -> Self {
+        debug_assert_eq!(words.len(), universe.div_ceil(64), "aligned row");
+        Self { words, universe }
+    }
+
+    /// The row's universe.
+    pub fn universe(self) -> usize {
+        self.universe
+    }
+
+    /// The backing words.
+    pub fn words(self) -> &'a [u64] {
+        self.words
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, i: usize) -> bool {
+        i < self.universe && kernels::test(self.words, i)
+    }
+
+    /// Number of members.
+    pub fn count(self) -> usize {
+        kernels::count(self.words)
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(self) -> bool {
+        kernels::is_empty(self.words)
+    }
+
+    /// Panics unless `other` shares this row's universe — the same
+    /// contract as [`BitSet`]'s set algebra.
+    #[inline]
+    fn assert_same_universe(self, other: usize) {
+        assert_eq!(
+            self.universe, other,
+            "set operation across universes ({} vs {})",
+            self.universe, other
+        );
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: BitRow<'_>) -> bool {
+        self.assert_same_universe(other.universe);
+        kernels::subset(self.words, other.words)
+    }
+
+    /// Whether the rows intersect.
+    pub fn intersects(self, other: BitRow<'_>) -> bool {
+        self.assert_same_universe(other.universe);
+        kernels::intersects(self.words, other.words)
+    }
+
+    /// Whether the row intersects an owned set over the same universe.
+    pub fn intersects_set(self, other: &BitSet) -> bool {
+        self.assert_same_universe(other.universe());
+        kernels::intersects(self.words, other.words())
+    }
+
+    /// Whether the row is a subset of an owned set over the same
+    /// universe.
+    pub fn is_subset_of_set(self, other: &BitSet) -> bool {
+        self.assert_same_universe(other.universe());
+        kernels::subset(self.words, other.words())
+    }
+
+    /// Members, ascending (word walk).
+    pub fn iter(self) -> Ones<'a> {
+        Ones::new(self.words)
+    }
+
+    /// Members as a vector.
+    pub fn to_vec(self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// An owned copy of the row.
+    pub fn to_bitset(self) -> BitSet {
+        BitSet::from_members(self.universe, self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_rows_round_trip_members() {
+        let mut arena = BitArena::new(70);
+        arena.push_members([0, 63, 64, 69]);
+        arena.push_members([]);
+        arena.push_members([69]);
+        assert_eq!(arena.rows(), 3);
+        assert_eq!(arena.width(), 2);
+        assert_eq!(arena.row(0).to_vec(), vec![0, 63, 64, 69]);
+        assert!(arena.row(1).is_empty());
+        assert_eq!(arena.row(2).count(), 1);
+        assert!(arena.row(2).is_subset_of(arena.row(0)));
+        assert!(!arena.row(0).is_subset_of(arena.row(2)));
+        assert!(arena.row(0).intersects(arena.row(2)));
+        assert!(!arena.row(1).intersects(arena.row(0)));
+    }
+
+    #[test]
+    fn arena_rows_are_contiguous() {
+        let mut arena = BitArena::new(128);
+        arena.push_members([0]);
+        arena.push_members([127]);
+        assert_eq!(arena.words_mut().len(), 4, "two rows of two words each");
+        assert_eq!(arena.row_words(0), &[1, 0]);
+        assert_eq!(arena.row_words(1), &[0, 1u64 << 63]);
+    }
+
+    #[test]
+    fn zeroed_arena_fills_in_place() {
+        let mut arena = BitArena::zeroed(65, 3);
+        kernels::set(arena.row_words_mut(1), 64);
+        assert!(arena.row(1).contains(64));
+        assert!(!arena.row(0).contains(64));
+        assert!(!arena.row(2).contains(64));
+        assert_eq!(arena.iter().map(|r| r.count()).sum::<usize>(), 1);
+    }
+
+    #[test]
+    fn row_interops_with_bitset() {
+        let mut arena = BitArena::new(100);
+        arena.push_members([3, 70]);
+        let set = BitSet::from_members(100, [3, 70, 99]);
+        assert!(arena.row(0).is_subset_of_set(&set));
+        assert!(arena.row(0).intersects_set(&set));
+        assert_eq!(arena.row(0).to_bitset().to_vec(), vec![3, 70]);
+    }
+
+    #[test]
+    #[should_panic(expected = "set operation across universes")]
+    fn row_universe_mismatch_panics() {
+        let mut a = BitArena::new(64);
+        a.push_members([1]);
+        let mut b = BitArena::new(70);
+        b.push_members([1, 69]);
+        let _ = b.row(0).is_subset_of(a.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn push_members_checks_the_universe() {
+        let mut arena = BitArena::new(10);
+        arena.push_members([10]);
+    }
+}

@@ -3,6 +3,150 @@
 //! Round elimination manipulates sets of labels constantly (labels of
 //! `R(Π)` *are* sets of `Π`-labels); this module provides the compact
 //! representation used by the [`tower`](crate::tower).
+//!
+//! The set algebra bottoms out in the word-level kernels of [`kernels`]:
+//! branch-free loops over `&[u64]` slices that LLVM auto-vectorizes. The
+//! same kernels back both [`BitSet`] and the flat
+//! [`BitArena`](crate::arena::BitArena) rows of the tower hot path, so
+//! the two storage layouts cannot drift in semantics.
+//!
+//! # Universe discipline
+//!
+//! Every binary set operation requires both operands to live over the
+//! *same* universe and panics otherwise, mirroring the panic contract of
+//! [`BitSet::insert`]. The previous implementation zipped word vectors
+//! and silently ignored trailing words when universes differed, so e.g.
+//! `is_subset_of` could answer `true` for a non-subset — a silent wrong
+//! answer in the middle of the round-elimination set algebra.
+
+/// Word-level set-operation kernels over `&[u64]` slices.
+///
+/// Each kernel demands equal slice lengths (the caller aligns universes)
+/// and is written as a single branch-free pass so the optimizer can
+/// vectorize it. Bits past the universe are maintained zero by every
+/// producer in this crate, which the kernels rely on for `count`/`any`.
+pub mod kernels {
+    /// `a ⊆ b` over aligned word slices.
+    #[inline]
+    pub fn subset(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len(), "kernel operands must be aligned");
+        let mut stray = 0u64;
+        for (&x, &y) in a.iter().zip(b) {
+            stray |= x & !y;
+        }
+        stray == 0
+    }
+
+    /// `a ∩ b ≠ ∅` over aligned word slices.
+    #[inline]
+    pub fn intersects(a: &[u64], b: &[u64]) -> bool {
+        debug_assert_eq!(a.len(), b.len(), "kernel operands must be aligned");
+        let mut common = 0u64;
+        for (&x, &y) in a.iter().zip(b) {
+            common |= x & y;
+        }
+        common != 0
+    }
+
+    /// `a &= b` over aligned word slices.
+    #[inline]
+    pub fn and_assign(a: &mut [u64], b: &[u64]) {
+        debug_assert_eq!(a.len(), b.len(), "kernel operands must be aligned");
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x &= y;
+        }
+    }
+
+    /// `a |= b` over aligned word slices.
+    #[inline]
+    pub fn or_assign(a: &mut [u64], b: &[u64]) {
+        debug_assert_eq!(a.len(), b.len(), "kernel operands must be aligned");
+        for (x, &y) in a.iter_mut().zip(b) {
+            *x |= y;
+        }
+    }
+
+    /// Population count over a word slice.
+    #[inline]
+    pub fn count(a: &[u64]) -> usize {
+        a.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(a: &[u64]) -> bool {
+        a.iter().all(|&w| w == 0)
+    }
+
+    /// Fills `words` with the full set over `universe` elements: every
+    /// word all-ones except the trailing partial word, which is masked so
+    /// no stray bits land past the universe.
+    #[inline]
+    pub fn fill(words: &mut [u64], universe: usize) {
+        debug_assert_eq!(words.len(), universe.div_ceil(64), "aligned slab");
+        for w in words.iter_mut() {
+            *w = !0u64;
+        }
+        let tail = universe % 64;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Sets bit `i` in `words`.
+    #[inline]
+    pub fn set(words: &mut [u64], i: usize) {
+        words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Tests bit `i` in `words`.
+    #[inline]
+    pub fn test(words: &[u64], i: usize) -> bool {
+        words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+}
+
+/// Iterator over the set bits of a word slice, ascending, via a word walk
+/// (`trailing_zeros` per member instead of a probe per universe index).
+#[derive(Clone, Debug)]
+pub struct Ones<'a> {
+    words: &'a [u64],
+    /// Index of the word `current` was taken from.
+    word_index: usize,
+    /// Remaining bits of the current word.
+    current: u64,
+}
+
+impl<'a> Ones<'a> {
+    /// Walks the set bits of `words` (which must carry no bits past the
+    /// producing set's universe).
+    pub fn new(words: &'a [u64]) -> Self {
+        Self {
+            words,
+            word_index: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1; // clear lowest set bit
+        Some(self.word_index * 64 + bit)
+    }
+}
 
 /// A bitset over a fixed universe `0..len`.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
@@ -23,9 +167,7 @@ impl BitSet {
     /// The full set over a universe of `len` elements.
     pub fn full(len: usize) -> Self {
         let mut s = Self::new(len);
-        for i in 0..len {
-            s.insert(i);
-        }
+        kernels::fill(&mut s.words, len);
         s
     }
 
@@ -43,6 +185,11 @@ impl BitSet {
         self.len
     }
 
+    /// The backing words (no bits set past the universe).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Inserts an element.
     ///
     /// # Panics
@@ -51,7 +198,7 @@ impl BitSet {
     #[inline]
     pub fn insert(&mut self, i: usize) {
         assert!(i < self.len, "element {i} outside universe {}", self.len);
-        self.words[i / 64] |= 1u64 << (i % 64);
+        kernels::set(&mut self.words, i);
     }
 
     /// Removes an element.
@@ -65,52 +212,75 @@ impl BitSet {
     /// Membership test.
     #[inline]
     pub fn contains(&self, i: usize) -> bool {
-        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+        i < self.len && kernels::test(&self.words, i)
     }
 
     /// Number of elements.
     pub fn count(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        kernels::count(&self.words)
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        kernels::is_empty(&self.words)
+    }
+
+    /// Panics unless `other` shares this set's universe: set algebra
+    /// between different universes has no meaning, and the zip-and-ignore
+    /// behavior this replaces silently returned wrong answers.
+    #[inline]
+    fn assert_same_universe(&self, other: &BitSet) {
+        assert_eq!(
+            self.len, other.len,
+            "set operation across universes ({} vs {})",
+            self.len, other.len
+        );
     }
 
     /// Whether `self ⊆ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ (see [`BitSet::insert`]).
     pub fn is_subset_of(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .all(|(&a, &b)| a & !b == 0)
+        self.assert_same_universe(other);
+        kernels::subset(&self.words, &other.words)
     }
 
     /// Whether the sets intersect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .any(|(&a, &b)| a & b != 0)
+        self.assert_same_universe(other);
+        kernels::intersects(&self.words, &other.words)
     }
 
     /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
     pub fn intersect_with(&mut self, other: &BitSet) {
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a &= b;
-        }
+        self.assert_same_universe(other);
+        kernels::and_assign(&mut self.words, &other.words);
     }
 
     /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
     pub fn union_with(&mut self, other: &BitSet) {
-        for (a, &b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
-        }
+        self.assert_same_universe(other);
+        kernels::or_assign(&mut self.words, &other.words);
     }
 
-    /// Iterator over members, ascending.
-    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.len).filter(move |&i| self.contains(i))
+    /// Iterator over members, ascending (a word walk, not a probe per
+    /// universe index).
+    pub fn iter(&self) -> Ones<'_> {
+        Ones::new(&self.words)
     }
 
     /// Members as a vector.
@@ -203,6 +373,111 @@ mod tests {
         assert_eq!(f.count(), 65);
         assert!(!f.is_empty());
         assert!(BitSet::new(65).is_empty());
+    }
+
+    #[test]
+    fn full_leaves_no_stray_bits_in_the_tail_word() {
+        for universe in [1usize, 63, 64, 65, 127, 128, 130] {
+            let f = BitSet::full(universe);
+            assert_eq!(f.count(), universe, "universe {universe}");
+            assert_eq!(f.to_vec(), (0..universe).collect::<Vec<_>>());
+            // The complement check would silently break if fill() left
+            // bits past the universe.
+            assert!(f.is_subset_of(&BitSet::full(universe)));
+        }
+    }
+
+    /// Regression (issue 6): with universes straddling a word boundary,
+    /// the old zip-based `is_subset_of` ignored the trailing word — a set
+    /// with a member at index ≥ 64 was reported as a subset of a 64-bit
+    /// set. Mismatched universes must refuse loudly instead.
+    #[test]
+    #[should_panic(expected = "set operation across universes")]
+    fn subset_across_word_boundary_universes_panics() {
+        // 70 > 64: b has one word, a has two; the zip dropped a's second
+        // word and answered `true` even though 69 ∉ b.
+        let a = BitSet::from_members(70, [1, 69]);
+        let b = BitSet::from_members(64, [1]);
+        let _ = a.is_subset_of(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "set operation across universes")]
+    fn intersects_across_universes_panics() {
+        let a = BitSet::from_members(130, [128]);
+        let b = BitSet::from_members(64, [1]);
+        let _ = a.intersects(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "set operation across universes")]
+    fn intersect_with_across_universes_panics() {
+        let mut a = BitSet::from_members(65, [64]);
+        let b = BitSet::from_members(64, [1]);
+        a.intersect_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "set operation across universes")]
+    fn union_with_across_universes_panics() {
+        let mut a = BitSet::from_members(64, [1]);
+        let b = BitSet::from_members(65, [64]);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn same_word_count_different_universe_still_panics() {
+        // 65 and 70 both need two words; the old zip silently "worked".
+        let a = BitSet::from_members(65, [64]);
+        let b = BitSet::from_members(70, [64, 69]);
+        let err = std::panic::catch_unwind(|| a.is_subset_of(&b));
+        assert!(err.is_err(), "universe 65 vs 70 must refuse");
+    }
+
+    /// The word-walk iterator must produce exactly the member sequence of
+    /// the probe-every-index implementation it replaced.
+    #[test]
+    fn word_walk_iter_matches_probe_reference() {
+        let patterns: Vec<(usize, Vec<usize>)> = vec![
+            (0, vec![]),
+            (1, vec![0]),
+            (64, vec![0, 63]),
+            (65, vec![63, 64]),
+            (70, vec![0, 1, 63, 64, 69]),
+            (128, vec![127]),
+            (130, vec![64, 127, 128, 129]),
+            (200, (0..200).step_by(7).collect()),
+        ];
+        for (universe, members) in patterns {
+            let s = BitSet::from_members(universe, members.iter().copied());
+            // Probe reference: the old O(universe · words) iteration.
+            let probed: Vec<usize> = (0..universe).filter(|&i| s.contains(i)).collect();
+            let walked: Vec<usize> = s.iter().collect();
+            assert_eq!(walked, probed, "universe {universe}");
+            assert_eq!(walked, members, "universe {universe}");
+            assert_eq!(s.to_vec(), members, "universe {universe}");
+        }
+    }
+
+    #[test]
+    fn kernels_agree_with_set_algebra() {
+        let a = BitSet::from_members(130, [0, 64, 65, 129]);
+        let b = BitSet::from_members(130, [0, 64, 65, 100, 129]);
+        assert!(kernels::subset(a.words(), b.words()));
+        assert!(!kernels::subset(b.words(), a.words()));
+        assert!(kernels::intersects(a.words(), b.words()));
+        assert_eq!(kernels::count(a.words()), 4);
+        assert!(!kernels::is_empty(a.words()));
+
+        let mut acc = b.words().to_vec();
+        kernels::and_assign(&mut acc, a.words());
+        assert_eq!(Ones::new(&acc).collect::<Vec<_>>(), a.to_vec());
+        kernels::or_assign(&mut acc, b.words());
+        assert_eq!(Ones::new(&acc).collect::<Vec<_>>(), b.to_vec());
+
+        let mut full = vec![0u64; 3];
+        kernels::fill(&mut full, 130);
+        assert_eq!(kernels::count(&full), 130);
     }
 
     #[test]

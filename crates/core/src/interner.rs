@@ -69,6 +69,25 @@ impl LabelInterner {
         id
     }
 
+    /// Interns `members` like [`intern`](Self::intern), but refuses to
+    /// grow past `cap` sets: returns `None` when `members` is fresh and
+    /// the interner is already at the cap. One hash probe for duplicates
+    /// — the common case when the tower interns per-input candidate
+    /// batches — instead of the lookup-then-intern double probe.
+    pub fn try_intern(&mut self, members: &[u32], cap: usize) -> Option<u32> {
+        debug_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted sets only");
+        if let Some(&id) = self.index.get(members) {
+            return Some(id);
+        }
+        if self.sets.len() >= cap {
+            return None;
+        }
+        let id = self.sets.len() as u32;
+        self.index.insert(members.to_vec(), id);
+        self.sets.push(members.to_vec());
+        Some(id)
+    }
+
     /// The member sequence of an interned id.
     ///
     /// # Panics
@@ -135,6 +154,21 @@ mod tests {
         assert_eq!(kept.members(0), &[1]);
         assert_eq!(kept.members(1), &[2]);
         assert_eq!(kept.lookup(&[0, 1]), None);
+    }
+
+    #[test]
+    fn try_intern_respects_the_cap_but_always_finds_duplicates() {
+        let mut interner = LabelInterner::new();
+        assert_eq!(interner.try_intern(&[0], 2), Some(0));
+        assert_eq!(interner.try_intern(&[1], 2), Some(1));
+        // At the cap: fresh sets are refused, duplicates still resolve.
+        assert_eq!(interner.try_intern(&[2], 2), None);
+        assert_eq!(interner.try_intern(&[0], 2), Some(0));
+        assert_eq!(interner.len(), 2);
+        // Ids match a plain-intern replay of the accepted sequence.
+        let mut replay = LabelInterner::new();
+        assert_eq!(replay.intern(&[0]), 0);
+        assert_eq!(replay.intern(&[1]), 1);
     }
 
     #[test]

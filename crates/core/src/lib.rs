@@ -5,7 +5,11 @@
 //!
 //! # Module map
 //!
-//! * [`bits`] — small fixed-universe bitsets used throughout.
+//! * [`bits`] — small fixed-universe bitsets used throughout, plus the
+//!   word-level set-op kernels shared with the arena layout.
+//! * [`arena`] — flat arena-backed bitset families (one contiguous
+//!   `Vec<u64>` of fixed-width rows per tower level) behind the hot
+//!   path.
 //! * [`interner`] — deduplicating id store for label sets; derived-level
 //!   labels are addressed by dense `u32` ids, so set equality and
 //!   universe membership are integer operations.
@@ -38,6 +42,7 @@
 //!   oriented grids, ending in an identifier-free constant-round
 //!   algorithm.
 
+pub mod arena;
 pub mod bits;
 pub mod bounds;
 pub mod derived;
@@ -54,6 +59,7 @@ pub mod speedup_volume;
 pub mod tower;
 pub mod zero_round;
 
+pub use arena::{BitArena, BitRow};
 pub use bounds::{
     blowup_factor, failure_after_steps, find_n0_log2, n0_conditions_hold, step_bound,
 };

@@ -61,7 +61,8 @@ use lcl::{InLabel, LclProblem, OutLabel, Problem};
 use lcl_faults::{Budget, BudgetExceeded, CancelToken};
 use lcl_obs::{Counter, Event, EventLog, Span, SpanRecord, Trace};
 
-use crate::bits::{for_each_multiset, BitSet};
+use crate::arena::{BitArena, BitRow};
+use crate::bits::{for_each_multiset, kernels, BitSet, Ones};
 use crate::interner::LabelInterner;
 use crate::par;
 use crate::snapshot::{LayerSnapshot, SnapshotError, SpanSnapshot, TableSnapshot, TowerSnapshot};
@@ -222,12 +223,12 @@ struct Layer {
     /// Each label is the sorted set of parent-label ids it denotes,
     /// interned: the label id *is* the interner id.
     labels: LabelInterner,
-    /// Member sets as bitsets over the parent universe.
-    member_sets: Vec<BitSet>,
+    /// Member sets as arena rows over the parent universe.
+    member_sets: BitArena,
     /// Edge compatibility rows within this level.
-    edge_rows: Vec<BitSet>,
+    edge_rows: BitArena,
     /// Per input label: allowed labels of this level.
-    g_rows: Vec<BitSet>,
+    g_rows: BitArena,
 }
 
 /// The extensional table of one level: everything the next step's
@@ -284,9 +285,9 @@ struct NodeCache {
 pub struct ReTower {
     base: LclProblem,
     /// Base edge compatibility rows.
-    base_edge_rows: Vec<BitSet>,
+    base_edge_rows: BitArena,
     /// Base `g` rows.
-    base_g_rows: Vec<BitSet>,
+    base_g_rows: BitArena,
     layers: Vec<Layer>,
     /// Per derived level: the step's span (`spans[k]` is level `k + 1`),
     /// the single source of truth for the engine counters.
@@ -325,24 +326,21 @@ impl ReTower {
     /// Starts a tower at the given base problem.
     pub fn new(base: LclProblem) -> Self {
         let out_count = base.output_alphabet().len();
-        let mut base_edge_rows = vec![BitSet::new(out_count); out_count];
-        #[allow(clippy::needless_range_loop)] // index drives several arrays
+        let mut base_edge_rows = BitArena::zeroed(out_count, out_count);
         for a in 0..out_count {
             for b in 0..out_count {
                 if base.edge_allows(OutLabel(a as u32), OutLabel(b as u32)) {
-                    base_edge_rows[a].insert(b);
+                    kernels::set(base_edge_rows.row_words_mut(a), b);
                 }
             }
         }
-        let base_g_rows = (0..base.input_count())
-            .map(|i| {
-                BitSet::from_members(
-                    out_count,
-                    (0..out_count)
-                        .filter(|&o| base.input_allows(InLabel(i as u32), OutLabel(o as u32))),
-                )
-            })
-            .collect();
+        let mut base_g_rows = BitArena::new(out_count);
+        for i in 0..base.input_count() {
+            base_g_rows.push_members(
+                (0..out_count)
+                    .filter(|&o| base.input_allows(InLabel(i as u32), OutLabel(o as u32))),
+            );
+        }
         Self {
             base,
             base_edge_rows,
@@ -545,7 +543,7 @@ impl ReTower {
                 return Err(SnapshotError::Invalid("a level with no labels"));
             }
             let mut labels = LabelInterner::new();
-            let mut member_sets = Vec::with_capacity(n);
+            let mut member_sets = BitArena::new(parent_size);
             for (i, members) in layer.members.iter().enumerate() {
                 if !members.windows(2).all(|w| w[0] < w[1]) {
                     return Err(SnapshotError::Invalid("unsorted label member set"));
@@ -557,13 +555,10 @@ impl ReTower {
                 if id as usize != i {
                     return Err(SnapshotError::Invalid("duplicate label member set"));
                 }
-                member_sets.push(BitSet::from_members(
-                    parent_size,
-                    members.iter().map(|&m| m as usize),
-                ));
+                member_sets.push_members(members.iter().map(|&m| m as usize));
             }
-            let edge_rows = rows_from_snapshot(&layer.edge_rows, n, n)?;
-            let g_rows = rows_from_snapshot(&layer.g_rows, input_count, n)?;
+            let edge_rows = arena_from_snapshot(&layer.edge_rows, n, n)?;
+            let g_rows = arena_from_snapshot(&layer.g_rows, input_count, n)?;
             tower.layers.push(Layer {
                 kind: layer.kind,
                 labels,
@@ -618,22 +613,22 @@ impl ReTower {
         self.snapshot().fingerprint()
     }
 
-    /// Edge-compatibility row of a label at a level (bitset over that
+    /// Edge-compatibility row of a label at a level (arena row over that
     /// level's universe).
-    fn edge_row(&self, level: usize, label: usize) -> &BitSet {
+    fn edge_row(&self, level: usize, label: usize) -> BitRow<'_> {
         if level == 0 {
-            &self.base_edge_rows[label]
+            self.base_edge_rows.row(label)
         } else {
-            &self.layers[level - 1].edge_rows[label]
+            self.layers[level - 1].edge_rows.row(label)
         }
     }
 
     /// `g` row of an input at a level.
-    fn g_row(&self, level: usize, input: usize) -> &BitSet {
+    fn g_row(&self, level: usize, input: usize) -> BitRow<'_> {
         if level == 0 {
-            &self.base_g_rows[input]
+            self.base_g_rows.row(input)
         } else {
-            &self.layers[level - 1].g_rows[input]
+            self.layers[level - 1].g_rows.row(input)
         }
     }
 
@@ -840,7 +835,11 @@ impl ReTower {
         // Universe: nonempty subsets of parent g images, interned. The
         // enumeration order is deterministic, so interner ids are stable
         // across engines regardless of the thread count used elsewhere.
+        // Candidates are materialized per input as one batch, then
+        // interned in a single dedup pass (`try_intern`: one hash probe
+        // per duplicate instead of the lookup-then-intern double probe).
         let mut labels = LabelInterner::new();
+        let mut batch: Vec<Vec<u32>> = Vec::new();
         for input in 0..input_count {
             let image = self.g_row(parent_level, input).to_vec();
             if image.len() > opts.max_parent_labels {
@@ -850,23 +849,24 @@ impl ReTower {
                 });
             }
             let subsets = 1usize << image.len();
-            let mut members = Vec::with_capacity(image.len());
+            batch.clear();
             for mask in 1..subsets {
-                members.clear();
-                members.extend(
+                batch.push(
                     image
                         .iter()
                         .enumerate()
                         .filter(|&(bit, _)| mask & (1 << bit) != 0)
-                        .map(|(_, &m)| m as u32),
+                        .map(|(_, &m)| m as u32)
+                        .collect(),
                 );
-                if labels.lookup(&members).is_none() && labels.len() >= opts.max_labels {
+            }
+            for members in &batch {
+                if labels.try_intern(members, opts.max_labels).is_none() {
                     return Err(ReError::TooManyLabels {
                         labels: labels.len() + 1,
                         limit: opts.max_labels,
                     });
                 }
-                labels.intern(&members);
                 if let Some((budget, _)) = guard {
                     budget.check_labels(&stage, labels.len() as u64, partial)?;
                 }
@@ -888,60 +888,92 @@ impl ReTower {
                 + labels_full as u64 * 16;
             budget.check_memory(&stage, estimate, partial)?;
         }
-        let member_sets: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
-            BitSet::from_members(
-                parent_size,
-                labels.members(l as u32).iter().map(|&m| m as usize),
-            )
-        });
+        // All four row families are filled in place: each family is one
+        // contiguous arena slab, and the parallel path writes disjoint
+        // rows of it directly (`par_fill_rows`) instead of allocating
+        // per-row bitsets and reassembling.
+        let parent_width = parent_size.div_ceil(64);
+        let level_width = count.div_ceil(64);
+        let mut member_sets = BitArena::zeroed(parent_size, count);
+        {
+            let labels = &labels;
+            par::par_fill_rows(member_sets.words_mut(), parent_width, threads, |l, row| {
+                for &m in labels.members(l as u32) {
+                    kernels::set(row, m as usize);
+                }
+            });
+        }
 
         // Edge rows.
-        let edge_rows: Vec<BitSet> = match kind {
+        let mut edge_rows = BitArena::zeroed(count, count);
+        match kind {
             LayerKind::R => {
                 // {A, B} allowed iff ∀ a ∈ A, b ∈ B: {a, b} parent-allowed
                 // ⟺ B ⊆ ⋂_{a ∈ A} parent_row(a).
-                let majorants: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
-                    let mut maj = BitSet::full(parent_size);
-                    for &a in labels.members(l as u32) {
-                        maj.intersect_with(self.edge_row(parent_level, a as usize));
+                let mut majorants = BitArena::zeroed(parent_size, count);
+                {
+                    let labels = &labels;
+                    par::par_fill_rows(majorants.words_mut(), parent_width, threads, |l, row| {
+                        kernels::fill(row, parent_size);
+                        for &a in labels.members(l as u32) {
+                            kernels::and_assign(
+                                row,
+                                self.edge_row(parent_level, a as usize).words(),
+                            );
+                        }
+                    });
+                }
+                let (member_sets, majorants) = (&member_sets, &majorants);
+                par::par_fill_rows(edge_rows.words_mut(), level_width, threads, |a, row| {
+                    let maj = majorants.row_words(a);
+                    for b in 0..count {
+                        if kernels::subset(member_sets.row_words(b), maj) {
+                            kernels::set(row, b);
+                        }
                     }
-                    maj
                 });
-                par::par_map_indexed(count, threads, |a| {
-                    BitSet::from_members(
-                        count,
-                        (0..count).filter(|&b| member_sets[b].is_subset_of(&majorants[a])),
-                    )
-                })
             }
             LayerKind::RBar => {
                 // {A, B} allowed iff ∃ a ∈ A, b ∈ B: {a, b} parent-allowed
                 // ⟺ B ∩ ⋃_{a ∈ A} parent_row(a) ≠ ∅.
-                let unions: Vec<BitSet> = par::par_map_indexed(count, threads, |l| {
-                    let mut u = BitSet::new(parent_size);
-                    for &a in labels.members(l as u32) {
-                        u.union_with(self.edge_row(parent_level, a as usize));
+                let mut unions = BitArena::zeroed(parent_size, count);
+                {
+                    let labels = &labels;
+                    par::par_fill_rows(unions.words_mut(), parent_width, threads, |l, row| {
+                        for &a in labels.members(l as u32) {
+                            kernels::or_assign(
+                                row,
+                                self.edge_row(parent_level, a as usize).words(),
+                            );
+                        }
+                    });
+                }
+                let (member_sets, unions) = (&member_sets, &unions);
+                par::par_fill_rows(edge_rows.words_mut(), level_width, threads, |a, row| {
+                    let uni = unions.row_words(a);
+                    for b in 0..count {
+                        if kernels::intersects(member_sets.row_words(b), uni) {
+                            kernels::set(row, b);
+                        }
                     }
-                    u
                 });
-                par::par_map_indexed(count, threads, |a| {
-                    BitSet::from_members(
-                        count,
-                        (0..count).filter(|&b| member_sets[b].intersects(&unions[a])),
-                    )
-                })
             }
-        };
+        }
 
         // g rows: a derived label is allowed for input ℓ iff its members
         // all lie in the parent's g image (2^{g(ℓ)} in both definitions).
-        let g_rows: Vec<BitSet> = par::par_map_indexed(input_count, threads, |input| {
-            let image = self.g_row(parent_level, input);
-            BitSet::from_members(
-                count,
-                (0..count).filter(|&l| member_sets[l].is_subset_of(image)),
-            )
-        });
+        let mut g_rows = BitArena::zeroed(count, input_count);
+        {
+            let member_sets = &member_sets;
+            par::par_fill_rows(g_rows.words_mut(), level_width, threads, |input, row| {
+                let image = self.g_row(parent_level, input).words();
+                for l in 0..count {
+                    if kernels::subset(member_sets.row_words(l), image) {
+                        kernels::set(row, l);
+                    }
+                }
+            });
+        }
 
         let mut layer = Layer {
             kind,
@@ -1032,10 +1064,10 @@ impl ReTower {
         Some(LevelTable {
             labels: count,
             edge_rows: (0..count)
-                .map(|l| self.edge_row(level, l).clone())
+                .map(|l| self.edge_row(level, l).to_bitset())
                 .collect(),
             g_rows: (0..input_count)
-                .map(|i| self.g_row(level, i).clone())
+                .map(|i| self.g_row(level, i).to_bitset())
                 .collect(),
             node_relation,
         })
@@ -1062,12 +1094,11 @@ impl ReTower {
         let delta = self.base.max_degree() as usize;
 
         // In some g image?
-        let mut g_union = BitSet::new(count);
-        for row in &layer.g_rows {
-            g_union.union_with(row);
+        let mut union_words = vec![0u64; count.div_ceil(64)];
+        for row in layer.g_rows.iter() {
+            kernels::or_assign(&mut union_words, row.words());
         }
-
-        let mut alive = g_union;
+        let mut alive = BitSet::from_members(count, Ones::new(&union_words));
         let mut configurations = 0u64;
         loop {
             if let Some((_, token)) = guard {
@@ -1076,7 +1107,7 @@ impl ReTower {
             let mut changed = false;
             // Edge-useful: some alive partner.
             for l in 0..count {
-                if alive.contains(l) && !layer.edge_rows[l].intersects(&alive) {
+                if alive.contains(l) && !layer.edge_rows.row(l).intersects_set(&alive) {
                     alive.remove(l);
                     changed = true;
                 }
@@ -1198,36 +1229,52 @@ fn rows_from_snapshot(
     Ok(out)
 }
 
+/// As [`rows_from_snapshot`], but packing the rows into one arena slab
+/// (the layer storage format).
+fn arena_from_snapshot(
+    rows: &[Vec<usize>],
+    expected_rows: usize,
+    universe: usize,
+) -> Result<BitArena, SnapshotError> {
+    if rows.len() != expected_rows {
+        return Err(SnapshotError::Invalid("row count mismatch"));
+    }
+    let mut arena = BitArena::new(universe);
+    for row in rows {
+        if row.iter().any(|&i| i >= universe) {
+            return Err(SnapshotError::Invalid("row index outside the universe"));
+        }
+        arena.push_members(row.iter().copied());
+    }
+    Ok(arena)
+}
+
 fn compact_layer(layer: Layer, alive: &BitSet) -> Layer {
     let keep: Vec<usize> = alive.iter().collect();
-    let count = keep.len();
     let labels = layer.labels.retain_ids(&keep);
-    let member_sets: Vec<BitSet> = keep.iter().map(|&l| layer.member_sets[l].clone()).collect();
-    let edge_rows: Vec<BitSet> = keep
-        .iter()
-        .map(|&l| {
-            BitSet::from_members(
-                count,
-                keep.iter()
-                    .enumerate()
-                    .filter(|&(_, &m)| layer.edge_rows[l].contains(m))
-                    .map(|(new, _)| new),
-            )
-        })
-        .collect();
-    let g_rows: Vec<BitSet> = layer
-        .g_rows
-        .iter()
-        .map(|row| {
-            BitSet::from_members(
-                count,
-                keep.iter()
-                    .enumerate()
-                    .filter(|&(_, &m)| row.contains(m))
-                    .map(|(new, _)| new),
-            )
-        })
-        .collect();
+    let mut member_sets = BitArena::new(layer.member_sets.universe());
+    for &l in &keep {
+        member_sets.push_members(layer.member_sets.row(l).iter());
+    }
+    let mut edge_rows = BitArena::new(keep.len());
+    for &l in &keep {
+        let old = layer.edge_rows.row(l);
+        edge_rows.push_members(
+            keep.iter()
+                .enumerate()
+                .filter(|&(_, &m)| old.contains(m))
+                .map(|(new, _)| new),
+        );
+    }
+    let mut g_rows = BitArena::new(keep.len());
+    for old in layer.g_rows.iter() {
+        g_rows.push_members(
+            keep.iter()
+                .enumerate()
+                .filter(|&(_, &m)| old.contains(m))
+                .map(|(new, _)| new),
+        );
+    }
     Layer {
         kind: layer.kind,
         labels,

@@ -1,0 +1,154 @@
+//! Property test for the arena/kernel tower hot path: towers built at
+//! 1, 2, and 8 threads must be *bit-identical* — equal snapshot
+//! fingerprints and equal engine counters — to the sequential reference
+//! engine, across randomly generated LCLs.
+//!
+//! The parallel engine shards work by index and writes disjoint arena
+//! rows in place, so nothing about the derived problems, the interner
+//! ids, or the restriction fixpoint may depend on the thread count.
+//! Wall time is excluded (it is the one legitimately scheduling-dependent
+//! stat), as is the memo *hit* count: a racing worker may recompute a
+//! key another worker is still inserting, which shifts hits without
+//! changing any derived data (see `NodeCache` in `tower.rs`). The miss
+//! count — distinct node queries actually computed — is deterministic
+//! and is compared exactly.
+
+use lcl_landscape::core::{LevelStats, ReError, ReOptions, ReTower};
+use lcl_landscape::lcl::gen::{random_problem, RandomProblemSpec};
+use lcl_rng::SmallRng;
+
+/// A deterministic case stream (same convention as `proptests.rs`).
+fn cases(name: &str, count: usize) -> impl Iterator<Item = SmallRng> {
+    let salt = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x1000_0000_01b3)
+    });
+    (0..count as u64).map(move |i| SmallRng::seed_from_u64(salt ^ i.wrapping_mul(0x9e37_79b9)))
+}
+
+/// Pushes up to two `f = R̄ ∘ R` steps, stopping at the first refusal.
+fn build(problem: &lcl_landscape::lcl::LclProblem, opts: ReOptions) -> (ReTower, Vec<ReError>) {
+    let mut tower = ReTower::new(problem.clone());
+    let mut errors = Vec::new();
+    for _ in 0..2 {
+        if let Err(e) = tower.push_f(opts) {
+            errors.push(e);
+            break;
+        }
+    }
+    (tower, errors)
+}
+
+/// The scheduling-independent face of [`LevelStats`].
+fn deterministic_stats(stats: &[LevelStats]) -> Vec<(usize, usize, u64, u64, Option<usize>)> {
+    stats
+        .iter()
+        .map(|s| {
+            (
+                s.labels_full,
+                s.labels,
+                s.configurations,
+                s.cache_misses,
+                s.fixpoint_of,
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn towers_are_bit_identical_across_thread_counts() {
+    for (case, mut rng) in cases("towers_are_bit_identical_across_thread_counts", 16).enumerate() {
+        let spec = RandomProblemSpec {
+            max_degree: rng.gen_range(2u8..4),
+            inputs: rng.gen_range(1usize..3),
+            outputs: rng.gen_range(2usize..5),
+            density_percent: rng.gen_range(30u8..90),
+        };
+        let seed = rng.gen_range(0u64..10_000);
+        let problem = random_problem(spec, seed);
+
+        let reference = build(
+            &problem,
+            ReOptions {
+                parallel: false,
+                ..ReOptions::default()
+            },
+        );
+        for threads in [1usize, 2, 8] {
+            let candidate = build(
+                &problem,
+                ReOptions {
+                    parallel: true,
+                    threads,
+                    ..ReOptions::default()
+                },
+            );
+            let context = format!("case={case} seed={seed} spec={spec:?} threads={threads}");
+            assert_eq!(
+                candidate.1, reference.1,
+                "engines must refuse identically: {context}"
+            );
+            assert_eq!(
+                candidate.0.level_count(),
+                reference.0.level_count(),
+                "{context}"
+            );
+            assert_eq!(
+                candidate.0.fingerprint(),
+                reference.0.fingerprint(),
+                "snapshot fingerprints must be bit-identical: {context}"
+            );
+            assert_eq!(
+                deterministic_stats(&candidate.0.stats()),
+                deterministic_stats(&reference.0.stats()),
+                "engine counters must not depend on the thread count: {context}"
+            );
+        }
+    }
+}
+
+#[test]
+fn resumed_towers_keep_thread_equivalence() {
+    // Snapshot round-trips compose with thread equivalence: resuming a
+    // 1-thread tower and finishing at 8 threads matches an uninterrupted
+    // sequential build.
+    for mut rng in cases("resumed_towers_keep_thread_equivalence", 6) {
+        let spec = RandomProblemSpec {
+            max_degree: 2,
+            inputs: 1,
+            outputs: rng.gen_range(2usize..4),
+            density_percent: rng.gen_range(50u8..95),
+        };
+        let seed = rng.gen_range(0u64..10_000);
+        let problem = random_problem(spec, seed);
+        let opts_seq = ReOptions {
+            parallel: false,
+            ..ReOptions::default()
+        };
+        let mut straight = ReTower::new(problem.clone());
+        if straight.push_f(opts_seq).is_err() || straight.push_f(opts_seq).is_err() {
+            continue; // refusals are covered by the test above
+        }
+
+        let mut first = ReTower::new(problem);
+        first
+            .push_f(ReOptions {
+                parallel: true,
+                threads: 1,
+                ..ReOptions::default()
+            })
+            .expect("straight build succeeded");
+        let wire = first.snapshot().to_json();
+        let mut resumed = ReTower::resume_from(
+            &lcl_landscape::core::TowerSnapshot::parse(&wire).expect("own snapshot parses"),
+        )
+        .expect("own snapshot resumes");
+        resumed
+            .push_f(ReOptions {
+                parallel: true,
+                threads: 8,
+                ..ReOptions::default()
+            })
+            .expect("straight build succeeded");
+        assert_eq!(resumed.fingerprint(), straight.fingerprint(), "seed={seed}");
+    }
+}
