@@ -1,0 +1,88 @@
+//! `classify-client` — submits one problem to a running
+//! `classify-server` socket and streams the response lines.
+//!
+//! ```text
+//! classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]
+//! ```
+//!
+//! The problem is read from the file (or stdin with `-`), wrapped in a
+//! request line, and written to the socket; every response line is
+//! echoed to stdout until the terminal result or error arrives. Exits
+//! nonzero on transport failures or an in-band error response.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::process::ExitCode;
+
+use lcl_service::{encode_request, parse_response, ClassifyRequest, Response};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]");
+    ExitCode::FAILURE
+}
+
+#[cfg(not(unix))]
+fn main() -> ExitCode {
+    eprintln!("classify-client: needs a unix platform (unix-socket transport)");
+    ExitCode::FAILURE
+}
+
+#[cfg(unix)]
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(socket), Some(source)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let mut req = ClassifyRequest {
+        id: 1,
+        problem: String::new(),
+        steps: 1,
+    };
+    let mut i = 2;
+    while i < args.len() {
+        let value = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
+        match (args[i].as_str(), value) {
+            ("--steps", Some(n)) => req.steps = n,
+            ("--id", Some(n)) => req.id = n,
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let read = if source == "-" {
+        std::io::stdin().lock().read_to_string(&mut req.problem)
+    } else {
+        std::fs::File::open(source).and_then(|mut f| f.read_to_string(&mut req.problem))
+    };
+    if let Err(e) = read {
+        eprintln!("classify-client: read {source}: {e}");
+        return ExitCode::FAILURE;
+    }
+    match talk(socket, &req) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("classify-client: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Sends the request and echoes responses; `Ok(true)` iff the terminal
+/// line is a non-error result.
+#[cfg(unix)]
+fn talk(socket: &str, req: &ClassifyRequest) -> std::io::Result<bool> {
+    let mut stream = std::os::unix::net::UnixStream::connect(socket)?;
+    stream.write_all(encode_request(req).as_bytes())?;
+    stream.write_all(b"\n")?;
+    let reader = BufReader::new(stream.try_clone()?);
+    for line in reader.lines() {
+        let line = line?;
+        println!("{line}");
+        match parse_response(&line) {
+            Ok(Response::Progress { .. }) => {}
+            Ok(Response::Result(_)) => return Ok(true),
+            Ok(Response::Error { .. }) | Err(_) => return Ok(false),
+        }
+    }
+    eprintln!("classify-client: connection closed before a terminal response");
+    Ok(false)
+}

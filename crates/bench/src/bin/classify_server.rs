@@ -1,0 +1,89 @@
+//! `classify-server` — the batch classification service on a Unix
+//! socket (or stdio).
+//!
+//! ```text
+//! classify-server <store-dir> [--socket <path>] [--workers <n>]
+//! ```
+//!
+//! With `--socket`, listens on a Unix domain socket and serves each
+//! connection on its own thread; without it, speaks the line protocol on
+//! stdin/stdout (useful under a pipe or for smoke tests). The store
+//! directory is created if missing; towers computed by previous runs are
+//! served as cache hits, and interrupted jobs resume from their last
+//! checkpoint.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use lcl_service::{serve_connection, ClassifyServer, ServiceConfig, TowerStore};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: classify-server <store-dir> [--socket <path>] [--workers <n>]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(store_dir) = args.first() else {
+        return usage();
+    };
+    let mut socket = None;
+    let mut config = ServiceConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match (args[i].as_str(), args.get(i + 1)) {
+            ("--socket", Some(path)) => socket = Some(path.clone()),
+            ("--workers", Some(n)) => match n.parse() {
+                Ok(n) => config.workers = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+        i += 2;
+    }
+    let store = match TowerStore::open(store_dir) {
+        Ok(store) => Arc::new(store),
+        Err(e) => {
+            eprintln!("classify-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "classify-server: store {} ({} cached tower(s)), {} worker(s)",
+        store.dir().display(),
+        store.len(),
+        config.workers
+    );
+    let server = Arc::new(ClassifyServer::start(store, config));
+    let served = match socket {
+        #[cfg(unix)]
+        Some(path) => {
+            let _ = std::fs::remove_file(&path);
+            match std::os::unix::net::UnixListener::bind(&path) {
+                Ok(listener) => {
+                    eprintln!("classify-server: listening on {path}");
+                    lcl_service::serve_unix(listener, Arc::clone(&server))
+                }
+                Err(e) => {
+                    eprintln!("classify-server: bind {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        #[cfg(not(unix))]
+        Some(_) => {
+            eprintln!("classify-server: --socket needs a unix platform; use stdio");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            serve_connection(&server, stdin.lock(), stdout.lock())
+        }
+    };
+    if let Err(e) = served {
+        eprintln!("classify-server: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

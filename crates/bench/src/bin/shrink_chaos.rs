@@ -15,16 +15,15 @@ use std::process::ExitCode;
 
 use lcl::{uniform_input, HalfEdgeLabeling, OutLabel};
 use lcl_bench::shrink::shrink_plan;
-use lcl_faults::FaultPlan;
+use lcl_faults::{FaultPlan, RunOptions};
 use lcl_graph::{gen, Graph, HalfEdgeId};
 use lcl_grid::{FnProdAlgorithm, OrientedGrid, ProdIds};
-use lcl_local::{simulate_sync_faulted, IdAssignment};
+use lcl_local::{simulate_sync_with, IdAssignment};
 use lcl_problems::DeltaPlusOne;
 use lcl_rng::SmallRng;
 use lcl_volume::lca::VolumeAsLca;
 use lcl_volume::{
-    simulate_faulted as simulate_volume_faulted, simulate_lca_faulted, FnVolumeAlgorithm,
-    ProbeSession,
+    simulate_lca_with, simulate_with as simulate_volume_with, FnVolumeAlgorithm, ProbeSession,
 };
 
 fn labeling_fp(g: &Graph, out: &HalfEdgeLabeling<OutLabel>) -> String {
@@ -89,15 +88,14 @@ fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
             let ids: Vec<u64> = IdAssignment::random_polynomial(n, 3, seed ^ 1)
                 .iter()
                 .collect();
-            let report = simulate_sync_faulted(
+            let report = simulate_sync_with(
                 &DeltaPlusOne { delta: 3 },
                 &g,
                 &input,
                 &ids,
                 None,
                 1000,
-                plan,
-                None,
+                RunOptions::new().faults(plan),
             );
             (
                 report.outcome.is_degraded(),
@@ -110,8 +108,15 @@ fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
             let g = gen::cycle(n);
             let input = uniform_input(&g);
             let ids = IdAssignment::random_polynomial(n, 3, seed ^ 2);
-            let report =
-                simulate_volume_faulted(&neighbor_probe_alg(), &g, &input, &ids, None, plan, None);
+            let report = simulate_volume_with(
+                &neighbor_probe_alg(),
+                &g,
+                &input,
+                &ids,
+                None,
+                RunOptions::new().faults(plan),
+            )
+            .expect("faulted runs degrade instead of erroring");
             (
                 report.outcome.is_degraded(),
                 labeling_fp(&g, &report.outcome.outcome.output),
@@ -123,14 +128,14 @@ fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
             let g = gen::path(n);
             let input = uniform_input(&g);
             let ids = IdAssignment::from_vec((1..=n as u64).collect());
-            let report = simulate_lca_faulted(
+            let report = simulate_lca_with(
                 &VolumeAsLca(neighbor_probe_alg()),
                 &g,
                 &input,
                 &ids,
-                plan,
-                None,
-            );
+                RunOptions::new().faults(plan),
+            )
+            .expect("faulted runs degrade instead of erroring");
             (
                 report.outcome.is_degraded(),
                 labeling_fp(&g, &report.outcome.outcome.output),
@@ -150,8 +155,14 @@ fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
                     vec![OutLabel((view.id(0, -1) % 97) as u32); 2 * view.d]
                 },
             );
-            let report =
-                lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, plan, None);
+            let report = lcl_grid::simulate_with(
+                &alg,
+                &grid,
+                &input,
+                &ids,
+                None,
+                RunOptions::new().faults(plan),
+            );
             (
                 report.outcome.is_degraded(),
                 labeling_fp(grid.graph(), &report.outcome.outcome.output),

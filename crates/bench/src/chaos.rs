@@ -10,13 +10,13 @@
 
 use std::time::Instant;
 
-use lcl_faults::FaultPlan;
+use lcl_faults::{FaultPlan, RunOptions};
 use lcl_grid::{FnProdAlgorithm, OrientedGrid, ProdIds};
-use lcl_local::{simulate_sync_faulted, IdAssignment};
+use lcl_local::{simulate_sync_with, IdAssignment};
 use lcl_problems::DeltaPlusOne;
 use lcl_rng::SmallRng;
 use lcl_volume::lca::VolumeAsLca;
-use lcl_volume::{simulate_lca_faulted, FnVolumeAlgorithm, ProbeSession};
+use lcl_volume::{simulate_lca_with, FnVolumeAlgorithm, ProbeSession};
 
 use crate::table::Table;
 
@@ -57,15 +57,14 @@ pub fn chaos_stage(plans: u64) -> Table {
             .iter()
             .collect();
         let plan = FaultPlan::random(seed, n, 4);
-        let report = simulate_sync_faulted(
+        let report = simulate_sync_with(
             &DeltaPlusOne { delta: 3 },
             &g,
             &input,
             &ids,
             None,
             1000,
-            &plan,
-            None,
+            RunOptions::new().faults(&plan),
         );
         degraded += u64::from(report.outcome.is_degraded());
         faults += report.outcome.faults.len() as u64;
@@ -83,14 +82,14 @@ pub fn chaos_stage(plans: u64) -> Table {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::from_vec((1..=n as u64).collect());
         let plan = FaultPlan::random(seed, n, 4);
-        let report = simulate_lca_faulted(
+        let report = simulate_lca_with(
             &VolumeAsLca(neighbor_probe_alg()),
             &g,
             &input,
             &ids,
-            &plan,
-            None,
-        );
+            RunOptions::new().faults(&plan),
+        )
+        .expect("faulted runs degrade instead of erroring");
         degraded += u64::from(report.outcome.is_degraded());
         faults += report.outcome.faults.len() as u64;
     }
@@ -113,7 +112,14 @@ pub fn chaos_stage(plans: u64) -> Table {
         let ids = ProdIds::sequential(&grid);
         let input = lcl::uniform_input(grid.graph());
         let plan = FaultPlan::random(seed, grid.node_count(), 1);
-        let report = lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+        let report = lcl_grid::simulate_with(
+            &alg,
+            &grid,
+            &input,
+            &ids,
+            None,
+            RunOptions::new().faults(&plan),
+        );
         degraded += u64::from(report.outcome.is_degraded());
         faults += report.outcome.faults.len() as u64;
     }

@@ -31,13 +31,18 @@ use std::fmt;
 
 use crate::json::JsonValue;
 
-/// Keys holding wall-clock measurements: compared within tolerance.
-pub const WALL_KEYS: [&str; 5] = [
+/// Keys holding wall-clock measurements (or rates derived from them):
+/// compared within tolerance.
+pub const WALL_KEYS: [&str; 9] = [
     "wall_us",
     "wall_ms",
     "seq_wall_ms",
     "par_wall_ms",
     "wall_ms_t2",
+    "hit_wall_us",
+    "miss_wall_ms",
+    "total_wall_ms",
+    "throughput_rps",
 ];
 
 /// Keys derived from the host machine: reported, never gating.
@@ -345,7 +350,7 @@ fn compare_numbers(
     });
 }
 
-/// The two committed baseline schemas.
+/// The committed baseline schemas.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Schema {
     /// `BENCH_obs.json`: a [`lcl_obs::Registry`] dump — panel label →
@@ -353,6 +358,8 @@ pub enum Schema {
     Obs,
     /// `BENCH_re_engine.json`: the round-elimination engine report.
     ReEngine,
+    /// `BENCH_service.json`: the classification-service report.
+    Service,
 }
 
 impl fmt::Display for Schema {
@@ -360,17 +367,19 @@ impl fmt::Display for Schema {
         match self {
             Self::Obs => write!(f, "obs registry"),
             Self::ReEngine => write!(f, "re-engine report"),
+            Self::Service => write!(f, "service report"),
         }
     }
 }
 
-/// Guesses which baseline schema a document uses (`"bench"` at the top
-/// level marks the re-engine report).
+/// Guesses which baseline schema a document uses: `"bench": "service"`
+/// marks the service report, any other `"bench"` the re-engine report,
+/// and its absence the obs registry.
 pub fn detect_schema(doc: &JsonValue) -> Schema {
-    if doc.get("bench").is_some() {
-        Schema::ReEngine
-    } else {
-        Schema::Obs
+    match doc.get("bench") {
+        Some(JsonValue::Str(kind)) if kind.as_str() == "service" => Schema::Service,
+        Some(_) => Schema::ReEngine,
+        None => Schema::Obs,
     }
 }
 
@@ -380,6 +389,7 @@ pub fn check_schema(doc: &JsonValue, schema: Schema) -> Vec<Finding> {
     match schema {
         Schema::Obs => check_obs(doc, &mut errors),
         Schema::ReEngine => check_re_engine(doc, &mut errors),
+        Schema::Service => check_service(doc, &mut errors),
     }
     errors
 }
@@ -574,6 +584,39 @@ fn check_re_engine(doc: &JsonValue, errors: &mut Vec<Finding>) {
             }
         }
         None => fail(errors, "\"thread_sweep\"", "required key is missing"),
+    }
+}
+
+fn check_service(doc: &JsonValue, errors: &mut Vec<Finding>) {
+    if doc.as_obj().is_none() {
+        fail(errors, "", "top level must be an object");
+        return;
+    }
+    match doc.get("bench") {
+        Some(JsonValue::Str(kind)) if kind.as_str() == "service" => {}
+        Some(_) => fail(errors, "\"bench\"", "must be the string \"service\""),
+        None => fail(errors, "\"bench\"", "required string key is missing"),
+    }
+    // Counters first (seed-determined, diffed bit-exact), then the
+    // host-dependent wall keys (diffed under tolerance).
+    for key in [
+        "threads_available",
+        "workers",
+        "requests",
+        "unique_problems",
+        "computed",
+        "served_from_cache",
+        "dedup_permille",
+        "store_entries",
+        "duplicates_in_mix",
+        "resumed_jobs",
+        "resume_fingerprint_match",
+        "hit_wall_us",
+        "miss_wall_ms",
+        "total_wall_ms",
+        "throughput_rps",
+    ] {
+        require_num(doc, key, "", errors);
     }
 }
 
@@ -831,11 +874,46 @@ mod tests {
     }
 
     #[test]
+    fn service_schema_detection_and_validation() {
+        let service = parse(
+            r#"{
+              "bench": "service",
+              "threads_available": 8, "workers": 4, "requests": 1000,
+              "unique_problems": 700, "computed": 700,
+              "served_from_cache": 300, "dedup_permille": 300,
+              "store_entries": 700, "duplicates_in_mix": 300,
+              "resumed_jobs": 1, "resume_fingerprint_match": 1,
+              "hit_wall_us": 310.0, "miss_wall_ms": 1.2,
+              "total_wall_ms": 900.0, "throughput_rps": 1100.0
+            }"#,
+        )
+        .expect("valid service doc");
+        assert_eq!(detect_schema(&service), Schema::Service);
+        assert!(check_schema(&service, Schema::Service).is_empty());
+
+        // Dropping a dedup counter is a schema violation, not a silently
+        // ungated key.
+        let mut broken = service.clone();
+        let JsonValue::Obj(top) = &mut broken else {
+            panic!()
+        };
+        top.retain(|(k, _)| k != "served_from_cache");
+        let errors = check_schema(&broken, Schema::Service);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].path.contains("served_from_cache"));
+
+        // A different "bench" string stays on the re-engine schema.
+        let re_marker = parse(r#"{"bench": "re_engine"}"#).expect("parses");
+        assert_eq!(detect_schema(&re_marker), Schema::ReEngine);
+    }
+
+    #[test]
     fn committed_baselines_pass_their_schemas() {
         for (path, schema) in [
             ("../../BENCH_obs.json", Schema::Obs),
             ("../../BENCH_recover.json", Schema::Obs),
             ("../../BENCH_re_engine.json", Schema::ReEngine),
+            ("../../BENCH_service.json", Schema::Service),
         ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&full).expect("baseline exists");

@@ -28,6 +28,12 @@
 //! * [`recover_report::recover_report`] — recovery counters (repairs,
 //!   retries, checkpoints) for the certified-repair and tower-supervisor
 //!   paths, written to `BENCH_recover.json` (`--bench recover`).
+//! * [`service_report::service_report`] — the classification service
+//!   under a seeded 1 000-request mix with ~30 % structural duplicates:
+//!   dedup/coalescing counters, cache-hit latency, and a checkpoint
+//!   resume check, written to `BENCH_service.json` (`--bench service`).
+//!   The `classify-server` / `classify-client` binaries expose the same
+//!   service over a Unix socket for interactive use.
 //! * [`shrink::shrink_plan`] — the chaos-seed shrinker behind the
 //!   `shrink-chaos` binary (`scripts/shrink_chaos.sh`).
 //!
@@ -48,6 +54,7 @@ pub mod json;
 pub mod obs_report;
 pub mod re_engine;
 pub mod recover_report;
+pub mod service_report;
 pub mod shrink;
 pub mod table;
 pub mod timing;

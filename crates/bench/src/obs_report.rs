@@ -11,6 +11,7 @@
 
 use lcl::OutLabel;
 use lcl_core::{tree_speedup_traced, SpeedupOptions};
+use lcl_faults::RunOptions;
 use lcl_graph::gen;
 use lcl_grid::{FnProdAlgorithm, OrientedGrid};
 use lcl_local::IdAssignment;
@@ -36,20 +37,22 @@ fn collect_trees(reg: &Registry) {
     let tree = gen::random_tree(512, 3, 5);
     let input = lcl::uniform_input(&tree);
     let ids: Vec<u64> = (0..tree.node_count() as u64).map(|i| i * 3 + 1).collect();
-    let synth = lcl_local::simulate_sync(&alg, &tree, &input, &ids, None, 10);
+    let synth =
+        lcl_local::simulate_sync_with(&alg, &tree, &input, &ids, None, 10, RunOptions::new());
     reg.record("E1/trees/synthesized-o1", synth.trace);
     reg.record("E1/trees/speedup-pipeline", report.trace);
 
     let path = gen::path(512);
     let cv_input = orientation_inputs(&path, Orientation::Path);
     let cv_ids = IdAssignment::random_polynomial(path.node_count(), 3, 9);
-    let cv = lcl_local::simulate_sync(
+    let cv = lcl_local::simulate_sync_with(
         &ColeVishkin,
         &path,
         &cv_input,
         &cv_ids.iter().collect::<Vec<_>>(),
         None,
         100,
+        RunOptions::new(),
     );
     reg.record("E1/trees/cole-vishkin", cv.trace);
 }
@@ -66,18 +69,19 @@ fn collect_grids(reg: &Registry) {
         |_n| 1,
         move |_view| vec![OutLabel(0); 2 * d],
     );
-    let o1 = lcl_grid::simulate(&pattern, &grid, &input, &prod_ids, None);
+    let o1 = lcl_grid::simulate_with(&pattern, &grid, &input, &prod_ids, None, RunOptions::new());
     reg.record("E2/grids/prod-local-pattern", o1.trace);
 
     let row_input = crate::grid_algos::dim_inputs(&grid);
     let ids = IdAssignment::random_polynomial(grid.node_count(), 3, 9);
-    let rows = lcl_local::simulate_sync(
+    let rows = lcl_local::simulate_sync_with(
         &crate::grid_algos::RowColoring,
         grid.graph(),
         &row_input,
         &ids.iter().collect::<Vec<_>>(),
         None,
         10_000,
+        RunOptions::new(),
     );
     reg.record("E2/grids/row-coloring", rows.trace);
 }
@@ -87,7 +91,14 @@ fn collect_grids(reg: &Registry) {
 fn collect_general(reg: &Registry) {
     let (g, input) = shortcut_path(6);
     let ids = IdAssignment::random_polynomial(g.node_count(), 3, 6);
-    let run = lcl_local::simulate(&ShortcutColoring { radius: None }, &g, &input, &ids, None);
+    let run = lcl_local::simulate_with(
+        &ShortcutColoring { radius: None },
+        &g,
+        &input,
+        &ids,
+        None,
+        RunOptions::new(),
+    );
     reg.record("E3/general/shortcut-coloring", run.trace);
 }
 
@@ -99,22 +110,44 @@ fn collect_volume(reg: &Registry) {
     let cinput = lcl::uniform_input(&cycle);
     let cids = IdAssignment::random_polynomial(n, 3, 4);
 
-    let o1 = lcl_volume::simulate(&ConstProbe, &cycle, &cinput, &cids, None).expect("in budget");
+    let o1 =
+        lcl_volume::simulate_with(&ConstProbe, &cycle, &cinput, &cids, None, RunOptions::new())
+            .expect("in budget");
     reg.record("E4/volume/const-probe", o1.trace);
-    let cv =
-        lcl_volume::simulate(&CvProbeColoring, &cycle, &cinput, &cids, None).expect("in budget");
+    let cv = lcl_volume::simulate_with(
+        &CvProbeColoring,
+        &cycle,
+        &cinput,
+        &cids,
+        None,
+        RunOptions::new(),
+    )
+    .expect("in budget");
     reg.record("E4/volume/cv-coloring", cv.trace);
 
     let path = gen::path(n);
     let pinput = lcl::uniform_input(&path);
     let pids = IdAssignment::random_polynomial(n, 3, 5);
-    let walk =
-        lcl_volume::simulate(&TwoColorProbes, &path, &pinput, &pids, None).expect("in budget");
+    let walk = lcl_volume::simulate_with(
+        &TwoColorProbes,
+        &path,
+        &pinput,
+        &pids,
+        None,
+        RunOptions::new(),
+    )
+    .expect("in budget");
     reg.record("E4/volume/two-color-walk", walk.trace);
 
     let lca_ids = IdAssignment::from_vec((1..=n as u64).collect());
-    let lca = lcl_volume::simulate_lca(&VolumeAsLca(ConstProbe), &path, &pinput, &lca_ids)
-        .expect("in budget");
+    let lca = lcl_volume::simulate_lca_with(
+        &VolumeAsLca(ConstProbe),
+        &path,
+        &pinput,
+        &lca_ids,
+        RunOptions::new(),
+    )
+    .expect("in budget");
     reg.record("E4/lca/const-probe", lca.trace);
 }
 

@@ -15,7 +15,7 @@
 
 use lcl::{uniform_input, LclProblem, OutLabel};
 use lcl_core::ReOptions;
-use lcl_faults::{Budget, Fault, FaultPlan};
+use lcl_faults::{Budget, Fault, FaultPlan, RunOptions};
 use lcl_graph::gen;
 use lcl_grid::{FnProdAlgorithm, OrientedGrid, ProdIds};
 use lcl_local::IdAssignment;
@@ -82,7 +82,15 @@ fn collect_sync(reg: &Registry) {
         .with(Fault::Crash { node: 8, round: 0 });
     let alg = DeltaPlusOne { delta: 2 };
     let p = k_coloring(3, 2);
-    let report = lcl_local::simulate_sync_faulted(&alg, &g, &input, &ids, None, 1000, &plan, None);
+    let report = lcl_local::simulate_sync_with(
+        &alg,
+        &g,
+        &input,
+        &ids,
+        None,
+        1000,
+        RunOptions::new().faults(&plan),
+    );
     let mended = repair_sync_degraded(
         &alg,
         &p,
@@ -108,7 +116,15 @@ fn collect_volume(reg: &Registry) {
     let plan = FaultPlan::new(5).with(Fault::CorruptView { node: 11, salt: 9 });
     let p = endpoints_problem();
     let alg = threshold_alg(n as u64);
-    let report = lcl_volume::simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
+    let report = lcl_volume::simulate_with(
+        &alg,
+        &g,
+        &input,
+        &ids,
+        None,
+        RunOptions::new().faults(&plan),
+    )
+    .expect("faulted runs degrade instead of erroring");
     let mended = repair_volume_degraded(
         &alg,
         &p,
@@ -135,7 +151,9 @@ fn collect_lca(reg: &Registry) {
         .with_permuted_ids();
     let p = endpoints_problem();
     let alg = VolumeAsLca(threshold_alg(n as u64));
-    let report = lcl_volume::simulate_lca_faulted(&alg, &g, &input, &ids, &plan, None);
+    let report =
+        lcl_volume::simulate_lca_with(&alg, &g, &input, &ids, RunOptions::new().faults(&plan))
+            .expect("faulted runs degrade instead of erroring");
     let mended = repair_lca_degraded(
         &alg,
         &p,
@@ -175,7 +193,14 @@ fn collect_prod(reg: &Registry) {
         },
     );
     let plan = FaultPlan::new(3).with(Fault::CorruptView { node: 14, salt: 2 });
-    let report = lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+    let report = lcl_grid::simulate_with(
+        &alg,
+        &grid,
+        &input,
+        &ids,
+        None,
+        RunOptions::new().faults(&plan),
+    );
     let mended = repair_prod_degraded(
         &alg,
         &p,

@@ -66,7 +66,9 @@ pub use bounds::{
 pub use interner::LabelInterner;
 pub use lemma33::{run_lemma33, Lemma33Case, Lemma33Run};
 pub use lift::LiftedAlgorithm;
-pub use snapshot::{LayerSnapshot, SnapshotError, SpanSnapshot, TableSnapshot, TowerSnapshot};
+pub use snapshot::{
+    LayerSnapshot, SnapshotError, SpanSnapshot, TableSnapshot, TowerSnapshot, SNAPSHOT_VERSION,
+};
 pub use speedup_local::{run_fooled_local, FooledOrderInvariant};
 pub use speedup_trees::{
     tree_speedup, tree_speedup_logged, tree_speedup_traced, SpeedupOptions, SpeedupOutcome,

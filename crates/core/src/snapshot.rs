@@ -87,6 +87,12 @@ pub struct SpanSnapshot {
     pub counters: Vec<(String, u64)>,
 }
 
+/// The snapshot format version this build writes and accepts. Bump it
+/// whenever [`TowerSnapshot::to_json`] changes shape; readers reject
+/// every other version with [`SnapshotError::Version`] instead of
+/// misinterpreting the document.
+pub const SNAPSHOT_VERSION: u64 = 1;
+
 /// Why a snapshot could not be decoded or resumed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SnapshotError {
@@ -104,6 +110,15 @@ pub enum SnapshotError {
     Invalid(&'static str),
     /// A span counter name no current [`lcl_obs::Counter`] matches.
     UnknownCounter(String),
+    /// The document declares a format version this build does not
+    /// understand (or omits the version field entirely, reported as
+    /// `found: 0`).
+    Version {
+        /// The version the document declared (0 when absent).
+        found: u64,
+        /// The only version this build reads ([`SNAPSHOT_VERSION`]).
+        supported: u64,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -116,6 +131,12 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Invalid(what) => write!(f, "inconsistent snapshot: {what}"),
             SnapshotError::UnknownCounter(name) => {
                 write!(f, "snapshot names unknown counter `{name}`")
+            }
+            SnapshotError::Version { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} (this build reads only {supported})"
+                )
             }
         }
     }
@@ -207,6 +228,16 @@ impl TowerSnapshot {
     pub fn parse(text: &str) -> Result<Self, SnapshotError> {
         let value = JsonParser::parse_document(text)?;
         let root = value.as_obj("snapshot object")?;
+        let version = match root.field("version") {
+            Ok(v) => v.as_u64("format version")?,
+            Err(_) => 0,
+        };
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
         let problem = root.field("problem")?.as_str("problem string")?.to_string();
         let mut layers = Vec::new();
         for layer in root.field("layers")?.as_arr("layers array")? {
@@ -735,6 +766,30 @@ mod tests {
             "{\"problem\":\"x\",\"layers\":[],\"tables\":[],\"spans\":[],\"extra\":1.5}"
         )
         .is_err());
+    }
+
+    #[test]
+    fn unsupported_format_versions_are_rejected_with_a_typed_error() {
+        let future = sample()
+            .to_json()
+            .replacen("\"version\":1", "\"version\":2", 1);
+        assert_eq!(
+            TowerSnapshot::parse(&future),
+            Err(SnapshotError::Version {
+                found: 2,
+                supported: SNAPSHOT_VERSION,
+            })
+        );
+        // A document with no version field at all predates the format and
+        // is rejected the same way, reported as version 0.
+        let unversioned = sample().to_json().replacen("\"version\":1,", "", 1);
+        assert_eq!(
+            TowerSnapshot::parse(&unversioned),
+            Err(SnapshotError::Version {
+                found: 0,
+                supported: SNAPSHOT_VERSION,
+            })
+        );
     }
 
     #[test]

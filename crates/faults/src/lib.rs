@@ -23,6 +23,10 @@
 //!   of three ways: a valid output, a typed error, or a typed
 //!   degradation ([`Degraded`] with a non-empty fault list) — never a
 //!   process abort.
+//! * [`RunOptions`] — the one knob bundle consumed by each model's
+//!   `simulate_with` entrypoint: optional event capture, optional fault
+//!   plan, optional budget. Replaces the deprecated
+//!   `simulate`/`simulate_logged`/`simulate_faulted` triplets.
 //!
 //! Everything is deterministic given `(seed, plan)`: the same plan on
 //! the same instance yields bit-identical outcomes at any worker-thread
@@ -32,7 +36,9 @@
 pub mod budget;
 pub mod panic_guard;
 pub mod plan;
+pub mod run_options;
 
 pub use budget::{Breach, Budget, BudgetExceeded, CancelToken, InvalidConfig};
 pub use panic_guard::{inject_panic, isolate, Degraded, NodeFault};
 pub use plan::{Fault, FaultPlan, PlanIssue, PlanParseError};
+pub use run_options::RunOptions;

@@ -1,0 +1,137 @@
+//! One knob bundle for every simulator entrypoint.
+//!
+//! The instrumented simulators grew a Cartesian explosion of
+//! entrypoints — `simulate`, `simulate_logged`, `simulate_faulted`, each
+//! per model — where every axis (event capture, fault injection,
+//! resource budgets) doubled the surface. [`RunOptions`] collapses the
+//! axes into one borrowing builder consumed by a single `simulate_with`
+//! per model:
+//!
+//! ```
+//! use lcl_faults::{Budget, FaultPlan, RunOptions};
+//! use lcl_obs::EventLog;
+//!
+//! let log = EventLog::new(1024);
+//! let plan = FaultPlan::parse("plan seed=7\ncrash node=0 round=1\n")?;
+//! let opts = RunOptions::new()
+//!     .events(&log)
+//!     .faults(&plan)
+//!     .budget(Budget::unlimited().with_max_rounds(8));
+//! assert!(opts.event_log().is_some());
+//! assert!(opts.fault_plan().is_some());
+//! assert_eq!(opts.run_budget().max_rounds, Some(8));
+//! # Ok::<(), lcl_faults::PlanParseError>(())
+//! ```
+//!
+//! Every axis defaults to *off*: `RunOptions::new()` (or
+//! [`RunOptions::default()`]) reproduces the plain, unlogged, fault-free
+//! run bit-for-bit. The struct is `Copy` and borrows its log and plan,
+//! so handing the same options to many runs is free and keeps ownership
+//! where it was under the old API.
+
+use lcl_obs::EventLog;
+
+use crate::budget::Budget;
+use crate::plan::FaultPlan;
+
+/// Options for one simulator run: optional event capture, optional
+/// fault injection, optional resource budget.
+///
+/// Consumed by the `simulate_with` entrypoint of each model crate
+/// (`local`, `volume`, `grid`) and by the classification service when
+/// submitting tower jobs. The default is a plain run: no events, no
+/// faults, unlimited budget.
+#[derive(Clone, Copy, Default)]
+pub struct RunOptions<'a> {
+    events: Option<&'a EventLog>,
+    faults: Option<&'a FaultPlan>,
+    budget: Option<Budget>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// A plain run: no event capture, no faults, unlimited budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Streams [`lcl_obs::Event`]s into `log` during the run.
+    pub fn events(mut self, log: &'a EventLog) -> Self {
+        self.events = Some(log);
+        self
+    }
+
+    /// Injects the faults scheduled by `plan`; the run returns a
+    /// `Degraded` outcome whose fault list records every hit.
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Caps the run's resources. Models interpret the budget's
+    /// dimensions where they apply (e.g. `max_rounds` bounds a sync
+    /// execution; tower jobs honor label/memory caps).
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// The event log to stream into, if any.
+    pub fn event_log(&self) -> Option<&'a EventLog> {
+        self.events
+    }
+
+    /// The fault plan to inject, if any.
+    pub fn fault_plan(&self) -> Option<&'a FaultPlan> {
+        self.faults
+    }
+
+    /// The effective budget: the one set, or [`Budget::unlimited`].
+    pub fn run_budget(&self) -> Budget {
+        self.budget.unwrap_or_else(Budget::unlimited)
+    }
+
+    /// Whether a budget was explicitly set.
+    pub fn has_budget(&self) -> bool {
+        self.budget.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_a_plain_run() {
+        let opts = RunOptions::new();
+        assert!(opts.event_log().is_none());
+        assert!(opts.fault_plan().is_none());
+        assert!(!opts.has_budget());
+        assert_eq!(opts.run_budget().max_rounds, None);
+        assert_eq!(opts.run_budget().max_labels, None);
+    }
+
+    #[test]
+    fn axes_compose_independently() {
+        let log = EventLog::new(16);
+        let opts = RunOptions::new().events(&log);
+        assert!(opts.event_log().is_some());
+        assert!(opts.fault_plan().is_none());
+
+        let plan = FaultPlan::parse("plan seed=1\n").expect("why: literal plan is well-formed");
+        let opts = opts
+            .faults(&plan)
+            .budget(Budget::unlimited().with_max_rounds(3));
+        assert!(opts.event_log().is_some());
+        assert!(opts.fault_plan().is_some());
+        assert_eq!(opts.run_budget().max_rounds, Some(3));
+    }
+
+    #[test]
+    fn options_are_copy() {
+        let log = EventLog::new(16);
+        let opts = RunOptions::new().events(&log);
+        let copied = opts;
+        assert!(opts.event_log().is_some());
+        assert!(copied.event_log().is_some());
+    }
+}

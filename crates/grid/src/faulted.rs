@@ -50,7 +50,23 @@ fn record_fault(
 
 /// Runs a PROD-LOCAL algorithm under a [`FaultPlan`], degrading instead
 /// of panicking. See the module docs for the per-fault semantics.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_with(..., RunOptions::new().faults(plan).events(log))`"
+)]
 pub fn simulate_prod_faulted(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+    plan: &FaultPlan,
+    log: Option<&EventLog>,
+) -> RunReport<Degraded<ProdRun>> {
+    simulate_prod_faulted_impl(alg, grid, input, ids, n_announced, plan, log)
+}
+
+pub(crate) fn simulate_prod_faulted_impl(
     alg: &(impl ProdLocalAlgorithm + ?Sized),
     grid: &OrientedGrid,
     input: &HalfEdgeLabeling<InLabel>,
@@ -166,9 +182,10 @@ mod tests {
         let ids = ProdIds::sequential(&grid);
         let input = lcl::uniform_input(grid.graph());
         let plan = FaultPlan::new(3);
-        let report = simulate_prod_faulted(&echo_alg(), &grid, &input, &ids, None, &plan, None);
+        let report =
+            simulate_prod_faulted_impl(&echo_alg(), &grid, &input, &ids, None, &plan, None);
         assert!(!report.outcome.is_degraded());
-        let plain = crate::run::simulate(&echo_alg(), &grid, &input, &ids, None);
+        let plain = crate::run::simulate_impl(&echo_alg(), &grid, &input, &ids, None, None);
         assert_eq!(report.outcome.outcome, plain.outcome);
     }
 
@@ -182,7 +199,7 @@ mod tests {
             .with(Fault::PanicNode { node: 4 });
         let log = EventLog::new(64);
         let report =
-            simulate_prod_faulted(&echo_alg(), &grid, &input, &ids, None, &plan, Some(&log));
+            simulate_prod_faulted_impl(&echo_alg(), &grid, &input, &ids, None, &plan, Some(&log));
         let degraded = &report.outcome;
         assert_eq!(degraded.faults.len(), 2);
         assert_eq!(degraded.faults[0].payload, "crash-stop");
@@ -206,7 +223,7 @@ mod tests {
         // Echo own dim-0 id: corruption must not change it (offset 0 is
         // the cell's own slice), even though neighbors are perturbed.
         let plan = FaultPlan::new(0).with(Fault::CorruptView { node: 5, salt: 9 });
-        let honest = simulate_prod_faulted(
+        let honest = simulate_prod_faulted_impl(
             &echo_alg(),
             &grid,
             &input,
@@ -215,7 +232,8 @@ mod tests {
             &FaultPlan::new(0),
             None,
         );
-        let corrupted = simulate_prod_faulted(&echo_alg(), &grid, &input, &ids, None, &plan, None);
+        let corrupted =
+            simulate_prod_faulted_impl(&echo_alg(), &grid, &input, &ids, None, &plan, None);
         assert!(!corrupted.outcome.is_degraded(), "silent corruption");
         assert_eq!(corrupted.outcome.outcome, honest.outcome.outcome);
         // An algorithm reading a *neighbor* slice does see the corruption.
@@ -224,7 +242,7 @@ mod tests {
             |_| 1,
             |view| vec![OutLabel((view.id(0, -1) % 1000) as u32); 2 * view.d],
         );
-        let honest = simulate_prod_faulted(
+        let honest = simulate_prod_faulted_impl(
             &neighbor_alg,
             &grid,
             &input,
@@ -234,7 +252,7 @@ mod tests {
             None,
         );
         let corrupted =
-            simulate_prod_faulted(&neighbor_alg, &grid, &input, &ids, None, &plan, None);
+            simulate_prod_faulted_impl(&neighbor_alg, &grid, &input, &ids, None, &plan, None);
         assert_ne!(corrupted.outcome.outcome, honest.outcome.outcome);
     }
 
@@ -244,8 +262,8 @@ mod tests {
         let ids = ProdIds::sequential(&grid);
         let input = lcl::uniform_input(grid.graph());
         let plan = FaultPlan::new(17).with_permuted_ids();
-        let a = simulate_prod_faulted(&echo_alg(), &grid, &input, &ids, None, &plan, None);
-        let b = simulate_prod_faulted(&echo_alg(), &grid, &input, &ids, None, &plan, None);
+        let a = simulate_prod_faulted_impl(&echo_alg(), &grid, &input, &ids, None, &plan, None);
+        let b = simulate_prod_faulted_impl(&echo_alg(), &grid, &input, &ids, None, &plan, None);
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
         // Per column, outputs are a permutation of the sequential ids.

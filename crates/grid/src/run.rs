@@ -106,6 +106,7 @@ pub(crate) fn build_view(
 ///
 /// This is the instrumented entrypoint behind the facade's `Simulation`
 /// trait; [`run_prod_local`] forwards here and discards the trace.
+#[deprecated(since = "0.1.0", note = "use `simulate_with(..., RunOptions::new())`")]
 pub fn simulate(
     alg: &(impl ProdLocalAlgorithm + ?Sized),
     grid: &OrientedGrid,
@@ -113,12 +114,57 @@ pub fn simulate(
     ids: &ProdIds,
     n_announced: Option<usize>,
 ) -> RunReport<ProdRun> {
-    simulate_prod_logged(alg, grid, input, ids, n_announced, None)
+    simulate_impl(alg, grid, input, ids, n_announced, None)
+}
+
+/// Runs a PROD-LOCAL algorithm under
+/// [`RunOptions`](lcl_faults::RunOptions): optional event capture,
+/// optional fault plan. With a fault plan the run is the degrading
+/// executor of [`crate::faulted`]; without one the outcome is
+/// [`Degraded::clean`](lcl_faults::Degraded::clean) and bit-identical to
+/// the plain run. Budgets have no dimension that applies to view-based
+/// PROD-LOCAL runs and are ignored here.
+pub fn simulate_with(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+    opts: lcl_faults::RunOptions<'_>,
+) -> RunReport<lcl_faults::Degraded<ProdRun>> {
+    match opts.fault_plan() {
+        Some(plan) => crate::faulted::simulate_prod_faulted_impl(
+            alg,
+            grid,
+            input,
+            ids,
+            n_announced,
+            plan,
+            opts.event_log(),
+        ),
+        None => simulate_impl(alg, grid, input, ids, n_announced, opts.event_log())
+            .map(lcl_faults::Degraded::clean),
+    }
 }
 
 /// Like [`simulate`], with every window materialization recorded as an
 /// [`Event::ViewMaterialized`] into the given [`EventLog`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_with(..., RunOptions::new().events(log))`"
+)]
 pub fn simulate_prod_logged(
+    alg: &(impl ProdLocalAlgorithm + ?Sized),
+    grid: &OrientedGrid,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &ProdIds,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> RunReport<ProdRun> {
+    simulate_impl(alg, grid, input, ids, n_announced, log)
+}
+
+pub(crate) fn simulate_impl(
     alg: &(impl ProdLocalAlgorithm + ?Sized),
     grid: &OrientedGrid,
     input: &HalfEdgeLabeling<InLabel>,
@@ -172,7 +218,7 @@ pub fn run_prod_local(
     ids: &ProdIds,
     n_announced: Option<usize>,
 ) -> ProdRun {
-    simulate(alg, grid, input, ids, n_announced).outcome
+    simulate_impl(alg, grid, input, ids, n_announced, None).outcome
 }
 
 /// Runs an order-invariant PROD-LOCAL algorithm (the identifiers only
@@ -374,7 +420,7 @@ mod tests {
         let ids = ProdIds::sequential(&grid);
         let input = lcl::uniform_input(grid.graph());
         let alg = FnProdAlgorithm::new("const", |_| 1, |view| vec![OutLabel(0); 2 * view.d]);
-        let report = simulate(&alg, &grid, &input, &ids, None);
+        let report = simulate_impl(&alg, &grid, &input, &ids, None, None);
         assert_eq!(report.trace.total(Counter::Nodes), 20);
         assert_eq!(report.trace.total(Counter::Radius), 1);
         // Each radius-1 window on a 2-torus has 3^2 = 9 nodes.
@@ -390,7 +436,7 @@ mod tests {
         let input = lcl::uniform_input(grid.graph());
         let alg = FnProdAlgorithm::new("const", |_| 1, |view| vec![OutLabel(0); 2 * view.d]);
         let log = EventLog::new(64);
-        let report = simulate_prod_logged(&alg, &grid, &input, &ids, None, Some(&log));
+        let report = simulate_impl(&alg, &grid, &input, &ids, None, Some(&log));
         let events = log.events();
         assert_eq!(events.len(), 20);
         assert_eq!(

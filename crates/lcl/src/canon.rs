@@ -1,0 +1,545 @@
+//! Canonical forms and content-addressed fingerprints for
+//! [`LclProblem`]s.
+//!
+//! Two LCL problems are *structurally identical* when one is the other
+//! with its output labels renamed: the constraint structure — node
+//! configurations, edge configurations, and the `g` map — is the same up
+//! to a permutation of `Σ_out`. The classification pipeline is invariant
+//! under such renamings (Definition 2.3 never inspects label names), so
+//! a content-addressed store should serve both spellings from one cached
+//! tower.
+//!
+//! [`canonical_form`] picks one representative per structural class:
+//!
+//! 1. **Color refinement** — output labels are partitioned by an
+//!    iterated, permutation-invariant signature (how often the label
+//!    appears in node configurations of each degree, which refinement
+//!    classes it meets on edges and inside configurations, which inputs
+//!    admit it).
+//! 2. **Bounded symmetry search** — when refinement leaves ties, every
+//!    ordering consistent with the classes (up to
+//!    [`SEARCH_CAP`] candidates) is rendered and the lexicographically
+//!    smallest structural text wins. Problems whose residual symmetry
+//!    group is larger fall back to the refined order with the original
+//!    index as tiebreak; the result is still deterministic, merely not
+//!    guaranteed to collide across renamings (a cache miss, never a
+//!    wrong answer).
+//! 3. **Relabel** — outputs are renamed `L0, L1, …` in the chosen
+//!    order; configurations are re-sorted under the new indices.
+//!
+//! [`canonical_fingerprint`] is the 64-bit FNV-1a hash of the canonical
+//! form's structural text (name-free, index-based), matching the hash
+//! the tower snapshot store keys on.
+
+use std::collections::BTreeSet;
+
+use crate::label::{Alphabet, OutLabel};
+use crate::problem::{from_parts, LclProblem, Problem as _};
+
+/// Upper bound on the number of label orderings the symmetry search will
+/// render. `7! = 5040` keeps fully-symmetric alphabets up to 7 labels
+/// exact while bounding the worst case.
+pub const SEARCH_CAP: usize = 5040;
+
+/// The canonical representative of `p`'s structural class. See the
+/// module docs for the construction; the result always has opaque
+/// `L0, L1, …` output names and carries the same problem name.
+///
+/// # Examples
+///
+/// ```
+/// use lcl::{canonical_fingerprint, LclProblem};
+///
+/// let p = LclProblem::parse("name: a\nmax-degree: 2\nnodes:\nX*\nY*\nedges:\nX Y\n")?;
+/// let q = LclProblem::parse("name: b\nmax-degree: 2\nnodes:\nQ*\nP*\nedges:\nP Q\n")?;
+/// assert_eq!(canonical_fingerprint(&p), canonical_fingerprint(&q));
+/// # Ok::<(), lcl::ParseError>(())
+/// ```
+pub fn canonical_form(p: &LclProblem) -> LclProblem {
+    let classes = refine_classes(p);
+    let order = choose_order(p, &classes);
+    relabeled(p, &order)
+}
+
+/// The canonical form with *every* name normalized: the problem is
+/// renamed `lcl-<key>` (its [`canonical_key`]) and the input alphabet to
+/// `I0, I1, …`. Two problems share a canonical fingerprint exactly when
+/// their canonical text forms render to identical
+/// [`text`](LclProblem::to_text) — the property a content-addressed
+/// tower store needs so a cached tower answers every spelling of the
+/// same structural class bit-identically.
+pub fn canonical_text_form(p: &LclProblem) -> LclProblem {
+    let c = canonical_form(p);
+    let key = format!("{:016x}", fnv1a(structural_text(&c).as_bytes()));
+    let mut node_configs = vec![BTreeSet::new(); c.max_degree() as usize + 1];
+    for d in 1..=c.max_degree() {
+        for config in c.node_configs(d) {
+            node_configs[d as usize].insert(config.to_vec());
+        }
+    }
+    let g: Vec<BTreeSet<OutLabel>> = (0..c.input_alphabet().len())
+        .map(|i| c.allowed_outputs(crate::label::InLabel(i as u32)).collect())
+        .collect();
+    from_parts(
+        format!("lcl-{key}"),
+        c.max_degree(),
+        Alphabet::numbered("I", c.input_alphabet().len()),
+        c.output_alphabet().clone(),
+        node_configs,
+        c.edge_configs().collect(),
+        g,
+    )
+}
+
+/// FNV-1a over the canonical form's structural text. Structurally
+/// identical problems (same constraints up to output renaming) collide;
+/// the hash ignores the problem name and all label spellings.
+pub fn canonical_fingerprint(p: &LclProblem) -> u64 {
+    fnv1a(structural_text(&canonical_form(p)).as_bytes())
+}
+
+/// The canonical fingerprint rendered as the 16-hex-digit store key.
+pub fn canonical_key(p: &LclProblem) -> String {
+    format!("{:016x}", canonical_fingerprint(p))
+}
+
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Name-free, index-based rendering of the constraint structure. Label
+/// *indices* appear, label *names* never do, so the text of a canonical
+/// form is a pure function of the structural class.
+fn structural_text(p: &LclProblem) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "delta={};inputs={};outputs={}\n",
+        p.max_degree(),
+        p.input_alphabet().len(),
+        p.output_alphabet().len()
+    ));
+    for d in 1..=p.max_degree() {
+        for config in p.node_configs(d) {
+            s.push('n');
+            s.push_str(&d.to_string());
+            s.push(':');
+            for (i, l) in config.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                s.push_str(&l.0.to_string());
+            }
+            s.push('\n');
+        }
+    }
+    for (a, b) in p.edge_configs() {
+        s.push_str(&format!("e:{},{}\n", a.0, b.0));
+    }
+    for i in 0..p.input_alphabet().len() {
+        s.push('g');
+        s.push_str(&i.to_string());
+        s.push(':');
+        let mut first = true;
+        for o in p.allowed_outputs(crate::label::InLabel(i as u32)) {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&o.0.to_string());
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Partitions the output labels into permutation-invariant classes via
+/// color refinement. Returns `classes[label] = class id`, with class ids
+/// numbered by the rank of the class signature (so the numbering itself
+/// is invariant).
+fn refine_classes(p: &LclProblem) -> Vec<usize> {
+    let n = p.output_alphabet().len();
+    // Round 0: degree-profile signatures.
+    let mut sigs: Vec<String> = (0..n)
+        .map(|l| initial_signature(p, OutLabel(l as u32)))
+        .collect();
+    let mut classes = classes_from_signatures(&sigs);
+    // Refine until the partition stops splitting. Each label's new
+    // signature folds in the classes it meets across edges and inside
+    // node configurations.
+    loop {
+        for (l, sig) in sigs.iter_mut().enumerate() {
+            *sig = refined_signature(p, OutLabel(l as u32), &classes);
+        }
+        let next = classes_from_signatures(&sigs);
+        if next == classes {
+            return classes;
+        }
+        classes = next;
+    }
+}
+
+fn initial_signature(p: &LclProblem, l: OutLabel) -> String {
+    let mut s = String::new();
+    for d in 1..=p.max_degree() {
+        let mut mults: Vec<usize> = p
+            .node_configs(d)
+            .map(|c| c.iter().filter(|&&x| x == l).count())
+            .filter(|&m| m > 0)
+            .collect();
+        mults.sort_unstable();
+        s.push_str(&format!("d{d}:{mults:?};"));
+    }
+    let edge_count = p.edge_configs().filter(|&(a, b)| a == l || b == l).count();
+    let self_loop = p.edge_configs().any(|(a, b)| a == l && b == l);
+    s.push_str(&format!("e:{edge_count},{self_loop};"));
+    for i in 0..p.input_alphabet().len() {
+        let admitted = p
+            .allowed_outputs(crate::label::InLabel(i as u32))
+            .any(|o| o == l);
+        s.push_str(if admitted { "1" } else { "0" });
+    }
+    s
+}
+
+fn refined_signature(p: &LclProblem, l: OutLabel, classes: &[usize]) -> String {
+    let mut s = initial_signature(p, l);
+    s.push('|');
+    let mut partners: Vec<usize> = p
+        .edge_configs()
+        .filter_map(|(a, b)| {
+            if a == l {
+                Some(classes[b.0 as usize])
+            } else if b == l {
+                Some(classes[a.0 as usize])
+            } else {
+                None
+            }
+        })
+        .collect();
+    partners.sort_unstable();
+    s.push_str(&format!("p:{partners:?};"));
+    for d in 1..=p.max_degree() {
+        let mut contexts: Vec<Vec<usize>> = p
+            .node_configs(d)
+            .filter(|c| c.contains(&l))
+            .map(|c| {
+                let mut ctx: Vec<usize> = c.iter().map(|x| classes[x.0 as usize]).collect();
+                ctx.sort_unstable();
+                ctx
+            })
+            .collect();
+        contexts.sort_unstable();
+        s.push_str(&format!("c{d}:{contexts:?};"));
+    }
+    s
+}
+
+/// Numbers the distinct signatures by rank; `result[label] = rank of its
+/// signature`.
+fn classes_from_signatures(sigs: &[String]) -> Vec<usize> {
+    let distinct: BTreeSet<&String> = sigs.iter().collect();
+    let ranks: Vec<&String> = distinct.into_iter().collect();
+    sigs.iter()
+        .map(|s| ranks.binary_search(&s).expect("why: s is in its own set"))
+        .collect()
+}
+
+/// Chooses the final label order: all orderings consistent with the
+/// refinement classes are tried (lexicographically-smallest structural
+/// text wins) unless the residual symmetry exceeds [`SEARCH_CAP`], in
+/// which case the refined order with original-index tiebreak is used.
+/// Returns `order[position] = old label index`.
+fn choose_order(p: &LclProblem, classes: &[usize]) -> Vec<u32> {
+    let n = classes.len();
+    let class_count = classes.iter().copied().max().map_or(0, |m| m + 1);
+    let mut groups: Vec<Vec<u32>> = vec![Vec::new(); class_count];
+    for (l, &c) in classes.iter().enumerate() {
+        groups[c].push(l as u32);
+    }
+    let symmetry: usize = groups
+        .iter()
+        .map(|g| factorial_capped(g.len()))
+        .try_fold(1usize, |acc, f| acc.checked_mul(f))
+        .unwrap_or(usize::MAX);
+    let fallback: Vec<u32> = groups.iter().flatten().copied().collect();
+    if symmetry <= 1 {
+        return fallback;
+    }
+    if symmetry > SEARCH_CAP {
+        return fallback;
+    }
+    let mut best: Option<(String, Vec<u32>)> = None;
+    let mut order = Vec::with_capacity(n);
+    search_orders(p, &groups, 0, &mut order, &mut best);
+    best.expect("why: symmetry >= 1 guarantees at least one candidate ordering")
+        .1
+}
+
+fn factorial_capped(k: usize) -> usize {
+    (1..=k)
+        .try_fold(1usize, |acc, i| acc.checked_mul(i))
+        .unwrap_or(usize::MAX)
+}
+
+/// Enumerates every ordering that concatenates a permutation of each
+/// class group in class order, keeping the ordering whose relabeled
+/// structural text is smallest.
+fn search_orders(
+    p: &LclProblem,
+    groups: &[Vec<u32>],
+    group_idx: usize,
+    order: &mut Vec<u32>,
+    best: &mut Option<(String, Vec<u32>)>,
+) {
+    if group_idx == groups.len() {
+        let text = structural_text(&relabeled(p, order));
+        if best.as_ref().is_none_or(|(b, _)| text < *b) {
+            *best = Some((text, order.clone()));
+        }
+        return;
+    }
+    let mut group = groups[group_idx].clone();
+    permute(&mut group, 0, &mut |perm| {
+        let len_before = order.len();
+        order.extend_from_slice(perm);
+        search_orders(p, groups, group_idx + 1, order, best);
+        order.truncate(len_before);
+    });
+}
+
+/// In-place permutation enumeration (lexicographic by swaps) calling
+/// `visit` with each arrangement of `items[start..]`.
+fn permute(items: &mut [u32], start: usize, visit: &mut impl FnMut(&[u32])) {
+    if start == items.len() {
+        // `visit` sees the whole slice; recursion only varies the tail.
+        return;
+    }
+    if start == items.len() - 1 {
+        visit(items);
+        return;
+    }
+    for i in start..items.len() {
+        items.swap(start, i);
+        permute(items, start + 1, visit);
+        items.swap(start, i);
+    }
+}
+
+/// Rebuilds `p` with output label `order[k]` renamed to `Lk`,
+/// re-sorting every configuration under the new indices. `order` must be
+/// a permutation of the output label indices; the result is a structural
+/// duplicate of `p` (same [`canonical_fingerprint`]) under different
+/// label spellings — which also makes this the generator of choice for
+/// dedup-exercising request mixes.
+pub fn relabeled(p: &LclProblem, order: &[u32]) -> LclProblem {
+    let n = p.output_alphabet().len();
+    assert_eq!(order.len(), n, "order must cover every output label");
+    // new_of[old] = new index.
+    let mut new_of = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_of[old as usize] = new as u32;
+    }
+    let map = |l: OutLabel| OutLabel(new_of[l.0 as usize]);
+
+    let mut node_configs = vec![BTreeSet::new(); p.max_degree() as usize + 1];
+    for d in 1..=p.max_degree() {
+        for config in p.node_configs(d) {
+            let mut mapped: Vec<OutLabel> = config.iter().map(|&l| map(l)).collect();
+            mapped.sort_unstable();
+            node_configs[d as usize].insert(mapped);
+        }
+    }
+    let edge_configs: BTreeSet<(OutLabel, OutLabel)> = p
+        .edge_configs()
+        .map(|(a, b)| {
+            let (a, b) = (map(a), map(b));
+            if a <= b {
+                (a, b)
+            } else {
+                (b, a)
+            }
+        })
+        .collect();
+    let g: Vec<BTreeSet<OutLabel>> = (0..p.input_alphabet().len())
+        .map(|i| {
+            p.allowed_outputs(crate::label::InLabel(i as u32))
+                .map(map)
+                .collect()
+        })
+        .collect();
+    from_parts(
+        p.problem_name().to_string(),
+        p.max_degree(),
+        p.input_alphabet().clone(),
+        Alphabet::numbered("L", n),
+        node_configs,
+        edge_configs,
+        g,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::InLabel;
+
+    fn three_coloring_named(a: &str, b: &str, c: &str) -> LclProblem {
+        LclProblem::builder("3col", 3)
+            .outputs([a, b, c])
+            .node_pattern(&[&format!("{a}*")])
+            .node_pattern(&[&format!("{b}*")])
+            .node_pattern(&[&format!("{c}*")])
+            .edge(&[a, b])
+            .edge(&[a, c])
+            .edge(&[b, c])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn canonical_form_is_idempotent() {
+        let p = three_coloring_named("A", "B", "C");
+        let c1 = canonical_form(&p);
+        let c2 = canonical_form(&c1);
+        assert_eq!(structural_text(&c1), structural_text(&c2));
+    }
+
+    #[test]
+    fn renamed_labels_collide() {
+        let p = three_coloring_named("A", "B", "C");
+        let q = three_coloring_named("red", "green", "blue");
+        assert_eq!(canonical_fingerprint(&p), canonical_fingerprint(&q));
+    }
+
+    #[test]
+    fn permuted_label_declarations_collide() {
+        // Same structure, every declaration order of a fully-symmetric
+        // 3-label alphabet: all six must share one fingerprint.
+        let names = ["A", "B", "C"];
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let fps: Vec<u64> = perms
+            .iter()
+            .map(|perm| {
+                let p = three_coloring_named(names[perm[0]], names[perm[1]], names[perm[2]]);
+                canonical_fingerprint(&p)
+            })
+            .collect();
+        assert!(fps.windows(2).all(|w| w[0] == w[1]), "{fps:?}");
+    }
+
+    #[test]
+    fn asymmetric_problems_with_permuted_labels_collide() {
+        // Sinkless orientation is asymmetric in I/O: refinement alone
+        // separates the labels, no search needed.
+        let a = LclProblem::builder("sinkless", 3)
+            .outputs(["I", "O"])
+            .edge(&["I", "O"])
+            .node_pattern(&["O", "I*", "O*"])
+            .build()
+            .unwrap();
+        let b = LclProblem::builder("sinkless-renamed", 3)
+            .outputs(["out", "inn"]) // declaration order swapped too
+            .edge(&["out", "inn"])
+            .node_pattern(&["inn", "out*", "inn*"])
+            .build()
+            .unwrap();
+        assert_eq!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+        assert_ne!(
+            canonical_fingerprint(&a),
+            canonical_fingerprint(&three_coloring_named("A", "B", "C"))
+        );
+    }
+
+    #[test]
+    fn structurally_different_problems_diverge() {
+        let two = LclProblem::builder("2col", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .build()
+            .unwrap();
+        let loops = LclProblem::builder("2col-loops", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .edge(&["A", "A"])
+            .build()
+            .unwrap();
+        assert_ne!(canonical_fingerprint(&two), canonical_fingerprint(&loops));
+    }
+
+    #[test]
+    fn canonical_form_preserves_the_predicates() {
+        let p = three_coloring_named("A", "B", "C");
+        let c = canonical_form(&p);
+        assert_eq!(c.output_alphabet().len(), 3);
+        assert_eq!(c.node_config_count(), p.node_config_count());
+        assert_eq!(c.edge_config_count(), p.edge_config_count());
+        // Canonical 3-coloring still rejects monochromatic edges.
+        for l in 0..3u32 {
+            assert!(!c.edge_allows(OutLabel(l), OutLabel(l)));
+            assert!(c.node_allows(&[OutLabel(l), OutLabel(l)]));
+        }
+        assert!(c.input_allows(InLabel(0), OutLabel(0)));
+    }
+
+    #[test]
+    fn fingerprint_ignores_problem_and_input_names() {
+        let mut a = three_coloring_named("A", "B", "C");
+        let b = a.clone();
+        a = LclProblem::builder("other-name", 3)
+            .outputs(["A", "B", "C"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .node_pattern(&["C*"])
+            .edge(&["A", "B"])
+            .edge(&["A", "C"])
+            .edge(&["B", "C"])
+            .build()
+            .unwrap();
+        assert_eq!(canonical_fingerprint(&a), canonical_fingerprint(&b));
+    }
+
+    #[test]
+    fn canonical_text_forms_of_renamed_problems_render_identically() {
+        let a = three_coloring_named("A", "B", "C");
+        let b = three_coloring_named("blue", "red", "green");
+        let ta = canonical_text_form(&a);
+        let tb = canonical_text_form(&b);
+        assert_eq!(ta.to_text(), tb.to_text());
+        assert_eq!(ta.problem_name(), format!("lcl-{}", canonical_key(&a)));
+        // The normalization does not change the structural class.
+        assert_eq!(canonical_fingerprint(&ta), canonical_fingerprint(&a));
+    }
+
+    #[test]
+    fn relabeled_twins_are_structural_duplicates() {
+        let p = three_coloring_named("A", "B", "C");
+        let twin = relabeled(&p, &[2, 0, 1]);
+        assert_eq!(canonical_fingerprint(&p), canonical_fingerprint(&twin));
+        assert_ne!(p.to_text(), twin.to_text());
+    }
+
+    #[test]
+    fn key_is_sixteen_hex_digits() {
+        let p = three_coloring_named("A", "B", "C");
+        let key = canonical_key(&p);
+        assert_eq!(key.len(), 16);
+        assert!(key.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(key, format!("{:016x}", canonical_fingerprint(&p)));
+    }
+}

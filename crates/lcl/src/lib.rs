@@ -40,6 +40,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod canon;
 pub mod convert;
 pub mod gen;
 pub mod label;
@@ -48,6 +49,9 @@ pub mod parse;
 pub mod problem;
 pub mod verify;
 
+pub use canon::{
+    canonical_fingerprint, canonical_form, canonical_key, canonical_text_form, relabeled,
+};
 pub use convert::GeneralLcl;
 pub use label::{Alphabet, InLabel, OutLabel};
 pub use labeling::{uniform_input, HalfEdgeLabeling};

@@ -68,7 +68,23 @@ fn record_fault(
 /// round ≤ the requested radius) and panicking nodes emit placeholder
 /// labels (`OutLabel(0)` per port) and a [`NodeFault`]; corrupted views
 /// perturb the identifiers the node sees. Fault events land in `log`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_with(..., RunOptions::new().faults(plan).events(log))`"
+)]
 pub fn simulate_faulted(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    plan: &FaultPlan,
+    log: Option<&EventLog>,
+) -> RunReport<Degraded<LocalRun>> {
+    simulate_faulted_impl(alg, graph, input, ids, n_announced, plan, log)
+}
+
+pub(crate) fn simulate_faulted_impl(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -172,8 +188,26 @@ pub fn simulate_faulted(
 /// inbox is missing a message (a neighbor died before ever sending)
 /// skips its receive for that round. Exhausting `max_rounds` records
 /// one fault per unfinished node and returns the partial output.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_sync_with(..., RunOptions::new().faults(plan).events(log))`"
+)]
 #[allow(clippy::too_many_arguments)]
 pub fn simulate_sync_faulted<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+    plan: &FaultPlan,
+    log: Option<&EventLog>,
+) -> RunReport<Degraded<SyncRun>> {
+    simulate_sync_faulted_impl(alg, graph, input, ids, n_announced, max_rounds, plan, log)
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn simulate_sync_faulted_impl<A: SyncAlgorithm>(
     alg: &A,
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -458,10 +492,10 @@ mod tests {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(5);
         let plan = FaultPlan::new(3);
-        let report = simulate_faulted(&echo_id_alg(), &g, &input, &ids, None, &plan, None);
+        let report = simulate_faulted_impl(&echo_id_alg(), &g, &input, &ids, None, &plan, None);
         assert!(!report.outcome.is_degraded());
-        let plain = crate::run::simulate(&echo_id_alg(), &g, &input, &ids, None);
-        assert_eq!(report.outcome.outcome, plain.outcome);
+        let plain = crate::run::run_deterministic(&echo_id_alg(), &g, &input, &ids, None);
+        assert_eq!(report.outcome.outcome, plain);
     }
 
     #[test]
@@ -473,7 +507,8 @@ mod tests {
             .with(Fault::Crash { node: 1, round: 0 })
             .with(Fault::PanicNode { node: 3 });
         let log = EventLog::new(64);
-        let report = simulate_faulted(&echo_id_alg(), &g, &input, &ids, None, &plan, Some(&log));
+        let report =
+            simulate_faulted_impl(&echo_id_alg(), &g, &input, &ids, None, &plan, Some(&log));
         let degraded = &report.outcome;
         assert!(degraded.is_degraded());
         assert_eq!(degraded.faults.len(), 2);
@@ -508,8 +543,8 @@ mod tests {
             },
         );
         let plan = FaultPlan::new(0).with(Fault::CorruptView { node: 1, salt: 7 });
-        let a = simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
-        let b = simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
+        let a = simulate_faulted_impl(&alg, &g, &input, &ids, None, &plan, None);
+        let b = simulate_faulted_impl(&alg, &g, &input, &ids, None, &plan, None);
         assert_eq!(a.outcome, b.outcome, "corruption is deterministic");
         // No fault record: the node answered, possibly wrongly.
         assert!(!a.outcome.is_degraded());
@@ -521,7 +556,7 @@ mod tests {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::from_vec(vec![10, 20, 30, 40]);
         let plan = FaultPlan::new(9).with_permuted_ids();
-        let run = simulate_faulted(&echo_id_alg(), &g, &input, &ids, None, &plan, None);
+        let run = simulate_faulted_impl(&echo_id_alg(), &g, &input, &ids, None, &plan, None);
         let seen: Vec<u32> = g
             .nodes()
             .map(|v| run.outcome.outcome.output.get(g.half_edge(v, 0)).0)
@@ -529,7 +564,7 @@ mod tests {
         let mut sorted = seen.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec![10, 20, 30, 40], "same id multiset");
-        let again = simulate_faulted(&echo_id_alg(), &g, &input, &ids, None, &plan, None);
+        let again = simulate_faulted_impl(&echo_id_alg(), &g, &input, &ids, None, &plan, None);
         assert_eq!(run.outcome, again.outcome);
     }
 
@@ -592,7 +627,7 @@ mod tests {
         let ids: Vec<u64> = vec![3, 9, 1, 4, 0, 2];
         let plan = FaultPlan::new(0);
         let report =
-            simulate_sync_faulted(&Flood { k: 3 }, &g, &input, &ids, None, 100, &plan, None);
+            simulate_sync_faulted_impl(&Flood { k: 3 }, &g, &input, &ids, None, 100, &plan, None);
         assert!(!report.outcome.is_degraded());
         let plain = crate::sync::run_sync(&Flood { k: 3 }, &g, &input, &ids, None, 100);
         assert_eq!(report.outcome.outcome, plain);
@@ -605,7 +640,7 @@ mod tests {
         let ids: Vec<u64> = vec![3, 9, 1, 4, 0, 2];
         let plan = FaultPlan::new(0).with(Fault::Crash { node: 5, round: 1 });
         let report =
-            simulate_sync_faulted(&Flood { k: 5 }, &g, &input, &ids, None, 100, &plan, None);
+            simulate_sync_faulted_impl(&Flood { k: 5 }, &g, &input, &ids, None, 100, &plan, None);
         let degraded = &report.outcome;
         assert!(degraded.is_degraded());
         assert_eq!(degraded.faults[0].payload, "crash-stop");
@@ -621,7 +656,7 @@ mod tests {
         let ids: Vec<u64> = vec![0, 1, 2, 3];
         let plan = FaultPlan::new(0).with(Fault::PanicNode { node: 2 });
         let report =
-            simulate_sync_faulted(&Flood { k: 2 }, &g, &input, &ids, None, 100, &plan, None);
+            simulate_sync_faulted_impl(&Flood { k: 2 }, &g, &input, &ids, None, 100, &plan, None);
         let degraded = &report.outcome;
         assert!(degraded.is_degraded());
         assert!(degraded.faults[0]
@@ -639,7 +674,7 @@ mod tests {
         let ids: Vec<u64> = vec![0, 1, 2];
         let plan = FaultPlan::new(0);
         let report =
-            simulate_sync_faulted(&Flood { k: 1000 }, &g, &input, &ids, None, 5, &plan, None);
+            simulate_sync_faulted_impl(&Flood { k: 1000 }, &g, &input, &ids, None, 5, &plan, None);
         let degraded = &report.outcome;
         assert_eq!(degraded.outcome.rounds, 5);
         assert_eq!(degraded.faults.len(), 3, "every node reported unfinished");
@@ -655,8 +690,26 @@ mod tests {
         let ids: Vec<u64> = (0..8).collect();
         for seed in 0..20 {
             let plan = FaultPlan::random(seed, 8, 4);
-            let a = simulate_sync_faulted(&Flood { k: 3 }, &g, &input, &ids, None, 50, &plan, None);
-            let b = simulate_sync_faulted(&Flood { k: 3 }, &g, &input, &ids, None, 50, &plan, None);
+            let a = simulate_sync_faulted_impl(
+                &Flood { k: 3 },
+                &g,
+                &input,
+                &ids,
+                None,
+                50,
+                &plan,
+                None,
+            );
+            let b = simulate_sync_faulted_impl(
+                &Flood { k: 3 },
+                &g,
+                &input,
+                &ids,
+                None,
+                50,
+                &plan,
+                None,
+            );
             assert_eq!(a.outcome, b.outcome, "seed {seed}");
             assert_eq!(a.trace.fingerprint(), b.trace.fingerprint(), "seed {seed}");
         }

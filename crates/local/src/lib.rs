@@ -54,6 +54,7 @@ pub mod view;
 
 pub use algorithm::{FnAlgorithm, LocalAlgorithm};
 pub use congest::{run_congest, CongestRun, MessageBits};
+#[allow(deprecated)]
 pub use faulted::{simulate_faulted, simulate_sync_faulted};
 pub use ids::IdAssignment;
 pub use measure::minimal_solving_radius;
@@ -62,10 +63,11 @@ pub use order_invariant::{
 };
 pub use run::{
     estimate_local_failure, estimate_local_failure_parallel, run_deterministic, run_randomized,
-    simulate, simulate_logged, simulate_randomized, simulate_randomized_logged, FailureEstimate,
-    LocalRun,
+    simulate_randomized_with, simulate_with, FailureEstimate, LocalRun,
 };
-pub use sync::{
-    run_sync, run_sync_with, simulate_sync, simulate_sync_logged, NodeInit, SyncAlgorithm, SyncRun,
-};
+#[allow(deprecated)]
+pub use run::{simulate, simulate_logged, simulate_randomized, simulate_randomized_logged};
+pub use sync::{run_sync, run_sync_with, simulate_sync_with, NodeInit, SyncAlgorithm, SyncRun};
+#[allow(deprecated)]
+pub use sync::{simulate_sync, simulate_sync_logged};
 pub use view::View;

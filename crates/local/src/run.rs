@@ -3,7 +3,7 @@
 use lcl_rng::SmallRng;
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
-use lcl_faults::InvalidConfig;
+use lcl_faults::{Degraded, InvalidConfig, RunOptions};
 use lcl_graph::Graph;
 use lcl_obs::{Counter, Event, EventLog, RunReport, Span, Trace};
 
@@ -80,8 +80,41 @@ fn seal_local_span(span: &mut Span, graph: &Graph, run: &LocalRun, view_nodes: u
 /// algorithm using an input parameter that does not represent the correct
 /// number of nodes"); `None` announces the true `n`.
 ///
+/// Runs a deterministic LOCAL algorithm under [`RunOptions`]: optional
+/// event capture, optional fault plan. With a fault plan the run is the
+/// degrading executor of [`crate::faulted`]; without one the outcome is
+/// [`Degraded::clean`] and bit-identical to the plain run. A budget's
+/// dimensions do not apply to view-based LOCAL runs (the radius is the
+/// algorithm's, not a resource) and are ignored here.
+///
+/// `n_announced` overrides the number of nodes reported to the
+/// algorithm (the paper's footnote 7); `None` announces the true `n`.
+pub fn simulate_with(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    opts: RunOptions<'_>,
+) -> RunReport<Degraded<LocalRun>> {
+    match opts.fault_plan() {
+        Some(plan) => crate::faulted::simulate_faulted_impl(
+            alg,
+            graph,
+            input,
+            ids,
+            n_announced,
+            plan,
+            opts.event_log(),
+        ),
+        None => simulate_impl(alg, graph, input, ids, n_announced, opts.event_log())
+            .map(Degraded::clean),
+    }
+}
+
 /// This is the instrumented entrypoint behind the facade's `Simulation`
 /// trait; [`run_deterministic`] forwards here and discards the trace.
+#[deprecated(since = "0.1.0", note = "use `simulate_with(..., RunOptions::new())`")]
 pub fn simulate(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
@@ -89,12 +122,27 @@ pub fn simulate(
     ids: &IdAssignment,
     n_announced: Option<usize>,
 ) -> RunReport<LocalRun> {
-    simulate_logged(alg, graph, input, ids, n_announced, None)
+    simulate_impl(alg, graph, input, ids, n_announced, None)
 }
 
 /// Like [`simulate`], with every view materialization recorded as an
 /// [`Event::ViewMaterialized`] into the given [`EventLog`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_with(..., RunOptions::new().events(log))`"
+)]
 pub fn simulate_logged(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> RunReport<LocalRun> {
+    simulate_impl(alg, graph, input, ids, n_announced, log)
+}
+
+pub(crate) fn simulate_impl(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -129,8 +177,32 @@ pub fn simulate_logged(
 /// deterministically from `seed` and the node id so that runs are
 /// reproducible.
 ///
+/// Runs a randomized LOCAL algorithm under [`RunOptions`]. Only the
+/// event axis applies: randomized runs see no identifiers, so fault
+/// plans (which key on identifier-visible structure) have no defined
+/// semantics here and `opts` must not carry one.
+pub fn simulate_randomized_with(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    seed: u64,
+    n_announced: Option<usize>,
+    opts: RunOptions<'_>,
+) -> RunReport<LocalRun> {
+    assert!(
+        opts.fault_plan().is_none(),
+        "why: randomized LOCAL has no faulted executor; run the deterministic \
+         simulate_with under a plan instead"
+    );
+    simulate_randomized_impl(alg, graph, input, seed, n_announced, opts.event_log())
+}
+
 /// This is the instrumented entrypoint behind the facade's `Simulation`
 /// trait; [`run_randomized`] forwards here and discards the trace.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_randomized_with(..., RunOptions::new())`"
+)]
 pub fn simulate_randomized(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
@@ -138,14 +210,29 @@ pub fn simulate_randomized(
     seed: u64,
     n_announced: Option<usize>,
 ) -> RunReport<LocalRun> {
-    simulate_randomized_logged(alg, graph, input, seed, n_announced, None)
+    simulate_randomized_impl(alg, graph, input, seed, n_announced, None)
 }
 
 /// Like [`simulate_randomized`], with every view materialization recorded
 /// as an [`Event::ViewMaterialized`] into the given [`EventLog`]. Since
 /// randomized algorithms see no identifiers, the event's `node` field is
 /// the node's index in the graph.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_randomized_with(..., RunOptions::new().events(log))`"
+)]
 pub fn simulate_randomized_logged(
+    alg: &(impl LocalAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    seed: u64,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> RunReport<LocalRun> {
+    simulate_randomized_impl(alg, graph, input, seed, n_announced, log)
+}
+
+fn simulate_randomized_impl(
     alg: &(impl LocalAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -192,7 +279,7 @@ pub fn run_deterministic(
     ids: &IdAssignment,
     n_announced: Option<usize>,
 ) -> LocalRun {
-    simulate(alg, graph, input, ids, n_announced).outcome
+    simulate_impl(alg, graph, input, ids, n_announced, None).outcome
 }
 
 /// Runs a randomized LOCAL algorithm, discarding the trace.
@@ -207,7 +294,7 @@ pub fn run_randomized(
     seed: u64,
     n_announced: Option<usize>,
 ) -> LocalRun {
-    simulate_randomized(alg, graph, input, seed, n_announced).outcome
+    simulate_randomized_impl(alg, graph, input, seed, n_announced, None).outcome
 }
 
 /// A Monte-Carlo estimate of an algorithm's local failure probability
@@ -560,9 +647,10 @@ mod tests {
         );
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(4);
-        let report = simulate(&alg, &g, &input, &ids, None);
+        let report = simulate_with(&alg, &g, &input, &ids, None, RunOptions::new());
+        assert!(!report.outcome.is_degraded());
         assert_eq!(
-            report.outcome,
+            report.outcome.outcome,
             run_deterministic(&alg, &g, &input, &ids, None)
         );
         let trace = &report.trace;
@@ -585,7 +673,7 @@ mod tests {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(4);
         let log = EventLog::new(64);
-        let report = simulate_logged(&alg, &g, &input, &ids, None, Some(&log));
+        let report = simulate_with(&alg, &g, &input, &ids, None, RunOptions::new().events(&log));
         let events = log.events();
         assert_eq!(events.len(), 4);
         assert_eq!(
@@ -623,8 +711,8 @@ mod tests {
             |view| vec![OutLabel((view.bits[0] % 2) as u32); view.center_degree()],
         );
         let input = lcl::uniform_input(&g);
-        let a = simulate_randomized(&alg, &g, &input, 3, None);
-        let b = simulate_randomized(&alg, &g, &input, 3, None);
+        let a = simulate_randomized_with(&alg, &g, &input, 3, None, RunOptions::new());
+        let b = simulate_randomized_with(&alg, &g, &input, 3, None, RunOptions::new());
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());
         // Radius-0 balls: exactly one view node per query.

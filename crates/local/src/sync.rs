@@ -9,6 +9,7 @@
 //! message passing reveal at most the radius-`T` view.
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_faults::{Degraded, FaultPlan};
 use lcl_graph::{Graph, NodeId};
 use lcl_obs::{Counter, Event, EventLog, RunReport, Span, Trace};
 
@@ -102,6 +103,10 @@ pub fn run_sync<A: SyncAlgorithm>(
 /// # Panics
 ///
 /// As [`run_sync`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_sync_with(..., RunOptions::new())`"
+)]
 pub fn simulate_sync<A: SyncAlgorithm>(
     alg: &A,
     graph: &Graph,
@@ -110,7 +115,78 @@ pub fn simulate_sync<A: SyncAlgorithm>(
     n_announced: Option<usize>,
     max_rounds: u32,
 ) -> RunReport<SyncRun> {
-    simulate_sync_logged(alg, graph, input, ids, n_announced, max_rounds, None)
+    simulate_sync_impl(alg, graph, input, ids, n_announced, max_rounds, None)
+}
+
+/// Runs a [`SyncAlgorithm`] under [`RunOptions`](lcl_faults::RunOptions).
+///
+/// Dispatch over the option axes:
+///
+/// * a **fault plan** routes through the degrading executor of
+///   [`crate::faulted`] (crash-stops, panic isolation, no-halt
+///   degradation);
+/// * a **budget** with `max_rounds` lowers the round cap to
+///   `min(max_rounds, budget.max_rounds)` and likewise routes through
+///   the degrading executor, so a budget breach is a typed `no-halt`
+///   degradation instead of the plain executor's panic;
+/// * **events** stream round boundaries (and faults, where they apply)
+///   into the log on every path.
+///
+/// Without faults or a round budget, the run is the plain instrumented
+/// executor and the outcome is [`Degraded::clean`].
+///
+/// # Panics
+///
+/// Only on the plain path (no fault plan, no round budget), as
+/// [`run_sync`]: the algorithm must halt within `max_rounds`.
+pub fn simulate_sync_with<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+    opts: lcl_faults::RunOptions<'_>,
+) -> RunReport<Degraded<SyncRun>> {
+    let budget_rounds = opts.run_budget().max_rounds;
+    let effective = budget_rounds.map_or(max_rounds, |cap| {
+        max_rounds.min(u32::try_from(cap).unwrap_or(u32::MAX))
+    });
+    match opts.fault_plan() {
+        Some(plan) => crate::faulted::simulate_sync_faulted_impl(
+            alg,
+            graph,
+            input,
+            ids,
+            n_announced,
+            effective,
+            plan,
+            opts.event_log(),
+        ),
+        None if budget_rounds.is_some() => {
+            let unfaulted = FaultPlan::new(0);
+            crate::faulted::simulate_sync_faulted_impl(
+                alg,
+                graph,
+                input,
+                ids,
+                n_announced,
+                effective,
+                &unfaulted,
+                opts.event_log(),
+            )
+        }
+        None => simulate_sync_impl(
+            alg,
+            graph,
+            input,
+            ids,
+            n_announced,
+            effective,
+            opts.event_log(),
+        )
+        .map(Degraded::clean),
+    }
 }
 
 /// Like [`simulate_sync`], with round boundaries recorded into an
@@ -120,7 +196,23 @@ pub fn simulate_sync<A: SyncAlgorithm>(
 /// # Panics
 ///
 /// As [`run_sync`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_sync_with(..., RunOptions::new().events(log))`"
+)]
 pub fn simulate_sync_logged<A: SyncAlgorithm>(
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    max_rounds: u32,
+    log: Option<&EventLog>,
+) -> RunReport<SyncRun> {
+    simulate_sync_impl(alg, graph, input, ids, n_announced, max_rounds, log)
+}
+
+pub(crate) fn simulate_sync_impl<A: SyncAlgorithm>(
     alg: &A,
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -367,7 +459,7 @@ mod tests {
         let g = gen::path(8);
         let input = lcl::uniform_input(&g);
         let ids: Vec<u64> = (0..8).collect();
-        let report = simulate_sync(&FloodMax { k: 3 }, &g, &input, &ids, None, 100);
+        let report = simulate_sync_impl(&FloodMax { k: 3 }, &g, &input, &ids, None, 100, None);
         assert_eq!(report.outcome.rounds, 3);
         assert_eq!(report.trace.total(Counter::Rounds), 3);
         // 8-path: 14 port messages per round, 3 rounds.
@@ -382,7 +474,7 @@ mod tests {
         let ids: Vec<u64> = (0..8).collect();
         let log = EventLog::new(64);
         let report =
-            simulate_sync_logged(&FloodMax { k: 3 }, &g, &input, &ids, None, 100, Some(&log));
+            simulate_sync_impl(&FloodMax { k: 3 }, &g, &input, &ids, None, 100, Some(&log));
         assert_eq!(report.outcome.rounds, 3);
         let events = log.events();
         assert_eq!(events.len(), 6); // start + end per round
@@ -395,7 +487,7 @@ mod tests {
             }
         );
         // The logged run's trace is identical to the unlogged one.
-        let plain = simulate_sync(&FloodMax { k: 3 }, &g, &input, &ids, None, 100);
+        let plain = simulate_sync_impl(&FloodMax { k: 3 }, &g, &input, &ids, None, 100, None);
         assert_eq!(report.trace.fingerprint(), plain.trace.fingerprint());
     }
 

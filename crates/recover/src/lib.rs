@@ -36,4 +36,6 @@ pub use models::{
     repair_lca_degraded, repair_local_degraded, repair_prod_degraded, repair_sync_degraded,
     repair_volume_degraded, ModelRepair,
 };
-pub use supervisor::{supervise_tower, RetryPolicy, StageError, Supervisor, TowerRecovery};
+pub use supervisor::{
+    supervise_tower, supervise_tower_from, RetryPolicy, StageError, Supervisor, TowerRecovery,
+};

@@ -2,9 +2,8 @@
 //! every faulted model.
 //!
 //! Each wrapper takes the degraded outcome of a faulted entrypoint
-//! (`lcl_local::simulate_sync_faulted`, `lcl_local::simulate_faulted`,
-//! `lcl_volume::simulate_faulted`, `lcl_volume::simulate_lca_faulted`,
-//! `lcl_grid::simulate_prod_faulted`), re-verifies it, and — when the
+//! (any `simulate_*_with` call whose [`lcl_faults::RunOptions`] carried
+//! a fault plan), re-verifies it, and — when the
 //! faults actually broke the labeling — re-executes the *same* algorithm
 //! fault-free under the *same* identifier permutation to obtain a
 //! mending reference, then runs bounded local repair
@@ -17,6 +16,8 @@
 //! zero rounds tried rather than guessing.
 
 use lcl::{verify, HalfEdgeLabeling, InLabel, OutLabel, Problem};
+#[cfg(test)]
+use lcl_faults::RunOptions;
 use lcl_faults::{isolate, Degraded, FaultPlan};
 use lcl_graph::Graph;
 use lcl_grid::{OrientedGrid, ProdIds};
@@ -94,7 +95,7 @@ fn permuted_assignment(ids: &IdAssignment, plan: &FaultPlan, n: usize) -> IdAssi
 }
 
 /// Certifies (and repairs if needed) the degraded outcome of
-/// [`lcl_local::simulate_sync_faulted`]. The mending reference is a
+/// [`lcl_local::simulate_sync_with`] under a fault plan. The mending reference is a
 /// fault-free [`run_sync`] under the same ID permutation, panic-isolated
 /// so a non-halting algorithm degrades to [`RepairFailed`] instead of
 /// aborting.
@@ -132,7 +133,8 @@ pub fn repair_sync_degraded<A: SyncAlgorithm, P: Problem + ?Sized>(
 }
 
 /// Certifies (and repairs if needed) the degraded outcome of
-/// [`lcl_local::simulate_faulted`] (the view-based LOCAL executor).
+/// [`lcl_local::simulate_with`] under a fault plan (the view-based
+/// LOCAL executor).
 #[allow(clippy::too_many_arguments)] // mirrors the faulted entrypoint it wraps
 pub fn repair_local_degraded<P: Problem + ?Sized>(
     alg: &(impl LocalAlgorithm + ?Sized),
@@ -148,12 +150,8 @@ pub fn repair_local_degraded<P: Problem + ?Sized>(
     let mut span = Span::start(format!("recover/local/{}", alg.name()));
     span.set(Counter::Faults, degraded.faults.len() as u64);
     let ids = permuted_assignment(ids, plan, graph.node_count());
-    let reference = isolate(|| {
-        lcl_local::simulate(alg, graph, input, &ids, n_announced)
-            .outcome
-            .output
-    })
-    .ok();
+    let reference =
+        isolate(|| lcl_local::run_deterministic(alg, graph, input, &ids, n_announced).output).ok();
     let result = certify_or_repair(
         &mut span,
         p,
@@ -170,7 +168,7 @@ pub fn repair_local_degraded<P: Problem + ?Sized>(
 }
 
 /// Certifies (and repairs if needed) the degraded outcome of
-/// [`lcl_volume::simulate_faulted`]. A reference run that errors on a
+/// [`lcl_volume::simulate_with`] under a fault plan. A reference run that errors on a
 /// probe (or panics) yields [`RepairFailed`] with zero rounds tried.
 #[allow(clippy::too_many_arguments)] // mirrors the faulted entrypoint it wraps
 pub fn repair_volume_degraded<P: Problem + ?Sized>(
@@ -187,10 +185,10 @@ pub fn repair_volume_degraded<P: Problem + ?Sized>(
     let mut span = Span::start(format!("recover/volume/{}", alg.name()));
     span.set(Counter::Faults, degraded.faults.len() as u64);
     let ids = permuted_assignment(ids, plan, graph.node_count());
-    let reference = isolate(|| lcl_volume::simulate(alg, graph, input, &ids, n_announced))
+    let reference = isolate(|| lcl_volume::run_volume(alg, graph, input, &ids, n_announced))
         .ok()
         .and_then(|r| r.ok())
-        .map(|r| r.outcome.output);
+        .map(|r| r.output);
     let result = certify_or_repair(
         &mut span,
         p,
@@ -207,7 +205,7 @@ pub fn repair_volume_degraded<P: Problem + ?Sized>(
 }
 
 /// Certifies (and repairs if needed) the degraded outcome of
-/// [`lcl_volume::simulate_lca_faulted`].
+/// [`lcl_volume::simulate_lca_with`] under a fault plan.
 #[allow(clippy::too_many_arguments)] // mirrors the faulted entrypoint it wraps
 pub fn repair_lca_degraded<P: Problem + ?Sized>(
     alg: &(impl LcaAlgorithm + ?Sized),
@@ -222,10 +220,10 @@ pub fn repair_lca_degraded<P: Problem + ?Sized>(
     let mut span = Span::start(format!("recover/lca/{}", alg.name()));
     span.set(Counter::Faults, degraded.faults.len() as u64);
     let ids = permuted_assignment(ids, plan, graph.node_count());
-    let reference = isolate(|| lcl_volume::simulate_lca(alg, graph, input, &ids))
+    let reference = isolate(|| lcl_volume::run_lca(alg, graph, input, &ids))
         .ok()
         .and_then(|r| r.ok())
-        .map(|r| r.outcome.output);
+        .map(|r| r.output);
     let result = certify_or_repair(
         &mut span,
         p,
@@ -242,7 +240,7 @@ pub fn repair_lca_degraded<P: Problem + ?Sized>(
 }
 
 /// Certifies (and repairs if needed) the degraded outcome of
-/// [`lcl_grid::simulate_prod_faulted`]. The reference applies the same
+/// [`lcl_grid::simulate_with`] under a fault plan. The reference applies the same
 /// per-dimension slice-identifier permutations the faulted run used.
 #[allow(clippy::too_many_arguments)] // mirrors the faulted entrypoint it wraps
 pub fn repair_prod_degraded<P: Problem + ?Sized>(
@@ -273,12 +271,8 @@ pub fn repair_prod_degraded<P: Problem + ?Sized>(
     } else {
         ids
     };
-    let reference = isolate(|| {
-        lcl_grid::simulate(alg, grid, input, ids, n_announced)
-            .outcome
-            .output
-    })
-    .ok();
+    let reference =
+        isolate(|| lcl_grid::run_prod_local(alg, grid, input, ids, n_announced).output).ok();
     let result = certify_or_repair(
         &mut span,
         p,
@@ -355,8 +349,15 @@ mod tests {
             .with(Fault::Crash { node: 4, round: 0 });
         let alg = DeltaPlusOne { delta: 2 };
         let p = k_coloring(3, 2);
-        let report =
-            lcl_local::simulate_sync_faulted(&alg, &g, &input, &ids, None, 1000, &plan, None);
+        let report = lcl_local::simulate_sync_with(
+            &alg,
+            &g,
+            &input,
+            &ids,
+            None,
+            1000,
+            RunOptions::new().faults(&plan),
+        );
         let degraded = &report.outcome;
         assert!(degraded.is_degraded(), "crashes must be recorded");
         let mended = repair_sync_degraded(
@@ -388,7 +389,15 @@ mod tests {
         let plan = FaultPlan::new(5).with(Fault::CorruptView { node: 4, salt: 9 });
         let p = endpoints_problem();
         let alg = threshold_alg(n as u64);
-        let report = lcl_volume::simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
+        let report = lcl_volume::simulate_with(
+            &alg,
+            &g,
+            &input,
+            &ids,
+            None,
+            RunOptions::new().faults(&plan),
+        )
+        .expect("faulted runs degrade instead of erroring");
         let degraded = &report.outcome;
         // Silent corruption: the labeling is wrong, not marked degraded.
         assert!(!verify(&p, &g, &input, &degraded.outcome.output).is_empty());
@@ -420,7 +429,9 @@ mod tests {
             .with_permuted_ids();
         let p = endpoints_problem();
         let alg = VolumeAsLca(threshold_alg(n as u64));
-        let report = lcl_volume::simulate_lca_faulted(&alg, &g, &input, &ids, &plan, None);
+        let report =
+            lcl_volume::simulate_lca_with(&alg, &g, &input, &ids, RunOptions::new().faults(&plan))
+                .expect("faulted runs degrade instead of erroring");
         let degraded = &report.outcome;
         assert!(!verify(&p, &g, &input, &degraded.outcome.output).is_empty());
         let mended = repair_lca_degraded(
@@ -461,7 +472,14 @@ mod tests {
             },
         );
         let plan = FaultPlan::new(3).with(Fault::CorruptView { node: 5, salt: 2 });
-        let report = lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+        let report = lcl_grid::simulate_with(
+            &alg,
+            &grid,
+            &input,
+            &ids,
+            None,
+            RunOptions::new().faults(&plan),
+        );
         let degraded = &report.outcome;
         assert!(!verify(&p, grid.graph(), &input, &degraded.outcome.output).is_empty());
         let mended = repair_prod_degraded(
@@ -479,8 +497,14 @@ mod tests {
 
         // A fault-free plan certifies on the spot: zero mending rounds.
         let clean_plan = FaultPlan::new(3);
-        let clean =
-            lcl_grid::simulate_prod_faulted(&alg, &grid, &input, &ids, None, &clean_plan, None);
+        let clean = lcl_grid::simulate_with(
+            &alg,
+            &grid,
+            &input,
+            &ids,
+            None,
+            RunOptions::new().faults(&clean_plan),
+        );
         let mended = repair_prod_degraded(
             &alg,
             &p,
@@ -516,7 +540,15 @@ mod tests {
         );
         let p = endpoints_problem();
         let plan = FaultPlan::new(1);
-        let report = lcl_volume::simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
+        let report = lcl_volume::simulate_with(
+            &alg,
+            &g,
+            &input,
+            &ids,
+            None,
+            RunOptions::new().faults(&plan),
+        )
+        .expect("faulted runs degrade instead of erroring");
         let degraded = &report.outcome;
         assert!(!verify(&p, &g, &input, &degraded.outcome.output).is_empty());
         let mended = repair_volume_degraded(

@@ -184,8 +184,26 @@ pub fn supervise_tower(
     policy: RetryPolicy,
     log: Option<&EventLog>,
 ) -> TowerRecovery {
+    supervise_tower_from(ReTower::new(base), steps, opts, initial, policy, log)
+}
+
+/// [`supervise_tower`] starting from an existing (possibly partial)
+/// tower instead of a fresh base — the entry point for resuming a build
+/// whose checkpoint outlived its process (e.g. the classification
+/// service reloading a [`TowerSnapshot`] from disk after a crash).
+/// `steps` counts *total* `f`-rounds, so a tower already holding some
+/// levels only builds the remainder; an odd derived count (a lone `R`
+/// from an interrupted `f`) is completed with `R̄` first.
+pub fn supervise_tower_from(
+    tower: ReTower,
+    steps: usize,
+    opts: ReOptions,
+    initial: Budget,
+    policy: RetryPolicy,
+    log: Option<&EventLog>,
+) -> TowerRecovery {
     let mut span = Span::start("recover/supervise-tower");
-    let mut tower = ReTower::new(base);
+    let mut tower = tower;
     let mut budget = initial;
     let mut attempts = 0u64;
     let mut checkpoints = 0u64;
@@ -393,6 +411,40 @@ mod tests {
             assert!(kinds.contains(&"retry"));
             assert!(kinds.contains(&"checkpoint"));
         }
+    }
+
+    #[test]
+    fn resuming_a_snapshotted_partial_tower_matches_an_uninterrupted_build() {
+        let opts = ReOptions::default();
+        let mut plain = ReTower::new(sinkless_orientation(3));
+        plain.push_f(opts).unwrap();
+        plain.push_f(opts).unwrap();
+
+        // Build one f-round, serialize, "restart the process", finish.
+        let first = supervise_tower(
+            sinkless_orientation(3),
+            1,
+            opts,
+            Budget::unlimited(),
+            RetryPolicy::default(),
+            None,
+        );
+        assert!(first.gave_up.is_none());
+        let wire = first.tower.snapshot().to_json();
+        let restored = ReTower::resume_from(&TowerSnapshot::parse(&wire).unwrap()).unwrap();
+        let finished = supervise_tower_from(
+            restored,
+            2,
+            opts,
+            Budget::unlimited(),
+            RetryPolicy::default(),
+            None,
+        );
+        assert!(finished.gave_up.is_none());
+        assert_eq!(finished.tower.level_count(), plain.level_count());
+        assert_eq!(finished.tower.fingerprint(), plain.fingerprint());
+        // Only the one remaining f-step was (re)built.
+        assert_eq!(finished.attempts, 1);
     }
 
     #[test]

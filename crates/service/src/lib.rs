@@ -1,0 +1,57 @@
+//! Round elimination as a service.
+//!
+//! The other crates in this workspace answer "what does this LCL's
+//! round-elimination tower look like?" one process at a time. This crate
+//! turns that into a long-running, std-only batch service:
+//!
+//! * [`TowerStore`] — a content-addressed, crash-safe store of
+//!   [`TowerSnapshot`](lcl_core::TowerSnapshot)s keyed by the canonical
+//!   problem fingerprint ([`lcl::canonical_key`]). Structurally
+//!   identical problems — the same constraints under any label renaming
+//!   — share one entry, so each structural class is computed once, ever.
+//! * [`ClassifyServer`] — a bounded job queue and worker pool. Cache
+//!   hits are answered instantly; concurrent identical submissions
+//!   coalesce onto one in-flight build; misses run under the retry
+//!   supervisor with escalating budgets, checkpointing to disk before
+//!   every `f`-step so a killed server resumes instead of recomputing.
+//! * [`protocol`] / [`wire`] — a line-delimited JSON protocol spoken
+//!   over stdio or a Unix socket (`classify-server` / `classify-client`
+//!   in `lcl-bench` are thin wrappers over these).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lcl_service::{ClassifyRequest, ClassifyServer, Response, ServiceConfig, TowerStore};
+//!
+//! let dir = std::env::temp_dir().join(format!("lcl-service-doc-{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let store = Arc::new(TowerStore::open(&dir)?);
+//! let server = ClassifyServer::start(store, ServiceConfig::default());
+//! let request = ClassifyRequest {
+//!     id: 1,
+//!     problem: "name: 2col\nmax-degree: 2\nnodes:\nA*\nB*\nedges:\nA B\n".into(),
+//!     steps: 1,
+//! };
+//! let responses = server.submit(&request).expect("parsable problem, empty queue");
+//! let terminal = responses.iter().last().expect("a terminal response");
+//! assert!(matches!(terminal, Response::Result(r) if r.id == 1));
+//! server.shutdown();
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), lcl_service::StoreError>(())
+//! ```
+
+pub mod protocol;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use protocol::{
+    encode_request, encode_response, parse_request, parse_response, ClassifyRequest,
+    ClassifyResult, ProtocolError, Response,
+};
+pub use server::{ClassifyServer, ServiceConfig, ServiceStats, SubmitError};
+pub use store::{StoreError, TowerStore};
+pub use wire::serve_connection;
+#[cfg(unix)]
+pub use wire::serve_unix;

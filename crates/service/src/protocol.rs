@@ -1,0 +1,586 @@
+//! The line-delimited JSON wire protocol of the classification service.
+//!
+//! Each request and each response is one JSON object per line — trivial
+//! to speak from a shell (`nc -U`), trivial to log, and parseable with
+//! the same zero-dependency discipline as the rest of the workspace.
+//!
+//! A client sends [`ClassifyRequest`] lines:
+//!
+//! ```json
+//! {"id":1,"problem":"name: 3col\n...","steps":2}
+//! ```
+//!
+//! and receives, per request, zero or more `progress` events (checkpoint
+//! and retry notifications streamed while the tower builds) followed by
+//! exactly one terminal line — a `result` or an `error`:
+//!
+//! ```json
+//! {"id":1,"event":"progress","kind":"checkpoint","stage":"re-tower/level-2","detail":1}
+//! {"id":1,"event":"result","status":"ok","fingerprint":"…","tower_fingerprint":"…",
+//!  "levels":5,"fixpoint":1,"cached":false,"resumed_from_level":0}
+//! ```
+//!
+//! Field values are flat scalars (strings, `u64`, booleans, `null`), so
+//! the decoder here is a deliberately small flat-object scanner rather
+//! than a general JSON parser.
+
+use std::fmt;
+
+/// A classification job: an LCL problem in its
+/// [text form](lcl::LclProblem::to_text) and how many `f = R̄ ∘ R`
+/// rounds to build. The `id` is echoed on every response line so
+/// clients can multiplex.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassifyRequest {
+    /// Client-chosen correlation id, echoed verbatim.
+    pub id: u64,
+    /// The problem, in the text format [`lcl::LclProblem::parse`] reads.
+    pub problem: String,
+    /// Number of `f`-rounds the tower must reach.
+    pub steps: u64,
+}
+
+/// The terminal payload of a successful classification.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassifyResult {
+    /// Echoed request id.
+    pub id: u64,
+    /// The canonical problem fingerprint (the store key).
+    pub fingerprint: String,
+    /// Structural fingerprint of the served tower.
+    pub tower_fingerprint: String,
+    /// Levels in the tower (base plus derived).
+    pub levels: u64,
+    /// Earliest level the top level's extensional table repeats, when
+    /// fixpoint detection certified a cycle.
+    pub fixpoint: Option<u64>,
+    /// `true` when the tower was served from the store without any
+    /// recomputation.
+    pub cached: bool,
+    /// Derived level count the build resumed from (0 for a fresh
+    /// build or a cache hit).
+    pub resumed_from_level: u64,
+    /// `Some(reason)` when the supervisor gave up and the tower is
+    /// partial; such towers are reported but never published.
+    pub gave_up: Option<String>,
+}
+
+/// One line sent back to a client.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Response {
+    /// A streamed observability event from the in-flight build.
+    Progress {
+        /// Echoed request id.
+        id: u64,
+        /// `"checkpoint"` or `"retry"`.
+        kind: &'static str,
+        /// The supervised stage, e.g. `"re-tower/level-3"`.
+        stage: String,
+        /// Completed-level count for checkpoints, attempt number for
+        /// retries.
+        detail: u64,
+    },
+    /// The terminal success line.
+    Result(ClassifyResult),
+    /// The terminal failure line.
+    Error {
+        /// Echoed request id (0 when the line did not parse far enough
+        /// to recover one).
+        id: u64,
+        /// What went wrong, as prose.
+        error: String,
+    },
+}
+
+/// Why a wire line could not be decoded.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// The line is not the flat JSON object the protocol requires.
+    Malformed {
+        /// Byte offset of the failure.
+        pos: usize,
+        /// What the scanner expected.
+        what: &'static str,
+    },
+    /// A required field is absent or has the wrong type.
+    Field {
+        /// The field name.
+        name: &'static str,
+        /// What was wrong with it.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Malformed { pos, what } => {
+                write!(f, "malformed protocol line at byte {pos}: expected {what}")
+            }
+            ProtocolError::Field { name, what } => {
+                write!(f, "protocol field `{name}`: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// A scalar field value of a protocol line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Scalar {
+    Str(String),
+    Num(u64),
+    Bool(bool),
+    Null,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, name: &str, value: &str) {
+    out.push('"');
+    out.push_str(name);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+/// Renders a request as one protocol line (no trailing newline).
+pub fn encode_request(req: &ClassifyRequest) -> String {
+    let mut out = String::new();
+    out.push('{');
+    out.push_str(&format!("\"id\":{},", req.id));
+    push_str_field(&mut out, "problem", &req.problem);
+    out.push_str(&format!(",\"steps\":{}", req.steps));
+    out.push('}');
+    out
+}
+
+/// Renders a response as one protocol line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    let mut out = String::new();
+    out.push('{');
+    match resp {
+        Response::Progress {
+            id,
+            kind,
+            stage,
+            detail,
+        } => {
+            out.push_str(&format!("\"id\":{id},\"event\":\"progress\","));
+            out.push_str(&format!("\"kind\":\"{kind}\","));
+            push_str_field(&mut out, "stage", stage);
+            out.push_str(&format!(",\"detail\":{detail}"));
+        }
+        Response::Result(r) => {
+            out.push_str(&format!("\"id\":{},\"event\":\"result\",", r.id));
+            out.push_str(&format!(
+                "\"status\":\"{}\",",
+                if r.gave_up.is_some() { "partial" } else { "ok" }
+            ));
+            push_str_field(&mut out, "fingerprint", &r.fingerprint);
+            out.push(',');
+            push_str_field(&mut out, "tower_fingerprint", &r.tower_fingerprint);
+            out.push_str(&format!(",\"levels\":{},", r.levels));
+            match r.fixpoint {
+                Some(level) => out.push_str(&format!("\"fixpoint\":{level},")),
+                None => out.push_str("\"fixpoint\":null,"),
+            }
+            out.push_str(&format!(
+                "\"cached\":{},\"resumed_from_level\":{}",
+                r.cached, r.resumed_from_level
+            ));
+            if let Some(reason) = &r.gave_up {
+                out.push(',');
+                push_str_field(&mut out, "gave_up", reason);
+            }
+        }
+        Response::Error { id, error } => {
+            out.push_str(&format!("\"id\":{id},\"event\":\"error\","));
+            push_str_field(&mut out, "error", error);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Scans one flat JSON object line into its fields.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ProtocolError> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut pos);
+    expect(bytes, &mut pos, b'{', "an object opening `{`")?;
+    skip_ws(bytes, &mut pos);
+    if peek(bytes, pos) == Some(b'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(bytes, &mut pos);
+        let name = parse_string(line, bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        expect(bytes, &mut pos, b':', "a `:` after the field name")?;
+        skip_ws(bytes, &mut pos);
+        let value = parse_scalar(line, bytes, &mut pos)?;
+        fields.push((name, value));
+        skip_ws(bytes, &mut pos);
+        match peek(bytes, pos) {
+            Some(b',') => pos += 1,
+            Some(b'}') => return Ok(fields),
+            _ => {
+                return Err(ProtocolError::Malformed {
+                    pos,
+                    what: "a `,` or the closing `}`",
+                })
+            }
+        }
+    }
+}
+
+fn peek(bytes: &[u8], pos: usize) -> Option<u8> {
+    bytes.get(pos).copied()
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while matches!(peek(bytes, *pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+        *pos += 1;
+    }
+}
+
+fn expect(
+    bytes: &[u8],
+    pos: &mut usize,
+    byte: u8,
+    what: &'static str,
+) -> Result<(), ProtocolError> {
+    if peek(bytes, *pos) == Some(byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(ProtocolError::Malformed { pos: *pos, what })
+    }
+}
+
+fn parse_scalar(line: &str, bytes: &[u8], pos: &mut usize) -> Result<Scalar, ProtocolError> {
+    match peek(bytes, *pos) {
+        Some(b'"') => Ok(Scalar::Str(parse_string(line, bytes, pos)?)),
+        Some(b'0'..=b'9') => {
+            let start = *pos;
+            while matches!(peek(bytes, *pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+            line[start..*pos]
+                .parse::<u64>()
+                .map(Scalar::Num)
+                .map_err(|_| ProtocolError::Malformed {
+                    pos: start,
+                    what: "a number fitting u64",
+                })
+        }
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Scalar::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Scalar::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Scalar::Null)
+        }
+        _ => Err(ProtocolError::Malformed {
+            pos: *pos,
+            what: "a string, number, boolean, or null",
+        }),
+    }
+}
+
+fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, ProtocolError> {
+    expect(bytes, pos, b'"', "a string opening `\"`")?;
+    let mut out = String::new();
+    loop {
+        match peek(bytes, *pos) {
+            None => {
+                return Err(ProtocolError::Malformed {
+                    pos: *pos,
+                    what: "a closing `\"`",
+                })
+            }
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match peek(bytes, *pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = line
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or(ProtocolError::Malformed {
+                                pos: *pos,
+                                what: "four hex digits after \\u",
+                            })?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| ProtocolError::Malformed {
+                                pos: *pos,
+                                what: "four hex digits after \\u",
+                            })?;
+                        let c = char::from_u32(code).ok_or(ProtocolError::Malformed {
+                            pos: *pos,
+                            what: "a scalar \\u escape (no surrogates)",
+                        })?;
+                        out.push(c);
+                        *pos += 4;
+                    }
+                    _ => {
+                        return Err(ProtocolError::Malformed {
+                            pos: *pos,
+                            what: "a valid escape character",
+                        })
+                    }
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one full UTF-8 character from the source.
+                let rest = &line[*pos..];
+                let c = rest
+                    .chars()
+                    .next()
+                    .expect("why: peek returned Some, so the slice is non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn get_str(fields: &[(String, Scalar)], name: &'static str) -> Result<String, ProtocolError> {
+    match fields.iter().find(|(n, _)| n == name) {
+        Some((_, Scalar::Str(s))) => Ok(s.clone()),
+        Some(_) => Err(ProtocolError::Field {
+            name,
+            what: "must be a string",
+        }),
+        None => Err(ProtocolError::Field {
+            name,
+            what: "is required",
+        }),
+    }
+}
+
+fn get_num(fields: &[(String, Scalar)], name: &'static str) -> Result<u64, ProtocolError> {
+    match fields.iter().find(|(n, _)| n == name) {
+        Some((_, Scalar::Num(n))) => Ok(*n),
+        Some(_) => Err(ProtocolError::Field {
+            name,
+            what: "must be an unsigned number",
+        }),
+        None => Err(ProtocolError::Field {
+            name,
+            what: "is required",
+        }),
+    }
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// [`ProtocolError`] when the line is not a flat JSON object or a
+/// required field (`id`, `problem`, `steps`) is missing or mistyped.
+pub fn parse_request(line: &str) -> Result<ClassifyRequest, ProtocolError> {
+    let fields = parse_flat_object(line)?;
+    Ok(ClassifyRequest {
+        id: get_num(&fields, "id")?,
+        problem: get_str(&fields, "problem")?,
+        steps: get_num(&fields, "steps")?,
+    })
+}
+
+/// Decodes one response line (the client side of the protocol).
+///
+/// # Errors
+///
+/// [`ProtocolError`] when the line is not a flat JSON object, names an
+/// unknown `event`, or is missing a field its event requires.
+pub fn parse_response(line: &str) -> Result<Response, ProtocolError> {
+    let fields = parse_flat_object(line)?;
+    let id = get_num(&fields, "id")?;
+    match get_str(&fields, "event")?.as_str() {
+        "progress" => Ok(Response::Progress {
+            id,
+            kind: match get_str(&fields, "kind")?.as_str() {
+                "retry" => "retry",
+                _ => "checkpoint",
+            },
+            stage: get_str(&fields, "stage")?,
+            detail: get_num(&fields, "detail")?,
+        }),
+        "result" => Ok(Response::Result(ClassifyResult {
+            id,
+            fingerprint: get_str(&fields, "fingerprint")?,
+            tower_fingerprint: get_str(&fields, "tower_fingerprint")?,
+            levels: get_num(&fields, "levels")?,
+            fixpoint: match fields.iter().find(|(n, _)| n == "fixpoint") {
+                Some((_, Scalar::Num(n))) => Some(*n),
+                _ => None,
+            },
+            cached: matches!(
+                fields.iter().find(|(n, _)| n == "cached"),
+                Some((_, Scalar::Bool(true)))
+            ),
+            resumed_from_level: get_num(&fields, "resumed_from_level")?,
+            gave_up: get_str(&fields, "gave_up").ok(),
+        })),
+        "error" => Ok(Response::Error {
+            id,
+            error: get_str(&fields, "error")?,
+        }),
+        _ => Err(ProtocolError::Field {
+            name: "event",
+            what: "must be progress, result, or error",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_the_wire_form() {
+        let req = ClassifyRequest {
+            id: 42,
+            problem: "name: 3col\nmax-degree: 2\nnodes:\nA*\nedges:\nA A\n".to_string(),
+            steps: 3,
+        };
+        let line = encode_request(&req);
+        assert!(!line.contains('\n'), "one request per line: {line}");
+        assert_eq!(parse_request(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_wire_form() {
+        let variants = [
+            Response::Progress {
+                id: 7,
+                kind: "checkpoint",
+                stage: "re-tower/level-3".to_string(),
+                detail: 2,
+            },
+            Response::Result(ClassifyResult {
+                id: 7,
+                fingerprint: "00ff00ff00ff00ff".to_string(),
+                tower_fingerprint: "a1a2a3a4a5a6a7a8".to_string(),
+                levels: 5,
+                fixpoint: Some(1),
+                cached: true,
+                resumed_from_level: 0,
+                gave_up: None,
+            }),
+            Response::Result(ClassifyResult {
+                id: 8,
+                fingerprint: "00ff00ff00ff00ff".to_string(),
+                tower_fingerprint: "a1a2a3a4a5a6a7a8".to_string(),
+                levels: 3,
+                fixpoint: None,
+                cached: false,
+                resumed_from_level: 2,
+                gave_up: Some("stage failed: budget".to_string()),
+            }),
+            Response::Error {
+                id: 9,
+                error: "problem text did not parse".to_string(),
+            },
+        ];
+        for resp in variants {
+            let line = encode_response(&resp);
+            assert!(!line.contains('\n'), "one response per line: {line}");
+            assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn status_reflects_partial_towers() {
+        let ok = Response::Result(ClassifyResult {
+            id: 1,
+            fingerprint: String::new(),
+            tower_fingerprint: String::new(),
+            levels: 1,
+            fixpoint: None,
+            cached: false,
+            resumed_from_level: 0,
+            gave_up: None,
+        });
+        assert!(encode_response(&ok).contains("\"status\":\"ok\""));
+        let partial = Response::Result(ClassifyResult {
+            gave_up: Some("budget".to_string()),
+            ..match ok {
+                Response::Result(r) => r,
+                _ => unreachable!(),
+            }
+        });
+        assert!(encode_response(&partial).contains("\"status\":\"partial\""));
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors() {
+        assert!(matches!(
+            parse_request("not json"),
+            Err(ProtocolError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_request("{\"id\":1}"),
+            Err(ProtocolError::Field {
+                name: "problem",
+                ..
+            })
+        ));
+        assert!(matches!(
+            parse_request("{\"id\":\"one\",\"problem\":\"p\",\"steps\":1}"),
+            Err(ProtocolError::Field { name: "id", .. })
+        ));
+        assert!(matches!(
+            parse_request("{\"id\":1,\"problem\":\"p\",\"steps\":1,}"),
+            Err(ProtocolError::Malformed { .. })
+        ));
+        assert!(matches!(
+            parse_response("{\"id\":1,\"event\":\"surprise\"}"),
+            Err(ProtocolError::Field { name: "event", .. })
+        ));
+    }
+
+    #[test]
+    fn escapes_cover_control_characters_and_unicode() {
+        let req = ClassifyRequest {
+            id: 1,
+            problem: "tabs\there\nquotes \"q\" backslash \\ bell \u{7} π".to_string(),
+            steps: 1,
+        };
+        let line = encode_request(&req);
+        assert_eq!(parse_request(&line).unwrap(), req);
+        assert!(line.contains("\\u0007"));
+    }
+}

@@ -1,0 +1,676 @@
+//! The batch classification server: a bounded job queue, a worker pool,
+//! and compute-once semantics over the content-addressed
+//! [`TowerStore`].
+//!
+//! A [`ClassifyRequest`] travels one of three paths:
+//!
+//! 1. **Cache hit** — the problem's canonical fingerprint is already
+//!    published in the store; the snapshot is served immediately, on the
+//!    submitting thread, with `cached: true`. No queueing, no
+//!    recomputation.
+//! 2. **Coalesced** — a structurally identical job is already in flight;
+//!    the new subscriber is attached to it and receives the same
+//!    progress stream and terminal result. One tower is computed no
+//!    matter how many spellings of the problem arrive concurrently.
+//! 3. **Miss** — the job enters the bounded queue. A worker drives the
+//!    build through [`supervise_tower_from`] (escalating budgets,
+//!    panic-isolated steps, deterministic retry backoff), persisting a
+//!    [checkpoint](TowerStore::checkpoint) before every `f`-step. A
+//!    server killed mid-build finds that checkpoint on restart and
+//!    resumes instead of starting over; the finished tower is
+//!    fingerprint-identical either way.
+//!
+//! Towers are always built from the problem's
+//! [`canonical_text_form`], so every spelling of a structural class
+//! yields the same tower bytes — the property that makes cached answers
+//! valid for all of them.
+
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use lcl::{canonical_key, canonical_text_form, LclProblem, ParseError};
+use lcl_core::{ReOptions, ReTower, TowerSnapshot};
+use lcl_faults::Budget;
+use lcl_obs::{Event, EventLog};
+use lcl_recover::{supervise_tower_from, RetryPolicy};
+
+use crate::protocol::{ClassifyRequest, ClassifyResult, Response};
+use crate::store::{StoreError, TowerStore};
+
+/// Tuning knobs of a [`ClassifyServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the job queue.
+    pub workers: usize,
+    /// Maximum queued (not yet running) jobs; submissions beyond it are
+    /// rejected with [`SubmitError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Engine knobs for every round-elimination step.
+    pub re_opts: ReOptions,
+    /// Initial per-`f`-step budget; the supervisor escalates it between
+    /// retry attempts.
+    pub budget: Budget,
+    /// Retry policy for supervised steps.
+    pub policy: RetryPolicy,
+    /// Capacity of the per-job observability event log.
+    pub event_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            re_opts: ReOptions::default(),
+            budget: Budget::unlimited(),
+            policy: RetryPolicy::default(),
+            event_capacity: 256,
+        }
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SubmitError {
+    /// The problem text did not parse.
+    Problem(ParseError),
+    /// The job queue is at capacity; resubmit later.
+    QueueFull {
+        /// The configured capacity that was hit.
+        capacity: usize,
+    },
+    /// The store failed while answering the cache lookup.
+    Store(StoreError),
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::Problem(e) => write!(f, "problem text did not parse: {e}"),
+            SubmitError::QueueFull { capacity } => {
+                write!(f, "job queue is full ({capacity} jobs)")
+            }
+            SubmitError::Store(e) => write!(f, "store failure: {e}"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A deterministic point-in-time view of the server's counters. All
+/// counts are since construction; `requests` is the sum of the hit,
+/// coalesced, queued, and rejected paths.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ServiceStats {
+    /// Submissions accepted or rejected.
+    pub requests: u64,
+    /// Requests answered from the store without any computation.
+    pub cache_hits: u64,
+    /// Requests attached to an already in-flight identical job.
+    pub coalesced: u64,
+    /// Jobs a worker actually computed (one per structural class).
+    pub computed: u64,
+    /// Jobs that resumed from an on-disk checkpoint.
+    pub resumed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected: u64,
+    /// Jobs whose supervisor gave up (partial towers, not published).
+    pub gave_up: u64,
+}
+
+#[derive(Debug)]
+struct Job {
+    key: String,
+    base: LclProblem,
+    steps: u64,
+}
+
+type Subscribers = Vec<(u64, mpsc::Sender<Response>)>;
+
+#[derive(Default)]
+struct Counters {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    coalesced: AtomicU64,
+    computed: AtomicU64,
+    resumed: AtomicU64,
+    rejected: AtomicU64,
+    gave_up: AtomicU64,
+}
+
+struct Inner {
+    store: Arc<TowerStore>,
+    config: ServiceConfig,
+    queue: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    inflight: Mutex<HashMap<String, Subscribers>>,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+/// The classification server. Construct with [`ClassifyServer::start`],
+/// submit jobs with [`ClassifyServer::submit`], and stop it with
+/// [`ClassifyServer::shutdown`] (also run on drop).
+pub struct ClassifyServer {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ClassifyServer {
+    /// Spawns the worker pool over `store` and returns the running
+    /// server.
+    pub fn start(store: Arc<TowerStore>, config: ServiceConfig) -> Self {
+        let inner = Arc::new(Inner {
+            store,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            not_empty: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("classify-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("why: spawning a named thread only fails when out of resources")
+            })
+            .collect();
+        Self { inner, workers }
+    }
+
+    /// The store this server publishes into.
+    pub fn store(&self) -> &Arc<TowerStore> {
+        &self.inner.store
+    }
+
+    /// Submits a classification request and returns the stream of
+    /// responses for it: zero or more [`Response::Progress`] lines
+    /// followed by exactly one terminal [`Response::Result`] or
+    /// [`Response::Error`]. The channel disconnects after the terminal
+    /// response (or if the server shuts down mid-job).
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError`] when the problem text does not parse, the queue
+    /// is full, the store lookup fails, or the server is shutting down.
+    pub fn submit(&self, req: &ClassifyRequest) -> Result<mpsc::Receiver<Response>, SubmitError> {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let problem = LclProblem::parse(&req.problem).map_err(SubmitError::Problem)?;
+        let key = canonical_key(&problem);
+        let (tx, rx) = mpsc::channel();
+        // The inflight lock is held across the store lookup so a worker
+        // finishing the same key cannot publish-and-unregister between
+        // our miss and our registration (its publish happens before the
+        // unregister, so we either coalesce or hit).
+        let mut inflight = lock(&inner.inflight);
+        if let Some(subs) = inflight.get_mut(&key) {
+            subs.push((req.id, tx));
+            inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Ok(rx);
+        }
+        match inner.store.get(&key) {
+            Ok(Some(snap)) => {
+                drop(inflight);
+                inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let result = result_from_snapshot(req.id, &key, &snap);
+                let _ = tx.send(Response::Result(result));
+                return Ok(rx);
+            }
+            Ok(None) => {}
+            Err(e) => return Err(SubmitError::Store(e)),
+        }
+        let mut queue = lock(&inner.queue);
+        if queue.len() >= inner.config.queue_capacity {
+            inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull {
+                capacity: inner.config.queue_capacity,
+            });
+        }
+        queue.push_back(Job {
+            key: key.clone(),
+            base: canonical_text_form(&problem),
+            steps: req.steps,
+        });
+        inflight.insert(key, vec![(req.id, tx)]);
+        drop(queue);
+        drop(inflight);
+        inner.not_empty.notify_one();
+        Ok(rx)
+    }
+
+    /// A point-in-time snapshot of the server's counters.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.inner.counters;
+        ServiceStats {
+            requests: c.requests.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            computed: c.computed.load(Ordering::Relaxed),
+            resumed: c.resumed.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            gave_up: c.gave_up.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting jobs, wakes every worker, and joins the pool.
+    /// Queued-but-unstarted jobs are abandoned; their subscribers see
+    /// the response channel disconnect.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.not_empty.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        lock(&self.inner.inflight).clear();
+    }
+}
+
+impl Drop for ClassifyServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    mutex
+        .lock()
+        .expect("why: server internals never panic while holding their locks")
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = lock(&inner.queue);
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = inner
+                    .not_empty
+                    .wait(queue)
+                    .expect("why: server internals never panic while holding their locks");
+            }
+        };
+        run_job(inner, &job);
+    }
+}
+
+/// Sends `make(subscriber_id)` to every current subscriber of `key`.
+fn broadcast(inner: &Inner, key: &str, make: impl Fn(u64) -> Response) {
+    let inflight = lock(&inner.inflight);
+    if let Some(subs) = inflight.get(key) {
+        for (id, tx) in subs {
+            let _ = tx.send(make(*id));
+        }
+    }
+}
+
+/// Removes `key`'s subscribers and sends each its terminal response.
+fn finish(inner: &Inner, key: &str, make: impl Fn(u64) -> Response) {
+    let subs = lock(&inner.inflight).remove(key).unwrap_or_default();
+    for (id, tx) in subs {
+        let _ = tx.send(make(id));
+    }
+}
+
+fn run_job(inner: &Inner, job: &Job) {
+    inner.counters.computed.fetch_add(1, Ordering::Relaxed);
+    // Resume from the on-disk checkpoint of a previous (killed) process
+    // when one exists; an undecodable checkpoint means a fresh build.
+    let mut resumed_from = 0u64;
+    let mut tower = match inner.store.load_checkpoint(&job.key) {
+        Ok(Some(snap)) => match ReTower::resume_from(&snap) {
+            Ok(tower) => {
+                resumed_from = (tower.level_count() - 1) as u64;
+                if resumed_from > 0 {
+                    inner.counters.resumed.fetch_add(1, Ordering::Relaxed);
+                }
+                tower
+            }
+            Err(_) => ReTower::new(job.base.clone()),
+        },
+        _ => ReTower::new(job.base.clone()),
+    };
+    let log = EventLog::new(inner.config.event_capacity);
+    let mut seen = 0usize;
+    let mut gave_up: Option<String> = None;
+    loop {
+        let derived_f = (tower.level_count() - 1) / 2;
+        if derived_f >= job.steps as usize {
+            break;
+        }
+        // Persist before attempting the next f-step: this is the state a
+        // restarted server resumes from.
+        if let Err(e) = inner.store.checkpoint(&job.key, &tower.snapshot()) {
+            finish(inner, &job.key, |id| Response::Error {
+                id,
+                error: format!("checkpoint failed: {e}"),
+            });
+            return;
+        }
+        broadcast(inner, &job.key, |id| Response::Progress {
+            id,
+            kind: "checkpoint",
+            stage: format!("re-tower/level-{}", tower.level_count()),
+            detail: (tower.level_count() - 1) as u64,
+        });
+        let recovery = supervise_tower_from(
+            tower,
+            derived_f + 1,
+            inner.config.re_opts,
+            inner.config.budget,
+            inner.config.policy,
+            Some(&log),
+        );
+        tower = recovery.tower;
+        let events = log.events();
+        for event in &events[seen.min(events.len())..] {
+            if let Event::Retry { stage, attempt, .. } = event {
+                let (stage, attempt) = (stage.clone(), *attempt);
+                broadcast(inner, &job.key, |id| Response::Progress {
+                    id,
+                    kind: "retry",
+                    stage: stage.clone(),
+                    detail: attempt,
+                });
+            }
+        }
+        seen = events.len();
+        if let Some(err) = recovery.gave_up {
+            gave_up = Some(err.to_string());
+            break;
+        }
+    }
+    let snap = tower.snapshot();
+    if gave_up.is_none() {
+        // Publish, then drop the checkpoint: the order matters — a crash
+        // between the two leaves both, and resume is merely redundant.
+        if let Err(e) = inner.store.put(&job.key, &snap) {
+            finish(inner, &job.key, |id| Response::Error {
+                id,
+                error: format!("publish failed: {e}"),
+            });
+            return;
+        }
+        let _ = inner.store.clear_checkpoint(&job.key);
+    } else {
+        // Keep the checkpoint: a resubmission with a bigger budget picks
+        // up where this attempt stopped.
+        inner.counters.gave_up.fetch_add(1, Ordering::Relaxed);
+    }
+    let template = ClassifyResult {
+        id: 0,
+        fingerprint: job.key.clone(),
+        tower_fingerprint: snap.fingerprint(),
+        levels: tower.level_count() as u64,
+        fixpoint: fixpoint_from_snapshot(&snap),
+        cached: false,
+        resumed_from_level: resumed_from,
+        gave_up,
+    };
+    finish(inner, &job.key, |id| {
+        Response::Result(ClassifyResult {
+            id,
+            ..template.clone()
+        })
+    });
+}
+
+/// The earliest level the topmost level's extensional table repeats,
+/// read from the snapshot's per-level spans (counter `fixpoint-of`).
+fn fixpoint_from_snapshot(snap: &TowerSnapshot) -> Option<u64> {
+    snap.spans.iter().rev().find_map(|span| {
+        span.counters
+            .iter()
+            .find(|(name, _)| name == "fixpoint-of")
+            .map(|&(_, v)| v)
+    })
+}
+
+/// Builds the `cached: true` result a store hit is answered with.
+fn result_from_snapshot(id: u64, key: &str, snap: &TowerSnapshot) -> ClassifyResult {
+    ClassifyResult {
+        id,
+        fingerprint: key.to_string(),
+        tower_fingerprint: snap.fingerprint(),
+        levels: (snap.layers.len() + 1) as u64,
+        fixpoint: fixpoint_from_snapshot(snap),
+        cached: true,
+        resumed_from_level: 0,
+        gave_up: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_problems::catalog::sinkless_orientation;
+    use std::path::PathBuf;
+
+    fn tmp_store(tag: &str) -> (Arc<TowerStore>, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("lcl-service-server-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        (Arc::new(TowerStore::open(&dir).unwrap()), dir)
+    }
+
+    fn request(id: u64, problem: &LclProblem, steps: u64) -> ClassifyRequest {
+        ClassifyRequest {
+            id,
+            problem: problem.to_text(),
+            steps,
+        }
+    }
+
+    fn terminal(rx: &mpsc::Receiver<Response>) -> Response {
+        let mut last = None;
+        for resp in rx.iter() {
+            let is_terminal = !matches!(resp, Response::Progress { .. });
+            last = Some(resp);
+            if is_terminal {
+                break;
+            }
+        }
+        last.expect("a terminal response must arrive")
+    }
+
+    #[test]
+    fn a_miss_computes_and_a_permuted_resubmission_hits() {
+        let (store, dir) = tmp_store("hit");
+        let server = ClassifyServer::start(store, ServiceConfig::default());
+        let p = sinkless_orientation(3);
+        let rx = server.submit(&request(1, &p, 2)).unwrap();
+        let first = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert!(!first.cached);
+        assert_eq!(first.levels, 5);
+        assert!(first.gave_up.is_none());
+
+        // The same structural problem under permuted labels is a hit.
+        let twin = lcl::relabeled(&p, &[1, 0]);
+        assert_ne!(twin.to_text(), p.to_text());
+        let rx = server.submit(&request(2, &twin, 2)).unwrap();
+        let second = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert!(second.cached);
+        assert_eq!(second.id, 2);
+        assert_eq!(second.fingerprint, first.fingerprint);
+        assert_eq!(second.tower_fingerprint, first.tower_fingerprint);
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.computed, 1);
+        assert_eq!(stats.cache_hits, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_identical_submissions_compute_once() {
+        let (store, dir) = tmp_store("coalesce");
+        // One worker: submissions made while the queue is stalled by an
+        // earlier job all land before their job starts, so every
+        // duplicate must coalesce.
+        let server = ClassifyServer::start(
+            store,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let p = sinkless_orientation(3);
+        let orders: [&[u32]; 3] = [&[0, 1], &[1, 0], &[0, 1]];
+        let receivers: Vec<_> = orders
+            .iter()
+            .enumerate()
+            .map(|(i, order)| {
+                let spelling = lcl::relabeled(&p, order);
+                server.submit(&request(i as u64, &spelling, 2)).unwrap()
+            })
+            .collect();
+        let mut fingerprints = Vec::new();
+        for (i, rx) in receivers.iter().enumerate() {
+            match terminal(rx) {
+                Response::Result(r) => {
+                    assert_eq!(r.id, i as u64);
+                    fingerprints.push(r.tower_fingerprint);
+                }
+                other => panic!("expected a result, got {other:?}"),
+            }
+        }
+        assert!(fingerprints.windows(2).all(|w| w[0] == w[1]));
+        let stats = server.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(
+            stats.computed, 1,
+            "three spellings of one class must compute once"
+        );
+        assert_eq!(stats.cache_hits + stats.coalesced, 2);
+        assert_eq!(server.store().len(), 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn killed_mid_job_resumes_from_the_checkpoint_to_an_identical_tower() {
+        let (store, dir) = tmp_store("resume");
+        let p = sinkless_orientation(3);
+        let key = canonical_key(&p);
+
+        // Reference: an uninterrupted two-step build.
+        let reference = {
+            let server = ClassifyServer::start(Arc::clone(&store), ServiceConfig::default());
+            let rx = server.submit(&request(1, &p, 2)).unwrap();
+            let r = match terminal(&rx) {
+                Response::Result(r) => r,
+                other => panic!("expected a result, got {other:?}"),
+            };
+            server.shutdown();
+            r.tower_fingerprint
+        };
+
+        // "Kill the server mid-job": plant the one-f-step checkpoint a
+        // dying worker would have left behind, with no published entry.
+        let canonical = canonical_text_form(&p);
+        let mut partial = ReTower::new(canonical);
+        partial.push_f(ReOptions::default()).unwrap();
+        let dir2 = dir.with_file_name(format!("lcl-service-server-resume2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let store2 = Arc::new(TowerStore::open(&dir2).unwrap());
+        store2.checkpoint(&key, &partial.snapshot()).unwrap();
+
+        // A restarted server must resume from level 2, not recompute.
+        let server = ClassifyServer::start(Arc::clone(&store2), ServiceConfig::default());
+        let rx = server.submit(&request(9, &p, 2)).unwrap();
+        let resumed = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert_eq!(resumed.resumed_from_level, 2);
+        assert_eq!(resumed.tower_fingerprint, reference);
+        assert_eq!(server.stats().resumed, 1);
+        // The checkpoint is gone once the tower is published.
+        assert_eq!(store2.load_checkpoint(&key).unwrap(), None);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&dir2).unwrap();
+    }
+
+    #[test]
+    fn unparseable_problems_and_full_queues_are_typed_errors() {
+        let (store, dir) = tmp_store("errors");
+        let server = ClassifyServer::start(
+            store,
+            ServiceConfig {
+                workers: 1,
+                queue_capacity: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let bad = ClassifyRequest {
+            id: 1,
+            problem: "this is not an LCL".to_string(),
+            steps: 1,
+        };
+        assert!(matches!(server.submit(&bad), Err(SubmitError::Problem(_))));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_gave_up_job_reports_partial_and_keeps_its_checkpoint() {
+        let (store, dir) = tmp_store("partial");
+        let server = ClassifyServer::start(
+            Arc::clone(&store),
+            ServiceConfig {
+                // A one-round cap that never escalates cannot finish any
+                // f-step.
+                budget: Budget::unlimited().with_max_rounds(1),
+                policy: RetryPolicy {
+                    max_attempts: 2,
+                    escalation: 1,
+                    ..RetryPolicy::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let p = sinkless_orientation(3);
+        let key = canonical_key(&p);
+        let rx = server.submit(&request(1, &p, 1)).unwrap();
+        let result = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert!(result.gave_up.is_some());
+        // Partial towers are never published, but the checkpoint stays
+        // for a future resubmission.
+        assert!(!store.contains(&key));
+        assert!(store.load_checkpoint(&key).unwrap().is_some());
+        assert_eq!(server.stats().gave_up, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,376 @@
+//! Content-addressed, crash-safe persistence for round-elimination
+//! towers.
+//!
+//! A [`TowerStore`] is a directory of [`TowerSnapshot`] documents keyed
+//! by the 16-hex-digit [`canonical fingerprint`](lcl::canonical_key) of
+//! the base problem: structurally identical LCLs (same constraints up to
+//! label renaming) share one entry, so a tower is computed once per
+//! structural class no matter how many spellings clients submit.
+//!
+//! Two invariants make the store safe to kill at any instant:
+//!
+//! * **Atomic publication.** Every write lands in a `*.tmp` sibling
+//!   first and is published with a single `rename`. A crash mid-write
+//!   leaves only a temp file, which [`TowerStore::open`] sweeps away; a
+//!   reader never observes a half-written entry.
+//! * **Validated admission.** [`TowerStore::open`] re-parses every
+//!   `*.tower.json` it finds and indexes only documents that decode
+//!   cleanly; anything else is quarantined (left on disk, never served).
+//!
+//! Alongside final towers the store keeps *checkpoints*
+//! (`<key>.ckpt.json`): the latest partial tower of an in-flight build,
+//! written before every supervised f-step so a restarted server resumes
+//! instead of recomputing.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use lcl_core::{SnapshotError, TowerSnapshot};
+
+/// Why a store operation failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StoreError {
+    /// A filesystem operation failed; `what` names the operation.
+    Io {
+        /// The operation that failed (e.g. `"create store dir"`).
+        what: &'static str,
+        /// The path involved.
+        path: String,
+        /// The underlying error, stringified.
+        error: String,
+    },
+    /// An indexed entry no longer decodes — the document was valid at
+    /// admission, so this indicates on-disk corruption after the fact.
+    Corrupt {
+        /// The store key of the bad entry.
+        key: String,
+        /// The decode failure.
+        error: SnapshotError,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { what, path, error } => {
+                write!(f, "store i/o failure ({what} at {path}): {error}")
+            }
+            StoreError::Corrupt { key, error } => {
+                write!(f, "store entry {key} is corrupt: {error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn io_err(what: &'static str, path: &Path, error: std::io::Error) -> StoreError {
+    StoreError::Io {
+        what,
+        path: path.display().to_string(),
+        error: error.to_string(),
+    }
+}
+
+/// Suffix of published tower entries.
+const TOWER_SUFFIX: &str = ".tower.json";
+/// Suffix of in-flight build checkpoints.
+const CKPT_SUFFIX: &str = ".ckpt.json";
+/// Suffix of not-yet-published writes (swept on open).
+const TMP_SUFFIX: &str = ".tmp";
+
+/// A content-addressed on-disk tower store. See the module docs for the
+/// layout and crash-safety invariants. All methods take `&self`; the
+/// in-memory index is behind a mutex, so one store can be shared across
+/// worker threads via `Arc`.
+#[derive(Debug)]
+pub struct TowerStore {
+    dir: PathBuf,
+    index: Mutex<BTreeSet<String>>,
+}
+
+impl TowerStore {
+    /// Opens (creating if needed) the store rooted at `dir`: sweeps
+    /// crash leftovers (`*.tmp`), validates every published entry, and
+    /// indexes the ones that decode cleanly.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the directory cannot be created or read.
+    /// A corrupt *entry* is not an error — it is simply not indexed.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create store dir", &dir, e))?;
+        let mut index = BTreeSet::new();
+        let entries = fs::read_dir(&dir).map_err(|e| io_err("read store dir", &dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("read store dir entry", &dir, e))?;
+            let path = entry.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            if name.ends_with(TMP_SUFFIX) {
+                // A crash mid-write: the publish rename never happened,
+                // so the content is unaccounted for. Remove it.
+                fs::remove_file(&path).map_err(|e| io_err("sweep temp file", &path, e))?;
+                continue;
+            }
+            if let Some(key) = name.strip_suffix(TOWER_SUFFIX) {
+                let text =
+                    fs::read_to_string(&path).map_err(|e| io_err("read tower entry", &path, e))?;
+                if TowerSnapshot::parse(&text).is_ok() {
+                    index.insert(key.to_string());
+                }
+            }
+        }
+        Ok(Self {
+            dir,
+            index: Mutex::new(index),
+        })
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of published (indexed) tower entries.
+    pub fn len(&self) -> usize {
+        self.lock_index().len()
+    }
+
+    /// `true` when no tower has been published yet.
+    pub fn is_empty(&self) -> bool {
+        self.lock_index().is_empty()
+    }
+
+    /// Whether `key` has a published tower.
+    pub fn contains(&self, key: &str) -> bool {
+        self.lock_index().contains(key)
+    }
+
+    /// Every published key, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.lock_index().iter().cloned().collect()
+    }
+
+    /// Loads the published tower for `key`, or `None` when the key is
+    /// unknown.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the entry cannot be read,
+    /// [`StoreError::Corrupt`] when an indexed entry no longer decodes.
+    pub fn get(&self, key: &str) -> Result<Option<TowerSnapshot>, StoreError> {
+        if !self.contains(key) {
+            return Ok(None);
+        }
+        let path = self.tower_path(key);
+        let text = fs::read_to_string(&path).map_err(|e| io_err("read tower entry", &path, e))?;
+        match TowerSnapshot::parse(&text) {
+            Ok(snap) => Ok(Some(snap)),
+            Err(error) => Err(StoreError::Corrupt {
+                key: key.to_string(),
+                error,
+            }),
+        }
+    }
+
+    /// Publishes `snap` as the tower for `key` (atomically: temp file +
+    /// rename) and indexes it. Overwrites any previous entry.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write or rename fails.
+    pub fn put(&self, key: &str, snap: &TowerSnapshot) -> Result<(), StoreError> {
+        self.write_atomic(&self.tower_path(key), &snap.to_json())?;
+        self.lock_index().insert(key.to_string());
+        Ok(())
+    }
+
+    /// Persists the in-flight partial tower for `key`. Checkpoints are
+    /// written with the same temp-file-plus-rename discipline but are
+    /// *not* indexed: they answer [`TowerStore::load_checkpoint`], never
+    /// [`TowerStore::get`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write or rename fails.
+    pub fn checkpoint(&self, key: &str, snap: &TowerSnapshot) -> Result<(), StoreError> {
+        self.write_atomic(&self.ckpt_path(key), &snap.to_json())
+    }
+
+    /// Loads the latest checkpoint for `key`, or `None` when there is
+    /// none or it no longer decodes (a bad checkpoint is worth a fresh
+    /// build, not a typed failure — the published entry is the one whose
+    /// corruption must surface).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when an existing checkpoint cannot be read.
+    pub fn load_checkpoint(&self, key: &str) -> Result<Option<TowerSnapshot>, StoreError> {
+        let path = self.ckpt_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err("read checkpoint", &path, e)),
+        };
+        Ok(TowerSnapshot::parse(&text).ok())
+    }
+
+    /// Removes the checkpoint for `key`, if any (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when an existing checkpoint cannot be removed.
+    pub fn clear_checkpoint(&self, key: &str) -> Result<(), StoreError> {
+        let path = self.ckpt_path(key);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove checkpoint", &path, e)),
+        }
+    }
+
+    fn tower_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}{TOWER_SUFFIX}"))
+    }
+
+    fn ckpt_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}{CKPT_SUFFIX}"))
+    }
+
+    fn lock_index(&self) -> std::sync::MutexGuard<'_, BTreeSet<String>> {
+        self.index
+            .lock()
+            .expect("why: no store method can panic while holding the index lock")
+    }
+
+    fn write_atomic(&self, path: &Path, content: &str) -> Result<(), StoreError> {
+        let tmp = PathBuf::from(format!("{}{TMP_SUFFIX}", path.display()));
+        let mut file = fs::File::create(&tmp).map_err(|e| io_err("create temp file", &tmp, e))?;
+        file.write_all(content.as_bytes())
+            .map_err(|e| io_err("write temp file", &tmp, e))?;
+        file.sync_all()
+            .map_err(|e| io_err("sync temp file", &tmp, e))?;
+        drop(file);
+        fs::rename(&tmp, path).map_err(|e| io_err("publish rename", path, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl_core::{ReOptions, ReTower};
+    use lcl_problems::catalog::sinkless_orientation;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("lcl-service-store-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_tower() -> ReTower {
+        let mut tower = ReTower::new(sinkless_orientation(3));
+        tower.push_f(ReOptions::default()).unwrap();
+        tower
+    }
+
+    #[test]
+    fn put_then_get_round_trips_bit_identically() {
+        let dir = tmp_dir("roundtrip");
+        let store = TowerStore::open(&dir).unwrap();
+        let snap = small_tower().snapshot();
+        store.put("00aa", &snap).unwrap();
+        assert!(store.contains("00aa"));
+        let loaded = store.get("00aa").unwrap().unwrap();
+        assert_eq!(loaded.to_json(), snap.to_json());
+        assert_eq!(store.get("ffff").unwrap(), None);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_during_write_leaves_no_entry_after_reopen() {
+        let dir = tmp_dir("crash");
+        let store = TowerStore::open(&dir).unwrap();
+        let snap = small_tower().snapshot();
+        store.put("00aa", &snap).unwrap();
+        // Simulate a crash mid-write: a temp file with half a document,
+        // never renamed into place.
+        let half = &snap.to_json()[..37];
+        fs::write(dir.join("00bb.tower.json.tmp"), half).unwrap();
+        // And a crash that corrupted a published entry outright.
+        fs::write(dir.join("00cc.tower.json"), half).unwrap();
+        drop(store);
+
+        let reopened = TowerStore::open(&dir).unwrap();
+        assert_eq!(reopened.keys(), vec!["00aa".to_string()]);
+        assert_eq!(reopened.get("00bb").unwrap(), None);
+        assert_eq!(reopened.get("00cc").unwrap(), None);
+        // The temp file was swept; the undecodable entry is quarantined
+        // on disk but never served.
+        assert!(!dir.join("00bb.tower.json.tmp").exists());
+        assert!(dir.join("00cc.tower.json").exists());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cold_restart_serves_prior_entries_bit_identically() {
+        let dir = tmp_dir("cold");
+        let snap = small_tower().snapshot();
+        let wire = snap.to_json();
+        {
+            let store = TowerStore::open(&dir).unwrap();
+            store.put("00aa", &snap).unwrap();
+        }
+        let cold = TowerStore::open(&dir).unwrap();
+        assert_eq!(cold.len(), 1);
+        let served = cold.get("00aa").unwrap().unwrap();
+        assert_eq!(served.to_json(), wire);
+        assert_eq!(served.fingerprint(), snap.fingerprint());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_are_separate_from_published_entries() {
+        let dir = tmp_dir("ckpt");
+        let store = TowerStore::open(&dir).unwrap();
+        let snap = small_tower().snapshot();
+        store.checkpoint("00aa", &snap).unwrap();
+        // A checkpoint is not a published tower.
+        assert!(!store.contains("00aa"));
+        assert_eq!(store.get("00aa").unwrap(), None);
+        let resumed = store.load_checkpoint("00aa").unwrap().unwrap();
+        assert_eq!(resumed.to_json(), snap.to_json());
+        // Checkpoints survive a reopen (that is their whole point).
+        drop(store);
+        let reopened = TowerStore::open(&dir).unwrap();
+        assert!(reopened.load_checkpoint("00aa").unwrap().is_some());
+        reopened.clear_checkpoint("00aa").unwrap();
+        assert_eq!(reopened.load_checkpoint("00aa").unwrap(), None);
+        // Clearing twice is fine.
+        reopened.clear_checkpoint("00aa").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn version_mismatched_entries_are_not_admitted() {
+        let dir = tmp_dir("version");
+        {
+            let store = TowerStore::open(&dir).unwrap();
+            store.put("00aa", &small_tower().snapshot()).unwrap();
+        }
+        // A future process wrote an entry in a newer format.
+        let text = fs::read_to_string(dir.join("00aa.tower.json")).unwrap();
+        let future = text.replacen("\"version\":1", "\"version\":7", 1);
+        fs::write(dir.join("00aa.tower.json"), future).unwrap();
+        let reopened = TowerStore::open(&dir).unwrap();
+        assert!(!reopened.contains("00aa"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

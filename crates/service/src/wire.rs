@@ -1,0 +1,208 @@
+//! Transport drivers: speaking the line protocol over any
+//! reader/writer pair, and over a Unix domain socket.
+//!
+//! [`serve_connection`] is the transport-agnostic core — it reads
+//! request lines, submits them, and streams every response line back,
+//! flushing after each. The stdio driver is just
+//! `serve_connection(&server, stdin.lock(), stdout.lock())`; the socket
+//! driver ([`serve_unix`]) accepts connections and runs the same loop on
+//! a thread per client.
+//!
+//! Requests on one connection are handled in order: the response stream
+//! of a request is fully written before the next line is read. Clients
+//! needing concurrency open multiple connections — jobs still coalesce
+//! on the server side, so identical problems cost one computation
+//! regardless of how many connections ask.
+
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+use crate::protocol::{encode_response, parse_request, Response};
+use crate::server::ClassifyServer;
+
+/// Drives one client: reads request lines from `reader` until EOF,
+/// writing the full response stream of each to `writer`. Malformed lines
+/// and rejected submissions are answered with a single `error` line
+/// instead of closing the connection.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the transport; protocol-level failures are
+/// reported in-band.
+pub fn serve_connection(
+    server: &ClassifyServer,
+    reader: impl BufRead,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match parse_request(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                respond(
+                    &mut writer,
+                    &Response::Error {
+                        id: 0,
+                        error: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match server.submit(&req) {
+            Ok(rx) => {
+                for resp in rx.iter() {
+                    respond(&mut writer, &resp)?;
+                }
+            }
+            Err(e) => {
+                respond(
+                    &mut writer,
+                    &Response::Error {
+                        id: req.id,
+                        error: e.to_string(),
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn respond(writer: &mut impl Write, resp: &Response) -> std::io::Result<()> {
+    writer.write_all(encode_response(resp).as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Accepts clients on `listener` forever, serving each connection on its
+/// own thread. Per-connection I/O errors drop that client only.
+///
+/// # Errors
+///
+/// Returns the first `accept` failure.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: std::os::unix::net::UnixListener,
+    server: Arc<ClassifyServer>,
+) -> std::io::Result<()> {
+    loop {
+        let (stream, _addr) = listener.accept()?;
+        let server = Arc::clone(&server);
+        std::thread::Builder::new()
+            .name("classify-conn".to_string())
+            .spawn(move || {
+                let reader = std::io::BufReader::new(match stream.try_clone() {
+                    Ok(clone) => clone,
+                    Err(_) => return,
+                });
+                let _ = serve_connection(&server, reader, stream);
+            })
+            .expect("why: spawning a named thread only fails when out of resources");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, parse_response, ClassifyRequest};
+    use crate::server::ServiceConfig;
+    use crate::store::TowerStore;
+    use lcl_problems::catalog::sinkless_orientation;
+
+    fn tmp_server(tag: &str) -> (ClassifyServer, std::path::PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("lcl-service-wire-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(TowerStore::open(&dir).unwrap());
+        (ClassifyServer::start(store, ServiceConfig::default()), dir)
+    }
+
+    #[test]
+    fn a_connection_streams_results_and_inline_errors() {
+        let (server, dir) = tmp_server("stream");
+        let good = encode_request(&ClassifyRequest {
+            id: 5,
+            problem: sinkless_orientation(3).to_text(),
+            steps: 1,
+        });
+        let input = format!("{good}\nnot json\n\n");
+        let mut output = Vec::new();
+        serve_connection(&server, input.as_bytes(), &mut output).unwrap();
+        let lines: Vec<Response> = String::from_utf8(output)
+            .unwrap()
+            .lines()
+            .map(|l| parse_response(l).unwrap())
+            .collect();
+        // The good request ends in a result echoing its id; the bad line
+        // gets an error without killing the connection.
+        let result = lines
+            .iter()
+            .find_map(|r| match r {
+                Response::Result(r) => Some(r),
+                _ => None,
+            })
+            .expect("a result line");
+        assert_eq!(result.id, 5);
+        assert!(!result.cached);
+        assert!(lines
+            .iter()
+            .any(|r| matches!(r, Response::Error { id: 0, .. })));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip() {
+        use std::io::{BufRead as _, BufReader, Write as _};
+        use std::os::unix::net::{UnixListener, UnixStream};
+
+        let (server, dir) = tmp_server("unix");
+        let sock = dir.with_extension("sock");
+        let _ = std::fs::remove_file(&sock);
+        let listener = UnixListener::bind(&sock).unwrap();
+        let server = Arc::new(server);
+        {
+            let server = Arc::clone(&server);
+            // The accept loop (and the server Arc it holds) lives until
+            // the test process exits; a blocked accept with no clients
+            // is inert.
+            std::thread::spawn(move || {
+                let _ = serve_unix(listener, server);
+            });
+        }
+        let mut stream = UnixStream::connect(&sock).unwrap();
+        let line = encode_request(&ClassifyRequest {
+            id: 77,
+            problem: sinkless_orientation(3).to_text(),
+            steps: 1,
+        });
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut terminal = None;
+        let mut buf = String::new();
+        while reader.read_line(&mut buf).unwrap() > 0 {
+            let resp = parse_response(buf.trim_end()).unwrap();
+            let done = !matches!(resp, Response::Progress { .. });
+            terminal = Some(resp);
+            if done {
+                break;
+            }
+            buf.clear();
+        }
+        match terminal {
+            Some(Response::Result(r)) => {
+                assert_eq!(r.id, 77);
+                assert_eq!(r.levels, 3);
+            }
+            other => panic!("expected a result over the socket, got {other:?}"),
+        }
+        std::fs::remove_file(&sock).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -133,7 +133,23 @@ where
 /// that query (placeholder labels plus a [`NodeFault`]); probe lies and
 /// corrupted `t_v` views silently skew the answers, which the verifier
 /// then localizes. The plan's ID permutation (if any) applies first.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_with(..., RunOptions::new().faults(plan).events(log))`"
+)]
 pub fn simulate_faulted(
+    alg: &(impl VolumeAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    plan: &FaultPlan,
+    log: Option<&EventLog>,
+) -> RunReport<Degraded<VolumeRun>> {
+    simulate_faulted_impl(alg, graph, input, ids, n_announced, plan, log)
+}
+
+pub(crate) fn simulate_faulted_impl(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -205,7 +221,22 @@ pub fn simulate_faulted(
 /// Panics unless `ids` is a permutation of `1..=n` (the LCA identifier
 /// promise); a plan's ID permutation preserves that multiset, so
 /// permuted runs remain valid LCA instances.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_lca_with(..., RunOptions::new().faults(plan).events(log))`"
+)]
 pub fn simulate_lca_faulted(
+    alg: &(impl LcaAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    plan: &FaultPlan,
+    log: Option<&EventLog>,
+) -> RunReport<Degraded<VolumeRun>> {
+    simulate_lca_faulted_impl(alg, graph, input, ids, plan, log)
+}
+
+pub(crate) fn simulate_lca_faulted_impl(
     alg: &(impl LcaAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -313,11 +344,11 @@ mod tests {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(6);
         let plan = FaultPlan::new(5);
-        let report = simulate_faulted(&neighbor_id_alg(), &g, &input, &ids, None, &plan, None);
+        let report = simulate_faulted_impl(&neighbor_id_alg(), &g, &input, &ids, None, &plan, None);
         assert!(!report.outcome.is_degraded());
         let plain =
-            crate::run::simulate(&neighbor_id_alg(), &g, &input, &ids, None).expect("in budget");
-        assert_eq!(report.outcome.outcome, plain.outcome);
+            crate::run::run_volume(&neighbor_id_alg(), &g, &input, &ids, None).expect("in budget");
+        assert_eq!(report.outcome.outcome, plain);
     }
 
     #[test]
@@ -329,7 +360,7 @@ mod tests {
             .with(Fault::Crash { node: 1, round: 0 })
             .with(Fault::PanicNode { node: 3 });
         let log = EventLog::new(64);
-        let report = simulate_faulted(
+        let report = simulate_faulted_impl(
             &neighbor_id_alg(),
             &g,
             &input,
@@ -363,7 +394,7 @@ mod tests {
             },
         );
         let plan = FaultPlan::new(1);
-        let report = simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
+        let report = simulate_faulted_impl(&alg, &g, &input, &ids, None, &plan, None);
         let degraded = &report.outcome;
         assert_eq!(degraded.faults.len(), 4, "every query over-probes");
         assert!(degraded.faults[0]
@@ -377,7 +408,7 @@ mod tests {
         let input = lcl::uniform_input(&g);
         let ids = IdAssignment::sequential(6);
         let plan = FaultPlan::new(11).with(Fault::ProbeLie { query: 2, nth: 0 });
-        let honest = simulate_faulted(
+        let honest = simulate_faulted_impl(
             &neighbor_id_alg(),
             &g,
             &input,
@@ -386,7 +417,7 @@ mod tests {
             &FaultPlan::new(11),
             None,
         );
-        let lied = simulate_faulted(&neighbor_id_alg(), &g, &input, &ids, None, &plan, None);
+        let lied = simulate_faulted_impl(&neighbor_id_alg(), &g, &input, &ids, None, &plan, None);
         // The lie is silent corruption: no fault record, but query 2's
         // answer changed while every other query is untouched.
         assert!(!lied.outcome.is_degraded());
@@ -400,7 +431,7 @@ mod tests {
             lied.outcome.outcome.output.get(h0),
             honest.outcome.outcome.output.get(h0)
         );
-        let again = simulate_faulted(&neighbor_id_alg(), &g, &input, &ids, None, &plan, None);
+        let again = simulate_faulted_impl(&neighbor_id_alg(), &g, &input, &ids, None, &plan, None);
         assert_eq!(lied.outcome, again.outcome);
     }
 
@@ -420,7 +451,7 @@ mod tests {
             },
         );
         let plan = FaultPlan::new(0).with(Fault::CorruptView { node: 2, salt: 7 });
-        let report = simulate_faulted(&alg, &g, &input, &ids, None, &plan, None);
+        let report = simulate_faulted_impl(&alg, &g, &input, &ids, None, &plan, None);
         assert!(!report.outcome.is_degraded(), "silent corruption");
         let h2 = g.half_edge(lcl_graph::NodeId(2), 0);
         assert_ne!(report.outcome.outcome.output.get(h2), OutLabel(2));
@@ -448,7 +479,7 @@ mod tests {
             }
         }
         let plan = FaultPlan::new(0).with(Fault::PanicNode { node: 4 });
-        let report = simulate_lca_faulted(&FarDegree, &g, &input, &ids, &plan, None);
+        let report = simulate_lca_faulted_impl(&FarDegree, &g, &input, &ids, &plan, None);
         let degraded = &report.outcome;
         assert_eq!(degraded.faults.len(), 1);
         assert!(degraded.faults[0]
@@ -465,8 +496,8 @@ mod tests {
         let ids = IdAssignment::from_vec((1..=6).collect());
         let alg = VolumeAsLca(neighbor_id_alg());
         let plan = FaultPlan::new(21).with_permuted_ids();
-        let a = simulate_lca_faulted(&alg, &g, &input, &ids, &plan, None);
-        let b = simulate_lca_faulted(&alg, &g, &input, &ids, &plan, None);
+        let a = simulate_lca_faulted_impl(&alg, &g, &input, &ids, &plan, None);
+        let b = simulate_lca_faulted_impl(&alg, &g, &input, &ids, &plan, None);
         assert!(!a.outcome.is_degraded());
         assert_eq!(a.outcome, b.outcome);
         assert_eq!(a.trace.fingerprint(), b.trace.fingerprint());

@@ -104,7 +104,58 @@ pub trait LcaAlgorithm {
 ///
 /// Panics unless `ids` is a permutation of `0..n` shifted by one
 /// (`1..=n`), which is the LCA model's identifier promise.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_lca_with(..., RunOptions::new().events(log))`"
+)]
 pub fn simulate_lca_logged(
+    alg: &(impl LcaAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    log: Option<&EventLog>,
+) -> Result<RunReport<crate::run::VolumeRun>, ProbeError> {
+    simulate_lca_impl(alg, graph, input, ids, log)
+}
+
+/// Runs an LCA under [`RunOptions`](lcl_faults::RunOptions): optional
+/// event capture, optional fault plan. With a fault plan the run is the
+/// degrading executor of [`crate::faulted`] (per-query degradation, the
+/// `Err` leg never taken); without one a [`ProbeError`] surfaces typed
+/// and a clean run returns
+/// [`Degraded::clean`](lcl_faults::Degraded::clean). The announced node
+/// count is fixed by the LCA promise; a `RunOptions` budget has no
+/// probe dimension and is ignored here.
+///
+/// # Errors
+///
+/// As [`simulate_lca_logged`], on the plan-free path only.
+///
+/// # Panics
+///
+/// As [`simulate_lca_logged`]: `ids` must be exactly `1..=n`.
+pub fn simulate_lca_with(
+    alg: &(impl LcaAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    opts: lcl_faults::RunOptions<'_>,
+) -> Result<RunReport<lcl_faults::Degraded<crate::run::VolumeRun>>, ProbeError> {
+    match opts.fault_plan() {
+        Some(plan) => Ok(crate::faulted::simulate_lca_faulted_impl(
+            alg,
+            graph,
+            input,
+            ids,
+            plan,
+            opts.event_log(),
+        )),
+        None => Ok(simulate_lca_impl(alg, graph, input, ids, opts.event_log())?
+            .map(lcl_faults::Degraded::clean)),
+    }
+}
+
+pub(crate) fn simulate_lca_impl(
     alg: &(impl LcaAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -176,13 +227,17 @@ pub fn simulate_lca_logged(
 /// # Errors
 ///
 /// As [`simulate_lca_logged`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_lca_with(..., RunOptions::new())`"
+)]
 pub fn simulate_lca(
     alg: &(impl LcaAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
 ) -> Result<RunReport<crate::run::VolumeRun>, ProbeError> {
-    simulate_lca_logged(alg, graph, input, ids, None)
+    simulate_lca_impl(alg, graph, input, ids, None)
 }
 
 /// Runs an LCA over every node of the graph, discarding the trace.
@@ -199,7 +254,7 @@ pub fn run_lca(
     input: &HalfEdgeLabeling<InLabel>,
     ids: &IdAssignment,
 ) -> Result<crate::run::VolumeRun, ProbeError> {
-    Ok(simulate_lca(alg, graph, input, ids)?.outcome)
+    Ok(simulate_lca_impl(alg, graph, input, ids, None)?.outcome)
 }
 
 /// Adapts a VOLUME algorithm into an LCA that never uses far probes — the
@@ -289,7 +344,8 @@ mod tests {
                 Ok(vec![OutLabel(u32::from(info.degree)); d])
             }
         }
-        let report = simulate_lca(&FarDegree, &g, &input, &ids).expect("far probes only");
+        let report =
+            simulate_lca_impl(&FarDegree, &g, &input, &ids, None).expect("far probes only");
         assert_eq!(report.trace.total(Counter::FarProbes), 5);
         assert_eq!(report.trace.total(Counter::Probes), 5);
         assert_eq!(report.trace.total(Counter::MaxProbes), 1);

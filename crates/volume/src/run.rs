@@ -1,6 +1,7 @@
 //! Executing VOLUME algorithms over whole graphs.
 
 use lcl::{HalfEdgeLabeling, InLabel, OutLabel};
+use lcl_faults::{Degraded, RunOptions};
 use lcl_graph::Graph;
 use lcl_obs::{Counter, EventLog, RunReport, Span, Trace};
 
@@ -37,7 +38,59 @@ pub struct VolumeRun {
 /// Definition 2.9) or the algorithm mislabels the queried node's arity —
 /// both are instance/algorithm contract violations, not runtime
 /// conditions an algorithm can trigger adaptively.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `simulate_with(..., RunOptions::new().events(log))`"
+)]
 pub fn simulate_logged(
+    alg: &(impl VolumeAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    log: Option<&EventLog>,
+) -> Result<RunReport<VolumeRun>, ProbeError> {
+    simulate_impl(alg, graph, input, ids, n_announced, log)
+}
+
+/// Runs a VOLUME algorithm under [`RunOptions`]: optional event capture,
+/// optional fault plan. With a fault plan the run is the degrading
+/// executor of [`crate::faulted`] — probe errors cost only their query —
+/// and the `Err` leg is never taken; without one an out-of-contract
+/// probe surfaces as the typed [`ProbeError`] and a clean run returns
+/// [`Degraded::clean`]. The probe budget is the algorithm's own
+/// `probe_budget(n)`; a `RunOptions` budget has no probe dimension and
+/// is ignored here.
+///
+/// # Errors
+///
+/// As [`simulate_logged`], on the plan-free path only.
+pub fn simulate_with(
+    alg: &(impl VolumeAlgorithm + ?Sized),
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &IdAssignment,
+    n_announced: Option<usize>,
+    opts: RunOptions<'_>,
+) -> Result<RunReport<Degraded<VolumeRun>>, ProbeError> {
+    match opts.fault_plan() {
+        Some(plan) => Ok(crate::faulted::simulate_faulted_impl(
+            alg,
+            graph,
+            input,
+            ids,
+            n_announced,
+            plan,
+            opts.event_log(),
+        )),
+        None => Ok(
+            simulate_impl(alg, graph, input, ids, n_announced, opts.event_log())?
+                .map(Degraded::clean),
+        ),
+    }
+}
+
+pub(crate) fn simulate_impl(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
@@ -104,6 +157,7 @@ pub fn simulate_logged(
 /// # Errors
 ///
 /// As [`simulate_logged`].
+#[deprecated(since = "0.1.0", note = "use `simulate_with(..., RunOptions::new())`")]
 pub fn simulate(
     alg: &(impl VolumeAlgorithm + ?Sized),
     graph: &Graph,
@@ -111,7 +165,7 @@ pub fn simulate(
     ids: &IdAssignment,
     n_announced: Option<usize>,
 ) -> Result<RunReport<VolumeRun>, ProbeError> {
-    simulate_logged(alg, graph, input, ids, n_announced, None)
+    simulate_impl(alg, graph, input, ids, n_announced, None)
 }
 
 /// Runs a VOLUME algorithm over every node, discarding the trace.
@@ -129,7 +183,7 @@ pub fn run_volume(
     ids: &IdAssignment,
     n_announced: Option<usize>,
 ) -> Result<VolumeRun, ProbeError> {
-    Ok(simulate(alg, graph, input, ids, n_announced)?.outcome)
+    Ok(simulate_impl(alg, graph, input, ids, n_announced, None)?.outcome)
 }
 
 /// Finds the minimal probe budget `T ≤ max_budget` under which the
@@ -300,13 +354,15 @@ mod tests {
                 Ok(vec![OutLabel(0); d as usize])
             },
         );
-        let report = simulate(&alg, &g, &input, &ids, None).expect("in budget");
+        let report =
+            simulate_with(&alg, &g, &input, &ids, None, RunOptions::new()).expect("in budget");
+        assert!(!report.outcome.is_degraded());
         assert_eq!(report.trace.total(Counter::Probes), 6);
         assert_eq!(report.trace.total(Counter::MaxProbes), 2);
         assert_eq!(report.trace.total(Counter::Queries), 4);
         assert_eq!(
             report.trace.total(Counter::Probes),
-            report.outcome.total_probes as u64
+            report.outcome.outcome.total_probes as u64
         );
         // Per-query distribution: two endpoint queries (1 probe each),
         // two interior queries (2 probes each).
@@ -333,8 +389,9 @@ mod tests {
             },
         );
         let log = EventLog::new(64);
-        let report = simulate_logged(&alg, &g, &input, &ids, None, Some(&log)).expect("in budget");
-        assert_eq!(log.len(), report.outcome.total_probes);
+        let report = simulate_with(&alg, &g, &input, &ids, None, RunOptions::new().events(&log))
+            .expect("in budget");
+        assert_eq!(log.len(), report.outcome.outcome.total_probes);
         assert!(log
             .events()
             .iter()

@@ -6,9 +6,10 @@
 //! cargo run --example quickstart
 //! ```
 
+use lcl_landscape::faults::RunOptions;
 use lcl_landscape::graph::gen;
 use lcl_landscape::lcl::{verify, violations_summary, LclProblem};
-use lcl_landscape::local::{simulate_sync, IdAssignment};
+use lcl_landscape::local::{simulate_sync_with, IdAssignment};
 use lcl_landscape::obs::Counter;
 use lcl_landscape::problems::cv::{orientation_inputs, ColeVishkin, Orientation};
 use lcl_landscape::simulation::{GraphInstance, LocalSim, Simulation};
@@ -43,15 +44,16 @@ fn main() -> Result<(), LandscapeError> {
     //    simulator returns a `RunReport`: the outcome plus a trace whose
     //    counters are deterministic (wall time is the only exception).
     let ids = IdAssignment::random_polynomial(n, 3, 42);
-    let report = simulate_sync(
+    let report = simulate_sync_with(
         &ColeVishkin,
         &graph,
         &input,
         &ids.iter().collect::<Vec<_>>(),
         None,
         100,
+        RunOptions::new(),
     );
-    let run = &report.outcome;
+    let run = &report.outcome.outcome;
     println!("Cole–Vishkin used {} rounds on n = {n}", run.rounds);
     println!(
         "trace: {} messages across {} nodes",

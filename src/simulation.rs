@@ -30,6 +30,7 @@
 //! ```
 
 use lcl::{HalfEdgeLabeling, InLabel};
+use lcl_faults::{Degraded, RunOptions};
 use lcl_graph::Graph;
 use lcl_grid::{OrientedGrid, ProdIds, ProdLocalAlgorithm, ProdRun};
 use lcl_local::{IdAssignment, LocalAlgorithm, LocalRun};
@@ -133,17 +134,34 @@ pub trait Simulation {
     /// root span name.
     fn model() -> &'static str;
 
-    /// Runs `alg` on `instance`, returning the outcome and its trace.
+    /// Runs `alg` on `instance` under [`RunOptions`]: optional event
+    /// capture, optional fault plan, optional budget. The outcome is
+    /// always [`Degraded`]-wrapped; a run without a fault plan is clean
+    /// (`faults` empty) and bit-identical to the plain simulator.
     ///
     /// # Errors
     ///
     /// LOCAL and PROD-LOCAL simulations are infallible; VOLUME and LCA
     /// runs surface an out-of-contract probe as
     /// [`LandscapeError::Probe`].
+    fn simulate_with(
+        alg: &Self::Algorithm,
+        instance: Self::Instance<'_>,
+        opts: RunOptions<'_>,
+    ) -> Result<RunReport<Degraded<Self::Outcome>>, LandscapeError>;
+
+    /// Runs `alg` on `instance` with default options, unwrapping the
+    /// clean (fault-free) outcome.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Simulation::simulate_with`].
     fn simulate(
         alg: &Self::Algorithm,
         instance: Self::Instance<'_>,
-    ) -> Result<RunReport<Self::Outcome>, LandscapeError>;
+    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
+        Ok(Self::simulate_with(alg, instance, RunOptions::new())?.map(|d| d.outcome))
+    }
 }
 
 /// The LOCAL model (Definition 2.1): radius-`T(n)` views, measured in
@@ -159,16 +177,18 @@ impl Simulation for LocalSim {
         "local"
     }
 
-    fn simulate(
+    fn simulate_with(
         alg: &Self::Algorithm,
         instance: Self::Instance<'_>,
-    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
-        Ok(lcl_local::simulate(
+        opts: RunOptions<'_>,
+    ) -> Result<RunReport<Degraded<Self::Outcome>>, LandscapeError> {
+        Ok(lcl_local::simulate_with(
             alg,
             instance.graph,
             instance.input,
             instance.ids,
             instance.n_announced,
+            opts,
         ))
     }
 }
@@ -186,16 +206,18 @@ impl Simulation for VolumeSim {
         "volume"
     }
 
-    fn simulate(
+    fn simulate_with(
         alg: &Self::Algorithm,
         instance: Self::Instance<'_>,
-    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
-        Ok(lcl_volume::simulate(
+        opts: RunOptions<'_>,
+    ) -> Result<RunReport<Degraded<Self::Outcome>>, LandscapeError> {
+        Ok(lcl_volume::simulate_with(
             alg,
             instance.graph,
             instance.input,
             instance.ids,
             instance.n_announced,
+            opts,
         )?)
     }
 }
@@ -215,15 +237,17 @@ impl Simulation for LcaSim {
         "lca"
     }
 
-    fn simulate(
+    fn simulate_with(
         alg: &Self::Algorithm,
         instance: Self::Instance<'_>,
-    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
-        Ok(lcl_volume::simulate_lca(
+        opts: RunOptions<'_>,
+    ) -> Result<RunReport<Degraded<Self::Outcome>>, LandscapeError> {
+        Ok(lcl_volume::simulate_lca_with(
             alg,
             instance.graph,
             instance.input,
             instance.ids,
+            opts,
         )?)
     }
 }
@@ -241,16 +265,18 @@ impl Simulation for ProdLocalSim {
         "prod-local"
     }
 
-    fn simulate(
+    fn simulate_with(
         alg: &Self::Algorithm,
         instance: Self::Instance<'_>,
-    ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
-        Ok(lcl_grid::simulate(
+        opts: RunOptions<'_>,
+    ) -> Result<RunReport<Degraded<Self::Outcome>>, LandscapeError> {
+        Ok(lcl_grid::simulate_with(
             alg,
             instance.grid,
             instance.input,
             instance.ids,
             instance.n_announced,
+            opts,
         ))
     }
 }

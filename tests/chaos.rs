@@ -10,16 +10,17 @@
 use lcl_rng::SmallRng;
 
 use lcl_landscape::core::{ReError, ReOptions, ReTower};
-use lcl_landscape::faults::{Budget, FaultPlan};
+use lcl_landscape::faults::{Budget, FaultPlan, RunOptions};
 use lcl_landscape::graph::{gen, Graph, HalfEdgeId};
-use lcl_landscape::grid::{simulate_prod_faulted, FnProdAlgorithm, OrientedGrid, ProdIds};
+use lcl_landscape::grid::{
+    simulate_with as simulate_prod_with, FnProdAlgorithm, OrientedGrid, ProdIds,
+};
 use lcl_landscape::lcl::{uniform_input, verify, HalfEdgeLabeling, OutLabel};
-use lcl_landscape::local::{simulate_sync_faulted, IdAssignment};
+use lcl_landscape::local::{simulate_sync_with, IdAssignment};
 use lcl_landscape::problems::{anti_matching, k_coloring, DeltaPlusOne};
 use lcl_landscape::volume::lca::VolumeAsLca;
 use lcl_landscape::volume::{
-    simulate_faulted as simulate_volume_faulted, simulate_lca_faulted, FnVolumeAlgorithm,
-    ProbeSession,
+    simulate_lca_with, simulate_with as simulate_volume_with, FnVolumeAlgorithm, ProbeSession,
 };
 
 /// How a single chaos run ended; the absence of a fourth (panic) leg is
@@ -61,15 +62,14 @@ fn local_run(seed: u64) -> (Leg, String) {
         .iter()
         .collect();
     let plan = FaultPlan::random(seed, n, 4);
-    let report = simulate_sync_faulted(
+    let report = simulate_sync_with(
         &DeltaPlusOne { delta: 3 },
         &g,
         &input,
         &ids,
         None,
         1000,
-        &plan,
-        None,
+        RunOptions::new().faults(&plan),
     );
     let degraded = &report.outcome;
     let fp = format!(
@@ -112,8 +112,15 @@ fn volume_run(seed: u64) -> (Leg, String) {
     let input = uniform_input(&g);
     let ids = IdAssignment::random_polynomial(n, 3, seed ^ 2);
     let plan = FaultPlan::random(seed, n, 4);
-    let report =
-        simulate_volume_faulted(&neighbor_probe_alg(), &g, &input, &ids, None, &plan, None);
+    let report = simulate_volume_with(
+        &neighbor_probe_alg(),
+        &g,
+        &input,
+        &ids,
+        None,
+        RunOptions::new().faults(&plan),
+    )
+    .expect("faulted runs degrade instead of erroring");
     let degraded = &report.outcome;
     let fp = format!(
         "probes={};out={};faults={}",
@@ -140,14 +147,14 @@ fn lca_run(seed: u64) -> (Leg, String) {
     let input = uniform_input(&g);
     let ids = IdAssignment::from_vec((1..=n as u64).collect());
     let plan = FaultPlan::random(seed, n, 4);
-    let report = simulate_lca_faulted(
+    let report = simulate_lca_with(
         &VolumeAsLca(neighbor_probe_alg()),
         &g,
         &input,
         &ids,
-        &plan,
-        None,
-    );
+        RunOptions::new().faults(&plan),
+    )
+    .expect("faulted runs degrade instead of erroring");
     let degraded = &report.outcome;
     let fp = format!(
         "probes={};out={};faults={}",
@@ -179,7 +186,14 @@ fn prod_run(seed: u64) -> (Leg, String) {
             vec![OutLabel((view.id(0, -1) % 97) as u32); 2 * view.d]
         },
     );
-    let report = simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+    let report = simulate_prod_with(
+        &alg,
+        &grid,
+        &input,
+        &ids,
+        None,
+        RunOptions::new().faults(&plan),
+    );
     let degraded = &report.outcome;
     let fp = format!(
         "out={};faults={}",

@@ -144,8 +144,8 @@ fn matching_corruptions_are_always_caught() {
 #[test]
 fn crash_stop_on_synthesized_algorithm_verifies_or_localizes() {
     use lcl_landscape::core::{tree_speedup, SpeedupOptions};
-    use lcl_landscape::faults::{Fault, FaultPlan};
-    use lcl_landscape::local::simulate_sync_faulted;
+    use lcl_landscape::faults::{Fault, FaultPlan, RunOptions};
+    use lcl_landscape::local::simulate_sync_with;
 
     let problem = lcl_landscape::problems::anti_matching(3);
     let outcome = tree_speedup(&problem, SpeedupOptions::default());
@@ -161,7 +161,15 @@ fn crash_stop_on_synthesized_algorithm_verifies_or_localizes() {
             node: crashed,
             round: 0,
         });
-        let report = simulate_sync_faulted(&alg, &g, &input, &ids, None, 10, &plan, None);
+        let report = simulate_sync_with(
+            &alg,
+            &g,
+            &input,
+            &ids,
+            None,
+            10,
+            RunOptions::new().faults(&plan),
+        );
         let degraded = &report.outcome;
         // The crash cascades no further than its direct neighbors (the
         // 1-round algorithm needs one message from each neighbor): every
@@ -213,8 +221,8 @@ fn crash_stop_on_synthesized_algorithm_verifies_or_localizes() {
 #[test]
 fn id_permutations_preserve_synthesized_round_counts() {
     use lcl_landscape::core::{tree_speedup, SpeedupOptions};
-    use lcl_landscape::faults::FaultPlan;
-    use lcl_landscape::local::simulate_sync_faulted;
+    use lcl_landscape::faults::{FaultPlan, RunOptions};
+    use lcl_landscape::local::simulate_sync_with;
 
     let problem = lcl_landscape::problems::anti_matching(3);
     let outcome = tree_speedup(&problem, SpeedupOptions::default());
@@ -225,13 +233,29 @@ fn id_permutations_preserve_synthesized_round_counts() {
     let g = gen::random_tree(30, 3, 12);
     let input = uniform_input(&g);
     let ids: Vec<u64> = (0..30u64).map(|i| 1000 - i * 7).collect();
-    let baseline =
-        simulate_sync_faulted(&alg, &g, &input, &ids, None, 10, &FaultPlan::new(0), None);
+    let clean_plan = FaultPlan::new(0);
+    let baseline = simulate_sync_with(
+        &alg,
+        &g,
+        &input,
+        &ids,
+        None,
+        10,
+        RunOptions::new().faults(&clean_plan),
+    );
     assert!(!baseline.outcome.is_degraded());
     let baseline_rounds = baseline.outcome.outcome.rounds;
     for seed in 0..12u64 {
         let plan = FaultPlan::new(seed).with_permuted_ids();
-        let report = simulate_sync_faulted(&alg, &g, &input, &ids, None, 10, &plan, None);
+        let report = simulate_sync_with(
+            &alg,
+            &g,
+            &input,
+            &ids,
+            None,
+            10,
+            RunOptions::new().faults(&plan),
+        );
         let degraded = &report.outcome;
         assert!(!degraded.is_degraded(), "a permutation is not a fault");
         assert_eq!(

@@ -18,13 +18,13 @@
 use lcl_rng::SmallRng;
 
 use lcl_landscape::core::{ReOptions, ReTower};
-use lcl_landscape::faults::{Budget, Fault, FaultPlan};
+use lcl_landscape::faults::{Budget, Fault, FaultPlan, RunOptions};
 use lcl_landscape::graph::gen;
 use lcl_landscape::grid::{
-    simulate_prod_faulted, FnProdAlgorithm, GridView, OrientedGrid, ProdIds,
+    simulate_with as simulate_prod_with, FnProdAlgorithm, GridView, OrientedGrid, ProdIds,
 };
 use lcl_landscape::lcl::{uniform_input, verify, LclProblem, OutLabel};
-use lcl_landscape::local::{simulate_sync_faulted, IdAssignment};
+use lcl_landscape::local::{simulate_sync_with, IdAssignment};
 use lcl_landscape::obs::EventLog;
 use lcl_landscape::problems::{k_coloring, sinkless_orientation, DeltaPlusOne};
 use lcl_landscape::recover::{
@@ -33,8 +33,8 @@ use lcl_landscape::recover::{
 };
 use lcl_landscape::volume::lca::VolumeAsLca;
 use lcl_landscape::volume::{
-    simulate_faulted as simulate_volume_faulted, simulate_lca_faulted, FnVolumeAlgorithm,
-    ProbeError, ProbeSession,
+    simulate_lca_with, simulate_with as simulate_volume_with, FnVolumeAlgorithm, ProbeError,
+    ProbeSession,
 };
 
 /// How one recovery attempt ended. `Invalid` must never appear.
@@ -125,7 +125,15 @@ fn sync_recovery(seed: u64) -> Outcome {
     let plan = crash_corrupt_plan(seed, n);
     let alg = DeltaPlusOne { delta: 2 };
     let p = k_coloring(3, 2);
-    let report = simulate_sync_faulted(&alg, &g, &input, &ids, None, 1000, &plan, None);
+    let report = simulate_sync_with(
+        &alg,
+        &g,
+        &input,
+        &ids,
+        None,
+        1000,
+        RunOptions::new().faults(&plan),
+    );
     let mended = repair_sync_degraded(
         &alg,
         &p,
@@ -151,7 +159,15 @@ fn volume_recovery(seed: u64) -> Outcome {
     let plan = crash_corrupt_plan(seed, n);
     let alg = threshold_alg(n as u64);
     let p = endpoints_problem();
-    let report = simulate_volume_faulted(&alg, &g, &input, &ids, None, &plan, None);
+    let report = simulate_volume_with(
+        &alg,
+        &g,
+        &input,
+        &ids,
+        None,
+        RunOptions::new().faults(&plan),
+    )
+    .expect("faulted runs degrade instead of erroring");
     let mended = repair_volume_degraded(
         &alg,
         &p,
@@ -177,7 +193,8 @@ fn lca_recovery(seed: u64) -> Outcome {
     let plan = crash_corrupt_plan(seed, n);
     let alg = VolumeAsLca(threshold_alg(n as u64));
     let p = endpoints_problem();
-    let report = simulate_lca_faulted(&alg, &g, &input, &ids, &plan, None);
+    let report = simulate_lca_with(&alg, &g, &input, &ids, RunOptions::new().faults(&plan))
+        .expect("faulted runs degrade instead of erroring");
     let mended = repair_lca_degraded(
         &alg,
         &p,
@@ -218,7 +235,14 @@ fn prod_recovery(seed: u64) -> Outcome {
             vec![label; 2 * view.d]
         },
     );
-    let report = simulate_prod_faulted(&alg, &grid, &input, &ids, None, &plan, None);
+    let report = simulate_prod_with(
+        &alg,
+        &grid,
+        &input,
+        &ids,
+        None,
+        RunOptions::new().faults(&plan),
+    );
     let mended = repair_prod_degraded(
         &alg,
         &p,
