@@ -227,6 +227,8 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ProtocolError>
     expect(bytes, &mut pos, b'{', "an object opening `{`")?;
     skip_ws(bytes, &mut pos);
     if peek(bytes, pos) == Some(b'}') {
+        pos += 1;
+        expect_line_end(bytes, pos)?;
         return Ok(fields);
     }
     loop {
@@ -240,7 +242,11 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ProtocolError>
         skip_ws(bytes, &mut pos);
         match peek(bytes, pos) {
             Some(b',') => pos += 1,
-            Some(b'}') => return Ok(fields),
+            Some(b'}') => {
+                pos += 1;
+                expect_line_end(bytes, pos)?;
+                return Ok(fields);
+            }
             _ => {
                 return Err(ProtocolError::Malformed {
                     pos,
@@ -248,6 +254,20 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ProtocolError>
                 })
             }
         }
+    }
+}
+
+/// Only whitespace may follow the object's closing `}` — anything else
+/// is trailing garbage, not a protocol line.
+fn expect_line_end(bytes: &[u8], mut pos: usize) -> Result<(), ProtocolError> {
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Ok(())
+    } else {
+        Err(ProtocolError::Malformed {
+            pos,
+            what: "end of line after the closing `}`",
+        })
     }
 }
 
@@ -335,23 +355,38 @@ fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Pro
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = line
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or(ProtocolError::Malformed {
+                        let code = parse_hex4(line, *pos)?;
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // A high surrogate: standard encoders (e.g.
+                            // `json.dumps` with `ensure_ascii`) spell
+                            // non-BMP characters as a \uXXXX\uXXXX
+                            // pair; require and combine the low half.
+                            let pair_err = ProtocolError::Malformed {
                                 pos: *pos,
-                                what: "four hex digits after \\u",
-                            })?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| ProtocolError::Malformed {
+                                what: "a \\u low surrogate completing the pair",
+                            };
+                            if bytes.get(*pos + 5) != Some(&b'\\')
+                                || bytes.get(*pos + 6) != Some(&b'u')
+                            {
+                                return Err(pair_err);
+                            }
+                            let low = parse_hex4(line, *pos + 6)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(pair_err);
+                            }
+                            let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(char::from_u32(scalar).expect(
+                                "why: a combined surrogate pair always lands in a valid plane",
+                            ));
+                            *pos += 10;
+                        } else {
+                            let c = char::from_u32(code).ok_or(ProtocolError::Malformed {
                                 pos: *pos,
-                                what: "four hex digits after \\u",
+                                what: "a \\u high surrogate before a low surrogate",
                             })?;
-                        let c = char::from_u32(code).ok_or(ProtocolError::Malformed {
-                            pos: *pos,
-                            what: "a scalar \\u escape (no surrogates)",
-                        })?;
-                        out.push(c);
-                        *pos += 4;
+                            out.push(c);
+                            *pos += 4;
+                        }
                     }
                     _ => {
                         return Err(ProtocolError::Malformed {
@@ -374,6 +409,21 @@ fn parse_string(line: &str, bytes: &[u8], pos: &mut usize) -> Result<String, Pro
             }
         }
     }
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape; `pos_of_u` is the
+/// byte offset of the `u`.
+fn parse_hex4(line: &str, pos_of_u: usize) -> Result<u32, ProtocolError> {
+    let err = ProtocolError::Malformed {
+        pos: pos_of_u,
+        what: "four hex digits after \\u",
+    };
+    let hex = line.get(pos_of_u + 1..pos_of_u + 5).ok_or(err.clone())?;
+    if !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        // from_str_radix would accept a sign here; JSON does not.
+        return Err(err);
+    }
+    u32::from_str_radix(hex, 16).map_err(|_| err)
 }
 
 fn get_str(fields: &[(String, Scalar)], name: &'static str) -> Result<String, ProtocolError> {
@@ -570,6 +620,42 @@ mod tests {
             parse_response("{\"id\":1,\"event\":\"surprise\"}"),
             Err(ProtocolError::Field { name: "event", .. })
         ));
+    }
+
+    #[test]
+    fn trailing_garbage_after_the_object_is_rejected() {
+        for line in [
+            "{\"id\":1,\"problem\":\"p\",\"steps\":1}garbage",
+            "{\"id\":1,\"problem\":\"p\",\"steps\":1}{\"id\":2}",
+            "{} extra",
+        ] {
+            assert!(
+                matches!(parse_request(line), Err(ProtocolError::Malformed { .. })),
+                "{line}"
+            );
+        }
+        // Trailing whitespace is not garbage.
+        assert!(parse_request("{\"id\":1,\"problem\":\"p\",\"steps\":1}  ").is_ok());
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_decode_and_lone_halves_are_rejected() {
+        // Python: json.dumps("😀") == '"\\ud83d\\ude00"'.
+        let req =
+            parse_request("{\"id\":1,\"problem\":\"\\ud83d\\ude00 ok\",\"steps\":1}").unwrap();
+        assert_eq!(req.problem, "\u{1f600} ok");
+        for line in [
+            // A lone high surrogate, an unpaired high surrogate, and a
+            // lone low surrogate.
+            "{\"id\":1,\"problem\":\"\\ud83d\",\"steps\":1}",
+            "{\"id\":1,\"problem\":\"\\ud83d x\",\"steps\":1}",
+            "{\"id\":1,\"problem\":\"\\ude00\",\"steps\":1}",
+        ] {
+            assert!(
+                matches!(parse_request(line), Err(ProtocolError::Malformed { .. })),
+                "{line}"
+            );
+        }
     }
 
     #[test]

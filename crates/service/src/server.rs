@@ -5,20 +5,24 @@
 //! A [`ClassifyRequest`] travels one of three paths:
 //!
 //! 1. **Cache hit** — the problem's canonical fingerprint is already
-//!    published in the store; the snapshot is served immediately, on the
-//!    submitting thread, with `cached: true`. No queueing, no
-//!    recomputation.
+//!    published in the store *at least as deep as the requested
+//!    `steps`*; the snapshot is served immediately, on the submitting
+//!    thread, with `cached: true`. No queueing, no recomputation.
 //! 2. **Coalesced** — a structurally identical job is already in flight;
 //!    the new subscriber is attached to it and receives the same
-//!    progress stream and terminal result. One tower is computed no
-//!    matter how many spellings of the problem arrive concurrently.
-//! 3. **Miss** — the job enters the bounded queue. A worker drives the
-//!    build through [`supervise_tower_from`] (escalating budgets,
+//!    progress stream and terminal result. A subscriber asking for more
+//!    `steps` than the job was enqueued with raises the job's shared
+//!    depth target, so one tower is computed — to the deepest requested
+//!    level — no matter how many spellings arrive concurrently.
+//! 3. **Miss** — the key is absent, or published shallower than the
+//!    request needs. The job enters the bounded queue; a worker drives
+//!    the build through [`supervise_tower_from`] (escalating budgets,
 //!    panic-isolated steps, deterministic retry backoff), persisting a
-//!    [checkpoint](TowerStore::checkpoint) before every `f`-step. A
-//!    server killed mid-build finds that checkpoint on restart and
-//!    resumes instead of starting over; the finished tower is
-//!    fingerprint-identical either way.
+//!    [checkpoint](TowerStore::checkpoint) before every `f`-step. The
+//!    build resumes from the deepest decodable snapshot for the key —
+//!    the crash checkpoint of a killed server, or the published tower a
+//!    deepening request extends — instead of starting over; the
+//!    finished tower is fingerprint-identical either way.
 //!
 //! Towers are always built from the problem's
 //! [`canonical_text_form`], so every spelling of a structural class
@@ -108,15 +112,19 @@ impl std::error::Error for SubmitError {}
 /// coalesced, queued, and rejected paths.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct ServiceStats {
-    /// Submissions accepted or rejected.
+    /// Submissions accepted or queue-rejected (exactly the sum of the
+    /// four path counters; parse and store-lookup failures never reach
+    /// any path and are not counted).
     pub requests: u64,
     /// Requests answered from the store without any computation.
     pub cache_hits: u64,
     /// Requests attached to an already in-flight identical job.
     pub coalesced: u64,
-    /// Jobs a worker actually computed (one per structural class).
+    /// Jobs a worker actually computed (one per structural class and
+    /// requested depth increase).
     pub computed: u64,
-    /// Jobs that resumed from an on-disk checkpoint.
+    /// Jobs that resumed from an on-disk snapshot (a crash checkpoint
+    /// or a published tower being deepened).
     pub resumed: u64,
     /// Submissions rejected because the queue was full.
     pub rejected: u64,
@@ -128,10 +136,18 @@ pub struct ServiceStats {
 struct Job {
     key: String,
     base: LclProblem,
-    steps: u64,
+    /// The deepest `steps` any subscriber has asked this build for;
+    /// shared with the inflight entry so coalescing can raise it.
+    target: Arc<AtomicU64>,
 }
 
 type Subscribers = Vec<(u64, mpsc::Sender<Response>)>;
+
+/// The subscribers of an in-flight build plus its shared depth target.
+struct Inflight {
+    subs: Subscribers,
+    target: Arc<AtomicU64>,
+}
 
 #[derive(Default)]
 struct Counters {
@@ -149,7 +165,7 @@ struct Inner {
     config: ServiceConfig,
     queue: Mutex<VecDeque<Job>>,
     not_empty: Condvar,
-    inflight: Mutex<HashMap<String, Subscribers>>,
+    inflight: Mutex<HashMap<String, Inflight>>,
     shutdown: AtomicBool,
     counters: Counters,
 }
@@ -207,7 +223,9 @@ impl ClassifyServer {
         if inner.shutdown.load(Ordering::SeqCst) {
             return Err(SubmitError::ShuttingDown);
         }
-        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // `requests` counts only the four documented outcomes (hit,
+        // coalesced, queued, rejected); parse and store-lookup failures
+        // never reach any of them.
         let problem = LclProblem::parse(&req.problem).map_err(SubmitError::Problem)?;
         let key = canonical_key(&problem);
         let (tx, rx) = mpsc::channel();
@@ -216,35 +234,52 @@ impl ClassifyServer {
         // our miss and our registration (its publish happens before the
         // unregister, so we either coalesce or hit).
         let mut inflight = lock(&inner.inflight);
-        if let Some(subs) = inflight.get_mut(&key) {
-            subs.push((req.id, tx));
+        if let Some(entry) = inflight.get_mut(&key) {
+            // Raise the shared depth target if this subscriber wants a
+            // deeper tower; the worker re-checks it before finishing.
+            entry.target.fetch_max(req.steps, Ordering::SeqCst);
+            entry.subs.push((req.id, tx));
+            inner.counters.requests.fetch_add(1, Ordering::Relaxed);
             inner.counters.coalesced.fetch_add(1, Ordering::Relaxed);
             return Ok(rx);
         }
         match inner.store.get(&key) {
-            Ok(Some(snap)) => {
+            Ok(Some(snap)) if snapshot_derived_f(&snap) >= req.steps => {
                 drop(inflight);
+                inner.counters.requests.fetch_add(1, Ordering::Relaxed);
                 inner.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 let result = result_from_snapshot(req.id, &key, &snap);
                 let _ = tx.send(Response::Result(result));
                 return Ok(rx);
             }
-            Ok(None) => {}
+            // Absent, or published shallower than requested: enqueue a
+            // build (the worker resumes from the published snapshot, so
+            // a deepening job pays only for the missing levels).
+            Ok(_) => {}
             Err(e) => return Err(SubmitError::Store(e)),
         }
         let mut queue = lock(&inner.queue);
         if queue.len() >= inner.config.queue_capacity {
+            inner.counters.requests.fetch_add(1, Ordering::Relaxed);
             inner.counters.rejected.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull {
                 capacity: inner.config.queue_capacity,
             });
         }
+        let target = Arc::new(AtomicU64::new(req.steps));
         queue.push_back(Job {
             key: key.clone(),
             base: canonical_text_form(&problem),
-            steps: req.steps,
+            target: Arc::clone(&target),
         });
-        inflight.insert(key, vec![(req.id, tx)]);
+        inflight.insert(
+            key,
+            Inflight {
+                subs: vec![(req.id, tx)],
+                target,
+            },
+        );
+        inner.counters.requests.fetch_add(1, Ordering::Relaxed);
         drop(queue);
         drop(inflight);
         inner.not_empty.notify_one();
@@ -318,8 +353,8 @@ fn worker_loop(inner: &Inner) {
 /// Sends `make(subscriber_id)` to every current subscriber of `key`.
 fn broadcast(inner: &Inner, key: &str, make: impl Fn(u64) -> Response) {
     let inflight = lock(&inner.inflight);
-    if let Some(subs) = inflight.get(key) {
-        for (id, tx) in subs {
+    if let Some(entry) = inflight.get(key) {
+        for (id, tx) in &entry.subs {
             let _ = tx.send(make(*id));
         }
     }
@@ -327,113 +362,152 @@ fn broadcast(inner: &Inner, key: &str, make: impl Fn(u64) -> Response) {
 
 /// Removes `key`'s subscribers and sends each its terminal response.
 fn finish(inner: &Inner, key: &str, make: impl Fn(u64) -> Response) {
-    let subs = lock(&inner.inflight).remove(key).unwrap_or_default();
+    let subs = lock(&inner.inflight)
+        .remove(key)
+        .map(|entry| entry.subs)
+        .unwrap_or_default();
     for (id, tx) in subs {
         let _ = tx.send(make(id));
     }
 }
 
+/// The deepest decodable resume point for `key`: the crash checkpoint
+/// of a killed build, or the already-published tower a deepening
+/// request extends. `None` means a fresh build (an undecodable
+/// snapshot is worth a recompute, not a failure).
+fn deepest_resume_point(inner: &Inner, key: &str) -> Option<ReTower> {
+    let candidates = [
+        inner.store.load_checkpoint(key).ok().flatten(),
+        inner.store.get(key).ok().flatten(),
+    ];
+    let mut best: Option<ReTower> = None;
+    for snap in candidates.into_iter().flatten() {
+        if let Ok(tower) = ReTower::resume_from(&snap) {
+            if best
+                .as_ref()
+                .is_none_or(|b| tower.level_count() > b.level_count())
+            {
+                best = Some(tower);
+            }
+        }
+    }
+    best
+}
+
 fn run_job(inner: &Inner, job: &Job) {
     inner.counters.computed.fetch_add(1, Ordering::Relaxed);
-    // Resume from the on-disk checkpoint of a previous (killed) process
-    // when one exists; an undecodable checkpoint means a fresh build.
     let mut resumed_from = 0u64;
-    let mut tower = match inner.store.load_checkpoint(&job.key) {
-        Ok(Some(snap)) => match ReTower::resume_from(&snap) {
-            Ok(tower) => {
-                resumed_from = (tower.level_count() - 1) as u64;
-                if resumed_from > 0 {
-                    inner.counters.resumed.fetch_add(1, Ordering::Relaxed);
-                }
-                tower
+    let mut tower = match deepest_resume_point(inner, &job.key) {
+        Some(tower) => {
+            resumed_from = (tower.level_count() - 1) as u64;
+            if resumed_from > 0 {
+                inner.counters.resumed.fetch_add(1, Ordering::Relaxed);
             }
-            Err(_) => ReTower::new(job.base.clone()),
-        },
-        _ => ReTower::new(job.base.clone()),
+            tower
+        }
+        None => ReTower::new(job.base.clone()),
     };
-    let log = EventLog::new(inner.config.event_capacity);
-    let mut seen = 0usize;
     let mut gave_up: Option<String> = None;
     loop {
-        let derived_f = (tower.level_count() - 1) / 2;
-        if derived_f >= job.steps as usize {
-            break;
-        }
-        // Persist before attempting the next f-step: this is the state a
-        // restarted server resumes from.
-        if let Err(e) = inner.store.checkpoint(&job.key, &tower.snapshot()) {
-            finish(inner, &job.key, |id| Response::Error {
-                id,
-                error: format!("checkpoint failed: {e}"),
-            });
-            return;
-        }
-        broadcast(inner, &job.key, |id| Response::Progress {
-            id,
-            kind: "checkpoint",
-            stage: format!("re-tower/level-{}", tower.level_count()),
-            detail: (tower.level_count() - 1) as u64,
-        });
-        let recovery = supervise_tower_from(
-            tower,
-            derived_f + 1,
-            inner.config.re_opts,
-            inner.config.budget,
-            inner.config.policy,
-            Some(&log),
-        );
-        tower = recovery.tower;
-        let events = log.events();
-        for event in &events[seen.min(events.len())..] {
-            if let Event::Retry { stage, attempt, .. } = event {
-                let (stage, attempt) = (stage.clone(), *attempt);
-                broadcast(inner, &job.key, |id| Response::Progress {
+        loop {
+            let derived_f = (tower.level_count() - 1) / 2;
+            if derived_f >= job.target.load(Ordering::SeqCst) as usize {
+                break;
+            }
+            // Persist before attempting the next f-step: this is the
+            // state a restarted server resumes from.
+            if let Err(e) = inner.store.checkpoint(&job.key, &tower.snapshot()) {
+                finish(inner, &job.key, |id| Response::Error {
                     id,
-                    kind: "retry",
-                    stage: stage.clone(),
-                    detail: attempt,
+                    error: format!("checkpoint failed: {e}"),
                 });
+                return;
+            }
+            broadcast(inner, &job.key, |id| Response::Progress {
+                id,
+                kind: "checkpoint",
+                stage: format!("re-tower/level-{}", tower.level_count()),
+                detail: (tower.level_count() - 1) as u64,
+            });
+            // A fresh log per step: the supervisor's ring buffer evicts
+            // old events, so replaying with a cursor into a shared log
+            // would re-send or drop retries once it wraps.
+            let log = EventLog::new(inner.config.event_capacity);
+            let recovery = supervise_tower_from(
+                tower,
+                derived_f + 1,
+                inner.config.re_opts,
+                inner.config.budget,
+                inner.config.policy,
+                Some(&log),
+            );
+            tower = recovery.tower;
+            for event in log.events() {
+                if let Event::Retry { stage, attempt, .. } = event {
+                    broadcast(inner, &job.key, |id| Response::Progress {
+                        id,
+                        kind: "retry",
+                        stage: stage.clone(),
+                        detail: attempt,
+                    });
+                }
+            }
+            if let Some(err) = recovery.gave_up {
+                gave_up = Some(err.to_string());
+                break;
             }
         }
-        seen = events.len();
-        if let Some(err) = recovery.gave_up {
-            gave_up = Some(err.to_string());
-            break;
+        let snap = tower.snapshot();
+        if gave_up.is_none() {
+            // Publish, then drop the checkpoint: the order matters — a
+            // crash between the two leaves both, and resume is merely
+            // redundant.
+            if let Err(e) = inner.store.put(&job.key, &snap) {
+                finish(inner, &job.key, |id| Response::Error {
+                    id,
+                    error: format!("publish failed: {e}"),
+                });
+                return;
+            }
+            let _ = inner.store.clear_checkpoint(&job.key);
+        } else {
+            // Keep the checkpoint: a resubmission with a bigger budget
+            // picks up where this attempt stopped.
+            inner.counters.gave_up.fetch_add(1, Ordering::Relaxed);
         }
-    }
-    let snap = tower.snapshot();
-    if gave_up.is_none() {
-        // Publish, then drop the checkpoint: the order matters — a crash
-        // between the two leaves both, and resume is merely redundant.
-        if let Err(e) = inner.store.put(&job.key, &snap) {
-            finish(inner, &job.key, |id| Response::Error {
+        // Decide the terminal under the inflight lock: a deeper request
+        // coalescing at this instant either raised the target before we
+        // read it here (we keep building), or arrives after the entry
+        // is removed and hits the just-published snapshot instead.
+        let mut inflight = lock(&inner.inflight);
+        let achieved = (tower.level_count() - 1) / 2;
+        if gave_up.is_none() && achieved < job.target.load(Ordering::SeqCst) as usize {
+            drop(inflight);
+            continue;
+        }
+        let subs = inflight
+            .remove(&job.key)
+            .map(|entry| entry.subs)
+            .unwrap_or_default();
+        drop(inflight);
+        let template = ClassifyResult {
+            id: 0,
+            fingerprint: job.key.clone(),
+            tower_fingerprint: snap.fingerprint(),
+            levels: tower.level_count() as u64,
+            fixpoint: fixpoint_from_snapshot(&snap),
+            cached: false,
+            resumed_from_level: resumed_from,
+            gave_up,
+        };
+        for (id, tx) in subs {
+            let _ = tx.send(Response::Result(ClassifyResult {
                 id,
-                error: format!("publish failed: {e}"),
-            });
-            return;
+                ..template.clone()
+            }));
         }
-        let _ = inner.store.clear_checkpoint(&job.key);
-    } else {
-        // Keep the checkpoint: a resubmission with a bigger budget picks
-        // up where this attempt stopped.
-        inner.counters.gave_up.fetch_add(1, Ordering::Relaxed);
+        return;
     }
-    let template = ClassifyResult {
-        id: 0,
-        fingerprint: job.key.clone(),
-        tower_fingerprint: snap.fingerprint(),
-        levels: tower.level_count() as u64,
-        fixpoint: fixpoint_from_snapshot(&snap),
-        cached: false,
-        resumed_from_level: resumed_from,
-        gave_up,
-    };
-    finish(inner, &job.key, |id| {
-        Response::Result(ClassifyResult {
-            id,
-            ..template.clone()
-        })
-    });
 }
 
 /// The earliest level the topmost level's extensional table repeats,
@@ -445,6 +519,12 @@ fn fixpoint_from_snapshot(snap: &TowerSnapshot) -> Option<u64> {
             .find(|(name, _)| name == "fixpoint-of")
             .map(|&(_, v)| v)
     })
+}
+
+/// Derived `f`-rounds a stored tower contains: each `f = R̄ ∘ R` step
+/// adds two layers on top of the base level.
+fn snapshot_derived_f(snap: &TowerSnapshot) -> u64 {
+    (snap.layers.len() / 2) as u64
 }
 
 /// Builds the `cached: true` result a store hit is answered with.
@@ -464,7 +544,7 @@ fn result_from_snapshot(id: u64, key: &str, snap: &TowerSnapshot) -> ClassifyRes
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lcl_problems::catalog::sinkless_orientation;
+    use lcl_problems::catalog::{sinkless_orientation, two_coloring};
     use std::path::PathBuf;
 
     fn tmp_store(tag: &str) -> (Arc<TowerStore>, PathBuf) {
@@ -575,6 +655,86 @@ mod tests {
     }
 
     #[test]
+    fn a_deeper_request_rebuilds_a_shallower_published_tower() {
+        let (store, dir) = tmp_store("deepen");
+        let server = ClassifyServer::start(store, ServiceConfig::default());
+        let p = sinkless_orientation(3);
+        let rx = server.submit(&request(1, &p, 1)).unwrap();
+        let shallow = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert!(!shallow.cached);
+        assert_eq!(shallow.levels, 3);
+
+        // A deeper request must not be capped by the 1-step entry: it
+        // deepens the published tower instead of echoing it.
+        let rx = server.submit(&request(2, &p, 2)).unwrap();
+        let deep = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert!(!deep.cached);
+        assert_eq!(deep.levels, 5);
+        assert_eq!(
+            deep.resumed_from_level, 2,
+            "deepening resumes from the published snapshot"
+        );
+
+        // A shallow request is now served the deeper tower from cache.
+        let rx = server.submit(&request(3, &p, 1)).unwrap();
+        let hit = match terminal(&rx) {
+            Response::Result(r) => r,
+            other => panic!("expected a result, got {other:?}"),
+        };
+        assert!(hit.cached);
+        assert_eq!(hit.levels, 5);
+        let stats = server.stats();
+        assert_eq!(stats.computed, 2);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.resumed, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn coalesced_deeper_requests_raise_the_build_target() {
+        let (store, dir) = tmp_store("deep-coalesce");
+        let server = ClassifyServer::start(
+            store,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        // Stall the single worker with an unrelated job so both
+        // submissions below land before their job starts.
+        let blocker = two_coloring(3);
+        let p = sinkless_orientation(3);
+        let rx_blocker = server.submit(&request(0, &blocker, 1)).unwrap();
+        let rx_shallow = server.submit(&request(1, &p, 1)).unwrap();
+        let rx_deep = server.submit(&request(2, &p, 2)).unwrap();
+        let _ = terminal(&rx_blocker);
+        // The coalesced steps=2 subscriber raised the job's target, so
+        // one build runs to depth 2 and both subscribers see it.
+        for (rx, id) in [(&rx_shallow, 1u64), (&rx_deep, 2u64)] {
+            match terminal(rx) {
+                Response::Result(r) => {
+                    assert_eq!(r.id, id);
+                    assert!(!r.cached);
+                    assert_eq!(r.levels, 5, "the raised target governs the build");
+                }
+                other => panic!("expected a result, got {other:?}"),
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.computed, 2, "the blocker plus one coalesced build");
+        assert_eq!(stats.coalesced, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn killed_mid_job_resumes_from_the_checkpoint_to_an_identical_tower() {
         let (store, dir) = tmp_store("resume");
         let p = sinkless_orientation(3);
@@ -636,6 +796,11 @@ mod tests {
             steps: 1,
         };
         assert!(matches!(server.submit(&bad), Err(SubmitError::Problem(_))));
+        assert_eq!(
+            server.stats().requests,
+            0,
+            "a parse failure reaches none of the four request paths"
+        );
         server.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }
