@@ -1,0 +1,8 @@
+//! `cargo bench -p lcl-bench --bench curves` — sweeps every Figure 1
+//! panel algorithm over decades of `n`, fits the event-derived cost
+//! counts against the candidate asymptotic shapes, and writes
+//! `BENCH_curves.json` for the `bench-diff` curves gate.
+
+fn main() {
+    lcl_bench::curves::curves_report().print();
+}

@@ -25,6 +25,7 @@ fn main() {
 
     lcl_bench::re_engine::re_engine().print();
     lcl_bench::obs_report::obs_report().print();
+    lcl_bench::curves::curves_report().print();
 
     println!("\nall experiments completed in {:.1?}", t0.elapsed());
 }

@@ -16,7 +16,10 @@
 //! `threads_available` is informational. `par_speedup` is gated by a
 //! floor (default 1.5, `--speedup-floor 2.0` to tighten) whenever the
 //! candidate report was measured with at least 8 threads and the problem
-//! is big enough to rise above scheduler noise. Exit codes: 0 = clean,
+//! is big enough to rise above scheduler noise. Curves panels
+//! (`BENCH_curves.json`) gate on the fitted asymptotic class bit-exactly
+//! plus an `r2` floor (default 0.8, `--r2-floor 0.9` to tighten) — they
+//! carry no wall keys, so wall noise cannot fail them. Exit codes: 0 = clean,
 //! 1 = regression or schema violation, 2 = usage/parse error.
 
 use std::process::ExitCode;
@@ -29,13 +32,14 @@ struct Args {
     candidate: Option<String>,
     wall_tolerance: f64,
     speedup_floor: f64,
+    r2_floor: f64,
     schema_only: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench-diff [--wall-tol FRACTION] [--speedup-floor RATIO] \
-         [--check-schema] BASELINE [CANDIDATE]\n\
+         [--r2-floor R2] [--check-schema] BASELINE [CANDIDATE]\n\
          \n\
          Compares CANDIDATE against BASELINE (both BENCH_*.json reports).\n\
          With no CANDIDATE, self-diffs BASELINE (always clean) — useful\n\
@@ -50,6 +54,7 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut candidate = None;
     let mut wall_tolerance = DiffOptions::default().wall_tolerance;
     let mut speedup_floor = DiffOptions::default().speedup_floor;
+    let mut r2_floor = DiffOptions::default().r2_floor;
     let mut schema_only = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -80,6 +85,19 @@ fn parse_args() -> Result<Args, ExitCode> {
                     }
                 }
             }
+            "--r2-floor" => {
+                let Some(value) = argv.next() else {
+                    eprintln!("bench-diff: --r2-floor needs a value");
+                    return Err(usage());
+                };
+                match value.parse::<f64>() {
+                    Ok(v) if (0.0..=1.0).contains(&v) => r2_floor = v,
+                    _ => {
+                        eprintln!("bench-diff: invalid --r2-floor '{value}'");
+                        return Err(usage());
+                    }
+                }
+            }
             "--check-schema" => schema_only = true,
             "--help" | "-h" => return Err(usage()),
             _ if arg.starts_with('-') => {
@@ -102,6 +120,7 @@ fn parse_args() -> Result<Args, ExitCode> {
         candidate,
         wall_tolerance,
         speedup_floor,
+        r2_floor,
         schema_only,
     })
 }
@@ -161,6 +180,7 @@ fn main() -> ExitCode {
         DiffOptions {
             wall_tolerance: args.wall_tolerance,
             speedup_floor: args.speedup_floor,
+            r2_floor: args.r2_floor,
             ..DiffOptions::default()
         },
     );

@@ -3,20 +3,33 @@
 //!
 //! ```text
 //! classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]
+//! classify-client <socket> --stats [--id <n>]
+//! classify-client <socket> --watch [<events>] [--id <n>]
 //! ```
 //!
-//! The problem is read from the file (or stdin with `-`), wrapped in a
-//! request line, and written to the socket; every response line is
-//! echoed to stdout until the terminal result or error arrives. Exits
+//! In classify mode the problem is read from the file (or stdin with
+//! `-`), wrapped in a request line, and written to the socket; every
+//! response line is echoed to stdout until the terminal result or error
+//! arrives. `--stats` fetches one server-counter snapshot (including
+//! the Prometheus text of every computed job) and exits. `--watch`
+//! tails the server's live checkpoint/retry/level-complete telemetry,
+//! forever with no count or until `<events>` lines have streamed. Exits
 //! nonzero on transport failures or an in-band error response.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 
-use lcl_service::{encode_request, parse_response, ClassifyRequest, Response};
+use lcl_service::{
+    encode_request, encode_stats_request, encode_watch_request, parse_response, ClassifyRequest,
+    Response,
+};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]");
+    eprintln!(
+        "usage: classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]\n\
+         \x20      classify-client <socket> --stats [--id <n>]\n\
+         \x20      classify-client <socket> --watch [<events>] [--id <n>]"
+    );
     ExitCode::FAILURE
 }
 
@@ -27,36 +40,69 @@ fn main() -> ExitCode {
 }
 
 #[cfg(unix)]
+enum Mode {
+    Classify { source: String, steps: u64 },
+    Stats,
+    Watch { limit: u64 },
+}
+
+#[cfg(unix)]
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (Some(socket), Some(source)) = (args.first(), args.get(1)) else {
+    let (Some(socket), Some(selector)) = (args.first(), args.get(1)) else {
         return usage();
     };
-    let mut req = ClassifyRequest {
-        id: 1,
-        problem: String::new(),
-        steps: 1,
-    };
+    let mut id = 1u64;
     let mut i = 2;
+    let mut mode = match selector.as_str() {
+        "--stats" => Mode::Stats,
+        "--watch" => {
+            let limit = match args.get(2).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => {
+                    i = 3;
+                    n
+                }
+                None => 0,
+            };
+            Mode::Watch { limit }
+        }
+        source => Mode::Classify {
+            source: source.to_string(),
+            steps: 1,
+        },
+    };
     while i < args.len() {
         let value = args.get(i + 1).and_then(|v| v.parse::<u64>().ok());
-        match (args[i].as_str(), value) {
-            ("--steps", Some(n)) => req.steps = n,
-            ("--id", Some(n)) => req.id = n,
+        match (args[i].as_str(), value, &mut mode) {
+            ("--steps", Some(n), Mode::Classify { steps, .. }) => *steps = n,
+            ("--id", Some(n), _) => id = n,
             _ => return usage(),
         }
         i += 2;
     }
-    let read = if source == "-" {
-        std::io::stdin().lock().read_to_string(&mut req.problem)
-    } else {
-        std::fs::File::open(source).and_then(|mut f| f.read_to_string(&mut req.problem))
+    let line = match &mode {
+        Mode::Stats => encode_stats_request(id),
+        Mode::Watch { limit } => encode_watch_request(id, *limit),
+        Mode::Classify { source, steps } => {
+            let mut problem = String::new();
+            let read = if source == "-" {
+                std::io::stdin().lock().read_to_string(&mut problem)
+            } else {
+                std::fs::File::open(source).and_then(|mut f| f.read_to_string(&mut problem))
+            };
+            if let Err(e) = read {
+                eprintln!("classify-client: read {source}: {e}");
+                return ExitCode::FAILURE;
+            }
+            encode_request(&ClassifyRequest {
+                id,
+                problem,
+                steps: *steps,
+            })
+        }
     };
-    if let Err(e) = read {
-        eprintln!("classify-client: read {source}: {e}");
-        return ExitCode::FAILURE;
-    }
-    match talk(socket, &req) {
+    let streaming = matches!(mode, Mode::Watch { .. });
+    match talk(socket, &line, streaming) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -66,22 +112,32 @@ fn main() -> ExitCode {
     }
 }
 
-/// Sends the request and echoes responses; `Ok(true)` iff the terminal
-/// line is a non-error result.
+/// Sends the request line and echoes responses. In `streaming` (watch)
+/// mode every line is progress and the connection closing cleanly is
+/// success; otherwise `Ok(true)` iff the terminal line is a non-error
+/// result or stats reply.
 #[cfg(unix)]
-fn talk(socket: &str, req: &ClassifyRequest) -> std::io::Result<bool> {
+fn talk(socket: &str, request_line: &str, streaming: bool) -> std::io::Result<bool> {
     let mut stream = std::os::unix::net::UnixStream::connect(socket)?;
-    stream.write_all(encode_request(req).as_bytes())?;
+    stream.write_all(request_line.as_bytes())?;
     stream.write_all(b"\n")?;
+    // Half-close the write side: the server finishes this request's
+    // response stream, sees EOF instead of waiting for another line,
+    // and closes — without it a limit-spent watch would deadlock, each
+    // side waiting on the other.
+    stream.shutdown(std::net::Shutdown::Write)?;
     let reader = BufReader::new(stream.try_clone()?);
     for line in reader.lines() {
         let line = line?;
         println!("{line}");
         match parse_response(&line) {
             Ok(Response::Progress { .. }) => {}
-            Ok(Response::Result(_)) => return Ok(true),
+            Ok(Response::Result(_) | Response::Stats(_)) => return Ok(true),
             Ok(Response::Error { .. }) | Err(_) => return Ok(false),
         }
+    }
+    if streaming {
+        return Ok(true);
     }
     eprintln!("classify-client: connection closed before a terminal response");
     Ok(false)

@@ -23,6 +23,16 @@
 //!   [`DiffOptions::speedup_noise_floor_ms`]) for the ratio to be signal
 //!   rather than scheduler noise.
 //!
+//! * **Fit quality is gated by a floor, not by drift.** `r2` is a
+//!   derived regression statistic; its drift is only noted, but every
+//!   object carrying both `fitted_class` and `r2` (the curves panels)
+//!   must keep R² at or above [`DiffOptions::r2_floor`]. The
+//!   `fitted_class` string itself diffs bit-exactly through the normal
+//!   walk, so a panel whose asymptotic class flips is a regression
+//!   naming that panel — while a `BENCH_curves.json` document carries
+//!   no wall keys at all, so wall-time variation alone can never fail
+//!   the curves gate.
+//!
 //! [`check_schema`] validates a document against the committed baseline
 //! schemas (`BENCH_obs.json` registry dumps and `BENCH_re_engine.json`
 //! reports), auto-detected by shape.
@@ -52,6 +62,10 @@ pub const INFO_KEYS: [&str; 1] = ["threads_available"];
 /// baseline drift.
 pub const SPEEDUP_KEY: &str = "par_speedup";
 
+/// The derived regression statistic gated by [`DiffOptions::r2_floor`]
+/// instead of baseline drift.
+pub const R2_KEY: &str = "r2";
+
 /// Absolute noise floor for microsecond timings (`wall_us`).
 const FLOOR_US: f64 = 200.0;
 /// Absolute noise floor for millisecond timings (`*_ms`).
@@ -72,6 +86,10 @@ pub struct DiffOptions {
     /// The speedup floor only gates problems whose sequential wall is at
     /// least this many milliseconds; below it the ratio is noise.
     pub speedup_noise_floor_ms: f64,
+    /// Minimum acceptable `r2` wherever a fitted asymptotic class is
+    /// reported (the curves panels): a fit this poor means the measured
+    /// series no longer has the committed shape.
+    pub r2_floor: f64,
 }
 
 impl Default for DiffOptions {
@@ -81,6 +99,7 @@ impl Default for DiffOptions {
             speedup_floor: 1.5,
             speedup_min_threads: 8,
             speedup_noise_floor_ms: 5.0,
+            r2_floor: 0.8,
         }
     }
 }
@@ -123,7 +142,40 @@ pub fn diff(base: &JsonValue, new: &JsonValue, opts: DiffOptions) -> DiffReport 
     let mut report = DiffReport::default();
     walk(base, new, "", "", opts, &mut report);
     gate_speedups(new, opts, &mut report);
+    gate_r2(new, "", opts, &mut report);
     report
+}
+
+/// Enforces the `r2` floor over the candidate document: every object
+/// carrying both `fitted_class` and [`R2_KEY`] (a curves panel) must
+/// keep its fit quality at or above [`DiffOptions::r2_floor`].
+fn gate_r2(new: &JsonValue, path: &str, opts: DiffOptions, report: &mut DiffReport) {
+    match new {
+        JsonValue::Obj(entries) => {
+            if let (Some(JsonValue::Str(class)), Some(r2)) =
+                (new.get("fitted_class"), new.get(R2_KEY).and_then(parse_num))
+            {
+                if r2 < opts.r2_floor {
+                    report.regressions.push(Finding {
+                        path: display_path(&join(path, R2_KEY)),
+                        message: format!(
+                            "fit quality {r2} for class \"{class}\" is below the {} floor",
+                            opts.r2_floor
+                        ),
+                    });
+                }
+            }
+            for (k, v) in entries {
+                gate_r2(v, &join(path, k), opts, report);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                gate_r2(v, &format!("{path}[{i}]"), opts, report);
+            }
+        }
+        _ => {}
+    }
 }
 
 /// Enforces the `par_speedup` floor over the candidate document: every
@@ -312,6 +364,13 @@ fn compare_numbers(
         });
         return;
     }
+    if key == R2_KEY {
+        report.notes.push(Finding {
+            path: display_path(path),
+            message: format!("{base_raw} -> {new_raw} (fit statistic; gated by floor, not drift)"),
+        });
+        return;
+    }
     if INFO_KEYS.contains(&key) {
         report.notes.push(Finding {
             path: display_path(path),
@@ -360,6 +419,8 @@ pub enum Schema {
     ReEngine,
     /// `BENCH_service.json`: the classification-service report.
     Service,
+    /// `BENCH_curves.json`: fitted asymptotic classes per panel.
+    Curves,
 }
 
 impl fmt::Display for Schema {
@@ -368,16 +429,19 @@ impl fmt::Display for Schema {
             Self::Obs => write!(f, "obs registry"),
             Self::ReEngine => write!(f, "re-engine report"),
             Self::Service => write!(f, "service report"),
+            Self::Curves => write!(f, "curves report"),
         }
     }
 }
 
 /// Guesses which baseline schema a document uses: `"bench": "service"`
-/// marks the service report, any other `"bench"` the re-engine report,
-/// and its absence the obs registry.
+/// marks the service report, `"bench": "curves"` the curves report, any
+/// other `"bench"` the re-engine report, and its absence the obs
+/// registry.
 pub fn detect_schema(doc: &JsonValue) -> Schema {
     match doc.get("bench") {
         Some(JsonValue::Str(kind)) if kind.as_str() == "service" => Schema::Service,
+        Some(JsonValue::Str(kind)) if kind.as_str() == "curves" => Schema::Curves,
         Some(_) => Schema::ReEngine,
         None => Schema::Obs,
     }
@@ -390,6 +454,7 @@ pub fn check_schema(doc: &JsonValue, schema: Schema) -> Vec<Finding> {
         Schema::Obs => check_obs(doc, &mut errors),
         Schema::ReEngine => check_re_engine(doc, &mut errors),
         Schema::Service => check_service(doc, &mut errors),
+        Schema::Curves => check_curves(doc, &mut errors),
     }
     errors
 }
@@ -617,6 +682,93 @@ fn check_service(doc: &JsonValue, errors: &mut Vec<Finding>) {
         "throughput_rps",
     ] {
         require_num(doc, key, "", errors);
+    }
+}
+
+fn check_curves(doc: &JsonValue, errors: &mut Vec<Finding>) {
+    if doc.as_obj().is_none() {
+        fail(errors, "", "top level must be an object");
+        return;
+    }
+    match doc.get("bench") {
+        Some(JsonValue::Str(kind)) if kind.as_str() == "curves" => {}
+        Some(_) => fail(errors, "\"bench\"", "must be the string \"curves\""),
+        None => fail(errors, "\"bench\"", "required string key is missing"),
+    }
+    let Some(panels) = doc.get("panels").and_then(JsonValue::as_obj) else {
+        fail(errors, "\"panels\"", "required object key is missing");
+        return;
+    };
+    if panels.is_empty() {
+        fail(errors, "\"panels\"", "curves report has no panels");
+    }
+    for (name, panel) in panels {
+        let path = join("\"panels\"", name);
+        if panel.as_obj().is_none() {
+            fail(errors, &path, "panel must be an object");
+            continue;
+        }
+        match panel.get("fitted_class") {
+            Some(JsonValue::Str(_)) => {}
+            _ => fail(
+                errors,
+                &join(&path, "fitted_class"),
+                "panel needs a string fitted class",
+            ),
+        }
+        require_num(panel, R2_KEY, &path, errors);
+        let mut point_count = None;
+        for key in ["ns", "counts"] {
+            match panel.get(key).and_then(JsonValue::as_arr) {
+                Some(items) if items.len() >= 2 => match point_count {
+                    None => point_count = Some(items.len()),
+                    Some(expected) if expected != items.len() => fail(
+                        errors,
+                        &join(&path, key),
+                        format!("expected {expected} points, found {}", items.len()),
+                    ),
+                    Some(_) => {}
+                },
+                Some(items) => fail(
+                    errors,
+                    &join(&path, key),
+                    format!("a fit needs at least 2 points, found {}", items.len()),
+                ),
+                None => fail(errors, &join(&path, key), "required array key is missing"),
+            }
+        }
+        if let Some(avg) = panel.get("node_averaged") {
+            match avg.as_arr() {
+                Some(items) => {
+                    if let Some(expected) = point_count {
+                        if items.len() != expected {
+                            fail(
+                                errors,
+                                &join(&path, "node_averaged"),
+                                format!("expected {expected} points, found {}", items.len()),
+                            );
+                        }
+                    }
+                }
+                None => fail(
+                    errors,
+                    &join(&path, "node_averaged"),
+                    "node_averaged must be an array",
+                ),
+            }
+        }
+        // The whole point of the curves gate: no wall keys may sneak in.
+        if let Some(entries) = panel.as_obj() {
+            for (k, _) in entries {
+                if WALL_KEYS.contains(&k.as_str()) {
+                    fail(
+                        errors,
+                        &join(&path, k),
+                        "wall-clock keys are not allowed in the curves schema",
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -907,6 +1059,91 @@ mod tests {
         assert_eq!(detect_schema(&re_marker), Schema::ReEngine);
     }
 
+    fn curves_doc(class: &str, r2: f64) -> JsonValue {
+        parse(&format!(
+            r#"{{"bench": "curves",
+                 "panels": {{
+                   "trees/cole-vishkin-rounds": {{
+                     "fitted_class": "{class}", "r2": {r2},
+                     "ns": [16, 1024, 1048576], "counts": [3, 4, 4]
+                   }},
+                   "volume/const-probe": {{
+                     "fitted_class": "1", "r2": 1.0,
+                     "ns": [16, 64], "counts": [2, 2],
+                     "node_averaged": [1.5, 1.5]
+                   }}
+                 }}}}"#
+        ))
+        .expect("valid curves doc")
+    }
+
+    #[test]
+    fn curves_schema_detection_and_validation() {
+        let doc = curves_doc("log* n", 0.97);
+        assert_eq!(detect_schema(&doc), Schema::Curves);
+        assert!(check_schema(&doc, Schema::Curves).is_empty());
+
+        // A wall key inside a panel is a schema violation: the curves
+        // gate must stay wall-free by construction.
+        let polluted = parse(
+            r#"{"bench": "curves", "panels": {"p": {
+                 "fitted_class": "1", "r2": 1.0,
+                 "ns": [1, 2], "counts": [5, 5], "wall_ms": 3.0}}}"#,
+        )
+        .expect("parses");
+        let errors = check_schema(&polluted, Schema::Curves);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].message.contains("wall-clock"), "{errors:?}");
+
+        // Misaligned series lengths are caught.
+        let ragged = parse(
+            r#"{"bench": "curves", "panels": {"p": {
+                 "fitted_class": "n", "r2": 0.99,
+                 "ns": [1, 2, 3], "counts": [5, 6]}}}"#,
+        )
+        .expect("parses");
+        let errors = check_schema(&ragged, Schema::Curves);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].path.contains("counts"), "{errors:?}");
+    }
+
+    #[test]
+    fn fitted_class_flip_regresses_and_names_the_panel() {
+        // The acceptance scenario: a candidate whose Cole–Vishkin panel
+        // now fits log n against a log* n baseline must fail, naming
+        // the panel — even though its R² is excellent.
+        let base = curves_doc("log* n", 0.97);
+        let new = curves_doc("log n", 0.99);
+        let report = diff(&base, &new, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        let text = report.regressions[0].to_string();
+        assert!(text.contains("trees/cole-vishkin-rounds"), "{text}");
+        assert!(text.contains("log* n"), "{text}");
+        assert!(text.contains("log n"), "{text}");
+        // The r2 drift rides along as a note, never a regression.
+        assert!(report
+            .notes
+            .iter()
+            .any(|n| n.message.contains("gated by floor")));
+    }
+
+    #[test]
+    fn r2_below_the_floor_regresses_even_unchanged() {
+        let bad = curves_doc("log* n", 0.42);
+        let report = diff(&bad, &bad, DiffOptions::default());
+        assert_eq!(report.regressions.len(), 1, "{report:?}");
+        let text = report.regressions[0].to_string();
+        assert!(text.contains("below the 0.8 floor"), "{text}");
+        assert!(text.contains("trees/cole-vishkin-rounds"), "{text}");
+
+        // At or above the floor, pure r2 drift stays clean.
+        let base = curves_doc("log* n", 0.97);
+        let drifted = curves_doc("log* n", 0.95);
+        let report = diff(&base, &drifted, DiffOptions::default());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.notes.len(), 1);
+    }
+
     #[test]
     fn committed_baselines_pass_their_schemas() {
         for (path, schema) in [
@@ -914,6 +1151,7 @@ mod tests {
             ("../../BENCH_recover.json", Schema::Obs),
             ("../../BENCH_re_engine.json", Schema::ReEngine),
             ("../../BENCH_service.json", Schema::Service),
+            ("../../BENCH_curves.json", Schema::Curves),
         ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&full).expect("baseline exists");

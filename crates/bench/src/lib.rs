@@ -34,6 +34,12 @@
 //!   resume check, written to `BENCH_service.json` (`--bench service`).
 //!   The `classify-server` / `classify-client` binaries expose the same
 //!   service over a Unix socket for interactive use.
+//! * [`curves::curves_report`] — E11, theory-vs-practice curves: decade
+//!   sweeps of event-derived cost counts per Figure 1 panel,
+//!   least-squares-fitted against candidate asymptotic shapes and
+//!   written to `BENCH_curves.json` (`--bench curves`). The committed
+//!   file is gated on the *fitted class* bit-exactly — wall noise
+//!   cannot fail it.
 //! * [`shrink::shrink_plan`] — the chaos-seed shrinker behind the
 //!   `shrink-chaos` binary (`scripts/shrink_chaos.sh`).
 //!
@@ -46,6 +52,7 @@
 //! nonzero on any regression. `scripts/check.sh` runs it.
 
 pub mod chaos;
+pub mod curves;
 pub mod diff;
 pub mod fig1;
 pub mod gaps;

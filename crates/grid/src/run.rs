@@ -457,6 +457,35 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_matches_window_counters() {
+        use lcl_faults::RunOptions;
+        use lcl_obs::{CostKind, EventLog};
+        let grid = OrientedGrid::new(&[4, 5]);
+        let ids = ProdIds::sequential(&grid);
+        let input = lcl::uniform_input(grid.graph());
+        let alg = FnProdAlgorithm::new("const", |_| 1, |view| vec![OutLabel(0); 2 * view.d]);
+        // Zero capacity: a pure cost tally, no stored events.
+        let log = EventLog::new(0);
+        let report = simulate_with(
+            &alg,
+            &grid,
+            &input,
+            &ids,
+            None,
+            RunOptions::new().events(&log),
+        );
+        let cost = log.cost_model();
+        assert_eq!(
+            cost.get(CostKind::ViewMaterialized),
+            report.trace.total(Counter::Queries)
+        );
+        // Per-node work is the window size; every radius-1 window on a
+        // 2-torus holds 9 nodes.
+        assert_eq!(cost.node_total(), report.trace.total(Counter::ViewNodes));
+        assert_eq!(cost.node_averaged(), Some(9.0));
+    }
+
+    #[test]
     fn window_wraps_on_small_torus() {
         let grid = OrientedGrid::new(&[3, 3]);
         let ids = ProdIds::sequential(&grid);

@@ -703,6 +703,30 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_charges_views_to_their_centers() {
+        use lcl_obs::{CostKind, EventLog};
+        let g = gen::path(4);
+        let alg = FnAlgorithm::new(
+            "radius-1",
+            |_| 1,
+            |view| vec![OutLabel(0); view.center_degree()],
+        );
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        // Zero capacity: a pure cost tally, no stored events.
+        let log = EventLog::new(0);
+        let report = simulate_with(&alg, &g, &input, &ids, None, RunOptions::new().events(&log));
+        let cost = log.cost_model();
+        assert_eq!(cost.get(CostKind::ViewMaterialized), 4);
+        // Per-node work is the view size at each center; the total is
+        // exactly the trace's ViewNodes counter.
+        assert_eq!(cost.node_total(), report.trace.total(Counter::ViewNodes));
+        assert_eq!(cost.node_count(), 4);
+        assert_eq!(report.node_averaged_cost(), None, "log not attached");
+        assert_eq!(cost.node_averaged(), Some(10.0 / 4.0));
+    }
+
+    #[test]
     fn simulate_randomized_traces_match_runs() {
         let g = gen::cycle(6);
         let alg = FnAlgorithm::new(

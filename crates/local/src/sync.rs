@@ -492,6 +492,38 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_matches_trace_counters() {
+        use lcl_faults::RunOptions;
+        use lcl_obs::CostKind;
+
+        let g = gen::path(8);
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        // A tiny sampled ring: the cost model must still be exact.
+        let log = EventLog::with_sampling(2, 3);
+        let report = simulate_sync_with(
+            &FloodMax { k: 3 },
+            &g,
+            &input,
+            &ids,
+            None,
+            100,
+            RunOptions::new().events(&log),
+        );
+        let cost = log.cost_model();
+        assert_eq!(
+            cost.get(CostKind::Round),
+            report.trace.total(Counter::Rounds)
+        );
+        assert_eq!(
+            cost.get(CostKind::Message),
+            report.trace.total(Counter::Messages)
+        );
+        assert_eq!(cost.get(CostKind::Round), 3);
+        assert_eq!(cost.get(CostKind::Message), 42);
+    }
+
+    #[test]
     #[should_panic(expected = "did not halt")]
     fn runaway_algorithm_is_stopped() {
         let g = gen::path(3);

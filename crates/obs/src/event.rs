@@ -15,11 +15,16 @@
 //! Events never participate in [`Trace::fingerprint`](crate::Trace::fingerprint):
 //! under parallel execution their interleaving is scheduling-dependent,
 //! so they are a debugging/visualization stream, not a determinism
-//! oracle.
+//! oracle. The order-*independent* summary of the stream — the
+//! [`CostModel`] each log accumulates before its
+//! sampling and capacity filters — is deterministic, and is exposed via
+//! [`EventLog::cost_model`].
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::Mutex;
+
+use crate::cost::CostModel;
 
 /// One thing that happened during a simulation, at event granularity.
 ///
@@ -208,16 +213,24 @@ struct Ring {
     buf: VecDeque<Event>,
     /// Every emission, whether sampled in or not.
     seen: u64,
-    /// Events evicted from the ring after being stored.
-    dropped: u64,
+    /// Emissions discarded by the sampling grid before storage.
+    dropped_sampling: u64,
+    /// Stored events evicted by a full ring, plus emissions discarded
+    /// by a zero-capacity ring.
+    dropped_capacity: u64,
+    /// Exact operation counts, accumulated before any filtering.
+    cost: CostModel,
 }
 
 /// A bounded, thread-safe log of [`Event`]s.
 ///
 /// The log is a ring buffer: once `capacity` events are stored, each new
-/// stored event evicts the oldest (`dropped()` counts evictions). With a
-/// sampling period `p` (see [`EventLog::with_sampling`]), only every
-/// `p`-th emission is stored; `seen()` still counts all of them.
+/// stored event evicts the oldest ([`EventLog::dropped_capacity`] counts
+/// evictions). With a sampling period `p` (see
+/// [`EventLog::with_sampling`]), only every `p`-th emission is stored
+/// ([`EventLog::dropped_sampling`] counts the rest); `seen()` and the
+/// [`CostModel`] still count all of them. [`EventLog::dropped`] is the
+/// sum of both drop classes.
 ///
 /// All methods take `&self`; the log is safe to share across the scoped
 /// worker threads used by the parallel RE engine. A poisoned lock is
@@ -250,22 +263,27 @@ impl EventLog {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Emits one event. Counted always; stored if it falls on the
-    /// sampling grid and (ring permitting) until evicted.
+    /// Emits one event. Counted always (in `seen()` and in the cost
+    /// model); stored if it falls on the sampling grid and (ring
+    /// permitting) until evicted.
     pub fn record(&self, event: Event) {
         let mut ring = self.ring();
         let index = ring.seen;
         ring.seen += 1;
+        // Cost accounting sees every emission: sampling and capacity
+        // thin what is *stored*, never what is *counted*.
+        ring.cost.record(&event);
         if !index.is_multiple_of(self.sample) {
+            ring.dropped_sampling += 1;
             return;
         }
         if self.capacity == 0 {
-            ring.dropped += 1;
+            ring.dropped_capacity += 1;
             return;
         }
         if ring.buf.len() == self.capacity {
             ring.buf.pop_front();
-            ring.dropped += 1;
+            ring.dropped_capacity += 1;
         }
         ring.buf.push_back(event);
     }
@@ -295,10 +313,30 @@ impl EventLog {
         self.ring().seen
     }
 
-    /// Stored events later evicted (plus emissions discarded by a
-    /// zero-capacity ring).
+    /// Every emission not retrievable from [`EventLog::events`]: the
+    /// sum of [`EventLog::dropped_sampling`] and
+    /// [`EventLog::dropped_capacity`].
     pub fn dropped(&self) -> u64 {
-        self.ring().dropped
+        let ring = self.ring();
+        ring.dropped_sampling + ring.dropped_capacity
+    }
+
+    /// Emissions discarded by the sampling grid (never stored at all).
+    pub fn dropped_sampling(&self) -> u64 {
+        self.ring().dropped_sampling
+    }
+
+    /// Stored events later evicted by a full ring, plus emissions
+    /// discarded by a zero-capacity ring.
+    pub fn dropped_capacity(&self) -> u64 {
+        self.ring().dropped_capacity
+    }
+
+    /// The exact operation counts accumulated from every emission —
+    /// unaffected by sampling or eviction, and order-independent, so
+    /// bit-identical across thread counts. See [`crate::cost`].
+    pub fn cost_model(&self) -> CostModel {
+        self.ring().cost.clone()
     }
 
     /// A snapshot of the stored events, oldest first.
@@ -306,14 +344,20 @@ impl EventLog {
         self.ring().buf.iter().cloned().collect()
     }
 
-    /// JSON rendering: `{"seen": .., "dropped": .., "events": [..]}`.
+    /// JSON rendering: `{"seen": .., "dropped": .., "dropped_sampling":
+    /// .., "dropped_capacity": .., "events": [..]}` (`dropped` stays
+    /// the sum for backward compatibility).
     pub fn to_json(&self) -> String {
         let ring = self.ring();
         let mut out = String::new();
         let _ = write!(
             out,
-            "{{\"seen\": {}, \"dropped\": {}, \"events\": [",
-            ring.seen, ring.dropped
+            "{{\"seen\": {}, \"dropped\": {}, \"dropped_sampling\": {}, \
+             \"dropped_capacity\": {}, \"events\": [",
+            ring.seen,
+            ring.dropped_sampling + ring.dropped_capacity,
+            ring.dropped_sampling,
+            ring.dropped_capacity
         );
         for (i, event) in ring.buf.iter().enumerate() {
             if i > 0 {
@@ -365,6 +409,50 @@ mod tests {
                 Event::RoundStart { round: 9 },
             ]
         );
+        // Sampled-out emissions are drops, attributed to sampling.
+        assert_eq!(log.dropped_sampling(), 6);
+        assert_eq!(log.dropped_capacity(), 0);
+        assert_eq!(log.dropped(), 6);
+    }
+
+    #[test]
+    fn drop_classes_are_attributed_separately() {
+        // Capacity 2 with sampling 2: of 8 emissions, 4 are sampled
+        // out, 4 are stored, 2 of those evicted.
+        let log = EventLog::with_sampling(2, 2);
+        for round in 0..8 {
+            log.record(Event::RoundStart { round });
+        }
+        assert_eq!(log.seen(), 8);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped_sampling(), 4);
+        assert_eq!(log.dropped_capacity(), 2);
+        assert_eq!(log.dropped(), 6);
+        let json = log.to_json();
+        assert!(json.contains("\"dropped\": 6"), "{json}");
+        assert!(json.contains("\"dropped_sampling\": 4"), "{json}");
+        assert!(json.contains("\"dropped_capacity\": 2"), "{json}");
+    }
+
+    #[test]
+    fn cost_model_counts_past_sampling_and_capacity() {
+        use crate::cost::CostKind;
+        // A zero-capacity, heavily sampled log still counts exactly.
+        let log = EventLog::with_sampling(0, 7);
+        for round in 0..5 {
+            log.record(Event::RoundStart { round });
+            log.record(Event::RoundEnd { round, messages: 3 });
+        }
+        log.record(Event::Probe {
+            query: 1,
+            j: 0,
+            port: 0,
+        });
+        assert_eq!(log.len(), 0);
+        let cost = log.cost_model();
+        assert_eq!(cost.get(CostKind::Round), 5);
+        assert_eq!(cost.get(CostKind::Message), 15);
+        assert_eq!(cost.get(CostKind::Probe), 1);
     }
 
     #[test]

@@ -239,17 +239,20 @@ pub fn prometheus_text(registry: &Registry) -> String {
 
 /// Like [`prometheus_text`], additionally exposing the health of the
 /// given labeled [`EventLog`]s: total emissions (`lcl_event_log_seen`),
-/// events evicted or discarded by the ring (`lcl_event_log_dropped`),
-/// and events currently stored (`lcl_event_log_stored`). A chaos soak
-/// that overflows its ring is visible here rather than silently
-/// truncated — scrape `lcl_event_log_dropped` and alert on growth.
+/// events not retrievable (`lcl_event_log_dropped`, split into
+/// `lcl_event_log_dropped_sampling` and
+/// `lcl_event_log_dropped_capacity` by cause), and events currently
+/// stored (`lcl_event_log_stored`). A chaos soak that overflows its
+/// ring is visible here rather than silently truncated — scrape
+/// `lcl_event_log_dropped_capacity` and alert on growth (sampling
+/// drops are configured, not pathological).
 pub fn prometheus_text_with_events(registry: &Registry, logs: &[(&str, &EventLog)]) -> String {
     let mut out = prometheus_registry_text(registry);
     if logs.is_empty() {
         return out;
     }
     type Series = fn(&EventLog) -> u64;
-    let series: [(&str, &str, Series); 3] = [
+    let series: [(&str, &str, Series); 5] = [
         (
             "lcl_event_log_seen",
             "Events emitted into the log, stored or not.",
@@ -257,8 +260,18 @@ pub fn prometheus_text_with_events(registry: &Registry, logs: &[(&str, &EventLog
         ),
         (
             "lcl_event_log_dropped",
-            "Events evicted from the ring (or discarded by a zero-capacity ring).",
+            "Events not retrievable from the log (dropped_sampling plus dropped_capacity).",
             |log| log.dropped(),
+        ),
+        (
+            "lcl_event_log_dropped_sampling",
+            "Emissions discarded by the sampling grid before storage.",
+            |log| log.dropped_sampling(),
+        ),
+        (
+            "lcl_event_log_dropped_capacity",
+            "Stored events evicted by a full ring (or discarded by a zero-capacity ring).",
+            |log| log.dropped_capacity(),
         ),
         (
             "lcl_event_log_stored",
@@ -335,6 +348,31 @@ fn prometheus_registry_text(registry: &Registry) -> String {
                 );
                 let _ = writeln!(out, "{name}_sum{{{labels}}} {}", hist.sum());
                 let _ = writeln!(out, "{name}_count{{{labels}}} {}", hist.count());
+            }
+            // Quantile estimates as a companion summary: values are the
+            // power-of-two bucket upper bounds (see
+            // `Histogram::quantile`), so they round up to a boundary.
+            let qname = format!("{}_q", metric_name(counter));
+            let _ = writeln!(
+                out,
+                "# HELP {qname} Quantile estimates of per-observation `{}` values \
+                 (power-of-two bucket upper bounds).",
+                counter.as_str()
+            );
+            let _ = writeln!(out, "# TYPE {qname} summary");
+            for (stage, span, hist) in series {
+                let labels = format!(
+                    "stage=\"{}\",span=\"{}\"",
+                    prom_escape(stage),
+                    prom_escape(span)
+                );
+                for (q, tag) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    if let Some(v) = hist.quantile(q) {
+                        let _ = writeln!(out, "{qname}{{{labels},quantile=\"{tag}\"}} {v}");
+                    }
+                }
+                let _ = writeln!(out, "{qname}_sum{{{labels}}} {}", hist.sum());
+                let _ = writeln!(out, "{qname}_count{{{labels}}} {}", hist.count());
             }
         }
     }
@@ -431,6 +469,16 @@ mod tests {
         );
         assert!(text.contains("lcl_probes_dist_count{stage=\"e9/hist\",span=\"queries\"} 3"));
         assert!(text.contains("lcl_probes_dist_sum{stage=\"e9/hist\",span=\"queries\"} 5"));
+        // Quantile summary lines: observations 1, 2, 2 -> p50 is the
+        // second value (2), reported as its bucket bound 3.
+        assert!(text.contains("# TYPE lcl_probes_q summary"));
+        assert!(
+            text.contains("lcl_probes_q{stage=\"e9/hist\",span=\"queries\",quantile=\"0.5\"} 3")
+        );
+        assert!(
+            text.contains("lcl_probes_q{stage=\"e9/hist\",span=\"queries\",quantile=\"0.99\"} 3")
+        );
+        assert!(text.contains("lcl_probes_q_count{stage=\"e9/hist\",span=\"queries\"} 3"));
     }
 
     #[test]
@@ -445,7 +493,18 @@ mod tests {
         assert!(text.contains("# TYPE lcl_event_log_dropped gauge"));
         assert!(text.contains("lcl_event_log_seen{log=\"chaos\"} 5"));
         assert!(text.contains("lcl_event_log_dropped{log=\"chaos\"} 3"));
+        assert!(text.contains("lcl_event_log_dropped_sampling{log=\"chaos\"} 0"));
+        assert!(text.contains("lcl_event_log_dropped_capacity{log=\"chaos\"} 3"));
         assert!(text.contains("lcl_event_log_stored{log=\"chaos\"} 2"));
+
+        // A sampled log attributes its drops to the sampling grid.
+        let sampled = EventLog::with_sampling(16, 2);
+        for round in 0..6 {
+            sampled.record(Event::RoundStart { round });
+        }
+        let text = prometheus_text_with_events(&reg, &[("sampled", &sampled)]);
+        assert!(text.contains("lcl_event_log_dropped_sampling{log=\"sampled\"} 3"));
+        assert!(text.contains("lcl_event_log_dropped_capacity{log=\"sampled\"} 0"));
         // The registry half is unchanged from the plain exposition.
         assert!(text.starts_with(&prometheus_text(&reg)));
         // No logs -> bit-identical to the plain exposition (fixtures).

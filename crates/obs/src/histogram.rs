@@ -81,6 +81,30 @@ impl Histogram {
             .map(|(&i, &c)| (Self::bucket_upper_bound(i), c))
     }
 
+    /// Quantile estimate: the inclusive upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest observation (1-based),
+    /// or `None` when the histogram is empty. Since only bucket
+    /// membership survives observation, the estimate rounds *up* to the
+    /// bucket boundary — p50 of `[1, 2, 3]` reports 3, the top of the
+    /// `[2, 3]` bucket. `q` is clamped to `[0, 1]`; `q = 0` reports the
+    /// smallest bucket's bound.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let rank = rank.clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (le, c) in self.buckets() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(le);
+            }
+        }
+        // Unreachable in practice: the buckets always sum to `count`.
+        None
+    }
+
     /// Folds another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (&i, &c) in &other.buckets {
@@ -179,6 +203,47 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, joint);
+    }
+
+    #[test]
+    fn quantiles_round_up_to_bucket_boundaries() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+
+        // Values 1..=8 land in buckets le=1 (1), le=3 (2,3),
+        // le=7 (4..=7), le=15 (8).
+        let mut h = Histogram::new();
+        for v in 1u64..=8 {
+            h.observe(v);
+        }
+        // p50: rank ceil(0.5*8)=4 -> 4th value is 4 -> bucket le=7.
+        assert_eq!(h.quantile(0.5), Some(7));
+        // p90: rank ceil(0.9*8)=8 -> the 8 -> bucket le=15.
+        assert_eq!(h.quantile(0.9), Some(15));
+        assert_eq!(h.quantile(0.99), Some(15));
+        // q=0 clamps to rank 1 -> smallest bucket.
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(15));
+        // Out-of-range q is clamped, not an error.
+        assert_eq!(h.quantile(-3.0), Some(1));
+        assert_eq!(h.quantile(42.0), Some(15));
+    }
+
+    #[test]
+    fn quantile_rank_rounding_at_bucket_edges() {
+        // Three observations: exactly at rank boundaries. Values 1, 2,
+        // 3: p50 rank ceil(1.5)=2 -> 2 -> bucket le=3 (rounds up past
+        // the true median's value to its bucket bound).
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(3));
+        // A single observation answers every quantile with its bucket.
+        let mut one = Histogram::new();
+        one.observe(0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), Some(0), "q={q}");
+        }
     }
 
     #[test]

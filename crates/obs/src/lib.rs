@@ -29,7 +29,11 @@
 //!   view materializations, memo traffic, finished RE levels) with a
 //!   sampling knob. The default is *off* and costs one branch.
 //! * [`Histogram`] — per-span distributions (probe counts per query,
-//!   view sizes per node) with deterministic power-of-two buckets.
+//!   view sizes per node) with deterministic power-of-two buckets and
+//!   quantile estimates.
+//! * [`CostModel`] / [`CostKind`] — deterministic operation counts
+//!   folded from the event stream: the wall-clock-free cost metric the
+//!   curve-fit harness regresses against theory (`lcl_bench::curves`).
 //! * [`export`] — Chrome trace-event JSON, flamegraph folded stacks,
 //!   and Prometheus-style text exposition.
 //!
@@ -57,6 +61,7 @@
 //! assert!(trace.to_json().contains("\"rounds\": 3"));
 //! ```
 
+pub mod cost;
 pub mod counter;
 pub mod event;
 pub mod export;
@@ -64,6 +69,7 @@ pub mod histogram;
 pub mod registry;
 pub mod trace;
 
+pub use cost::{CostKind, CostModel};
 pub use counter::Counter;
 pub use event::{Event, EventLog};
 pub use histogram::Histogram;
@@ -114,6 +120,20 @@ impl<T> RunReport<T> {
         self.events.as_deref()
     }
 
+    /// The deterministic cost model of the run, folded from the
+    /// attached event log — `None` when the run was not event-logged.
+    /// Counts are exact even when the log sampled or evicted events.
+    pub fn cost_model(&self) -> Option<CostModel> {
+        self.events.as_deref().map(EventLog::cost_model)
+    }
+
+    /// Mean per-node work (probes issued plus view nodes touched) of
+    /// the run — the node-averaged complexity axis. `None` when the run
+    /// was not event-logged or no event carried a node id.
+    pub fn node_averaged_cost(&self) -> Option<f64> {
+        self.cost_model().and_then(|cost| cost.node_averaged())
+    }
+
     /// Maps the outcome, keeping the trace and event log.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> RunReport<U> {
         RunReport {
@@ -153,5 +173,34 @@ mod tests {
         assert_eq!(report.events().map(EventLog::len), Some(1));
         let mapped = report.map(|()| 1u8);
         assert_eq!(mapped.events().map(EventLog::len), Some(1));
+    }
+
+    #[test]
+    fn run_report_surfaces_cost_and_node_averages() {
+        let plain = RunReport::new((), Trace::new(Span::start("r").finish()));
+        assert!(plain.cost_model().is_none());
+        assert!(plain.node_averaged_cost().is_none());
+
+        let log = Arc::new(EventLog::new(4));
+        log.record(Event::Probe {
+            query: 1,
+            j: 0,
+            port: 0,
+        });
+        log.record(Event::Probe {
+            query: 1,
+            j: 1,
+            port: 1,
+        });
+        log.record(Event::Probe {
+            query: 2,
+            j: 0,
+            port: 0,
+        });
+        let report =
+            RunReport::with_events((), Trace::new(Span::start("r").finish()), Arc::clone(&log));
+        let cost = report.cost_model().expect("log attached");
+        assert_eq!(cost.get(CostKind::Probe), 3);
+        assert_eq!(report.node_averaged_cost(), Some(1.5));
     }
 }

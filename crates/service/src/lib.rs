@@ -16,7 +16,10 @@
 //!   every `f`-step so a killed server resumes instead of recomputing.
 //! * [`protocol`] / [`wire`] — a line-delimited JSON protocol spoken
 //!   over stdio or a Unix socket (`classify-server` / `classify-client`
-//!   in `lcl-bench` are thin wrappers over these).
+//!   in `lcl-bench` are thin wrappers over these). Besides classify
+//!   requests it carries two telemetry ops: `stats` (counter snapshot
+//!   plus a Prometheus rendering of every per-job span) and `watch` (a
+//!   live stream of checkpoint/retry/level-complete events).
 //!
 //! # Examples
 //!
@@ -47,8 +50,9 @@ pub mod store;
 pub mod wire;
 
 pub use protocol::{
-    encode_request, encode_response, parse_request, parse_response, ClassifyRequest,
-    ClassifyResult, ProtocolError, Response,
+    encode_request, encode_response, encode_stats_request, encode_watch_request, parse_any_request,
+    parse_request, parse_response, ClassifyRequest, ClassifyResult, ProtocolError, Request,
+    Response, StatsReply,
 };
 pub use server::{ClassifyServer, ServiceConfig, ServiceStats, SubmitError};
 pub use store::{StoreError, TowerStore};

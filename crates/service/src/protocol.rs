@@ -20,6 +20,22 @@
 //!  "levels":5,"fixpoint":1,"cached":false,"resumed_from_level":0}
 //! ```
 //!
+//! Besides classification jobs, two telemetry operations share the same
+//! line discipline, selected by an `"op"` field (absent for classify):
+//!
+//! ```json
+//! {"id":2,"op":"stats"}
+//! {"id":3,"op":"watch","limit":10}
+//! ```
+//!
+//! `stats` answers with one [`StatsReply`] line — the live
+//! [`ServiceStats`](crate::ServiceStats) counters plus the Prometheus
+//! exposition text of the server's registry. `watch` subscribes the
+//! connection to the server's obs events (checkpoint / retry /
+//! level-complete) as they happen across *all* in-flight jobs, streamed
+//! as `progress` lines until `limit` events were sent (0 = until the
+//! server shuts down).
+//!
 //! Field values are flat scalars (strings, `u64`, booleans, `null`), so
 //! the decoder here is a deliberately small flat-object scanner rather
 //! than a general JSON parser.
@@ -38,6 +54,27 @@ pub struct ClassifyRequest {
     pub problem: String,
     /// Number of `f`-rounds the tower must reach.
     pub steps: u64,
+}
+
+/// Any request a connection may send: a classification job or one of
+/// the telemetry operations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Request {
+    /// A classification job (no `"op"` field on the wire).
+    Classify(ClassifyRequest),
+    /// `{"op":"stats"}` — answer with one [`StatsReply`] line.
+    Stats {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: u64,
+    },
+    /// `{"op":"watch"}` — stream live obs events as `progress` lines.
+    Watch {
+        /// Client-chosen correlation id, echoed verbatim.
+        id: u64,
+        /// Maximum events to stream before the server closes the
+        /// subscription; 0 means unlimited (until shutdown).
+        limit: u64,
+    },
 }
 
 /// The terminal payload of a successful classification.
@@ -65,6 +102,33 @@ pub struct ClassifyResult {
     pub gave_up: Option<String>,
 }
 
+/// The payload of a `stats` telemetry reply: the live service counters
+/// (field-for-field [`ServiceStats`](crate::ServiceStats)) plus the
+/// Prometheus exposition text of the server's registry.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StatsReply {
+    /// Echoed request id.
+    pub id: u64,
+    /// Requests accepted since the server started.
+    pub requests: u64,
+    /// Jobs served straight from the store.
+    pub cache_hits: u64,
+    /// Requests coalesced onto an already-running build.
+    pub coalesced: u64,
+    /// Towers actually built.
+    pub computed: u64,
+    /// Builds resumed from a checkpoint.
+    pub resumed: u64,
+    /// Requests rejected (queue full or shutting down).
+    pub rejected: u64,
+    /// Builds the supervisor gave up on.
+    pub gave_up: u64,
+    /// Watch subscriptions currently registered.
+    pub watchers: u64,
+    /// Prometheus text-exposition rendering of the server's registry.
+    pub prometheus: String,
+}
+
 /// One line sent back to a client.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Response {
@@ -72,16 +136,20 @@ pub enum Response {
     Progress {
         /// Echoed request id.
         id: u64,
-        /// `"checkpoint"` or `"retry"`.
+        /// `"checkpoint"`, `"retry"`, `"level-complete"`, or `"watch"`
+        /// (the subscription acknowledgement).
         kind: &'static str,
         /// The supervised stage, e.g. `"re-tower/level-3"`.
         stage: String,
         /// Completed-level count for checkpoints, attempt number for
-        /// retries.
+        /// retries, level count for level-completes, the event limit
+        /// for watch acks.
         detail: u64,
     },
     /// The terminal success line.
     Result(ClassifyResult),
+    /// The `stats` telemetry reply.
+    Stats(StatsReply),
     /// The terminal failure line.
     Error {
         /// Echoed request id (0 when the line did not parse far enough
@@ -170,6 +238,17 @@ pub fn encode_request(req: &ClassifyRequest) -> String {
     out
 }
 
+/// Renders a `stats` telemetry request as one protocol line.
+pub fn encode_stats_request(id: u64) -> String {
+    format!("{{\"id\":{id},\"op\":\"stats\"}}")
+}
+
+/// Renders a `watch` subscription request as one protocol line.
+/// `limit` = 0 subscribes until the server shuts down.
+pub fn encode_watch_request(id: u64, limit: u64) -> String {
+    format!("{{\"id\":{id},\"op\":\"watch\",\"limit\":{limit}}}")
+}
+
 /// Renders a response as one protocol line (no trailing newline).
 pub fn encode_response(resp: &Response) -> String {
     let mut out = String::new();
@@ -208,6 +287,23 @@ pub fn encode_response(resp: &Response) -> String {
                 out.push(',');
                 push_str_field(&mut out, "gave_up", reason);
             }
+        }
+        Response::Stats(s) => {
+            out.push_str(&format!("\"id\":{},\"event\":\"stats\",", s.id));
+            out.push_str(&format!(
+                "\"requests\":{},\"cache_hits\":{},\"coalesced\":{},\
+                 \"computed\":{},\"resumed\":{},\"rejected\":{},\
+                 \"gave_up\":{},\"watchers\":{},",
+                s.requests,
+                s.cache_hits,
+                s.coalesced,
+                s.computed,
+                s.resumed,
+                s.rejected,
+                s.gave_up,
+                s.watchers
+            ));
+            push_str_field(&mut out, "prometheus", &s.prometheus);
         }
         Response::Error { id, error } => {
             out.push_str(&format!("\"id\":{id},\"event\":\"error\","));
@@ -469,6 +565,42 @@ pub fn parse_request(line: &str) -> Result<ClassifyRequest, ProtocolError> {
     })
 }
 
+/// Decodes one request line of any operation: an `"op"` field selects
+/// the telemetry requests, its absence means a classification job.
+///
+/// # Errors
+///
+/// [`ProtocolError`] when the line is not a flat JSON object, names an
+/// unknown `op`, or is missing a field its operation requires.
+pub fn parse_any_request(line: &str) -> Result<Request, ProtocolError> {
+    let fields = parse_flat_object(line)?;
+    match fields.iter().find(|(n, _)| n == "op") {
+        None => Ok(Request::Classify(ClassifyRequest {
+            id: get_num(&fields, "id")?,
+            problem: get_str(&fields, "problem")?,
+            steps: get_num(&fields, "steps")?,
+        })),
+        Some((_, Scalar::Str(op))) => match op.as_str() {
+            "stats" => Ok(Request::Stats {
+                id: get_num(&fields, "id")?,
+            }),
+            "watch" => Ok(Request::Watch {
+                id: get_num(&fields, "id")?,
+                // Absent limit means unlimited, same as an explicit 0.
+                limit: get_num(&fields, "limit").unwrap_or(0),
+            }),
+            _ => Err(ProtocolError::Field {
+                name: "op",
+                what: "must be stats or watch (or absent for classify)",
+            }),
+        },
+        Some(_) => Err(ProtocolError::Field {
+            name: "op",
+            what: "must be a string",
+        }),
+    }
+}
+
 /// Decodes one response line (the client side of the protocol).
 ///
 /// # Errors
@@ -483,6 +615,8 @@ pub fn parse_response(line: &str) -> Result<Response, ProtocolError> {
             id,
             kind: match get_str(&fields, "kind")?.as_str() {
                 "retry" => "retry",
+                "level-complete" => "level-complete",
+                "watch" => "watch",
                 _ => "checkpoint",
             },
             stage: get_str(&fields, "stage")?,
@@ -504,13 +638,25 @@ pub fn parse_response(line: &str) -> Result<Response, ProtocolError> {
             resumed_from_level: get_num(&fields, "resumed_from_level")?,
             gave_up: get_str(&fields, "gave_up").ok(),
         })),
+        "stats" => Ok(Response::Stats(StatsReply {
+            id,
+            requests: get_num(&fields, "requests")?,
+            cache_hits: get_num(&fields, "cache_hits")?,
+            coalesced: get_num(&fields, "coalesced")?,
+            computed: get_num(&fields, "computed")?,
+            resumed: get_num(&fields, "resumed")?,
+            rejected: get_num(&fields, "rejected")?,
+            gave_up: get_num(&fields, "gave_up")?,
+            watchers: get_num(&fields, "watchers")?,
+            prometheus: get_str(&fields, "prometheus")?,
+        })),
         "error" => Ok(Response::Error {
             id,
             error: get_str(&fields, "error")?,
         }),
         _ => Err(ProtocolError::Field {
             name: "event",
-            what: "must be progress, result, or error",
+            what: "must be progress, result, stats, or error",
         }),
     }
 }
@@ -568,6 +714,77 @@ mod tests {
         for resp in variants {
             let line = encode_response(&resp);
             assert!(!line.contains('\n'), "one response per line: {line}");
+            assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
+        }
+    }
+
+    #[test]
+    fn telemetry_requests_round_trip_and_dispatch_by_op() {
+        let stats = encode_stats_request(5);
+        assert_eq!(parse_any_request(&stats).unwrap(), Request::Stats { id: 5 });
+        let watch = encode_watch_request(6, 10);
+        assert_eq!(
+            parse_any_request(&watch).unwrap(),
+            Request::Watch { id: 6, limit: 10 }
+        );
+        // A limit-less watch subscribes until shutdown.
+        assert_eq!(
+            parse_any_request("{\"id\":6,\"op\":\"watch\"}").unwrap(),
+            Request::Watch { id: 6, limit: 0 }
+        );
+        // No op field: the line is a classification job.
+        let classify = ClassifyRequest {
+            id: 1,
+            problem: "p".to_string(),
+            steps: 2,
+        };
+        assert_eq!(
+            parse_any_request(&encode_request(&classify)).unwrap(),
+            Request::Classify(classify)
+        );
+        // Unknown and mistyped ops are typed field errors.
+        assert!(matches!(
+            parse_any_request("{\"id\":1,\"op\":\"surprise\"}"),
+            Err(ProtocolError::Field { name: "op", .. })
+        ));
+        assert!(matches!(
+            parse_any_request("{\"id\":1,\"op\":7}"),
+            Err(ProtocolError::Field { name: "op", .. })
+        ));
+    }
+
+    #[test]
+    fn stats_replies_round_trip_with_prometheus_text() {
+        let reply = Response::Stats(StatsReply {
+            id: 3,
+            requests: 12,
+            cache_hits: 4,
+            coalesced: 2,
+            computed: 6,
+            resumed: 1,
+            rejected: 0,
+            gave_up: 0,
+            watchers: 1,
+            prometheus: "# TYPE lcl_requests counter\nlcl_requests 12\n".to_string(),
+        });
+        let line = encode_response(&reply);
+        assert!(!line.contains('\n'), "one response per line: {line}");
+        assert_eq!(parse_response(&line).unwrap(), reply);
+    }
+
+    #[test]
+    fn new_progress_kinds_survive_the_wire() {
+        for kind in ["level-complete", "watch"] {
+            let resp = Response::Progress {
+                id: 2,
+                kind: match kind {
+                    "watch" => "watch",
+                    _ => "level-complete",
+                },
+                stage: "re-tower/level-4".to_string(),
+                detail: 4,
+            };
+            let line = encode_response(&resp);
             assert_eq!(parse_response(&line).unwrap(), resp, "{line}");
         }
     }

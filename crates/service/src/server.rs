@@ -38,10 +38,11 @@ use std::thread::JoinHandle;
 use lcl::{canonical_key, canonical_text_form, LclProblem, ParseError};
 use lcl_core::{ReOptions, ReTower, TowerSnapshot};
 use lcl_faults::Budget;
-use lcl_obs::{Event, EventLog};
+use lcl_obs::export::prometheus_text;
+use lcl_obs::{Counter, Event, EventLog, Registry, Span, Trace};
 use lcl_recover::{supervise_tower_from, RetryPolicy};
 
-use crate::protocol::{ClassifyRequest, ClassifyResult, Response};
+use crate::protocol::{ClassifyRequest, ClassifyResult, Response, StatsReply};
 use crate::store::{StoreError, TowerStore};
 
 /// Tuning knobs of a [`ClassifyServer`].
@@ -149,6 +150,17 @@ struct Inflight {
     target: Arc<AtomicU64>,
 }
 
+/// A live telemetry subscription made with [`ClassifyServer::watch`]:
+/// every checkpoint/retry/level-complete event of *any* job streams to
+/// it as a [`Response::Progress`] carrying the watcher's own id.
+struct Watcher {
+    id: u64,
+    tx: mpsc::Sender<Response>,
+    /// Events still owed before the stream closes; `None` is unlimited.
+    /// The subscription ack does not count against this.
+    remaining: Option<u64>,
+}
+
 #[derive(Default)]
 struct Counters {
     requests: AtomicU64,
@@ -168,6 +180,10 @@ struct Inner {
     inflight: Mutex<HashMap<String, Inflight>>,
     shutdown: AtomicBool,
     counters: Counters,
+    /// Per-job spans (steps, retries, checkpoints) backing the `stats`
+    /// reply's Prometheus text.
+    registry: Registry,
+    watchers: Mutex<Vec<Watcher>>,
 }
 
 /// The classification server. Construct with [`ClassifyServer::start`],
@@ -190,6 +206,8 @@ impl ClassifyServer {
             inflight: Mutex::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             counters: Counters::default(),
+            registry: Registry::new(),
+            watchers: Mutex::new(Vec::new()),
         });
         let workers = (0..config.workers.max(1))
             .map(|i| {
@@ -300,6 +318,47 @@ impl ClassifyServer {
         }
     }
 
+    /// Subscribes to the server's live telemetry stream. The receiver
+    /// first sees a `kind: "watch"` acknowledgement, then one
+    /// [`Response::Progress`] per checkpoint, retry, or completed
+    /// round-elimination level of *any* job, each carrying `id`. A
+    /// non-zero `limit` closes the stream after that many events (the
+    /// acknowledgement is free); `limit == 0` streams until shutdown.
+    pub fn watch(&self, id: u64, limit: u64) -> mpsc::Receiver<Response> {
+        let (tx, rx) = mpsc::channel();
+        let _ = tx.send(Response::Progress {
+            id,
+            kind: "watch",
+            stage: "subscribed".to_string(),
+            detail: limit,
+        });
+        lock(&self.inner.watchers).push(Watcher {
+            id,
+            tx,
+            remaining: (limit > 0).then_some(limit),
+        });
+        rx
+    }
+
+    /// The wire-ready `stats` reply: the counter snapshot plus the live
+    /// watcher count and the Prometheus rendering of every recorded
+    /// per-job span.
+    pub fn stats_reply(&self, id: u64) -> StatsReply {
+        let stats = self.stats();
+        StatsReply {
+            id,
+            requests: stats.requests,
+            cache_hits: stats.cache_hits,
+            coalesced: stats.coalesced,
+            computed: stats.computed,
+            resumed: stats.resumed,
+            rejected: stats.rejected,
+            gave_up: stats.gave_up,
+            watchers: lock(&self.inner.watchers).len() as u64,
+            prometheus: prometheus_text(&self.inner.registry),
+        }
+    }
+
     /// Stops accepting jobs, wakes every worker, and joins the pool.
     /// Queued-but-unstarted jobs are abandoned; their subscribers see
     /// the response channel disconnect.
@@ -314,6 +373,8 @@ impl ClassifyServer {
             let _ = handle.join();
         }
         lock(&self.inner.inflight).clear();
+        // Dropping the senders disconnects every watch stream.
+        lock(&self.inner.watchers).clear();
     }
 }
 
@@ -358,6 +419,32 @@ fn broadcast(inner: &Inner, key: &str, make: impl Fn(u64) -> Response) {
             let _ = tx.send(make(*id));
         }
     }
+}
+
+/// Fans one telemetry event out to every live watcher, dropping
+/// disconnected streams and streams that just spent their last owed
+/// event (their sender drop is what closes the receiver).
+fn notify_watchers(inner: &Inner, kind: &'static str, stage: &str, detail: u64) {
+    lock(&inner.watchers).retain_mut(|w| {
+        if w.tx
+            .send(Response::Progress {
+                id: w.id,
+                kind,
+                stage: stage.to_string(),
+                detail,
+            })
+            .is_err()
+        {
+            return false;
+        }
+        match &mut w.remaining {
+            Some(n) => {
+                *n -= 1;
+                *n > 0
+            }
+            None => true,
+        }
+    });
 }
 
 /// Removes `key`'s subscribers and sends each its terminal response.
@@ -408,6 +495,7 @@ fn run_job(inner: &Inner, job: &Job) {
         None => ReTower::new(job.base.clone()),
     };
     let mut gave_up: Option<String> = None;
+    let mut span = Span::start(format!("classify/{}", job.key));
     loop {
         loop {
             let derived_f = (tower.level_count() - 1) / 2;
@@ -423,16 +511,26 @@ fn run_job(inner: &Inner, job: &Job) {
                 });
                 return;
             }
+            let stage = format!("re-tower/level-{}", tower.level_count());
             broadcast(inner, &job.key, |id| Response::Progress {
                 id,
                 kind: "checkpoint",
-                stage: format!("re-tower/level-{}", tower.level_count()),
+                stage: stage.clone(),
                 detail: (tower.level_count() - 1) as u64,
             });
+            notify_watchers(
+                inner,
+                "checkpoint",
+                &stage,
+                (tower.level_count() - 1) as u64,
+            );
+            span.add(Counter::Checkpoints, 1);
             // A fresh log per step: the supervisor's ring buffer evicts
             // old events, so replaying with a cursor into a shared log
-            // would re-send or drop retries once it wraps.
-            let log = EventLog::new(inner.config.event_capacity);
+            // would re-send or drop retries once it wraps. The tower
+            // writes its own level-complete events into the same log.
+            let log = Arc::new(EventLog::new(inner.config.event_capacity));
+            tower.set_event_log(Arc::clone(&log));
             let recovery = supervise_tower_from(
                 tower,
                 derived_f + 1,
@@ -442,14 +540,28 @@ fn run_job(inner: &Inner, job: &Job) {
                 Some(&log),
             );
             tower = recovery.tower;
+            tower.clear_event_log();
             for event in log.events() {
-                if let Event::Retry { stage, attempt, .. } = event {
-                    broadcast(inner, &job.key, |id| Response::Progress {
-                        id,
-                        kind: "retry",
-                        stage: stage.clone(),
-                        detail: attempt,
-                    });
+                match event {
+                    Event::Retry { stage, attempt, .. } => {
+                        broadcast(inner, &job.key, |id| Response::Progress {
+                            id,
+                            kind: "retry",
+                            stage: stage.clone(),
+                            detail: attempt,
+                        });
+                        notify_watchers(inner, "retry", &stage, attempt);
+                        span.add(Counter::Retries, 1);
+                    }
+                    Event::LevelComplete { level, labels, .. } => {
+                        notify_watchers(
+                            inner,
+                            "level-complete",
+                            &format!("re-tower/level-{level}"),
+                            labels,
+                        );
+                    }
+                    _ => {}
                 }
             }
             if let Some(err) = recovery.gave_up {
@@ -490,6 +602,10 @@ fn run_job(inner: &Inner, job: &Job) {
             .map(|entry| entry.subs)
             .unwrap_or_default();
         drop(inflight);
+        span.set(Counter::Steps, achieved as u64);
+        inner
+            .registry
+            .record("classify-job", Trace::new(span.finish()));
         let template = ClassifyResult {
             id: 0,
             fingerprint: job.key.clone(),
@@ -835,6 +951,73 @@ mod tests {
         assert!(!store.contains(&key));
         assert!(store.load_checkpoint(&key).unwrap().is_some());
         assert_eq!(server.stats().gave_up, 1);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn watchers_stream_job_telemetry_until_their_limit() {
+        let (store, dir) = tmp_store("watch");
+        let server = ClassifyServer::start(store, ServiceConfig::default());
+        let unlimited = server.watch(7, 0);
+        let capped = server.watch(8, 1);
+        let p = sinkless_orientation(3);
+        let rx = server.submit(&request(1, &p, 1)).unwrap();
+        let _ = terminal(&rx);
+
+        // Every telemetry event is fanned out before the worker sends
+        // the terminal result, so by now the streams are complete.
+        let events: Vec<Response> = unlimited.try_iter().collect();
+        match &events[0] {
+            Response::Progress {
+                id: 7,
+                kind: "watch",
+                stage,
+                detail: 0,
+            } if stage == "subscribed" => {}
+            other => panic!("expected the subscription ack first, got {other:?}"),
+        }
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                Response::Progress { kind, .. } => *kind,
+                other => panic!("watch streams only progress lines, got {other:?}"),
+            })
+            .collect();
+        assert!(kinds.contains(&"checkpoint"), "kinds: {kinds:?}");
+        assert!(kinds.contains(&"level-complete"), "kinds: {kinds:?}");
+
+        // The capped stream owes exactly one event after its ack; its
+        // sender is then dropped, so iterating terminates.
+        let capped_events: Vec<Response> = capped.iter().collect();
+        assert_eq!(
+            capped_events.len(),
+            2,
+            "ack plus exactly one event: {capped_events:?}"
+        );
+        assert!(matches!(capped_events[1], Response::Progress { id: 8, .. }));
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn the_stats_reply_carries_counters_watchers_and_prometheus_text() {
+        let (store, dir) = tmp_store("stats-reply");
+        let server = ClassifyServer::start(store, ServiceConfig::default());
+        let p = two_coloring(3);
+        let rx = server.submit(&request(1, &p, 1)).unwrap();
+        let _ = terminal(&rx);
+        let _watch = server.watch(2, 0);
+        let reply = server.stats_reply(9);
+        assert_eq!(reply.id, 9);
+        assert_eq!(reply.requests, 1);
+        assert_eq!(reply.computed, 1);
+        assert_eq!(reply.watchers, 1);
+        assert!(
+            reply.prometheus.contains("classify-job"),
+            "the job span must be rendered: {}",
+            reply.prometheus
+        );
         server.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }

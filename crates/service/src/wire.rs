@@ -17,13 +17,18 @@
 use std::io::{BufRead, Write};
 use std::sync::Arc;
 
-use crate::protocol::{encode_response, parse_request, Response};
+use crate::protocol::{encode_response, parse_any_request, Request, Response};
 use crate::server::ClassifyServer;
 
 /// Drives one client: reads request lines from `reader` until EOF,
 /// writing the full response stream of each to `writer`. Malformed lines
 /// and rejected submissions are answered with a single `error` line
 /// instead of closing the connection.
+///
+/// Telemetry ops are served in-band: `"op": "stats"` answers with one
+/// `stats` line; `"op": "watch"` streams live progress events until the
+/// requested limit is spent (a zero limit holds the connection open for
+/// the server's lifetime, so remote dashboards can tail it).
 ///
 /// # Errors
 ///
@@ -39,7 +44,7 @@ pub fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let req = match parse_request(&line) {
+        let req = match parse_any_request(&line) {
             Ok(req) => req,
             Err(e) => {
                 respond(
@@ -52,21 +57,31 @@ pub fn serve_connection(
                 continue;
             }
         };
-        match server.submit(&req) {
-            Ok(rx) => {
-                for resp in rx.iter() {
+        match req {
+            Request::Stats { id } => {
+                respond(&mut writer, &Response::Stats(server.stats_reply(id)))?;
+            }
+            Request::Watch { id, limit } => {
+                for resp in server.watch(id, limit).iter() {
                     respond(&mut writer, &resp)?;
                 }
             }
-            Err(e) => {
-                respond(
-                    &mut writer,
-                    &Response::Error {
-                        id: req.id,
-                        error: e.to_string(),
-                    },
-                )?;
-            }
+            Request::Classify(req) => match server.submit(&req) {
+                Ok(rx) => {
+                    for resp in rx.iter() {
+                        respond(&mut writer, &resp)?;
+                    }
+                }
+                Err(e) => {
+                    respond(
+                        &mut writer,
+                        &Response::Error {
+                            id: req.id,
+                            error: e.to_string(),
+                        },
+                    )?;
+                }
+            },
         }
     }
     Ok(())
@@ -108,7 +123,9 @@ pub fn serve_unix(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{encode_request, parse_response, ClassifyRequest};
+    use crate::protocol::{
+        encode_request, encode_stats_request, encode_watch_request, parse_response, ClassifyRequest,
+    };
     use crate::server::ServiceConfig;
     use crate::store::TowerStore;
     use lcl_problems::catalog::sinkless_orientation;
@@ -152,6 +169,71 @@ mod tests {
             .iter()
             .any(|r| matches!(r, Response::Error { id: 0, .. })));
         server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_and_watch_ops_are_served_in_band() {
+        let (server, dir) = tmp_server("telemetry");
+        let server = Arc::new(server);
+
+        // A stats op answers with exactly one stats line.
+        let mut output = Vec::new();
+        let input = format!("{}\n", encode_stats_request(4));
+        serve_connection(&server, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let reply = match parse_response(text.trim()).unwrap() {
+            Response::Stats(s) => s,
+            other => panic!("expected a stats line, got {other:?}"),
+        };
+        assert_eq!(reply.id, 4);
+        assert_eq!(reply.requests, 0, "nothing submitted yet");
+
+        // A limited watch op streams live events of a concurrent job,
+        // then its connection loop ends once the limit is spent.
+        let watcher = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                let input = format!("{}\n", encode_watch_request(6, 2));
+                serve_connection(&server, input.as_bytes(), &mut out).unwrap();
+                out
+            })
+        };
+        while server.stats_reply(0).watchers == 0 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let rx = server
+            .submit(&ClassifyRequest {
+                id: 1,
+                problem: sinkless_orientation(3).to_text(),
+                steps: 1,
+            })
+            .unwrap();
+        for _ in rx.iter() {}
+        let out = watcher.join().unwrap();
+        let lines: Vec<Response> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| parse_response(l).unwrap())
+            .collect();
+        assert_eq!(lines.len(), 3, "ack plus the two subscribed events");
+        assert!(matches!(
+            &lines[0],
+            Response::Progress {
+                id: 6,
+                kind: "watch",
+                ..
+            }
+        ));
+        assert!(lines[1..].iter().all(|l| matches!(
+            l,
+            Response::Progress { id: 6, kind, .. }
+                if ["checkpoint", "retry", "level-complete"].contains(kind)
+        )));
+        Arc::try_unwrap(server)
+            .unwrap_or_else(|_| panic!("the watcher thread has been joined"))
+            .shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

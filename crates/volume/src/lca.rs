@@ -352,6 +352,34 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_counts_near_probes() {
+        use lcl_faults::RunOptions;
+        use lcl_obs::{CostKind, EventLog};
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = lca_ids(4);
+        // One near probe per query, via the VOLUME embedding.
+        let alg = VolumeAsLca(FnVolumeAlgorithm::new(
+            "one-probe",
+            |_| 1,
+            |s| {
+                let _ = s.probe(0, 0)?;
+                Ok(vec![OutLabel(0); s.queried().degree as usize])
+            },
+        ));
+        let log = EventLog::new(0);
+        let report = simulate_lca_with(&alg, &g, &input, &ids, RunOptions::new().events(&log))
+            .expect("in budget");
+        let cost = log.cost_model();
+        assert_eq!(
+            cost.get(CostKind::Probe),
+            report.trace.total(Counter::Probes)
+        );
+        assert_eq!(cost.get(CostKind::Probe), 4);
+        assert_eq!(cost.node_averaged(), Some(1.0));
+    }
+
+    #[test]
     #[should_panic(expected = "1..=n")]
     fn non_lca_ids_are_rejected() {
         let g = gen::path(3);

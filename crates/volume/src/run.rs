@@ -399,6 +399,39 @@ mod tests {
     }
 
     #[test]
+    fn cost_model_matches_probe_counters() {
+        use lcl_obs::CostKind;
+        let g = gen::path(4);
+        let input = lcl::uniform_input(&g);
+        let ids = IdAssignment::sequential(4);
+        let alg = FnVolumeAlgorithm::new(
+            "scan",
+            |_| 2,
+            |s| {
+                let d = s.queried().degree;
+                for p in 0..d {
+                    let _ = s.probe(0, p)?;
+                }
+                Ok(vec![OutLabel(0); d as usize])
+            },
+        );
+        // Zero capacity: a pure cost tally, no stored events.
+        let log = EventLog::new(0);
+        let report = simulate_with(&alg, &g, &input, &ids, None, RunOptions::new().events(&log))
+            .expect("in budget");
+        let cost = log.cost_model();
+        assert_eq!(
+            cost.get(CostKind::Probe),
+            report.trace.total(Counter::Probes)
+        );
+        assert_eq!(cost.get(CostKind::Probe), 6);
+        // Probes are charged to their querying node: two endpoints at
+        // 1, two interior nodes at 2, averaging 1.5.
+        assert_eq!(cost.node_count(), 4);
+        assert_eq!(cost.node_averaged(), Some(1.5));
+    }
+
+    #[test]
     #[should_panic(expected = "isolated")]
     fn isolated_nodes_are_rejected() {
         let g = lcl_graph::GraphBuilder::new(1).build().unwrap();

@@ -81,6 +81,20 @@ cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_rec
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_recover.json BENCH_recover.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_service.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_service.json BENCH_service.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_curves.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_curves.json BENCH_curves.json
+
+echo "== wall-clock gate (cost model and curve fits are count-derived) =="
+# The asymptotic-regression gate only works because its inputs are
+# deterministic event counts: a fitted class must never depend on how
+# fast the host ran. The cost fold and the sweep/fit layer therefore
+# must not read the clock. Baseline 0.
+INSTANTS=$(awk '/Instant/ { c++ } END { print c + 0 }' \
+  crates/obs/src/cost.rs crates/bench/src/curves.rs)
+if [ "$INSTANTS" -gt 0 ]; then
+  echo "found $INSTANTS Instant reference(s) in cost/curve sources (baseline 0)"
+  exit 1
+fi
 
 echo "== deprecated simulate_* gate (new code goes through simulate_with) =="
 # The pre-RunOptions entrypoints (simulate_logged, simulate_faulted,

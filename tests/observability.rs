@@ -126,6 +126,36 @@ fn logged_speedup_fingerprints_identical_across_thread_counts() {
     assert!(!completions[0].is_empty(), "tower completed no levels");
 }
 
+/// The cost model is the layer the curve harness fits, so its counts
+/// must be a pure function of the instance: the same logged pipeline on
+/// 1, 2, and 8 worker threads folds to bit-identical [`CostModel`]s,
+/// exact even though the ring buffer itself may sample or evict.
+#[test]
+fn cost_models_bit_identical_across_thread_counts() {
+    let problem = anti_matching(3);
+    let mut models = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let opts = SpeedupOptions {
+            re: ReOptions {
+                parallel: true,
+                threads,
+                ..ReOptions::default()
+            },
+            ..SpeedupOptions::default()
+        };
+        let log = Arc::new(EventLog::new(4096));
+        let report = tree_speedup_logged(&problem, opts, Some(Arc::clone(&log)));
+        let model = report
+            .cost_model()
+            .expect("logged run must fold a cost model");
+        assert_eq!(model, log.cost_model(), "report and log must agree");
+        assert!(model.total() > 0, "a speedup run performs counted work");
+        models.push(model);
+    }
+    assert_eq!(models[0], models[1], "1 vs 2 worker threads");
+    assert_eq!(models[0], models[2], "1 vs 8 worker threads");
+}
+
 /// Each of the four models, driven twice through the `Simulation` trait
 /// on the same instance, must return non-empty identical traces.
 #[test]
