@@ -2,9 +2,9 @@
 //! `classify-server` socket and streams the response lines.
 //!
 //! ```text
-//! classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]
-//! classify-client <socket> --stats [--id <n>]
-//! classify-client <socket> --watch [<events>] [--id <n>]
+//! classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>] [--retries <n>] [--backoff-ms <n>]
+//! classify-client <socket> --stats [--id <n>] [--retries <n>] [--backoff-ms <n>]
+//! classify-client <socket> --watch [<events>] [--id <n>] [--retries <n>] [--backoff-ms <n>]
 //! ```
 //!
 //! In classify mode the problem is read from the file (or stdin with
@@ -15,20 +15,28 @@
 //! tails the server's live checkpoint/retry/level-complete telemetry,
 //! forever with no count or until `<events>` lines have streamed. Exits
 //! nonzero on transport failures or an in-band error response.
+//!
+//! A refused or timed-out connect (server restarting, stale socket
+//! about to be rebound) is retried `--retries` times under a capped
+//! deterministic backoff starting at `--backoff-ms` milliseconds; a
+//! socket path that does not exist fails immediately with a distinct
+//! diagnosis instead of burning retries.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
 
 use lcl_service::{
     encode_request, encode_stats_request, encode_watch_request, parse_response, ClassifyRequest,
-    Response,
+    Response, RetryPolicy,
 };
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>]\n\
-         \x20      classify-client <socket> --stats [--id <n>]\n\
-         \x20      classify-client <socket> --watch [<events>] [--id <n>]"
+        "usage: classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>] \
+         [--retries <n>] [--backoff-ms <n>]\n\
+         \x20      classify-client <socket> --stats [--id <n>] [--retries <n>] [--backoff-ms <n>]\n\
+         \x20      classify-client <socket> --watch [<events>] [--id <n>] [--retries <n>] \
+         [--backoff-ms <n>]"
     );
     ExitCode::FAILURE
 }
@@ -53,6 +61,7 @@ fn main() -> ExitCode {
         return usage();
     };
     let mut id = 1u64;
+    let mut policy = RetryPolicy::default();
     let mut i = 2;
     let mut mode = match selector.as_str() {
         "--stats" => Mode::Stats,
@@ -76,6 +85,8 @@ fn main() -> ExitCode {
         match (args[i].as_str(), value, &mut mode) {
             ("--steps", Some(n), Mode::Classify { steps, .. }) => *steps = n,
             ("--id", Some(n), _) => id = n,
+            ("--retries", Some(n), _) => policy.retries = n.min(u64::from(u32::MAX)) as u32,
+            ("--backoff-ms", Some(n), _) => policy.backoff_ms = n,
             _ => return usage(),
         }
         i += 2;
@@ -102,7 +113,23 @@ fn main() -> ExitCode {
         }
     };
     let streaming = matches!(mode, Mode::Watch { .. });
-    match talk(socket, &line, streaming) {
+    let stream = match lcl_service::connect_with_retry(
+        std::path::Path::new(socket),
+        policy,
+        |attempt, delay_ms, e| {
+            eprintln!(
+                "classify-client: connect attempt {attempt} failed ({e}); \
+                 retrying in {delay_ms} ms"
+            );
+        },
+    ) {
+        Ok(stream) => stream,
+        Err(e) => {
+            eprintln!("classify-client: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match talk(stream, &line, streaming) {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
@@ -117,8 +144,11 @@ fn main() -> ExitCode {
 /// success; otherwise `Ok(true)` iff the terminal line is a non-error
 /// result or stats reply.
 #[cfg(unix)]
-fn talk(socket: &str, request_line: &str, streaming: bool) -> std::io::Result<bool> {
-    let mut stream = std::os::unix::net::UnixStream::connect(socket)?;
+fn talk(
+    mut stream: std::os::unix::net::UnixStream,
+    request_line: &str,
+    streaming: bool,
+) -> std::io::Result<bool> {
     stream.write_all(request_line.as_bytes())?;
     stream.write_all(b"\n")?;
     // Half-close the write side: the server finishes this request's

@@ -1,5 +1,5 @@
-//! `shrink-chaos <local|volume|lca|prod> <seed>` — bisect a failing
-//! chaos seed to a minimal reproducing [`FaultPlan`].
+//! `shrink-chaos <local|volume|lca|prod|shard> <seed>` — bisect a
+//! failing chaos seed to a minimal reproducing [`FaultPlan`].
 //!
 //! The tool regenerates the chaos instance for `(model, seed)` exactly
 //! as the soak does (same graph, ids, and random plan), defines
@@ -9,6 +9,11 @@
 //! adversarial ID permutation) can be dropped. It prints both plans in
 //! the `FaultPlan::to_text` wire format, ready to paste into a
 //! regression test. `scripts/shrink_chaos.sh` wraps it.
+//!
+//! The `shard` model runs on the sharded substrate and seeds the plan
+//! with node faults *plus* whole-shard losses, so the shrinker bisects
+//! across both kinds — typically discovering that one `crash-shard`
+//! directive alone reproduces the degradation.
 
 use std::env;
 use std::process::ExitCode;
@@ -72,9 +77,16 @@ fn instance_size(model: &str, seed: u64) -> Option<usize> {
             let b = rng.gen_range(4usize..9);
             Some(a * b)
         }
+        "shard" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a4d);
+            Some(rng.gen_range(24usize..96))
+        }
         _ => None,
     }
 }
+
+/// How many shards the `shard` model partitions its instance into.
+const SHRINK_SHARDS: usize = 4;
 
 /// Runs the chaos instance for `(model, seed)` under `plan`; returns
 /// whether the run degraded and the output fingerprint.
@@ -168,6 +180,29 @@ fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
                 labeling_fp(grid.graph(), &report.outcome.outcome.output),
             )
         }
+        "shard" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a4d);
+            let n = rng.gen_range(24usize..96);
+            let g = gen::random_tree(n, 3, seed);
+            let input = uniform_input(&g);
+            let ids: Vec<u64> = IdAssignment::random_polynomial(n, 3, seed ^ 3)
+                .iter()
+                .collect();
+            let report = lcl_shard::simulate_sharded_with(
+                &DeltaPlusOne { delta: 3 },
+                &g,
+                &input,
+                &ids,
+                None,
+                1000,
+                2,
+                RunOptions::new().faults(plan).sharded(SHRINK_SHARDS),
+            );
+            (
+                report.outcome.is_degraded(),
+                labeling_fp(&g, &report.outcome.outcome.output),
+            )
+        }
         other => {
             // `main` validated the model name before calling.
             unreachable_model(other)
@@ -198,7 +233,7 @@ fn reproduces(model: &str, seed: u64, plan: &FaultPlan) -> bool {
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().collect();
     if args.len() != 3 {
-        eprintln!("usage: shrink-chaos <local|volume|lca|prod> <seed>");
+        eprintln!("usage: shrink-chaos <local|volume|lca|prod|shard> <seed>");
         return ExitCode::FAILURE;
     }
     let model = args[1].as_str();
@@ -210,11 +245,18 @@ fn main() -> ExitCode {
         }
     };
     let Some(n) = instance_size(model, seed) else {
-        eprintln!("unknown model {model:?}; expected local, volume, lca, or prod");
+        eprintln!("unknown model {model:?}; expected local, volume, lca, prod, or shard");
         return ExitCode::FAILURE;
     };
 
-    let plan = FaultPlan::random(seed, n, 4);
+    let mut plan = FaultPlan::random(seed, n, 4);
+    if model == "shard" {
+        // Seed whole-shard losses alongside the node faults so the
+        // shrinker bisects across both kinds.
+        for &fault in FaultPlan::random_shard_chaos(seed, SHRINK_SHARDS, 2, 2).faults() {
+            plan = plan.with(fault);
+        }
+    }
     println!("model {model}, seed {seed}, {n} nodes");
     println!("-- original plan ({} faults) --", plan.faults().len());
     print!("{}", plan.to_text());

@@ -421,6 +421,8 @@ pub enum Schema {
     Service,
     /// `BENCH_curves.json`: fitted asymptotic classes per panel.
     Curves,
+    /// `BENCH_shard.json`: the sharded-substrate report.
+    Shard,
 }
 
 impl fmt::Display for Schema {
@@ -430,18 +432,20 @@ impl fmt::Display for Schema {
             Self::ReEngine => write!(f, "re-engine report"),
             Self::Service => write!(f, "service report"),
             Self::Curves => write!(f, "curves report"),
+            Self::Shard => write!(f, "shard report"),
         }
     }
 }
 
 /// Guesses which baseline schema a document uses: `"bench": "service"`
-/// marks the service report, `"bench": "curves"` the curves report, any
-/// other `"bench"` the re-engine report, and its absence the obs
-/// registry.
+/// marks the service report, `"bench": "curves"` the curves report,
+/// `"bench": "shard"` the shard report, any other `"bench"` the
+/// re-engine report, and its absence the obs registry.
 pub fn detect_schema(doc: &JsonValue) -> Schema {
     match doc.get("bench") {
         Some(JsonValue::Str(kind)) if kind.as_str() == "service" => Schema::Service,
         Some(JsonValue::Str(kind)) if kind.as_str() == "curves" => Schema::Curves,
+        Some(JsonValue::Str(kind)) if kind.as_str() == "shard" => Schema::Shard,
         Some(_) => Schema::ReEngine,
         None => Schema::Obs,
     }
@@ -455,6 +459,7 @@ pub fn check_schema(doc: &JsonValue, schema: Schema) -> Vec<Finding> {
         Schema::ReEngine => check_re_engine(doc, &mut errors),
         Schema::Service => check_service(doc, &mut errors),
         Schema::Curves => check_curves(doc, &mut errors),
+        Schema::Shard => check_shard(doc, &mut errors),
     }
     errors
 }
@@ -680,6 +685,39 @@ fn check_service(doc: &JsonValue, errors: &mut Vec<Finding>) {
         "miss_wall_ms",
         "total_wall_ms",
         "throughput_rps",
+    ] {
+        require_num(doc, key, "", errors);
+    }
+}
+
+fn check_shard(doc: &JsonValue, errors: &mut Vec<Finding>) {
+    if doc.as_obj().is_none() {
+        fail(errors, "", "top level must be an object");
+        return;
+    }
+    match doc.get("bench") {
+        Some(JsonValue::Str(kind)) if kind.as_str() == "shard" => {}
+        Some(_) => fail(errors, "\"bench\"", "must be the string \"shard\""),
+        None => fail(errors, "\"bench\"", "required string key is missing"),
+    }
+    // Deterministic counters first (diffed bit-exact), then the one
+    // host-dependent wall key (diffed under tolerance).
+    for key in [
+        "shards",
+        "runner_threads",
+        "nodes",
+        "edges",
+        "supersteps",
+        "messages",
+        "halo_messages",
+        "halo_bytes",
+        "shards_crashed",
+        "shards_rebuilt",
+        "checkpoints",
+        "frontier_nodes",
+        "repaired_nodes",
+        "certified",
+        "total_wall_ms",
     ] {
         require_num(doc, key, "", errors);
     }
@@ -1059,6 +1097,35 @@ mod tests {
         assert_eq!(detect_schema(&re_marker), Schema::ReEngine);
     }
 
+    #[test]
+    fn shard_schema_detection_and_validation() {
+        let shard = parse(
+            r#"{
+              "bench": "shard",
+              "shards": 8, "runner_threads": 2,
+              "nodes": 1000000, "edges": 999999,
+              "supersteps": 16, "messages": 3999996,
+              "halo_messages": 28, "halo_bytes": 224,
+              "shards_crashed": 2, "shards_rebuilt": 2, "checkpoints": 2,
+              "frontier_nodes": 41, "repaired_nodes": 17, "certified": 1,
+              "total_wall_ms": 2200.0
+            }"#,
+        )
+        .expect("valid shard doc");
+        assert_eq!(detect_schema(&shard), Schema::Shard);
+        assert!(check_schema(&shard, Schema::Shard).is_empty());
+
+        // Dropping a recovery counter is a schema violation.
+        let mut broken = shard.clone();
+        let JsonValue::Obj(top) = &mut broken else {
+            panic!()
+        };
+        top.retain(|(k, _)| k != "shards_rebuilt");
+        let errors = check_schema(&broken, Schema::Shard);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].path.contains("shards_rebuilt"));
+    }
+
     fn curves_doc(class: &str, r2: f64) -> JsonValue {
         parse(&format!(
             r#"{{"bench": "curves",
@@ -1152,6 +1219,7 @@ mod tests {
             ("../../BENCH_re_engine.json", Schema::ReEngine),
             ("../../BENCH_service.json", Schema::Service),
             ("../../BENCH_curves.json", Schema::Curves),
+            ("../../BENCH_shard.json", Schema::Shard),
         ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&full).expect("baseline exists");

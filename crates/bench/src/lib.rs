@@ -62,6 +62,7 @@ pub mod obs_report;
 pub mod re_engine;
 pub mod recover_report;
 pub mod service_report;
+pub mod shard_report;
 pub mod shrink;
 pub mod table;
 pub mod timing;

@@ -117,6 +117,69 @@ mod tests {
         assert_eq!(shrunk, plan);
     }
 
+    /// A shard-loss chaos plan bisects like any other: the shrinker
+    /// drops every node fault and all but the one whole-shard loss the
+    /// predicate needs — here "shard 1 still crashes", evaluated
+    /// against a real sharded run so the reproduction is behavioral,
+    /// not syntactic.
+    #[test]
+    fn bisects_shard_loss_chaos_plans() {
+        use lcl::uniform_input;
+        use lcl_graph::gen;
+
+        let n = 36;
+        let g = gen::random_tree(n, 3, 7);
+        let input = uniform_input(&g);
+        let ids: Vec<u64> = (0..n as u64).map(|i| i * 13 + 5).collect();
+        let mut plan = FaultPlan::random(7, n, 3).with_permuted_ids();
+        for &fault in FaultPlan::random_shard_chaos(7, 4, 2, 1).faults() {
+            plan = plan.with(fault);
+        }
+        let crashes_before = plan
+            .faults()
+            .iter()
+            .filter(|f| matches!(f, Fault::ShardCrash { .. }))
+            .count();
+        assert_eq!(crashes_before, 2, "the seeded plan carries two losses");
+
+        // Reproduces iff the sharded run records a fault blaming shard 1.
+        let reproduces = |p: &FaultPlan| {
+            let run = lcl_shard::simulate_sharded_with(
+                &lcl_problems::DeltaPlusOne { delta: 3 },
+                &g,
+                &input,
+                &ids,
+                None,
+                64,
+                1,
+                lcl_faults::RunOptions::new().faults(p).sharded(4),
+            );
+            run.outcome
+                .faults
+                .iter()
+                .any(|f| f.payload.contains("shard 1 lost whole"))
+        };
+        assert!(reproduces(&plan), "the full plan must reproduce");
+        let shrunk = shrink_plan(&plan, reproduces);
+        assert!(
+            !shrunk.permutes_ids(),
+            "the permutation is not load-bearing"
+        );
+        let [only] = shrunk.faults() else {
+            panic!(
+                "expected exactly one surviving fault, got {:?}",
+                shrunk.faults()
+            );
+        };
+        assert!(
+            matches!(only, Fault::ShardCrash { shard: 1, .. }),
+            "the culprit shard loss survives: {only:?}"
+        );
+        // The minimal plan round-trips through the text wire format.
+        let reparsed = FaultPlan::parse(&shrunk.to_text()).expect("why: to_text always parses");
+        assert_eq!(reparsed, shrunk);
+    }
+
     #[test]
     fn shrunk_plans_round_trip_through_the_text_format() {
         let plan = plan_with(

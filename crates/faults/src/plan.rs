@@ -51,6 +51,17 @@ pub enum Fault {
         /// Zero-based index of the corrupted probe within that query.
         nth: u64,
     },
+    /// Whole-shard loss: shard `shard` of a partitioned run dies at the
+    /// start of superstep `superstep`, computes nothing that superstep,
+    /// and its outgoing boundary halos are lost. The sharded executor
+    /// rebuilds it from its last `ShardSnapshot` plus the halos its
+    /// neighbors retained; executors without shards ignore the entry.
+    ShardCrash {
+        /// Shard index (out-of-range entries are inert).
+        shard: usize,
+        /// Zero-based superstep at which the whole shard is lost.
+        superstep: u32,
+    },
 }
 
 /// A deterministic, serializable schedule of faults for one run.
@@ -123,6 +134,38 @@ impl FaultPlan {
         plan
     }
 
+    /// A random whole-shard chaos plan: exactly `crashes` distinct
+    /// shards out of `num_shards` crash, each at a uniformly chosen
+    /// superstep in `0..=max_superstep`. No node-level faults and no ID
+    /// permutation, so the only damage a sharded run can take is the
+    /// boundary damage the frontier-repair path is designed to mend.
+    /// Identical arguments yield the identical plan.
+    pub fn random_shard_chaos(
+        seed: u64,
+        num_shards: usize,
+        crashes: usize,
+        max_superstep: u32,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ SHARD_CHAOS_SALT);
+        let mut plan = Self::new(seed);
+        if num_shards == 0 {
+            return plan;
+        }
+        let mut shards: Vec<usize> = (0..num_shards).collect();
+        for i in (1..num_shards).rev() {
+            shards.swap(i, rng.gen_range(0usize..=i));
+        }
+        shards.truncate(crashes.min(num_shards));
+        shards.sort_unstable();
+        for shard in shards {
+            plan.faults.push(Fault::ShardCrash {
+                shard,
+                superstep: rng.gen_range(0u32..=max_superstep),
+            });
+        }
+        plan
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -177,6 +220,40 @@ impl FaultPlan {
         })
     }
 
+    /// The earliest superstep at which whole shard `shard` is lost, if
+    /// scheduled.
+    pub fn shard_crash(&self, shard: usize) -> Option<u32> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardCrash {
+                    shard: s,
+                    superstep,
+                } if *s == shard => Some(*superstep),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// Every superstep at which shard `shard` is scheduled to crash, in
+    /// ascending order (a shard may be lost more than once per run).
+    pub fn shard_crashes(&self, shard: usize) -> Vec<u32> {
+        let mut supersteps: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardCrash {
+                    shard: s,
+                    superstep,
+                } if *s == shard => Some(*superstep),
+                _ => None,
+            })
+            .collect();
+        supersteps.sort_unstable();
+        supersteps.dedup();
+        supersteps
+    }
+
     /// The adversarial identifier permutation over `0..n`, if the plan
     /// requests one: a Fisher–Yates shuffle driven by the plan seed.
     /// `permutation[v]` is the *rank* whose identifier node `v` receives.
@@ -210,6 +287,9 @@ impl FaultPlan {
                 Fault::ProbeLie { query, nth } => {
                     let _ = writeln!(out, "probe-lie query={query} nth={nth}");
                 }
+                Fault::ShardCrash { shard, superstep } => {
+                    let _ = writeln!(out, "crash-shard shard={shard} superstep={superstep}");
+                }
             }
         }
         out
@@ -241,6 +321,7 @@ impl FaultPlan {
                 "corrupt" => &["node", "salt"],
                 "panic" => &["node"],
                 "probe-lie" => &["query", "nth"],
+                "crash-shard" => &["shard", "superstep"],
                 other => return Err(at(PlanIssue::UnknownDirective(other.to_string()))),
             };
             let fields = Fields::collect(words, keys).map_err(&at)?;
@@ -269,9 +350,13 @@ impl FaultPlan {
                         "panic" => Fault::PanicNode {
                             node: fields.index("node").map_err(&at)?,
                         },
-                        _ => Fault::ProbeLie {
+                        "probe-lie" => Fault::ProbeLie {
                             query: fields.index("query").map_err(&at)?,
                             nth: fields.u64("nth").map_err(&at)?,
+                        },
+                        _ => Fault::ShardCrash {
+                            shard: fields.index("shard").map_err(&at)?,
+                            superstep: fields.u32("superstep").map_err(&at)?,
                         },
                     };
                     plan.faults.push(fault);
@@ -368,6 +453,7 @@ impl Fields {
 }
 
 const PERMUTE_SALT: u64 = 0x9d5c_f0aa_11f4_27b3;
+const SHARD_CHAOS_SALT: u64 = 0x51a8_dc4a_0b7e_9f25;
 
 /// Deterministic nonzero perturbation mask for corrupted views: word `i`
 /// of a view corrupted with `salt` is XORed with `perturb(salt, i)`.
@@ -472,8 +558,13 @@ mod tests {
             .with(Fault::Crash { node: 3, round: 2 })
             .with(Fault::CorruptView { node: 1, salt: 99 })
             .with(Fault::PanicNode { node: 0 })
-            .with(Fault::ProbeLie { query: 5, nth: 3 });
+            .with(Fault::ProbeLie { query: 5, nth: 3 })
+            .with(Fault::ShardCrash {
+                shard: 2,
+                superstep: 1,
+            });
         let text = plan.to_text();
+        assert!(text.contains("crash-shard shard=2 superstep=1"));
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
     }
 
@@ -616,6 +707,9 @@ mod tests {
                     Fault::ProbeLie { query, nth } => {
                         assert!(query < 8 && nth <= 4);
                     }
+                    Fault::ShardCrash { .. } => {
+                        unreachable!("node-level random plans never schedule shard loss")
+                    }
                 }
             }
         }
@@ -635,6 +729,44 @@ mod tests {
         assert_eq!(plan.corrupt_salt(9), None);
         assert!(!plan.is_empty());
         assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    fn shard_crash_accessors_and_chaos_plans() {
+        let plan = FaultPlan::new(3)
+            .with(Fault::ShardCrash {
+                shard: 1,
+                superstep: 4,
+            })
+            .with(Fault::ShardCrash {
+                shard: 1,
+                superstep: 2,
+            })
+            .with(Fault::Crash { node: 9, round: 0 });
+        assert_eq!(plan.shard_crash(1), Some(2), "earliest loss wins");
+        assert_eq!(plan.shard_crash(0), None);
+        assert_eq!(plan.shard_crashes(1), vec![2, 4]);
+        assert!(plan.shard_crashes(7).is_empty());
+
+        for seed in 0..50u64 {
+            let a = FaultPlan::random_shard_chaos(seed, 8, 2, 3);
+            assert_eq!(a, FaultPlan::random_shard_chaos(seed, 8, 2, 3));
+            assert_eq!(a.faults().len(), 2);
+            assert!(!a.permutes_ids(), "shard chaos keeps ids untouched");
+            let mut shards = Vec::new();
+            for fault in a.faults() {
+                let Fault::ShardCrash { shard, superstep } = *fault else {
+                    unreachable!("shard chaos plans are shard-loss only");
+                };
+                assert!(shard < 8 && superstep <= 3);
+                shards.push(shard);
+            }
+            let mut deduped = shards.clone();
+            deduped.dedup();
+            assert_eq!(shards, deduped, "crashed shards are distinct and sorted");
+        }
+        assert!(FaultPlan::random_shard_chaos(1, 0, 3, 2).is_empty());
+        assert_eq!(FaultPlan::random_shard_chaos(1, 4, 9, 2).faults().len(), 4);
     }
 
     #[test]

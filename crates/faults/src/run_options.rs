@@ -46,6 +46,7 @@ pub struct RunOptions<'a> {
     events: Option<&'a EventLog>,
     faults: Option<&'a FaultPlan>,
     budget: Option<Budget>,
+    shards: Option<usize>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -73,6 +74,21 @@ impl<'a> RunOptions<'a> {
     pub fn budget(mut self, budget: Budget) -> Self {
         self.budget = Some(budget);
         self
+    }
+
+    /// Partitions the run into `num_shards` contiguous-range shards,
+    /// each its own fault domain, executed as boundary-exchange
+    /// supersteps. Routed by the sharded entrypoints (`lcl_shard`);
+    /// single-image executors ignore the axis and stay bit-identical
+    /// to an unset value. A count of zero is clamped to one shard.
+    pub fn sharded(mut self, num_shards: usize) -> Self {
+        self.shards = Some(num_shards.max(1));
+        self
+    }
+
+    /// The requested shard count, if the run asked to be partitioned.
+    pub fn shard_count(&self) -> Option<usize> {
+        self.shards
     }
 
     /// The event log to stream into, if any.
@@ -105,6 +121,7 @@ mod tests {
         let opts = RunOptions::new();
         assert!(opts.event_log().is_none());
         assert!(opts.fault_plan().is_none());
+        assert!(opts.shard_count().is_none());
         assert!(!opts.has_budget());
         assert_eq!(opts.run_budget().max_rounds, None);
         assert_eq!(opts.run_budget().max_labels, None);
@@ -124,6 +141,18 @@ mod tests {
         assert!(opts.event_log().is_some());
         assert!(opts.fault_plan().is_some());
         assert_eq!(opts.run_budget().max_rounds, Some(3));
+    }
+
+    #[test]
+    fn sharding_is_an_independent_axis() {
+        let opts = RunOptions::new().sharded(4);
+        assert_eq!(opts.shard_count(), Some(4));
+        assert!(opts.fault_plan().is_none() && !opts.has_budget());
+        assert_eq!(
+            RunOptions::new().sharded(0).shard_count(),
+            Some(1),
+            "zero shards clamps to one"
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //!   visibility rules of Definition 2.1 (all nodes in distance `≤ T`, all
 //!   edges with an endpoint in distance `≤ T-1`, all half-edges whose
 //!   endpoint is in distance `≤ T`).
+//! * [`ShardMap`] — balanced contiguous node-range partitions, the
+//!   ownership map of the sharded executor (`lcl_shard`).
 //! * [`gen`] — deterministic and randomized generators for the graph classes
 //!   the paper quantifies over: paths, cycles, trees `𝒯`, forests `ℱ`, and
 //!   `d`-dimensional oriented toroidal grids.
@@ -36,7 +38,9 @@ pub mod gen;
 pub mod graph;
 pub mod line;
 pub mod math;
+pub mod partition;
 
 pub use ball::{Ball, BallNode, PortView};
 pub use builder::{BuildError, GraphBuilder};
 pub use graph::{EdgeId, Graph, HalfEdgeId, NodeId};
+pub use partition::ShardMap;

@@ -1,0 +1,172 @@
+//! Contiguous node-range partitions for sharded execution.
+//!
+//! A [`ShardMap`] splits the structural node indices `0..n` of a
+//! [`Graph`] into `m` contiguous, balanced ranges — the ownership map of
+//! the sharded executor (`lcl_shard`). Contiguity is what keeps the map
+//! arithmetic: [`ShardMap::shard_of`] is O(1) with no lookup table, so
+//! the 10⁷-node runs pay nothing for partition bookkeeping. Balance is
+//! canonical (the first `n mod m` shards own one extra node), so the
+//! same `(n, m)` pair always produces the identical partition and every
+//! sharded run is reproducible from its parameters alone.
+//!
+//! The map also answers the boundary questions the halo-exchange and
+//! frontier-repair layers ask: which nodes of a shard can see another
+//! shard ([`ShardMap::frontier_nodes`]), and which edges cross shard
+//! boundaries ([`ShardMap::cross_edge_count`]).
+
+use crate::graph::{Graph, NodeId};
+use std::ops::Range;
+
+/// A balanced partition of `0..node_count` into contiguous shard ranges.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ShardMap {
+    node_count: usize,
+    num_shards: usize,
+    /// `node_count / num_shards`; the first [`ShardMap::big`] shards own
+    /// `base + 1` nodes, the rest `base`.
+    base: usize,
+    big: usize,
+}
+
+impl ShardMap {
+    /// Partitions `0..node_count` into `num_shards` contiguous ranges.
+    ///
+    /// The count is clamped to `1..=max(node_count, 1)`, so there are
+    /// never empty shards (except the single shard of an empty graph)
+    /// and a zero request behaves like one shard.
+    pub fn new(node_count: usize, num_shards: usize) -> Self {
+        let num_shards = num_shards.clamp(1, node_count.max(1));
+        Self {
+            node_count,
+            num_shards,
+            base: node_count / num_shards,
+            big: node_count % num_shards,
+        }
+    }
+
+    /// Number of shards in the partition.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of nodes the partition covers.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// The contiguous structural-index range shard `shard` owns.
+    ///
+    /// Shards are in index order: `range(s).end == range(s + 1).start`.
+    pub fn range(&self, shard: usize) -> Range<usize> {
+        debug_assert!(shard < self.num_shards, "shard index in range");
+        let start = if shard <= self.big {
+            shard * (self.base + 1)
+        } else {
+            self.big * (self.base + 1) + (shard - self.big) * self.base
+        };
+        let len = if shard < self.big {
+            self.base + 1
+        } else {
+            self.base
+        };
+        start..start + len
+    }
+
+    /// The shard owning structural node index `index`, in O(1).
+    pub fn shard_of_index(&self, index: usize) -> usize {
+        debug_assert!(index < self.node_count, "node index in range");
+        let split = self.big * (self.base + 1);
+        if index < split {
+            index / (self.base + 1)
+        } else {
+            self.big + (index - split) / self.base
+        }
+    }
+
+    /// The shard owning node `v`.
+    pub fn shard_of(&self, v: NodeId) -> usize {
+        self.shard_of_index(v.index())
+    }
+
+    /// The nodes of `shard` with at least one neighbor in a different
+    /// shard, in ascending structural order — the shard's frontier,
+    /// which is exactly the set of nodes whose radius-1 view straddles
+    /// a shard boundary.
+    pub fn frontier_nodes(&self, graph: &Graph, shard: usize) -> Vec<NodeId> {
+        self.range(shard)
+            .map(|i| NodeId(i as u32))
+            .filter(|&v| graph.neighbors_of(v).any(|u| self.shard_of(u) != shard))
+            .collect()
+    }
+
+    /// Number of edges whose endpoints live in different shards.
+    pub fn cross_edge_count(&self, graph: &Graph) -> usize {
+        graph
+            .edges()
+            .filter(|&e| {
+                let [a, b] = graph.endpoints(e);
+                self.shard_of(a) != self.shard_of(b)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn ranges_tile_the_index_space_in_order() {
+        for n in [0usize, 1, 2, 7, 16, 100, 101] {
+            for m in [1usize, 2, 3, 4, 16, 200] {
+                let map = ShardMap::new(n, m);
+                assert!(map.num_shards() >= 1 && map.num_shards() <= n.max(1));
+                let mut next = 0usize;
+                for s in 0..map.num_shards() {
+                    let r = map.range(s);
+                    assert_eq!(r.start, next, "ranges are contiguous ({n}, {m})");
+                    assert!(r.end > r.start || n == 0, "no empty shard ({n}, {m})");
+                    for i in r.clone() {
+                        assert_eq!(map.shard_of_index(i), s);
+                    }
+                    next = r.end;
+                }
+                assert_eq!(next, n, "ranges cover every node ({n}, {m})");
+            }
+        }
+    }
+
+    #[test]
+    fn balance_gives_the_first_shards_the_extra_nodes() {
+        let map = ShardMap::new(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|s| map.range(s).len()).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(ShardMap::new(10, 4), ShardMap::new(10, 4), "canonical");
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardMap::new(3, 0).num_shards(), 1);
+        assert_eq!(ShardMap::new(3, 99).num_shards(), 3);
+        assert_eq!(ShardMap::new(0, 5).num_shards(), 1);
+        assert_eq!(ShardMap::new(0, 5).range(0), 0..0);
+    }
+
+    #[test]
+    fn frontier_and_cross_edges_on_a_path() {
+        // path(10) into 4 shards: [0..3][3..6][6..8][8..10]; the three
+        // boundary edges are 2-3, 5-6, 7-8.
+        let g = gen::path(10);
+        let map = ShardMap::new(10, 4);
+        assert_eq!(map.cross_edge_count(&g), 3);
+        assert_eq!(map.frontier_nodes(&g, 0), vec![NodeId(2)]);
+        assert_eq!(map.frontier_nodes(&g, 1), vec![NodeId(3), NodeId(5)]);
+        assert_eq!(map.frontier_nodes(&g, 2), vec![NodeId(6), NodeId(7)]);
+        assert_eq!(map.frontier_nodes(&g, 3), vec![NodeId(8)]);
+        // One shard has no frontier at all.
+        let whole = ShardMap::new(10, 1);
+        assert_eq!(whole.cross_edge_count(&g), 0);
+        assert!(whole.frontier_nodes(&g, 0).is_empty());
+    }
+}

@@ -127,7 +127,8 @@ impl CostModel {
             Event::LevelComplete { .. }
             | Event::Fault { .. }
             | Event::Retry { .. }
-            | Event::Checkpoint { .. } => {}
+            | Event::Checkpoint { .. }
+            | Event::ShardStep { .. } => {}
         }
     }
 
@@ -275,6 +276,12 @@ mod tests {
                 stage: "s".to_string(),
                 attempt: 1,
                 backoff_ms: 1,
+            },
+            Event::ShardStep {
+                shard: 0,
+                superstep: 0,
+                halo_messages: 9,
+                halo_bytes: 72,
             },
         ]
     }

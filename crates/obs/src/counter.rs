@@ -89,6 +89,22 @@ pub enum Counter {
     /// Nodes whose half-edge labels a repair pass rewrote from the
     /// fault-free reference run.
     RepairedNodes,
+    /// Shards the partitioned executor split the graph into.
+    Shards,
+    /// Boundary-exchange supersteps executed across all shards (one per
+    /// shard per round, so `Supersteps = Shards × Rounds` on a clean
+    /// run).
+    Supersteps,
+    /// Messages that crossed a shard boundary (a subset of
+    /// [`Messages`](Counter::Messages)).
+    HaloMessages,
+    /// Bytes of halo payload exchanged, derived as message count ×
+    /// message size — a count, not a measurement.
+    HaloBytes,
+    /// Whole-shard losses injected (or caught) during a sharded run.
+    ShardCrashes,
+    /// Crashed shards rebuilt from their snapshot plus retained halos.
+    ShardRebuilds,
 }
 
 impl Counter {
@@ -119,6 +135,12 @@ impl Counter {
         Counter::Checkpoints,
         Counter::Repairs,
         Counter::RepairedNodes,
+        Counter::Shards,
+        Counter::Supersteps,
+        Counter::HaloMessages,
+        Counter::HaloBytes,
+        Counter::ShardCrashes,
+        Counter::ShardRebuilds,
     ];
 
     /// The stable kebab-case name used in JSON and fingerprints.
@@ -149,6 +171,12 @@ impl Counter {
             Counter::Checkpoints => "checkpoints",
             Counter::Repairs => "repairs",
             Counter::RepairedNodes => "repaired-nodes",
+            Counter::Shards => "shards",
+            Counter::Supersteps => "supersteps",
+            Counter::HaloMessages => "halo-messages",
+            Counter::HaloBytes => "halo-bytes",
+            Counter::ShardCrashes => "shard-crashes",
+            Counter::ShardRebuilds => "shard-rebuilds",
         }
     }
 

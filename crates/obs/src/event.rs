@@ -107,6 +107,24 @@ pub enum Event {
         /// levels built, rounds run, ...).
         completed: u64,
     },
+    /// One shard finished one boundary-exchange superstep of a
+    /// partitioned run. Tagged with the shard id so per-shard streams
+    /// can be folded into one log while staying attributable; carries
+    /// no cost semantics (the coordinator's round events already count
+    /// the work), so merged [`CostModel`]s are bit-identical across
+    /// shard and runner-thread counts.
+    ShardStep {
+        /// Shard id within the run's partition.
+        shard: u64,
+        /// Zero-based superstep index.
+        superstep: u64,
+        /// Messages this shard sent across shard boundaries this
+        /// superstep.
+        halo_messages: u64,
+        /// Bytes of halo payload (message count × message size —
+        /// count-derived, not measured).
+        halo_bytes: u64,
+    },
 }
 
 impl Event {
@@ -122,6 +140,7 @@ impl Event {
             Event::Fault { .. } => "fault",
             Event::Retry { .. } => "retry",
             Event::Checkpoint { .. } => "checkpoint",
+            Event::ShardStep { .. } => "shard-step",
         }
     }
 
@@ -180,6 +199,18 @@ impl Event {
                     out,
                     ", \"stage\": \"{}\", \"completed\": {completed}",
                     escape(stage)
+                );
+            }
+            Event::ShardStep {
+                shard,
+                superstep,
+                halo_messages,
+                halo_bytes,
+            } => {
+                let _ = write!(
+                    out,
+                    ", \"shard\": {shard}, \"superstep\": {superstep}, \
+                     \"halo_messages\": {halo_messages}, \"halo_bytes\": {halo_bytes}"
                 );
             }
         }
@@ -521,6 +552,12 @@ mod tests {
             stage: "re-tower/level-3".to_string(),
             completed: 2,
         });
+        log.record(Event::ShardStep {
+            shard: 3,
+            superstep: 2,
+            halo_messages: 5,
+            halo_bytes: 40,
+        });
         let json = log.to_json();
         for kind in [
             "round-start",
@@ -532,6 +569,7 @@ mod tests {
             "fault",
             "retry",
             "checkpoint",
+            "shard-step",
         ] {
             assert!(json.contains(kind), "missing {kind} in {json}");
         }

@@ -21,6 +21,14 @@ use std::fmt;
 use lcl::{verify, violating_nodes, HalfEdgeLabeling, InLabel, OutLabel, Problem, Violation};
 use lcl_graph::Graph;
 
+/// Success value of [`repair_tracked`]: the certified labeling, the
+/// repair counters, and the ascending list of patched nodes.
+pub type TrackedRepair = (
+    Certified<HalfEdgeLabeling<OutLabel>>,
+    RepairReport,
+    Vec<lcl_graph::NodeId>,
+);
+
 /// A labeling that passed `lcl::verify` exactly — the constructor is
 /// private to this module, so holding a `Certified` *is* the proof.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -136,15 +144,40 @@ pub fn repair<P: Problem + ?Sized>(
     p: &P,
     graph: &Graph,
     input: &HalfEdgeLabeling<InLabel>,
-    mut output: HalfEdgeLabeling<OutLabel>,
+    output: HalfEdgeLabeling<OutLabel>,
     reference: &HalfEdgeLabeling<OutLabel>,
     opts: RepairOptions,
 ) -> Result<(Certified<HalfEdgeLabeling<OutLabel>>, RepairReport), RepairFailed> {
+    repair_tracked(p, graph, input, output, reference, opts)
+        .map(|(certified, report, _)| (certified, report))
+}
+
+/// [`repair`], additionally returning the exact set of nodes whose
+/// half-edges were rewritten, in ascending structural order.
+///
+/// The patched set is the containment witness the sharded chaos soak
+/// asserts on: after a whole-shard loss is rebuilt, every patched node
+/// must be either inside a crashed shard or on a healthy shard's
+/// frontier — repair must never reach into a healthy shard's interior.
+///
+/// # Errors
+///
+/// [`RepairFailed`] with the surviving violations when `max_rounds`
+/// rounds were not enough.
+pub fn repair_tracked<P: Problem + ?Sized>(
+    p: &P,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    mut output: HalfEdgeLabeling<OutLabel>,
+    reference: &HalfEdgeLabeling<OutLabel>,
+    opts: RepairOptions,
+) -> Result<TrackedRepair, RepairFailed> {
     let mut violations = verify(p, graph, input, &output);
     if violations.is_empty() {
-        return Ok((Certified::seal(output), RepairReport::default()));
+        return Ok((Certified::seal(output), RepairReport::default(), Vec::new()));
     }
     let mut patched_nodes = 0u64;
+    let mut patched: BTreeSet<lcl_graph::NodeId> = BTreeSet::new();
     for round in 1..=opts.max_rounds {
         let seeds = violating_nodes(graph, &violations);
         let mut ball = BTreeSet::new();
@@ -166,6 +199,7 @@ pub fn repair<P: Problem + ?Sized>(
             }
         }
         patched_nodes += ball.len() as u64;
+        patched.extend(ball.iter().copied());
         violations = verify(p, graph, input, &output);
         if violations.is_empty() {
             return Ok((
@@ -174,6 +208,7 @@ pub fn repair<P: Problem + ?Sized>(
                     rounds: round,
                     patched_nodes,
                 },
+                patched.into_iter().collect(),
             ));
         }
     }
@@ -247,6 +282,47 @@ mod tests {
         assert_eq!(certified.get().as_slice(), reference.as_slice());
         assert_eq!(report.rounds, 1, "radius-0 patch of the violating nodes");
         assert!(report.patched_nodes >= 1);
+    }
+
+    #[test]
+    fn tracked_repair_reports_exactly_the_patched_nodes() {
+        let g = gen::path(8);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let reference = proper(&g);
+        let mut damaged = reference.clone();
+        for h in g.half_edges_of(lcl_graph::NodeId(3)) {
+            damaged.set(h, OutLabel(1 - damaged.get(h).0));
+        }
+        let (certified, report, patched) = repair_tracked(
+            &p,
+            &g,
+            &input,
+            damaged,
+            &reference,
+            RepairOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(certified.get().as_slice(), reference.as_slice());
+        assert_eq!(report.patched_nodes, patched.len() as u64);
+        assert!(patched.windows(2).all(|w| w[0] < w[1]), "ascending order");
+        // The damage touched node 3's edges, so only 2..=4 may be patched.
+        assert!(
+            patched.iter().all(|v| (2..=4).contains(&v.index())),
+            "{patched:?}"
+        );
+        // An already-valid labeling patches nothing.
+        let (_, clean_report, clean_patched) = repair_tracked(
+            &p,
+            &g,
+            &input,
+            reference.clone(),
+            &reference,
+            RepairOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(clean_report, RepairReport::default());
+        assert!(clean_patched.is_empty());
     }
 
     #[test]

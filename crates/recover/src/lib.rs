@@ -31,7 +31,10 @@ pub mod certify;
 pub mod models;
 pub mod supervisor;
 
-pub use certify::{certify, repair, Certified, RepairFailed, RepairOptions, RepairReport};
+pub use certify::{
+    certify, repair, repair_tracked, Certified, RepairFailed, RepairOptions, RepairReport,
+    TrackedRepair,
+};
 pub use models::{
     repair_lca_degraded, repair_local_degraded, repair_prod_degraded, repair_sync_degraded,
     repair_volume_degraded, ModelRepair,

@@ -1,0 +1,239 @@
+//! Client-side connection robustness for the classify service.
+//!
+//! A freshly started `classify-server` takes a moment to bind its
+//! socket, and a restarting one leaves a stale socket file behind that
+//! refuses connections until the new process rebinds. Both are
+//! transient, so the client retries them under a *capped deterministic
+//! backoff* — no jitter, the same delay sequence every run, mirroring
+//! the `Retry` event convention used by the in-process supervisor. A
+//! socket path that does not exist at all is a different failure
+//! (wrong path, server never started) and surfaces immediately as the
+//! typed [`ConnectError::SocketMissing`] instead of being retried.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Exponent cap for the backoff doubling: delays grow `base × 2^k`
+/// with `k` clamped to this, so the longest wait is `16 × base`.
+const BACKOFF_EXPONENT_CAP: u32 = 4;
+
+/// How a connection attempt is retried: `retries` further attempts
+/// after the first, with a deterministic doubling backoff starting at
+/// `backoff_ms` and capped at `16 × backoff_ms`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Additional attempts after the first (0 = fail on first refusal).
+    pub retries: u32,
+    /// Base delay in milliseconds before the first retry.
+    pub backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            retries: 0,
+            backoff_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay slept before retry `attempt` (1-based): deterministic
+    /// doubling, capped. `base × 2^min(attempt − 1, 4)`.
+    pub fn delay_ms(&self, attempt: u32) -> u64 {
+        let exponent = attempt.saturating_sub(1).min(BACKOFF_EXPONENT_CAP);
+        self.backoff_ms.saturating_mul(1u64 << exponent)
+    }
+}
+
+/// Why the client could not reach the server.
+#[derive(Debug)]
+pub enum ConnectError {
+    /// The socket path does not exist: wrong path or the server was
+    /// never started. Not retried — retrying cannot create the file.
+    SocketMissing {
+        /// The path that was probed.
+        path: PathBuf,
+    },
+    /// Every attempt failed with a transient error (connection refused
+    /// or timed out).
+    Exhausted {
+        /// The socket path that refused.
+        path: PathBuf,
+        /// Total connection attempts made (first try + retries).
+        attempts: u32,
+        /// The error of the final attempt.
+        last: std::io::Error,
+    },
+    /// A non-transient transport error; retrying would not help.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConnectError::SocketMissing { path } => write!(
+                f,
+                "socket path {} does not exist (is the server running?)",
+                path.display()
+            ),
+            ConnectError::Exhausted {
+                path,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{} refused after {attempts} attempt(s): {last}",
+                path.display()
+            ),
+            ConnectError::Io(e) => write!(f, "connect failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// Whether an I/O error is worth another attempt: the server is (re)
+/// starting or momentarily overloaded, not absent or misaddressed.
+fn transient(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::WouldBlock
+    )
+}
+
+/// Connects to the server's Unix socket under `policy`.
+///
+/// Each attempt first checks the path exists (surfacing
+/// [`ConnectError::SocketMissing`] without burning retries), then
+/// connects; transient failures sleep the capped deterministic backoff
+/// and try again. `on_retry` is called before each sleep with
+/// `(attempt, delay_ms, error)` so callers can narrate progress.
+///
+/// # Errors
+///
+/// [`ConnectError::SocketMissing`] when the path does not exist,
+/// [`ConnectError::Exhausted`] when every attempt failed transiently,
+/// [`ConnectError::Io`] on the first non-transient failure.
+#[cfg(unix)]
+pub fn connect_with_retry(
+    path: &Path,
+    policy: RetryPolicy,
+    mut on_retry: impl FnMut(u32, u64, &std::io::Error),
+) -> Result<std::os::unix::net::UnixStream, ConnectError> {
+    let attempts = policy.retries.saturating_add(1);
+    for attempt in 1..=attempts {
+        if !path.exists() {
+            return Err(ConnectError::SocketMissing {
+                path: path.to_path_buf(),
+            });
+        }
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => return Ok(stream),
+            Err(e) if !transient(&e) => return Err(ConnectError::Io(e)),
+            Err(e) if attempt == attempts => {
+                return Err(ConnectError::Exhausted {
+                    path: path.to_path_buf(),
+                    attempts,
+                    last: e,
+                });
+            }
+            Err(e) => {
+                let delay = policy.delay_ms(attempt);
+                on_retry(attempt, delay, &e);
+                std::thread::sleep(std::time::Duration::from_millis(delay));
+            }
+        }
+    }
+    unreachable!("the loop returns on the final attempt")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            retries: 8,
+            backoff_ms: 50,
+        };
+        let delays: Vec<u64> = (1..=8).map(|a| policy.delay_ms(a)).collect();
+        assert_eq!(delays, [50, 100, 200, 400, 800, 800, 800, 800]);
+        // Deterministic: the same policy always yields the same ladder.
+        assert_eq!(policy.delay_ms(3), policy.delay_ms(3));
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        let policy = RetryPolicy {
+            retries: 1,
+            backoff_ms: u64::MAX,
+        };
+        assert_eq!(policy.delay_ms(5), u64::MAX);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn missing_socket_is_typed_and_not_retried() {
+        let path = std::env::temp_dir().join(format!("lcl-client-absent-{}", std::process::id()));
+        let mut retries_seen = 0;
+        let err = connect_with_retry(
+            &path,
+            RetryPolicy {
+                retries: 3,
+                backoff_ms: 1,
+            },
+            |_, _, _| retries_seen += 1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ConnectError::SocketMissing { .. }), "{err}");
+        assert_eq!(retries_seen, 0, "a missing path must fail fast");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn refused_socket_exhausts_the_deterministic_ladder() {
+        // Bind then drop: the socket file remains but nothing listens,
+        // so every connect is ECONNREFUSED — the transient case.
+        let dir = std::env::temp_dir().join(format!("lcl-client-refused-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.sock");
+        drop(std::os::unix::net::UnixListener::bind(&path).unwrap());
+        let mut ladder = Vec::new();
+        let err = connect_with_retry(
+            &path,
+            RetryPolicy {
+                retries: 2,
+                backoff_ms: 1,
+            },
+            |attempt, delay, _| ladder.push((attempt, delay)),
+        )
+        .unwrap_err();
+        match err {
+            ConnectError::Exhausted { attempts, last, .. } => {
+                assert_eq!(attempts, 3);
+                assert_eq!(last.kind(), std::io::ErrorKind::ConnectionRefused);
+            }
+            other => panic!("expected Exhausted, got {other}"),
+        }
+        assert_eq!(ladder, [(1, 1), (2, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn live_socket_connects_on_the_first_attempt() {
+        let dir = std::env::temp_dir().join(format!("lcl-client-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.sock");
+        let _listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let stream = connect_with_retry(&path, RetryPolicy::default(), |_, _, _| {
+            panic!("no retry expected")
+        });
+        assert!(stream.is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

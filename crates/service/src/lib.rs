@@ -20,6 +20,9 @@
 //!   requests it carries two telemetry ops: `stats` (counter snapshot
 //!   plus a Prometheus rendering of every per-job span) and `watch` (a
 //!   live stream of checkpoint/retry/level-complete events).
+//! * [`client`] — connection robustness for remote callers: capped
+//!   deterministic retry backoff for transient refusals and a typed
+//!   error when the socket path does not exist.
 //!
 //! # Examples
 //!
@@ -44,11 +47,15 @@
 //! # Ok::<(), lcl_service::StoreError>(())
 //! ```
 
+pub mod client;
 pub mod protocol;
 pub mod server;
 pub mod store;
 pub mod wire;
 
+#[cfg(unix)]
+pub use client::connect_with_retry;
+pub use client::{ConnectError, RetryPolicy};
 pub use protocol::{
     encode_request, encode_response, encode_stats_request, encode_watch_request, parse_any_request,
     parse_request, parse_response, ClassifyRequest, ClassifyResult, ProtocolError, Request,

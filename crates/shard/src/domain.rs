@@ -1,0 +1,174 @@
+//! Per-shard fault domains.
+//!
+//! A [`ShardDomain`] is the blast-radius unit of the sharded executor:
+//! each shard carries its *own* [`FaultPlan`] (the global plan filtered
+//! to the nodes it owns plus its whole-shard losses), its own
+//! [`Budget`] and [`CancelToken`], and its own [`EventLog`]. Worker
+//! threads only ever touch the domain of the shard they are stepping,
+//! so a fault — a node panic, a budget breach, or the loss of the whole
+//! shard — is contained by construction: no other shard's plan, token,
+//! or event stream is even reachable from the failing step.
+//!
+//! Event streams stay attributable after the fact because every
+//! shard-level event ([`Event::ShardStep`], `Checkpoint`, `Retry`)
+//! carries the shard id; the coordinator folds the per-shard logs into
+//! the caller's log in shard order, which keeps the merged sequence —
+//! and therefore the merged `CostModel` — independent of how many
+//! runner threads executed the shards.
+//!
+//! [`Event::ShardStep`]: lcl_obs::Event::ShardStep
+
+use std::ops::Range;
+
+use lcl_faults::{Budget, CancelToken, Fault, FaultPlan};
+use lcl_graph::ShardMap;
+use lcl_obs::EventLog;
+
+/// How many events each shard's private log retains. Shard logs hold
+/// one `ShardStep` per superstep plus faults, checkpoints, and retries;
+/// the ring is generous for every realistic run and degrades by
+/// deterministic drop-counting beyond it.
+pub const SHARD_EVENT_CAPACITY: usize = 4096;
+
+/// One shard's private fault domain: plan, budget, cancel token, and
+/// event stream, all scoped to the contiguous node range the shard owns.
+#[derive(Debug)]
+pub struct ShardDomain {
+    id: usize,
+    range: Range<usize>,
+    plan: FaultPlan,
+    budget: Budget,
+    token: CancelToken,
+    events: EventLog,
+    crash_supersteps: Vec<u32>,
+}
+
+impl ShardDomain {
+    /// Carves shard `id`'s domain out of a run-wide plan and budget.
+    ///
+    /// The domain plan keeps exactly the node-level faults whose node
+    /// (or query) index falls in the shard's range, plus the
+    /// whole-shard losses scheduled for this shard; faults owned by
+    /// other shards are unreachable from this domain. The global ID
+    /// permutation is *not* copied — identifiers are a run-wide axis
+    /// the coordinator resolves before any domain is carved.
+    pub fn carve(id: usize, map: &ShardMap, plan: &FaultPlan, budget: &Budget) -> Self {
+        let range = map.range(id);
+        let mut own = FaultPlan::new(plan.seed());
+        for &fault in plan.faults() {
+            let keep = match fault {
+                Fault::Crash { node, .. }
+                | Fault::CorruptView { node, .. }
+                | Fault::PanicNode { node } => range.contains(&node),
+                Fault::ProbeLie { query, .. } => range.contains(&query),
+                Fault::ShardCrash { shard, .. } => shard == id,
+            };
+            if keep {
+                own = own.with(fault);
+            }
+        }
+        let crash_supersteps = own.shard_crashes(id);
+        let budget = *budget;
+        let token = budget.token();
+        Self {
+            id,
+            range,
+            plan: own,
+            budget,
+            token,
+            events: EventLog::new(SHARD_EVENT_CAPACITY),
+            crash_supersteps,
+        }
+    }
+
+    /// The shard id within the run's partition.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The contiguous structural-index range this shard owns.
+    pub fn range(&self) -> Range<usize> {
+        self.range.clone()
+    }
+
+    /// The shard-scoped fault plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The shard's budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// The shard's cancel token (checkpointed once per superstep).
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// The shard's private event stream.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// Supersteps at which this shard is scheduled to be lost whole,
+    /// ascending and deduplicated.
+    pub fn crash_supersteps(&self) -> &[u32] {
+        &self.crash_supersteps
+    }
+
+    /// Whether a whole-shard loss is scheduled at `superstep`.
+    pub fn crashes_at(&self, superstep: u32) -> bool {
+        self.crash_supersteps.binary_search(&superstep).is_ok()
+    }
+
+    /// Whether any whole-shard loss is scheduled — iff so, the executor
+    /// snapshots this shard at the start of every superstep.
+    pub fn has_planned_crashes(&self) -> bool {
+        !self.crash_supersteps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carve_filters_faults_to_the_owned_range() {
+        let map = ShardMap::new(10, 2); // [0..5) and [5..10)
+        let plan = FaultPlan::new(7)
+            .with(Fault::Crash { node: 1, round: 0 })
+            .with(Fault::Crash { node: 6, round: 1 })
+            .with(Fault::PanicNode { node: 9 })
+            .with(Fault::ProbeLie { query: 2, nth: 0 })
+            .with(Fault::ShardCrash {
+                shard: 1,
+                superstep: 3,
+            });
+        let d0 = ShardDomain::carve(0, &map, &plan, &Budget::unlimited());
+        let d1 = ShardDomain::carve(1, &map, &plan, &Budget::unlimited());
+        assert_eq!(d0.range(), 0..5);
+        assert_eq!(d0.plan().faults().len(), 2, "crash@1 and probe-lie@2");
+        assert_eq!(d0.plan().crash_round(1), Some(0));
+        assert!(!d0.has_planned_crashes());
+        assert_eq!(d1.plan().crash_round(6), Some(1));
+        assert!(d1.plan().panics(9));
+        assert_eq!(d1.crash_supersteps(), &[3]);
+        assert!(d1.crashes_at(3) && !d1.crashes_at(2));
+        assert_eq!(d0.plan().seed(), plan.seed(), "seed is shared");
+    }
+
+    #[test]
+    fn domains_have_independent_tokens() {
+        let map = ShardMap::new(4, 2);
+        let plan = FaultPlan::new(0);
+        let d0 = ShardDomain::carve(0, &map, &plan, &Budget::unlimited());
+        let d1 = ShardDomain::carve(1, &map, &plan, &Budget::unlimited());
+        d0.token().cancel();
+        assert!(d0.token().checkpoint("shard/0", 0).is_err());
+        assert!(
+            d1.token().checkpoint("shard/1", 0).is_ok(),
+            "cancelling one shard's token must not trip its neighbor's"
+        );
+    }
+}

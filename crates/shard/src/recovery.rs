@@ -1,0 +1,371 @@
+//! Frontier repair after whole-shard loss — without a global reference
+//! run.
+//!
+//! `lcl_recover::repair` mends damage against a fault-free reference
+//! labeling. For the sharded executor, re-running the whole graph
+//! cleanly just to mend a few frontier nodes would defeat the point of
+//! sharding, and the containment argument says it is unnecessary: a
+//! whole-shard loss damages only the crashed shard (rebuilt, so usually
+//! nothing) and the healthy frontier nodes that skipped a round on
+//! `"halo-loss"`. [`repair_sharded`] therefore synthesizes the
+//! reference *locally*, by replaying a clean execution on a **cone**
+//! around the violations.
+//!
+//! # The cone argument
+//!
+//! Let `T` be the clean run's round count and `r0 = max_rounds - 1`
+//! the largest patch radius bounded repair may use. The nodes repair
+//! can ever rewrite all lie in the *region* `B(seeds, r0)` around the
+//! violating nodes. A node's state after `t` clean rounds is a
+//! function of its radius-`t` ball, so replaying `T` rounds on the
+//! cone `B(region, T)` — delivering round `t`'s messages only to nodes
+//! within distance `T - t - 1` of the region — computes the exact
+//! clean final state of every region node by induction: a node at
+//! distance `d` from the region holds its correct round-`t` state as
+//! long as `t ≤ T - d`, which is precisely as long as its sends are
+//! still consumed. The synthesized reference agrees with the (never
+//! executed) global clean run on every node repair may touch, at cost
+//! `O(|B(seeds, r0 + T)|)` instead of `O(n)`.
+//!
+//! The replay assumes the cone itself executes fault-free — true for
+//! whole-shard loss plans, whose node-level legs are empty. Plans that
+//! also crash or panic individual nodes need the global-reference
+//! `lcl_recover::repair` instead.
+
+use std::collections::{HashMap, VecDeque};
+
+use lcl::{verify, violating_nodes, HalfEdgeLabeling, InLabel, OutLabel, Problem};
+use lcl_graph::{Graph, NodeId};
+use lcl_local::{NodeInit, SyncAlgorithm};
+use lcl_recover::{
+    certify, repair_tracked, RepairFailed, RepairOptions, RepairReport, TrackedRepair,
+};
+
+/// Mends a degraded sharded output by replaying a clean execution on a
+/// cone around the violations and patching against it.
+///
+/// `clean_rounds` must be the round count of the clean run of `alg` on
+/// this graph (for a synthesized `ConstantRound { steps }` algorithm
+/// that is `steps`; for a `k`-round flood it is `k`), and `ids` the
+/// same effective identifier assignment the degraded run observed.
+/// The returned patched-node list (ascending) is the containment
+/// witness the shard chaos soak asserts on.
+///
+/// # Errors
+///
+/// [`RepairFailed`] when `opts.max_rounds` patch rounds were not
+/// enough — in particular when node-level faults corrupted the cone,
+/// violating the replay's fault-free precondition.
+#[allow(clippy::too_many_arguments)]
+pub fn repair_sharded<P, A>(
+    p: &P,
+    alg: &A,
+    graph: &Graph,
+    input: &HalfEdgeLabeling<InLabel>,
+    ids: &[u64],
+    n_announced: Option<usize>,
+    clean_rounds: u32,
+    output: HalfEdgeLabeling<OutLabel>,
+    opts: RepairOptions,
+) -> Result<TrackedRepair, RepairFailed>
+where
+    P: Problem + ?Sized,
+    A: SyncAlgorithm,
+{
+    assert_eq!(ids.len(), graph.node_count(), "ids cover the graph");
+    let violations = verify(p, graph, input, &output);
+    if violations.is_empty() {
+        return certify(p, graph, input, output).map(|c| (c, RepairReport::default(), Vec::new()));
+    }
+    let seeds = violating_nodes(graph, &violations);
+    let r0 = opts.max_rounds.saturating_sub(1);
+    let t_total = clean_rounds;
+
+    // One multi-source BFS from the violation seeds out to depth
+    // r0 + T. Its visited set is the cone; distance-to-region is the
+    // seed distance minus r0 (clamped at zero), because the region is
+    // exactly the first r0 BFS layers.
+    let depth_cap = r0 + t_total;
+    let mut seed_dist: HashMap<u32, u32> = HashMap::new();
+    let mut cone: Vec<NodeId> = Vec::new();
+    let mut queue: VecDeque<NodeId> = VecDeque::new();
+    for &s in &seeds {
+        seed_dist.entry(s.0).or_insert_with(|| {
+            cone.push(s);
+            queue.push_back(s);
+            0
+        });
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = seed_dist[&v.0];
+        if d == depth_cap {
+            continue;
+        }
+        for h in graph.half_edges_of(v) {
+            let u = graph.node_of(graph.twin(h));
+            seed_dist.entry(u.0).or_insert_with(|| {
+                cone.push(u);
+                queue.push_back(u);
+                d + 1
+            });
+        }
+    }
+    cone.sort_unstable();
+    let idx_of: HashMap<u32, usize> = cone.iter().enumerate().map(|(i, v)| (v.0, i)).collect();
+    let gate: Vec<u32> = cone
+        .iter()
+        .map(|v| seed_dist[&v.0].saturating_sub(r0))
+        .collect();
+
+    // Clean replay on the cone. Plain (un-isolated) algorithm calls:
+    // the cone is fault-free by precondition, so a panic here is a
+    // genuine algorithm bug and should surface as one.
+    let n = n_announced.unwrap_or_else(|| graph.node_count());
+    let mut states: Vec<A::State> = cone
+        .iter()
+        .map(|&v| {
+            alg.init(&NodeInit {
+                node: v,
+                n,
+                id: ids[v.index()],
+                degree: graph.degree(v),
+                inputs: graph.half_edges_of(v).map(|h| input.get(h)).collect(),
+            })
+        })
+        .collect();
+    for t in 0..t_total {
+        let send_gate = t_total - t;
+        let mut outboxes: Vec<Option<Vec<A::Msg>>> = vec![None; cone.len()];
+        for (i, &v) in cone.iter().enumerate() {
+            if gate[i] <= send_gate {
+                let out = alg.send(&states[i], t);
+                assert_eq!(
+                    out.len(),
+                    graph.degree(v) as usize,
+                    "clean replay sends one message per port"
+                );
+                outboxes[i] = Some(out);
+            }
+        }
+        for (i, &v) in cone.iter().enumerate() {
+            if gate[i] + 1 > send_gate {
+                continue;
+            }
+            let inbox: Vec<A::Msg> = graph
+                .half_edges_of(v)
+                .map(|h| {
+                    let twin = graph.twin(h);
+                    let u = graph.node_of(twin);
+                    let q = graph.port_of(twin) as usize;
+                    outboxes[idx_of[&u.0]]
+                        .as_ref()
+                        .expect("why: a gated receiver's neighbors are all gated senders")[q]
+                        .clone()
+                })
+                .collect();
+            alg.receive(&mut states[i], &inbox, t);
+        }
+    }
+
+    // The synthesized reference: the degraded output everywhere, with
+    // the exact clean labels on the region — the only nodes bounded
+    // repair may rewrite.
+    let mut reference = output.clone();
+    for (i, &v) in cone.iter().enumerate() {
+        if gate[i] == 0 {
+            let labels = alg.output(&states[i]);
+            assert_eq!(
+                labels.len(),
+                graph.degree(v) as usize,
+                "clean replay labels every port"
+            );
+            for (h, label) in graph.half_edges_of(v).zip(labels) {
+                reference.set(h, label);
+            }
+        }
+    }
+    repair_tracked(p, graph, input, output, &reference, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcl::LclProblem;
+    use lcl_graph::gen;
+
+    /// Two-coloring by parity of a 1-round "learn your neighbors'
+    /// parities" exchange: each node outputs its own parity, which is a
+    /// proper 2-coloring of a path; the exchanged messages make the
+    /// replay's gating observable.
+    struct ParityColor;
+
+    #[derive(Clone)]
+    struct ParityState {
+        parity: u32,
+        degree: usize,
+        seen: u32,
+    }
+
+    impl SyncAlgorithm for ParityColor {
+        type State = ParityState;
+        type Msg = u32;
+
+        fn init(&self, init: &NodeInit) -> ParityState {
+            ParityState {
+                parity: init.node.0 % 2,
+                degree: init.degree as usize,
+                seen: 0,
+            }
+        }
+
+        fn send(&self, state: &ParityState, _round: u32) -> Vec<u32> {
+            vec![state.parity; state.degree]
+        }
+
+        fn receive(&self, state: &mut ParityState, inbox: &[u32], _round: u32) {
+            if state.seen == 0 {
+                state.seen = 1 + inbox.iter().sum::<u32>();
+            }
+        }
+
+        fn is_done(&self, state: &ParityState) -> bool {
+            state.seen > 0
+        }
+
+        fn output(&self, state: &ParityState) -> Vec<OutLabel> {
+            vec![OutLabel(state.parity); state.degree]
+        }
+
+        fn name(&self) -> &str {
+            "parity-color"
+        }
+    }
+
+    fn two_coloring() -> LclProblem {
+        LclProblem::builder("2col", 2)
+            .outputs(["A", "B"])
+            .node_pattern(&["A*"])
+            .node_pattern(&["B*"])
+            .edge(&["A", "B"])
+            .build()
+            .expect("why: the fixed two-coloring spec is well-formed")
+    }
+
+    #[test]
+    fn frontier_damage_mends_without_a_global_reference() {
+        let g = gen::path(40);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..40).collect();
+        let clean =
+            HalfEdgeLabeling::from_node_fn(&g, |v| vec![OutLabel(v.0 % 2); g.degree(v) as usize]);
+        // Damage two "frontier" nodes far apart.
+        let mut damaged = clean.clone();
+        for node in [10u32, 30] {
+            for h in g.half_edges_of(NodeId(node)) {
+                damaged.set(h, OutLabel(1 - damaged.get(h).0));
+            }
+        }
+        let (certified, report, patched) = repair_sharded(
+            &p,
+            &ParityColor,
+            &g,
+            &input,
+            &ids,
+            None,
+            1,
+            damaged,
+            RepairOptions { max_rounds: 3 },
+        )
+        .expect("why: two flipped nodes mend within three radius rounds");
+        assert_eq!(certified.get().as_slice(), clean.as_slice());
+        assert!(report.rounds >= 1);
+        // Patching stayed local: within radius 2 of the damage.
+        assert!(
+            patched
+                .iter()
+                .all(|v| (8..=12).contains(&v.index()) || (28..=32).contains(&v.index())),
+            "{patched:?}"
+        );
+    }
+
+    #[test]
+    fn valid_outputs_certify_without_replay() {
+        let g = gen::path(6);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..6).collect();
+        let clean =
+            HalfEdgeLabeling::from_node_fn(&g, |v| vec![OutLabel(v.0 % 2); g.degree(v) as usize]);
+        let (certified, report, patched) = repair_sharded(
+            &p,
+            &ParityColor,
+            &g,
+            &input,
+            &ids,
+            None,
+            1,
+            clean.clone(),
+            RepairOptions::default(),
+        )
+        .expect("why: a proper coloring verifies as-is");
+        assert_eq!(certified.get().as_slice(), clean.as_slice());
+        assert_eq!(report, RepairReport::default());
+        assert!(patched.is_empty());
+    }
+
+    /// An algorithm whose clean run does *not* solve 2-coloring: the
+    /// synthesized reference is itself invalid, so repair must fail
+    /// with a typed error instead of certifying garbage.
+    struct AllZero;
+
+    impl SyncAlgorithm for AllZero {
+        type State = usize;
+        type Msg = ();
+
+        fn init(&self, init: &NodeInit) -> usize {
+            init.degree as usize
+        }
+
+        fn send(&self, state: &usize, _round: u32) -> Vec<()> {
+            vec![(); *state]
+        }
+
+        fn receive(&self, _state: &mut usize, _inbox: &[()], _round: u32) {}
+
+        fn is_done(&self, _state: &usize) -> bool {
+            true
+        }
+
+        fn output(&self, state: &usize) -> Vec<OutLabel> {
+            vec![OutLabel(0); *state]
+        }
+
+        fn name(&self) -> &str {
+            "all-zero"
+        }
+    }
+
+    #[test]
+    fn unmendable_damage_returns_a_typed_failure() {
+        let g = gen::path(8);
+        let p = two_coloring();
+        let input = lcl::uniform_input(&g);
+        let ids: Vec<u64> = (0..8).collect();
+        let damaged = HalfEdgeLabeling::uniform(&g, OutLabel(1));
+        let err = repair_sharded(
+            &p,
+            &AllZero,
+            &g,
+            &input,
+            &ids,
+            None,
+            0,
+            damaged,
+            RepairOptions { max_rounds: 2 },
+        )
+        .expect_err("an invalid synthesized reference can never certify");
+        assert_eq!(err.rounds_tried, 2);
+        assert!(!err.violations.is_empty());
+    }
+}

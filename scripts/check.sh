@@ -33,6 +33,14 @@ echo "== recovery soak (repair closes the loop; supervised resume is determinist
 # at 1/2/8 threads. Release-only for the same reason as the chaos soak.
 cargo test -q --release --test recovery -- --include-ignored
 
+echo "== shard chaos soak (whole-shard loss: retry -> resume -> repair -> degrade) =="
+# 50 seeds x (crash 2 of 8 shards at superstep 0) on the synthesized E1
+# pipeline at the tight round budget, across 1/2/8 runner threads, plus
+# the 10^7-node sharded LOCAL scale run. Every chaos run must end
+# Certified with the damage confined to the crashed shards and the
+# healthy frontier. Release-only: the scale run needs the optimizer.
+cargo test -q --release --test shard_chaos -- --include-ignored
+
 echo "== unwrap() gate (library code must use typed errors or expect) =="
 # Count `.unwrap()` in crate library sources outside `#[cfg(test)]`
 # modules. The baseline is 0: new library code must propagate typed
@@ -83,6 +91,8 @@ cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_ser
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_service.json BENCH_service.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_curves.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_curves.json BENCH_curves.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_shard.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_shard.json BENCH_shard.json
 
 echo "== wall-clock gate (cost model and curve fits are count-derived) =="
 # The asymptotic-regression gate only works because its inputs are

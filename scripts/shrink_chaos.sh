@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Bisect a failing chaos seed to a minimal reproducing fault plan.
 #
-# Usage: scripts/shrink_chaos.sh <local|volume|lca|prod> <seed>
+# Usage: scripts/shrink_chaos.sh <local|volume|lca|prod|shard> <seed>
 #
 # Regenerates the chaos instance for (model, seed), checks whether its
 # random fault plan reproduces (degrades the run or diverges from the
 # fault-free labeling), and greedily drops faults — and the adversarial
 # ID permutation — until nothing more can go. The minimal plan is
 # printed in the FaultPlan text format, ready to paste into a
-# regression test via FaultPlan::parse.
+# regression test via FaultPlan::parse. The shard model runs on the
+# sharded substrate and seeds whole-shard losses alongside node faults,
+# so crash-shard directives bisect too.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 exec cargo run -q --release -p lcl-bench --bin shrink-chaos -- "$@"

@@ -20,6 +20,7 @@
 //! | [`obs`] | `lcl-obs` | tracing/metrics: spans, counters, reports |
 //! | [`faults`] | `lcl-faults` | fault plans, budgets, panic isolation |
 //! | [`recover`] | `lcl-recover` | certified repair, checkpoint/resume, retry supervisor |
+//! | [`shard`] | `lcl-shard` | sharded LOCAL substrate, per-shard fault domains, shard crash recovery |
 //!
 //! On top of the re-exports the facade adds two pieces of glue:
 //!
@@ -68,11 +69,13 @@ pub use lcl_local as local;
 pub use lcl_obs as obs;
 pub use lcl_problems as problems;
 pub use lcl_recover as recover;
+pub use lcl_shard as shard;
 pub use lcl_volume as volume;
 
 pub use lcl;
 
 pub use error::LandscapeError;
 pub use simulation::{
-    GraphInstance, GridInstance, LcaSim, LocalSim, ProdLocalSim, Simulation, VolumeSim,
+    simulate_sync_routed, GraphInstance, GridInstance, LcaSim, LocalSim, ProdLocalSim, Simulation,
+    VolumeSim,
 };

@@ -33,7 +33,7 @@ use lcl::{HalfEdgeLabeling, InLabel};
 use lcl_faults::{Degraded, RunOptions};
 use lcl_graph::Graph;
 use lcl_grid::{OrientedGrid, ProdIds, ProdLocalAlgorithm, ProdRun};
-use lcl_local::{IdAssignment, LocalAlgorithm, LocalRun};
+use lcl_local::{IdAssignment, LocalAlgorithm, LocalRun, SyncAlgorithm, SyncRun};
 use lcl_obs::RunReport;
 use lcl_volume::{LcaAlgorithm, VolumeAlgorithm, VolumeRun};
 
@@ -162,6 +162,57 @@ pub trait Simulation {
     ) -> Result<RunReport<Self::Outcome>, LandscapeError> {
         Ok(Self::simulate_with(alg, instance, RunOptions::new())?.map(|d| d.outcome))
     }
+}
+
+/// Routes a synchronous LOCAL run by substrate: sharded execution when
+/// the options request it ([`RunOptions::sharded`]), the single-image
+/// executor otherwise.
+///
+/// This is the facade's front door to `lcl_shard` — the same
+/// [`GraphInstance`] plumbing the model markers use, with the substrate
+/// chosen by the [`RunOptions`] instead of by the call site. The two
+/// substrates are bit-identical for every plan without whole-shard
+/// losses, so flipping `opts.sharded(m)` on changes *where* the run
+/// executes, never *what* it computes.
+///
+/// ```
+/// use lcl_landscape::faults::RunOptions;
+/// use lcl_landscape::local::IdAssignment;
+/// use lcl_landscape::simulation::{simulate_sync_routed, GraphInstance};
+/// use lcl_landscape::{graph::gen, problems};
+///
+/// let g = gen::path(32);
+/// let ids = IdAssignment::sequential(32);
+/// let input = problems::cv::orientation_inputs(&g, problems::cv::Orientation::Path);
+/// let alg = problems::cv::ColeVishkin;
+/// let instance = GraphInstance::new(&g, &input, &ids);
+/// let plain = simulate_sync_routed(&alg, instance, 32, 1, RunOptions::new());
+/// let sharded = simulate_sync_routed(&alg, instance, 32, 4, RunOptions::new().sharded(4));
+/// assert_eq!(plain.outcome, sharded.outcome);
+/// ```
+pub fn simulate_sync_routed<A>(
+    alg: &A,
+    instance: GraphInstance<'_>,
+    max_rounds: u32,
+    threads: usize,
+    opts: RunOptions<'_>,
+) -> RunReport<Degraded<SyncRun>>
+where
+    A: SyncAlgorithm + Sync,
+    A::State: Send,
+    A::Msg: Send,
+{
+    let ids: Vec<u64> = instance.ids.iter().collect();
+    lcl_shard::simulate_sharded_with(
+        alg,
+        instance.graph,
+        instance.input,
+        &ids,
+        instance.n_announced,
+        max_rounds,
+        threads,
+        opts,
+    )
 }
 
 /// The LOCAL model (Definition 2.1): radius-`T(n)` views, measured in
