@@ -2,9 +2,9 @@
 //! `classify-server` socket and streams the response lines.
 //!
 //! ```text
-//! classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>] [--retries <n>] [--backoff-ms <n>]
-//! classify-client <socket> --stats [--id <n>] [--retries <n>] [--backoff-ms <n>]
-//! classify-client <socket> --watch [<events>] [--id <n>] [--retries <n>] [--backoff-ms <n>]
+//! classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>] [--retries <n>] [--backoff-ms <n>] [--timeout-ms <n>]
+//! classify-client <socket> --stats [--id <n>] [--retries <n>] [--backoff-ms <n>] [--timeout-ms <n>]
+//! classify-client <socket> --watch [<events>] [--id <n>] [--retries <n>] [--backoff-ms <n>] [--timeout-ms <n>]
 //! ```
 //!
 //! In classify mode the problem is read from the file (or stdin with
@@ -21,6 +21,12 @@
 //! deterministic backoff starting at `--backoff-ms` milliseconds; a
 //! socket path that does not exist fails immediately with a distinct
 //! diagnosis instead of burning retries.
+//!
+//! `--timeout-ms` arms read/write deadlines on the connected socket: a
+//! server that accepts the connection but then stalls (wedged worker,
+//! paused process) fails the client within the deadline instead of
+//! hanging it forever. Off by default — `--watch` without a count is
+//! expected to idle between events.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::process::ExitCode;
@@ -33,10 +39,11 @@ use lcl_service::{
 fn usage() -> ExitCode {
     eprintln!(
         "usage: classify-client <socket> <problem-file|-> [--steps <n>] [--id <n>] \
-         [--retries <n>] [--backoff-ms <n>]\n\
-         \x20      classify-client <socket> --stats [--id <n>] [--retries <n>] [--backoff-ms <n>]\n\
+         [--retries <n>] [--backoff-ms <n>] [--timeout-ms <n>]\n\
+         \x20      classify-client <socket> --stats [--id <n>] [--retries <n>] [--backoff-ms <n>] \
+         [--timeout-ms <n>]\n\
          \x20      classify-client <socket> --watch [<events>] [--id <n>] [--retries <n>] \
-         [--backoff-ms <n>]"
+         [--backoff-ms <n>] [--timeout-ms <n>]"
     );
     ExitCode::FAILURE
 }
@@ -62,6 +69,7 @@ fn main() -> ExitCode {
     };
     let mut id = 1u64;
     let mut policy = RetryPolicy::default();
+    let mut timeout_ms: Option<u64> = None;
     let mut i = 2;
     let mut mode = match selector.as_str() {
         "--stats" => Mode::Stats,
@@ -87,6 +95,7 @@ fn main() -> ExitCode {
             ("--id", Some(n), _) => id = n,
             ("--retries", Some(n), _) => policy.retries = n.min(u64::from(u32::MAX)) as u32,
             ("--backoff-ms", Some(n), _) => policy.backoff_ms = n,
+            ("--timeout-ms", Some(n), _) => timeout_ms = Some(n),
             _ => return usage(),
         }
         i += 2;
@@ -113,9 +122,11 @@ fn main() -> ExitCode {
         }
     };
     let streaming = matches!(mode, Mode::Watch { .. });
-    let stream = match lcl_service::connect_with_retry(
-        std::path::Path::new(socket),
+    let path = std::path::Path::new(socket);
+    let stream = match lcl_service::connect_with_deadline(
+        path,
         policy,
+        timeout_ms,
         |attempt, delay_ms, e| {
             eprintln!(
                 "classify-client: connect attempt {attempt} failed ({e}); \
@@ -133,7 +144,15 @@ fn main() -> ExitCode {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,
         Err(e) => {
-            eprintln!("classify-client: {e}");
+            // With an armed deadline, fold the raw timeout kind into the
+            // typed diagnosis so a stalled server reads as such.
+            match timeout_ms {
+                Some(ms) => eprintln!(
+                    "classify-client: {}",
+                    lcl_service::deadline_error(path, ms, e)
+                ),
+                None => eprintln!("classify-client: {e}"),
+            }
             ExitCode::FAILURE
         }
     }

@@ -1,4 +1,4 @@
-//! `shrink-chaos <local|volume|lca|prod|shard> <seed>` — bisect a
+//! `shrink-chaos <local|volume|lca|prod|shard|proc> <seed>` — bisect a
 //! failing chaos seed to a minimal reproducing [`FaultPlan`].
 //!
 //! The tool regenerates the chaos instance for `(model, seed)` exactly
@@ -14,6 +14,15 @@
 //! with node faults *plus* whole-shard losses, so the shrinker bisects
 //! across both kinds — typically discovering that one `crash-shard`
 //! directive alone reproduces the degradation.
+//!
+//! The `proc` model runs on the process-per-shard substrate
+//! ([`lcl_procshard`]) and seeds the plan with node faults *plus*
+//! `kill-shard` directives — real `SIGKILL`s to worker processes.
+//! Because kills are output-transparent (the supervisor respawns and
+//! replays the victim), they reproduce through the fault record, and
+//! the shrinker typically lands on a single `kill-shard` directive.
+//! Needs `target/<profile>/shard-worker` next to the binary: run
+//! `cargo build --release` first.
 
 use std::env;
 use std::process::ExitCode;
@@ -25,6 +34,7 @@ use lcl_graph::{gen, Graph, HalfEdgeId};
 use lcl_grid::{FnProdAlgorithm, OrientedGrid, ProdIds};
 use lcl_local::{simulate_sync_with, IdAssignment};
 use lcl_problems::DeltaPlusOne;
+use lcl_procshard::{run_proc_sharded, AlgSpec, GraphSpec, InputSpec, ProcJob, ProcOptions};
 use lcl_rng::SmallRng;
 use lcl_volume::lca::VolumeAsLca;
 use lcl_volume::{
@@ -79,6 +89,10 @@ fn instance_size(model: &str, seed: u64) -> Option<usize> {
         }
         "shard" => {
             let mut rng = SmallRng::seed_from_u64(seed ^ 0x5a4d);
+            Some(rng.gen_range(24usize..96))
+        }
+        "proc" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x9c0c);
             Some(rng.gen_range(24usize..96))
         }
         _ => None,
@@ -203,6 +217,39 @@ fn run(model: &str, seed: u64, plan: &FaultPlan) -> (bool, String) {
                 labeling_fp(&g, &report.outcome.outcome.output),
             )
         }
+        "proc" => {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0x9c0c);
+            let n = rng.gen_range(24usize..96);
+            let g = gen::random_tree(n, 3, seed);
+            let ids: Vec<u64> = IdAssignment::random_polynomial(n, 3, seed ^ 3)
+                .iter()
+                .collect();
+            let job = ProcJob {
+                graph: GraphSpec::RandomTree {
+                    n,
+                    max_degree: 3,
+                    seed,
+                },
+                alg: AlgSpec::GuardedFlood { k: 3 },
+                input: InputSpec::Uniform,
+                ids,
+                n_announced: None,
+                max_rounds: 10,
+            };
+            match run_proc_sharded(
+                &job,
+                RunOptions::new().faults(plan).sharded(SHRINK_SHARDS),
+                &ProcOptions::default(),
+            ) {
+                Ok(report) => (
+                    report.outcome.is_degraded(),
+                    labeling_fp(&g, &report.outcome.outcome.output),
+                ),
+                // A run the supervisor could not finish (respawn budget
+                // exhausted, protocol breakage) certainly reproduces.
+                Err(e) => (true, format!("error: {e}")),
+            }
+        }
         other => {
             // `main` validated the model name before calling.
             unreachable_model(other)
@@ -233,7 +280,7 @@ fn reproduces(model: &str, seed: u64, plan: &FaultPlan) -> bool {
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().collect();
     if args.len() != 3 {
-        eprintln!("usage: shrink-chaos <local|volume|lca|prod|shard> <seed>");
+        eprintln!("usage: shrink-chaos <local|volume|lca|prod|shard|proc> <seed>");
         return ExitCode::FAILURE;
     }
     let model = args[1].as_str();
@@ -245,7 +292,7 @@ fn main() -> ExitCode {
         }
     };
     let Some(n) = instance_size(model, seed) else {
-        eprintln!("unknown model {model:?}; expected local, volume, lca, prod, or shard");
+        eprintln!("unknown model {model:?}; expected local, volume, lca, prod, shard, or proc");
         return ExitCode::FAILURE;
     };
 
@@ -254,6 +301,13 @@ fn main() -> ExitCode {
         // Seed whole-shard losses alongside the node faults so the
         // shrinker bisects across both kinds.
         for &fault in FaultPlan::random_shard_chaos(seed, SHRINK_SHARDS, 2, 2).faults() {
+            plan = plan.with(fault);
+        }
+    }
+    if model == "proc" {
+        // Seed real SIGKILLs alongside the node faults so the shrinker
+        // bisects across both kinds.
+        for &fault in FaultPlan::random_kill_chaos(seed, SHRINK_SHARDS, 2, 2).faults() {
             plan = plan.with(fault);
         }
     }

@@ -43,7 +43,7 @@ use crate::json::JsonValue;
 
 /// Keys holding wall-clock measurements (or rates derived from them):
 /// compared within tolerance.
-pub const WALL_KEYS: [&str; 9] = [
+pub const WALL_KEYS: [&str; 11] = [
     "wall_us",
     "wall_ms",
     "seq_wall_ms",
@@ -52,6 +52,8 @@ pub const WALL_KEYS: [&str; 9] = [
     "hit_wall_us",
     "miss_wall_ms",
     "total_wall_ms",
+    "clean_wall_ms",
+    "chaos_wall_ms",
     "throughput_rps",
 ];
 
@@ -423,6 +425,8 @@ pub enum Schema {
     Curves,
     /// `BENCH_shard.json`: the sharded-substrate report.
     Shard,
+    /// `BENCH_procshard.json`: the process-per-shard substrate report.
+    ProcShard,
 }
 
 impl fmt::Display for Schema {
@@ -433,19 +437,22 @@ impl fmt::Display for Schema {
             Self::Service => write!(f, "service report"),
             Self::Curves => write!(f, "curves report"),
             Self::Shard => write!(f, "shard report"),
+            Self::ProcShard => write!(f, "procshard report"),
         }
     }
 }
 
 /// Guesses which baseline schema a document uses: `"bench": "service"`
 /// marks the service report, `"bench": "curves"` the curves report,
-/// `"bench": "shard"` the shard report, any other `"bench"` the
-/// re-engine report, and its absence the obs registry.
+/// `"bench": "shard"` the shard report, `"bench": "procshard"` the
+/// process-per-shard report, any other `"bench"` the re-engine report,
+/// and its absence the obs registry.
 pub fn detect_schema(doc: &JsonValue) -> Schema {
     match doc.get("bench") {
         Some(JsonValue::Str(kind)) if kind.as_str() == "service" => Schema::Service,
         Some(JsonValue::Str(kind)) if kind.as_str() == "curves" => Schema::Curves,
         Some(JsonValue::Str(kind)) if kind.as_str() == "shard" => Schema::Shard,
+        Some(JsonValue::Str(kind)) if kind.as_str() == "procshard" => Schema::ProcShard,
         Some(_) => Schema::ReEngine,
         None => Schema::Obs,
     }
@@ -460,6 +467,7 @@ pub fn check_schema(doc: &JsonValue, schema: Schema) -> Vec<Finding> {
         Schema::Service => check_service(doc, &mut errors),
         Schema::Curves => check_curves(doc, &mut errors),
         Schema::Shard => check_shard(doc, &mut errors),
+        Schema::ProcShard => check_procshard(doc, &mut errors),
     }
     errors
 }
@@ -717,6 +725,39 @@ fn check_shard(doc: &JsonValue, errors: &mut Vec<Finding>) {
         "frontier_nodes",
         "repaired_nodes",
         "certified",
+        "total_wall_ms",
+    ] {
+        require_num(doc, key, "", errors);
+    }
+}
+
+fn check_procshard(doc: &JsonValue, errors: &mut Vec<Finding>) {
+    if doc.as_obj().is_none() {
+        fail(errors, "", "top level must be an object");
+        return;
+    }
+    match doc.get("bench") {
+        Some(JsonValue::Str(kind)) if kind.as_str() == "procshard" => {}
+        Some(_) => fail(errors, "\"bench\"", "must be the string \"procshard\""),
+        None => fail(errors, "\"bench\"", "required string key is missing"),
+    }
+    // Deterministic counters first (diffed bit-exact), then the
+    // host-dependent wall keys (diffed under tolerance).
+    for key in [
+        "shards",
+        "nodes",
+        "edges",
+        "supersteps",
+        "messages",
+        "halo_messages",
+        "halo_bytes",
+        "kills_injected",
+        "respawns",
+        "rehydrated_shards",
+        "faults",
+        "certified",
+        "clean_wall_ms",
+        "chaos_wall_ms",
         "total_wall_ms",
     ] {
         require_num(doc, key, "", errors);
@@ -1220,6 +1261,7 @@ mod tests {
             ("../../BENCH_service.json", Schema::Service),
             ("../../BENCH_curves.json", Schema::Curves),
             ("../../BENCH_shard.json", Schema::Shard),
+            ("../../BENCH_procshard.json", Schema::ProcShard),
         ] {
             let full = format!("{}/{path}", env!("CARGO_MANIFEST_DIR"));
             let text = std::fs::read_to_string(&full).expect("baseline exists");

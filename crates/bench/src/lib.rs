@@ -40,6 +40,11 @@
 //!   written to `BENCH_curves.json` (`--bench curves`). The committed
 //!   file is gated on the *fitted class* bit-exactly — wall noise
 //!   cannot fail it.
+//! * [`procshard_report::procshard_report`] — the process-per-shard
+//!   substrate: a clean cross-process scale run plus a seeded
+//!   SIGKILL-respawn-rehydrate scenario, written to
+//!   `BENCH_procshard.json` (`--bench procshard`; needs
+//!   `target/release/shard-worker`, so `cargo build --release` first).
 //! * [`shrink::shrink_plan`] — the chaos-seed shrinker behind the
 //!   `shrink-chaos` binary (`scripts/shrink_chaos.sh`).
 //!
@@ -59,6 +64,7 @@ pub mod gaps;
 pub mod grid_algos;
 pub mod json;
 pub mod obs_report;
+pub mod procshard_report;
 pub mod re_engine;
 pub mod recover_report;
 pub mod service_report;

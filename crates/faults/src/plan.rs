@@ -62,6 +62,19 @@ pub enum Fault {
         /// Zero-based superstep at which the whole shard is lost.
         superstep: u32,
     },
+    /// Process-level shard kill: in a cross-process run the supervisor
+    /// delivers a real `SIGKILL` to shard `shard`'s worker process
+    /// mid-superstep `superstep`. Unlike [`Fault::ShardCrash`] (which the
+    /// shard handles internally via its snapshot), a kill is invisible to
+    /// the victim — the supervisor detects the death, respawns the
+    /// worker, and replays it back to the current superstep, so the run's
+    /// output is unchanged. In-process executors ignore the entry.
+    ShardKill {
+        /// Shard index (out-of-range entries are inert).
+        shard: usize,
+        /// Zero-based superstep during which the worker is killed.
+        superstep: u32,
+    },
 }
 
 /// A deterministic, serializable schedule of faults for one run.
@@ -166,6 +179,39 @@ impl FaultPlan {
         plan
     }
 
+    /// A random process-kill chaos plan: exactly `kills` distinct shards
+    /// out of `num_shards` have their worker process `SIGKILL`ed, each
+    /// during a uniformly chosen superstep in `0..=max_superstep`. No
+    /// node-level faults and no ID permutation — a kill plan must leave
+    /// the run's output untouched (the supervisor respawns and replays),
+    /// so this plan shape is the soak's proof of output transparency.
+    /// Identical arguments yield the identical plan.
+    pub fn random_kill_chaos(
+        seed: u64,
+        num_shards: usize,
+        kills: usize,
+        max_superstep: u32,
+    ) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed ^ KILL_CHAOS_SALT);
+        let mut plan = Self::new(seed);
+        if num_shards == 0 {
+            return plan;
+        }
+        let mut shards: Vec<usize> = (0..num_shards).collect();
+        for i in (1..num_shards).rev() {
+            shards.swap(i, rng.gen_range(0usize..=i));
+        }
+        shards.truncate(kills.min(num_shards));
+        shards.sort_unstable();
+        for shard in shards {
+            plan.faults.push(Fault::ShardKill {
+                shard,
+                superstep: rng.gen_range(0u32..=max_superstep),
+            });
+        }
+        plan
+    }
+
     /// The plan's seed.
     pub fn seed(&self) -> u64 {
         self.seed
@@ -254,6 +300,26 @@ impl FaultPlan {
         supersteps
     }
 
+    /// Every superstep during which shard `shard`'s worker process is
+    /// scheduled to be killed, in ascending order (a worker may be
+    /// killed more than once per run).
+    pub fn shard_kills(&self, shard: usize) -> Vec<u32> {
+        let mut supersteps: Vec<u32> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::ShardKill {
+                    shard: s,
+                    superstep,
+                } if *s == shard => Some(*superstep),
+                _ => None,
+            })
+            .collect();
+        supersteps.sort_unstable();
+        supersteps.dedup();
+        supersteps
+    }
+
     /// The adversarial identifier permutation over `0..n`, if the plan
     /// requests one: a Fisher–Yates shuffle driven by the plan seed.
     /// `permutation[v]` is the *rank* whose identifier node `v` receives.
@@ -290,6 +356,9 @@ impl FaultPlan {
                 Fault::ShardCrash { shard, superstep } => {
                     let _ = writeln!(out, "crash-shard shard={shard} superstep={superstep}");
                 }
+                Fault::ShardKill { shard, superstep } => {
+                    let _ = writeln!(out, "kill-shard shard={shard} superstep={superstep}");
+                }
             }
         }
         out
@@ -321,7 +390,7 @@ impl FaultPlan {
                 "corrupt" => &["node", "salt"],
                 "panic" => &["node"],
                 "probe-lie" => &["query", "nth"],
-                "crash-shard" => &["shard", "superstep"],
+                "crash-shard" | "kill-shard" => &["shard", "superstep"],
                 other => return Err(at(PlanIssue::UnknownDirective(other.to_string()))),
             };
             let fields = Fields::collect(words, keys).map_err(&at)?;
@@ -354,7 +423,11 @@ impl FaultPlan {
                             query: fields.index("query").map_err(&at)?,
                             nth: fields.u64("nth").map_err(&at)?,
                         },
-                        _ => Fault::ShardCrash {
+                        "crash-shard" => Fault::ShardCrash {
+                            shard: fields.index("shard").map_err(&at)?,
+                            superstep: fields.u32("superstep").map_err(&at)?,
+                        },
+                        _ => Fault::ShardKill {
                             shard: fields.index("shard").map_err(&at)?,
                             superstep: fields.u32("superstep").map_err(&at)?,
                         },
@@ -454,6 +527,7 @@ impl Fields {
 
 const PERMUTE_SALT: u64 = 0x9d5c_f0aa_11f4_27b3;
 const SHARD_CHAOS_SALT: u64 = 0x51a8_dc4a_0b7e_9f25;
+const KILL_CHAOS_SALT: u64 = 0x7e31_905b_44ac_8dd6;
 
 /// Deterministic nonzero perturbation mask for corrupted views: word `i`
 /// of a view corrupted with `salt` is XORed with `perturb(salt, i)`.
@@ -562,9 +636,14 @@ mod tests {
             .with(Fault::ShardCrash {
                 shard: 2,
                 superstep: 1,
+            })
+            .with(Fault::ShardKill {
+                shard: 3,
+                superstep: 0,
             });
         let text = plan.to_text();
         assert!(text.contains("crash-shard shard=2 superstep=1"));
+        assert!(text.contains("kill-shard shard=3 superstep=0"));
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
     }
 
@@ -707,7 +786,7 @@ mod tests {
                     Fault::ProbeLie { query, nth } => {
                         assert!(query < 8 && nth <= 4);
                     }
-                    Fault::ShardCrash { .. } => {
+                    Fault::ShardCrash { .. } | Fault::ShardKill { .. } => {
                         unreachable!("node-level random plans never schedule shard loss")
                     }
                 }
@@ -767,6 +846,64 @@ mod tests {
         }
         assert!(FaultPlan::random_shard_chaos(1, 0, 3, 2).is_empty());
         assert_eq!(FaultPlan::random_shard_chaos(1, 4, 9, 2).faults().len(), 4);
+    }
+
+    #[test]
+    fn shard_kill_accessors_and_chaos_plans() {
+        let plan = FaultPlan::new(5)
+            .with(Fault::ShardKill {
+                shard: 2,
+                superstep: 3,
+            })
+            .with(Fault::ShardKill {
+                shard: 2,
+                superstep: 1,
+            })
+            .with(Fault::ShardCrash {
+                shard: 2,
+                superstep: 0,
+            });
+        assert_eq!(plan.shard_kills(2), vec![1, 3]);
+        assert!(plan.shard_kills(0).is_empty());
+        assert_eq!(
+            plan.shard_crashes(2),
+            vec![0],
+            "kills and crashes are separate schedules"
+        );
+
+        let mut salts_diverge = false;
+        for seed in 0..50u64 {
+            let a = FaultPlan::random_kill_chaos(seed, 8, 2, 3);
+            assert_eq!(a, FaultPlan::random_kill_chaos(seed, 8, 2, 3));
+            assert_eq!(a.faults().len(), 2);
+            assert!(!a.permutes_ids(), "kill chaos keeps ids untouched");
+            let mut shards = Vec::new();
+            for fault in a.faults() {
+                let Fault::ShardKill { shard, superstep } = *fault else {
+                    unreachable!("kill chaos plans are process-kill only");
+                };
+                assert!(shard < 8 && superstep <= 3);
+                shards.push(shard);
+            }
+            let mut deduped = shards.clone();
+            deduped.dedup();
+            assert_eq!(shards, deduped, "killed shards are distinct and sorted");
+            let mirrored: Vec<Fault> = FaultPlan::random_shard_chaos(seed, 8, 2, 3)
+                .faults()
+                .iter()
+                .map(|f| match *f {
+                    Fault::ShardCrash { shard, superstep } => Fault::ShardKill { shard, superstep },
+                    other => other,
+                })
+                .collect();
+            salts_diverge |= a.faults() != mirrored.as_slice();
+        }
+        assert!(
+            salts_diverge,
+            "kill chaos draws from its own salt, not the crash schedule"
+        );
+        assert!(FaultPlan::random_kill_chaos(1, 0, 3, 2).is_empty());
+        assert_eq!(FaultPlan::random_kill_chaos(1, 4, 9, 2).faults().len(), 4);
     }
 
     #[test]

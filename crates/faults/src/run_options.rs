@@ -47,6 +47,7 @@ pub struct RunOptions<'a> {
     faults: Option<&'a FaultPlan>,
     budget: Option<Budget>,
     shards: Option<usize>,
+    io_timeout_ms: Option<u64>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -89,6 +90,23 @@ impl<'a> RunOptions<'a> {
     /// The requested shard count, if the run asked to be partitioned.
     pub fn shard_count(&self) -> Option<usize> {
         self.shards
+    }
+
+    /// Bounds every socket read and write the run performs to
+    /// `timeout_ms` milliseconds. Honored wherever the run crosses a
+    /// process boundary — the cross-process shard wire and the
+    /// classification-service client — so a hung peer surfaces as a
+    /// typed timeout instead of a stuck run. A timeout of zero is
+    /// clamped to one millisecond (zero would mean "no timeout" to the
+    /// OS). Purely in-process executors ignore the axis.
+    pub fn io_timeout(mut self, timeout_ms: u64) -> Self {
+        self.io_timeout_ms = Some(timeout_ms.max(1));
+        self
+    }
+
+    /// The socket deadline in milliseconds, if one was set.
+    pub fn io_timeout_ms(&self) -> Option<u64> {
+        self.io_timeout_ms
     }
 
     /// The event log to stream into, if any.
@@ -152,6 +170,20 @@ mod tests {
             RunOptions::new().sharded(0).shard_count(),
             Some(1),
             "zero shards clamps to one"
+        );
+    }
+
+    #[test]
+    fn io_timeout_is_an_independent_axis() {
+        let opts = RunOptions::new();
+        assert_eq!(opts.io_timeout_ms(), None, "default is no deadline");
+        let opts = opts.io_timeout(250);
+        assert_eq!(opts.io_timeout_ms(), Some(250));
+        assert!(opts.fault_plan().is_none() && !opts.has_budget());
+        assert_eq!(
+            RunOptions::new().io_timeout(0).io_timeout_ms(),
+            Some(1),
+            "zero would disable the OS deadline; clamp to 1 ms"
         );
     }
 

@@ -1,0 +1,83 @@
+//! The shard worker binary: connects back to the supervisor's Unix
+//! socket, introduces itself, and serves its shard until the
+//! supervisor finishes the run or kills it.
+//!
+//! Usage (spawned by the supervisor, not by hand):
+//!
+//! ```text
+//! shard-worker --socket <path> --shard <index>
+//! ```
+//!
+//! The worker exits 0 on a clean `output` handoff or a supervisor-side
+//! disconnect (being discarded *is* a clean ending for a worker), and
+//! 2 on a protocol violation — which, to the supervisor, is
+//! indistinguishable from a death and consumes a respawn.
+
+use std::io::BufReader;
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+use lcl_procshard::wire::{self, InitCmd};
+use lcl_procshard::worker::serve_shard;
+
+fn fail(what: &str) -> ExitCode {
+    eprintln!("shard-worker: {what}");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<String> = None;
+    let mut shard: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next(),
+            "--shard" => shard = args.next().and_then(|s| s.parse().ok()),
+            other => return fail(&format!("unknown argument {other:?}")),
+        }
+    }
+    let (Some(socket), Some(shard)) = (socket, shard) else {
+        return fail("usage: shard-worker --socket <path> --shard <index>");
+    };
+    let stream = match UnixStream::connect(&socket) {
+        Ok(stream) => stream,
+        Err(e) => return fail(&format!("connect {socket}: {e}")),
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(e) => return fail(&format!("socket clone: {e}")),
+    };
+    let mut reader = BufReader::new(stream);
+
+    let mut hello = wire::open_line("hello");
+    wire::push_num_field(&mut hello, "shard", shard as u64);
+    hello.push('}');
+    if let Err(e) = wire::write_line(&mut writer, &hello) {
+        return fail(&format!("hello: {e}"));
+    }
+
+    let fields = match wire::read_fields(&mut reader) {
+        Ok(fields) => fields,
+        // The supervisor dropped us before init: a clean discard.
+        Err(e) if e == "peer closed the connection" => return ExitCode::SUCCESS,
+        Err(e) => return fail(&format!("init: {e}")),
+    };
+    let cmd = match wire::want_str(&fields, "op") {
+        Ok(op) if op == "init" => match InitCmd::parse(&fields) {
+            Ok(cmd) => cmd,
+            Err(e) => return fail(&format!("init: {e}")),
+        },
+        Ok(op) => return fail(&format!("expected init, got {op:?}")),
+        Err(e) => return fail(&e),
+    };
+    if cmd.shard != shard {
+        return fail(&format!(
+            "spawned as shard {shard} but init addresses shard {}",
+            cmd.shard
+        ));
+    }
+    match serve_shard(&cmd, &mut reader, &mut writer) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(&e),
+    }
+}

@@ -67,6 +67,15 @@ pub enum ConnectError {
     },
     /// A non-transient transport error; retrying would not help.
     Io(std::io::Error),
+    /// The peer accepted the connection but then went silent past the
+    /// armed socket deadline ([`arm_deadlines`]): the read or write
+    /// expired instead of hanging the caller forever.
+    Timeout {
+        /// The socket path of the silent peer.
+        path: PathBuf,
+        /// The deadline that expired, in milliseconds.
+        timeout_ms: u64,
+    },
 }
 
 impl fmt::Display for ConnectError {
@@ -87,6 +96,11 @@ impl fmt::Display for ConnectError {
                 path.display()
             ),
             ConnectError::Io(e) => write!(f, "connect failed: {e}"),
+            ConnectError::Timeout { path, timeout_ms } => write!(
+                f,
+                "{} went silent: no progress within the {timeout_ms} ms socket deadline",
+                path.display()
+            ),
         }
     }
 }
@@ -148,6 +162,72 @@ pub fn connect_with_retry(
         }
     }
     unreachable!("the loop returns on the final attempt")
+}
+
+/// Arms both socket deadlines on a connected stream: every subsequent
+/// read and write must make progress within `timeout_ms` milliseconds
+/// or fail with a timeout kind ([`is_deadline`]). A zero timeout is
+/// clamped to one millisecond — zero would tell the OS "no deadline",
+/// the opposite of what the caller asked for.
+///
+/// # Errors
+///
+/// The underlying `setsockopt` failure, which is not transient.
+#[cfg(unix)]
+pub fn arm_deadlines(
+    stream: &std::os::unix::net::UnixStream,
+    timeout_ms: u64,
+) -> std::io::Result<()> {
+    let deadline = std::time::Duration::from_millis(timeout_ms.max(1));
+    stream.set_read_timeout(Some(deadline))?;
+    stream.set_write_timeout(Some(deadline))
+}
+
+/// Whether `e` is the OS reporting an expired socket deadline. Unix
+/// sockets surface an expired `SO_RCVTIMEO`/`SO_SNDTIMEO` as either
+/// `WouldBlock` (Linux) or `TimedOut` (other unices) — callers must
+/// treat both as the deadline firing.
+pub fn is_deadline(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Folds an I/O failure observed *after* [`arm_deadlines`] into the
+/// typed connect error: deadline expiries become
+/// [`ConnectError::Timeout`], anything else stays [`ConnectError::Io`].
+pub fn deadline_error(path: &Path, timeout_ms: u64, e: std::io::Error) -> ConnectError {
+    if is_deadline(&e) {
+        ConnectError::Timeout {
+            path: path.to_path_buf(),
+            timeout_ms,
+        }
+    } else {
+        ConnectError::Io(e)
+    }
+}
+
+/// Connects under `policy` like [`connect_with_retry`], then arms the
+/// socket deadlines when `timeout_ms` is set — the connect-and-never-
+/// hang entrypoint remote callers should prefer.
+///
+/// # Errors
+///
+/// Everything [`connect_with_retry`] returns, plus [`ConnectError::Io`]
+/// when arming the deadlines fails.
+#[cfg(unix)]
+pub fn connect_with_deadline(
+    path: &Path,
+    policy: RetryPolicy,
+    timeout_ms: Option<u64>,
+    on_retry: impl FnMut(u32, u64, &std::io::Error),
+) -> Result<std::os::unix::net::UnixStream, ConnectError> {
+    let stream = connect_with_retry(path, policy, on_retry)?;
+    if let Some(ms) = timeout_ms {
+        arm_deadlines(&stream, ms).map_err(ConnectError::Io)?;
+    }
+    Ok(stream)
 }
 
 #[cfg(test)]
@@ -220,6 +300,39 @@ mod tests {
             other => panic!("expected Exhausted, got {other}"),
         }
         assert_eq!(ladder, [(1, 1), (2, 2)]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn silent_peer_times_out_instead_of_hanging() {
+        use std::io::Read as _;
+        let dir = std::env::temp_dir().join(format!("lcl-client-silent-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.sock");
+        // Accepts, then never writes: without a deadline the read below
+        // would block forever.
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let mut stream =
+            connect_with_deadline(&path, RetryPolicy::default(), Some(30), |_, _, _| {
+                panic!("no retry expected")
+            })
+            .unwrap();
+        let (_held_open, _) = listener.accept().unwrap();
+        let err = stream.read_exact(&mut [0u8; 1]).unwrap_err();
+        assert!(is_deadline(&err), "expected a deadline kind, got {err:?}");
+        let typed = deadline_error(&path, 30, err);
+        assert!(matches!(
+            typed,
+            ConnectError::Timeout { timeout_ms: 30, .. }
+        ));
+        assert!(typed.to_string().contains("30 ms"), "{typed}");
+        // A genuine transport error is not relabeled as a timeout.
+        let broken = std::io::Error::from(std::io::ErrorKind::BrokenPipe);
+        assert!(matches!(
+            deadline_error(&path, 30, broken),
+            ConnectError::Io(_)
+        ));
         std::fs::remove_dir_all(&dir).ok();
     }
 

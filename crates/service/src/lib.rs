@@ -54,12 +54,12 @@ pub mod store;
 pub mod wire;
 
 #[cfg(unix)]
-pub use client::connect_with_retry;
-pub use client::{ConnectError, RetryPolicy};
+pub use client::{arm_deadlines, connect_with_deadline, connect_with_retry};
+pub use client::{deadline_error, is_deadline, ConnectError, RetryPolicy};
 pub use protocol::{
     encode_request, encode_response, encode_stats_request, encode_watch_request, parse_any_request,
-    parse_request, parse_response, ClassifyRequest, ClassifyResult, ProtocolError, Request,
-    Response, StatsReply,
+    parse_flat_object, parse_request, parse_response, push_str_field, ClassifyRequest,
+    ClassifyResult, ProtocolError, Request, Response, Scalar, StatsReply,
 };
 pub use server::{ClassifyServer, ServiceConfig, ServiceStats, SubmitError};
 pub use store::{StoreError, TowerStore};

@@ -195,15 +195,27 @@ impl fmt::Display for ProtocolError {
 impl std::error::Error for ProtocolError {}
 
 /// A scalar field value of a protocol line.
+///
+/// Part of the reusable flat-object layer ([`parse_flat_object`] /
+/// [`push_str_field`]): other line-JSON wires in the workspace — the
+/// cross-process shard protocol among them — speak the same scalar
+/// vocabulary instead of growing their own JSON subset.
 #[derive(Clone, PartialEq, Eq, Debug)]
-enum Scalar {
+pub enum Scalar {
+    /// A JSON string (escapes already decoded).
     Str(String),
+    /// An unsigned integer; the protocol has no fractions or signs.
     Num(u64),
+    /// A JSON boolean.
     Bool(bool),
+    /// JSON `null`.
     Null,
 }
 
-fn escape_into(out: &mut String, s: &str) {
+/// Appends `s` to `out` with protocol-line escaping: quotes,
+/// backslashes, and every control character below `0x20` are escaped so
+/// the result never breaks the one-object-per-line framing.
+pub fn escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -219,7 +231,9 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_str_field(out: &mut String, name: &str, value: &str) {
+/// Appends `"name":"value"` to `out` (no separators), escaping the
+/// value via [`escape_into`].
+pub fn push_str_field(out: &mut String, name: &str, value: &str) {
     out.push('"');
     out.push_str(name);
     out.push_str("\":\"");
@@ -314,8 +328,17 @@ pub fn encode_response(resp: &Response) -> String {
     out
 }
 
-/// Scans one flat JSON object line into its fields.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ProtocolError> {
+/// Scans one flat JSON object line into its `(name, value)` fields, in
+/// wire order. This is the whole decoder of the line discipline:
+/// strictly one object per line (trailing garbage is rejected), field
+/// values limited to [`Scalar`]s. Reused by every line-JSON wire in the
+/// workspace.
+///
+/// # Errors
+///
+/// [`ProtocolError::Malformed`] when the line is not exactly one flat
+/// JSON object of scalar fields.
+pub fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, ProtocolError> {
     let bytes = line.as_bytes();
     let mut pos = 0usize;
     let mut fields = Vec::new();
@@ -522,7 +545,12 @@ fn parse_hex4(line: &str, pos_of_u: usize) -> Result<u32, ProtocolError> {
     u32::from_str_radix(hex, 16).map_err(|_| err)
 }
 
-fn get_str(fields: &[(String, Scalar)], name: &'static str) -> Result<String, ProtocolError> {
+/// The required string field `name` from a parsed flat object.
+///
+/// # Errors
+///
+/// [`ProtocolError::Field`] when the field is absent or not a string.
+pub fn get_str(fields: &[(String, Scalar)], name: &'static str) -> Result<String, ProtocolError> {
     match fields.iter().find(|(n, _)| n == name) {
         Some((_, Scalar::Str(s))) => Ok(s.clone()),
         Some(_) => Err(ProtocolError::Field {
@@ -536,7 +564,12 @@ fn get_str(fields: &[(String, Scalar)], name: &'static str) -> Result<String, Pr
     }
 }
 
-fn get_num(fields: &[(String, Scalar)], name: &'static str) -> Result<u64, ProtocolError> {
+/// The required unsigned-number field `name` from a parsed flat object.
+///
+/// # Errors
+///
+/// [`ProtocolError::Field`] when the field is absent or not a number.
+pub fn get_num(fields: &[(String, Scalar)], name: &'static str) -> Result<u64, ProtocolError> {
     match fields.iter().find(|(n, _)| n == name) {
         Some((_, Scalar::Num(n))) => Ok(*n),
         Some(_) => Err(ProtocolError::Field {

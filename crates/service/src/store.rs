@@ -21,6 +21,15 @@
 //! (`<key>.ckpt.json`): the latest partial tower of an in-flight build,
 //! written before every supervised f-step so a restarted server resumes
 //! instead of recomputing.
+//!
+//! The store is **single-writer**: [`TowerStore::open`] takes an
+//! advisory lock (`store.lock`, created with `O_EXCL` and holding the
+//! owner's pid) and refuses with [`StoreError::Locked`] while another
+//! live process holds it. A lock left behind by a dead process — the
+//! pid no longer exists — is swept and re-taken, so a crashed server
+//! never bricks its store. The lock is advisory: it guards against
+//! accidental double-opens (two servers pointed at one directory), not
+//! against writers that bypass [`TowerStore`].
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -51,6 +60,15 @@ pub enum StoreError {
         /// The decode failure.
         error: SnapshotError,
     },
+    /// Another live process already holds the store's advisory lock.
+    /// The store is single-writer; point the second opener at its own
+    /// directory, or stop the owner first.
+    Locked {
+        /// The lock file path.
+        path: String,
+        /// The pid recorded in the lock (still alive when checked).
+        owner_pid: u32,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -61,6 +79,13 @@ impl fmt::Display for StoreError {
             }
             StoreError::Corrupt { key, error } => {
                 write!(f, "store entry {key} is corrupt: {error}")
+            }
+            StoreError::Locked { path, owner_pid } => {
+                write!(
+                    f,
+                    "store is locked by live process {owner_pid} (advisory lock at {path}); \
+                     the store is single-writer"
+                )
             }
         }
     }
@@ -82,6 +107,98 @@ const TOWER_SUFFIX: &str = ".tower.json";
 const CKPT_SUFFIX: &str = ".ckpt.json";
 /// Suffix of not-yet-published writes (swept on open).
 const TMP_SUFFIX: &str = ".tmp";
+/// The advisory single-writer lock file inside the store directory.
+const LOCK_FILE: &str = "store.lock";
+
+/// Whether the process with `pid` is alive. On Linux this is a `/proc`
+/// existence check; elsewhere we have no portable std-only probe, so we
+/// conservatively report alive (a stale lock then needs manual removal
+/// rather than risking two live writers).
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new(&format!("/proc/{pid}")).exists()
+    } else {
+        true
+    }
+}
+
+/// Ownership of the store's advisory lock file; dropping it releases
+/// the lock. Removal failures are ignored — the directory may already
+/// be gone, and a leftover lock from a dead pid is swept on next open.
+#[derive(Debug)]
+struct LockGuard {
+    path: PathBuf,
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
+    }
+}
+
+/// One exclusive-create attempt: `Ok(Some)` on success, `Ok(None)` when
+/// the lock already exists, `Err` on any other filesystem failure.
+fn try_lock(path: &Path) -> Result<Option<LockGuard>, StoreError> {
+    match fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(path)
+    {
+        Ok(mut file) => {
+            let pid = format!("{}\n", std::process::id());
+            file.write_all(pid.as_bytes())
+                .map_err(|e| io_err("write lock file", path, e))?;
+            file.sync_all()
+                .map_err(|e| io_err("sync lock file", path, e))?;
+            Ok(Some(LockGuard {
+                path: path.to_path_buf(),
+            }))
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => Ok(None),
+        Err(e) => Err(io_err("create lock file", path, e)),
+    }
+}
+
+/// Takes the advisory lock in `dir`, sweeping at most one stale lock
+/// (unparseable content, or a recorded pid that is no longer alive).
+fn acquire_lock(dir: &Path) -> Result<LockGuard, StoreError> {
+    let path = dir.join(LOCK_FILE);
+    if let Some(guard) = try_lock(&path)? {
+        return Ok(guard);
+    }
+    let owner = fs::read_to_string(&path)
+        .ok()
+        .and_then(|text| text.trim().parse::<u32>().ok());
+    if let Some(pid) = owner {
+        if pid_alive(pid) {
+            return Err(StoreError::Locked {
+                path: path.display().to_string(),
+                owner_pid: pid,
+            });
+        }
+    }
+    // Unparseable pid or dead owner: the lock is stale. Sweep it and
+    // retry the exclusive create once.
+    match fs::remove_file(&path) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(io_err("sweep stale lock", &path, e)),
+    }
+    match try_lock(&path)? {
+        Some(guard) => Ok(guard),
+        // Another opener raced us to the swept slot; report who has it.
+        None => {
+            let winner = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| text.trim().parse::<u32>().ok())
+                .unwrap_or(0);
+            Err(StoreError::Locked {
+                path: path.display().to_string(),
+                owner_pid: winner,
+            })
+        }
+    }
+}
 
 /// A content-addressed on-disk tower store. See the module docs for the
 /// layout and crash-safety invariants. All methods take `&self`; the
@@ -91,20 +208,27 @@ const TMP_SUFFIX: &str = ".tmp";
 pub struct TowerStore {
     dir: PathBuf,
     index: Mutex<BTreeSet<String>>,
+    /// Held for the store's lifetime; released (removed) on drop.
+    _lock: LockGuard,
 }
 
 impl TowerStore {
-    /// Opens (creating if needed) the store rooted at `dir`: sweeps
-    /// crash leftovers (`*.tmp`), validates every published entry, and
-    /// indexes the ones that decode cleanly.
+    /// Opens (creating if needed) the store rooted at `dir`: takes the
+    /// single-writer advisory lock, sweeps crash leftovers (`*.tmp`),
+    /// validates every published entry, and indexes the ones that
+    /// decode cleanly.
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] when the directory cannot be created or read.
-    /// A corrupt *entry* is not an error — it is simply not indexed.
+    /// [`StoreError::Io`] when the directory cannot be created or read;
+    /// [`StoreError::Locked`] when another live process holds the
+    /// store's lock (a lock whose recorded pid is dead is swept, not an
+    /// error). A corrupt *entry* is not an error — it is simply not
+    /// indexed.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err("create store dir", &dir, e))?;
+        let lock = acquire_lock(&dir)?;
         let mut index = BTreeSet::new();
         let entries = fs::read_dir(&dir).map_err(|e| io_err("read store dir", &dir, e))?;
         for entry in entries {
@@ -130,6 +254,7 @@ impl TowerStore {
         Ok(Self {
             dir,
             index: Mutex::new(index),
+            _lock: lock,
         })
     }
 
@@ -355,6 +480,50 @@ mod tests {
         assert_eq!(reopened.load_checkpoint("00aa").unwrap(), None);
         // Clearing twice is fine.
         reopened.clear_checkpoint("00aa").unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn second_open_is_refused_while_the_lock_is_held() {
+        let dir = tmp_dir("locked");
+        let store = TowerStore::open(&dir).unwrap();
+        assert!(dir.join(LOCK_FILE).exists(), "open takes the lock");
+        let refused = TowerStore::open(&dir);
+        match refused {
+            Err(StoreError::Locked { owner_pid, path }) => {
+                assert_eq!(owner_pid, std::process::id(), "we are the live owner");
+                assert!(path.ends_with(LOCK_FILE));
+            }
+            other => panic!("expected Locked, got {other:?}"),
+        }
+        drop(store);
+        assert!(!dir.join(LOCK_FILE).exists(), "drop releases the lock");
+        let reopened = TowerStore::open(&dir).unwrap();
+        assert!(reopened.is_empty());
+        drop(reopened);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")] // liveness probing is /proc-based
+    fn stale_locks_from_dead_owners_are_swept() {
+        let dir = tmp_dir("stale");
+        fs::create_dir_all(&dir).unwrap();
+        // A pid far beyond any kernel's pid_max: its /proc entry cannot
+        // exist, so the lock reads as a dead owner's leftover.
+        fs::write(dir.join(LOCK_FILE), "4000000000\n").unwrap();
+        let store = TowerStore::open(&dir).expect("dead owner's lock is swept");
+        drop(store);
+        // An unparseable lock is equally stale.
+        fs::write(dir.join(LOCK_FILE), "not a pid").unwrap();
+        let store = TowerStore::open(&dir).expect("garbage lock is swept");
+        let text = fs::read_to_string(dir.join(LOCK_FILE)).unwrap();
+        assert_eq!(
+            text.trim().parse::<u32>().unwrap(),
+            std::process::id(),
+            "the swept lock is re-taken under our own pid"
+        );
+        drop(store);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -62,6 +62,11 @@ impl ShardDomain {
                 | Fault::PanicNode { node } => range.contains(&node),
                 Fault::ProbeLie { query, .. } => range.contains(&query),
                 Fault::ShardCrash { shard, .. } => shard == id,
+                // Process kills are the supervisor's concern: a worker
+                // must never see (and so never react to) its own
+                // scheduled death, and the in-process substrate has no
+                // process to kill.
+                Fault::ShardKill { .. } => false,
             };
             if keep {
                 own = own.with(fault);

@@ -41,6 +41,14 @@ echo "== shard chaos soak (whole-shard loss: retry -> resume -> repair -> degrad
 # healthy frontier. Release-only: the scale run needs the optimizer.
 cargo test -q --release --test shard_chaos -- --include-ignored
 
+echo "== proc kill soak (SIGKILL -> respawn -> replay rehydration -> Certified) =="
+# 20 seeds x (SIGKILL 2 of 8 worker processes at superstep 0) on the
+# synthesized E1 pipeline over the process-per-shard substrate. Every
+# run must produce output bit-identical to the clean unsharded run and
+# certify with zero patched nodes — kills are output-transparent.
+# Release-only: 160 process spawns want the optimizer.
+cargo test -q --release -p lcl-procshard --test proc_chaos -- --include-ignored
+
 echo "== unwrap() gate (library code must use typed errors or expect) =="
 # Count `.unwrap()` in crate library sources outside `#[cfg(test)]`
 # modules. The baseline is 0: new library code must propagate typed
@@ -93,6 +101,8 @@ cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_cur
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_curves.json BENCH_curves.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_shard.json
 cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_shard.json BENCH_shard.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- --check-schema BENCH_procshard.json
+cargo run -q --release -p lcl-bench --bin bench-diff -- BENCH_procshard.json BENCH_procshard.json
 
 echo "== wall-clock gate (cost model and curve fits are count-derived) =="
 # The asymptotic-regression gate only works because its inputs are

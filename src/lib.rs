@@ -21,6 +21,7 @@
 //! | [`faults`] | `lcl-faults` | fault plans, budgets, panic isolation |
 //! | [`recover`] | `lcl-recover` | certified repair, checkpoint/resume, retry supervisor |
 //! | [`shard`] | `lcl-shard` | sharded LOCAL substrate, per-shard fault domains, shard crash recovery |
+//! | [`procshard`] | `lcl-procshard` | process-per-shard substrate: shard supervisor, SIGKILL survival, replay rehydration |
 //!
 //! On top of the re-exports the facade adds two pieces of glue:
 //!
@@ -68,6 +69,7 @@ pub use lcl_grid as grid;
 pub use lcl_local as local;
 pub use lcl_obs as obs;
 pub use lcl_problems as problems;
+pub use lcl_procshard as procshard;
 pub use lcl_recover as recover;
 pub use lcl_shard as shard;
 pub use lcl_volume as volume;
